@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablation for Section 3.5: input-based detector placement.
+ * Configuration 1 runs the checker *before* the accelerator — fired
+ * elements skip the accelerator entirely (energy saved) but every
+ * element pays the checker's latency. Configuration 2 (Rumba's
+ * choice) runs them concurrently — no latency, but the accelerator
+ * burns energy even on elements that will be recomputed. This binary
+ * quantifies the trade-off per application at the 90% target quality.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace rumba;
+
+int
+main(int argc, char** argv)
+{
+    const std::string csv_dir = benchutil::CsvDir(argc, argv);
+    const auto experiments =
+        benchutil::PrepareAll(benchutil::PaperConfig());
+
+    Table table({"Application", "Fix %", "Cfg2 time (ms)",
+                 "Cfg1 time (ms)", "Time overhead %", "Cfg2 energy (uJ)",
+                 "Cfg1 energy (uJ)", "Energy saved %"});
+
+    std::vector<double> time_overheads, energy_savings;
+    for (const auto& exp : experiments) {
+        const auto report = exp->ReportAtTargetError(
+            core::Scheme::kLinear, benchutil::kTargetErrorPct);
+        const auto checker = exp->CheckerCost(core::Scheme::kLinear);
+        const double n = static_cast<double>(exp->NumElements());
+        const double fixes = static_cast<double>(report.fixes);
+        const double freq = exp->Config().pipeline.npu.frequency_ghz;
+
+        // Configuration 2 (what Report models): checker in parallel.
+        const double cfg2_ns = report.costs.scheme_region_ns;
+        const double cfg2_nj = report.costs.scheme_region_nj;
+
+        // Configuration 1: the checker precedes the accelerator.
+        //  * latency: every element serializes checker + accelerator,
+        //    except fired elements, which skip the accelerator.
+        const double chk_ns = checker.cycles / freq;
+        const double acc_ns =
+            static_cast<double>(exp->RumbaNpuCycles()) / freq;
+        const double accel_stream_ns =
+            n * chk_ns + (n - fixes) * acc_ns;
+        const double cpu_ns =
+            report.costs.recovery_ns;  // unchanged fix stream.
+        const double cfg1_ns = std::max(accel_stream_ns, cpu_ns);
+        //  * energy: accelerator dynamic energy only for unfired
+        //    elements; everything else as in configuration 2.
+        const double accel_dyn_per_elem =
+            exp->NpuReport().costs.scheme_region_nj /
+            n;  // upper-bound proxy for one invocation's share.
+        const double saved_nj = fixes * accel_dyn_per_elem * 0.5;
+        const double cfg1_nj = cfg2_nj - saved_nj;
+
+        const double overhead =
+            100.0 * (cfg1_ns - cfg2_ns) / cfg2_ns;
+        const double saving = 100.0 * saved_nj / cfg2_nj;
+        time_overheads.push_back(overhead);
+        energy_savings.push_back(saving);
+
+        table.AddRow({exp->Bench().Info().name,
+                      Table::Num(100.0 * report.fix_fraction, 1),
+                      Table::Num(cfg2_ns / 1e6, 3),
+                      Table::Num(cfg1_ns / 1e6, 3),
+                      Table::Num(overhead, 1),
+                      Table::Num(cfg2_nj / 1e3, 1),
+                      Table::Num(cfg1_nj / 1e3, 1),
+                      Table::Num(saving, 1)});
+    }
+    benchutil::Emit(table,
+                    "Section 3.5 ablation: detector placement "
+                    "Configuration 1 (checker first) vs 2 (parallel)",
+                    csv_dir, "ablate_detector_placement");
+
+    std::printf("\nAverage: Configuration 1 saves %.1f%% region energy "
+                "by skipping doomed accelerator\ninvocations but adds "
+                "%.1f%% region latency. Rumba picks Configuration 2 to "
+                "protect\nperformance, as the paper does.\n",
+                benchutil::Mean(energy_savings),
+                benchutil::Mean(time_overheads));
+    return 0;
+}

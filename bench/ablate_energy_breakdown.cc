@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Energy-accounting transparency bench (the McPAT-substitute's
+ * equivalent of a per-structure report): for every application it
+ * breaks the baseline CPU's per-iteration dynamic energy into
+ * microarchitectural structures, and decomposes the Rumba region
+ * energy (treeErrors at 90% TOQ) into accelerator, checker, CPU
+ * recovery and idle components — showing *where* the savings come
+ * from and where Rumba spends them.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/energy_model.h"
+
+using namespace rumba;
+
+int
+main(int argc, char** argv)
+{
+    const std::string csv_dir = benchutil::CsvDir(argc, argv);
+    const auto experiments =
+        benchutil::PrepareAll(benchutil::PaperConfig());
+
+    // Per-structure CPU baseline breakdown.
+    Table cpu_table({"Application", "Frontend/ROB", "INT exec",
+                     "FP exec", "LSU+L1d", "Branch",
+                     "Total nJ/iter (dynamic)"});
+    const sim::EnergyModel energy{sim::EnergyParams()};
+    for (const auto& exp : experiments) {
+        const auto b = energy.CpuBreakdown(exp->KernelOps());
+        auto pct = [&](double v) {
+            return Table::Num(100.0 * v / b.total_nj, 1) + "%";
+        };
+        cpu_table.AddRow({exp->Bench().Info().name, pct(b.frontend_nj),
+                          pct(b.int_exec_nj), pct(b.fp_exec_nj),
+                          pct(b.lsu_nj), pct(b.branch_nj),
+                          Table::Num(b.total_nj, 2)});
+    }
+    benchutil::Emit(cpu_table,
+                    "Baseline CPU per-iteration dynamic energy by "
+                    "structure (McPAT-style report)",
+                    csv_dir, "ablate_energy_cpu_breakdown");
+
+    // Rumba region energy decomposition at the 90% target.
+    Table region({"Application", "NPU dyn+static", "Checker",
+                  "CPU recovery (dyn+busy)", "CPU idle static",
+                  "Region total uJ"});
+    for (const auto& exp : experiments) {
+        const auto report = exp->ReportAtTargetError(
+            core::Scheme::kTree, benchutil::kTargetErrorPct);
+        const auto& costs = report.costs;
+        const double n = static_cast<double>(exp->NumElements());
+        const double fixes = static_cast<double>(report.fixes);
+
+        // Recompute the components the way SystemModel charges them.
+        const sim::CheckerCost chk =
+            exp->CheckerCost(core::Scheme::kTree);
+        const double iter_dyn = energy.CpuDynamicNj(exp->KernelOps());
+        const double cpu_iter_ns =
+            costs.baseline_region_ns / n;  // modeled ns per iteration.
+        const double recovery_nj =
+            fixes * iter_dyn +
+            energy.CpuBusyStaticNj(fixes * cpu_iter_ns);
+        const double idle_nj = energy.CpuIdleStaticNj(std::max(
+            0.0, costs.scheme_region_ns - costs.recovery_ns));
+        const double checker_nj =
+            energy.CheckerDynamicNj(chk, n) +
+            energy.CheckerStaticNj(costs.scheme_region_ns);
+        const double npu_nj = costs.scheme_region_nj - recovery_nj -
+                              idle_nj - checker_nj;
+
+        auto pct = [&](double v) {
+            return Table::Num(100.0 * v / costs.scheme_region_nj, 1) +
+                   "%";
+        };
+        region.AddRow({exp->Bench().Info().name, pct(npu_nj),
+                       pct(checker_nj), pct(recovery_nj),
+                       pct(idle_nj),
+                       Table::Num(costs.scheme_region_nj / 1e3, 1)});
+    }
+    benchutil::Emit(region,
+                    "Rumba (treeErrors @ 90% TOQ) region energy "
+                    "decomposition",
+                    csv_dir, "ablate_energy_region_breakdown");
+
+    std::printf("\nReading: per-uop pipeline overhead dominates CPU "
+                "energy (the accelerator's whole\nadvantage); in the "
+                "Rumba region, checker energy is negligible — the "
+                "savings loss\nrelative to the unchecked NPU is almost "
+                "entirely CPU re-execution plus idle time.\n");
+    return 0;
+}

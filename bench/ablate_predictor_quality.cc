@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Predictor-quality deep dive: figures 10-13 compare schemes through
+ * the system's behavior; this ablation measures the checkers
+ * *directly* as statistical estimators of the true element error —
+ * Spearman rank correlation (does a higher prediction mean a higher
+ * true error?) and large-error precision/recall at the operating
+ * threshold the 90% target picks. Explains *why* tree beats linear on
+ * some applications and loses on others.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/statistics.h"
+
+using namespace rumba;
+
+int
+main(int argc, char** argv)
+{
+    const std::string csv_dir = benchutil::CsvDir(argc, argv);
+    const auto experiments =
+        benchutil::PrepareAll(benchutil::PaperConfig());
+
+    const std::vector<core::Scheme> checkers = {
+        core::Scheme::kEma, core::Scheme::kLinear, core::Scheme::kTree,
+        core::Scheme::kHybrid};
+
+    Table corr({"Application", "EMA rho", "linear rho", "tree rho",
+                "hybrid rho"});
+    Table pr({"Application", "Scheme", "Precision %", "Recall %",
+              "Fix %"});
+    for (const auto& exp : experiments) {
+        const auto& truth = exp->TrueErrors();
+
+        std::vector<std::string> row = {exp->Bench().Info().name};
+        for (core::Scheme s : checkers) {
+            row.push_back(Table::Num(
+                SpearmanCorrelation(exp->Scores(s), truth), 3));
+        }
+        corr.AddRow(std::move(row));
+
+        // Precision/recall of "large error" detection at the 90%-TOQ
+        // operating point. Large = true error > 20% (or the 90th
+        // percentile for concentrated metrics, as in Fig 13).
+        double cutoff = 0.20;
+        {
+            std::vector<double> copy = truth;
+            cutoff = std::min(cutoff, Percentile(std::move(copy), 90.0));
+        }
+        for (core::Scheme s : checkers) {
+            const auto fixes = exp->FixSetForTargetError(
+                s, benchutil::kTargetErrorPct);
+            size_t tp = 0, fp = 0, fn = 0;
+            for (size_t i = 0; i < truth.size(); ++i) {
+                const bool large = truth[i] > cutoff;
+                if (fixes[i] && large)
+                    ++tp;
+                else if (fixes[i] && !large)
+                    ++fp;
+                else if (!fixes[i] && large)
+                    ++fn;
+            }
+            const double precision =
+                tp + fp == 0 ? 0.0
+                             : 100.0 * static_cast<double>(tp) /
+                                   static_cast<double>(tp + fp);
+            const double recall =
+                tp + fn == 0 ? 0.0
+                             : 100.0 * static_cast<double>(tp) /
+                                   static_cast<double>(tp + fn);
+            const double fixed_pct =
+                100.0 * static_cast<double>(tp + fp) /
+                static_cast<double>(truth.size());
+            pr.AddRow({exp->Bench().Info().name, core::SchemeName(s),
+                       Table::Num(precision, 1), Table::Num(recall, 1),
+                       Table::Num(fixed_pct, 1)});
+        }
+    }
+    benchutil::Emit(corr,
+                    "Checker quality: Spearman rank correlation of "
+                    "predicted vs true element error",
+                    csv_dir, "ablate_predictor_rho");
+    benchutil::Emit(pr,
+                    "Large-error detection precision/recall at the "
+                    "90%-TOQ operating point",
+                    csv_dir, "ablate_predictor_pr");
+
+    std::printf("\nHigh rank correlation is what makes a checker "
+                "energy-efficient: it spends fixes\nwhere the oracle "
+                "would. Where linear's rho collapses (periodic or "
+                "clustered error\nstructure), its fix count balloons — "
+                "exactly Figures 11/12's pattern.\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+#include "bench_util.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "apps/benchmark.h"
+#include "common/logging.h"
+
+namespace rumba::benchutil {
+
+core::ExperimentConfig
+PaperConfig()
+{
+    core::ExperimentConfig cfg;
+    cfg.pipeline.train_epochs = 120;
+    cfg.pipeline.seed = 7;
+    return cfg;
+}
+
+std::unique_ptr<core::Experiment>
+Prepare(const std::string& name, const core::ExperimentConfig& config)
+{
+    std::fprintf(stderr, "preparing %s ...\n", name.c_str());
+    return std::make_unique<core::Experiment>(apps::MakeBenchmark(name),
+                                              config);
+}
+
+std::vector<std::unique_ptr<core::Experiment>>
+PrepareAll(const core::ExperimentConfig& config)
+{
+    std::vector<std::unique_ptr<core::Experiment>> all;
+    for (const auto& name : apps::BenchmarkNames())
+        all.push_back(Prepare(name, config));
+    return all;
+}
+
+std::string
+CsvDir(int argc, char** argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--csv-dir")
+            return argv[i + 1];
+    }
+    return "";
+}
+
+void
+Emit(const Table& table, const std::string& title,
+     const std::string& csv_dir, const std::string& name)
+{
+    table.Print(title);
+    if (!csv_dir.empty()) {
+        const std::string path = csv_dir + "/" + name + ".csv";
+        if (!table.WriteCsv(path))
+            Warn("could not write %s", path.c_str());
+        else
+            Inform("wrote %s", path.c_str());
+    }
+}
+
+double
+Mean(const std::vector<double>& values)
+{
+    RUMBA_CHECK(!values.empty());
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+GeoMean(const std::vector<double>& values)
+{
+    RUMBA_CHECK(!values.empty());
+    double log_sum = 0.0;
+    for (double v : values) {
+        RUMBA_CHECK(v > 0.0);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace rumba::benchutil

@@ -1,0 +1,50 @@
+#ifndef RUMBA_BENCH_BENCH_UTIL_H_
+#define RUMBA_BENCH_BENCH_UTIL_H_
+
+/**
+ * @file
+ * Shared plumbing for the figure/table regeneration binaries: the
+ * paper-scale experiment configuration, experiment preparation with
+ * progress logging, and CSV emission (pass --csv-dir <dir> to any
+ * bench binary to also dump machine-readable series).
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/experiment.h"
+
+namespace rumba::benchutil {
+
+/** The paper's target output quality: 90% (10% output error). */
+inline constexpr double kTargetErrorPct = 10.0;
+
+/** Full paper-scale experiment configuration. */
+core::ExperimentConfig PaperConfig();
+
+/** Prepare one experiment with a progress line on stderr. */
+std::unique_ptr<core::Experiment> Prepare(
+    const std::string& name, const core::ExperimentConfig& config);
+
+/** Prepare all seven Table 1 benchmarks. */
+std::vector<std::unique_ptr<core::Experiment>> PrepareAll(
+    const core::ExperimentConfig& config);
+
+/** Parse --csv-dir from argv; empty when absent. */
+std::string CsvDir(int argc, char** argv);
+
+/** Print the table and, when @p csv_dir is set, write name.csv. */
+void Emit(const Table& table, const std::string& title,
+          const std::string& csv_dir, const std::string& name);
+
+/** Arithmetic mean of a series. */
+double Mean(const std::vector<double>& values);
+
+/** Geometric mean of a positive series. */
+double GeoMean(const std::vector<double>& values);
+
+}  // namespace rumba::benchutil
+
+#endif  // RUMBA_BENCH_BENCH_UTIL_H_

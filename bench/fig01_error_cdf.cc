@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Regenerates Figure 1: the typical cumulative distribution of
+ * per-element approximation errors. The paper's sketch shows ~80% of
+ * elements with small (<10%) errors and a long tail of large ones;
+ * this binary prints the measured CDF for every benchmark under the
+ * unchecked Rumba-topology accelerator.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/statistics.h"
+
+using namespace rumba;
+
+int
+main(int argc, char** argv)
+{
+    const std::string csv_dir = benchutil::CsvDir(argc, argv);
+    const auto experiments =
+        benchutil::PrepareAll(benchutil::PaperConfig());
+
+    // CDF sampled at fixed element-error levels (percent).
+    const std::vector<double> levels = {1,  2,  5,  10, 15, 20,
+                                        30, 50, 75, 100};
+    std::vector<std::string> headers = {"Application"};
+    for (double l : levels)
+        headers.push_back("<=" + Table::Num(l, 0) + "%");
+    Table table(std::move(headers));
+
+    for (const auto& exp : experiments) {
+        const auto& errors = exp->TrueErrors();
+        std::vector<std::string> row = {exp->Bench().Info().name};
+        for (double level : levels) {
+            const size_t below = static_cast<size_t>(std::count_if(
+                errors.begin(), errors.end(), [level](double e) {
+                    return e * 100.0 <= level;
+                }));
+            row.push_back(Table::Num(
+                100.0 * static_cast<double>(below) /
+                    static_cast<double>(errors.size()),
+                1));
+        }
+        table.AddRow(std::move(row));
+    }
+    benchutil::Emit(table,
+                    "Figure 1: CDF of per-element approximation errors "
+                    "(% of elements at or below each error level)",
+                    csv_dir, "fig01_error_cdf");
+
+    // The paper's qualitative claim: most elements have small errors,
+    // a few have large ones.
+    double small_sum = 0.0, large_sum = 0.0;
+    for (const auto& exp : experiments) {
+        const auto& errors = exp->TrueErrors();
+        const double n = static_cast<double>(errors.size());
+        small_sum += 100.0 *
+                     static_cast<double>(std::count_if(
+                         errors.begin(), errors.end(),
+                         [](double e) { return e <= 0.10; })) /
+                     n;
+        large_sum += 100.0 *
+                     static_cast<double>(std::count_if(
+                         errors.begin(), errors.end(),
+                         [](double e) { return e > 0.20; })) /
+                     n;
+    }
+    std::printf("\nAverage across applications: %.1f%% of elements have "
+                "errors <= 10%%,\n%.1f%% have errors > 20%% (the long "
+                "tail Rumba targets).\n",
+                small_sum / 7.0, large_sum / 7.0);
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Regenerates Figure 2: two images with the *same* 10% average error
+ * but very different perceptual quality — (b) 10% of pixels wrong by
+ * 100%, vs (c) all pixels wrong by 10%. Prints distribution
+ * statistics (and PSNR) for both, and writes the three PGM images
+ * next to the binary for visual inspection.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/imagegen.h"
+#include "common/random.h"
+#include "common/statistics.h"
+
+using namespace rumba;
+
+namespace {
+
+double
+Psnr(const GrayImage& ref, const GrayImage& img)
+{
+    double mse = 0.0;
+    for (size_t i = 0; i < ref.Data().size(); ++i) {
+        const double d = ref.Data()[i] - img.Data()[i];
+        mse += d * d;
+    }
+    mse /= static_cast<double>(ref.Data().size());
+    return 10.0 * std::log10(1.0 / mse);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    const std::string csv_dir = benchutil::CsvDir(argc, argv);
+    const size_t kSize = 256;
+    const GrayImage original = GenerateSceneImage(kSize, kSize, 0xF16);
+
+    // (b) concentrated: 10% of pixels at 100% error.
+    GrayImage concentrated = original;
+    Rng rng(0xF162);
+    size_t flipped = 0;
+    for (auto& p : concentrated.MutableData()) {
+        if (rng.Chance(0.10)) {
+            p = p >= 0.5 ? p - 1.0 : p + 1.0;  // fully wrong pixel.
+            ++flipped;
+        }
+    }
+    concentrated.Clamp();
+
+    // (c) spread: every pixel off by 10% of full scale.
+    GrayImage spread = original;
+    Rng rng2(0xF163);
+    for (auto& p : spread.MutableData())
+        p += rng2.Chance(0.5) ? 0.10 : -0.10;
+    spread.Clamp();
+
+    const double mean_b = original.MeanAbsDiff(concentrated);
+    const double mean_c = original.MeanAbsDiff(spread);
+
+    auto large_fraction = [&](const GrayImage& img) {
+        size_t large = 0;
+        for (size_t i = 0; i < img.Data().size(); ++i) {
+            if (std::fabs(img.Data()[i] - original.Data()[i]) > 0.2)
+                ++large;
+        }
+        return 100.0 * static_cast<double>(large) /
+               static_cast<double>(img.Data().size());
+    };
+
+    Table table({"Image", "Mean abs error", "Avg quality %",
+                 "Pixels w/ >20% error", "PSNR (dB)"});
+    table.AddRow({"(a) original", "0.00", "100.0", "0.0%", "inf"});
+    table.AddRow({"(b) 10% pixels at ~100% error",
+                  Table::Num(mean_b, 3),
+                  Table::Num(100.0 * (1.0 - mean_b), 1),
+                  Table::Num(large_fraction(concentrated), 1) + "%",
+                  Table::Num(Psnr(original, concentrated), 1)});
+    table.AddRow({"(c) all pixels at 10% error", Table::Num(mean_c, 3),
+                  Table::Num(100.0 * (1.0 - mean_c), 1),
+                  Table::Num(large_fraction(spread), 1) + "%",
+                  Table::Num(Psnr(original, spread), 1)});
+    benchutil::Emit(table,
+                    "Figure 2: identical average error, different "
+                    "perceptual damage",
+                    csv_dir, "fig02_error_distribution");
+
+    original.WritePgm("fig02_a_original.pgm");
+    concentrated.WritePgm("fig02_b_concentrated.pgm");
+    spread.WritePgm("fig02_c_spread.pgm");
+    std::printf("\nWrote fig02_{a,b,c}_*.pgm. Both corrupted images "
+                "average ~90%% quality,\nbut (b)'s errors are "
+                "concentrated in few badly-wrong pixels (lower PSNR,\n"
+                "visible speckle) — exactly the tail Rumba removes.\n");
+    return 0;
+}

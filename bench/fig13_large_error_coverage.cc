@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Regenerates Figure 13: relative coverage of large errors at the
+ * 90% target output quality — the fraction of a scheme's fixes that
+ * actually land on large errors, normalized to Ideal (=100%).
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+
+using namespace rumba;
+
+int
+main(int argc, char** argv)
+{
+    const std::string csv_dir = benchutil::CsvDir(argc, argv);
+    const auto experiments =
+        benchutil::PrepareAll(benchutil::PaperConfig());
+
+    const auto schemes = core::DetectorSchemes();
+    std::vector<std::string> headers = {"Application"};
+    for (core::Scheme s : schemes)
+        headers.push_back(core::SchemeName(s));
+    Table table(std::move(headers));
+
+    std::map<core::Scheme, std::vector<double>> per_scheme;
+    for (const auto& exp : experiments) {
+        std::vector<std::string> row = {exp->Bench().Info().name};
+        for (core::Scheme s : schemes) {
+            const auto report = exp->ReportAtTargetError(
+                s, benchutil::kTargetErrorPct);
+            row.push_back(Table::Num(report.relative_coverage_pct, 1));
+            per_scheme[s].push_back(report.relative_coverage_pct);
+        }
+        table.AddRow(std::move(row));
+    }
+    std::vector<std::string> avg = {"average"};
+    for (core::Scheme s : schemes)
+        avg.push_back(Table::Num(benchutil::Mean(per_scheme[s]), 1));
+    table.AddRow(std::move(avg));
+
+    benchutil::Emit(table,
+                    "Figure 13: relative coverage of large errors at "
+                    "90% target output quality (Ideal = 100)",
+                    csv_dir, "fig13_large_error_coverage");
+
+    std::printf("\nPaper shape: linearErrors ~58%% and treeErrors ~67%% "
+                "average relative coverage,\nboth far above "
+                "Random/Uniform.\n");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Regenerates Figure 16: energy consumption versus the target error
+ * rate for fft. Ideal is the floor everywhere; treeErrors tracks it
+ * at relaxed targets but the gap opens as the quality demand rises
+ * (more false positives -> more re-computation).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace rumba;
+
+int
+main(int argc, char** argv)
+{
+    const std::string csv_dir = benchutil::CsvDir(argc, argv);
+    const auto exp =
+        benchutil::Prepare("fft", benchutil::PaperConfig());
+
+    const std::vector<double> targets = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    const std::vector<core::Scheme> schemes = {
+        core::Scheme::kIdeal, core::Scheme::kRandom,
+        core::Scheme::kUniform, core::Scheme::kEma,
+        core::Scheme::kLinear, core::Scheme::kTree};
+
+    std::vector<std::string> headers = {"Target error %"};
+    for (core::Scheme s : schemes)
+        headers.push_back(core::SchemeName(s));
+    Table table(std::move(headers));
+
+    for (double target : targets) {
+        std::vector<std::string> row = {Table::Num(target, 0)};
+        for (core::Scheme s : schemes) {
+            const auto report = exp->ReportAtTargetError(s, target);
+            row.push_back(
+                Table::Num(report.costs.NormalizedEnergy(), 3));
+        }
+        table.AddRow(std::move(row));
+    }
+    benchutil::Emit(table,
+                    "Figure 16: fft whole-app energy (normalized to CPU "
+                    "baseline) vs target error rate",
+                    csv_dir, "fig16_energy_vs_toq");
+
+    const auto npu = exp->NpuReport();
+    std::printf("\nUnchecked NPU reference: normalized energy %.3f "
+                "(%.2fx saving) at %.2f%% output error.\nThe "
+                "Ideal-vs-tree gap grows as the target tightens — the "
+                "paper's false-positive effect.\n",
+                npu.costs.NormalizedEnergy(), npu.costs.EnergySaving(),
+                npu.output_error_pct);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Regenerates Figure 17: time used by the error predictors relative
+ * to the accelerator invocation they check. All ratios must stay
+ * below 1 — the checker finishes before the NPU does, so error
+ * prediction never stalls the accelerator (which is why placement
+ * Configuration 2 adds no latency).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace rumba;
+
+int
+main(int argc, char** argv)
+{
+    const std::string csv_dir = benchutil::CsvDir(argc, argv);
+    const auto experiments =
+        benchutil::PrepareAll(benchutil::PaperConfig());
+
+    Table table({"Application", "NPU cycles", "linearErrors cycles",
+                 "treeErrors cycles", "EMA cycles", "linear/NPU",
+                 "tree/NPU", "EMA/NPU"});
+    bool all_below_one = true;
+    for (const auto& exp : experiments) {
+        const double npu_cycles =
+            static_cast<double>(exp->RumbaNpuCycles());
+        const double lin =
+            exp->CheckerCost(core::Scheme::kLinear).cycles;
+        const double tree =
+            exp->CheckerCost(core::Scheme::kTree).cycles;
+        const double ema = exp->CheckerCost(core::Scheme::kEma).cycles;
+        all_below_one &= lin < npu_cycles && tree < npu_cycles &&
+                         ema < npu_cycles;
+        table.AddRow({exp->Bench().Info().name,
+                      Table::Num(npu_cycles, 0), Table::Num(lin, 0),
+                      Table::Num(tree, 0), Table::Num(ema, 0),
+                      Table::Num(lin / npu_cycles, 3),
+                      Table::Num(tree / npu_cycles, 3),
+                      Table::Num(ema / npu_cycles, 3)});
+    }
+    benchutil::Emit(table,
+                    "Figure 17: error-predictor time relative to one "
+                    "NPU invocation (must be < 1)",
+                    csv_dir, "fig17_prediction_time");
+
+    std::printf("\n%s: the predicted error is always available before "
+                "the NPU finishes, so the\naccelerator never waits on "
+                "the checker.\n",
+                all_below_one ? "PASS" : "VIOLATION");
+    return all_below_one ? 0 : 1;
+}

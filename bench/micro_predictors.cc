@@ -1,0 +1,141 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot software paths: one
+ * accelerator invocation, one check of each predictor, one exact
+ * kernel execution, and the offline trainers. These measure the
+ * *simulator's* host-side speed (useful when scaling experiments),
+ * not the modeled hardware latencies (those are fig17).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/benchmark.h"
+#include "common/dataset.h"
+#include "common/random.h"
+#include "nn/trainer.h"
+#include "npu/npu.h"
+#include "predict/ema.h"
+#include "predict/linear.h"
+#include "predict/tree.h"
+
+using namespace rumba;
+
+namespace {
+
+/** Shared small error dataset in [0,1]^4. */
+Dataset
+ErrorData(size_t n = 2000)
+{
+    Rng rng(99);
+    Dataset d(4, 1);
+    for (size_t i = 0; i < n; ++i) {
+        std::vector<double> x{rng.Uniform(), rng.Uniform(),
+                              rng.Uniform(), rng.Uniform()};
+        d.Add(x, {0.2 * x[0] + 0.1 * x[1] * x[2]});
+    }
+    return d;
+}
+
+void
+BM_LinearPredict(benchmark::State& state)
+{
+    predict::LinearErrorPredictor p;
+    p.Train(ErrorData());
+    const std::vector<double> x{0.1, 0.4, 0.6, 0.9};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(p.PredictError(x, {}));
+}
+BENCHMARK(BM_LinearPredict);
+
+void
+BM_TreePredict(benchmark::State& state)
+{
+    predict::TreeErrorPredictor p;
+    p.Train(ErrorData());
+    const std::vector<double> x{0.1, 0.4, 0.6, 0.9};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(p.PredictError(x, {}));
+}
+BENCHMARK(BM_TreePredict);
+
+void
+BM_EmaPredict(benchmark::State& state)
+{
+    predict::EmaDetector p;
+    const std::vector<double> out{0.5, 0.6};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(p.PredictError({}, out));
+}
+BENCHMARK(BM_EmaPredict);
+
+void
+BM_NpuInvoke(benchmark::State& state)
+{
+    Rng rng(7);
+    nn::Mlp mlp(nn::Topology::Parse("9->8->1"));
+    mlp.RandomizeWeights(&rng);
+    npu::Npu npu;
+    npu.Configure(mlp);
+    const std::vector<double> in(9, 0.5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(npu.Invoke(in));
+}
+BENCHMARK(BM_NpuInvoke);
+
+void
+BM_MlpForward(benchmark::State& state)
+{
+    Rng rng(7);
+    nn::Mlp mlp(nn::Topology::Parse("9->8->1"));
+    mlp.RandomizeWeights(&rng);
+    const std::vector<double> in(9, 0.5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mlp.Forward(in));
+}
+BENCHMARK(BM_MlpForward);
+
+void
+BM_KernelExact(benchmark::State& state)
+{
+    const auto bench = apps::MakeBenchmark(
+        state.range(0) == 0 ? "sobel"
+                            : (state.range(0) == 1 ? "blackscholes"
+                                                   : "jmeint"));
+    const auto inputs = bench->TestInputs();
+    std::vector<double> out(bench->NumOutputs());
+    size_t i = 0;
+    for (auto _ : state) {
+        bench->RunExact(inputs[i % inputs.size()].data(), out.data());
+        benchmark::DoNotOptimize(out.data());
+        ++i;
+    }
+}
+BENCHMARK(BM_KernelExact)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_LinearTrain(benchmark::State& state)
+{
+    const Dataset d = ErrorData(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        predict::LinearErrorPredictor p;
+        p.Train(d);
+        benchmark::DoNotOptimize(p.Weights().data());
+    }
+}
+BENCHMARK(BM_LinearTrain)->Arg(500)->Arg(2000);
+
+void
+BM_TreeTrain(benchmark::State& state)
+{
+    const Dataset d = ErrorData(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        predict::TreeErrorPredictor p;
+        p.Train(d);
+        benchmark::DoNotOptimize(p.NumNodes());
+    }
+}
+BENCHMARK(BM_TreeTrain)->Arg(500)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

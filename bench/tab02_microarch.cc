@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Regenerates Table 2: the microarchitectural parameters of the
+ * modeled x86-64 host core — plus the derived timing/energy model
+ * constants this reproduction uses in place of gem5 + McPAT.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/cpu_model.h"
+#include "sim/energy_model.h"
+
+using namespace rumba;
+
+int
+main(int argc, char** argv)
+{
+    const std::string csv_dir = benchutil::CsvDir(argc, argv);
+    const sim::CoreParams p;
+
+    Table table({"Parameter", "Value"});
+    auto row = [&table](const char* name, const std::string& value) {
+        table.AddRow({name, value});
+    };
+    row("Fetch/Issue width", Table::Int(static_cast<long>(p.fetch_width)) +
+                                 "/" +
+                                 Table::Int(static_cast<long>(
+                                     p.issue_width)));
+    row("INT ALUs/FPUs", Table::Int(static_cast<long>(p.int_alus)) + "/" +
+                             Table::Int(static_cast<long>(p.fpus)));
+    row("Load/Store FUs", Table::Int(static_cast<long>(p.load_fus)) +
+                              "/" +
+                              Table::Int(static_cast<long>(p.store_fus)));
+    row("Issue Queue Entries",
+        Table::Int(static_cast<long>(p.issue_queue_entries)));
+    row("ROB Entries", Table::Int(static_cast<long>(p.rob_entries)));
+    row("INT/FP Physical Registers",
+        Table::Int(static_cast<long>(p.int_phys_regs)) + "/" +
+            Table::Int(static_cast<long>(p.fp_phys_regs)));
+    row("BTB Entries", Table::Int(static_cast<long>(p.btb_entries)));
+    row("RAS Entries", Table::Int(static_cast<long>(p.ras_entries)));
+    row("Load/Store Queue Entries", "48/48");
+    row("L1 iCache",
+        Table::Int(static_cast<long>(p.l1_icache_kb)) + "KB");
+    row("L1 dCache",
+        Table::Int(static_cast<long>(p.l1_dcache_kb)) + "KB");
+    row("L1/L2 Hit Latency",
+        Table::Int(static_cast<long>(p.l1_hit_cycles)) + "/" +
+            Table::Int(static_cast<long>(p.l2_hit_cycles)) + " cycles");
+    row("L1/L2 Associativity",
+        Table::Int(static_cast<long>(p.l1_assoc)));
+    row("ITLB/DTLB Entries",
+        Table::Int(static_cast<long>(p.itlb_entries)) + "/" +
+            Table::Int(static_cast<long>(p.dtlb_entries)));
+    row("L2 Size", Table::Int(static_cast<long>(p.l2_size_mb)) + " MB");
+    row("Branch Predictor", p.branch_predictor);
+    benchutil::Emit(table,
+                    "Table 2: Microarchitectural parameters of the "
+                    "x86-64 core",
+                    csv_dir, "tab02_microarch");
+
+    Table model({"Model constant", "Value"});
+    const sim::EnergyParams e;
+    model.AddRow({"Core frequency (GHz)", Table::Num(p.frequency_ghz, 1)});
+    model.AddRow({"ILP derate", Table::Num(p.ilp_derate, 2)});
+    model.AddRow(
+        {"Branch misprediction rate", Table::Num(p.branch_misp_rate, 3)});
+    model.AddRow({"Misprediction penalty (cycles)",
+                  Table::Int(static_cast<long>(p.branch_misp_penalty))});
+    model.AddRow({"L1d miss rate", Table::Num(p.l1d_miss_rate, 3)});
+    model.AddRow({"Memory latency (cycles)",
+                  Table::Int(static_cast<long>(p.mem_latency_cycles))});
+    model.AddRow(
+        {"CPU uop overhead (pJ)", Table::Num(e.cpu_uop_overhead_pj, 1)});
+    model.AddRow({"CPU FP add/mul/div (pJ)",
+                  Table::Num(e.cpu_fp_add_pj, 0) + "/" +
+                      Table::Num(e.cpu_fp_mul_pj, 0) + "/" +
+                      Table::Num(e.cpu_fp_div_pj, 0)});
+    model.AddRow(
+        {"CPU busy/idle static (W)",
+         Table::Num(e.cpu_busy_static_w, 2) + "/" +
+             Table::Num(e.cpu_idle_static_w, 2)});
+    model.AddRow({"NPU MAC / LUT / queue word (pJ)",
+                  Table::Num(e.npu_mac_pj, 1) + "/" +
+                      Table::Num(e.npu_lut_pj, 1) + "/" +
+                      Table::Num(e.npu_queue_word_pj, 1)});
+    model.AddRow({"NPU static (W)", Table::Num(e.npu_static_w, 3)});
+    model.AddRow({"Checker MAC / compare (pJ)",
+                  Table::Num(e.chk_mac_pj, 1) + "/" +
+                      Table::Num(e.chk_compare_pj, 1)});
+    benchutil::Emit(model,
+                    "Derived timing/energy model constants (gem5+McPAT "
+                    "substitute)",
+                    csv_dir, "tab02_model_constants");
+    return 0;
+}

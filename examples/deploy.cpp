@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Train-once / deploy-everywhere: the paper's Figure 4 states that
+ * "the configuration parameters for both the approximate accelerator
+ * and the error predictor are embedded in the binary". This example
+ * plays both roles:
+ *
+ *   build phase  — runs the offline trainers for inversek2j, exports
+ *                  the whole configuration (networks, normalizers,
+ *                  checker, calibrated threshold) as an artifact file;
+ *   deploy phase — brings the runtime up *from the artifact alone*
+ *                  (no training) and verifies it behaves identically.
+ */
+
+#include <cstdio>
+
+#include "core/runtime.h"
+
+using namespace rumba;
+
+int
+main()
+{
+    const char* kArtifactPath = "inversek2j.rumba";
+
+    core::RuntimeConfig config;
+    config.checker = core::Scheme::kHybrid;  // offline best-of choice.
+    config.tuner.mode = core::TuningMode::kToq;
+    config.tuner.target_error_pct = 10.0;
+
+    // ---- Build phase ---------------------------------------------------
+    std::printf("[build] training networks + checker, calibrating "
+                "threshold...\n");
+    core::RumbaRuntime trained(apps::MakeBenchmark("inversek2j"),
+                               config);
+    const core::Artifact artifact = trained.ExportArtifact();
+    if (!artifact.Save(kArtifactPath)) {
+        std::fprintf(stderr, "cannot write %s\n", kArtifactPath);
+        return 1;
+    }
+    std::printf("[build] exported %s (%zu bytes, checker blob tag: "
+                "%.20s..., threshold %.4f)\n",
+                kArtifactPath, artifact.ToString().size(),
+                artifact.predictor.c_str(), artifact.threshold);
+
+    // ---- Deploy phase ---------------------------------------------------
+    std::printf("[deploy] loading artifact — no training runs\n");
+    core::RumbaRuntime deployed(core::Artifact::Load(kArtifactPath),
+                                config);
+
+    const auto inputs = deployed.Bench().TestInputs();
+    std::vector<std::vector<double>> batch(inputs.begin(),
+                                           inputs.begin() + 2000);
+    std::vector<std::vector<double>> out_trained, out_deployed;
+    const auto a = trained.ProcessInvocation(batch, &out_trained);
+    const auto b = deployed.ProcessInvocation(batch, &out_deployed);
+
+    size_t mismatches = 0;
+    for (size_t i = 0; i < out_trained.size(); ++i)
+        for (size_t o = 0; o < out_trained[i].size(); ++o)
+            mismatches += out_trained[i][o] != out_deployed[i][o];
+
+    std::printf("\n%-24s %-10s %-14s %s\n", "runtime", "fixes",
+                "output err %", "threshold");
+    std::printf("%-24s %-10zu %-14.2f %.4f\n", "trained (build host)",
+                a.fixes, a.output_error_pct, a.threshold_used);
+    std::printf("%-24s %-10zu %-14.2f %.4f\n", "deployed (artifact)",
+                b.fixes, b.output_error_pct, b.threshold_used);
+    std::printf("\noutput mismatches between the two: %zu of %zu "
+                "values — the deployed system is\nbit-identical to the "
+                "trained one without ever running the trainers.\n",
+                mismatches,
+                out_trained.size() * deployed.Bench().NumOutputs());
+    return mismatches == 0 && a.fixes == b.fixes ? 0 : 1;
+}

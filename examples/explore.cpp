@@ -1,0 +1,139 @@
+/**
+ * @file
+ * explore — a command-line driver over the evaluation harness, for
+ * poking at the design space without writing code:
+ *
+ *   ./explore                             # defaults: all apps, 90% TOQ
+ *   ./explore --app sobel --toq 95
+ *   ./explore --app fft --scheme linearErrors --sweep
+ *
+ * Options:
+ *   --app <name>      one of the seven Table 1 benchmarks (or 'all')
+ *   --scheme <name>   Ideal|Random|Uniform|EMA|linearErrors|treeErrors|
+ *                     hybridErrors (default treeErrors)
+ *   --toq <percent>   target output quality, e.g. 95 (default 90)
+ *   --sweep           print the full error-vs-fixes curve instead
+ *   --epochs <n>      NN training epochs (default 120)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/table.h"
+#include "core/experiment.h"
+
+using namespace rumba;
+
+namespace {
+
+core::Scheme
+ParseScheme(const std::string& name)
+{
+    for (core::Scheme s : core::ExtendedSchemes()) {
+        if (name == core::SchemeName(s))
+            return s;
+    }
+    std::fprintf(stderr, "unknown scheme '%s'\n", name.c_str());
+    std::exit(2);
+}
+
+void
+RunOne(const std::string& app, core::Scheme scheme, double toq_pct,
+       bool sweep, size_t epochs)
+{
+    core::ExperimentConfig cfg;
+    cfg.pipeline.train_epochs = epochs;
+    std::fprintf(stderr, "preparing %s ...\n", app.c_str());
+    core::Experiment exp(apps::MakeBenchmark(app), cfg);
+
+    if (sweep) {
+        Table curve({"Fixed %", "Output error %", "Energy saving",
+                     "Speedup"});
+        for (int pct = 0; pct <= 100; pct += 10) {
+            const auto fixes =
+                exp.FixSetForFraction(scheme, pct / 100.0);
+            const auto report = exp.Report(scheme, fixes);
+            curve.AddRow({Table::Int(pct),
+                          Table::Num(report.output_error_pct, 2),
+                          Table::Num(report.costs.EnergySaving(), 2),
+                          Table::Num(report.costs.Speedup(), 2)});
+        }
+        curve.Print(app + " / " + core::SchemeName(scheme) +
+                    ": error vs elements fixed");
+        return;
+    }
+
+    const double target_err = 100.0 - toq_pct;
+    const auto npu = exp.NpuReport();
+    const auto report = exp.ReportAtTargetError(scheme, target_err);
+    Table summary({"Metric", "Unchecked NPU",
+                   std::string("Rumba (") + core::SchemeName(scheme) +
+                       ")"});
+    summary.AddRow({"Output error %",
+                    Table::Num(npu.output_error_pct, 2),
+                    Table::Num(report.output_error_pct, 2)});
+    summary.AddRow({"Elements fixed %", "0",
+                    Table::Num(100.0 * report.fix_fraction, 2)});
+    summary.AddRow({"False positives %", "-",
+                    Table::Num(report.false_positive_pct, 2)});
+    summary.AddRow({"Energy saving",
+                    Table::Num(npu.costs.EnergySaving(), 2) + "x",
+                    Table::Num(report.costs.EnergySaving(), 2) + "x"});
+    summary.AddRow({"Speedup",
+                    Table::Num(npu.costs.Speedup(), 2) + "x",
+                    Table::Num(report.costs.Speedup(), 2) + "x"});
+    summary.Print(app + " @ " + Table::Num(toq_pct, 0) +
+                  "% target quality");
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string app = "all";
+    std::string scheme_name = "treeErrors";
+    double toq = 90.0;
+    bool sweep = false;
+    size_t epochs = 120;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--app") {
+            app = next();
+        } else if (arg == "--scheme") {
+            scheme_name = next();
+        } else if (arg == "--toq") {
+            toq = std::atof(next());
+        } else if (arg == "--sweep") {
+            sweep = true;
+        } else if (arg == "--epochs") {
+            epochs = static_cast<size_t>(std::atol(next()));
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (toq <= 0.0 || toq >= 100.0) {
+        std::fprintf(stderr, "--toq must be in (0, 100)\n");
+        return 2;
+    }
+
+    const core::Scheme scheme = ParseScheme(scheme_name);
+    if (app == "all") {
+        for (const auto& name : apps::BenchmarkNames())
+            RunOne(name, scheme, toq, sweep, epochs);
+    } else {
+        RunOne(app, scheme, toq, sweep, epochs);
+    }
+    return 0;
+}

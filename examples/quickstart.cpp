@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Quickstart: the smallest complete Rumba program.
+ *
+ * It builds the online quality-management runtime around one of the
+ * bundled benchmarks (sobel), streams a batch of elements through the
+ * approximate accelerator with continuous error checking, and prints
+ * what Rumba did: how many checks fired, what was re-executed, and
+ * the resulting output quality and modeled energy/speedup.
+ *
+ *   $ ./quickstart
+ */
+
+#include <cstdio>
+
+#include "core/runtime.h"
+
+using namespace rumba;
+
+int
+main()
+{
+    // 1. Configure the system: which checker to attach to the
+    //    accelerator and what goal the online tuner should chase.
+    core::RuntimeConfig config;
+    config.checker = core::Scheme::kTree;        // treeErrors checker.
+    config.tuner.mode = core::TuningMode::kToq;  // target a quality.
+    config.tuner.target_error_pct = 10.0;        // 90% output quality.
+
+    // 2. Build the runtime. This runs the offline half of the paper's
+    //    Figure 4: trains the accelerator's neural network on the
+    //    benchmark's training data, trains the error predictor on the
+    //    accelerator's observed errors, and configures the NPU.
+    std::printf("training accelerator network and error predictor...\n");
+    core::RumbaRuntime runtime(apps::MakeBenchmark("sobel"), config);
+
+    // 3. Stream work through it. One ProcessInvocation() is one
+    //    accelerator invocation over a batch of data-parallel
+    //    elements (here: 3x3 pixel windows).
+    const auto inputs = runtime.Bench().TestInputs();
+    std::vector<std::vector<double>> batch(inputs.begin(),
+                                           inputs.begin() + 2000);
+    std::vector<std::vector<double>> outputs;
+    const core::InvocationReport report =
+        runtime.ProcessInvocation(batch, &outputs);
+
+    // 4. Inspect what the quality manager did.
+    std::printf("\nprocessed %zu elements\n", report.elements);
+    std::printf("checks fired / re-executed on CPU: %zu (%.1f%%)\n",
+                report.fixes,
+                100.0 * static_cast<double>(report.fixes) /
+                    static_cast<double>(report.elements));
+    std::printf("residual output error: %.2f%% (target %.0f%%)\n",
+                report.output_error_pct,
+                config.tuner.target_error_pct);
+    std::printf("modeled whole-app speedup:      %.2fx\n",
+                report.costs.Speedup());
+    std::printf("modeled whole-app energy saving: %.2fx\n",
+                report.costs.EnergySaving());
+    std::printf("next invocation's tuning threshold: %.4f\n",
+                runtime.Threshold());
+    return 0;
+}

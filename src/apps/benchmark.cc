@@ -1,0 +1,129 @@
+#include "apps/benchmark.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/blackscholes.h"
+#include "apps/fft.h"
+#include "apps/inversek2j.h"
+#include "apps/jmeint.h"
+#include "apps/jpeg.h"
+#include "apps/kmeans.h"
+#include "apps/sobel.h"
+#include "common/logging.h"
+
+namespace rumba::apps {
+
+double
+Benchmark::ElementError(const std::vector<double>& exact,
+                        const std::vector<double>& approx) const
+{
+    RUMBA_CHECK(exact.size() == approx.size());
+    RUMBA_CHECK(!exact.empty());
+    double total = 0.0;
+    const double floor = RelativeFloor();
+    for (size_t o = 0; o < exact.size(); ++o) {
+        const double diff = std::fabs(approx[o] - exact[o]);
+        const double denom = std::max(std::fabs(exact[o]), floor);
+        total += diff / denom;
+    }
+    return total / static_cast<double>(exact.size());
+}
+
+double
+Benchmark::AggregateError(const std::vector<double>& element_errors) const
+{
+    RUMBA_CHECK(!element_errors.empty());
+    double total = 0.0;
+    for (double e : element_errors)
+        total += e;
+    return 100.0 * total / static_cast<double>(element_errors.size());
+}
+
+Dataset
+Benchmark::MakeDataset(
+    const std::vector<std::vector<double>>& inputs) const
+{
+    Dataset data(NumInputs(), NumOutputs());
+    std::vector<double> out(NumOutputs());
+    for (const auto& in : inputs) {
+        RUMBA_CHECK(in.size() == NumInputs());
+        RunExact(in.data(), out.data());
+        data.Add(in, out);
+    }
+    return data;
+}
+
+sim::OpCounts
+Benchmark::ProfileKernel(size_t sample) const
+{
+    const auto inputs = TestInputs();
+    const size_t n = std::min(sample, inputs.size());
+    RUMBA_CHECK(n > 0);
+
+    sim::CountingScalar::ResetCounts();
+    std::vector<sim::CountingScalar> in(NumInputs());
+    std::vector<sim::CountingScalar> out(NumOutputs());
+    for (size_t s = 0; s < n; ++s) {
+        for (size_t i = 0; i < NumInputs(); ++i)
+            in[i] = sim::CountingScalar(inputs[s][i]);
+        RunCounted(in.data(), out.data());
+        // Array traffic the scalar type cannot observe: the kernel
+        // loads its inputs and stores its outputs once each.
+        sim::CountingScalar::RecordMemory(NumInputs(), NumOutputs());
+    }
+    return sim::CountingScalar::Counts().Scaled(
+        1.0 / static_cast<double>(n));
+}
+
+std::vector<std::vector<double>>
+Benchmark::RunExactBatch(
+    const std::vector<std::vector<double>>& inputs) const
+{
+    std::vector<std::vector<double>> outputs;
+    outputs.reserve(inputs.size());
+    std::vector<double> out(NumOutputs());
+    for (const auto& in : inputs) {
+        RunExact(in.data(), out.data());
+        outputs.push_back(out);
+    }
+    return outputs;
+}
+
+std::vector<std::unique_ptr<Benchmark>>
+AllBenchmarks()
+{
+    std::vector<std::unique_ptr<Benchmark>> all;
+    for (const auto& name : BenchmarkNames())
+        all.push_back(MakeBenchmark(name));
+    return all;
+}
+
+std::vector<std::string>
+BenchmarkNames()
+{
+    return {"blackscholes", "fft", "inversek2j", "jmeint",
+            "jpeg",         "kmeans", "sobel"};
+}
+
+std::unique_ptr<Benchmark>
+MakeBenchmark(const std::string& name)
+{
+    if (name == "blackscholes")
+        return std::make_unique<BlackScholes>();
+    if (name == "fft")
+        return std::make_unique<Fft>();
+    if (name == "inversek2j")
+        return std::make_unique<InverseK2j>();
+    if (name == "jmeint")
+        return std::make_unique<Jmeint>();
+    if (name == "jpeg")
+        return std::make_unique<Jpeg>();
+    if (name == "kmeans")
+        return std::make_unique<Kmeans>();
+    if (name == "sobel")
+        return std::make_unique<Sobel>();
+    Fatal("unknown benchmark '%s'", name.c_str());
+}
+
+}  // namespace rumba::apps

@@ -1,0 +1,161 @@
+#ifndef RUMBA_APPS_BENCHMARK_H_
+#define RUMBA_APPS_BENCHMARK_H_
+
+/**
+ * @file
+ * The benchmark abstraction shared by the seven Table 1 applications.
+ *
+ * Each benchmark exposes the *pure* data-parallel kernel the paper
+ * maps to the approximate accelerator: one "element" is one kernel
+ * invocation (one option, one pixel window, one triangle pair, one
+ * 8x8 block, ...). The kernel is templated on its scalar type so the
+ * identical source runs (a) exactly on doubles, (b) instrumented on
+ * sim::CountingScalar to extract the instruction mix the CPU
+ * timing/energy models consume.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "nn/topology.h"
+#include "sim/opcount.h"
+
+namespace rumba::apps {
+
+/**
+ * Math shims from sim/opcount.h, re-exported so kernels templated on
+ * their scalar type resolve the same names for double (plain libm)
+ * and sim::CountingScalar (counted bundles).
+ * @{
+ */
+using sim::Acos;
+using sim::Atan2;
+using sim::Cos;
+using sim::Erf;
+using sim::Exp;
+using sim::Fabs;
+using sim::Floor;
+using sim::Log;
+using sim::Pow;
+using sim::Sin;
+using sim::Sqrt;
+/** @} */
+
+/** Table 1 metadata for one application. */
+struct BenchmarkInfo {
+    std::string name;         ///< e.g. "blackscholes".
+    std::string domain;       ///< e.g. "Financial Analysis".
+    std::string metric;       ///< e.g. "Mean Relative Error".
+    std::string train_desc;   ///< Table 1 train-data description.
+    std::string test_desc;    ///< Table 1 test-data description.
+    nn::Topology rumba_topology;  ///< hidden shape Rumba selects.
+    nn::Topology npu_topology;    ///< hidden shape the unchecked NPU uses.
+};
+
+/** One approximable application. */
+class Benchmark {
+  public:
+    virtual ~Benchmark() = default;
+
+    /** Static description (Table 1 row). */
+    virtual const BenchmarkInfo& Info() const = 0;
+
+    /** Kernel input arity. */
+    virtual size_t NumInputs() const = 0;
+
+    /** Kernel output arity. */
+    virtual size_t NumOutputs() const = 0;
+
+    /** Exact kernel on doubles. */
+    virtual void RunExact(const double* in, double* out) const = 0;
+
+    /** The same kernel instrumented for instruction-mix profiling. */
+    virtual void RunCounted(const sim::CountingScalar* in,
+                            sim::CountingScalar* out) const = 0;
+
+    /** Deterministic training inputs (Table 1 "Train Data"). */
+    virtual std::vector<std::vector<double>> TrainInputs() const = 0;
+
+    /** Deterministic test inputs (Table 1 "Test Data"). */
+    virtual std::vector<std::vector<double>> TestInputs() const = 0;
+
+    /**
+     * Scalar error of one element given exact and approximate
+     * outputs, in [0, 1]-ish units (1 = completely wrong). Default:
+     * mean relative error across outputs, with the denominator
+     * floored at RelativeFloor() so near-zero exact outputs do not
+     * blow the metric up.
+     */
+    virtual double ElementError(const std::vector<double>& exact,
+                                const std::vector<double>& approx) const;
+
+    /**
+     * Relative-error denominator floor for the default ElementError —
+     * roughly 10% of the typical output magnitude of the application.
+     */
+    virtual double RelativeFloor() const { return 1e-2; }
+
+    /**
+     * Whole-run output error in percent given all element errors.
+     * Default: 100 * mean(element errors). jmeint overrides the
+     * element error to a 0/1 mismatch, making this a miss rate.
+     */
+    virtual double AggregateError(
+        const std::vector<double>& element_errors) const;
+
+    /**
+     * Fraction of whole-application baseline time spent in this
+     * kernel (the Amdahl term for whole-app energy/speedup).
+     */
+    virtual double RegionFraction() const = 0;
+
+    /** Build a supervised dataset: inputs -> exact kernel outputs. */
+    rumba::Dataset MakeDataset(
+        const std::vector<std::vector<double>>& inputs) const;
+
+    /**
+     * Average per-element instruction mix, profiled by running the
+     * counted kernel over (up to) @p sample test elements.
+     */
+    sim::OpCounts ProfileKernel(size_t sample = 256) const;
+
+    /** Exact outputs for a batch of inputs. */
+    std::vector<std::vector<double>> RunExactBatch(
+        const std::vector<std::vector<double>>& inputs) const;
+};
+
+/**
+ * CRTP helper wiring a `template <typename T> static void
+ * Kernel(const T* in, T* out)` into RunExact/RunCounted.
+ */
+template <typename Derived>
+class KernelBenchmark : public Benchmark {
+  public:
+    void
+    RunExact(const double* in, double* out) const override
+    {
+        Derived::Kernel(in, out);
+    }
+
+    void
+    RunCounted(const sim::CountingScalar* in,
+               sim::CountingScalar* out) const override
+    {
+        Derived::Kernel(in, out);
+    }
+};
+
+/** All seven Table 1 benchmarks, in the paper's order. */
+std::vector<std::unique_ptr<Benchmark>> AllBenchmarks();
+
+/** One benchmark by name; fatal when unknown. */
+std::unique_ptr<Benchmark> MakeBenchmark(const std::string& name);
+
+/** The seven benchmark names in Table 1 order. */
+std::vector<std::string> BenchmarkNames();
+
+}  // namespace rumba::apps
+
+#endif  // RUMBA_APPS_BENCHMARK_H_

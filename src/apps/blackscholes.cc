@@ -1,0 +1,52 @@
+#include "apps/blackscholes.h"
+
+#include "common/random.h"
+
+namespace rumba::apps {
+
+const BenchmarkInfo&
+BlackScholes::Info() const
+{
+    static const BenchmarkInfo info = {
+        "blackscholes",
+        "Financial Analysis",
+        "Mean Relative Error",
+        "5K inputs",
+        "5K inputs",
+        nn::Topology::Parse("6->8->8->1"),
+        nn::Topology::Parse("6->8->8->1"),
+    };
+    return info;
+}
+
+std::vector<std::vector<double>>
+BlackScholes::Generate(uint64_t seed, size_t count)
+{
+    Rng rng(seed);
+    std::vector<std::vector<double>> inputs;
+    inputs.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        const double spot = rng.Uniform(20.0, 120.0);
+        const double strike = rng.Uniform(20.0, 120.0);
+        const double rate = rng.Uniform(0.01, 0.1);
+        const double vol = rng.Uniform(0.05, 0.65);
+        const double time = rng.Uniform(0.1, 2.0);
+        const double type = rng.Chance(0.5) ? 1.0 : 0.0;
+        inputs.push_back({spot, strike, rate, vol, time, type});
+    }
+    return inputs;
+}
+
+std::vector<std::vector<double>>
+BlackScholes::TrainInputs() const
+{
+    return Generate(0xB5C401E5u, 5000);
+}
+
+std::vector<std::vector<double>>
+BlackScholes::TestInputs() const
+{
+    return Generate(0xB5C401E5u ^ 0xFFFF, 5000);
+}
+
+}  // namespace rumba::apps

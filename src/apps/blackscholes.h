@@ -1,0 +1,98 @@
+#ifndef RUMBA_APPS_BLACKSCHOLES_H_
+#define RUMBA_APPS_BLACKSCHOLES_H_
+
+/**
+ * @file
+ * blackscholes — Financial Analysis (Table 1). One element prices one
+ * European option with the Black-Scholes closed form; the kernel is
+ * the classic PARSEC formulation with the Abramowitz-Stegun
+ * polynomial for the cumulative normal distribution.
+ *
+ * Element inputs: [spot, strike, rate, volatility, time, type]
+ * (type: 0 = call, 1 = put). Element output: option price.
+ */
+
+#include "apps/benchmark.h"
+
+namespace rumba::apps {
+
+/** The blackscholes benchmark. */
+class BlackScholes : public KernelBenchmark<BlackScholes> {
+  public:
+    static constexpr size_t kInputs = 6;
+    static constexpr size_t kOutputs = 1;
+
+    const BenchmarkInfo& Info() const override;
+
+    size_t NumInputs() const override { return kInputs; }
+    size_t NumOutputs() const override { return kOutputs; }
+
+    std::vector<std::vector<double>> TrainInputs() const override;
+    std::vector<std::vector<double>> TestInputs() const override;
+
+    double RegionFraction() const override { return 0.95; }
+
+    /** Option prices span roughly [0, 100]; deep out-of-the-money
+     *  prices near zero would otherwise dominate the metric. */
+    double RelativeFloor() const override { return 5.0; }
+
+    /** The pure per-option kernel. */
+    template <typename T>
+    static void
+    Kernel(const T* in, T* out)
+    {
+        const T spot = in[0];
+        const T strike = in[1];
+        const T rate = in[2];
+        const T vol = in[3];
+        const T time = in[4];
+        const T type = in[5];
+
+        const T sqrt_time = Sqrt(time);
+        const T log_term = Log(spot / strike);
+        const T half = T(0.5);
+        const T d1 = (log_term + (rate + half * vol * vol) * time) /
+                     (vol * sqrt_time);
+        const T d2 = d1 - vol * sqrt_time;
+        const T discount = Exp(T(0.0) - rate * time);
+
+        const T nd1 = Cndf(d1);
+        const T nd2 = Cndf(d2);
+        const T call = spot * nd1 - strike * discount * nd2;
+
+        if (type > T(0.5)) {
+            // Put via put-call parity.
+            out[0] = call + strike * discount - spot;
+        } else {
+            out[0] = call;
+        }
+    }
+
+  private:
+    /** Cumulative normal distribution (Abramowitz-Stegun 26.2.17). */
+    template <typename T>
+    static T
+    Cndf(T x)
+    {
+        const bool negative = x < T(0.0);
+        const T ax = negative ? T(0.0) - x : x;
+        const T k = T(1.0) / (T(1.0) + T(0.2316419) * ax);
+        const T poly =
+            k *
+            (T(0.319381530) +
+             k * (T(-0.356563782) +
+                  k * (T(1.781477937) +
+                       k * (T(-1.821255978) + k * T(1.330274429)))));
+        const T pdf =
+            T(0.3989422804014327) * Exp(T(-0.5) * ax * ax);
+        const T cnd = T(1.0) - pdf * poly;
+        return negative ? T(1.0) - cnd : cnd;
+    }
+
+    static std::vector<std::vector<double>> Generate(uint64_t seed,
+                                                     size_t count);
+};
+
+}  // namespace rumba::apps
+
+#endif  // RUMBA_APPS_BLACKSCHOLES_H_

@@ -1,0 +1,45 @@
+#include "apps/fft.h"
+
+#include "common/random.h"
+
+namespace rumba::apps {
+
+const BenchmarkInfo&
+Fft::Info() const
+{
+    static const BenchmarkInfo info = {
+        "fft",
+        "Signal Processing",
+        "Mean Relative Error",
+        "5K random fp numbers",
+        "5K random fp numbers",
+        nn::Topology::Parse("1->2->2->2"),
+        nn::Topology::Parse("1->4->4->2"),
+    };
+    return info;
+}
+
+std::vector<std::vector<double>>
+Fft::Generate(uint64_t seed, size_t count)
+{
+    Rng rng(seed);
+    std::vector<std::vector<double>> inputs;
+    inputs.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        inputs.push_back({rng.Uniform()});
+    return inputs;
+}
+
+std::vector<std::vector<double>>
+Fft::TrainInputs() const
+{
+    return Generate(0xF47A11u, 5000);
+}
+
+std::vector<std::vector<double>>
+Fft::TestInputs() const
+{
+    return Generate(0xF47A11u ^ 0xFFFF, 5000);
+}
+
+}  // namespace rumba::apps

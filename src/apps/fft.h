@@ -1,0 +1,57 @@
+#ifndef RUMBA_APPS_FFT_H_
+#define RUMBA_APPS_FFT_H_
+
+/**
+ * @file
+ * fft — Signal Processing (Table 1). As in the NPU paper, the
+ * approximated kernel is the twiddle-factor computation of a radix-2
+ * FFT: one element maps a normalized angle fraction x in [0, 1) to
+ * the complex twiddle (cos(-2*pi*x), sin(-2*pi*x)).
+ *
+ * Element inputs: [x]. Element outputs: [re, im]. examples/ contains
+ * a full radix-2 FFT wired through the approximate twiddle path.
+ */
+
+#include "apps/benchmark.h"
+
+namespace rumba::apps {
+
+/** The fft (twiddle-factor) benchmark. */
+class Fft : public KernelBenchmark<Fft> {
+  public:
+    static constexpr size_t kInputs = 1;
+    static constexpr size_t kOutputs = 2;
+
+    const BenchmarkInfo& Info() const override;
+
+    size_t NumInputs() const override { return kInputs; }
+    size_t NumOutputs() const override { return kOutputs; }
+
+    std::vector<std::vector<double>> TrainInputs() const override;
+    std::vector<std::vector<double>> TestInputs() const override;
+
+    double RegionFraction() const override { return 0.85; }
+
+    /** Twiddle components live in [-1, 1]; floor at 0.5 of the unit
+     *  amplitude so zero crossings do not dominate the metric. */
+    double RelativeFloor() const override { return 0.5; }
+
+    /** Twiddle-factor kernel: x -> e^{-2 pi i x}. */
+    template <typename T>
+    static void
+    Kernel(const T* in, T* out)
+    {
+        const T two_pi = T(6.283185307179586);
+        const T angle = T(0.0) - two_pi * in[0];
+        out[0] = Cos(angle);
+        out[1] = Sin(angle);
+    }
+
+  private:
+    static std::vector<std::vector<double>> Generate(uint64_t seed,
+                                                     size_t count);
+};
+
+}  // namespace rumba::apps
+
+#endif  // RUMBA_APPS_FFT_H_

@@ -1,0 +1,62 @@
+#include "apps/inversek2j.h"
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace rumba::apps {
+
+const BenchmarkInfo&
+InverseK2j::Info() const
+{
+    static const BenchmarkInfo info = {
+        "inversek2j",
+        "Robotics",
+        "Mean Relative Error",
+        "10K random (x, y) points",
+        "10K random (x, y) points",
+        nn::Topology::Parse("2->2->2"),
+        nn::Topology::Parse("2->8->2"),
+    };
+    return info;
+}
+
+void
+InverseK2j::ForwardKinematics(double theta1, double theta2, double* x,
+                              double* y)
+{
+    *x = kL1 * std::cos(theta1) + kL2 * std::cos(theta1 + theta2);
+    *y = kL1 * std::sin(theta1) + kL2 * std::sin(theta1 + theta2);
+}
+
+std::vector<std::vector<double>>
+InverseK2j::Generate(uint64_t seed, size_t count)
+{
+    Rng rng(seed);
+    std::vector<std::vector<double>> inputs;
+    inputs.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        // Sample reachable targets away from the kinematic
+        // singularities at theta2 = 0 and theta2 = pi.
+        const double theta1 = rng.Uniform(0.1, M_PI / 2.0 - 0.1);
+        const double theta2 = rng.Uniform(0.1, M_PI - 0.2);
+        double x = 0.0, y = 0.0;
+        ForwardKinematics(theta1, theta2, &x, &y);
+        inputs.push_back({x, y});
+    }
+    return inputs;
+}
+
+std::vector<std::vector<double>>
+InverseK2j::TrainInputs() const
+{
+    return Generate(0x1427E5EC2u, 10000);
+}
+
+std::vector<std::vector<double>>
+InverseK2j::TestInputs() const
+{
+    return Generate(0x1427E5EC2u ^ 0xFFFF, 10000);
+}
+
+}  // namespace rumba::apps

@@ -1,0 +1,84 @@
+#include "apps/jmeint.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace rumba::apps {
+
+const BenchmarkInfo&
+Jmeint::Info() const
+{
+    static const BenchmarkInfo info = {
+        "jmeint",
+        "3D Gaming",
+        "# of mismatches",
+        "10K pairs of 3D triangles",
+        "10K pairs of 3D triangles",
+        nn::Topology::Parse("18->32->2->2"),
+        nn::Topology::Parse("18->32->8->2"),
+    };
+    return info;
+}
+
+double
+Jmeint::ElementError(const std::vector<double>& exact,
+                     const std::vector<double>& approx) const
+{
+    RUMBA_CHECK(exact.size() == 2 && approx.size() == 2);
+    const bool exact_hit = exact[0] > exact[1];
+    const bool approx_hit = approx[0] > approx[1];
+    return exact_hit == approx_hit ? 0.0 : 1.0;
+}
+
+std::vector<std::vector<double>>
+Jmeint::Generate(uint64_t seed, size_t count)
+{
+    Rng rng(seed);
+    std::vector<std::vector<double>> inputs;
+    inputs.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        std::vector<double> pair(kInputs, 0.0);
+        // Triangle V around a random center.
+        double cx = rng.Uniform(0.2, 0.8);
+        double cy = rng.Uniform(0.2, 0.8);
+        double cz = rng.Uniform(0.2, 0.8);
+        for (int v = 0; v < 3; ++v) {
+            pair[static_cast<size_t>(v * 3 + 0)] =
+                cx + rng.Uniform(-0.25, 0.25);
+            pair[static_cast<size_t>(v * 3 + 1)] =
+                cy + rng.Uniform(-0.25, 0.25);
+            pair[static_cast<size_t>(v * 3 + 2)] =
+                cz + rng.Uniform(-0.25, 0.25);
+        }
+        // Triangle U near V's center (graded distance keeps the
+        // intersecting / disjoint classes both well represented).
+        const double spread = rng.Uniform(0.0, 0.4);
+        cx += rng.Uniform(-spread, spread);
+        cy += rng.Uniform(-spread, spread);
+        cz += rng.Uniform(-spread, spread);
+        for (int v = 3; v < 6; ++v) {
+            pair[static_cast<size_t>(v * 3 + 0)] =
+                cx + rng.Uniform(-0.25, 0.25);
+            pair[static_cast<size_t>(v * 3 + 1)] =
+                cy + rng.Uniform(-0.25, 0.25);
+            pair[static_cast<size_t>(v * 3 + 2)] =
+                cz + rng.Uniform(-0.25, 0.25);
+        }
+        inputs.push_back(std::move(pair));
+    }
+    return inputs;
+}
+
+std::vector<std::vector<double>>
+Jmeint::TrainInputs() const
+{
+    return Generate(0x13E147u, 10000);
+}
+
+std::vector<std::vector<double>>
+Jmeint::TestInputs() const
+{
+    return Generate(0x13E147u ^ 0xFFFF, 10000);
+}
+
+}  // namespace rumba::apps

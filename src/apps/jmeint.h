@@ -1,0 +1,327 @@
+#ifndef RUMBA_APPS_JMEINT_H_
+#define RUMBA_APPS_JMEINT_H_
+
+/**
+ * @file
+ * jmeint — 3D Gaming (Table 1). One element decides whether two 3-D
+ * triangles intersect, using Moller's interval-overlap test (the jME
+ * engine's routine the NPU paper approximates), including the
+ * coplanar edge/containment path.
+ *
+ * Element inputs: 18 coordinates (triangle 1: V0 V1 V2, triangle 2:
+ * U0 U1 U2, each x,y,z). Element outputs: one-hot [intersects,
+ * disjoint]. The quality metric is the mismatch rate.
+ */
+
+#include "apps/benchmark.h"
+
+namespace rumba::apps {
+
+/** The jmeint benchmark. */
+class Jmeint : public KernelBenchmark<Jmeint> {
+  public:
+    static constexpr size_t kInputs = 18;
+    static constexpr size_t kOutputs = 2;
+
+    const BenchmarkInfo& Info() const override;
+
+    size_t NumInputs() const override { return kInputs; }
+    size_t NumOutputs() const override { return kOutputs; }
+
+    std::vector<std::vector<double>> TrainInputs() const override;
+    std::vector<std::vector<double>> TestInputs() const override;
+
+    /** 0/1 classification mismatch (argmax of the one-hot pair). */
+    double ElementError(const std::vector<double>& exact,
+                        const std::vector<double>& approx) const override;
+
+    double RegionFraction() const override { return 0.95; }
+
+    /** Moller tri-tri intersection, one-hot result. */
+    template <typename T>
+    static void
+    Kernel(const T* in, T* out)
+    {
+        const bool hit = TriTriIntersect(in);
+        out[0] = hit ? T(1.0) : T(0.0);
+        out[1] = hit ? T(0.0) : T(1.0);
+    }
+
+    /** Boolean form of the kernel (tests and the geometry example). */
+    template <typename T>
+    static bool TriTriIntersect(const T* in);
+
+  private:
+    static std::vector<std::vector<double>> Generate(uint64_t seed,
+                                                     size_t count);
+};
+
+namespace detail {
+
+/** Cross product c = a x b. */
+template <typename T>
+void
+Cross(const T* a, const T* b, T* c)
+{
+    c[0] = a[1] * b[2] - a[2] * b[1];
+    c[1] = a[2] * b[0] - a[0] * b[2];
+    c[2] = a[0] * b[1] - a[1] * b[0];
+}
+
+/** Dot product. */
+template <typename T>
+T
+Dot(const T* a, const T* b)
+{
+    return a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+}
+
+/** c = a - b. */
+template <typename T>
+void
+Sub(const T* a, const T* b, T* c)
+{
+    c[0] = a[0] - b[0];
+    c[1] = a[1] - b[1];
+    c[2] = a[2] - b[2];
+}
+
+/**
+ * Interval endpoints for one triangle along the intersection line
+ * (Moller's compute_intervals). Returns false when the triangle is
+ * coplanar with the other's plane.
+ */
+template <typename T>
+bool
+ComputeIntervals(T vp0, T vp1, T vp2, T d0, T d1, T d2, T d0d1, T d0d2,
+                 T* isect0, T* isect1)
+{
+    auto isect = [](T vv0, T vv1, T vv2, T dd0, T dd1, T dd2, T* a, T* b) {
+        *a = vv0 + (vv1 - vv0) * dd0 / (dd0 - dd1);
+        *b = vv0 + (vv2 - vv0) * dd0 / (dd0 - dd2);
+    };
+    if (d0d1 > T(0.0)) {
+        // d0, d1 on the same side; d2 on the other.
+        isect(vp2, vp0, vp1, d2, d0, d1, isect0, isect1);
+    } else if (d0d2 > T(0.0)) {
+        isect(vp1, vp0, vp2, d1, d0, d2, isect0, isect1);
+    } else if (d1 * d2 > T(0.0) || d0 != T(0.0)) {
+        isect(vp0, vp1, vp2, d0, d1, d2, isect0, isect1);
+    } else if (d1 != T(0.0)) {
+        isect(vp1, vp0, vp2, d1, d0, d2, isect0, isect1);
+    } else if (d2 != T(0.0)) {
+        isect(vp2, vp0, vp1, d2, d0, d1, isect0, isect1);
+    } else {
+        return false;  // coplanar
+    }
+    return true;
+}
+
+/** 2-D edge-against-edge test used by the coplanar path. */
+template <typename T>
+bool
+EdgeEdgeTest(const T* v0, const T* u0, const T* u1, T ax, T ay, int i0,
+             int i1)
+{
+    const T bx = u0[i0] - u1[i0];
+    const T by = u0[i1] - u1[i1];
+    const T cx = v0[i0] - u0[i0];
+    const T cy = v0[i1] - u0[i1];
+    const T f = ay * bx - ax * by;
+    const T d = by * cx - bx * cy;
+    if ((f > T(0.0) && d >= T(0.0) && d <= f) ||
+        (f < T(0.0) && d <= T(0.0) && d >= f)) {
+        const T e = ax * cy - ay * cx;
+        if (f > T(0.0)) {
+            if (e >= T(0.0) && e <= f)
+                return true;
+        } else {
+            if (e <= T(0.0) && e >= f)
+                return true;
+        }
+    }
+    return false;
+}
+
+/** One triangle edge against all edges of the other (coplanar path). */
+template <typename T>
+bool
+EdgeAgainstTriEdges(const T* v0, const T* v1, const T* u0, const T* u1,
+                    const T* u2, int i0, int i1)
+{
+    const T ax = v1[i0] - v0[i0];
+    const T ay = v1[i1] - v0[i1];
+    return EdgeEdgeTest(v0, u0, u1, ax, ay, i0, i1) ||
+           EdgeEdgeTest(v0, u1, u2, ax, ay, i0, i1) ||
+           EdgeEdgeTest(v0, u2, u0, ax, ay, i0, i1);
+}
+
+/** Point-in-triangle for the coplanar path. */
+template <typename T>
+bool
+PointInTri(const T* v0, const T* u0, const T* u1, const T* u2, int i0,
+           int i1)
+{
+    T a = u1[i1] - u0[i1];
+    T b = T(0.0) - (u1[i0] - u0[i0]);
+    T c = T(0.0) - a * u0[i0] - b * u0[i1];
+    const T d0 = a * v0[i0] + b * v0[i1] + c;
+
+    a = u2[i1] - u1[i1];
+    b = T(0.0) - (u2[i0] - u1[i0]);
+    c = T(0.0) - a * u1[i0] - b * u1[i1];
+    const T d1 = a * v0[i0] + b * v0[i1] + c;
+
+    a = u0[i1] - u2[i1];
+    b = T(0.0) - (u0[i0] - u2[i0]);
+    c = T(0.0) - a * u2[i0] - b * u2[i1];
+    const T d2 = a * v0[i0] + b * v0[i1] + c;
+
+    return d0 * d1 > T(0.0) && d0 * d2 > T(0.0);
+}
+
+/** Full coplanar triangle-triangle test. */
+template <typename T>
+bool
+CoplanarTriTri(const T* n, const T* v0, const T* v1, const T* v2,
+               const T* u0, const T* u1, const T* u2)
+{
+    // Project onto the plane's dominant axis pair.
+    const T a0 = Fabs(n[0]);
+    const T a1 = Fabs(n[1]);
+    const T a2 = Fabs(n[2]);
+    int i0 = 0, i1 = 1;
+    if (a0 > a1) {
+        if (a0 > a2) {
+            i0 = 1;
+            i1 = 2;
+        }
+    } else {
+        if (a2 > a1) {
+            i0 = 0;
+            i1 = 1;
+        } else {
+            i0 = 0;
+            i1 = 2;
+        }
+    }
+    return EdgeAgainstTriEdges(v0, v1, u0, u1, u2, i0, i1) ||
+           EdgeAgainstTriEdges(v1, v2, u0, u1, u2, i0, i1) ||
+           EdgeAgainstTriEdges(v2, v0, u0, u1, u2, i0, i1) ||
+           PointInTri(v0, u0, u1, u2, i0, i1) ||
+           PointInTri(u0, v0, v1, v2, i0, i1);
+}
+
+}  // namespace detail
+
+template <typename T>
+bool
+Jmeint::TriTriIntersect(const T* in)
+{
+    using detail::ComputeIntervals;
+    using detail::CoplanarTriTri;
+    using detail::Cross;
+    using detail::Dot;
+    using detail::Sub;
+
+    const T* v0 = in + 0;
+    const T* v1 = in + 3;
+    const T* v2 = in + 6;
+    const T* u0 = in + 9;
+    const T* u1 = in + 12;
+    const T* u2 = in + 15;
+
+    // Plane of triangle V.
+    T e1[3], e2[3], n1[3];
+    Sub(v1, v0, e1);
+    Sub(v2, v0, e2);
+    Cross(e1, e2, n1);
+    const T d1 = T(0.0) - Dot(n1, v0);
+
+    T du0 = Dot(n1, u0) + d1;
+    T du1 = Dot(n1, u1) + d1;
+    T du2 = Dot(n1, u2) + d1;
+
+    const T epsilon = T(1e-9);
+    if (Fabs(du0) < epsilon)
+        du0 = T(0.0);
+    if (Fabs(du1) < epsilon)
+        du1 = T(0.0);
+    if (Fabs(du2) < epsilon)
+        du2 = T(0.0);
+
+    const T du0du1 = du0 * du1;
+    const T du0du2 = du0 * du2;
+    if (du0du1 > T(0.0) && du0du2 > T(0.0))
+        return false;  // U entirely on one side of V's plane.
+
+    // Plane of triangle U.
+    T n2[3];
+    Sub(u1, u0, e1);
+    Sub(u2, u0, e2);
+    Cross(e1, e2, n2);
+    const T d2 = T(0.0) - Dot(n2, u0);
+
+    T dv0 = Dot(n2, v0) + d2;
+    T dv1 = Dot(n2, v1) + d2;
+    T dv2 = Dot(n2, v2) + d2;
+    if (Fabs(dv0) < epsilon)
+        dv0 = T(0.0);
+    if (Fabs(dv1) < epsilon)
+        dv1 = T(0.0);
+    if (Fabs(dv2) < epsilon)
+        dv2 = T(0.0);
+
+    const T dv0dv1 = dv0 * dv1;
+    const T dv0dv2 = dv0 * dv2;
+    if (dv0dv1 > T(0.0) && dv0dv2 > T(0.0))
+        return false;
+
+    // Direction of the intersection line.
+    T dir[3];
+    Cross(n1, n2, dir);
+
+    // Project onto the largest component of the line direction.
+    const T abs_x = Fabs(dir[0]);
+    const T abs_y = Fabs(dir[1]);
+    const T abs_z = Fabs(dir[2]);
+    int index = 0;
+    if (abs_y > abs_x)
+        index = 1;
+    if (abs_z > (index == 1 ? abs_y : abs_x))
+        index = 2;
+
+    const T vp0 = v0[index];
+    const T vp1 = v1[index];
+    const T vp2 = v2[index];
+    const T up0 = u0[index];
+    const T up1 = u1[index];
+    const T up2 = u2[index];
+
+    T isect1[2], isect2[2];
+    if (!ComputeIntervals(vp0, vp1, vp2, dv0, dv1, dv2, dv0dv1, dv0dv2,
+                          &isect1[0], &isect1[1])) {
+        return CoplanarTriTri(n1, v0, v1, v2, u0, u1, u2);
+    }
+    if (!ComputeIntervals(up0, up1, up2, du0, du1, du2, du0du1, du0du2,
+                          &isect2[0], &isect2[1])) {
+        return CoplanarTriTri(n1, v0, v1, v2, u0, u1, u2);
+    }
+
+    // Sort both intervals and test for overlap.
+    if (isect1[0] > isect1[1]) {
+        const T tmp = isect1[0];
+        isect1[0] = isect1[1];
+        isect1[1] = tmp;
+    }
+    if (isect2[0] > isect2[1]) {
+        const T tmp = isect2[0];
+        isect2[0] = isect2[1];
+        isect2[1] = tmp;
+    }
+    return !(isect1[1] < isect2[0] || isect2[1] < isect1[0]);
+}
+
+}  // namespace rumba::apps
+
+#endif  // RUMBA_APPS_JMEINT_H_

@@ -1,0 +1,115 @@
+#include "apps/jpeg.h"
+
+#include <cmath>
+
+#include "common/imagegen.h"
+#include "common/logging.h"
+
+namespace rumba::apps {
+
+namespace {
+
+/** Build the cos((2x+1) u pi / 16) table once. */
+struct CosTableInit {
+    double cos_table[Jpeg::kBlock][Jpeg::kBlock];
+    double scale[Jpeg::kBlock];
+
+    CosTableInit()
+    {
+        for (size_t x = 0; x < Jpeg::kBlock; ++x)
+            for (size_t u = 0; u < Jpeg::kBlock; ++u)
+                cos_table[x][u] = std::cos(
+                    (2.0 * static_cast<double>(x) + 1.0) *
+                    static_cast<double>(u) * M_PI / 16.0);
+        scale[0] = std::sqrt(1.0 / static_cast<double>(Jpeg::kBlock));
+        for (size_t u = 1; u < Jpeg::kBlock; ++u)
+            scale[u] = std::sqrt(2.0 / static_cast<double>(Jpeg::kBlock));
+    }
+};
+
+const CosTableInit g_tables;
+
+}  // namespace
+
+// Standard JPEG Annex K luminance table (quality 50).
+const int Jpeg::kQuantTable[Jpeg::kInputs] = {
+    16, 11, 10, 16, 24,  40,  51,  61,   //
+    12, 12, 14, 19, 26,  58,  60,  55,   //
+    14, 13, 16, 24, 40,  57,  69,  56,   //
+    14, 17, 22, 29, 51,  87,  80,  62,   //
+    18, 22, 37, 56, 68,  109, 103, 77,   //
+    24, 35, 55, 64, 81,  104, 113, 92,   //
+    49, 64, 78, 87, 103, 121, 120, 101,  //
+    72, 92, 95, 98, 112, 100, 103, 99,
+};
+
+const double (&Jpeg::CosTable())[Jpeg::kBlock][Jpeg::kBlock]
+{
+    return g_tables.cos_table;
+}
+
+const double (&Jpeg::ScaleTable())[Jpeg::kBlock]
+{
+    return g_tables.scale;
+}
+
+const BenchmarkInfo&
+Jpeg::Info() const
+{
+    static const BenchmarkInfo info = {
+        "jpeg",
+        "Compression",
+        "Mean Pixel Diff",
+        "220x200 pixel image",
+        "512x512 pixel image",
+        nn::Topology::Parse("64->16->64"),
+        nn::Topology::Parse("64->16->64"),
+    };
+    return info;
+}
+
+double
+Jpeg::ElementError(const std::vector<double>& exact,
+                   const std::vector<double>& approx) const
+{
+    RUMBA_CHECK(exact.size() == approx.size());
+    double total = 0.0;
+    for (size_t i = 0; i < exact.size(); ++i)
+        total += std::fabs(exact[i] - approx[i]);
+    return total / static_cast<double>(exact.size());
+}
+
+std::vector<std::vector<double>>
+Jpeg::BlocksFromImage(const GrayImage& image)
+{
+    const size_t bw = image.Width() / kBlock;
+    const size_t bh = image.Height() / kBlock;
+    RUMBA_CHECK(bw > 0 && bh > 0);
+    std::vector<std::vector<double>> blocks;
+    blocks.reserve(bw * bh);
+    for (size_t by = 0; by < bh; ++by) {
+        for (size_t bx = 0; bx < bw; ++bx) {
+            std::vector<double> block(kInputs);
+            for (size_t y = 0; y < kBlock; ++y)
+                for (size_t x = 0; x < kBlock; ++x)
+                    block[y * kBlock + x] =
+                        image.At(bx * kBlock + x, by * kBlock + y);
+            blocks.push_back(std::move(block));
+        }
+    }
+    return blocks;
+}
+
+std::vector<std::vector<double>>
+Jpeg::TrainInputs() const
+{
+    return BlocksFromImage(GenerateSceneImage(220, 200, 0x09E61u));
+}
+
+std::vector<std::vector<double>>
+Jpeg::TestInputs() const
+{
+    return BlocksFromImage(GenerateSceneImage(512, 512, 0x09E62u));
+}
+
+}  // namespace rumba::apps

@@ -1,0 +1,144 @@
+#ifndef RUMBA_APPS_JPEG_H_
+#define RUMBA_APPS_JPEG_H_
+
+/**
+ * @file
+ * jpeg — Compression (Table 1). One element pushes an 8x8 pixel block
+ * through the lossy core of a JPEG codec: level shift, forward DCT,
+ * quantization with the standard luminance table, dequantization and
+ * inverse DCT. The approximable kernel is block-pure, exactly the
+ * region the NPU paper maps to the accelerator.
+ *
+ * Element inputs: 64 pixels in [0, 1]. Element outputs: the 64
+ * reconstructed pixels. Quality metric: mean pixel difference.
+ */
+
+#include "apps/benchmark.h"
+#include "common/image.h"
+
+namespace rumba::apps {
+
+/** The jpeg benchmark. */
+class Jpeg : public KernelBenchmark<Jpeg> {
+  public:
+    static constexpr size_t kBlock = 8;
+    static constexpr size_t kInputs = kBlock * kBlock;
+    static constexpr size_t kOutputs = kBlock * kBlock;
+
+    const BenchmarkInfo& Info() const override;
+
+    size_t NumInputs() const override { return kInputs; }
+    size_t NumOutputs() const override { return kOutputs; }
+
+    std::vector<std::vector<double>> TrainInputs() const override;
+    std::vector<std::vector<double>> TestInputs() const override;
+
+    /** Mean absolute pixel difference (pixels already span [0, 1]). */
+    double ElementError(const std::vector<double>& exact,
+                        const std::vector<double>& approx) const override;
+
+    double RegionFraction() const override { return 0.6; }
+
+    /** DCT -> quantize -> dequantize -> IDCT on one block. */
+    template <typename T>
+    static void
+    Kernel(const T* in, T* out)
+    {
+        // Level shift into [-128, 127].
+        T shifted[kInputs];
+        for (size_t i = 0; i < kInputs; ++i)
+            shifted[i] = in[i] * T(255.0) - T(128.0);
+
+        // Forward 2-D DCT (separable: rows then columns).
+        T tmp[kInputs];
+        T coeff[kInputs];
+        Dct1d(shifted, tmp, /*rows=*/true);
+        Dct1d(tmp, coeff, /*rows=*/false);
+
+        // Quantize / dequantize with the luminance table.
+        for (size_t i = 0; i < kInputs; ++i) {
+            const T q = T(static_cast<double>(kQuantTable[i]));
+            const T level = Floor(coeff[i] / q + T(0.5));
+            coeff[i] = level * q;
+        }
+
+        // Inverse 2-D DCT.
+        Idct1d(coeff, tmp, /*rows=*/true);
+        Idct1d(tmp, shifted, /*rows=*/false);
+
+        // Undo the level shift; clamp to the pixel range.
+        for (size_t i = 0; i < kInputs; ++i) {
+            T v = (shifted[i] + T(128.0)) / T(255.0);
+            if (v < T(0.0))
+                v = T(0.0);
+            if (v > T(1.0))
+                v = T(1.0);
+            out[i] = v;
+        }
+    }
+
+    /** The standard JPEG luminance quantization table (quality 50). */
+    static const int kQuantTable[kInputs];
+
+    /** Extract row-major 8x8 blocks from an image (train/test data). */
+    static std::vector<std::vector<double>> BlocksFromImage(
+        const rumba::GrayImage& image);
+
+  private:
+    /** cos((2x+1) u pi / 16) lookup, indexed [x][u]. */
+    static const double (&CosTable())[kBlock][kBlock];
+
+    /** DCT-II basis scale: sqrt(1/8) for u=0 else sqrt(2/8). */
+    static const double (&ScaleTable())[kBlock];
+
+    /** One separable DCT pass over rows or columns. */
+    template <typename T>
+    static void
+    Dct1d(const T* in, T* out, bool rows)
+    {
+        const auto& cos_table = CosTable();
+        const auto& scale = ScaleTable();
+        for (size_t a = 0; a < kBlock; ++a) {
+            for (size_t u = 0; u < kBlock; ++u) {
+                T sum = T(0.0);
+                for (size_t x = 0; x < kBlock; ++x) {
+                    const T v = rows ? in[a * kBlock + x]
+                                     : in[x * kBlock + a];
+                    sum += v * T(cos_table[x][u]);
+                }
+                const T scaled = sum * T(scale[u]);
+                if (rows)
+                    out[a * kBlock + u] = scaled;
+                else
+                    out[u * kBlock + a] = scaled;
+            }
+        }
+    }
+
+    /** One separable inverse-DCT pass. */
+    template <typename T>
+    static void
+    Idct1d(const T* in, T* out, bool rows)
+    {
+        const auto& cos_table = CosTable();
+        const auto& scale = ScaleTable();
+        for (size_t a = 0; a < kBlock; ++a) {
+            for (size_t x = 0; x < kBlock; ++x) {
+                T sum = T(0.0);
+                for (size_t u = 0; u < kBlock; ++u) {
+                    const T v = rows ? in[a * kBlock + u]
+                                     : in[u * kBlock + a];
+                    sum += v * T(scale[u]) * T(cos_table[x][u]);
+                }
+                if (rows)
+                    out[a * kBlock + x] = sum;
+                else
+                    out[x * kBlock + a] = sum;
+            }
+        }
+    }
+};
+
+}  // namespace rumba::apps
+
+#endif  // RUMBA_APPS_JPEG_H_

@@ -1,0 +1,86 @@
+#include "apps/kmeans.h"
+
+#include <cmath>
+
+#include "common/imagegen.h"
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace rumba::apps {
+
+const double Kmeans::kCentroids[Kmeans::kClusters][3] = {
+    {0.10, 0.12, 0.10},  // dark foliage
+    {0.85, 0.85, 0.90},  // sky / highlight
+    {0.60, 0.30, 0.20},  // earth
+    {0.20, 0.45, 0.75},  // water
+    {0.75, 0.65, 0.25},  // sand
+    {0.45, 0.50, 0.45},  // mid gray-green
+};
+
+const BenchmarkInfo&
+Kmeans::Info() const
+{
+    static const BenchmarkInfo info = {
+        "kmeans",
+        "Machine Learning",
+        "Mean Output Diff",
+        "220x200 pixel image",
+        "512x512 pixel image",
+        nn::Topology::Parse("6->4->4->1"),
+        nn::Topology::Parse("6->8->4->1"),
+    };
+    return info;
+}
+
+std::vector<std::vector<double>>
+Kmeans::Generate(uint64_t seed, size_t width, size_t height, size_t sample)
+{
+    // Three noise planes stand in for the R/G/B channels of the
+    // photographic inputs used in the paper.
+    const GrayImage r = GenerateNoiseImage(width, height, seed + 1, 3);
+    const GrayImage g = GenerateNoiseImage(width, height, seed + 2, 3);
+    const GrayImage b = GenerateNoiseImage(width, height, seed + 3, 3);
+
+    Rng rng(seed);
+    const size_t pixels = width * height;
+    const size_t count = std::min(sample, pixels);
+    std::vector<std::vector<double>> inputs;
+    inputs.reserve(count);
+    // The clustering loop pairs every pixel with candidate centroids.
+    // Centroids drift across the color cube as k-means iterates, so
+    // half the elements use the seed palette and half use centroids
+    // sampled anywhere in the cube.
+    for (size_t i = 0; i < count; ++i) {
+        const size_t p = static_cast<size_t>(rng.Below(pixels));
+        const size_t x = p % width;
+        const size_t y = p / width;
+        double cr, cg, cb;
+        if (rng.Chance(0.25)) {
+            const size_t c = static_cast<size_t>(rng.Below(kClusters));
+            cr = kCentroids[c][0];
+            cg = kCentroids[c][1];
+            cb = kCentroids[c][2];
+        } else {
+            cr = rng.Uniform();
+            cg = rng.Uniform();
+            cb = rng.Uniform();
+        }
+        inputs.push_back(
+            {r.At(x, y), g.At(x, y), b.At(x, y), cr, cg, cb});
+    }
+    return inputs;
+}
+
+std::vector<std::vector<double>>
+Kmeans::TrainInputs() const
+{
+    return Generate(0x5EA15u, 220, 200, 8000);
+}
+
+std::vector<std::vector<double>>
+Kmeans::TestInputs() const
+{
+    return Generate(0x5EA16u, 512, 512, 20000);
+}
+
+}  // namespace rumba::apps

@@ -1,0 +1,63 @@
+#ifndef RUMBA_APPS_KMEANS_H_
+#define RUMBA_APPS_KMEANS_H_
+
+/**
+ * @file
+ * kmeans — Machine Learning (Table 1). The approximated kernel is the
+ * point-to-centroid Euclidean distance at the heart of k-means
+ * clustering of an RGB image: a tiny kernel, which is exactly why the
+ * paper observes the NPU gains little here (the accelerator
+ * invocation overhead rivals the computation).
+ *
+ * Element inputs: [r, g, b, cr, cg, cb]. Element output: distance.
+ */
+
+#include "apps/benchmark.h"
+
+namespace rumba::apps {
+
+/** The kmeans (distance kernel) benchmark. */
+class Kmeans : public KernelBenchmark<Kmeans> {
+  public:
+    static constexpr size_t kInputs = 6;
+    static constexpr size_t kOutputs = 1;
+    static constexpr size_t kClusters = 6;
+
+    const BenchmarkInfo& Info() const override;
+
+    size_t NumInputs() const override { return kInputs; }
+    size_t NumOutputs() const override { return kOutputs; }
+
+    std::vector<std::vector<double>> TrainInputs() const override;
+    std::vector<std::vector<double>> TestInputs() const override;
+
+    double RegionFraction() const override { return 0.45; }
+
+    /** Distances concentrate around ~0.3-0.8 in the unit color cube;
+     *  the relative metric floors the denominator there. */
+    double RelativeFloor() const override { return 0.3; }
+
+    /** Euclidean distance between a pixel and a centroid. */
+    template <typename T>
+    static void
+    Kernel(const T* in, T* out)
+    {
+        const T dr = in[0] - in[3];
+        const T dg = in[1] - in[4];
+        const T db = in[2] - in[5];
+        out[0] = Sqrt(dr * dr + dg * dg + db * db);
+    }
+
+    /** The fixed centroid palette used for data generation. */
+    static const double kCentroids[kClusters][3];
+
+  private:
+    static std::vector<std::vector<double>> Generate(uint64_t seed,
+                                                     size_t width,
+                                                     size_t height,
+                                                     size_t sample);
+};
+
+}  // namespace rumba::apps
+
+#endif  // RUMBA_APPS_KMEANS_H_

@@ -1,0 +1,75 @@
+#include "apps/mosaic.h"
+
+#include <cmath>
+
+#include "common/imagegen.h"
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace rumba::apps {
+
+double
+MosaicStudy::ExactBrightness(const GrayImage& image)
+{
+    return image.MeanIntensity();
+}
+
+double
+MosaicStudy::PerforatedBrightness(const GrayImage& image,
+                                  const Options& options)
+{
+    RUMBA_CHECK(options.stride >= 1);
+    double sum = 0.0;
+    size_t kept = 0;
+    switch (options.mode) {
+      case Mode::kUniformRows:
+        for (size_t y = 0; y < image.Height(); y += options.stride) {
+            for (size_t x = 0; x < image.Width(); ++x) {
+                sum += image.At(x, y);
+                ++kept;
+            }
+        }
+        break;
+      case Mode::kRandomPixels: {
+        Rng rng(options.seed ^ 0xD00DF00Du);
+        const double keep = 1.0 / static_cast<double>(options.stride);
+        for (size_t y = 0; y < image.Height(); ++y) {
+            for (size_t x = 0; x < image.Width(); ++x) {
+                if (rng.Chance(keep)) {
+                    sum += image.At(x, y);
+                    ++kept;
+                }
+            }
+        }
+        break;
+      }
+    }
+    RUMBA_CHECK(kept > 0);
+    return sum / static_cast<double>(kept);
+}
+
+double
+MosaicStudy::OutputErrorPercent(const GrayImage& image,
+                                const Options& options)
+{
+    const double exact = ExactBrightness(image);
+    const double approx = PerforatedBrightness(image, options);
+    RUMBA_CHECK(exact > 0.0);
+    return std::fabs(approx - exact) / exact * 100.0;
+}
+
+std::vector<double>
+MosaicStudy::RunStudy(const Options& options)
+{
+    std::vector<double> errors;
+    errors.reserve(options.images);
+    for (size_t i = 0; i < options.images; ++i) {
+        const GrayImage tile = GenerateFlowerImage(
+            options.width, options.height,
+            options.seed + static_cast<uint64_t>(i) * 7919);
+        errors.push_back(OutputErrorPercent(tile, options));
+    }
+    return errors;
+}
+
+}  // namespace rumba::apps

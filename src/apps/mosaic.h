@@ -1,0 +1,67 @@
+#ifndef RUMBA_APPS_MOSAIC_H_
+#define RUMBA_APPS_MOSAIC_H_
+
+/**
+ * @file
+ * mosaic — the motivating study of Section 2 (Figure 3). The first
+ * phase of a photo-mosaic application computes the average brightness
+ * of each candidate tile image; the paper approximates it with loop
+ * perforation and shows the resulting error is strongly
+ * input-dependent across 800 flower photographs.
+ *
+ * The photographs are replaced by the procedural flower generator
+ * (common/imagegen.h), whose blob placement varies how spatially
+ * concentrated brightness is — the property that makes perforation
+ * error input-dependent.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/image.h"
+
+namespace rumba::apps {
+
+/** Loop-perforated brightness averaging over a tile population. */
+class MosaicStudy {
+  public:
+    /** How perforation drops loop iterations. */
+    enum class Mode {
+        kUniformRows,  ///< keep every stride-th image row.
+        kRandomPixels, ///< keep each pixel with probability 1/stride.
+    };
+
+    /** Study parameters. */
+    struct Options {
+        size_t images = 800;        ///< population size (paper: 800).
+        size_t width = 128;         ///< tile width.
+        size_t height = 128;        ///< tile height.
+        size_t stride = 32;         ///< keep 1-in-stride iterations.
+        Mode mode = Mode::kUniformRows;
+        uint64_t seed = 0xF10E35u;  ///< flower-generator seed base.
+    };
+
+    /** Exact mean brightness of a tile. */
+    static double ExactBrightness(const rumba::GrayImage& image);
+
+    /**
+     * Perforated mean brightness: the average over the retained
+     * subset of pixels only.
+     */
+    static double PerforatedBrightness(const rumba::GrayImage& image,
+                                       const Options& options);
+
+    /** Per-tile output error in percent: |approx-exact|/exact*100. */
+    static double OutputErrorPercent(const rumba::GrayImage& image,
+                                     const Options& options);
+
+    /**
+     * The Figure 3 experiment: generate options.images flower tiles
+     * and return each tile's perforation output error (percent).
+     */
+    static std::vector<double> RunStudy(const Options& options);
+};
+
+}  // namespace rumba::apps
+
+#endif  // RUMBA_APPS_MOSAIC_H_

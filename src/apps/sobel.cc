@@ -1,0 +1,65 @@
+#include "apps/sobel.h"
+
+#include <cmath>
+
+#include "common/imagegen.h"
+#include "common/logging.h"
+
+namespace rumba::apps {
+
+const BenchmarkInfo&
+Sobel::Info() const
+{
+    static const BenchmarkInfo info = {
+        "sobel",
+        "Image Processing",
+        "Relative Pixel Diff",
+        "512x512 pixel image",
+        "512x512 pixel image",
+        nn::Topology::Parse("9->8->1"),
+        nn::Topology::Parse("9->8->1"),
+    };
+    return info;
+}
+
+std::vector<std::vector<double>>
+Sobel::WindowsFromImage(const GrayImage& image, size_t stride)
+{
+    RUMBA_CHECK(stride >= 1);
+    RUMBA_CHECK(image.Width() >= 3 && image.Height() >= 3);
+    std::vector<std::vector<double>> windows;
+    for (size_t y = 1; y + 1 < image.Height(); y += stride) {
+        for (size_t x = 1; x + 1 < image.Width(); x += stride) {
+            std::vector<double> w(kInputs);
+            size_t i = 0;
+            for (long dy = -1; dy <= 1; ++dy)
+                for (long dx = -1; dx <= 1; ++dx)
+                    w[i++] = image.AtClamped(static_cast<long>(x) + dx,
+                                             static_cast<long>(y) + dy);
+            windows.push_back(std::move(w));
+        }
+    }
+    return windows;
+}
+
+std::vector<std::vector<double>>
+Sobel::Generate(uint64_t seed, size_t width, size_t height, size_t stride)
+{
+    return WindowsFromImage(GenerateSceneImage(width, height, seed),
+                            stride);
+}
+
+std::vector<std::vector<double>>
+Sobel::TrainInputs() const
+{
+    // 512x512 source, strided to keep offline training tractable.
+    return Generate(0x50BE1u, 512, 512, 5);
+}
+
+std::vector<std::vector<double>>
+Sobel::TestInputs() const
+{
+    return Generate(0x50BE2u, 512, 512, 3);
+}
+
+}  // namespace rumba::apps

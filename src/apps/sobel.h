@@ -1,0 +1,70 @@
+#ifndef RUMBA_APPS_SOBEL_H_
+#define RUMBA_APPS_SOBEL_H_
+
+/**
+ * @file
+ * sobel — Image Processing (Table 1). One element applies the Sobel
+ * edge operator to a 3x3 pixel window, producing the clamped gradient
+ * magnitude of the center pixel.
+ *
+ * Element inputs: the 9 window pixels (row-major). Element output:
+ * gradient magnitude in [0, 1]. Quality metric: mean pixel diff.
+ */
+
+#include "apps/benchmark.h"
+#include "common/image.h"
+
+namespace rumba::apps {
+
+/** The sobel benchmark. */
+class Sobel : public KernelBenchmark<Sobel> {
+  public:
+    static constexpr size_t kInputs = 9;
+    static constexpr size_t kOutputs = 1;
+
+    const BenchmarkInfo& Info() const override;
+
+    size_t NumInputs() const override { return kInputs; }
+    size_t NumOutputs() const override { return kOutputs; }
+
+    std::vector<std::vector<double>> TrainInputs() const override;
+    std::vector<std::vector<double>> TestInputs() const override;
+
+    double RegionFraction() const override { return 0.85; }
+
+    /** Gradient magnitudes concentrate around ~0.25; relative error
+     *  with this floor reflects visible edge distortion. */
+    double RelativeFloor() const override { return 0.25; }
+
+    /** Sobel gradient magnitude of a 3x3 window. */
+    template <typename T>
+    static void
+    Kernel(const T* in, T* out)
+    {
+        const T two = T(2.0);
+        const T gx = (in[2] + two * in[5] + in[8]) -
+                     (in[0] + two * in[3] + in[6]);
+        const T gy = (in[6] + two * in[7] + in[8]) -
+                     (in[0] + two * in[1] + in[2]);
+        // Scale by half so typical magnitudes span [0, 1] without
+        // saturating the metric at the clamp.
+        T mag = Sqrt(gx * gx + gy * gy) * T(0.5);
+        if (mag > T(1.0))
+            mag = T(1.0);
+        out[0] = mag;
+    }
+
+    /** Windows for every interior pixel of an image (element stream). */
+    static std::vector<std::vector<double>> WindowsFromImage(
+        const rumba::GrayImage& image, size_t stride = 1);
+
+  private:
+    static std::vector<std::vector<double>> Generate(uint64_t seed,
+                                                     size_t width,
+                                                     size_t height,
+                                                     size_t stride);
+};
+
+}  // namespace rumba::apps
+
+#endif  // RUMBA_APPS_SOBEL_H_

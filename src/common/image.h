@@ -1,0 +1,79 @@
+#ifndef RUMBA_COMMON_IMAGE_H_
+#define RUMBA_COMMON_IMAGE_H_
+
+/**
+ * @file
+ * Grayscale image container with PGM I/O. The image-processing
+ * benchmarks (sobel, jpeg, kmeans, mosaic) and the Figure 2
+ * demonstration operate on these.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rumba {
+
+/** A dense grayscale image with pixel intensities in [0, 1]. */
+class GrayImage {
+  public:
+    /** Empty 0x0 image. */
+    GrayImage() = default;
+
+    /** @p width x @p height image filled with @p fill. */
+    GrayImage(size_t width, size_t height, double fill = 0.0);
+
+    size_t Width() const { return width_; }
+    size_t Height() const { return height_; }
+
+    /** Number of pixels. */
+    size_t Pixels() const { return data_.size(); }
+
+    /** Mutable pixel access. */
+    double& At(size_t x, size_t y);
+
+    /** Const pixel access. */
+    double At(size_t x, size_t y) const;
+
+    /**
+     * Pixel access with edge clamping; safe for any integer
+     * coordinates (used by stencil kernels at the borders).
+     */
+    double AtClamped(long x, long y) const;
+
+    /** Flat pixel buffer (row-major). */
+    const std::vector<double>& Data() const { return data_; }
+
+    /** Mutable flat pixel buffer (row-major). */
+    std::vector<double>& MutableData() { return data_; }
+
+    /** Clamp all pixels into [0, 1]. */
+    void Clamp();
+
+    /** Mean intensity over all pixels; 0 when empty. */
+    double MeanIntensity() const;
+
+    /** Mean absolute per-pixel difference with @p other (same shape). */
+    double MeanAbsDiff(const GrayImage& other) const;
+
+    /**
+     * Write as a binary 8-bit PGM file.
+     * @return false on I/O failure.
+     */
+    bool WritePgm(const std::string& path) const;
+
+    /**
+     * Read a binary 8-bit PGM file.
+     * @return false when the file is missing or malformed.
+     */
+    bool ReadPgm(const std::string& path);
+
+  private:
+    size_t width_ = 0;
+    size_t height_ = 0;
+    std::vector<double> data_;
+};
+
+}  // namespace rumba
+
+#endif  // RUMBA_COMMON_IMAGE_H_

@@ -1,0 +1,191 @@
+#include "common/imagegen.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace rumba {
+
+namespace {
+
+/** Smoothstep interpolation weight. */
+double
+Fade(double t)
+{
+    return t * t * (3.0 - 2.0 * t);
+}
+
+/** Deterministic lattice hash -> [0, 1). */
+double
+LatticeValue(uint64_t seed, long gx, long gy)
+{
+    uint64_t h = seed;
+    h ^= static_cast<uint64_t>(gx) * 0x9E3779B97F4A7C15ull;
+    h ^= static_cast<uint64_t>(gy) * 0xC2B2AE3D27D4EB4Full;
+    h ^= h >> 29;
+    h *= 0xBF58476D1CE4E5B9ull;
+    h ^= h >> 32;
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/** One octave of 2-D value noise at frequency @p freq. */
+double
+ValueNoise(uint64_t seed, double x, double y, double freq)
+{
+    const double fx = x * freq;
+    const double fy = y * freq;
+    const long gx = static_cast<long>(std::floor(fx));
+    const long gy = static_cast<long>(std::floor(fy));
+    const double tx = Fade(fx - static_cast<double>(gx));
+    const double ty = Fade(fy - static_cast<double>(gy));
+    const double v00 = LatticeValue(seed, gx, gy);
+    const double v10 = LatticeValue(seed, gx + 1, gy);
+    const double v01 = LatticeValue(seed, gx, gy + 1);
+    const double v11 = LatticeValue(seed, gx + 1, gy + 1);
+    const double a = v00 + (v10 - v00) * tx;
+    const double b = v01 + (v11 - v01) * tx;
+    return a + (b - a) * ty;
+}
+
+}  // namespace
+
+GrayImage
+GenerateNoiseImage(size_t width, size_t height, uint64_t seed, int octaves)
+{
+    RUMBA_CHECK(octaves >= 1);
+    GrayImage img(width, height);
+    const double base_freq = 4.0 / static_cast<double>(width);
+    for (size_t y = 0; y < height; ++y) {
+        for (size_t x = 0; x < width; ++x) {
+            double v = 0.0;
+            double amp = 1.0;
+            double total = 0.0;
+            double freq = base_freq;
+            for (int o = 0; o < octaves; ++o) {
+                v += amp * ValueNoise(seed + static_cast<uint64_t>(o),
+                                      static_cast<double>(x),
+                                      static_cast<double>(y), freq);
+                total += amp;
+                amp *= 0.5;
+                freq *= 2.0;
+            }
+            img.At(x, y) = v / total;
+        }
+    }
+    return img;
+}
+
+GrayImage
+GenerateSceneImage(size_t width, size_t height, uint64_t seed)
+{
+    GrayImage img = GenerateNoiseImage(width, height, seed, 6);
+    Rng rng(seed ^ 0xABCDEF0123456789ull);
+
+    // Layer disks of varying brightness.
+    const int disks = 8 + static_cast<int>(rng.Below(6));
+    for (int d = 0; d < disks; ++d) {
+        const double cx = rng.Uniform(0.1, 0.9) * static_cast<double>(width);
+        const double cy =
+            rng.Uniform(0.1, 0.9) * static_cast<double>(height);
+        const double r =
+            rng.Uniform(0.05, 0.2) * static_cast<double>(width);
+        const double level = rng.Uniform(0.0, 1.0);
+        for (size_t y = 0; y < height; ++y) {
+            for (size_t x = 0; x < width; ++x) {
+                const double dx = static_cast<double>(x) - cx;
+                const double dy = static_cast<double>(y) - cy;
+                if (dx * dx + dy * dy <= r * r)
+                    img.At(x, y) = 0.3 * img.At(x, y) + 0.7 * level;
+            }
+        }
+    }
+
+    // Hard-edged bars for strong gradients.
+    const int bars = 4;
+    for (int b = 0; b < bars; ++b) {
+        const size_t x0 = static_cast<size_t>(rng.Below(width - 4));
+        const size_t bw = 4 + static_cast<size_t>(rng.Below(width / 8));
+        const double level = rng.Chance(0.5) ? 0.95 : 0.05;
+        for (size_t y = 0; y < height; ++y)
+            for (size_t x = x0; x < std::min(width, x0 + bw); ++x)
+                img.At(x, y) = level;
+    }
+
+    // Photographic speckle: high-frequency detail that keeps the
+    // scene from being trivially compressible.
+    for (auto& p : img.MutableData()) {
+        if (rng.Chance(0.5))
+            p += rng.Uniform(-0.5, 0.5);
+    }
+    img.Clamp();
+    return img;
+}
+
+GrayImage
+GenerateFlowerImage(size_t width, size_t height, uint64_t seed)
+{
+    Rng rng(seed * 0x2545F4914F6CDD1Dull + 1);
+
+    // Background: dark foliage or light sky, with texture.
+    const double bg_level = rng.Chance(0.7) ? rng.Uniform(0.05, 0.35)
+                                            : rng.Uniform(0.5, 0.85);
+    GrayImage img = GenerateNoiseImage(width, height, seed ^ 0x5151, 3);
+    for (auto& p : img.MutableData())
+        p = bg_level + 0.25 * (p - 0.5);
+
+    // Petal blobs: their number and spatial spread drive how uneven
+    // the brightness distribution is across the frame, which is what
+    // makes perforated brightness averaging input-dependent.
+    const int blobs = 1 + static_cast<int>(rng.Below(12));
+    const double spread = rng.Uniform(0.05, 0.45);
+    const double cluster_x = rng.Uniform(0.25, 0.75);
+    const double cluster_y = rng.Uniform(0.25, 0.75);
+    for (int bidx = 0; bidx < blobs; ++bidx) {
+        const double cx = (cluster_x + rng.Gaussian(0.0, spread)) *
+                          static_cast<double>(width);
+        const double cy = (cluster_y + rng.Gaussian(0.0, spread)) *
+                          static_cast<double>(height);
+        const double r = rng.Uniform(0.04, 0.14) * static_cast<double>(width);
+        const double level = rng.Uniform(0.6, 1.0);
+        for (size_t y = 0; y < height; ++y) {
+            for (size_t x = 0; x < width; ++x) {
+                const double dx = static_cast<double>(x) - cx;
+                const double dy = static_cast<double>(y) - cy;
+                const double dist2 = dx * dx + dy * dy;
+                if (dist2 <= r * r) {
+                    const double w = 1.0 - std::sqrt(dist2) / r;
+                    img.At(x, y) =
+                        std::max(img.At(x, y), level * (0.5 + 0.5 * w));
+                }
+            }
+        }
+    }
+    img.Clamp();
+    return img;
+}
+
+GrayImage
+GenerateRampImage(size_t width, size_t height)
+{
+    RUMBA_CHECK(width >= 2);
+    GrayImage img(width, height);
+    for (size_t y = 0; y < height; ++y)
+        for (size_t x = 0; x < width; ++x)
+            img.At(x, y) = static_cast<double>(x) /
+                           static_cast<double>(width - 1);
+    return img;
+}
+
+GrayImage
+GenerateCheckerImage(size_t width, size_t height, size_t cell)
+{
+    RUMBA_CHECK(cell > 0);
+    GrayImage img(width, height);
+    for (size_t y = 0; y < height; ++y)
+        for (size_t x = 0; x < width; ++x)
+            img.At(x, y) = ((x / cell + y / cell) % 2 == 0) ? 0.0 : 1.0;
+    return img;
+}
+
+}  // namespace rumba

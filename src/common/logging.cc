@@ -1,0 +1,75 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rumba {
+
+namespace {
+
+LogLevel g_threshold = LogLevel::kInform;
+
+void VPrint(const char* tag, const char* fmt, va_list args)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+}
+
+}  // namespace
+
+void
+SetLogThreshold(LogLevel level)
+{
+    g_threshold = level;
+}
+
+LogLevel
+LogThreshold()
+{
+    return g_threshold;
+}
+
+void
+Inform(const char* fmt, ...)
+{
+    if (g_threshold > LogLevel::kInform)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    VPrint("info", fmt, args);
+    va_end(args);
+}
+
+void
+Warn(const char* fmt, ...)
+{
+    if (g_threshold > LogLevel::kWarn)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    VPrint("warn", fmt, args);
+    va_end(args);
+}
+
+void
+Fatal(const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    VPrint("fatal", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+Panic(const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    VPrint("panic", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+}  // namespace rumba

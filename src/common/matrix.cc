@@ -1,0 +1,156 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rumba {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+{
+    rows_ = rows.size();
+    cols_ = rows_ ? rows.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : rows) {
+        RUMBA_CHECK(row.size() == cols_);
+        data_.insert(data_.end(), row.begin(), row.end());
+    }
+}
+
+Matrix
+Matrix::Identity(size_t n)
+{
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i)
+        m.At(i, i) = 1.0;
+    return m;
+}
+
+double&
+Matrix::At(size_t r, size_t c)
+{
+    RUMBA_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::At(size_t r, size_t c) const
+{
+    RUMBA_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+}
+
+Matrix
+Matrix::Multiply(const Matrix& rhs) const
+{
+    RUMBA_CHECK(cols_ == rhs.rows_);
+    Matrix out(rows_, rhs.cols_);
+    for (size_t i = 0; i < rows_; ++i) {
+        for (size_t k = 0; k < cols_; ++k) {
+            const double a = data_[i * cols_ + k];
+            if (a == 0.0)
+                continue;
+            for (size_t j = 0; j < rhs.cols_; ++j)
+                out.data_[i * rhs.cols_ + j] +=
+                    a * rhs.data_[k * rhs.cols_ + j];
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::Transposed() const
+{
+    Matrix out(cols_, rows_);
+    for (size_t i = 0; i < rows_; ++i)
+        for (size_t j = 0; j < cols_; ++j)
+            out.data_[j * rows_ + i] = data_[i * cols_ + j];
+    return out;
+}
+
+Matrix
+Matrix::Add(const Matrix& rhs) const
+{
+    RUMBA_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+    Matrix out = *this;
+    for (size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] += rhs.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::Scaled(double s) const
+{
+    Matrix out = *this;
+    for (auto& v : out.data_)
+        v *= s;
+    return out;
+}
+
+bool
+Matrix::Solve(const std::vector<double>& b, std::vector<double>* x) const
+{
+    RUMBA_CHECK(rows_ == cols_);
+    RUMBA_CHECK(b.size() == rows_);
+    RUMBA_CHECK(x != nullptr);
+
+    const size_t n = rows_;
+    // Augmented working copy.
+    std::vector<double> a(data_);
+    std::vector<double> rhs(b);
+
+    for (size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        size_t pivot = col;
+        double best = std::fabs(a[col * n + col]);
+        for (size_t r = col + 1; r < n; ++r) {
+            const double v = std::fabs(a[r * n + col]);
+            if (v > best) {
+                best = v;
+                pivot = r;
+            }
+        }
+        if (best < 1e-12)
+            return false;
+        if (pivot != col) {
+            for (size_t c = col; c < n; ++c)
+                std::swap(a[pivot * n + c], a[col * n + c]);
+            std::swap(rhs[pivot], rhs[col]);
+        }
+        const double inv = 1.0 / a[col * n + col];
+        for (size_t r = col + 1; r < n; ++r) {
+            const double factor = a[r * n + col] * inv;
+            if (factor == 0.0)
+                continue;
+            for (size_t c = col; c < n; ++c)
+                a[r * n + c] -= factor * a[col * n + c];
+            rhs[r] -= factor * rhs[col];
+        }
+    }
+
+    x->assign(n, 0.0);
+    for (size_t ri = n; ri-- > 0;) {
+        double sum = rhs[ri];
+        for (size_t c = ri + 1; c < n; ++c)
+            sum -= a[ri * n + c] * (*x)[c];
+        (*x)[ri] = sum / a[ri * n + ri];
+    }
+    return true;
+}
+
+double
+Matrix::MaxAbsDiff(const Matrix& rhs) const
+{
+    RUMBA_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+    double worst = 0.0;
+    for (size_t i = 0; i < data_.size(); ++i)
+        worst = std::max(worst, std::fabs(data_[i] - rhs.data_[i]));
+    return worst;
+}
+
+}  // namespace rumba

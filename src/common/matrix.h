@@ -1,0 +1,73 @@
+#ifndef RUMBA_COMMON_MATRIX_H_
+#define RUMBA_COMMON_MATRIX_H_
+
+/**
+ * @file
+ * A small dense row-major matrix of doubles with the linear algebra
+ * the predictors need: products, transpose and a linear solver.
+ * Deliberately minimal: no expression templates, no views.
+ */
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace rumba {
+
+/** Dense row-major matrix of doubles. */
+class Matrix {
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** @p rows x @p cols matrix filled with @p fill. */
+    Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+    /** Build from nested initializer lists; rows must be equal length. */
+    Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+    /** Identity matrix of size @p n. */
+    static Matrix Identity(size_t n);
+
+    size_t Rows() const { return rows_; }
+    size_t Cols() const { return cols_; }
+
+    /** Mutable element access (bounds-checked in debug via RUMBA_CHECK). */
+    double& At(size_t r, size_t c);
+
+    /** Const element access. */
+    double At(size_t r, size_t c) const;
+
+    /** Matrix product; inner dimensions must agree. */
+    Matrix Multiply(const Matrix& rhs) const;
+
+    /** Transposed copy. */
+    Matrix Transposed() const;
+
+    /** Element-wise sum; shapes must match. */
+    Matrix Add(const Matrix& rhs) const;
+
+    /** Scale every element by @p s. */
+    Matrix Scaled(double s) const;
+
+    /**
+     * Solve this * x = b via Gaussian elimination with partial
+     * pivoting. The matrix must be square and non-singular.
+     * @param b right-hand side with Rows() entries.
+     * @param x output solution; resized to Cols().
+     * @return false when the matrix is (numerically) singular.
+     */
+    bool Solve(const std::vector<double>& b, std::vector<double>* x) const;
+
+    /** Maximum absolute element difference to @p rhs. */
+    double MaxAbsDiff(const Matrix& rhs) const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+}  // namespace rumba
+
+#endif  // RUMBA_COMMON_MATRIX_H_

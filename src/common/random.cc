@@ -1,0 +1,121 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rumba {
+
+namespace {
+
+uint64_t
+SplitMix64(uint64_t& x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+Rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto& s : s_)
+        s = SplitMix64(sm);
+}
+
+uint64_t
+Rng::Next()
+{
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::Uniform()
+{
+    // 53 high bits -> [0, 1).
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::Uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * Uniform();
+}
+
+uint64_t
+Rng::Below(uint64_t n)
+{
+    RUMBA_CHECK(n > 0);
+    // Rejection sampling to remove modulo bias.
+    const uint64_t threshold = (0 - n) % n;
+    for (;;) {
+        uint64_t r = Next();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+int64_t
+Rng::Range(int64_t lo, int64_t hi)
+{
+    RUMBA_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Below(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double
+Rng::Gaussian()
+{
+    if (has_cached_gauss_) {
+        has_cached_gauss_ = false;
+        return cached_gauss_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = Uniform();
+    } while (u1 <= 0.0);
+    const double u2 = Uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_gauss_ = r * std::sin(theta);
+    has_cached_gauss_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::Gaussian(double mean, double stddev)
+{
+    return mean + stddev * Gaussian();
+}
+
+bool
+Rng::Chance(double p)
+{
+    return Uniform() < p;
+}
+
+Rng
+Rng::Split()
+{
+    return Rng(Next() ^ 0xD1B54A32D192ED03ull);
+}
+
+}  // namespace rumba

@@ -1,0 +1,195 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rumba {
+
+void
+OnlineStats::Add(double x)
+{
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+OnlineStats::Merge(const OnlineStats& other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double total = static_cast<double>(n_ + other.n_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) / total;
+    mean_ += delta * static_cast<double>(other.n_) / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+OnlineStats::Variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+OnlineStats::StdDev() const
+{
+    return std::sqrt(Variance());
+}
+
+double
+Percentile(std::vector<double> values, double p)
+{
+    RUMBA_CHECK(!values.empty());
+    RUMBA_CHECK(p >= 0.0 && p <= 100.0);
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1)
+        return values[0];
+    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double
+PearsonCorrelation(const std::vector<double>& a,
+                   const std::vector<double>& b)
+{
+    RUMBA_CHECK(a.size() == b.size());
+    RUMBA_CHECK(!a.empty());
+    const double n = static_cast<double>(a.size());
+    double mean_a = 0.0, mean_b = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        mean_a += a[i];
+        mean_b += b[i];
+    }
+    mean_a /= n;
+    mean_b /= n;
+    double cov = 0.0, var_a = 0.0, var_b = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double da = a[i] - mean_a;
+        const double db = b[i] - mean_b;
+        cov += da * db;
+        var_a += da * da;
+        var_b += db * db;
+    }
+    if (var_a <= 0.0 || var_b <= 0.0)
+        return 0.0;
+    return cov / std::sqrt(var_a * var_b);
+}
+
+namespace {
+
+/** Average ranks (1-based; ties share the mean of their positions). */
+std::vector<double>
+Ranks(const std::vector<double>& values)
+{
+    std::vector<size_t> order(values.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+        return values[x] < values[y];
+    });
+    std::vector<double> ranks(values.size(), 0.0);
+    size_t i = 0;
+    while (i < order.size()) {
+        size_t j = i;
+        while (j + 1 < order.size() &&
+               values[order[j + 1]] == values[order[i]]) {
+            ++j;
+        }
+        const double avg_rank =
+            (static_cast<double>(i) + static_cast<double>(j)) / 2.0 +
+            1.0;
+        for (size_t k = i; k <= j; ++k)
+            ranks[order[k]] = avg_rank;
+        i = j + 1;
+    }
+    return ranks;
+}
+
+}  // namespace
+
+double
+SpearmanCorrelation(const std::vector<double>& a,
+                    const std::vector<double>& b)
+{
+    RUMBA_CHECK(a.size() == b.size());
+    RUMBA_CHECK(!a.empty());
+    return PearsonCorrelation(Ranks(a), Ranks(b));
+}
+
+std::vector<CdfPoint>
+EmpiricalCdf(std::vector<double> values, size_t points)
+{
+    RUMBA_CHECK(!values.empty());
+    RUMBA_CHECK(points >= 2);
+    std::sort(values.begin(), values.end());
+    std::vector<CdfPoint> cdf;
+    cdf.reserve(points);
+    for (size_t i = 0; i < points; ++i) {
+        const double frac =
+            static_cast<double>(i + 1) / static_cast<double>(points);
+        const size_t idx = std::min(
+            values.size() - 1,
+            static_cast<size_t>(frac * static_cast<double>(values.size())));
+        cdf.push_back({values[idx], frac});
+    }
+    cdf.back() = {values.back(), 1.0};
+    return cdf;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    RUMBA_CHECK(hi > lo);
+    RUMBA_CHECK(bins > 0);
+}
+
+void
+Histogram::Add(double x)
+{
+    const double clamped = std::clamp(x, lo_, std::nextafter(hi_, lo_));
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    size_t idx = static_cast<size_t>((clamped - lo_) / width);
+    idx = std::min(idx, counts_.size() - 1);
+    ++counts_[idx];
+    ++total_;
+}
+
+double
+Histogram::EdgeAt(size_t i) const
+{
+    RUMBA_CHECK(i <= counts_.size());
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + width * static_cast<double>(i);
+}
+
+double
+Histogram::CumulativeFraction(size_t i) const
+{
+    RUMBA_CHECK(i < counts_.size());
+    if (total_ == 0)
+        return 0.0;
+    size_t sum = 0;
+    for (size_t b = 0; b <= i; ++b)
+        sum += counts_[b];
+    return static_cast<double>(sum) / static_cast<double>(total_);
+}
+
+}  // namespace rumba

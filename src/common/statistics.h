@@ -1,0 +1,124 @@
+#ifndef RUMBA_COMMON_STATISTICS_H_
+#define RUMBA_COMMON_STATISTICS_H_
+
+/**
+ * @file
+ * Descriptive statistics used throughout the evaluation harness:
+ * streaming moments, percentiles, CDFs and histograms.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace rumba {
+
+/**
+ * Streaming mean / variance / extrema accumulator (Welford's
+ * algorithm), usable without retaining samples.
+ */
+class OnlineStats {
+  public:
+    /** Add one observation. */
+    void Add(double x);
+
+    /** Merge another accumulator into this one. */
+    void Merge(const OnlineStats& other);
+
+    /** Number of observations so far. */
+    size_t Count() const { return n_; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double Mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population variance; 0 for fewer than two samples. */
+    double Variance() const;
+
+    /** Population standard deviation. */
+    double StdDev() const;
+
+    /** Smallest observation; +inf when empty. */
+    double Min() const { return min_; }
+
+    /** Largest observation; -inf when empty. */
+    double Max() const { return max_; }
+
+    /** Sum of all observations. */
+    double Sum() const { return mean_ * static_cast<double>(n_); }
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 1.0 / 0.0;
+    double max_ = -1.0 / 0.0;
+};
+
+/**
+ * Percentile of a sample set with linear interpolation.
+ * @param values sample values (copied and sorted internally).
+ * @param p percentile in [0, 100].
+ */
+double Percentile(std::vector<double> values, double p);
+
+/**
+ * Pearson correlation coefficient of two equal-length series;
+ * 0 when either series is constant.
+ */
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/**
+ * Spearman rank correlation: Pearson on the rank transforms (average
+ * ranks for ties). Measures monotone association — the right notion
+ * for "does a higher predicted error mean a higher true error".
+ */
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+/** One point of an empirical CDF. */
+struct CdfPoint {
+    double value;     ///< sample value.
+    double fraction;  ///< fraction of samples <= value, in (0, 1].
+};
+
+/**
+ * Empirical CDF of @p values evaluated at @p points equally spaced
+ * quantiles (inclusive of the maximum).
+ */
+std::vector<CdfPoint> EmpiricalCdf(std::vector<double> values,
+                                   size_t points);
+
+/** Fixed-width histogram over [lo, hi); values outside are clamped. */
+class Histogram {
+  public:
+    /** Create @p bins buckets covering [lo, hi). */
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Count one sample. */
+    void Add(double x);
+
+    /** Number of buckets. */
+    size_t Bins() const { return counts_.size(); }
+
+    /** Count in bucket @p i. */
+    size_t CountAt(size_t i) const { return counts_[i]; }
+
+    /** Inclusive lower edge of bucket @p i. */
+    double EdgeAt(size_t i) const;
+
+    /** Total samples counted. */
+    size_t Total() const { return total_; }
+
+    /** Fraction of samples in buckets [0, i] (cumulative). */
+    double CumulativeFraction(size_t i) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<size_t> counts_;
+    size_t total_ = 0;
+};
+
+}  // namespace rumba
+
+#endif  // RUMBA_COMMON_STATISTICS_H_

@@ -1,0 +1,52 @@
+#ifndef RUMBA_COMMON_TABLE_H_
+#define RUMBA_COMMON_TABLE_H_
+
+/**
+ * @file
+ * Console table / CSV emitter used by every bench binary so the
+ * regenerated paper tables and figure series share one format.
+ */
+
+#include <string>
+#include <vector>
+
+namespace rumba {
+
+/** A simple column-aligned text table that can also dump CSV. */
+class Table {
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row of pre-formatted cells (must match column count). */
+    void AddRow(std::vector<std::string> cells);
+
+    /** Format a double with @p precision digits after the point. */
+    static std::string Num(double v, int precision = 2);
+
+    /** Format an integer cell. */
+    static std::string Int(long v);
+
+    /** Render as an aligned text table. */
+    std::string ToText() const;
+
+    /** Render as CSV (RFC-4180-ish, quoting cells with commas). */
+    std::string ToCsv() const;
+
+    /** Print the text form to stdout with a title banner. */
+    void Print(const std::string& title) const;
+
+    /** Write the CSV form to @p path; returns false on I/O error. */
+    bool WriteCsv(const std::string& path) const;
+
+    /** Number of data rows. */
+    size_t Rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rumba
+
+#endif  // RUMBA_COMMON_TABLE_H_

@@ -1,0 +1,106 @@
+#include "core/artifact.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace rumba::core {
+
+namespace {
+
+constexpr char kHeader[] = "rumba-artifact v1";
+
+/** Emit one marker-delimited section. */
+void
+EmitSection(std::ostream& out, const char* name,
+            const std::string& body)
+{
+    out << "BEGIN " << name << "\n" << body;
+    if (!body.empty() && body.back() != '\n')
+        out << "\n";
+    out << "END " << name << "\n";
+}
+
+/** Read the section @p name from the blob; fatal when absent. */
+std::string
+ReadSection(const std::string& text, const std::string& name)
+{
+    const std::string begin = "BEGIN " + name + "\n";
+    const std::string end = "END " + name + "\n";
+    const size_t start = text.find(begin);
+    if (start == std::string::npos)
+        Fatal("artifact missing section '%s'", name.c_str());
+    const size_t body = start + begin.size();
+    const size_t stop = text.find(end, body);
+    if (stop == std::string::npos)
+        Fatal("artifact section '%s' not terminated", name.c_str());
+    return text.substr(body, stop - body);
+}
+
+}  // namespace
+
+std::string
+Artifact::ToString() const
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << kHeader << "\n";
+    out << "benchmark " << benchmark << "\n";
+    out << "threshold " << threshold << "\n";
+    EmitSection(out, "rumba_mlp", rumba_mlp);
+    EmitSection(out, "npu_mlp", npu_mlp);
+    EmitSection(out, "in_norm", in_norm);
+    EmitSection(out, "out_norm", out_norm);
+    EmitSection(out, "predictor", predictor);
+    return out.str();
+}
+
+Artifact
+Artifact::FromString(const std::string& text)
+{
+    std::istringstream in(text);
+    std::string line;
+    std::getline(in, line);
+    if (line != kHeader)
+        Fatal("not a rumba artifact (bad header)");
+
+    Artifact artifact;
+    std::string tag;
+    in >> tag >> artifact.benchmark;
+    if (tag != "benchmark")
+        Fatal("artifact missing benchmark record");
+    in >> tag >> artifact.threshold;
+    if (tag != "threshold")
+        Fatal("artifact missing threshold record");
+
+    artifact.rumba_mlp = ReadSection(text, "rumba_mlp");
+    artifact.npu_mlp = ReadSection(text, "npu_mlp");
+    artifact.in_norm = ReadSection(text, "in_norm");
+    artifact.out_norm = ReadSection(text, "out_norm");
+    artifact.predictor = ReadSection(text, "predictor");
+    return artifact;
+}
+
+bool
+Artifact::Save(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << ToString();
+    return static_cast<bool>(out);
+}
+
+Artifact
+Artifact::Load(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        Fatal("cannot open artifact '%s'", path.c_str());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return FromString(buffer.str());
+}
+
+}  // namespace rumba::core

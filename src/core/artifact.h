@@ -1,0 +1,47 @@
+#ifndef RUMBA_CORE_ARTIFACT_H_
+#define RUMBA_CORE_ARTIFACT_H_
+
+/**
+ * @file
+ * The deployable configuration of Figure 4: "The configuration
+ * parameters for both the approximate accelerator and the error
+ * predictor are embedded in the binary." An Artifact captures
+ * everything the online system needs — the trained networks, the
+ * input/output normalizers, the trained checker and the calibrated
+ * detection threshold — as a single text blob, so a shipped
+ * application can bring up Rumba without rerunning the offline
+ * trainers.
+ */
+
+#include <string>
+
+namespace rumba::core {
+
+class Pipeline;
+
+/** A serialized offline-training result. */
+struct Artifact {
+    std::string benchmark;   ///< application name (kernel identity).
+    std::string rumba_mlp;   ///< Rumba-topology network blob.
+    std::string npu_mlp;     ///< unchecked-NPU network blob.
+    std::string in_norm;     ///< input normalizer blob.
+    std::string out_norm;    ///< output normalizer blob.
+    std::string predictor;   ///< trained checker blob.
+    double threshold = 0.0;  ///< calibrated detection threshold.
+
+    /** Render as a single self-describing text blob. */
+    std::string ToString() const;
+
+    /** Parse ToString() output; fatal on malformed input. */
+    static Artifact FromString(const std::string& text);
+
+    /** Write the blob to a file. @return false on I/O error. */
+    bool Save(const std::string& path) const;
+
+    /** Load a blob from a file; fatal when missing or malformed. */
+    static Artifact Load(const std::string& path);
+};
+
+}  // namespace rumba::core
+
+#endif  // RUMBA_CORE_ARTIFACT_H_

@@ -1,0 +1,28 @@
+#include "core/detector.h"
+
+#include "common/logging.h"
+
+namespace rumba::core {
+
+Detector::Detector(std::unique_ptr<predict::ErrorPredictor> predictor,
+                   double threshold)
+    : predictor_(std::move(predictor)), threshold_(threshold)
+{
+    RUMBA_CHECK(predictor_ != nullptr);
+}
+
+CheckResult
+Detector::Check(const std::vector<double>& inputs,
+                const std::vector<double>& approx_outputs)
+{
+    CheckResult result;
+    result.predicted_error =
+        predictor_->PredictError(inputs, approx_outputs);
+    result.fired = result.predicted_error >= threshold_;
+    ++checks_;
+    if (result.fired)
+        ++fired_;
+    return result;
+}
+
+}  // namespace rumba::core

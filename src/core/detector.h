@@ -1,0 +1,73 @@
+#ifndef RUMBA_CORE_DETECTOR_H_
+#define RUMBA_CORE_DETECTOR_H_
+
+/**
+ * @file
+ * Rumba's detection module (Section 3.2): an error predictor attached
+ * to the accelerator plus a tuning threshold. Each accelerator
+ * invocation is checked; when the predicted error exceeds the
+ * threshold the check "fires" and the element's recovery bit is set.
+ */
+
+#include <memory>
+
+#include "predict/predictor.h"
+
+namespace rumba::core {
+
+/** Outcome of one dynamic check. */
+struct CheckResult {
+    double predicted_error = 0.0;  ///< the checker's error estimate.
+    bool fired = false;            ///< predicted_error >= threshold.
+};
+
+/** The detection module: predictor + threshold. */
+class Detector {
+  public:
+    /**
+     * @param predictor the trained checker; the detector takes
+     *        ownership.
+     * @param threshold initial tuning threshold (the online tuner may
+     *        move it between invocations).
+     */
+    Detector(std::unique_ptr<predict::ErrorPredictor> predictor,
+             double threshold);
+
+    /** Run one check over an element's inputs/approximate outputs. */
+    CheckResult Check(const std::vector<double>& inputs,
+                      const std::vector<double>& approx_outputs);
+
+    /** Current tuning threshold. */
+    double Threshold() const { return threshold_; }
+
+    /** Move the tuning threshold (online tuner, Section 3.4). */
+    void SetThreshold(double threshold) { threshold_ = threshold; }
+
+    /** The wrapped predictor. */
+    const predict::ErrorPredictor& Predictor() const { return *predictor_; }
+
+    /** Clear sequential predictor state between runs. */
+    void Reset() { predictor_->Reset(); }
+
+    /** Hardware cost of one check. */
+    sim::CheckerCost CostPerCheck() const
+    {
+        return predictor_->CostPerCheck();
+    }
+
+    /** Checks performed since construction. */
+    size_t ChecksPerformed() const { return checks_; }
+
+    /** Checks that fired since construction. */
+    size_t ChecksFired() const { return fired_; }
+
+  private:
+    std::unique_ptr<predict::ErrorPredictor> predictor_;
+    double threshold_;
+    size_t checks_ = 0;
+    size_t fired_ = 0;
+};
+
+}  // namespace rumba::core
+
+#endif  // RUMBA_CORE_DETECTOR_H_

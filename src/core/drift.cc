@@ -1,0 +1,45 @@
+#include "core/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rumba::core {
+
+DriftMonitor::DriftMonitor() : DriftMonitor(Options()) {}
+
+DriftMonitor::DriftMonitor(const Options& options) : options_(options)
+{
+    RUMBA_CHECK(options.expected_fire_rate >= 0.0 &&
+                options.expected_fire_rate <= 1.0);
+    RUMBA_CHECK(options.alpha > 0.0 && options.alpha <= 1.0);
+    RUMBA_CHECK(options.tolerance > 1.0);
+    smoothed_ = options.expected_fire_rate;
+}
+
+void
+DriftMonitor::Observe(size_t fired, size_t elements)
+{
+    RUMBA_CHECK(elements > 0);
+    RUMBA_CHECK(fired <= elements);
+    const double rate =
+        static_cast<double>(fired) / static_cast<double>(elements);
+    smoothed_ = options_.alpha * rate +
+                (1.0 - options_.alpha) * smoothed_;
+    ++observations_;
+}
+
+bool
+DriftMonitor::DriftDetected() const
+{
+    if (!Enabled() || observations_ < options_.warmup)
+        return false;
+    const double expected = options_.expected_fire_rate;
+    if (std::fabs(smoothed_ - expected) < options_.min_delta)
+        return false;
+    return smoothed_ > expected * options_.tolerance ||
+           smoothed_ < expected / options_.tolerance;
+}
+
+}  // namespace rumba::core

@@ -1,0 +1,66 @@
+#ifndef RUMBA_CORE_DRIFT_H_
+#define RUMBA_CORE_DRIFT_H_
+
+/**
+ * @file
+ * Input-drift detection — an extension addressing the paper's
+ * Challenge II from the deployment side. The offline trainers see one
+ * input distribution; if the deployed inputs drift away from it, the
+ * checker's calibration silently degrades. The one drift signal that
+ * is free at runtime is the *check fire-rate*: it was measured during
+ * threshold calibration, so a persistent departure from that expected
+ * rate means the input distribution (or the accelerator's behavior)
+ * has changed and the offline artifacts deserve retraining.
+ */
+
+#include <cstddef>
+
+namespace rumba::core {
+
+/** Flags persistent fire-rate departures from the calibrated rate. */
+class DriftMonitor {
+  public:
+    /** Detection policy. */
+    struct Options {
+        /** Fire rate observed during offline calibration, in [0, 1].
+         *  Zero disables the monitor (nothing to compare against). */
+        double expected_fire_rate = 0.0;
+        /** EMA smoothing factor over invocations. */
+        double alpha = 0.2;
+        /** Drift fires when the smoothed rate leaves
+         *  [expected / tolerance, expected * tolerance]. */
+        double tolerance = 2.0;
+        /** Invocations observed before drift may fire (EMA warmup). */
+        size_t warmup = 3;
+        /** Absolute rate slack: departures smaller than this never
+         *  count as drift (guards tiny expected rates). */
+        double min_delta = 0.02;
+    };
+
+    DriftMonitor();
+    explicit DriftMonitor(const Options& options);
+
+    /** Record one invocation's outcome. */
+    void Observe(size_t fired, size_t elements);
+
+    /** Smoothed fire rate over recent invocations. */
+    double SmoothedFireRate() const { return smoothed_; }
+
+    /** True when the smoothed rate sits outside the tolerance band. */
+    bool DriftDetected() const;
+
+    /** Monitoring enabled (an expected rate was provided). */
+    bool Enabled() const { return options_.expected_fire_rate > 0.0; }
+
+    /** The active policy. */
+    const Options& Config() const { return options_; }
+
+  private:
+    Options options_;
+    double smoothed_ = 0.0;
+    size_t observations_ = 0;
+};
+
+}  // namespace rumba::core
+
+#endif  // RUMBA_CORE_DRIFT_H_

@@ -1,0 +1,413 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/statistics.h"
+
+namespace rumba::core {
+
+namespace {
+
+/** Scores index for a scheme (kNpu has no scores). */
+size_t
+ScoreIndex(Scheme scheme)
+{
+    const auto idx = static_cast<size_t>(scheme);
+    RUMBA_CHECK(scheme != Scheme::kNpu);
+    return idx;
+}
+
+}  // namespace
+
+Experiment::Experiment(std::unique_ptr<apps::Benchmark> bench,
+                       const ExperimentConfig& config)
+    : config_(config),
+      pipeline_(std::move(bench), config.pipeline),
+      system_(config.core, config.energy)
+{
+    const apps::Benchmark& app = pipeline_.Bench();
+    const auto& test_inputs = pipeline_.TestInputs();
+    const size_t n = test_inputs.size();
+
+    kernel_ops_ = app.ProfileKernel();
+
+    exact_outputs_ = app.RunExactBatch(test_inputs);
+
+    // Run both accelerators over the test elements, keeping the event
+    // counters for the energy model.
+    npu::Npu rumba_accel = pipeline_.MakeAccelerator(true);
+    rumba_accel.ResetStats();
+    approx_outputs_ = pipeline_.RunAccelerator(&rumba_accel, test_inputs);
+    rumba_npu_cycles_ = rumba_accel.CyclesPerInvocation();
+    {
+        const auto& s = rumba_accel.Stats();
+        const double inv = static_cast<double>(s.invocations);
+        rumba_macs_ = static_cast<double>(s.macs) / inv;
+        rumba_luts_ = static_cast<double>(s.lut_lookups) / inv;
+        // Input + output words plus the per-iteration recovery bit.
+        rumba_queue_words_ =
+            (static_cast<double>(s.input_words + s.output_words)) / inv +
+            1.0;
+    }
+
+    npu::Npu plain_accel = pipeline_.MakeAccelerator(false);
+    plain_accel.ResetStats();
+    npu_approx_outputs_ =
+        pipeline_.RunAccelerator(&plain_accel, test_inputs);
+    plain_npu_cycles_ = plain_accel.CyclesPerInvocation();
+    {
+        const auto& s = plain_accel.Stats();
+        const double inv = static_cast<double>(s.invocations);
+        plain_macs_ = static_cast<double>(s.macs) / inv;
+        plain_luts_ = static_cast<double>(s.lut_lookups) / inv;
+        plain_queue_words_ =
+            (static_cast<double>(s.input_words + s.output_words)) / inv;
+    }
+
+    true_errors_.reserve(n);
+    npu_true_errors_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        true_errors_.push_back(
+            app.ElementError(exact_outputs_[i], approx_outputs_[i]));
+        npu_true_errors_.push_back(
+            app.ElementError(exact_outputs_[i], npu_approx_outputs_[i]));
+    }
+
+    // ---- Selection scores per scheme --------------------------------
+    scores_.resize(static_cast<size_t>(Scheme::kHybrid) + 1);
+
+    scores_[ScoreIndex(Scheme::kIdeal)] = true_errors_;
+
+    // Random: a fixed random priority per element makes fix sets
+    // nested across budgets (deterministic via the pipeline seed).
+    {
+        Rng rng(config_.pipeline.seed ^ 0x9A9D0Cull);
+        auto& s = scores_[ScoreIndex(Scheme::kRandom)];
+        s.resize(n);
+        for (auto& v : s)
+            v = rng.Uniform();
+    }
+
+    // Uniform: golden-ratio low-discrepancy priorities — the top-f
+    // subset is evenly spread over the index space for every f.
+    {
+        auto& s = scores_[ScoreIndex(Scheme::kUniform)];
+        s.resize(n);
+        constexpr double kGolden = 0.6180339887498949;
+        for (size_t i = 0; i < n; ++i) {
+            const double frac =
+                std::fmod(static_cast<double>(i + 1) * kGolden, 1.0);
+            s[i] = 1.0 - frac;
+        }
+    }
+
+    // Predictor schemes: train offline, then score every test element
+    // the way the online detector would.
+    ema_ = pipeline_.TrainPredictor(Scheme::kEma);
+    linear_ = pipeline_.TrainPredictor(Scheme::kLinear);
+    tree_ = pipeline_.TrainPredictor(Scheme::kTree);
+    hybrid_ = pipeline_.TrainPredictor(Scheme::kHybrid);
+
+    auto score_with = [&](predict::ErrorPredictor* p) {
+        p->Reset();
+        std::vector<double> s(n);
+        for (size_t i = 0; i < n; ++i) {
+            const auto norm_in =
+                pipeline_.NormalizeInput(test_inputs[i]);
+            s[i] = p->PredictError(norm_in, approx_outputs_[i]);
+        }
+        return s;
+    };
+    scores_[ScoreIndex(Scheme::kEma)] = score_with(ema_.get());
+    scores_[ScoreIndex(Scheme::kLinear)] = score_with(linear_.get());
+    scores_[ScoreIndex(Scheme::kTree)] = score_with(tree_.get());
+    scores_[ScoreIndex(Scheme::kHybrid)] = score_with(hybrid_.get());
+}
+
+const std::vector<double>&
+Experiment::Scores(Scheme scheme) const
+{
+    return scores_[ScoreIndex(scheme)];
+}
+
+double
+Experiment::UncheckedErrorPct() const
+{
+    return pipeline_.Bench().AggregateError(true_errors_);
+}
+
+double
+Experiment::NpuUncheckedErrorPct() const
+{
+    return pipeline_.Bench().AggregateError(npu_true_errors_);
+}
+
+std::vector<char>
+Experiment::FixSetForFraction(Scheme scheme, double fraction) const
+{
+    RUMBA_CHECK(fraction >= 0.0 && fraction <= 1.0);
+    const auto& scores = Scores(scheme);
+    const size_t n = scores.size();
+    const size_t k = static_cast<size_t>(
+        std::lround(fraction * static_cast<double>(n)));
+    std::vector<char> fixes(n, 0);
+    if (k == 0)
+        return fixes;
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
+                     [&](size_t a, size_t b) {
+                         return scores[a] > scores[b];
+                     });
+    for (size_t i = 0; i < k; ++i)
+        fixes[order[i]] = 1;
+    return fixes;
+}
+
+std::vector<char>
+Experiment::FixSetForThreshold(Scheme scheme, double threshold) const
+{
+    const auto& scores = Scores(scheme);
+    std::vector<char> fixes(scores.size(), 0);
+    for (size_t i = 0; i < scores.size(); ++i)
+        fixes[i] = scores[i] >= threshold ? 1 : 0;
+    return fixes;
+}
+
+double
+Experiment::ThresholdForFraction(Scheme scheme, double fraction) const
+{
+    RUMBA_CHECK(fraction >= 0.0 && fraction <= 1.0);
+    const auto& scores = Scores(scheme);
+    const size_t n = scores.size();
+    const size_t k = static_cast<size_t>(
+        std::lround(fraction * static_cast<double>(n)));
+    if (k == 0)
+        return std::numeric_limits<double>::infinity();
+    std::vector<double> sorted = scores;
+    std::nth_element(sorted.begin(), sorted.begin() + (k - 1),
+                     sorted.end(), std::greater<double>());
+    return sorted[k - 1];
+}
+
+double
+Experiment::ErrorWithFixes(const std::vector<char>& fixes) const
+{
+    RUMBA_CHECK(fixes.size() == true_errors_.size());
+    std::vector<double> errors = true_errors_;
+    for (size_t i = 0; i < errors.size(); ++i) {
+        if (fixes[i])
+            errors[i] = 0.0;  // exact re-execution.
+    }
+    return pipeline_.Bench().AggregateError(errors);
+}
+
+std::vector<char>
+Experiment::FixSetForTargetError(Scheme scheme,
+                                 double target_error_pct) const
+{
+    // Fix sets are nested in the fraction (top-k by score), and the
+    // output error is non-increasing in k, so binary-search k.
+    const size_t n = true_errors_.size();
+    size_t lo = 0;        // known insufficient (unless already fine).
+    size_t hi = n;        // known sufficient (everything exact).
+    if (ErrorWithFixes(std::vector<char>(n, 0)) <= target_error_pct)
+        return std::vector<char>(n, 0);
+    while (lo + 1 < hi) {
+        const size_t mid = lo + (hi - lo) / 2;
+        const auto fixes = FixSetForFraction(
+            scheme, static_cast<double>(mid) / static_cast<double>(n));
+        if (ErrorWithFixes(fixes) <= target_error_pct)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return FixSetForFraction(
+        scheme, static_cast<double>(hi) / static_cast<double>(n));
+}
+
+sim::RegionProfile
+Experiment::MakeRegion() const
+{
+    sim::RegionProfile region;
+    region.cpu_ops_per_iter = kernel_ops_;
+    region.iterations = true_errors_.size();
+    region.region_fraction = pipeline_.Bench().RegionFraction();
+    return region;
+}
+
+sim::AcceleratorProfile
+Experiment::MakeAccelProfile(bool rumba_topology) const
+{
+    sim::AcceleratorProfile accel;
+    accel.frequency_ghz = config_.pipeline.npu.frequency_ghz;
+    if (rumba_topology) {
+        accel.cycles_per_invocation = rumba_npu_cycles_;
+        accel.macs_per_invocation = rumba_macs_;
+        accel.luts_per_invocation = rumba_luts_;
+        accel.queue_words_per_invocation = rumba_queue_words_;
+    } else {
+        accel.cycles_per_invocation = plain_npu_cycles_;
+        accel.macs_per_invocation = plain_macs_;
+        accel.luts_per_invocation = plain_luts_;
+        accel.queue_words_per_invocation = plain_queue_words_;
+    }
+    return accel;
+}
+
+sim::CheckerCost
+Experiment::CheckerCost(Scheme scheme) const
+{
+    switch (scheme) {
+      case Scheme::kEma:
+        return ema_->CostPerCheck();
+      case Scheme::kLinear:
+        return linear_->CostPerCheck();
+      case Scheme::kTree:
+        return tree_->CostPerCheck();
+      case Scheme::kHybrid:
+        return hybrid_->CostPerCheck();
+      default:
+        Fatal("scheme %s has no checker hardware", SchemeName(scheme));
+    }
+}
+
+SchemeReport
+Experiment::Report(Scheme scheme, const std::vector<char>& fixes) const
+{
+    RUMBA_CHECK(scheme != Scheme::kNpu);
+    RUMBA_CHECK(fixes.size() == true_errors_.size());
+    const size_t n = true_errors_.size();
+
+    SchemeReport report;
+    report.scheme = scheme;
+    report.fixes = static_cast<size_t>(
+        std::count(fixes.begin(), fixes.end(), char{1}));
+    report.fix_fraction =
+        static_cast<double>(report.fixes) / static_cast<double>(n);
+    report.output_error_pct = ErrorWithFixes(fixes);
+
+    // ---- False positives ---------------------------------------------
+    // A false positive is a fired check whose element is *not* among
+    // the top-k true errors, where k is the scheme's own fix count —
+    // i.e. the oracle would have spent that fix on a larger error.
+    // Ideal is zero by construction, matching the paper.
+    if (report.fixes > 0) {
+        std::vector<double> sorted = true_errors_;
+        std::nth_element(sorted.begin(),
+                         sorted.begin() + (report.fixes - 1), sorted.end(),
+                         std::greater<double>());
+        const double rank_cutoff = sorted[report.fixes - 1];
+        // Elements strictly above the cutoff are always worth fixing;
+        // of the elements tied *at* the cutoff only as many as the
+        // oracle would take count as justified (handles the heavy
+        // ties of 0/1 mismatch metrics).
+        size_t above = 0;
+        size_t fixed_below = 0;
+        size_t fixed_at = 0;
+        for (size_t i = 0; i < n; ++i) {
+            if (true_errors_[i] > rank_cutoff)
+                ++above;
+            if (!fixes[i])
+                continue;
+            if (true_errors_[i] < rank_cutoff)
+                ++fixed_below;
+            else if (true_errors_[i] == rank_cutoff)
+                ++fixed_at;
+        }
+        const size_t needed_at_cutoff =
+            report.fixes > above ? report.fixes - above : 0;
+        const size_t excess_at =
+            fixed_at > needed_at_cutoff ? fixed_at - needed_at_cutoff : 0;
+        report.false_positive_pct =
+            100.0 * static_cast<double>(fixed_below + excess_at) /
+            static_cast<double>(n);
+    }
+
+    // ---- Large-error coverage (Fig 13) --------------------------------
+    // "Large" errors are those above the paper's 20% cutoff; when an
+    // application's error distribution never reaches 20%, fall back
+    // to its 90th percentile so the statistic stays meaningful.
+    double cutoff = config_.large_error_cutoff;
+    {
+        std::vector<double> copy = true_errors_;
+        const double p90 = Percentile(std::move(copy), 90.0);
+        cutoff = std::min(cutoff, p90);
+    }
+    size_t large_fixed = 0;
+    for (size_t i = 0; i < n; ++i) {
+        if (fixes[i] && true_errors_[i] > cutoff)
+            ++large_fixed;
+    }
+    const size_t total_large = static_cast<size_t>(std::count_if(
+        true_errors_.begin(), true_errors_.end(),
+        [cutoff](double e) { return e > cutoff; }));
+    if (report.fixes > 0 && total_large > 0) {
+        const double mine = static_cast<double>(large_fixed) /
+                            static_cast<double>(report.fixes);
+        const double ideal_large = static_cast<double>(
+            std::min(report.fixes, total_large));
+        const double ideal = ideal_large /
+                             static_cast<double>(report.fixes);
+        report.relative_coverage_pct = 100.0 * mine / ideal;
+    } else {
+        report.relative_coverage_pct = report.fixes == 0 ? 0.0 : 100.0;
+    }
+
+    // ---- Energy / timing ---------------------------------------------
+    const sim::CheckerCost checker =
+        IsPredictorScheme(scheme) ? CheckerCost(scheme)
+                                  : sim::CheckerCost{};
+    const bool has_checker = IsPredictorScheme(scheme);
+    report.costs = system_.Evaluate(MakeRegion(), MakeAccelProfile(true),
+                                    has_checker ? &checker : nullptr,
+                                    report.fixes);
+    return report;
+}
+
+SchemeReport
+Experiment::ReportAtTargetError(Scheme scheme,
+                                double target_error_pct) const
+{
+    const auto fixes = FixSetForTargetError(scheme, target_error_pct);
+    SchemeReport report = Report(scheme, fixes);
+    report.threshold = ThresholdForFraction(scheme, report.fix_fraction);
+    return report;
+}
+
+SchemeReport
+Experiment::NpuReport() const
+{
+    SchemeReport report;
+    report.scheme = Scheme::kNpu;
+    report.output_error_pct = NpuUncheckedErrorPct();
+    report.costs = system_.Evaluate(MakeRegion(), MakeAccelProfile(false),
+                                    nullptr, 0);
+    return report;
+}
+
+sim::SystemCosts
+Experiment::BaselineCosts() const
+{
+    return system_.Baseline(MakeRegion());
+}
+
+size_t
+Experiment::RumbaNpuCycles() const
+{
+    return rumba_npu_cycles_;
+}
+
+size_t
+Experiment::PlainNpuCycles() const
+{
+    return plain_npu_cycles_;
+}
+
+}  // namespace rumba::core

@@ -1,0 +1,165 @@
+#ifndef RUMBA_CORE_EXPERIMENT_H_
+#define RUMBA_CORE_EXPERIMENT_H_
+
+/**
+ * @file
+ * The evaluation harness behind the paper's Figures 10-18: for one
+ * benchmark it prepares the whole pipeline (networks, accelerators,
+ * predictors), runs the test elements through the accelerator, and
+ * answers the questions the plots ask — output error for a given fix
+ * budget, the threshold/fix-set reaching a target quality, false
+ * positives, large-error coverage, and whole-app energy/speedup per
+ * scheme.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/schemes.h"
+#include "sim/system_model.h"
+
+namespace rumba::core {
+
+/** Harness configuration. */
+struct ExperimentConfig {
+    PipelineConfig pipeline;     ///< offline-training knobs.
+    sim::CoreParams core;        ///< Table 2 CPU parameters.
+    sim::EnergyParams energy;    ///< McPAT-style event energies.
+    /** Element true-error above which an error counts as "large"
+     *  (the paper's >20% cutoff for Figure 13). */
+    double large_error_cutoff = 0.20;
+};
+
+/** Everything the figures report about one scheme configuration. */
+struct SchemeReport {
+    Scheme scheme = Scheme::kNpu;
+    size_t fixes = 0;                  ///< re-executed iterations.
+    double fix_fraction = 0.0;         ///< fixes / elements.
+    double output_error_pct = 0.0;     ///< app metric after fixing.
+    double false_positive_pct = 0.0;   ///< Fig 11 (percent of elements).
+    double relative_coverage_pct = 0.0;  ///< Fig 13 (Ideal = 100).
+    double threshold = 0.0;            ///< score threshold used.
+    sim::SystemCosts costs;            ///< Fig 14/15 energy & time.
+};
+
+/** Per-benchmark evaluation harness. */
+class Experiment {
+  public:
+    /** Prepares the full pipeline; heavy (trains networks). */
+    Experiment(std::unique_ptr<apps::Benchmark> bench,
+               const ExperimentConfig& config);
+
+    /** The application under test. */
+    const apps::Benchmark& Bench() const { return pipeline_.Bench(); }
+
+    /** The prepared offline pipeline. */
+    const Pipeline& GetPipeline() const { return pipeline_; }
+
+    /** Number of test elements. */
+    size_t NumElements() const { return true_errors_.size(); }
+
+    /** True per-element errors of the Rumba-topology accelerator. */
+    const std::vector<double>& TrueErrors() const { return true_errors_; }
+
+    /**
+     * Per-element selection scores for a scheme: true error for
+     * Ideal, checker-predicted error for EMA/linear/tree, a seeded
+     * random priority for Random, a low-discrepancy priority for
+     * Uniform. Fix sets are "score >= threshold" / "top-k by score".
+     */
+    const std::vector<double>& Scores(Scheme scheme) const;
+
+    /** Output error (%) of the unchecked Rumba-topology accelerator. */
+    double UncheckedErrorPct() const;
+
+    /** Output error (%) of the unchecked NPU-topology accelerator. */
+    double NpuUncheckedErrorPct() const;
+
+    /** Fix set selecting the top-@p fraction of elements by score. */
+    std::vector<char> FixSetForFraction(Scheme scheme,
+                                        double fraction) const;
+
+    /** Fix set selecting elements whose score >= @p threshold. */
+    std::vector<char> FixSetForThreshold(Scheme scheme,
+                                         double threshold) const;
+
+    /** Score threshold whose fix set is the top-@p fraction. */
+    double ThresholdForFraction(Scheme scheme, double fraction) const;
+
+    /** Output error (%) after recomputing the flagged elements. */
+    double ErrorWithFixes(const std::vector<char>& fixes) const;
+
+    /**
+     * Smallest fix set (by scheme score order) whose output error
+     * meets @p target_error_pct; all elements fixed when even that is
+     * not enough.
+     */
+    std::vector<char> FixSetForTargetError(Scheme scheme,
+                                           double target_error_pct) const;
+
+    /** Full per-scheme report for an explicit fix set. */
+    SchemeReport Report(Scheme scheme,
+                        const std::vector<char>& fixes) const;
+
+    /** Report at the fix set meeting @p target_error_pct (Figs 11-15). */
+    SchemeReport ReportAtTargetError(Scheme scheme,
+                                     double target_error_pct) const;
+
+    /** Report for the unchecked NPU-topology accelerator. */
+    SchemeReport NpuReport() const;
+
+    /** CPU-only baseline costs. */
+    sim::SystemCosts BaselineCosts() const;
+
+    /** Per-check cost of a predictor scheme's checker hardware. */
+    sim::CheckerCost CheckerCost(Scheme scheme) const;
+
+    /** Kernel instruction mix per element (profiled). */
+    const sim::OpCounts& KernelOps() const { return kernel_ops_; }
+
+    /** Accelerator cycles per invocation (Rumba topology). */
+    size_t RumbaNpuCycles() const;
+
+    /** Accelerator cycles per invocation (NPU topology). */
+    size_t PlainNpuCycles() const;
+
+    /** The configuration in use. */
+    const ExperimentConfig& Config() const { return config_; }
+
+  private:
+    sim::RegionProfile MakeRegion() const;
+    sim::AcceleratorProfile MakeAccelProfile(bool rumba_topology) const;
+
+    ExperimentConfig config_;
+    Pipeline pipeline_;
+    sim::SystemModel system_;
+    sim::OpCounts kernel_ops_;
+
+    std::vector<std::vector<double>> exact_outputs_;
+    std::vector<std::vector<double>> approx_outputs_;      ///< rumba net.
+    std::vector<std::vector<double>> npu_approx_outputs_;  ///< npu net.
+    std::vector<double> true_errors_;      ///< rumba-topology errors.
+    std::vector<double> npu_true_errors_;  ///< npu-topology errors.
+
+    /** Selection scores, indexed by Scheme enum value. */
+    std::vector<std::vector<double>> scores_;
+    /** Trained checkers for the predictor schemes (cost queries). */
+    std::unique_ptr<predict::ErrorPredictor> ema_;
+    std::unique_ptr<predict::ErrorPredictor> linear_;
+    std::unique_ptr<predict::ErrorPredictor> tree_;
+    std::unique_ptr<predict::ErrorPredictor> hybrid_;
+
+    size_t rumba_npu_cycles_ = 0;
+    size_t plain_npu_cycles_ = 0;
+    double rumba_macs_ = 0.0;
+    double rumba_luts_ = 0.0;
+    double rumba_queue_words_ = 0.0;
+    double plain_macs_ = 0.0;
+    double plain_luts_ = 0.0;
+    double plain_queue_words_ = 0.0;
+};
+
+}  // namespace rumba::core
+
+#endif  // RUMBA_CORE_EXPERIMENT_H_

@@ -1,0 +1,86 @@
+#include "core/overlap_sim.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+
+namespace rumba::core {
+
+OverlapResult
+SimulateOverlap(const std::vector<char>& fire_mask,
+                const OverlapConfig& config,
+                std::vector<ElementTrace>* trace)
+{
+    RUMBA_CHECK(config.accel_cycles_per_element > 0);
+    RUMBA_CHECK(config.cpu_cycles_per_fix > 0);
+    RUMBA_CHECK(config.queue_capacity > 0);
+
+    OverlapResult result;
+    if (trace != nullptr)
+        trace->assign(fire_mask.size(), ElementTrace{});
+    // Completion time of each queued entry's CPU service, FIFO.
+    std::deque<uint64_t> in_service;
+    uint64_t accel_time = 0;   // accelerator's clock.
+    uint64_t cpu_free_at = 0;  // when the CPU can accept more work.
+    uint64_t last_commit = 0;  // latest completion on either side.
+
+    for (size_t idx = 0; idx < fire_mask.size(); ++idx) {
+        const char fired = fire_mask[idx];
+        ElementTrace* record =
+            trace != nullptr ? &(*trace)[idx] : nullptr;
+        // The accelerator computes the element.
+        if (record != nullptr)
+            record->accel_start = accel_time;
+        accel_time += config.accel_cycles_per_element;
+        result.accel_busy_cycles += config.accel_cycles_per_element;
+        last_commit = std::max(last_commit, accel_time);
+        if (record != nullptr) {
+            record->accel_end = accel_time;
+            record->fired = fired != 0;
+        }
+        if (!fired)
+            continue;
+
+        // Retire queue entries whose CPU service finished by now.
+        while (!in_service.empty() && in_service.front() <= accel_time)
+            in_service.pop_front();
+
+        // Back-pressure: a full queue stalls the accelerator until
+        // the oldest entry's service completes.
+        if (in_service.size() >= config.queue_capacity) {
+            const uint64_t resume = in_service.front();
+            RUMBA_CHECK(resume > accel_time);
+            result.accel_stall_cycles += resume - accel_time;
+            accel_time = resume;
+            while (!in_service.empty() &&
+                   in_service.front() <= accel_time) {
+                in_service.pop_front();
+            }
+        }
+
+        // Enqueue: CPU serves it as soon as it is free.
+        const uint64_t start = std::max(cpu_free_at, accel_time);
+        const uint64_t done = start + config.cpu_cycles_per_fix;
+        if (record != nullptr) {
+            record->cpu_start = start;
+            record->cpu_end = done;
+        }
+        cpu_free_at = done;
+        in_service.push_back(done);
+        result.max_queue_depth =
+            std::max(result.max_queue_depth, in_service.size());
+        result.cpu_busy_cycles += config.cpu_cycles_per_fix;
+        ++result.fixes;
+        last_commit = std::max(last_commit, done);
+    }
+
+    result.total_cycles = last_commit;
+    result.cpu_idle_cycles =
+        result.total_cycles >= result.cpu_busy_cycles
+            ? result.total_cycles - result.cpu_busy_cycles
+            : 0;
+    return result;
+}
+
+}  // namespace rumba::core

@@ -1,0 +1,90 @@
+#ifndef RUMBA_CORE_OVERLAP_SIM_H_
+#define RUMBA_CORE_OVERLAP_SIM_H_
+
+/**
+ * @file
+ * Discrete-event simulation of the pipelined CPU/accelerator recovery
+ * arrangement of Figure 8. The accelerator emits one element every
+ * `accel_cycles_per_element`; elements whose check fired enter the
+ * bounded recovery queue; the CPU drains the queue FIFO at
+ * `cpu_cycles_per_fix` per entry. A full queue back-pressures the
+ * accelerator (it stalls until the CPU frees a slot).
+ *
+ * The analytical model in sim/system_model.h uses the fluid limit
+ * max(accelerator time, recovery time); this simulator computes the
+ * exact schedule for a concrete fire pattern, exposing the effect the
+ * paper's Section 3.3 caveat describes: the CPU only keeps up
+ * "provided the elements to recompute are uniformly distributed" —
+ * clustered fixes overflow a small queue and stall the accelerator
+ * even when the average rate is sustainable.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rumba::core {
+
+/** Timing parameters of the pipelined arrangement. */
+struct OverlapConfig {
+    uint64_t accel_cycles_per_element = 20;  ///< NPU invocation latency.
+    uint64_t cpu_cycles_per_fix = 60;        ///< exact re-execution cost.
+    size_t queue_capacity = 64;              ///< recovery-queue depth.
+};
+
+/** Outcome of one simulated invocation. */
+struct OverlapResult {
+    uint64_t total_cycles = 0;        ///< start of first element to
+                                      ///< last commit (either side).
+    uint64_t accel_busy_cycles = 0;   ///< accelerator compute cycles.
+    uint64_t accel_stall_cycles = 0;  ///< back-pressure stalls.
+    uint64_t cpu_busy_cycles = 0;     ///< re-execution cycles.
+    uint64_t cpu_idle_cycles = 0;     ///< CPU waiting for work.
+    size_t fixes = 0;                 ///< entries the CPU processed.
+    size_t max_queue_depth = 0;       ///< high-water mark observed.
+
+    /** Fraction of the run the CPU spent re-executing. */
+    double
+    CpuUtilization() const
+    {
+        return total_cycles == 0
+                   ? 0.0
+                   : static_cast<double>(cpu_busy_cycles) /
+                         static_cast<double>(total_cycles);
+    }
+
+    /** Fraction of accelerator time lost to back-pressure. */
+    double
+    StallFraction() const
+    {
+        const uint64_t active = accel_busy_cycles + accel_stall_cycles;
+        return active == 0 ? 0.0
+                           : static_cast<double>(accel_stall_cycles) /
+                                 static_cast<double>(active);
+    }
+};
+
+/** Per-element schedule record (traced simulation). */
+struct ElementTrace {
+    uint64_t accel_start = 0;  ///< accelerator begins the element.
+    uint64_t accel_end = 0;    ///< approximate result available.
+    bool fired = false;        ///< check fired -> CPU re-executes.
+    uint64_t cpu_start = 0;    ///< CPU begins the fix (fired only).
+    uint64_t cpu_end = 0;      ///< exact result committed (fired only).
+};
+
+/**
+ * Simulate one invocation.
+ * @param fire_mask one flag per element: true = the check fired and
+ *        the element must be re-executed on the CPU.
+ * @param config timing/queue parameters.
+ * @param trace optional per-element schedule (for Figure 8-style
+ *        renderings); pass nullptr when not needed.
+ */
+OverlapResult SimulateOverlap(const std::vector<char>& fire_mask,
+                              const OverlapConfig& config,
+                              std::vector<ElementTrace>* trace = nullptr);
+
+}  // namespace rumba::core
+
+#endif  // RUMBA_CORE_OVERLAP_SIM_H_

@@ -1,0 +1,183 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/artifact.h"
+#include "nn/trainer.h"
+#include "predict/ema.h"
+#include "predict/hybrid.h"
+#include "predict/linear.h"
+#include "predict/tree.h"
+
+namespace rumba::core {
+
+namespace {
+
+/** Keep at most @p cap elements (0 = no cap). */
+void
+Cap(std::vector<std::vector<double>>* v, size_t cap)
+{
+    if (cap > 0 && v->size() > cap)
+        v->resize(cap);
+}
+
+}  // namespace
+
+Pipeline::Pipeline(std::unique_ptr<apps::Benchmark> bench,
+                   const PipelineConfig& config)
+    : bench_(std::move(bench)), config_(config)
+{
+    RUMBA_CHECK(bench_ != nullptr);
+
+    train_inputs_ = bench_->TrainInputs();
+    test_inputs_ = bench_->TestInputs();
+    Cap(&train_inputs_, config_.max_train_elements);
+    Cap(&test_inputs_, config_.max_test_elements);
+    RUMBA_CHECK(!train_inputs_.empty());
+    RUMBA_CHECK(!test_inputs_.empty());
+
+    // Normalizers from the raw training distribution.
+    Dataset raw_train = bench_->MakeDataset(train_inputs_);
+    in_norm_.FitInputs(raw_train);
+    out_norm_.FitTargets(raw_train);
+
+    // NN-domain training set.
+    Dataset norm_train(bench_->NumInputs(), bench_->NumOutputs());
+    for (size_t s = 0; s < raw_train.Size(); ++s) {
+        norm_train.Add(in_norm_.Apply(raw_train.Input(s)),
+                       out_norm_.Apply(raw_train.Target(s)));
+    }
+
+    nn::TrainConfig tc;
+    tc.epochs = config_.train_epochs;
+    tc.seed = config_.seed;
+
+    const auto& info = bench_->Info();
+    rumba_mlp_.emplace(info.rumba_topology);
+    nn::Train(&*rumba_mlp_, norm_train, tc);
+    if (info.npu_topology == info.rumba_topology) {
+        npu_mlp_ = rumba_mlp_;
+    } else {
+        npu_mlp_.emplace(info.npu_topology);
+        nn::Train(&*npu_mlp_, norm_train, tc);
+    }
+
+    // True accelerator errors on the training elements (predictor
+    // targets): run the Rumba-topology accelerator over them.
+    npu::Npu accel = MakeAccelerator(/*use_rumba_topology=*/true);
+    const auto approx = RunAccelerator(&accel, train_inputs_);
+    train_errors_.reserve(train_inputs_.size());
+    for (size_t s = 0; s < train_inputs_.size(); ++s) {
+        train_errors_.push_back(
+            bench_->ElementError(raw_train.Target(s), approx[s]));
+    }
+}
+
+Pipeline::Pipeline(std::unique_ptr<apps::Benchmark> bench,
+                   const PipelineConfig& config, const Artifact& artifact)
+    : bench_(std::move(bench)), config_(config)
+{
+    RUMBA_CHECK(bench_ != nullptr);
+    RUMBA_CHECK(artifact.benchmark == bench_->Info().name);
+
+    train_inputs_ = bench_->TrainInputs();
+    test_inputs_ = bench_->TestInputs();
+    Cap(&train_inputs_, config_.max_train_elements);
+    Cap(&test_inputs_, config_.max_test_elements);
+
+    in_norm_ = Normalizer::Deserialize(artifact.in_norm);
+    out_norm_ = Normalizer::Deserialize(artifact.out_norm);
+    rumba_mlp_ = nn::Mlp::Deserialize(artifact.rumba_mlp);
+    npu_mlp_ = nn::Mlp::Deserialize(artifact.npu_mlp);
+    RUMBA_CHECK(rumba_mlp_->GetTopology().NumInputs() ==
+                bench_->NumInputs());
+    RUMBA_CHECK(rumba_mlp_->GetTopology().NumOutputs() ==
+                bench_->NumOutputs());
+    // train_errors_ intentionally left empty: no offline run happened.
+}
+
+Artifact
+Pipeline::ExportArtifact(const predict::ErrorPredictor& predictor,
+                         double threshold) const
+{
+    Artifact artifact;
+    artifact.benchmark = bench_->Info().name;
+    artifact.rumba_mlp = rumba_mlp_->Serialize();
+    artifact.npu_mlp = npu_mlp_->Serialize();
+    artifact.in_norm = in_norm_.Serialize();
+    artifact.out_norm = out_norm_.Serialize();
+    artifact.predictor = predictor.Serialize();
+    artifact.threshold = threshold;
+    return artifact;
+}
+
+std::vector<double>
+Pipeline::NormalizeInput(const std::vector<double>& raw) const
+{
+    return in_norm_.Apply(raw);
+}
+
+std::vector<double>
+Pipeline::DenormalizeOutput(const std::vector<double>& norm) const
+{
+    return out_norm_.Invert(norm);
+}
+
+npu::Npu
+Pipeline::MakeAccelerator(bool use_rumba_topology) const
+{
+    npu::Npu accel(config_.npu);
+    accel.Configure(use_rumba_topology ? *rumba_mlp_ : *npu_mlp_);
+    return accel;
+}
+
+std::vector<std::vector<double>>
+Pipeline::RunAccelerator(
+    npu::Npu* accel,
+    const std::vector<std::vector<double>>& raw_inputs) const
+{
+    RUMBA_CHECK(accel != nullptr && accel->Configured());
+    std::vector<std::vector<double>> outputs;
+    outputs.reserve(raw_inputs.size());
+    for (const auto& raw : raw_inputs) {
+        const auto norm_out = accel->Invoke(in_norm_.Apply(raw));
+        outputs.push_back(out_norm_.Invert(norm_out));
+    }
+    return outputs;
+}
+
+std::unique_ptr<predict::ErrorPredictor>
+Pipeline::MakePredictor(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::kEma:
+        return std::make_unique<predict::EmaDetector>();
+      case Scheme::kLinear:
+        return std::make_unique<predict::LinearErrorPredictor>();
+      case Scheme::kTree:
+        return std::make_unique<predict::TreeErrorPredictor>();
+      case Scheme::kHybrid:
+        return std::make_unique<predict::HybridErrorPredictor>();
+      default:
+        Fatal("scheme %s has no checker hardware", SchemeName(scheme));
+    }
+}
+
+std::unique_ptr<predict::ErrorPredictor>
+Pipeline::TrainPredictor(Scheme scheme) const
+{
+    auto predictor = MakePredictor(scheme);
+    if (scheme == Scheme::kEma)
+        return predictor;  // output-based: no offline fitting.
+
+    Dataset error_data(bench_->NumInputs(), 1);
+    for (size_t s = 0; s < train_inputs_.size(); ++s) {
+        error_data.Add(in_norm_.Apply(train_inputs_[s]),
+                       {train_errors_[s]});
+    }
+    predictor->Train(error_data);
+    return predictor;
+}
+
+}  // namespace rumba::core

@@ -1,0 +1,149 @@
+#ifndef RUMBA_CORE_PIPELINE_H_
+#define RUMBA_CORE_PIPELINE_H_
+
+/**
+ * @file
+ * The offline half of Figure 4: for a benchmark, train the
+ * accelerator networks (Rumba's and the unchecked NPU's topologies),
+ * fit the input/output normalizers, configure accelerators, and train
+ * the error predictors against the accelerator's observed training
+ * errors. Both the evaluation harness (experiment.h) and the online
+ * runtime (runtime.h) build on this.
+ */
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "apps/benchmark.h"
+#include "common/dataset.h"
+#include "core/schemes.h"
+#include "npu/npu.h"
+#include "predict/predictor.h"
+
+namespace rumba::core {
+
+/** Offline-training knobs. */
+struct PipelineConfig {
+    size_t train_epochs = 120;     ///< NN trainer epochs.
+    uint64_t seed = 7;             ///< weight init / shuffling seed.
+    /** Subsample caps for quick runs (0 = use everything). */
+    size_t max_train_elements = 0;
+    size_t max_test_elements = 0;
+    npu::NpuConfig npu;            ///< accelerator configuration.
+};
+
+struct Artifact;
+
+/** Trained artifacts for one benchmark. */
+class Pipeline {
+  public:
+    /** Run the full offline flow for @p bench. Takes ownership. */
+    Pipeline(std::unique_ptr<apps::Benchmark> bench,
+             const PipelineConfig& config);
+
+    /**
+     * Restore a previously exported configuration: loads networks and
+     * normalizers from @p artifact instead of training. TrainErrors()
+     * is empty on such a pipeline (no offline run happened), so
+     * TrainPredictor()/threshold calibration are unavailable — the
+     * artifact carries the trained checker and threshold instead.
+     */
+    Pipeline(std::unique_ptr<apps::Benchmark> bench,
+             const PipelineConfig& config, const Artifact& artifact);
+
+    /**
+     * Export the trained configuration (networks + normalizers) plus
+     * the given checker and threshold as a deployable artifact.
+     */
+    Artifact ExportArtifact(const predict::ErrorPredictor& predictor,
+                            double threshold) const;
+
+    /** The application. */
+    const apps::Benchmark& Bench() const { return *bench_; }
+
+    /** The offline configuration used. */
+    const PipelineConfig& Config() const { return config_; }
+
+    /** Raw (unnormalized) training element inputs, after capping. */
+    const std::vector<std::vector<double>>& TrainInputs() const
+    {
+        return train_inputs_;
+    }
+
+    /** Raw test element inputs, after capping. */
+    const std::vector<std::vector<double>>& TestInputs() const
+    {
+        return test_inputs_;
+    }
+
+    /** Trained network with the Rumba topology. */
+    const nn::Mlp& RumbaMlp() const { return *rumba_mlp_; }
+
+    /** Trained network with the unchecked-NPU topology. */
+    const nn::Mlp& NpuMlp() const { return *npu_mlp_; }
+
+    /** Normalize one element's raw inputs into the NN domain. */
+    std::vector<double> NormalizeInput(
+        const std::vector<double>& raw) const;
+
+    /** Map NN-domain outputs back into the raw output domain. */
+    std::vector<double> DenormalizeOutput(
+        const std::vector<double>& norm) const;
+
+    /**
+     * Build an accelerator configured with the requested network.
+     * @param use_rumba_topology true for Rumba's (smaller) network.
+     */
+    npu::Npu MakeAccelerator(bool use_rumba_topology) const;
+
+    /**
+     * Run @p accel over raw element inputs, returning raw-domain
+     * approximate outputs (normalize -> invoke -> denormalize).
+     */
+    std::vector<std::vector<double>> RunAccelerator(
+        npu::Npu* accel,
+        const std::vector<std::vector<double>>& raw_inputs) const;
+
+    /**
+     * Instantiate an untrained checker for a predictor scheme
+     * (kEma / kLinear / kTree); fatal otherwise.
+     */
+    static std::unique_ptr<predict::ErrorPredictor> MakePredictor(
+        Scheme scheme);
+
+    /**
+     * Offline-train a checker (Figure 4's "error predictor trainer"):
+     * runs the Rumba-topology accelerator over the training elements,
+     * computes each element's true error, and fits the predictor to
+     * map normalized inputs -> error. EMA needs no fitting but is
+     * returned for uniformity.
+     */
+    std::unique_ptr<predict::ErrorPredictor> TrainPredictor(
+        Scheme scheme) const;
+
+    /**
+     * True per-element errors of the Rumba-topology accelerator on
+     * the *training* elements (predictor targets; also useful for
+     * threshold calibration).
+     */
+    const std::vector<double>& TrainErrors() const
+    {
+        return train_errors_;
+    }
+
+  private:
+    std::unique_ptr<apps::Benchmark> bench_;
+    PipelineConfig config_;
+    std::vector<std::vector<double>> train_inputs_;
+    std::vector<std::vector<double>> test_inputs_;
+    Normalizer in_norm_;
+    Normalizer out_norm_;
+    std::optional<nn::Mlp> rumba_mlp_;
+    std::optional<nn::Mlp> npu_mlp_;
+    std::vector<double> train_errors_;
+};
+
+}  // namespace rumba::core
+
+#endif  // RUMBA_CORE_PIPELINE_H_

@@ -1,0 +1,38 @@
+#include "core/recovery.h"
+
+#include "common/logging.h"
+
+namespace rumba::core {
+
+RecoveryModule::RecoveryModule(const apps::Benchmark* bench,
+                               size_t queue_capacity)
+    : bench_(bench), queue_(queue_capacity)
+{
+    RUMBA_CHECK(bench != nullptr);
+}
+
+size_t
+RecoveryModule::Drain(const std::vector<std::vector<double>>& inputs,
+                      std::vector<std::vector<double>>* outputs,
+                      std::vector<char>* fixed)
+{
+    RUMBA_CHECK(outputs != nullptr);
+    RUMBA_CHECK(outputs->size() == inputs.size());
+    size_t drained = 0;
+    std::vector<double> exact(bench_->NumOutputs());
+    while (!queue_.Empty()) {
+        const RecoveryEntry entry = queue_.Pop();
+        RUMBA_CHECK(entry.iteration < inputs.size());
+        bench_->RunExact(inputs[entry.iteration].data(), exact.data());
+        (*outputs)[entry.iteration] = exact;
+        if (fixed != nullptr) {
+            RUMBA_CHECK(entry.iteration < fixed->size());
+            (*fixed)[entry.iteration] = 1;
+        }
+        ++drained;
+        ++reexecutions_;
+    }
+    return drained;
+}
+
+}  // namespace rumba::core

@@ -1,0 +1,70 @@
+#ifndef RUMBA_CORE_RECOVERY_H_
+#define RUMBA_CORE_RECOVERY_H_
+
+/**
+ * @file
+ * Rumba's recovery module (Section 3.3). When a check fires, the
+ * accelerator sets the iteration's recovery bit in the recovery
+ * queue. The CPU-side recovery module pops those bits, re-executes
+ * the flagged iterations exactly (legal because the mapped regions
+ * are pure), and the output merger commits the exact result over the
+ * approximate one.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "apps/benchmark.h"
+#include "npu/fifo.h"
+
+namespace rumba::core {
+
+/** One recovery-queue entry: the flagged iteration's identity. */
+struct RecoveryEntry {
+    size_t iteration = 0;  ///< index of the element to re-execute.
+};
+
+/** The CPU<->accelerator recovery queue of Figure 4. */
+using RecoveryQueue = npu::Fifo<RecoveryEntry>;
+
+/** Re-executes flagged iterations on the host and merges outputs. */
+class RecoveryModule {
+  public:
+    /**
+     * @param bench the application whose pure kernel is re-executed.
+     * @param queue_capacity recovery-queue depth; the runtime drains
+     *        it continuously so a small queue suffices.
+     */
+    explicit RecoveryModule(const apps::Benchmark* bench,
+                            size_t queue_capacity = 64);
+
+    /** The recovery queue the detector side pushes into. */
+    RecoveryQueue& Queue() { return queue_; }
+
+    /**
+     * Drain the queue: re-execute every flagged iteration exactly and
+     * merge the exact outputs into @p outputs (the output-merger step).
+     *
+     * @param inputs all element inputs of the invocation (raw domain).
+     * @param outputs in/out: approximate outputs, overwritten with
+     *        exact results for flagged iterations.
+     * @param fixed optional per-element flags updated to record which
+     *        elements were recovered (may be nullptr).
+     * @return iterations re-executed during this drain.
+     */
+    size_t Drain(const std::vector<std::vector<double>>& inputs,
+                 std::vector<std::vector<double>>* outputs,
+                 std::vector<char>* fixed);
+
+    /** Total iterations re-executed since construction. */
+    size_t TotalReexecutions() const { return reexecutions_; }
+
+  private:
+    const apps::Benchmark* bench_;
+    RecoveryQueue queue_;
+    size_t reexecutions_ = 0;
+};
+
+}  // namespace rumba::core
+
+#endif  // RUMBA_CORE_RECOVERY_H_

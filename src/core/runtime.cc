@@ -1,0 +1,229 @@
+#include "core/runtime.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace rumba::core {
+
+RumbaRuntime::RumbaRuntime(std::unique_ptr<apps::Benchmark> bench,
+                           const RuntimeConfig& config)
+    : config_(config),
+      pipeline_(std::move(bench), config.pipeline),
+      accel_(pipeline_.MakeAccelerator(/*use_rumba_topology=*/true)),
+      detector_(pipeline_.TrainPredictor(config.checker),
+                config.initial_threshold),
+      recovery_(&pipeline_.Bench(), config.recovery_queue_capacity),
+      tuner_(config.tuner, config.initial_threshold),
+      system_(config.core, config.energy)
+{
+    RUMBA_CHECK(IsPredictorScheme(config.checker));
+    kernel_ops_ = pipeline_.Bench().ProfileKernel();
+    if (config.initial_threshold <= 0.0) {
+        const double calibrated =
+            CalibrateThreshold(config.tuner.target_error_pct);
+        detector_.SetThreshold(calibrated);
+        tuner_ = OnlineTuner(config.tuner, calibrated);
+        // The calibration pass measured the expected fire rate on the
+        // training distribution; monitor for departures from it.
+        size_t fired = 0;
+        for (double e : calibration_scores_)
+            fired += e >= calibrated ? 1 : 0;
+        DriftMonitor::Options drift_options;
+        drift_options.expected_fire_rate =
+            static_cast<double>(fired) /
+            static_cast<double>(std::max<size_t>(
+                1, calibration_scores_.size()));
+        drift_ = DriftMonitor(drift_options);
+    }
+}
+
+RumbaRuntime::RumbaRuntime(const Artifact& artifact,
+                           const RuntimeConfig& config)
+    : config_(config),
+      pipeline_(apps::MakeBenchmark(artifact.benchmark), config.pipeline,
+                artifact),
+      accel_(pipeline_.MakeAccelerator(/*use_rumba_topology=*/true)),
+      detector_(predict::DeserializePredictor(artifact.predictor),
+                artifact.threshold),
+      recovery_(&pipeline_.Bench(), config.recovery_queue_capacity),
+      tuner_(config.tuner, artifact.threshold),
+      system_(config.core, config.energy)
+{
+    kernel_ops_ = pipeline_.Bench().ProfileKernel();
+}
+
+Artifact
+RumbaRuntime::ExportArtifact() const
+{
+    return pipeline_.ExportArtifact(detector_.Predictor(),
+                                    tuner_.Threshold());
+}
+
+double
+RumbaRuntime::CalibrateThreshold(double target_error_pct)
+{
+    // Replay the training elements through the accelerator and the
+    // checker, exactly as the online system would see them, then pick
+    // the smallest fix set (largest threshold) whose residual error
+    // meets the target on the training data.
+    const apps::Benchmark& app = pipeline_.Bench();
+    const auto& train = pipeline_.TrainInputs();
+    const auto& true_errors = pipeline_.TrainErrors();
+
+    detector_.Reset();
+    std::vector<double> scores(train.size());
+    for (size_t i = 0; i < train.size(); ++i) {
+        const auto norm_in = pipeline_.NormalizeInput(train[i]);
+        const auto norm_out = accel_.Invoke(norm_in);
+        const auto raw_out = pipeline_.DenormalizeOutput(norm_out);
+        scores[i] = detector_.Check(norm_in, raw_out).predicted_error;
+    }
+    detector_.Reset();
+    calibration_scores_ = scores;
+
+    // Candidate thresholds: the observed scores, descending.
+    std::vector<size_t> order(scores.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return scores[a] > scores[b];
+    });
+
+    // Residual error is monotone in the number of fixes along this
+    // order, so binary-search the smallest sufficient fix count.
+    auto error_at = [&](size_t k) {
+        std::vector<double> residual = true_errors;
+        for (size_t i = 0; i < k; ++i)
+            residual[order[i]] = 0.0;
+        return app.AggregateError(residual);
+    };
+    if (error_at(0) <= target_error_pct) {
+        return std::max(scores[order.front()] * 2.0,
+                        config_.tuner.min_threshold);
+    }
+    if (error_at(order.size()) > target_error_pct)
+        return config_.tuner.min_threshold;  // even fixing all is short.
+    size_t lo = 0, hi = order.size();  // lo insufficient, hi sufficient.
+    while (lo + 1 < hi) {
+        const size_t mid = lo + (hi - lo) / 2;
+        if (error_at(mid) <= target_error_pct)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return std::max(scores[order[hi - 1]], config_.tuner.min_threshold);
+}
+
+InvocationReport
+RumbaRuntime::ProcessInvocation(
+    const std::vector<std::vector<double>>& raw_inputs,
+    std::vector<std::vector<double>>* outputs)
+{
+    RUMBA_CHECK(outputs != nullptr);
+    RUMBA_CHECK(!raw_inputs.empty());
+    const apps::Benchmark& app = pipeline_.Bench();
+    const size_t n = raw_inputs.size();
+
+    detector_.SetThreshold(tuner_.Threshold());
+    detector_.Reset();
+
+    InvocationReport report;
+    report.elements = n;
+    report.threshold_used = detector_.Threshold();
+
+    outputs->assign(n, {});
+    std::vector<char> fixed(n, 0);
+    double unfixed_predicted_sum = 0.0;
+    size_t unfixed_count = 0;
+
+    for (size_t i = 0; i < n; ++i) {
+        const auto norm_in = pipeline_.NormalizeInput(raw_inputs[i]);
+        const auto norm_out = accel_.Invoke(norm_in);
+        (*outputs)[i] = pipeline_.DenormalizeOutput(norm_out);
+
+        const CheckResult check =
+            detector_.Check(norm_in, (*outputs)[i]);
+        if (check.fired) {
+            // Backpressure: drain the queue when full, as the
+            // pipelined CPU side would.
+            if (recovery_.Queue().Full())
+                recovery_.Drain(raw_inputs, outputs, &fixed);
+            recovery_.Queue().Push(RecoveryEntry{i});
+        } else {
+            unfixed_predicted_sum += std::max(0.0,
+                                              check.predicted_error);
+            ++unfixed_count;
+        }
+    }
+    recovery_.Drain(raw_inputs, outputs, &fixed);
+    report.fixes = static_cast<size_t>(
+        std::count(fixed.begin(), fixed.end(), char{1}));
+
+    // True residual error (the runtime can verify because the exact
+    // kernel is available; a production deployment would not).
+    std::vector<double> residual(n, 0.0);
+    std::vector<double> exact(app.NumOutputs());
+    for (size_t i = 0; i < n; ++i) {
+        if (fixed[i])
+            continue;
+        app.RunExact(raw_inputs[i].data(), exact.data());
+        residual[i] = app.ElementError(exact, (*outputs)[i]);
+    }
+    report.output_error_pct = app.AggregateError(residual);
+    report.estimated_error_pct =
+        unfixed_count == 0
+            ? 0.0
+            : 100.0 * unfixed_predicted_sum /
+                  static_cast<double>(n);
+
+    // ---- Modeled costs and tuner feedback ----------------------------
+    sim::RegionProfile region;
+    region.cpu_ops_per_iter = kernel_ops_;
+    region.iterations = n;
+    region.region_fraction = app.RegionFraction();
+
+    sim::AcceleratorProfile accel_profile;
+    accel_profile.cycles_per_invocation = accel_.CyclesPerInvocation();
+    accel_profile.frequency_ghz = config_.pipeline.npu.frequency_ghz;
+    const auto topo_macs =
+        pipeline_.RumbaMlp().GetTopology().MacsPerInvocation();
+    accel_profile.macs_per_invocation = static_cast<double>(topo_macs);
+    accel_profile.luts_per_invocation = static_cast<double>(
+        pipeline_.RumbaMlp().GetTopology().NumNeurons());
+    accel_profile.queue_words_per_invocation =
+        static_cast<double>(app.NumInputs() + app.NumOutputs()) + 1.0;
+
+    const sim::CheckerCost checker = detector_.CostPerCheck();
+    report.costs = system_.Evaluate(region, accel_profile, &checker,
+                                    report.fixes);
+
+    InvocationFeedback feedback;
+    feedback.elements = n;
+    feedback.fixes = report.fixes;
+    feedback.estimated_error_pct = report.estimated_error_pct;
+    feedback.cpu_busy_ratio =
+        report.costs.npu_ns > 0.0
+            ? report.costs.recovery_ns / report.costs.npu_ns
+            : 0.0;
+    tuner_.EndInvocation(feedback);
+
+    // Every fired check became a fix (the queue always drains), so
+    // the fix count is this invocation's fire count.
+    drift_.Observe(report.fixes, n);
+    report.drift_detected = drift_.DriftDetected();
+
+    ++invocations_;
+    ++summary_.invocations;
+    summary_.elements += n;
+    summary_.fixes += report.fixes;
+    summary_.error_weighted_sum +=
+        report.output_error_pct * static_cast<double>(n);
+    summary_.baseline_app_ns += report.costs.baseline_app_ns;
+    summary_.baseline_app_nj += report.costs.baseline_app_nj;
+    summary_.scheme_app_ns += report.costs.scheme_app_ns;
+    summary_.scheme_app_nj += report.costs.scheme_app_nj;
+    return report;
+}
+
+}  // namespace rumba::core

@@ -1,0 +1,181 @@
+#ifndef RUMBA_CORE_RUNTIME_H_
+#define RUMBA_CORE_RUNTIME_H_
+
+/**
+ * @file
+ * The online Rumba system (Figure 4's execution subsystem): the
+ * public API a host application uses. Each ProcessInvocation() call
+ * plays one accelerator invocation — a batch of data-parallel
+ * elements streamed through the accelerator while the detector checks
+ * every element, flagged iterations flow through the recovery queue,
+ * the CPU re-executes them, and the output merger commits exact over
+ * approximate results. Between invocations the online tuner moves the
+ * detection threshold toward the user's goal.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "core/artifact.h"
+#include "core/detector.h"
+#include "core/drift.h"
+#include "core/pipeline.h"
+#include "core/recovery.h"
+#include "core/schemes.h"
+#include "core/tuner.h"
+#include "sim/system_model.h"
+
+namespace rumba::core {
+
+/** Online-system configuration. */
+struct RuntimeConfig {
+    PipelineConfig pipeline;          ///< offline-training knobs.
+    Scheme checker = Scheme::kTree;   ///< kEma / kLinear / kTree.
+    TunerConfig tuner;                ///< online-tuning policy.
+    /** Starting detection threshold. Values <= 0 request offline
+     *  calibration: the trainer replays the training elements through
+     *  the accelerator + checker and picks the smallest threshold
+     *  whose fix set meets tuner.target_error_pct on them. */
+    double initial_threshold = 0.0;
+    size_t recovery_queue_capacity = 64;
+    sim::CoreParams core;             ///< host-core model (Table 2).
+    sim::EnergyParams energy;         ///< event energies.
+};
+
+/** What one invocation reported back. */
+struct InvocationReport {
+    size_t elements = 0;            ///< elements processed.
+    size_t fixes = 0;               ///< iterations re-executed.
+    double threshold_used = 0.0;    ///< detector threshold this round.
+    double output_error_pct = 0.0;  ///< true residual error (verified
+                                    ///< against the exact kernel).
+    double estimated_error_pct = 0.0;  ///< detector's own estimate.
+    /** Input-drift alarm: the fire rate has departed persistently
+     *  from its calibration-time value (see core/drift.h). Only
+     *  raised when the threshold was auto-calibrated. */
+    bool drift_detected = false;
+    sim::SystemCosts costs;         ///< modeled energy/time.
+};
+
+/** Aggregate statistics across a runtime's whole life. */
+struct RunSummary {
+    size_t invocations = 0;  ///< ProcessInvocation() calls.
+    size_t elements = 0;     ///< elements processed in total.
+    size_t fixes = 0;        ///< iterations re-executed in total.
+    double error_weighted_sum = 0.0;  ///< sum(err% x elements).
+    double baseline_app_ns = 0.0;     ///< accumulated baseline time.
+    double baseline_app_nj = 0.0;     ///< accumulated baseline energy.
+    double scheme_app_ns = 0.0;       ///< accumulated Rumba time.
+    double scheme_app_nj = 0.0;       ///< accumulated Rumba energy.
+
+    /** Element-weighted mean output error (percent). */
+    double
+    MeanOutputErrorPct() const
+    {
+        return elements == 0
+                   ? 0.0
+                   : error_weighted_sum / static_cast<double>(elements);
+    }
+
+    /** Fraction of all elements that were re-executed. */
+    double
+    FixFraction() const
+    {
+        return elements == 0 ? 0.0
+                             : static_cast<double>(fixes) /
+                                   static_cast<double>(elements);
+    }
+
+    /** Whole-run energy-saving factor vs the CPU baseline. */
+    double
+    EnergySaving() const
+    {
+        return scheme_app_nj == 0.0 ? 0.0
+                                    : baseline_app_nj / scheme_app_nj;
+    }
+
+    /** Whole-run speedup vs the CPU baseline. */
+    double
+    Speedup() const
+    {
+        return scheme_app_ns == 0.0 ? 0.0
+                                    : baseline_app_ns / scheme_app_ns;
+    }
+};
+
+/** The online quality-management system. */
+class RumbaRuntime {
+  public:
+    /** Builds the offline pipeline and the online modules. */
+    RumbaRuntime(std::unique_ptr<apps::Benchmark> bench,
+                 const RuntimeConfig& config);
+
+    /**
+     * Bring the system up from a deployed artifact (Figure 4's
+     * "embedded in the binary" configuration): no training happens;
+     * the networks, normalizers, checker and threshold all come from
+     * @p artifact. config.checker and config.initial_threshold are
+     * ignored.
+     */
+    RumbaRuntime(const struct Artifact& artifact,
+                 const RuntimeConfig& config);
+
+    /**
+     * Export this runtime's trained configuration (networks,
+     * normalizers, checker, current threshold) for deployment.
+     */
+    struct Artifact ExportArtifact() const;
+
+    /**
+     * Run one accelerator invocation over a batch of raw element
+     * inputs. @p outputs receives the merged (approximate + recovered
+     * exact) element outputs.
+     */
+    InvocationReport ProcessInvocation(
+        const std::vector<std::vector<double>>& raw_inputs,
+        std::vector<std::vector<double>>* outputs);
+
+    /** The detection threshold the next invocation will use. */
+    double Threshold() const { return tuner_.Threshold(); }
+
+    /** The online tuner (inspection). */
+    const OnlineTuner& Tuner() const { return tuner_; }
+
+    /** The application the runtime serves. */
+    const apps::Benchmark& Bench() const { return pipeline_.Bench(); }
+
+    /** Total re-executions since construction. */
+    size_t TotalFixes() const { return recovery_.TotalReexecutions(); }
+
+    /** Invocations processed since construction. */
+    size_t Invocations() const { return invocations_; }
+
+    /** Aggregates across every invocation so far. */
+    const RunSummary& Summary() const { return summary_; }
+
+    /** The input-drift monitor (enabled by threshold calibration). */
+    const DriftMonitor& Drift() const { return drift_; }
+
+  private:
+    /** Offline threshold calibration (see RuntimeConfig). */
+    double CalibrateThreshold(double target_error_pct);
+
+    RuntimeConfig config_;
+    Pipeline pipeline_;
+    npu::Npu accel_;
+    Detector detector_;
+    RecoveryModule recovery_;
+    OnlineTuner tuner_;
+    sim::SystemModel system_;
+    sim::OpCounts kernel_ops_;
+    /** Checker scores observed on the training elements during
+     *  threshold calibration (drift baseline). */
+    std::vector<double> calibration_scores_;
+    size_t invocations_ = 0;
+    RunSummary summary_;
+    DriftMonitor drift_;
+};
+
+}  // namespace rumba::core
+
+#endif  // RUMBA_CORE_RUNTIME_H_

@@ -1,0 +1,60 @@
+#include "core/schemes.h"
+
+#include "common/logging.h"
+
+namespace rumba::core {
+
+const char*
+SchemeName(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::kNpu:
+        return "NPU";
+      case Scheme::kIdeal:
+        return "Ideal";
+      case Scheme::kRandom:
+        return "Random";
+      case Scheme::kUniform:
+        return "Uniform";
+      case Scheme::kEma:
+        return "EMA";
+      case Scheme::kLinear:
+        return "linearErrors";
+      case Scheme::kTree:
+        return "treeErrors";
+      case Scheme::kHybrid:
+        return "hybridErrors";
+    }
+    Panic("unknown scheme");
+}
+
+std::vector<Scheme>
+FixingSchemes()
+{
+    return {Scheme::kIdeal, Scheme::kRandom, Scheme::kUniform,
+            Scheme::kEma,   Scheme::kLinear, Scheme::kTree};
+}
+
+std::vector<Scheme>
+DetectorSchemes()
+{
+    return {Scheme::kRandom, Scheme::kUniform, Scheme::kEma,
+            Scheme::kLinear, Scheme::kTree};
+}
+
+std::vector<Scheme>
+ExtendedSchemes()
+{
+    auto schemes = FixingSchemes();
+    schemes.push_back(Scheme::kHybrid);
+    return schemes;
+}
+
+bool
+IsPredictorScheme(Scheme scheme)
+{
+    return scheme == Scheme::kEma || scheme == Scheme::kLinear ||
+           scheme == Scheme::kTree || scheme == Scheme::kHybrid;
+}
+
+}  // namespace rumba::core

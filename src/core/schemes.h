@@ -1,0 +1,47 @@
+#ifndef RUMBA_CORE_SCHEMES_H_
+#define RUMBA_CORE_SCHEMES_H_
+
+/**
+ * @file
+ * The selection schemes compared throughout the paper's evaluation:
+ * the unchecked NPU, the oracle (Ideal), the two detector-free
+ * baselines (Random, Uniform) and Rumba's three checkers (EMA,
+ * linearErrors, treeErrors).
+ */
+
+#include <string>
+#include <vector>
+
+namespace rumba::core {
+
+/** Which mechanism decides the elements to re-execute. */
+enum class Scheme {
+    kNpu,      ///< unchecked accelerator, no fixes (baseline).
+    kIdeal,    ///< oracle knowledge of true errors.
+    kRandom,   ///< fix a random subset.
+    kUniform,  ///< fix an evenly spaced subset.
+    kEma,      ///< output-based EMA checker.
+    kLinear,   ///< input-based linear error model.
+    kTree,     ///< input-based decision-tree error model.
+    kHybrid,   ///< extension: offline best-of(linear, tree) selection.
+};
+
+/** Paper-style display name ("treeErrors", "NPU", ...). */
+const char* SchemeName(Scheme scheme);
+
+/** The six fixing schemes of Figures 10-13 (everything but NPU). */
+std::vector<Scheme> FixingSchemes();
+
+/** The five detector-style schemes of Figures 11/13 (no Ideal/NPU). */
+std::vector<Scheme> DetectorSchemes();
+
+/** The fixing schemes plus the hybrid extension (ablation benches). */
+std::vector<Scheme> ExtendedSchemes();
+
+/** True for schemes whose fix decision comes from a trained/online
+ *  checker (EMA, linear, tree). */
+bool IsPredictorScheme(Scheme scheme);
+
+}  // namespace rumba::core
+
+#endif  // RUMBA_CORE_SCHEMES_H_

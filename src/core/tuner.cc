@@ -1,0 +1,78 @@
+#include "core/tuner.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rumba::core {
+
+OnlineTuner::OnlineTuner(const TunerConfig& config,
+                         double initial_threshold)
+    : config_(config), threshold_(initial_threshold)
+{
+    RUMBA_CHECK(config.adjust_factor > 1.0);
+    RUMBA_CHECK(config.min_threshold > 0.0);
+    RUMBA_CHECK(config.max_threshold > config.min_threshold);
+    threshold_ = std::clamp(threshold_, config.min_threshold,
+                            config.max_threshold);
+}
+
+void
+OnlineTuner::Raise()
+{
+    const double next = std::min(threshold_ * config_.adjust_factor,
+                                 config_.max_threshold);
+    if (next != threshold_) {
+        threshold_ = next;
+        ++adjustments_;
+    }
+}
+
+void
+OnlineTuner::Lower()
+{
+    const double next = std::max(threshold_ / config_.adjust_factor,
+                                 config_.min_threshold);
+    if (next != threshold_) {
+        threshold_ = next;
+        ++adjustments_;
+    }
+}
+
+void
+OnlineTuner::EndInvocation(const InvocationFeedback& feedback)
+{
+    const double band = config_.dead_band;
+    switch (config_.mode) {
+      case TuningMode::kToq: {
+        // Too much residual error -> check more aggressively;
+        // comfortably under target -> back off to save energy.
+        const double target = config_.target_error_pct;
+        if (feedback.estimated_error_pct > target * (1.0 + band))
+            Lower();
+        else if (feedback.estimated_error_pct < target * (1.0 - band))
+            Raise();
+        break;
+      }
+      case TuningMode::kEnergy: {
+        const double budget =
+            static_cast<double>(config_.iteration_budget);
+        const double fixes = static_cast<double>(feedback.fixes);
+        if (fixes > budget)
+            Raise();
+        else if (fixes < budget * (1.0 - band))
+            Lower();
+        break;
+      }
+      case TuningMode::kQuality: {
+        // CPU saturated -> fix fewer; CPU idle headroom -> fix more.
+        if (feedback.cpu_busy_ratio > 1.0)
+            Raise();
+        else if (feedback.cpu_busy_ratio < 1.0 - band)
+            Lower();
+        break;
+      }
+    }
+}
+
+}  // namespace rumba::core

@@ -1,0 +1,75 @@
+#ifndef RUMBA_NN_ACTIVATION_H_
+#define RUMBA_NN_ACTIVATION_H_
+
+/**
+ * @file
+ * Neuron activation functions shared by the software MLP and the NPU
+ * datapath model. The NPU paper's processing elements implement
+ * sigmoid via a lookup table; the software reference uses the exact
+ * function, and the NPU model quantizes it (see npu/pe.h).
+ */
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rumba::nn {
+
+/** Supported activation functions. */
+enum class Activation {
+    kSigmoid,  ///< logistic 1 / (1 + e^-x)
+    kTanh,     ///< hyperbolic tangent
+    kLinear,   ///< identity (typical for regression output layers)
+};
+
+/** Evaluate @p act at @p x. */
+inline double
+Evaluate(Activation act, double x)
+{
+    switch (act) {
+      case Activation::kSigmoid:
+        return 1.0 / (1.0 + std::exp(-x));
+      case Activation::kTanh:
+        return std::tanh(x);
+      case Activation::kLinear:
+        return x;
+    }
+    Panic("unknown activation");
+}
+
+/**
+ * Derivative of @p act expressed in terms of the *output* value @p y
+ * (the form backpropagation wants).
+ */
+inline double
+DerivativeFromOutput(Activation act, double y)
+{
+    switch (act) {
+      case Activation::kSigmoid:
+        return y * (1.0 - y);
+      case Activation::kTanh:
+        return 1.0 - y * y;
+      case Activation::kLinear:
+        return 1.0;
+    }
+    Panic("unknown activation");
+}
+
+/** Short name used in serialized models. */
+inline const char*
+Name(Activation act)
+{
+    switch (act) {
+      case Activation::kSigmoid:
+        return "sigmoid";
+      case Activation::kTanh:
+        return "tanh";
+      case Activation::kLinear:
+        return "linear";
+    }
+    Panic("unknown activation");
+}
+
+}  // namespace rumba::nn
+
+#endif  // RUMBA_NN_ACTIVATION_H_

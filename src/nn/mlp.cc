@@ -1,0 +1,152 @@
+#include "nn/mlp.h"
+
+#include <sstream>
+
+#include "common/dataset.h"
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace rumba::nn {
+
+Mlp::Mlp(const Topology& topology, Activation hidden_act,
+         Activation output_act)
+    : topology_(topology)
+{
+    RUMBA_CHECK(topology.layers.size() >= 2);
+    for (size_t i = 1; i < topology.layers.size(); ++i) {
+        Layer layer;
+        layer.in = topology.layers[i - 1];
+        layer.out = topology.layers[i];
+        layer.act = (i + 1 == topology.layers.size()) ? output_act
+                                                      : hidden_act;
+        layer.weights.assign(layer.out * (layer.in + 1), 0.0);
+        layers_.push_back(std::move(layer));
+    }
+}
+
+void
+Mlp::RandomizeWeights(Rng* rng, double scale)
+{
+    RUMBA_CHECK(rng != nullptr);
+    for (auto& layer : layers_)
+        for (auto& w : layer.weights)
+            w = rng->Uniform(-scale, scale);
+}
+
+std::vector<double>
+Mlp::Forward(const std::vector<double>& input) const
+{
+    RUMBA_CHECK(input.size() == topology_.NumInputs());
+    std::vector<double> current = input;
+    std::vector<double> next;
+    for (const auto& layer : layers_) {
+        next.assign(layer.out, 0.0);
+        for (size_t n = 0; n < layer.out; ++n) {
+            double sum = layer.Bias(n);
+            for (size_t i = 0; i < layer.in; ++i)
+                sum += layer.W(n, i) * current[i];
+            next[n] = Evaluate(layer.act, sum);
+        }
+        current.swap(next);
+    }
+    return current;
+}
+
+ForwardTrace
+Mlp::ForwardWithTrace(const std::vector<double>& input) const
+{
+    RUMBA_CHECK(input.size() == topology_.NumInputs());
+    ForwardTrace trace;
+    trace.activations.reserve(layers_.size() + 1);
+    trace.activations.push_back(input);
+    for (const auto& layer : layers_) {
+        const auto& prev = trace.activations.back();
+        std::vector<double> act(layer.out, 0.0);
+        for (size_t n = 0; n < layer.out; ++n) {
+            double sum = layer.Bias(n);
+            for (size_t i = 0; i < layer.in; ++i)
+                sum += layer.W(n, i) * prev[i];
+            act[n] = Evaluate(layer.act, sum);
+        }
+        trace.activations.push_back(std::move(act));
+    }
+    return trace;
+}
+
+double
+Mlp::MeanSquaredError(const Dataset& data) const
+{
+    RUMBA_CHECK(!data.Empty());
+    RUMBA_CHECK(data.NumInputs() == topology_.NumInputs());
+    RUMBA_CHECK(data.NumTargets() == topology_.NumOutputs());
+    double total = 0.0;
+    for (size_t s = 0; s < data.Size(); ++s) {
+        const auto out = Forward(data.Input(s));
+        const auto& target = data.Target(s);
+        for (size_t o = 0; o < out.size(); ++o) {
+            const double d = out[o] - target[o];
+            total += d * d;
+        }
+    }
+    return total /
+           (static_cast<double>(data.Size()) *
+            static_cast<double>(topology_.NumOutputs()));
+}
+
+size_t
+Mlp::NumParameters() const
+{
+    size_t n = 0;
+    for (const auto& layer : layers_)
+        n += layer.weights.size();
+    return n;
+}
+
+std::string
+Mlp::Serialize() const
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << "mlp " << topology_.ToString() << "\n";
+    for (const auto& layer : layers_) {
+        out << "layer " << Name(layer.act);
+        for (double w : layer.weights)
+            out << " " << w;
+        out << "\n";
+    }
+    return out.str();
+}
+
+Mlp
+Mlp::Deserialize(const std::string& blob)
+{
+    std::istringstream in(blob);
+    std::string tag, topo_text;
+    in >> tag >> topo_text;
+    if (tag != "mlp")
+        Fatal("MLP blob missing 'mlp' header");
+    const Topology topo = Topology::Parse(topo_text);
+    Mlp mlp(topo);
+    for (auto& layer : mlp.layers_) {
+        std::string act_name;
+        in >> tag >> act_name;
+        if (tag != "layer")
+            Fatal("MLP blob missing 'layer' record");
+        if (act_name == "sigmoid") {
+            layer.act = Activation::kSigmoid;
+        } else if (act_name == "tanh") {
+            layer.act = Activation::kTanh;
+        } else if (act_name == "linear") {
+            layer.act = Activation::kLinear;
+        } else {
+            Fatal("unknown activation '%s' in MLP blob", act_name.c_str());
+        }
+        for (auto& w : layer.weights) {
+            if (!(in >> w))
+                Fatal("MLP blob truncated");
+        }
+    }
+    return mlp;
+}
+
+}  // namespace rumba::nn

@@ -1,0 +1,63 @@
+#include "nn/topology.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace rumba::nn {
+
+std::string
+Topology::ToString() const
+{
+    std::ostringstream out;
+    for (size_t i = 0; i < layers.size(); ++i) {
+        if (i)
+            out << "->";
+        out << layers[i];
+    }
+    return out.str();
+}
+
+Topology
+Topology::Parse(const std::string& text)
+{
+    Topology topo;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t next = text.find("->", pos);
+        const std::string token = text.substr(
+            pos, next == std::string::npos ? std::string::npos : next - pos);
+        char* end = nullptr;
+        const long v = std::strtol(token.c_str(), &end, 10);
+        if (end == token.c_str() || v <= 0)
+            Fatal("malformed topology '%s'", text.c_str());
+        topo.layers.push_back(static_cast<size_t>(v));
+        if (next == std::string::npos)
+            break;
+        pos = next + 2;
+    }
+    if (topo.layers.size() < 2)
+        Fatal("topology '%s' needs at least input and output layers",
+              text.c_str());
+    return topo;
+}
+
+size_t
+Topology::NumNeurons() const
+{
+    size_t n = 0;
+    for (size_t i = 1; i < layers.size(); ++i)
+        n += layers[i];
+    return n;
+}
+
+size_t
+Topology::MacsPerInvocation() const
+{
+    size_t macs = 0;
+    for (size_t i = 1; i < layers.size(); ++i)
+        macs += layers[i] * (layers[i - 1] + 1);
+    return macs;
+}
+
+}  // namespace rumba::nn

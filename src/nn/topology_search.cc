@@ -1,0 +1,55 @@
+#include "nn/topology_search.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/dataset.h"
+#include "common/logging.h"
+
+namespace rumba::nn {
+
+SearchResult
+SearchTopology(const Dataset& data, const SearchConfig& config)
+{
+    RUMBA_CHECK(!config.hidden_candidates.empty());
+
+    std::vector<SearchEntry> entries;
+    double best_mse = std::numeric_limits<double>::infinity();
+
+    std::vector<Mlp> trained;
+    trained.reserve(config.hidden_candidates.size());
+
+    for (const auto& hidden : config.hidden_candidates) {
+        Topology topo;
+        topo.layers.push_back(data.NumInputs());
+        for (size_t h : hidden) {
+            RUMBA_CHECK(h >= 1 && h <= 32);
+            topo.layers.push_back(h);
+        }
+        topo.layers.push_back(data.NumTargets());
+
+        Mlp mlp(topo);
+        const TrainResult tr = Train(&mlp, data, config.train);
+        entries.push_back(
+            {topo, tr.validation_mse, topo.MacsPerInvocation()});
+        trained.push_back(std::move(mlp));
+        best_mse = std::min(best_mse, tr.validation_mse);
+    }
+
+    // Smallest qualifying network.
+    size_t chosen = 0;
+    size_t chosen_macs = std::numeric_limits<size_t>::max();
+    for (size_t i = 0; i < entries.size(); ++i) {
+        const bool qualifies =
+            entries[i].validation_mse <= best_mse * config.slack ||
+            entries[i].validation_mse <= best_mse + config.absolute_slack;
+        if (qualifies && entries[i].macs < chosen_macs) {
+            chosen = i;
+            chosen_macs = entries[i].macs;
+        }
+    }
+
+    return SearchResult{std::move(trained[chosen]), std::move(entries)};
+}
+
+}  // namespace rumba::nn

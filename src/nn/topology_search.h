@@ -1,0 +1,63 @@
+#ifndef RUMBA_NN_TOPOLOGY_SEARCH_H_
+#define RUMBA_NN_TOPOLOGY_SEARCH_H_
+
+/**
+ * @file
+ * Offline topology search (the paper's "accelerator trainer"): pick
+ * the smallest network, bounded to at most two hidden layers of at
+ * most 32 neurons (the NPU paper's restriction, kept by Rumba), whose
+ * validation error stays within a tolerance of the best candidate's.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/mlp.h"
+#include "nn/trainer.h"
+
+namespace rumba {
+class Dataset;
+}
+
+namespace rumba::nn {
+
+/** Search space and selection policy. */
+struct SearchConfig {
+    /** Candidate hidden-layer shapes; an empty entry means no hidden. */
+    std::vector<std::vector<size_t>> hidden_candidates = {
+        {4}, {8}, {16}, {32}, {4, 4}, {8, 4}, {8, 8}, {16, 8}, {32, 8},
+    };
+    /** A candidate qualifies when its validation MSE is within this
+     *  multiple of the best validation MSE seen... */
+    double slack = 1.25;
+    /** ...or within this absolute MSE of the best (relative slack is
+     *  meaningless once every candidate is near-perfect). */
+    double absolute_slack = 1e-4;
+    /** Trainer settings applied to each candidate. */
+    TrainConfig train;
+};
+
+/** One explored candidate. */
+struct SearchEntry {
+    Topology topology;        ///< candidate shape.
+    double validation_mse;    ///< its trained validation error.
+    size_t macs;              ///< forward-pass cost (selection key).
+};
+
+/** Search outcome: selected network plus the full exploration log. */
+struct SearchResult {
+    Mlp best;                          ///< retrained winning network.
+    std::vector<SearchEntry> entries;  ///< everything explored.
+};
+
+/**
+ * Train each candidate topology on @p data and return the cheapest
+ * (fewest MACs) candidate whose validation error is within
+ * config.slack of the best error; ties broken toward fewer MACs.
+ */
+SearchResult SearchTopology(const rumba::Dataset& data,
+                            const SearchConfig& config);
+
+}  // namespace rumba::nn
+
+#endif  // RUMBA_NN_TOPOLOGY_SEARCH_H_

@@ -1,0 +1,158 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace rumba::nn {
+
+namespace {
+
+/** Per-layer gradient / velocity buffers matching an Mlp's shape. */
+std::vector<std::vector<double>>
+ZeroLike(const Mlp& mlp)
+{
+    std::vector<std::vector<double>> buf;
+    buf.reserve(mlp.Layers().size());
+    for (const auto& layer : mlp.Layers())
+        buf.emplace_back(layer.weights.size(), 0.0);
+    return buf;
+}
+
+/**
+ * Backpropagate one sample and accumulate weight gradients.
+ * @return the sample's squared error.
+ */
+double
+BackpropSample(Mlp* mlp, const std::vector<double>& input,
+               const std::vector<double>& target,
+               std::vector<std::vector<double>>* grads)
+{
+    const ForwardTrace trace = mlp->ForwardWithTrace(input);
+    const auto& layers = mlp->Layers();
+    const auto& output = trace.activations.back();
+
+    double sq_err = 0.0;
+    // delta[n] = dE/d(pre-activation of neuron n) for the current layer.
+    std::vector<double> delta(output.size());
+    for (size_t o = 0; o < output.size(); ++o) {
+        const double err = output[o] - target[o];
+        sq_err += err * err;
+        delta[o] =
+            err * DerivativeFromOutput(layers.back().act, output[o]);
+    }
+
+    for (size_t li = layers.size(); li-- > 0;) {
+        const Layer& layer = layers[li];
+        const auto& prev_act = trace.activations[li];
+        auto& grad = (*grads)[li];
+        for (size_t n = 0; n < layer.out; ++n) {
+            const double d = delta[n];
+            const size_t row = n * (layer.in + 1);
+            for (size_t i = 0; i < layer.in; ++i)
+                grad[row + i] += d * prev_act[i];
+            grad[row + layer.in] += d;  // bias
+        }
+        if (li == 0)
+            break;
+        // Propagate delta to the previous layer.
+        std::vector<double> prev_delta(layer.in, 0.0);
+        for (size_t i = 0; i < layer.in; ++i) {
+            double sum = 0.0;
+            for (size_t n = 0; n < layer.out; ++n)
+                sum += layer.W(n, i) * delta[n];
+            prev_delta[i] =
+                sum * DerivativeFromOutput(layers[li - 1].act, prev_act[i]);
+        }
+        delta.swap(prev_delta);
+    }
+    return sq_err;
+}
+
+}  // namespace
+
+TrainResult
+Train(Mlp* mlp, const Dataset& data, const TrainConfig& config)
+{
+    RUMBA_CHECK(mlp != nullptr);
+    RUMBA_CHECK(!data.Empty());
+    RUMBA_CHECK(data.NumInputs() == mlp->GetTopology().NumInputs());
+    RUMBA_CHECK(data.NumTargets() == mlp->GetTopology().NumOutputs());
+
+    Rng rng(config.seed);
+    mlp->RandomizeWeights(&rng);
+
+    // Split out a validation set (copy; datasets are modest in size).
+    Dataset shuffled = data;
+    shuffled.Shuffle(&rng);
+    Dataset validation = shuffled.TakeFront(config.validation_fraction);
+    const Dataset& train = shuffled;
+    const bool has_validation = !validation.Empty();
+
+    std::vector<size_t> order(train.Size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+
+    auto velocity = ZeroLike(*mlp);
+    auto grads = ZeroLike(*mlp);
+
+    TrainResult result;
+    double best_val = 1.0 / 0.0;
+    std::string best_weights;
+    size_t since_best = 0;
+    double lr = config.learning_rate;
+
+    for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+        rng.Shuffle(order);
+        double epoch_sq = 0.0;
+        const size_t batch = 16;
+        for (size_t start = 0; start < order.size(); start += batch) {
+            const size_t end = std::min(order.size(), start + batch);
+            for (auto& g : grads)
+                std::fill(g.begin(), g.end(), 0.0);
+            for (size_t s = start; s < end; ++s)
+                epoch_sq += BackpropSample(mlp, train.Input(order[s]),
+                                           train.Target(order[s]), &grads);
+            const double scale = lr / static_cast<double>(end - start);
+            auto& layers = mlp->MutableLayers();
+            for (size_t li = 0; li < layers.size(); ++li) {
+                auto& w = layers[li].weights;
+                auto& v = velocity[li];
+                const auto& g = grads[li];
+                for (size_t k = 0; k < w.size(); ++k) {
+                    v[k] = config.momentum * v[k] - scale * g[k];
+                    w[k] += v[k];
+                }
+            }
+        }
+        result.train_mse =
+            epoch_sq / (static_cast<double>(train.Size()) *
+                        static_cast<double>(data.NumTargets()));
+        result.epochs_run = epoch + 1;
+        lr *= config.lr_decay;
+
+        if (has_validation) {
+            const double val = mlp->MeanSquaredError(validation);
+            if (val < best_val) {
+                best_val = val;
+                best_weights = mlp->Serialize();
+                since_best = 0;
+            } else if (++since_best >= config.patience) {
+                break;
+            }
+        }
+    }
+
+    if (has_validation && !best_weights.empty()) {
+        *mlp = Mlp::Deserialize(best_weights);
+        result.validation_mse = best_val;
+    } else {
+        result.validation_mse = result.train_mse;
+    }
+    return result;
+}
+
+}  // namespace rumba::nn

@@ -1,0 +1,51 @@
+#ifndef RUMBA_NN_TRAINER_H_
+#define RUMBA_NN_TRAINER_H_
+
+/**
+ * @file
+ * Offline backpropagation trainer — the "accelerator trainer" box in
+ * Figure 4 of the paper. Mini-batch SGD with momentum on mean squared
+ * error, with a held-out validation split and best-weights restore.
+ */
+
+#include <cstdint>
+
+#include "nn/mlp.h"
+
+namespace rumba {
+class Dataset;
+}
+
+namespace rumba::nn {
+
+/** Hyper-parameters for Train(). */
+struct TrainConfig {
+    size_t epochs = 120;          ///< full passes over the data.
+    double learning_rate = 0.25;  ///< SGD step size.
+    double momentum = 0.9;        ///< classical momentum.
+    double lr_decay = 0.99;       ///< multiplicative decay per epoch.
+    double validation_fraction = 0.15;  ///< held out for early scoring.
+    uint64_t seed = 1;            ///< weight init + shuffling.
+    size_t patience = 25;         ///< epochs without improvement before stop.
+};
+
+/** Outcome of a training run. */
+struct TrainResult {
+    double train_mse = 0.0;       ///< final MSE on the training split.
+    double validation_mse = 0.0;  ///< best MSE on the validation split.
+    size_t epochs_run = 0;        ///< epochs actually executed.
+};
+
+/**
+ * Train @p mlp on @p data in place.
+ *
+ * Inputs and targets are expected to be normalized to roughly [0, 1]
+ * (see rumba::Normalizer); sigmoid outputs cannot reach values far
+ * outside that range.
+ */
+TrainResult Train(Mlp* mlp, const rumba::Dataset& data,
+                  const TrainConfig& config);
+
+}  // namespace rumba::nn
+
+#endif  // RUMBA_NN_TRAINER_H_

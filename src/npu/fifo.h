@@ -1,0 +1,89 @@
+#ifndef RUMBA_NPU_FIFO_H_
+#define RUMBA_NPU_FIFO_H_
+
+/**
+ * @file
+ * Bounded FIFO queues modeling the CPU <-> accelerator interface of
+ * the NPU design: the config queue, input queue, output queue, and —
+ * added by Rumba — the recovery queue that carries recovery bits back
+ * to the host (Figure 4 of the paper).
+ */
+
+#include <cstddef>
+#include <deque>
+
+#include "common/logging.h"
+
+namespace rumba::npu {
+
+/**
+ * Fixed-capacity FIFO with occupancy/traffic accounting.
+ *
+ * Push on a full queue and pop on an empty queue are modeling bugs
+ * (the hardware applies backpressure), so both panic; callers check
+ * Full()/Empty() and account stall cycles instead.
+ */
+template <typename T>
+class Fifo {
+  public:
+    /** Create a queue holding at most @p capacity entries. */
+    explicit Fifo(size_t capacity) : capacity_(capacity)
+    {
+        RUMBA_CHECK(capacity > 0);
+    }
+
+    /** True when another Push() would overflow. */
+    bool Full() const { return items_.size() >= capacity_; }
+
+    /** True when there is nothing to Pop(). */
+    bool Empty() const { return items_.empty(); }
+
+    /** Current occupancy. */
+    size_t Size() const { return items_.size(); }
+
+    /** Capacity the queue was built with. */
+    size_t Capacity() const { return capacity_; }
+
+    /** Enqueue one entry; panics when full. */
+    void
+    Push(T item)
+    {
+        RUMBA_CHECK(!Full());
+        items_.push_back(std::move(item));
+        ++total_pushes_;
+        high_water_ = std::max(high_water_, items_.size());
+    }
+
+    /** Dequeue the oldest entry; panics when empty. */
+    T
+    Pop()
+    {
+        RUMBA_CHECK(!Empty());
+        T item = std::move(items_.front());
+        items_.pop_front();
+        return item;
+    }
+
+    /** Entries ever pushed (bus-traffic proxy for the energy model). */
+    size_t TotalPushes() const { return total_pushes_; }
+
+    /** Maximum occupancy observed. */
+    size_t HighWater() const { return high_water_; }
+
+    /** Drop all entries (between invocations in tests). */
+    void
+    Clear()
+    {
+        items_.clear();
+    }
+
+  private:
+    size_t capacity_;
+    std::deque<T> items_;
+    size_t total_pushes_ = 0;
+    size_t high_water_ = 0;
+};
+
+}  // namespace rumba::npu
+
+#endif  // RUMBA_NPU_FIFO_H_

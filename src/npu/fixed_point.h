@@ -1,0 +1,99 @@
+#ifndef RUMBA_NPU_FIXED_POINT_H_
+#define RUMBA_NPU_FIXED_POINT_H_
+
+/**
+ * @file
+ * Fixed-point arithmetic of the NPU datapath. Weights and activations
+ * are 16-bit signed values; multiply-accumulate runs in a 48-bit
+ * accumulator, as in the NPU-style processing element. The quantizer
+ * is the main source of the accelerator's numeric deviation from the
+ * float software network (on top of the network's own model error).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace rumba::npu {
+
+/** Signed 16-bit fixed point format with a configurable binary point. */
+struct FixedFormat {
+    int fractional_bits = 10;  ///< Q5.10: range ~[-32, 32), step 1/1024.
+
+    /** Scale factor 2^fractional_bits. */
+    double Scale() const { return static_cast<double>(1 << fractional_bits); }
+
+    /** Smallest representable step. */
+    double Resolution() const { return 1.0 / Scale(); }
+
+    /** Quantize a double to the nearest representable value, saturating. */
+    int16_t
+    Quantize(double v) const
+    {
+        const double scaled = v * Scale();
+        const double clamped = std::clamp(scaled, -32768.0, 32767.0);
+        return static_cast<int16_t>(std::lround(clamped));
+    }
+
+    /** Convert a quantized value back to double. */
+    double
+    Dequantize(int16_t q) const
+    {
+        return static_cast<double>(q) / Scale();
+    }
+
+    /** Round-trip a double through the format. */
+    double
+    RoundTrip(double v) const
+    {
+        return Dequantize(Quantize(v));
+    }
+};
+
+/**
+ * 48-bit multiply-accumulate register. Products of two Q-format
+ * values carry 2x fractional bits; Reduce() shifts back down and
+ * saturates into 16 bits.
+ */
+class MacAccumulator {
+  public:
+    /** Reset to zero. */
+    void Clear() { acc_ = 0; }
+
+    /** Accumulate @p a * @p b (raw quantized operands). */
+    void
+    Mac(int16_t a, int16_t b)
+    {
+        acc_ += static_cast<int64_t>(a) * static_cast<int64_t>(b);
+    }
+
+    /** Add a raw pre-shifted value (e.g. a bias already in 2x format). */
+    void
+    AddRaw(int64_t v)
+    {
+        acc_ += v;
+    }
+
+    /**
+     * Shift back into single-precision fixed point and saturate to
+     * int16 range.
+     */
+    int16_t
+    Reduce(const FixedFormat& fmt) const
+    {
+        const int64_t shifted = acc_ >> fmt.fractional_bits;
+        const int64_t sat =
+            std::clamp<int64_t>(shifted, INT16_MIN, INT16_MAX);
+        return static_cast<int16_t>(sat);
+    }
+
+    /** Raw accumulator contents (tests). */
+    int64_t Raw() const { return acc_; }
+
+  private:
+    int64_t acc_ = 0;
+};
+
+}  // namespace rumba::npu
+
+#endif  // RUMBA_NPU_FIXED_POINT_H_

@@ -1,0 +1,112 @@
+#include "npu/npu.h"
+
+#include "common/logging.h"
+
+namespace rumba::npu {
+
+Npu::Npu(const NpuConfig& config)
+    : config_(config),
+      sigmoid_lut_(nn::Activation::kSigmoid, config.lut_entries,
+                   config.lut_range, config.format),
+      tanh_lut_(nn::Activation::kTanh, config.lut_entries, config.lut_range,
+                config.format)
+{
+    RUMBA_CHECK(config.num_pes > 0);
+}
+
+void
+Npu::Configure(const nn::Mlp& mlp)
+{
+    layers_.clear();
+    topology_ = mlp.GetTopology();
+    for (const auto& layer : mlp.Layers()) {
+        QuantLayer q;
+        q.in = layer.in;
+        q.out = layer.out;
+        q.act = layer.act;
+        q.weights.reserve(layer.weights.size());
+        for (double w : layer.weights)
+            q.weights.push_back(config_.format.Quantize(w));
+        stats_.config_words += q.weights.size();
+        layers_.push_back(std::move(q));
+    }
+    schedule_ = BuildSchedule(topology_, config_.num_pes);
+}
+
+std::vector<double>
+Npu::Invoke(const std::vector<double>& input)
+{
+    RUMBA_CHECK(Configured());
+    RUMBA_CHECK(input.size() == topology_.NumInputs());
+
+    // Stream inputs in through the input queue, quantizing at the
+    // interface.
+    std::vector<int16_t> current;
+    current.reserve(input.size());
+    for (double v : input)
+        current.push_back(config_.format.Quantize(v));
+    stats_.input_words += input.size();
+
+    const int16_t one = config_.format.Quantize(1.0);
+    std::vector<int16_t> next;
+    for (const auto& layer : layers_) {
+        next.assign(layer.out, 0);
+        for (size_t n = 0; n < layer.out; ++n) {
+            MacAccumulator acc;
+            const size_t row = n * (layer.in + 1);
+            for (size_t i = 0; i < layer.in; ++i)
+                acc.Mac(layer.weights[row + i], current[i]);
+            acc.Mac(layer.weights[row + layer.in], one);
+            stats_.macs += layer.in + 1;
+            const int16_t pre = acc.Reduce(config_.format);
+            switch (layer.act) {
+              case nn::Activation::kSigmoid:
+                next[n] = sigmoid_lut_.Lookup(pre);
+                ++stats_.lut_lookups;
+                break;
+              case nn::Activation::kTanh:
+                next[n] = tanh_lut_.Lookup(pre);
+                ++stats_.lut_lookups;
+                break;
+              case nn::Activation::kLinear:
+                next[n] = pre;
+                break;
+            }
+        }
+        current.swap(next);
+    }
+
+    stats_.output_words += current.size();
+    stats_.cycles += schedule_.total_cycles;
+    ++stats_.invocations;
+
+    std::vector<double> out;
+    out.reserve(current.size());
+    for (int16_t q : current)
+        out.push_back(config_.format.Dequantize(q));
+    return out;
+}
+
+double
+Npu::InvocationLatencyNs() const
+{
+    RUMBA_CHECK(Configured());
+    return static_cast<double>(schedule_.total_cycles) /
+           config_.frequency_ghz;
+}
+
+size_t
+Npu::NumInputs() const
+{
+    RUMBA_CHECK(Configured());
+    return topology_.NumInputs();
+}
+
+size_t
+Npu::NumOutputs() const
+{
+    RUMBA_CHECK(Configured());
+    return topology_.NumOutputs();
+}
+
+}  // namespace rumba::npu

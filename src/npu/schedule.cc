@@ -1,0 +1,32 @@
+#include "npu/schedule.h"
+
+#include "common/logging.h"
+
+namespace rumba::npu {
+
+Schedule
+BuildSchedule(const nn::Topology& topology, size_t num_pes)
+{
+    RUMBA_CHECK(num_pes > 0);
+    Schedule sched;
+    sched.input_cycles = topology.NumInputs();
+    sched.output_cycles = topology.NumOutputs();
+
+    size_t compute = 0;
+    for (size_t li = 1; li < topology.layers.size(); ++li) {
+        LayerSchedule layer;
+        layer.neurons = topology.layers[li];
+        layer.inputs = topology.layers[li - 1];
+        layer.waves = (layer.neurons + num_pes - 1) / num_pes;
+        layer.mac_cycles = layer.waves * (layer.inputs + 1);
+        // The activation lookup is pipelined behind the MAC chain:
+        // one drain cycle per wave, not per neuron.
+        layer.act_cycles = layer.waves;
+        compute += layer.mac_cycles + layer.act_cycles;
+        sched.layers.push_back(layer);
+    }
+    sched.total_cycles = sched.input_cycles + compute + sched.output_cycles;
+    return sched;
+}
+
+}  // namespace rumba::npu

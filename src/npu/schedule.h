@@ -1,0 +1,51 @@
+#ifndef RUMBA_NPU_SCHEDULE_H_
+#define RUMBA_NPU_SCHEDULE_H_
+
+/**
+ * @file
+ * Static neuron-to-PE schedule. The NPU compiles a network once: each
+ * layer's neurons are assigned round-robin to the processing elements,
+ * PE weight buffers are preloaded via the config queue, and inputs are
+ * broadcast to all PEs one word per cycle while every PE accumulates
+ * its neuron's dot product in lockstep.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/topology.h"
+
+namespace rumba::npu {
+
+/** Cycle accounting for one layer of the static schedule. */
+struct LayerSchedule {
+    size_t neurons = 0;      ///< neurons in the layer.
+    size_t inputs = 0;       ///< inputs per neuron (excl. bias).
+    size_t waves = 0;        ///< ceil(neurons / num_pes) sequential waves.
+    size_t mac_cycles = 0;   ///< broadcast cycles: waves * (inputs + 1).
+    size_t act_cycles = 0;   ///< pipelined activation drain: one per wave.
+};
+
+/** Whole-network schedule with derived cycle counts. */
+struct Schedule {
+    std::vector<LayerSchedule> layers;  ///< per-layer breakdown.
+    size_t input_cycles = 0;    ///< streaming inputs from the input queue.
+    size_t output_cycles = 0;   ///< draining outputs to the output queue.
+    size_t total_cycles = 0;    ///< full invocation latency.
+
+    /** PE assignment for neuron @p n of a layer under @p num_pes. */
+    static size_t PeForNeuron(size_t n, size_t num_pes)
+    {
+        return n % num_pes;
+    }
+};
+
+/**
+ * Build the static schedule of @p topology on @p num_pes processing
+ * elements.
+ */
+Schedule BuildSchedule(const nn::Topology& topology, size_t num_pes);
+
+}  // namespace rumba::npu
+
+#endif  // RUMBA_NPU_SCHEDULE_H_

@@ -1,0 +1,55 @@
+#include "npu/sigmoid_lut.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rumba::npu {
+
+SigmoidLut::SigmoidLut(nn::Activation act, size_t entries, double range,
+                       const FixedFormat& fmt)
+    : act_(act), range_(range), fmt_(fmt)
+{
+    RUMBA_CHECK(entries >= 2);
+    RUMBA_CHECK(range > 0.0);
+    table_.resize(entries);
+    for (size_t i = 0; i < entries; ++i) {
+        const double x =
+            -range + 2.0 * range * static_cast<double>(i) /
+                         static_cast<double>(entries - 1);
+        table_[i] = fmt.Quantize(nn::Evaluate(act, x));
+    }
+}
+
+int16_t
+SigmoidLut::Lookup(int16_t x) const
+{
+    const double xd = fmt_.Dequantize(x);
+    if (xd <= -range_)
+        return table_.front();
+    if (xd >= range_)
+        return table_.back();
+    const double pos = (xd + range_) / (2.0 * range_) *
+                       static_cast<double>(table_.size() - 1);
+    const size_t idx = static_cast<size_t>(std::lround(pos));
+    return table_[std::min(idx, table_.size() - 1)];
+}
+
+double
+SigmoidLut::MaxError() const
+{
+    double worst = 0.0;
+    const size_t probes = table_.size() * 4;
+    for (size_t i = 0; i <= probes; ++i) {
+        const double x =
+            -range_ + 2.0 * range_ * static_cast<double>(i) /
+                          static_cast<double>(probes);
+        const double exact = nn::Evaluate(act_, x);
+        const double approx =
+            fmt_.Dequantize(Lookup(fmt_.Quantize(x)));
+        worst = std::max(worst, std::fabs(exact - approx));
+    }
+    return worst;
+}
+
+}  // namespace rumba::npu

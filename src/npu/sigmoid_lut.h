@@ -1,0 +1,53 @@
+#ifndef RUMBA_NPU_SIGMOID_LUT_H_
+#define RUMBA_NPU_SIGMOID_LUT_H_
+
+/**
+ * @file
+ * The processing elements evaluate their activation function with a
+ * lookup table rather than a transcendental unit (as in the NPU
+ * design). The table covers [-range, range] and clamps outside.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/activation.h"
+#include "npu/fixed_point.h"
+
+namespace rumba::npu {
+
+/** Quantized activation lookup table. */
+class SigmoidLut {
+  public:
+    /**
+     * Build a table for @p act with @p entries samples over
+     * [-range, range], quantized to @p fmt.
+     */
+    SigmoidLut(nn::Activation act, size_t entries, double range,
+               const FixedFormat& fmt);
+
+    /** Look up the activation of quantized pre-activation @p x. */
+    int16_t Lookup(int16_t x) const;
+
+    /** Number of table entries (hardware SRAM words). */
+    size_t Entries() const { return table_.size(); }
+
+    /** Input magnitude covered before clamping. */
+    double Range() const { return range_; }
+
+    /**
+     * Worst-case table error vs. the exact activation over the
+     * covered range (useful for tests and the design docs).
+     */
+    double MaxError() const;
+
+  private:
+    nn::Activation act_;
+    double range_;
+    FixedFormat fmt_;
+    std::vector<int16_t> table_;
+};
+
+}  // namespace rumba::npu
+
+#endif  // RUMBA_NPU_SIGMOID_LUT_H_

@@ -1,0 +1,38 @@
+#include "predict/predictor.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "predict/ema.h"
+#include "predict/evp.h"
+#include "predict/linear.h"
+#include "predict/tree.h"
+
+namespace rumba::predict {
+
+std::unique_ptr<ErrorPredictor>
+DeserializePredictor(const std::string& blob)
+{
+    std::istringstream in(blob);
+    std::string tag;
+    in >> tag;
+    if (tag == "linear") {
+        return std::make_unique<LinearErrorPredictor>(
+            LinearErrorPredictor::Deserialize(blob));
+    }
+    if (tag == "tree") {
+        return std::make_unique<TreeErrorPredictor>(
+            TreeErrorPredictor::Deserialize(blob));
+    }
+    if (tag == "ema") {
+        return std::make_unique<EmaDetector>(
+            EmaDetector::Deserialize(blob));
+    }
+    if (tag == "evp") {
+        return std::make_unique<ValuePredictionError>(
+            ValuePredictionError::Deserialize(blob));
+    }
+    Fatal("unknown predictor blob tag '%s'", tag.c_str());
+}
+
+}  // namespace rumba::predict

@@ -1,0 +1,109 @@
+#include "predict/hybrid.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/dataset.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "predict/linear.h"
+#include "predict/tree.h"
+
+namespace rumba::predict {
+
+HybridErrorPredictor::HybridErrorPredictor()
+    : HybridErrorPredictor(Options())
+{
+}
+
+HybridErrorPredictor::HybridErrorPredictor(const Options& options)
+    : options_(options)
+{
+    RUMBA_CHECK(options.validation_fraction > 0.0 &&
+                options.validation_fraction < 1.0);
+}
+
+void
+HybridErrorPredictor::Train(const Dataset& data)
+{
+    RUMBA_CHECK(!data.Empty());
+    RUMBA_CHECK(data.NumTargets() == 1);
+
+    Rng rng(options_.seed);
+    Dataset shuffled = data;
+    shuffled.Shuffle(&rng);
+    const Dataset validation =
+        shuffled.TakeFront(options_.validation_fraction);
+    const Dataset& train = shuffled;
+    RUMBA_CHECK(!validation.Empty());
+    RUMBA_CHECK(!train.Empty());
+
+    auto candidates = []() {
+        std::vector<std::unique_ptr<ErrorPredictor>> c;
+        c.push_back(std::make_unique<LinearErrorPredictor>());
+        c.push_back(std::make_unique<TreeErrorPredictor>());
+        return c;
+    }();
+
+    scores_.clear();
+    double best_mae = std::numeric_limits<double>::infinity();
+    size_t best = 0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        candidates[i]->Train(train);
+        double mae = 0.0;
+        for (size_t s = 0; s < validation.Size(); ++s) {
+            mae += std::fabs(
+                candidates[i]->PredictError(validation.Input(s), {}) -
+                validation.Target(s)[0]);
+        }
+        mae /= static_cast<double>(validation.Size());
+        scores_.emplace_back(candidates[i]->Name(), mae);
+        if (mae < best_mae) {
+            best_mae = mae;
+            best = i;
+        }
+    }
+
+    selected_ = std::move(candidates[best]);
+    // Refit the winner on all the data.
+    selected_->Train(data);
+}
+
+double
+HybridErrorPredictor::PredictError(
+    const std::vector<double>& inputs,
+    const std::vector<double>& approx_outputs)
+{
+    RUMBA_CHECK(selected_ != nullptr);
+    return selected_->PredictError(inputs, approx_outputs);
+}
+
+void
+HybridErrorPredictor::Reset()
+{
+    if (selected_ != nullptr)
+        selected_->Reset();
+}
+
+sim::CheckerCost
+HybridErrorPredictor::CostPerCheck() const
+{
+    RUMBA_CHECK(selected_ != nullptr);
+    return selected_->CostPerCheck();
+}
+
+std::string
+HybridErrorPredictor::SelectedName() const
+{
+    return selected_ == nullptr ? "" : selected_->Name();
+}
+
+
+std::string
+HybridErrorPredictor::Serialize() const
+{
+    RUMBA_CHECK(selected_ != nullptr);
+    return selected_->Serialize();
+}
+
+}  // namespace rumba::predict

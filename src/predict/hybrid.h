@@ -1,0 +1,80 @@
+#ifndef RUMBA_PREDICT_HYBRID_H_
+#define RUMBA_PREDICT_HYBRID_H_
+
+/**
+ * @file
+ * hybridErrors — an extension beyond the paper. Section 5.1 observes
+ * that "error prediction accuracy of a particular scheme is benchmark
+ * dependent": linearErrors wins on some applications, treeErrors on
+ * others. Since both models are trained offline anyway, the offline
+ * trainer can simply hold out a validation slice, train every
+ * candidate checker, and ship whichever predicts the accelerator's
+ * errors best for *this* application. The online hardware is then
+ * exactly one of the paper's checkers — no new datapath is required,
+ * only a configuration choice.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "predict/predictor.h"
+
+namespace rumba::predict {
+
+/** Offline best-of-N checker selector. */
+class HybridErrorPredictor : public ErrorPredictor {
+  public:
+    /** Selection parameters. */
+    struct Options {
+        /** Fraction of the training data held out for scoring. */
+        double validation_fraction = 0.25;
+        /** Seed for the train/validation split. */
+        uint64_t seed = 17;
+    };
+
+    HybridErrorPredictor();
+    explicit HybridErrorPredictor(const Options& options);
+
+    std::string Name() const override { return "hybridErrors"; }
+
+    /** Input-based: both candidate families read accelerator inputs. */
+    bool IsInputBased() const override { return true; }
+
+    /**
+     * Trains a linear and a tree checker on a split of @p data,
+     * scores them on the held-out slice (mean absolute error), keeps
+     * the winner and retrains it on the full data.
+     */
+    void Train(const rumba::Dataset& data) override;
+
+    double PredictError(const std::vector<double>& inputs,
+                        const std::vector<double>& approx_outputs) override;
+
+    void Reset() override;
+
+    sim::CheckerCost CostPerCheck() const override;
+
+    /** Serializes the *selected* checker: the deployed configuration
+     *  is one of the paper's concrete checkers. */
+    std::string Serialize() const override;
+
+    /** The selected underlying checker ("linearErrors"/"treeErrors");
+     *  empty before Train(). */
+    std::string SelectedName() const;
+
+    /** Validation mean-absolute-error of each candidate (inspection). */
+    const std::vector<std::pair<std::string, double>>&
+    CandidateScores() const
+    {
+        return scores_;
+    }
+
+  private:
+    Options options_;
+    std::unique_ptr<ErrorPredictor> selected_;
+    std::vector<std::pair<std::string, double>> scores_;
+};
+
+}  // namespace rumba::predict
+
+#endif  // RUMBA_PREDICT_HYBRID_H_

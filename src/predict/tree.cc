@@ -1,0 +1,232 @@
+#include "predict/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/dataset.h"
+#include "common/logging.h"
+
+#include <sstream>
+
+namespace rumba::predict {
+
+namespace {
+
+/** Mean of targets over the sample subset. */
+double
+SubsetMean(const Dataset& data, const std::vector<size_t>& samples)
+{
+    double sum = 0.0;
+    for (size_t s : samples)
+        sum += data.Target(s)[0];
+    return samples.empty() ? 0.0
+                           : sum / static_cast<double>(samples.size());
+}
+
+/** Sum of squared deviations from the subset mean. */
+double
+SubsetSse(const Dataset& data, const std::vector<size_t>& samples)
+{
+    const double mean = SubsetMean(data, samples);
+    double sse = 0.0;
+    for (size_t s : samples) {
+        const double d = data.Target(s)[0] - mean;
+        sse += d * d;
+    }
+    return sse;
+}
+
+}  // namespace
+
+TreeErrorPredictor::TreeErrorPredictor() : TreeErrorPredictor(Options()) {}
+
+TreeErrorPredictor::TreeErrorPredictor(const Options& options)
+    : options_(options)
+{
+    RUMBA_CHECK(options.max_depth >= 1);
+    RUMBA_CHECK(options.min_leaf_samples >= 1);
+    RUMBA_CHECK(options.candidate_quantiles >= 2);
+}
+
+void
+TreeErrorPredictor::Train(const Dataset& data)
+{
+    RUMBA_CHECK(!data.Empty());
+    RUMBA_CHECK(data.NumTargets() == 1);
+    nodes_.clear();
+    trained_depth_ = 0;
+    std::vector<size_t> all(data.Size());
+    for (size_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+    Grow(data, std::move(all), 0);
+}
+
+int
+TreeErrorPredictor::Grow(const Dataset& data, std::vector<size_t> samples,
+                         size_t depth)
+{
+    trained_depth_ = std::max(trained_depth_, depth);
+    const int index = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_[static_cast<size_t>(index)].value = SubsetMean(data, samples);
+
+    if (depth >= options_.max_depth ||
+        samples.size() < 2 * options_.min_leaf_samples) {
+        return index;
+    }
+
+    const double parent_sse = SubsetSse(data, samples);
+    if (parent_sse < 1e-12)
+        return index;
+
+    // Best split over all features and candidate quantile thresholds.
+    int best_feature = Node::kLeaf;
+    double best_threshold = 0.0;
+    double best_sse = parent_sse;
+    std::vector<double> values(samples.size());
+    for (size_t f = 0; f < data.NumInputs(); ++f) {
+        for (size_t i = 0; i < samples.size(); ++i)
+            values[i] = data.Input(samples[i])[f];
+        std::vector<double> sorted = values;
+        std::sort(sorted.begin(), sorted.end());
+        for (size_t q = 1; q < options_.candidate_quantiles; ++q) {
+            const size_t pos = q * sorted.size() /
+                               options_.candidate_quantiles;
+            const double threshold = sorted[pos];
+            if (threshold <= sorted.front() || threshold > sorted.back())
+                continue;
+            // Two-pass SSE of the candidate split.
+            double lsum = 0.0, rsum = 0.0;
+            size_t ln = 0, rn = 0;
+            for (size_t i = 0; i < samples.size(); ++i) {
+                const double y = data.Target(samples[i])[0];
+                if (values[i] < threshold) {
+                    lsum += y;
+                    ++ln;
+                } else {
+                    rsum += y;
+                    ++rn;
+                }
+            }
+            if (ln < options_.min_leaf_samples ||
+                rn < options_.min_leaf_samples) {
+                continue;
+            }
+            const double lmean = lsum / static_cast<double>(ln);
+            const double rmean = rsum / static_cast<double>(rn);
+            double sse = 0.0;
+            for (size_t i = 0; i < samples.size(); ++i) {
+                const double y = data.Target(samples[i])[0];
+                const double mean = values[i] < threshold ? lmean : rmean;
+                const double d = y - mean;
+                sse += d * d;
+            }
+            if (sse < best_sse) {
+                best_sse = sse;
+                best_feature = static_cast<int>(f);
+                best_threshold = threshold;
+            }
+        }
+    }
+
+    if (best_feature == Node::kLeaf || best_sse >= parent_sse * 0.999)
+        return index;
+
+    std::vector<size_t> left, right;
+    for (size_t s : samples) {
+        if (data.Input(s)[static_cast<size_t>(best_feature)] <
+            best_threshold) {
+            left.push_back(s);
+        } else {
+            right.push_back(s);
+        }
+    }
+    samples.clear();
+    samples.shrink_to_fit();
+
+    const int left_child = Grow(data, std::move(left), depth + 1);
+    const int right_child = Grow(data, std::move(right), depth + 1);
+    Node& node = nodes_[static_cast<size_t>(index)];
+    node.feature = best_feature;
+    node.threshold = best_threshold;
+    node.left = left_child;
+    node.right = right_child;
+    return index;
+}
+
+double
+TreeErrorPredictor::PredictError(const std::vector<double>& inputs,
+                                 const std::vector<double>& /*outputs*/)
+{
+    RUMBA_CHECK(!nodes_.empty());
+    size_t node = 0;
+    for (;;) {
+        const Node& n = nodes_[node];
+        if (n.feature == Node::kLeaf)
+            return n.value;
+        RUMBA_CHECK(static_cast<size_t>(n.feature) < inputs.size());
+        node = static_cast<size_t>(
+            inputs[static_cast<size_t>(n.feature)] < n.threshold ? n.left
+                                                                 : n.right);
+    }
+}
+
+size_t
+TreeErrorPredictor::Depth() const
+{
+    return trained_depth_;
+}
+
+sim::CheckerCost
+TreeErrorPredictor::CostPerCheck() const
+{
+    sim::CheckerCost cost;
+    const double depth = static_cast<double>(std::max<size_t>(1, Depth()));
+    cost.compares = depth + 1.0;   // node tests + final threshold test.
+    cost.table_reads = depth;      // node-constant buffer reads.
+    cost.cycles = depth + 1.0;
+    return cost;
+}
+
+
+std::string
+TreeErrorPredictor::Serialize() const
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << "tree " << options_.max_depth << " " << trained_depth_ << " "
+        << nodes_.size() << "\n";
+    for (const Node& n : nodes_) {
+        out << n.feature << " " << n.threshold << " " << n.value << " "
+            << n.left << " " << n.right << "\n";
+    }
+    return out.str();
+}
+
+TreeErrorPredictor
+TreeErrorPredictor::Deserialize(const std::string& blob)
+{
+    std::istringstream in(blob);
+    std::string tag;
+    size_t max_depth = 0, depth = 0, count = 0;
+    in >> tag >> max_depth >> depth >> count;
+    if (tag != "tree")
+        Fatal("tree blob missing 'tree' header");
+    Options opt;
+    opt.max_depth = std::max<size_t>(1, max_depth);
+    TreeErrorPredictor p(opt);
+    p.trained_depth_ = depth;
+    p.nodes_.resize(count);
+    for (Node& n : p.nodes_) {
+        if (!(in >> n.feature >> n.threshold >> n.value >> n.left >>
+              n.right)) {
+            Fatal("tree blob truncated");
+        }
+    }
+    if (p.nodes_.empty())
+        Fatal("tree blob has no nodes");
+    return p;
+}
+
+}  // namespace rumba::predict

@@ -1,0 +1,63 @@
+#ifndef RUMBA_SIM_CORE_PARAMS_H_
+#define RUMBA_SIM_CORE_PARAMS_H_
+
+/**
+ * @file
+ * Microarchitectural parameters of the host x86-64 core, matching
+ * Table 2 of the paper. These drive the analytical cycle model in
+ * cpu_model.h.
+ */
+
+#include <cstddef>
+
+namespace rumba::sim {
+
+/** Table 2: the out-of-order x86-64 core used in the experiments. */
+struct CoreParams {
+    size_t fetch_width = 4;
+    size_t issue_width = 6;
+    size_t int_alus = 2;
+    size_t fpus = 2;
+    size_t load_fus = 1;
+    size_t store_fus = 1;
+    size_t issue_queue_entries = 32;
+    size_t rob_entries = 96;
+    size_t int_phys_regs = 256;
+    size_t fp_phys_regs = 256;
+    size_t btb_entries = 2048;
+    size_t ras_entries = 16;
+    size_t l1_icache_kb = 32;
+    size_t l1_dcache_kb = 32;
+    size_t l1_hit_cycles = 3;
+    size_t l2_hit_cycles = 12;
+    size_t l1_assoc = 8;
+    size_t l2_assoc = 8;
+    size_t itlb_entries = 128;
+    size_t dtlb_entries = 256;
+    size_t l2_size_mb = 2;
+    const char* branch_predictor = "Tournament";
+
+    // Model parameters beyond Table 2 (documented assumptions).
+    double frequency_ghz = 2.0;        ///< core clock.
+    double branch_misp_rate = 0.04;    ///< tournament predictor miss rate.
+    size_t branch_misp_penalty = 14;   ///< pipeline refill cycles.
+    double l1d_miss_rate = 0.03;       ///< streaming kernels, modest reuse.
+    double l2_miss_rate = 0.01;        ///< of L1 misses that also miss L2.
+    size_t mem_latency_cycles = 180;   ///< DRAM round trip.
+
+    // Per-op issue latencies (throughput-relevant, cycles).
+    double fp_div_cycles = 12.0;       ///< unpipelined divider occupancy.
+    double fp_sqrt_cycles = 14.0;      ///< unpipelined sqrt occupancy.
+    double int_mul_cycles = 2.0;       ///< pipelined multiplier occupancy.
+
+    /**
+     * Instruction-level-parallelism derating: real kernels cannot
+     * sustain the structural peak because of dependence chains; the
+     * achieved throughput is peak / ilp_derate.
+     */
+    double ilp_derate = 1.4;
+};
+
+}  // namespace rumba::sim
+
+#endif  // RUMBA_SIM_CORE_PARAMS_H_

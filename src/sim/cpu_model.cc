@@ -1,0 +1,51 @@
+#include "sim/cpu_model.h"
+
+#include <algorithm>
+
+namespace rumba::sim {
+
+CpuModel::CpuModel(const CoreParams& params) : params_(params) {}
+
+CycleBreakdown
+CpuModel::Cycles(const OpCounts& ops) const
+{
+    CycleBreakdown b;
+
+    const double total_uops = ops.Total();
+    b.issue_bound = total_uops / static_cast<double>(params_.issue_width);
+
+    const double int_work =
+        ops.int_op + ops.int_mul * params_.int_mul_cycles + ops.branch;
+    b.int_bound = int_work / static_cast<double>(params_.int_alus);
+
+    const double fp_work = ops.fp_add + ops.fp_mul +
+                           ops.fp_div * params_.fp_div_cycles +
+                           ops.fp_sqrt * params_.fp_sqrt_cycles;
+    b.fp_bound = fp_work / static_cast<double>(params_.fpus);
+
+    b.mem_bound = ops.load / static_cast<double>(params_.load_fus) +
+                  ops.store / static_cast<double>(params_.store_fus);
+
+    b.branch_penalty = ops.branch * params_.branch_misp_rate *
+                       static_cast<double>(params_.branch_misp_penalty);
+
+    const double l1_misses = ops.load * params_.l1d_miss_rate;
+    const double l2_misses = l1_misses * params_.l2_miss_rate;
+    b.cache_penalty =
+        l1_misses * static_cast<double>(params_.l2_hit_cycles) +
+        l2_misses * static_cast<double>(params_.mem_latency_cycles);
+
+    const double throughput_bound = std::max(
+        {b.issue_bound, b.int_bound, b.fp_bound, b.mem_bound});
+    b.total = throughput_bound * params_.ilp_derate + b.branch_penalty +
+              b.cache_penalty;
+    return b;
+}
+
+double
+CpuModel::Nanoseconds(const OpCounts& ops) const
+{
+    return Cycles(ops).total / params_.frequency_ghz;
+}
+
+}  // namespace rumba::sim

@@ -1,0 +1,51 @@
+#ifndef RUMBA_SIM_CPU_MODEL_H_
+#define RUMBA_SIM_CPU_MODEL_H_
+
+/**
+ * @file
+ * Analytical out-of-order CPU timing model. Replaces the paper's gem5
+ * runs: given a region's dynamic instruction mix (from opcount.h) it
+ * estimates execution cycles as the binding structural bottleneck
+ * (issue bandwidth, ALU/FPU/memory-port throughput, divider
+ * occupancy) inflated by a dependence derate, plus branch-misprediction
+ * and cache-miss penalties.
+ */
+
+#include "sim/core_params.h"
+#include "sim/opcount.h"
+
+namespace rumba::sim {
+
+/** Cycle breakdown returned by CpuModel::Cycles(). */
+struct CycleBreakdown {
+    double issue_bound = 0.0;    ///< total uops / issue width.
+    double int_bound = 0.0;      ///< integer ops / ALUs.
+    double fp_bound = 0.0;       ///< FP ops (with occupancies) / FPUs.
+    double mem_bound = 0.0;      ///< loads+stores over the LSU ports.
+    double branch_penalty = 0.0; ///< misprediction refill cycles.
+    double cache_penalty = 0.0;  ///< L1/L2 miss stall cycles.
+    double total = 0.0;          ///< modeled cycles.
+};
+
+/** The host-core timing model. */
+class CpuModel {
+  public:
+    /** Build a model over the given core configuration. */
+    explicit CpuModel(const CoreParams& params = CoreParams());
+
+    /** Modeled cycles to execute a region with the given op mix. */
+    CycleBreakdown Cycles(const OpCounts& ops) const;
+
+    /** Convenience: modeled wall-clock nanoseconds for the op mix. */
+    double Nanoseconds(const OpCounts& ops) const;
+
+    /** Core configuration in use. */
+    const CoreParams& Params() const { return params_; }
+
+  private:
+    CoreParams params_;
+};
+
+}  // namespace rumba::sim
+
+#endif  // RUMBA_SIM_CPU_MODEL_H_

@@ -1,0 +1,82 @@
+#include "sim/energy_model.h"
+
+namespace rumba::sim {
+
+namespace {
+constexpr double kPjToNj = 1e-3;
+}  // namespace
+
+EnergyModel::EnergyModel(const EnergyParams& params) : params_(params) {}
+
+double
+EnergyModel::CpuDynamicNj(const OpCounts& ops) const
+{
+    return CpuBreakdown(ops).total_nj;
+}
+
+CpuEnergyBreakdown
+EnergyModel::CpuBreakdown(const OpCounts& ops) const
+{
+    const EnergyParams& p = params_;
+    CpuEnergyBreakdown b;
+    b.frontend_nj = ops.Total() * p.cpu_uop_overhead_pj * kPjToNj;
+    b.int_exec_nj = (ops.int_op * p.cpu_int_pj +
+                     ops.int_mul * p.cpu_int_mul_pj) *
+                    kPjToNj;
+    b.fp_exec_nj = (ops.fp_add * p.cpu_fp_add_pj +
+                    ops.fp_mul * p.cpu_fp_mul_pj +
+                    ops.fp_div * p.cpu_fp_div_pj +
+                    ops.fp_sqrt * p.cpu_fp_sqrt_pj) *
+                   kPjToNj;
+    b.lsu_nj =
+        (ops.load * p.cpu_load_pj + ops.store * p.cpu_store_pj) *
+        kPjToNj;
+    b.branch_nj = ops.branch * p.cpu_branch_pj * kPjToNj;
+    b.total_nj = b.frontend_nj + b.int_exec_nj + b.fp_exec_nj +
+                 b.lsu_nj + b.branch_nj;
+    return b;
+}
+
+double
+EnergyModel::CpuBusyStaticNj(double ns) const
+{
+    return ns * params_.cpu_busy_static_w;
+}
+
+double
+EnergyModel::CpuIdleStaticNj(double ns) const
+{
+    return ns * params_.cpu_idle_static_w;
+}
+
+double
+EnergyModel::NpuDynamicNj(double macs, double luts, double queue_words) const
+{
+    return (macs * params_.npu_mac_pj + luts * params_.npu_lut_pj +
+            queue_words * params_.npu_queue_word_pj) *
+           kPjToNj;
+}
+
+double
+EnergyModel::NpuStaticNj(double ns) const
+{
+    return ns * params_.npu_static_w;
+}
+
+double
+EnergyModel::CheckerDynamicNj(const CheckerCost& cost, double checks) const
+{
+    const double per_check_pj = cost.macs * params_.chk_mac_pj +
+                                cost.compares * params_.chk_compare_pj +
+                                cost.table_reads * params_.chk_table_pj +
+                                cost.ema_updates * params_.chk_ema_pj;
+    return per_check_pj * checks * kPjToNj;
+}
+
+double
+EnergyModel::CheckerStaticNj(double ns) const
+{
+    return ns * params_.chk_static_w;
+}
+
+}  // namespace rumba::sim

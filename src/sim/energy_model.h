@@ -1,0 +1,114 @@
+#ifndef RUMBA_SIM_ENERGY_MODEL_H_
+#define RUMBA_SIM_ENERGY_MODEL_H_
+
+/**
+ * @file
+ * Event-based energy model standing in for McPAT. Dynamic energy is
+ * charged per micro-architectural event (at 45 nm-class constants);
+ * static energy is charged per nanosecond of the relevant unit being
+ * powered. 1 W equals exactly 1 nJ/ns, which keeps the arithmetic
+ * transparent.
+ *
+ * Absolute joules are not the claim — the paper's own numbers come
+ * from a different core and library. What matters is that the CPU,
+ * accelerator and checker energies are derived from the *same* event
+ * streams the timing model uses, so the relative shapes (who wins,
+ * crossovers) are internally consistent.
+ */
+
+#include "sim/opcount.h"
+
+namespace rumba::sim {
+
+/** Per-event energies (picojoules) and static powers (watts). */
+struct EnergyParams {
+    // Host core: per-uop front-end/rename/ROB/commit overhead plus
+    // per-class execution energy.
+    double cpu_uop_overhead_pj = 150.0;
+    double cpu_int_pj = 5.0;
+    double cpu_int_mul_pj = 10.0;
+    double cpu_fp_add_pj = 12.0;
+    double cpu_fp_mul_pj = 18.0;
+    double cpu_fp_div_pj = 80.0;
+    double cpu_fp_sqrt_pj = 90.0;
+    double cpu_load_pj = 25.0;
+    double cpu_store_pj = 25.0;
+    double cpu_branch_pj = 8.0;
+    double cpu_busy_static_w = 1.5;  ///< leakage + clock while executing.
+    double cpu_idle_static_w = 0.8;  ///< clock-gated, waiting on the NPU.
+
+    // NPU-style accelerator (16-bit fixed-point datapath).
+    double npu_mac_pj = 1.2;         ///< MAC incl. weight-buffer read.
+    double npu_lut_pj = 2.0;         ///< activation-table read.
+    double npu_queue_word_pj = 3.0;  ///< CPU<->NPU queue word transfer.
+    double npu_static_w = 0.05;      ///< accelerator leakage + clock.
+
+    // Rumba's checker hardware next to the accelerator.
+    double chk_mac_pj = 1.2;        ///< linear-model multiply-add.
+    double chk_compare_pj = 0.3;    ///< threshold / tree-node compare.
+    double chk_table_pj = 1.0;      ///< coefficient-buffer read.
+    double chk_ema_pj = 2.0;        ///< EMA update (2 mul + add).
+    double chk_static_w = 0.01;     ///< checker leakage.
+};
+
+/** Per-element cost of one dynamic check, in checker-hardware events. */
+struct CheckerCost {
+    double macs = 0.0;         ///< multiply-accumulates.
+    double compares = 0.0;     ///< comparisons.
+    double table_reads = 0.0;  ///< coefficient-buffer reads.
+    double ema_updates = 0.0;  ///< EMA state updates.
+    double cycles = 0.0;       ///< checker latency per element.
+};
+
+/** Per-structure CPU dynamic-energy breakdown (nJ), McPAT-style. */
+struct CpuEnergyBreakdown {
+    double frontend_nj = 0.0;  ///< fetch/decode/rename/ROB/commit.
+    double int_exec_nj = 0.0;  ///< integer ALUs and multiplier.
+    double fp_exec_nj = 0.0;   ///< FPUs, divider, sqrt.
+    double lsu_nj = 0.0;       ///< load/store units + L1d accesses.
+    double branch_nj = 0.0;    ///< predictor and BTB.
+    double total_nj = 0.0;     ///< sum of the above.
+};
+
+/** Converts event counts into nanojoules. */
+class EnergyModel {
+  public:
+    explicit EnergyModel(const EnergyParams& params = EnergyParams());
+
+    /** Dynamic CPU energy for a region's op mix (nJ). */
+    double CpuDynamicNj(const OpCounts& ops) const;
+
+    /** Dynamic CPU energy split by microarchitectural structure. */
+    CpuEnergyBreakdown CpuBreakdown(const OpCounts& ops) const;
+
+    /** CPU static energy while busy for @p ns nanoseconds (nJ). */
+    double CpuBusyStaticNj(double ns) const;
+
+    /** CPU static energy while idle-waiting for @p ns (nJ). */
+    double CpuIdleStaticNj(double ns) const;
+
+    /**
+     * Dynamic accelerator energy (nJ) given per-run totals of MACs,
+     * activation lookups and queue words.
+     */
+    double NpuDynamicNj(double macs, double luts, double queue_words) const;
+
+    /** Accelerator static energy over @p ns (nJ). */
+    double NpuStaticNj(double ns) const;
+
+    /** Dynamic checker energy for @p checks checks of cost @p cost. */
+    double CheckerDynamicNj(const CheckerCost& cost, double checks) const;
+
+    /** Checker static energy over @p ns (nJ). */
+    double CheckerStaticNj(double ns) const;
+
+    /** Parameters in use. */
+    const EnergyParams& Params() const { return params_; }
+
+  private:
+    EnergyParams params_;
+};
+
+}  // namespace rumba::sim
+
+#endif  // RUMBA_SIM_ENERGY_MODEL_H_

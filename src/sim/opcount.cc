@@ -1,0 +1,290 @@
+#include "sim/opcount.h"
+
+#include <cmath>
+
+namespace rumba::sim {
+
+OpCounts CountingScalar::counts_;
+
+OpCounts&
+OpCounts::operator+=(const OpCounts& o)
+{
+    int_op += o.int_op;
+    int_mul += o.int_mul;
+    fp_add += o.fp_add;
+    fp_mul += o.fp_mul;
+    fp_div += o.fp_div;
+    fp_sqrt += o.fp_sqrt;
+    load += o.load;
+    store += o.store;
+    branch += o.branch;
+    return *this;
+}
+
+OpCounts
+OpCounts::Scaled(double s) const
+{
+    OpCounts out = *this;
+    out.int_op *= s;
+    out.int_mul *= s;
+    out.fp_add *= s;
+    out.fp_mul *= s;
+    out.fp_div *= s;
+    out.fp_sqrt *= s;
+    out.load *= s;
+    out.store *= s;
+    out.branch *= s;
+    return out;
+}
+
+double
+OpCounts::Total() const
+{
+    return int_op + int_mul + fp_add + fp_mul + fp_div + fp_sqrt + load +
+           store + branch;
+}
+
+void
+CountingScalar::ResetCounts()
+{
+    counts_ = OpCounts();
+}
+
+const OpCounts&
+CountingScalar::Counts()
+{
+    return counts_;
+}
+
+void
+CountingScalar::RecordMemory(size_t loads, size_t stores)
+{
+    counts_.load += static_cast<double>(loads);
+    counts_.store += static_cast<double>(stores);
+}
+
+CountingScalar
+CountingScalar::operator-() const
+{
+    counts_.fp_add += 1;
+    return CountingScalar(-v_);
+}
+
+CountingScalar&
+CountingScalar::operator+=(CountingScalar o)
+{
+    counts_.fp_add += 1;
+    v_ += o.v_;
+    return *this;
+}
+
+CountingScalar&
+CountingScalar::operator-=(CountingScalar o)
+{
+    counts_.fp_add += 1;
+    v_ -= o.v_;
+    return *this;
+}
+
+CountingScalar&
+CountingScalar::operator*=(CountingScalar o)
+{
+    counts_.fp_mul += 1;
+    v_ *= o.v_;
+    return *this;
+}
+
+CountingScalar&
+CountingScalar::operator/=(CountingScalar o)
+{
+    counts_.fp_div += 1;
+    v_ /= o.v_;
+    return *this;
+}
+
+CountingScalar
+operator+(CountingScalar a, CountingScalar b)
+{
+    CountingScalar::counts_.fp_add += 1;
+    return CountingScalar(a.v_ + b.v_);
+}
+
+CountingScalar
+operator-(CountingScalar a, CountingScalar b)
+{
+    CountingScalar::counts_.fp_add += 1;
+    return CountingScalar(a.v_ - b.v_);
+}
+
+CountingScalar
+operator*(CountingScalar a, CountingScalar b)
+{
+    CountingScalar::counts_.fp_mul += 1;
+    return CountingScalar(a.v_ * b.v_);
+}
+
+CountingScalar
+operator/(CountingScalar a, CountingScalar b)
+{
+    CountingScalar::counts_.fp_div += 1;
+    return CountingScalar(a.v_ / b.v_);
+}
+
+namespace {
+
+/** A comparison plus the conditional branch consuming it. */
+void
+TallyCompare(OpCounts* c)
+{
+    c->fp_add += 1;
+    c->branch += 1;
+}
+
+/** Tally a transcendental's typical polynomial-expansion cost. */
+void
+AddBundle(OpCounts* c, double adds, double muls, double divs)
+{
+    c->fp_add += adds;
+    c->fp_mul += muls;
+    c->fp_div += divs;
+    // Range reduction and table indexing run on the integer side.
+    c->int_op += 4;
+    c->load += 1;
+}
+
+}  // namespace
+
+bool
+operator<(CountingScalar a, CountingScalar b)
+{
+    TallyCompare(&CountingScalar::counts_);
+    return a.v_ < b.v_;
+}
+
+bool
+operator>(CountingScalar a, CountingScalar b)
+{
+    TallyCompare(&CountingScalar::counts_);
+    return a.v_ > b.v_;
+}
+
+bool
+operator<=(CountingScalar a, CountingScalar b)
+{
+    TallyCompare(&CountingScalar::counts_);
+    return a.v_ <= b.v_;
+}
+
+bool
+operator>=(CountingScalar a, CountingScalar b)
+{
+    TallyCompare(&CountingScalar::counts_);
+    return a.v_ >= b.v_;
+}
+
+bool
+operator==(CountingScalar a, CountingScalar b)
+{
+    TallyCompare(&CountingScalar::counts_);
+    return a.v_ == b.v_;
+}
+
+bool
+operator!=(CountingScalar a, CountingScalar b)
+{
+    TallyCompare(&CountingScalar::counts_);
+    return a.v_ != b.v_;
+}
+
+double Sqrt(double x) { return std::sqrt(x); }
+double Exp(double x) { return std::exp(x); }
+double Log(double x) { return std::log(x); }
+double Sin(double x) { return std::sin(x); }
+double Cos(double x) { return std::cos(x); }
+double Atan2(double y, double x) { return std::atan2(y, x); }
+double Acos(double x) { return std::acos(x); }
+double Fabs(double x) { return std::fabs(x); }
+double Floor(double x) { return std::floor(x); }
+double Pow(double x, double y) { return std::pow(x, y); }
+double Erf(double x) { return std::erf(x); }
+
+CountingScalar
+Sqrt(CountingScalar x)
+{
+    CountingScalar::counts_.fp_sqrt += 1;
+    return CountingScalar(std::sqrt(x.v_));
+}
+
+CountingScalar
+Exp(CountingScalar x)
+{
+    AddBundle(&CountingScalar::counts_, 20, 22, 0);
+    return CountingScalar(std::exp(x.v_));
+}
+
+CountingScalar
+Log(CountingScalar x)
+{
+    AddBundle(&CountingScalar::counts_, 22, 24, 1);
+    return CountingScalar(std::log(x.v_));
+}
+
+CountingScalar
+Sin(CountingScalar x)
+{
+    AddBundle(&CountingScalar::counts_, 22, 24, 0);
+    return CountingScalar(std::sin(x.v_));
+}
+
+CountingScalar
+Cos(CountingScalar x)
+{
+    AddBundle(&CountingScalar::counts_, 22, 24, 0);
+    return CountingScalar(std::cos(x.v_));
+}
+
+CountingScalar
+Atan2(CountingScalar y, CountingScalar x)
+{
+    AddBundle(&CountingScalar::counts_, 28, 30, 1);
+    return CountingScalar(std::atan2(y.v_, x.v_));
+}
+
+CountingScalar
+Acos(CountingScalar x)
+{
+    AddBundle(&CountingScalar::counts_, 26, 28, 0);
+    CountingScalar::counts_.fp_sqrt += 1;
+    return CountingScalar(std::acos(x.v_));
+}
+
+CountingScalar
+Fabs(CountingScalar x)
+{
+    CountingScalar::counts_.int_op += 1;  // sign-bit clear
+    return CountingScalar(std::fabs(x.v_));
+}
+
+CountingScalar
+Floor(CountingScalar x)
+{
+    CountingScalar::counts_.fp_add += 1;
+    return CountingScalar(std::floor(x.v_));
+}
+
+CountingScalar
+Pow(CountingScalar x, CountingScalar y)
+{
+    // exp(y * log(x)).
+    AddBundle(&CountingScalar::counts_, 45, 50, 1);
+    return CountingScalar(std::pow(x.v_, y.v_));
+}
+
+CountingScalar
+Erf(CountingScalar x)
+{
+    AddBundle(&CountingScalar::counts_, 30, 34, 1);
+    return CountingScalar(std::erf(x.v_));
+}
+
+}  // namespace rumba::sim

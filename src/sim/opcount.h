@@ -1,0 +1,139 @@
+#ifndef RUMBA_SIM_OPCOUNT_H_
+#define RUMBA_SIM_OPCOUNT_H_
+
+/**
+ * @file
+ * Instruction-mix extraction.
+ *
+ * The paper profiles each kernel in gem5 and feeds activity counts to
+ * McPAT. We replace that with an exact-by-construction approach: the
+ * benchmark kernels are templated on their scalar type, and running
+ * them once with CountingScalar tallies every primitive operation the
+ * kernel performs. Transcendental calls (exp, log, sin, ...) are
+ * expanded into representative primitive-op bundles matching typical
+ * libm polynomial implementations, so the timing and energy models
+ * only ever see primitive classes.
+ */
+
+#include <cstddef>
+
+namespace rumba::sim {
+
+/** Primitive dynamic-operation counts for a code region. */
+struct OpCounts {
+    double int_op = 0;    ///< integer ALU ops (add/sub/logic/shift).
+    double int_mul = 0;   ///< integer multiplies.
+    double fp_add = 0;    ///< FP adds/subtracts/compares.
+    double fp_mul = 0;    ///< FP multiplies.
+    double fp_div = 0;    ///< FP divides.
+    double fp_sqrt = 0;   ///< FP square roots.
+    double load = 0;      ///< memory reads.
+    double store = 0;     ///< memory writes.
+    double branch = 0;    ///< conditional branches.
+
+    /** Element-wise sum. */
+    OpCounts& operator+=(const OpCounts& o);
+
+    /** Element-wise scale (e.g. averaging over iterations). */
+    OpCounts Scaled(double s) const;
+
+    /** Total dynamic micro-operations. */
+    double Total() const;
+
+    /** Total floating-point operations. */
+    double TotalFp() const { return fp_add + fp_mul + fp_div + fp_sqrt; }
+};
+
+/**
+ * Scalar that behaves like double while tallying operations into a
+ * global accumulator. Not thread-safe; profiling is single-threaded.
+ */
+class CountingScalar {
+  public:
+    CountingScalar() = default;
+
+    /* implicit */ CountingScalar(double v) : v_(v) {}  // NOLINT
+
+    /** Wrapped value. */
+    double Value() const { return v_; }
+
+    /** Reset the global tally. */
+    static void ResetCounts();
+
+    /** Current global tally. */
+    static const OpCounts& Counts();
+
+    /** Record extra loads/stores (array traffic the type can't see). */
+    static void RecordMemory(size_t loads, size_t stores);
+
+    CountingScalar operator-() const;
+
+    CountingScalar& operator+=(CountingScalar o);
+    CountingScalar& operator-=(CountingScalar o);
+    CountingScalar& operator*=(CountingScalar o);
+    CountingScalar& operator/=(CountingScalar o);
+
+    friend CountingScalar operator+(CountingScalar a, CountingScalar b);
+    friend CountingScalar operator-(CountingScalar a, CountingScalar b);
+    friend CountingScalar operator*(CountingScalar a, CountingScalar b);
+    friend CountingScalar operator/(CountingScalar a, CountingScalar b);
+
+    friend bool operator<(CountingScalar a, CountingScalar b);
+    friend bool operator>(CountingScalar a, CountingScalar b);
+    friend bool operator<=(CountingScalar a, CountingScalar b);
+    friend bool operator>=(CountingScalar a, CountingScalar b);
+    friend bool operator==(CountingScalar a, CountingScalar b);
+    friend bool operator!=(CountingScalar a, CountingScalar b);
+
+  private:
+    double v_ = 0.0;
+
+    static OpCounts counts_;
+
+    friend CountingScalar Sqrt(CountingScalar x);
+    friend CountingScalar Exp(CountingScalar x);
+    friend CountingScalar Log(CountingScalar x);
+    friend CountingScalar Sin(CountingScalar x);
+    friend CountingScalar Cos(CountingScalar x);
+    friend CountingScalar Atan2(CountingScalar y, CountingScalar x);
+    friend CountingScalar Acos(CountingScalar x);
+    friend CountingScalar Fabs(CountingScalar x);
+    friend CountingScalar Floor(CountingScalar x);
+    friend CountingScalar Pow(CountingScalar x, CountingScalar y);
+    friend CountingScalar Erf(CountingScalar x);
+};
+
+/**
+ * Math shims: the kernels call these unqualified so the same source
+ * instantiates with double (plain libm) and with CountingScalar
+ * (counted bundles).
+ * @{
+ */
+double Sqrt(double x);
+double Exp(double x);
+double Log(double x);
+double Sin(double x);
+double Cos(double x);
+double Atan2(double y, double x);
+double Acos(double x);
+double Fabs(double x);
+double Floor(double x);
+double Pow(double x, double y);
+double Erf(double x);
+
+CountingScalar Sqrt(CountingScalar x);
+CountingScalar Exp(CountingScalar x);
+CountingScalar Log(CountingScalar x);
+CountingScalar Sin(CountingScalar x);
+CountingScalar Cos(CountingScalar x);
+CountingScalar Atan2(CountingScalar y, CountingScalar x);
+CountingScalar Acos(CountingScalar x);
+CountingScalar Fabs(CountingScalar x);
+CountingScalar Floor(CountingScalar x);
+CountingScalar Pow(CountingScalar x, CountingScalar y);
+CountingScalar Erf(CountingScalar x);
+/** @} */
+
+}  // namespace rumba::sim
+
+#endif  // RUMBA_SIM_OPCOUNT_H_

@@ -1,0 +1,810 @@
+// Unit tests for the seven Table 1 benchmark kernels and the mosaic
+// study: functional correctness against independent references,
+// dataset shapes, metrics and instruction-mix profiling.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "apps/benchmark.h"
+#include "apps/blackscholes.h"
+#include "apps/fft.h"
+#include "apps/inversek2j.h"
+#include "apps/jmeint.h"
+#include "apps/jpeg.h"
+#include "apps/kmeans.h"
+#include "apps/mosaic.h"
+#include "apps/sobel.h"
+#include "common/imagegen.h"
+#include "common/random.h"
+#include "common/statistics.h"
+
+namespace rumba::apps {
+namespace {
+
+// ------------------------------------------------------------- Registry
+
+TEST(RegistryTest, SevenBenchmarksInPaperOrder)
+{
+    const auto names = BenchmarkNames();
+    ASSERT_EQ(names.size(), 7u);
+    EXPECT_EQ(names.front(), "blackscholes");
+    EXPECT_EQ(names.back(), "sobel");
+    const auto all = AllBenchmarks();
+    ASSERT_EQ(all.size(), 7u);
+    for (size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i]->Info().name, names[i]);
+}
+
+TEST(RegistryTest, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(MakeBenchmark("nonesuch"), "unknown benchmark");
+}
+
+TEST(RegistryTest, AritiesMatchTopologies)
+{
+    for (const auto& bench : AllBenchmarks()) {
+        const auto& info = bench->Info();
+        EXPECT_EQ(info.rumba_topology.NumInputs(), bench->NumInputs())
+            << info.name;
+        EXPECT_EQ(info.rumba_topology.NumOutputs(), bench->NumOutputs())
+            << info.name;
+        EXPECT_EQ(info.npu_topology.NumInputs(), bench->NumInputs())
+            << info.name;
+        EXPECT_EQ(info.npu_topology.NumOutputs(), bench->NumOutputs())
+            << info.name;
+    }
+}
+
+TEST(RegistryTest, RumbaNetNeverLargerThanNpuNet)
+{
+    // Rumba's error correction lets it pick a smaller or equal
+    // network (Section 4 of the paper).
+    for (const auto& bench : AllBenchmarks()) {
+        EXPECT_LE(bench->Info().rumba_topology.MacsPerInvocation(),
+                  bench->Info().npu_topology.MacsPerInvocation())
+            << bench->Info().name;
+    }
+}
+
+TEST(RegistryTest, RegionFractionsAreSane)
+{
+    for (const auto& bench : AllBenchmarks()) {
+        EXPECT_GT(bench->RegionFraction(), 0.0) << bench->Info().name;
+        EXPECT_LE(bench->RegionFraction(), 1.0) << bench->Info().name;
+    }
+}
+
+TEST(RegistryTest, DataSizesMatchTable1)
+{
+    const auto sizes = [](const char* name) {
+        auto b = MakeBenchmark(name);
+        return std::pair<size_t, size_t>(b->TrainInputs().size(),
+                                         b->TestInputs().size());
+    };
+    EXPECT_EQ(sizes("blackscholes").first, 5000u);
+    EXPECT_EQ(sizes("blackscholes").second, 5000u);
+    EXPECT_EQ(sizes("fft").first, 5000u);
+    EXPECT_EQ(sizes("inversek2j").first, 10000u);
+    EXPECT_EQ(sizes("jmeint").first, 10000u);
+    // jpeg: 220x200 train image -> 27x25 blocks; 512x512 test -> 4096.
+    EXPECT_EQ(sizes("jpeg").first, 27u * 25u);
+    EXPECT_EQ(sizes("jpeg").second, 64u * 64u);
+}
+
+TEST(RegistryTest, DeterministicInputs)
+{
+    for (const char* name : {"blackscholes", "fft", "jmeint"}) {
+        auto bench = MakeBenchmark(name);
+        const auto a = bench->TrainInputs();
+        const auto b = bench->TrainInputs();
+        ASSERT_EQ(a.size(), b.size()) << name;
+        EXPECT_EQ(a[0], b[0]) << name;
+        EXPECT_EQ(a.back(), b.back()) << name;
+    }
+}
+
+TEST(RegistryTest, TrainAndTestDiffer)
+{
+    for (const auto& bench : AllBenchmarks()) {
+        const auto train = bench->TrainInputs();
+        const auto test = bench->TestInputs();
+        EXPECT_NE(train[0], test[0]) << bench->Info().name;
+    }
+}
+
+// --------------------------------------------------------- blackscholes
+
+TEST(BlackScholesTest, KnownPrice)
+{
+    // S=100, K=100, r=5%, v=20%, T=1y call: ~10.45 (textbook value).
+    const double in[6] = {100, 100, 0.05, 0.2, 1.0, 0.0};
+    double out = 0.0;
+    BlackScholes::Kernel(in, &out);
+    EXPECT_NEAR(out, 10.45, 0.05);
+}
+
+TEST(BlackScholesTest, PutCallParity)
+{
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        double in[6] = {rng.Uniform(20, 120), rng.Uniform(20, 120),
+                        rng.Uniform(0.01, 0.1), rng.Uniform(0.05, 0.65),
+                        rng.Uniform(0.1, 2.0), 0.0};
+        double call = 0.0, put = 0.0;
+        BlackScholes::Kernel(in, &call);
+        in[5] = 1.0;
+        BlackScholes::Kernel(in, &put);
+        // C - P = S - K e^{-rT}.
+        const double parity =
+            in[0] - in[1] * std::exp(-in[2] * in[4]);
+        EXPECT_NEAR(call - put, parity, 1e-9);
+    }
+}
+
+TEST(BlackScholesTest, CallPriceMonotoneInSpot)
+{
+    double prev = -1.0;
+    for (double s = 50; s <= 150; s += 10) {
+        const double in[6] = {s, 100, 0.05, 0.3, 1.0, 0.0};
+        double out = 0.0;
+        BlackScholes::Kernel(in, &out);
+        EXPECT_GT(out, prev);
+        prev = out;
+    }
+}
+
+TEST(BlackScholesTest, DeepInTheMoneyCall)
+{
+    const double in[6] = {200, 50, 0.05, 0.2, 0.5, 0.0};
+    double out = 0.0;
+    BlackScholes::Kernel(in, &out);
+    // Close to intrinsic discounted value S - K e^{-rT}.
+    EXPECT_NEAR(out, 200 - 50 * std::exp(-0.025), 0.2);
+}
+
+TEST(BlackScholesTest, PricesNonNegative)
+{
+    auto bench = MakeBenchmark("blackscholes");
+    const auto inputs = bench->TestInputs();
+    double out = 0.0;
+    for (size_t i = 0; i < 500; ++i) {
+        bench->RunExact(inputs[i].data(), &out);
+        EXPECT_GE(out, -1e-6);
+    }
+}
+
+// ------------------------------------------------------------------ fft
+
+TEST(FftTest, TwiddleMatchesLibm)
+{
+    for (double x : {0.0, 0.1, 0.25, 0.5, 0.75, 0.99}) {
+        double out[2];
+        Fft::Kernel(&x, out);
+        EXPECT_NEAR(out[0], std::cos(-2 * M_PI * x), 1e-12);
+        EXPECT_NEAR(out[1], std::sin(-2 * M_PI * x), 1e-12);
+    }
+}
+
+TEST(FftTest, UnitMagnitude)
+{
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i) {
+        const double x = rng.Uniform();
+        double out[2];
+        Fft::Kernel(&x, out);
+        EXPECT_NEAR(out[0] * out[0] + out[1] * out[1], 1.0, 1e-12);
+    }
+}
+
+TEST(FftTest, RadixTwoFftWithExactTwiddles)
+{
+    // An 8-point radix-2 FFT using the kernel for twiddles must match
+    // a direct DFT: validates that the kernel is the right building
+    // block for the full application.
+    const size_t n = 8;
+    std::vector<std::complex<double>> x(n);
+    Rng rng(7);
+    for (auto& v : x)
+        v = {rng.Uniform(-1, 1), 0.0};
+
+    // Direct DFT reference.
+    std::vector<std::complex<double>> ref(n);
+    for (size_t k = 0; k < n; ++k)
+        for (size_t t = 0; t < n; ++t)
+            ref[k] += x[t] * std::polar(1.0, -2 * M_PI *
+                                                 static_cast<double>(k * t) /
+                                                 static_cast<double>(n));
+
+    // Cooley-Tukey with kernel twiddles.
+    std::vector<std::complex<double>> a = x;
+    // Bit reversal for n = 8.
+    const size_t rev[8] = {0, 4, 2, 6, 1, 5, 3, 7};
+    std::vector<std::complex<double>> b(n);
+    for (size_t i = 0; i < n; ++i)
+        b[i] = a[rev[i]];
+    for (size_t len = 2; len <= n; len <<= 1) {
+        for (size_t start = 0; start < n; start += len) {
+            for (size_t j = 0; j < len / 2; ++j) {
+                const double frac = static_cast<double>(j) /
+                                    static_cast<double>(len);
+                double tw[2];
+                Fft::Kernel(&frac, tw);
+                const std::complex<double> w{tw[0], tw[1]};
+                const auto u = b[start + j];
+                const auto v = b[start + j + len / 2] * w;
+                b[start + j] = u + v;
+                b[start + j + len / 2] = u - v;
+            }
+        }
+    }
+    for (size_t k = 0; k < n; ++k) {
+        EXPECT_NEAR(b[k].real(), ref[k].real(), 1e-9);
+        EXPECT_NEAR(b[k].imag(), ref[k].imag(), 1e-9);
+    }
+}
+
+// ------------------------------------------------------------ inversek2j
+
+TEST(InverseK2jTest, InverseOfForward)
+{
+    Rng rng(11);
+    for (int i = 0; i < 500; ++i) {
+        const double t1 = rng.Uniform(0.1, M_PI / 2 - 0.1);
+        const double t2 = rng.Uniform(0.1, M_PI - 0.2);
+        double x, y;
+        InverseK2j::ForwardKinematics(t1, t2, &x, &y);
+        const double in[2] = {x, y};
+        double out[2];
+        InverseK2j::Kernel(in, out);
+        EXPECT_NEAR(out[0], t1, 1e-9);
+        EXPECT_NEAR(out[1], t2, 1e-9);
+    }
+}
+
+TEST(InverseK2jTest, SolutionReachesTarget)
+{
+    auto bench = MakeBenchmark("inversek2j");
+    const auto inputs = bench->TestInputs();
+    for (size_t i = 0; i < 200; ++i) {
+        double out[2];
+        InverseK2j::Kernel(inputs[i].data(), out);
+        double x, y;
+        InverseK2j::ForwardKinematics(out[0], out[1], &x, &y);
+        EXPECT_NEAR(x, inputs[i][0], 1e-9);
+        EXPECT_NEAR(y, inputs[i][1], 1e-9);
+    }
+}
+
+TEST(InverseK2jTest, ClampHandlesBoundary)
+{
+    // Fully stretched arm: |target| == l1 + l2.
+    const double in[2] = {1.0, 0.0};
+    double out[2];
+    InverseK2j::Kernel(in, out);
+    EXPECT_NEAR(out[1], 0.0, 1e-6);  // theta2 = 0 when stretched.
+}
+
+// ---------------------------------------------------------------- jmeint
+
+TEST(JmeintTest, KnownIntersecting)
+{
+    // Two triangles crossing at right angles through each other.
+    const double in[18] = {
+        0, 0, 0,  2, 0, 0,  0, 2, 0,   // V in z=0 plane
+        0.5, 0.5, -1,  0.5, 0.5, 1,  1.5, 0.5, 0.5,  // U pierces it
+    };
+    EXPECT_TRUE(Jmeint::TriTriIntersect(in));
+}
+
+TEST(JmeintTest, KnownDisjoint)
+{
+    const double in[18] = {
+        0, 0, 0,  1, 0, 0,  0, 1, 0,
+        0, 0, 5,  1, 0, 5,  0, 1, 5,
+    };
+    EXPECT_FALSE(Jmeint::TriTriIntersect(in));
+}
+
+TEST(JmeintTest, SharedEdgeIntersects)
+{
+    const double in[18] = {
+        0, 0, 0,  1, 0, 0,  0, 1, 0,
+        0, 0, 0,  1, 0, 0,  0, 0, 1,
+    };
+    EXPECT_TRUE(Jmeint::TriTriIntersect(in));
+}
+
+TEST(JmeintTest, CoplanarOverlapping)
+{
+    const double in[18] = {
+        0, 0, 0,  2, 0, 0,  0, 2, 0,
+        0.5, 0.5, 0,  1.5, 0.5, 0,  0.5, 1.5, 0,
+    };
+    EXPECT_TRUE(Jmeint::TriTriIntersect(in));
+}
+
+TEST(JmeintTest, CoplanarDisjoint)
+{
+    const double in[18] = {
+        0, 0, 0,  1, 0, 0,  0, 1, 0,
+        5, 5, 0,  6, 5, 0,  5, 6, 0,
+    };
+    EXPECT_FALSE(Jmeint::TriTriIntersect(in));
+}
+
+TEST(JmeintTest, SymmetricInArguments)
+{
+    auto bench = MakeBenchmark("jmeint");
+    const auto inputs = bench->TestInputs();
+    for (size_t i = 0; i < 300; ++i) {
+        double swapped[18];
+        for (int k = 0; k < 9; ++k) {
+            swapped[k] = inputs[i][static_cast<size_t>(k + 9)];
+            swapped[k + 9] = inputs[i][static_cast<size_t>(k)];
+        }
+        EXPECT_EQ(Jmeint::TriTriIntersect(inputs[i].data()),
+                  Jmeint::TriTriIntersect(swapped))
+            << "pair " << i;
+    }
+}
+
+TEST(JmeintTest, SegmentSamplingAgreesOnIntersectors)
+{
+    // Independent (sufficient, not necessary) witness: sample points
+    // on segments between U's vertices crossing V's plane; whenever
+    // the witness finds an intersection the kernel must agree.
+    auto bench = MakeBenchmark("jmeint");
+    const auto inputs = bench->TestInputs();
+    auto inside = [](const double* tri, const double p[3]) {
+        // Barycentric containment of p projected on tri's plane.
+        const double* a = tri;
+        const double* b = tri + 3;
+        const double* c = tri + 6;
+        double v0[3], v1[3], v2[3];
+        for (int k = 0; k < 3; ++k) {
+            v0[k] = c[k] - a[k];
+            v1[k] = b[k] - a[k];
+            v2[k] = p[k] - a[k];
+        }
+        auto dot = [](const double* u, const double* v) {
+            return u[0] * v[0] + u[1] * v[1] + u[2] * v[2];
+        };
+        const double d00 = dot(v0, v0), d01 = dot(v0, v1),
+                     d11 = dot(v1, v1), d20 = dot(v2, v0),
+                     d21 = dot(v2, v1);
+        const double denom = d00 * d11 - d01 * d01;
+        if (std::fabs(denom) < 1e-15)
+            return false;
+        const double u = (d11 * d20 - d01 * d21) / denom;
+        const double v = (d00 * d21 - d01 * d20) / denom;
+        return u >= -1e-9 && v >= -1e-9 && u + v <= 1.0 + 1e-9;
+    };
+    auto witness = [&](const double* in) {
+        // Edges of U against triangle V's plane.
+        const double* v0 = in;
+        const double* v1 = in + 3;
+        const double* v2 = in + 6;
+        double e1[3], e2[3], n[3];
+        for (int k = 0; k < 3; ++k) {
+            e1[k] = v1[k] - v0[k];
+            e2[k] = v2[k] - v0[k];
+        }
+        n[0] = e1[1] * e2[2] - e1[2] * e2[1];
+        n[1] = e1[2] * e2[0] - e1[0] * e2[2];
+        n[2] = e1[0] * e2[1] - e1[1] * e2[0];
+        for (int e = 0; e < 3; ++e) {
+            const double* p = in + 9 + 3 * e;
+            const double* q = in + 9 + 3 * ((e + 1) % 3);
+            double dp = 0, dq = 0;
+            for (int k = 0; k < 3; ++k) {
+                dp += n[k] * (p[k] - v0[k]);
+                dq += n[k] * (q[k] - v0[k]);
+            }
+            if (dp * dq > 0)
+                continue;  // edge does not cross the plane.
+            const double t = dp / (dp - dq);
+            double hit[3];
+            for (int k = 0; k < 3; ++k)
+                hit[k] = p[k] + t * (q[k] - p[k]);
+            if (inside(in, hit))
+                return true;
+        }
+        return false;
+    };
+    size_t witnessed = 0;
+    for (size_t i = 0; i < 500; ++i) {
+        if (witness(inputs[i].data())) {
+            ++witnessed;
+            EXPECT_TRUE(Jmeint::TriTriIntersect(inputs[i].data()))
+                << "pair " << i;
+        }
+    }
+    EXPECT_GT(witnessed, 20u);  // the witness must actually trigger.
+}
+
+TEST(JmeintTest, ClassBalanceReasonable)
+{
+    auto bench = MakeBenchmark("jmeint");
+    const auto inputs = bench->TestInputs();
+    size_t hits = 0;
+    for (const auto& in : inputs)
+        hits += Jmeint::TriTriIntersect(in.data());
+    const double rate =
+        static_cast<double>(hits) / static_cast<double>(inputs.size());
+    EXPECT_GT(rate, 0.10);
+    EXPECT_LT(rate, 0.90);
+}
+
+TEST(JmeintTest, MismatchMetric)
+{
+    auto bench = MakeBenchmark("jmeint");
+    EXPECT_DOUBLE_EQ(bench->ElementError({1, 0}, {0.8, 0.2}), 0.0);
+    EXPECT_DOUBLE_EQ(bench->ElementError({1, 0}, {0.2, 0.8}), 1.0);
+    EXPECT_DOUBLE_EQ(bench->AggregateError({0, 1, 0, 1}), 50.0);
+}
+
+// ------------------------------------------------------------------ jpeg
+
+TEST(JpegTest, FlatBlockSurvives)
+{
+    std::vector<double> block(64, 0.5), out(64);
+    Jpeg::Kernel(block.data(), out.data());
+    for (double v : out)
+        EXPECT_NEAR(v, 0.5, 0.01);
+}
+
+TEST(JpegTest, OutputInPixelRange)
+{
+    auto bench = MakeBenchmark("jpeg");
+    const auto inputs = bench->TestInputs();
+    std::vector<double> out(64);
+    for (size_t i = 0; i < 200; ++i) {
+        bench->RunExact(inputs[i].data(), out.data());
+        for (double v : out) {
+            EXPECT_GE(v, 0.0);
+            EXPECT_LE(v, 1.0);
+        }
+    }
+}
+
+TEST(JpegTest, ReconstructionIsClose)
+{
+    // Quality-50 quantization keeps smooth blocks visually close.
+    auto bench = MakeBenchmark("jpeg");
+    const auto inputs = bench->TestInputs();
+    std::vector<double> out(64);
+    OnlineStats err;
+    for (size_t i = 0; i < 200; ++i) {
+        bench->RunExact(inputs[i].data(), out.data());
+        for (size_t k = 0; k < 64; ++k)
+            err.Add(std::fabs(out[k] - inputs[i][k]));
+    }
+    EXPECT_LT(err.Mean(), 0.15);
+    EXPECT_GT(err.Mean(), 0.0);  // lossy: not the identity.
+}
+
+TEST(JpegTest, IdempotentOnRequantizedBlock)
+{
+    // Encoding an already-encoded block changes little: the DCT
+    // coefficients are already on the quantization lattice.
+    auto bench = MakeBenchmark("jpeg");
+    const auto inputs = bench->TestInputs();
+    std::vector<double> once(64), twice(64);
+    OnlineStats drift;
+    for (size_t i = 0; i < 100; ++i) {
+        bench->RunExact(inputs[i].data(), once.data());
+        bench->RunExact(once.data(), twice.data());
+        for (size_t k = 0; k < 64; ++k)
+            drift.Add(std::fabs(twice[k] - once[k]));
+    }
+    // Clamping at the pixel range breaks exact idempotence; the
+    // drift must still be far below the first-pass loss.
+    EXPECT_LT(drift.Mean(), 0.02);
+}
+
+TEST(JpegTest, MatchesDirectDctReference)
+{
+    // Independent O(n^4) reference: direct 2-D DCT-II, quantize with
+    // the same table, direct inverse. Must agree with the separable
+    // implementation to numerical precision.
+    auto reference = [](const std::vector<double>& in,
+                        std::vector<double>* out) {
+        const size_t b = 8;
+        auto alpha = [&](size_t u) {
+            return u == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+        };
+        std::vector<double> shifted(64), coeff(64);
+        for (size_t i = 0; i < 64; ++i)
+            shifted[i] = in[i] * 255.0 - 128.0;
+        for (size_t u = 0; u < b; ++u) {
+            for (size_t v = 0; v < b; ++v) {
+                double sum = 0.0;
+                for (size_t x = 0; x < b; ++x)
+                    for (size_t y = 0; y < b; ++y)
+                        sum += shifted[y * b + x] *
+                               std::cos((2 * x + 1) * u * M_PI / 16.0) *
+                               std::cos((2 * y + 1) * v * M_PI / 16.0);
+                coeff[v * b + u] = alpha(u) * alpha(v) * sum;
+            }
+        }
+        for (size_t i = 0; i < 64; ++i) {
+            const double q = Jpeg::kQuantTable[i];
+            coeff[i] = std::floor(coeff[i] / q + 0.5) * q;
+        }
+        out->assign(64, 0.0);
+        for (size_t x = 0; x < b; ++x) {
+            for (size_t y = 0; y < b; ++y) {
+                double sum = 0.0;
+                for (size_t u = 0; u < b; ++u)
+                    for (size_t v = 0; v < b; ++v)
+                        sum += alpha(u) * alpha(v) * coeff[v * b + u] *
+                               std::cos((2 * x + 1) * u * M_PI / 16.0) *
+                               std::cos((2 * y + 1) * v * M_PI / 16.0);
+                (*out)[y * b + x] =
+                    std::clamp((sum + 128.0) / 255.0, 0.0, 1.0);
+            }
+        }
+    };
+
+    auto bench = MakeBenchmark("jpeg");
+    const auto inputs = bench->TestInputs();
+    std::vector<double> fast(64), ref(64);
+    for (size_t i = 0; i < 25; ++i) {
+        bench->RunExact(inputs[i].data(), fast.data());
+        reference(inputs[i], &ref);
+        for (size_t k = 0; k < 64; ++k)
+            EXPECT_NEAR(fast[k], ref[k], 1e-9) << "block " << i;
+    }
+}
+
+TEST(BlackScholesTest, CndfPolynomialTracksErf)
+{
+    // The kernel's Abramowitz-Stegun CNDF must track the erf-based
+    // exact CNDF to the approximation's documented 7.5e-8 bound —
+    // verified indirectly through option prices with zero volatility
+    // spread: price(call) via kernel vs closed form on a dense grid.
+    for (double s = 40; s <= 160; s += 7) {
+        const double in[6] = {s, 100.0, 0.05, 0.25, 1.0, 0.0};
+        double kernel_price = 0.0;
+        apps::BlackScholes::Kernel(in, &kernel_price);
+        // erf-based reference.
+        auto cndf = [](double x) {
+            return 0.5 * std::erfc(-x / std::sqrt(2.0));
+        };
+        const double d1 =
+            (std::log(s / 100.0) + (0.05 + 0.5 * 0.25 * 0.25)) / 0.25;
+        const double d2 = d1 - 0.25;
+        const double exact = s * cndf(d1) -
+                             100.0 * std::exp(-0.05) * cndf(d2);
+        EXPECT_NEAR(kernel_price, exact, 1e-4) << "spot " << s;
+    }
+}
+
+TEST(InverseK2jTest, ElbowDownBranchConsistent)
+{
+    // theta2 from Acos is always in [0, pi]: the elbow-down solution.
+    auto bench = MakeBenchmark("inversek2j");
+    const auto inputs = bench->TestInputs();
+    double out[2];
+    for (size_t i = 0; i < 500; ++i) {
+        InverseK2j::Kernel(inputs[i].data(), out);
+        EXPECT_GE(out[1], 0.0);
+        EXPECT_LE(out[1], M_PI);
+    }
+}
+
+TEST(JpegTest, BlocksFromImageShape)
+{
+    const GrayImage img = GenerateSceneImage(64, 40, 3);
+    const auto blocks = Jpeg::BlocksFromImage(img);
+    EXPECT_EQ(blocks.size(), 8u * 5u);
+    for (const auto& b : blocks)
+        EXPECT_EQ(b.size(), 64u);
+    // First block's first pixel is the image's top-left pixel.
+    EXPECT_DOUBLE_EQ(blocks[0][0], img.At(0, 0));
+}
+
+// ---------------------------------------------------------------- kmeans
+
+TEST(KmeansTest, DistanceMatchesEuclid)
+{
+    const double in[6] = {0.1, 0.2, 0.3, 0.4, 0.8, 0.7};
+    double out = 0.0;
+    Kmeans::Kernel(in, &out);
+    EXPECT_NEAR(out, std::sqrt(0.09 + 0.36 + 0.16), 1e-12);
+}
+
+TEST(KmeansTest, ZeroDistanceForIdenticalPoints)
+{
+    const double in[6] = {0.5, 0.5, 0.5, 0.5, 0.5, 0.5};
+    double out = 1.0;
+    Kmeans::Kernel(in, &out);
+    EXPECT_DOUBLE_EQ(out, 0.0);
+}
+
+TEST(KmeansTest, InputsInColorCube)
+{
+    auto bench = MakeBenchmark("kmeans");
+    for (const auto& in : bench->TrainInputs()) {
+        for (double v : in) {
+            EXPECT_GE(v, 0.0);
+            EXPECT_LE(v, 1.0);
+        }
+    }
+}
+
+// ----------------------------------------------------------------- sobel
+
+TEST(SobelTest, FlatWindowZeroGradient)
+{
+    std::vector<double> win(9, 0.7);
+    double out = 1.0;
+    Sobel::Kernel(win.data(), &out);
+    EXPECT_DOUBLE_EQ(out, 0.0);
+}
+
+TEST(SobelTest, VerticalEdgeGradient)
+{
+    // Window 0 0 1 / 0 0 1 / 0 0 1: gx = 4, gy = 0 -> mag/2 = 2 -> clamp 1.
+    const double win[9] = {0, 0, 1, 0, 0, 1, 0, 0, 1};
+    double out = 0.0;
+    Sobel::Kernel(win, &out);
+    EXPECT_DOUBLE_EQ(out, 1.0);
+}
+
+TEST(SobelTest, RampHasUniformGradient)
+{
+    const GrayImage ramp = GenerateRampImage(32, 8);
+    const auto windows = Sobel::WindowsFromImage(ramp);
+    double first = -1.0;
+    for (const auto& w : windows) {
+        double out = 0.0;
+        Sobel::Kernel(w.data(), &out);
+        if (first < 0)
+            first = out;
+        EXPECT_NEAR(out, first, 1e-9);
+    }
+    // Ramp slope 1/31 per pixel -> gx = 8/31, gy = 0, mag/2 = 4/31.
+    EXPECT_NEAR(first, 4.0 / 31.0, 1e-9);
+}
+
+TEST(SobelTest, RotationSwapsGxGy)
+{
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        double win[9];
+        for (auto& v : win)
+            v = rng.Uniform();
+        // Transpose the window: swaps the roles of gx and gy, so the
+        // magnitude is unchanged.
+        const double t[9] = {win[0], win[3], win[6], win[1], win[4],
+                             win[7], win[2], win[5], win[8]};
+        double a = 0.0, b = 0.0;
+        Sobel::Kernel(win, &a);
+        Sobel::Kernel(t, &b);
+        EXPECT_NEAR(a, b, 1e-12);
+    }
+}
+
+TEST(SobelTest, WindowCountAndStride)
+{
+    const GrayImage img = GenerateSceneImage(34, 18, 5);
+    EXPECT_EQ(Sobel::WindowsFromImage(img, 1).size(), 32u * 16u);
+    EXPECT_EQ(Sobel::WindowsFromImage(img, 2).size(), 16u * 8u);
+}
+
+// ------------------------------------------------------------ Profiling
+
+TEST(ProfileTest, AllKernelsProduceOps)
+{
+    for (const auto& bench : AllBenchmarks()) {
+        const sim::OpCounts ops = bench->ProfileKernel(64);
+        EXPECT_GT(ops.TotalFp(), 0.0) << bench->Info().name;
+        EXPECT_GE(ops.load, static_cast<double>(bench->NumInputs()))
+            << bench->Info().name;
+        EXPECT_GE(ops.store, static_cast<double>(bench->NumOutputs()))
+            << bench->Info().name;
+    }
+}
+
+TEST(ProfileTest, JpegIsTheHeaviestKernel)
+{
+    const double jpeg_ops =
+        MakeBenchmark("jpeg")->ProfileKernel(16).Total();
+    const double kmeans_ops =
+        MakeBenchmark("kmeans")->ProfileKernel(16).Total();
+    EXPECT_GT(jpeg_ops, 50 * kmeans_ops);
+}
+
+TEST(ProfileTest, CountedMatchesExactValues)
+{
+    // The counting instantiation must compute the same values as the
+    // double instantiation.
+    for (const auto& bench : AllBenchmarks()) {
+        const auto inputs = bench->TestInputs();
+        std::vector<double> exact(bench->NumOutputs());
+        bench->RunExact(inputs[0].data(), exact.data());
+        std::vector<sim::CountingScalar> in(bench->NumInputs());
+        std::vector<sim::CountingScalar> out(bench->NumOutputs());
+        for (size_t i = 0; i < in.size(); ++i)
+            in[i] = sim::CountingScalar(inputs[0][i]);
+        bench->RunCounted(in.data(), out.data());
+        for (size_t o = 0; o < exact.size(); ++o)
+            EXPECT_DOUBLE_EQ(out[o].Value(), exact[o])
+                << bench->Info().name;
+    }
+}
+
+// --------------------------------------------------------------- mosaic
+
+TEST(MosaicTest, ExactBrightnessIsMean)
+{
+    GrayImage img(4, 4, 0.25);
+    img.At(0, 0) = 1.0;
+    EXPECT_NEAR(MosaicStudy::ExactBrightness(img),
+                (0.25 * 15 + 1.0) / 16.0, 1e-12);
+}
+
+TEST(MosaicTest, NoPerforationNoError)
+{
+    MosaicStudy::Options opt;
+    opt.stride = 1;
+    const GrayImage img = GenerateFlowerImage(64, 64, 9);
+    EXPECT_NEAR(MosaicStudy::OutputErrorPercent(img, opt), 0.0, 1e-9);
+}
+
+TEST(MosaicTest, PerforationErrorIsInputDependent)
+{
+    MosaicStudy::Options opt;
+    opt.images = 120;
+    opt.width = 96;
+    opt.height = 96;
+    const auto errors = MosaicStudy::RunStudy(opt);
+    ASSERT_EQ(errors.size(), 120u);
+    OnlineStats stats;
+    for (double e : errors)
+        stats.Add(e);
+    // The paper's Figure 3 shape: small average, long tail.
+    EXPECT_GT(stats.Max(), 3.0 * stats.Mean());
+    EXPECT_GT(stats.Max(), 5.0);
+    EXPECT_LT(stats.Mean(), 15.0);
+}
+
+TEST(MosaicTest, RandomModeAlsoWorks)
+{
+    MosaicStudy::Options opt;
+    opt.mode = MosaicStudy::Mode::kRandomPixels;
+    const GrayImage img = GenerateFlowerImage(64, 64, 11);
+    const double err = MosaicStudy::OutputErrorPercent(img, opt);
+    EXPECT_GE(err, 0.0);
+    EXPECT_LT(err, 100.0);
+}
+
+// -------------------------------------------------------------- Metrics
+
+TEST(MetricsTest, DefaultRelativeErrorUsesFloor)
+{
+    auto bench = MakeBenchmark("fft");
+    // exact (1, 0), approx (0.9, 0.1): errors 0.1/1 and 0.1/0.5.
+    EXPECT_NEAR(bench->ElementError({1.0, 0.0}, {0.9, 0.1}),
+                (0.1 + 0.2) / 2.0, 1e-12);
+}
+
+TEST(MetricsTest, AggregateIsPercentMean)
+{
+    auto bench = MakeBenchmark("fft");
+    EXPECT_DOUBLE_EQ(bench->AggregateError({0.1, 0.3}), 20.0);
+}
+
+TEST(MetricsTest, JpegUsesAbsolutePixelDiff)
+{
+    auto bench = MakeBenchmark("jpeg");
+    std::vector<double> exact(64, 0.5), approx(64, 0.6);
+    EXPECT_NEAR(bench->ElementError(exact, approx), 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace rumba::apps

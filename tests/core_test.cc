@@ -1,0 +1,366 @@
+// Unit tests for the Rumba core: schemes, detector, recovery queue
+// and module, online tuner, and the offline pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/benchmark.h"
+#include "core/detector.h"
+#include "core/pipeline.h"
+#include "core/recovery.h"
+#include "core/schemes.h"
+#include "core/tuner.h"
+#include "predict/linear.h"
+
+namespace rumba::core {
+namespace {
+
+/** Fast pipeline configuration for tests. */
+PipelineConfig
+FastPipeline()
+{
+    PipelineConfig cfg;
+    cfg.train_epochs = 25;
+    cfg.max_train_elements = 600;
+    cfg.max_test_elements = 600;
+    return cfg;
+}
+
+// --------------------------------------------------------------- Schemes
+
+TEST(SchemesTest, NamesMatchPaper)
+{
+    EXPECT_STREQ(SchemeName(Scheme::kNpu), "NPU");
+    EXPECT_STREQ(SchemeName(Scheme::kIdeal), "Ideal");
+    EXPECT_STREQ(SchemeName(Scheme::kLinear), "linearErrors");
+    EXPECT_STREQ(SchemeName(Scheme::kTree), "treeErrors");
+    EXPECT_STREQ(SchemeName(Scheme::kEma), "EMA");
+}
+
+TEST(SchemesTest, FixingSchemesExcludeNpu)
+{
+    const auto schemes = FixingSchemes();
+    EXPECT_EQ(schemes.size(), 6u);
+    for (auto s : schemes)
+        EXPECT_NE(s, Scheme::kNpu);
+}
+
+TEST(SchemesTest, PredictorClassification)
+{
+    EXPECT_TRUE(IsPredictorScheme(Scheme::kEma));
+    EXPECT_TRUE(IsPredictorScheme(Scheme::kLinear));
+    EXPECT_TRUE(IsPredictorScheme(Scheme::kTree));
+    EXPECT_FALSE(IsPredictorScheme(Scheme::kIdeal));
+    EXPECT_FALSE(IsPredictorScheme(Scheme::kRandom));
+    EXPECT_FALSE(IsPredictorScheme(Scheme::kUniform));
+}
+
+// -------------------------------------------------------------- Detector
+
+/** Predictor stub returning a fixed value. */
+class FixedPredictor : public predict::ErrorPredictor {
+  public:
+    explicit FixedPredictor(double value) : value_(value) {}
+    std::string Name() const override { return "fixed"; }
+    bool IsInputBased() const override { return true; }
+    void Train(const Dataset&) override {}
+    double
+    PredictError(const std::vector<double>&,
+                 const std::vector<double>&) override
+    {
+        return value_;
+    }
+    sim::CheckerCost CostPerCheck() const override { return {}; }
+    std::string Serialize() const override { return "fixed\n"; }
+
+  private:
+    double value_;
+};
+
+TEST(DetectorTest, FiresAboveThreshold)
+{
+    Detector det(std::make_unique<FixedPredictor>(0.4), 0.3);
+    const CheckResult r = det.Check({}, {});
+    EXPECT_TRUE(r.fired);
+    EXPECT_DOUBLE_EQ(r.predicted_error, 0.4);
+}
+
+TEST(DetectorTest, SilentBelowThreshold)
+{
+    Detector det(std::make_unique<FixedPredictor>(0.2), 0.3);
+    EXPECT_FALSE(det.Check({}, {}).fired);
+}
+
+TEST(DetectorTest, ThresholdAdjustable)
+{
+    Detector det(std::make_unique<FixedPredictor>(0.2), 0.3);
+    det.SetThreshold(0.1);
+    EXPECT_TRUE(det.Check({}, {}).fired);
+    EXPECT_EQ(det.ChecksPerformed(), 1u);
+    EXPECT_EQ(det.ChecksFired(), 1u);
+}
+
+TEST(DetectorTest, CountsChecks)
+{
+    Detector det(std::make_unique<FixedPredictor>(0.5), 0.3);
+    for (int i = 0; i < 5; ++i)
+        det.Check({}, {});
+    det.SetThreshold(0.9);
+    for (int i = 0; i < 3; ++i)
+        det.Check({}, {});
+    EXPECT_EQ(det.ChecksPerformed(), 8u);
+    EXPECT_EQ(det.ChecksFired(), 5u);
+}
+
+// -------------------------------------------------------------- Recovery
+
+TEST(RecoveryTest, DrainsQueueAndMerges)
+{
+    auto bench = apps::MakeBenchmark("kmeans");
+    RecoveryModule recovery(bench.get(), 16);
+
+    std::vector<std::vector<double>> inputs = {
+        {0.1, 0.2, 0.3, 0.4, 0.5, 0.6},
+        {0.9, 0.8, 0.7, 0.6, 0.5, 0.4},
+        {0.2, 0.2, 0.2, 0.8, 0.8, 0.8},
+    };
+    // Corrupt all outputs; flag elements 0 and 2.
+    std::vector<std::vector<double>> outputs(3, {99.0});
+    std::vector<char> fixed(3, 0);
+    recovery.Queue().Push(RecoveryEntry{0});
+    recovery.Queue().Push(RecoveryEntry{2});
+    const size_t drained = recovery.Drain(inputs, &outputs, &fixed);
+    EXPECT_EQ(drained, 2u);
+    EXPECT_EQ(recovery.TotalReexecutions(), 2u);
+    EXPECT_EQ(fixed[0], 1);
+    EXPECT_EQ(fixed[1], 0);
+    EXPECT_EQ(fixed[2], 1);
+
+    double expected = 0.0;
+    bench->RunExact(inputs[0].data(), &expected);
+    EXPECT_DOUBLE_EQ(outputs[0][0], expected);
+    EXPECT_DOUBLE_EQ(outputs[1][0], 99.0);  // untouched approximate.
+}
+
+TEST(RecoveryTest, EmptyQueueDrainsNothing)
+{
+    auto bench = apps::MakeBenchmark("kmeans");
+    RecoveryModule recovery(bench.get());
+    std::vector<std::vector<double>> inputs = {
+        {0.1, 0.2, 0.3, 0.4, 0.5, 0.6}};
+    std::vector<std::vector<double>> outputs = {{1.0}};
+    EXPECT_EQ(recovery.Drain(inputs, &outputs, nullptr), 0u);
+    EXPECT_DOUBLE_EQ(outputs[0][0], 1.0);
+}
+
+TEST(RecoveryTest, OutOfRangeIterationPanics)
+{
+    auto bench = apps::MakeBenchmark("kmeans");
+    RecoveryModule recovery(bench.get());
+    std::vector<std::vector<double>> inputs = {
+        {0.1, 0.2, 0.3, 0.4, 0.5, 0.6}};
+    std::vector<std::vector<double>> outputs = {{1.0}};
+    recovery.Queue().Push(RecoveryEntry{5});
+    EXPECT_DEATH(recovery.Drain(inputs, &outputs, nullptr),
+                 "check failed");
+}
+
+// ----------------------------------------------------------------- Tuner
+
+TEST(TunerTest, ToqLowersThresholdWhenQualityPoor)
+{
+    TunerConfig cfg;
+    cfg.mode = TuningMode::kToq;
+    cfg.target_error_pct = 10.0;
+    OnlineTuner tuner(cfg, 0.5);
+    InvocationFeedback fb;
+    fb.estimated_error_pct = 20.0;  // far above target.
+    tuner.EndInvocation(fb);
+    EXPECT_LT(tuner.Threshold(), 0.5);
+}
+
+TEST(TunerTest, ToqRaisesThresholdWhenComfortable)
+{
+    TunerConfig cfg;
+    cfg.mode = TuningMode::kToq;
+    cfg.target_error_pct = 10.0;
+    OnlineTuner tuner(cfg, 0.5);
+    InvocationFeedback fb;
+    fb.estimated_error_pct = 2.0;  // far below target.
+    tuner.EndInvocation(fb);
+    EXPECT_GT(tuner.Threshold(), 0.5);
+}
+
+TEST(TunerTest, ToqDeadBandHolds)
+{
+    TunerConfig cfg;
+    cfg.mode = TuningMode::kToq;
+    cfg.target_error_pct = 10.0;
+    OnlineTuner tuner(cfg, 0.5);
+    InvocationFeedback fb;
+    fb.estimated_error_pct = 10.0;  // on target: hold.
+    tuner.EndInvocation(fb);
+    EXPECT_DOUBLE_EQ(tuner.Threshold(), 0.5);
+    EXPECT_EQ(tuner.Adjustments(), 0u);
+}
+
+TEST(TunerTest, EnergyModeEnforcesBudget)
+{
+    TunerConfig cfg;
+    cfg.mode = TuningMode::kEnergy;
+    cfg.iteration_budget = 100;
+    OnlineTuner tuner(cfg, 0.5);
+    InvocationFeedback fb;
+    fb.fixes = 200;  // over budget -> fix fewer next time.
+    tuner.EndInvocation(fb);
+    EXPECT_GT(tuner.Threshold(), 0.5);
+    fb.fixes = 10;  // way under -> spend the budget on quality.
+    tuner.EndInvocation(fb);
+    tuner.EndInvocation(fb);
+    EXPECT_LT(tuner.Threshold(), 0.5 * 1.25);
+}
+
+TEST(TunerTest, QualityModeTracksCpuSaturation)
+{
+    TunerConfig cfg;
+    cfg.mode = TuningMode::kQuality;
+    OnlineTuner tuner(cfg, 0.5);
+    InvocationFeedback fb;
+    fb.cpu_busy_ratio = 1.5;  // CPU cannot keep up.
+    tuner.EndInvocation(fb);
+    EXPECT_GT(tuner.Threshold(), 0.5);
+    fb.cpu_busy_ratio = 0.2;  // lots of headroom.
+    tuner.EndInvocation(fb);
+    tuner.EndInvocation(fb);
+    EXPECT_LT(tuner.Threshold(), 0.5 * 1.25 + 1e-12);
+}
+
+TEST(TunerTest, ClampsToRange)
+{
+    TunerConfig cfg;
+    cfg.mode = TuningMode::kEnergy;
+    cfg.iteration_budget = 10;
+    cfg.min_threshold = 0.1;
+    cfg.max_threshold = 1.0;
+    OnlineTuner tuner(cfg, 0.5);
+    InvocationFeedback fb;
+    fb.fixes = 1000;
+    for (int i = 0; i < 50; ++i)
+        tuner.EndInvocation(fb);
+    EXPECT_DOUBLE_EQ(tuner.Threshold(), 1.0);
+    fb.fixes = 0;
+    for (int i = 0; i < 50; ++i)
+        tuner.EndInvocation(fb);
+    EXPECT_DOUBLE_EQ(tuner.Threshold(), 0.1);
+}
+
+TEST(TunerTest, ConvergesToStableFixRate)
+{
+    // Simulated plant: fixes = elements * (1 - threshold) for
+    // threshold in [0,1]. Energy mode must settle near the budget.
+    TunerConfig cfg;
+    cfg.mode = TuningMode::kEnergy;
+    cfg.iteration_budget = 300;
+    cfg.adjust_factor = 1.1;
+    OnlineTuner tuner(cfg, 0.2);
+    size_t fixes = 0;
+    for (int round = 0; round < 60; ++round) {
+        const double t = std::min(1.0, tuner.Threshold());
+        fixes = static_cast<size_t>(1000.0 * (1.0 - t));
+        InvocationFeedback fb;
+        fb.elements = 1000;
+        fb.fixes = fixes;
+        tuner.EndInvocation(fb);
+    }
+    EXPECT_LT(fixes, 400u);
+    EXPECT_GT(fixes, 150u);
+}
+
+// -------------------------------------------------------------- Pipeline
+
+TEST(PipelineTest, BuildsAndNormalizes)
+{
+    Pipeline pipe(apps::MakeBenchmark("kmeans"), FastPipeline());
+    EXPECT_EQ(pipe.TrainInputs().size(), 600u);
+    EXPECT_EQ(pipe.TestInputs().size(), 600u);
+    const auto norm = pipe.NormalizeInput(pipe.TrainInputs()[0]);
+    for (double v : norm) {
+        EXPECT_GE(v, -0.01);
+        EXPECT_LE(v, 1.01);
+    }
+}
+
+TEST(PipelineTest, TrainedNetworkBeatsUntrained)
+{
+    Pipeline pipe(apps::MakeBenchmark("kmeans"), FastPipeline());
+    // The trained accelerator must track the exact kernel far better
+    // than chance: mean element error < 0.2 on a [0,1.7] range.
+    npu::Npu accel = pipe.MakeAccelerator(true);
+    const auto approx =
+        pipe.RunAccelerator(&accel, pipe.TestInputs());
+    const auto& bench = pipe.Bench();
+    double total = 0.0;
+    std::vector<double> exact(1);
+    for (size_t i = 0; i < pipe.TestInputs().size(); ++i) {
+        bench.RunExact(pipe.TestInputs()[i].data(), exact.data());
+        total += std::fabs(exact[0] - approx[i][0]);
+    }
+    EXPECT_LT(total / 600.0, 0.2);
+}
+
+TEST(PipelineTest, TrainErrorsPopulated)
+{
+    Pipeline pipe(apps::MakeBenchmark("kmeans"), FastPipeline());
+    ASSERT_EQ(pipe.TrainErrors().size(), 600u);
+    for (double e : pipe.TrainErrors())
+        EXPECT_GE(e, 0.0);
+}
+
+TEST(PipelineTest, SharesNetworkWhenTopologiesEqual)
+{
+    // sobel's Rumba and NPU topologies are identical (Table 1): both
+    // accelerators must produce identical outputs.
+    PipelineConfig cfg = FastPipeline();
+    cfg.max_train_elements = 300;
+    cfg.max_test_elements = 100;
+    Pipeline pipe(apps::MakeBenchmark("sobel"), cfg);
+    npu::Npu a = pipe.MakeAccelerator(true);
+    npu::Npu b = pipe.MakeAccelerator(false);
+    const auto outs_a = pipe.RunAccelerator(&a, pipe.TestInputs());
+    const auto outs_b = pipe.RunAccelerator(&b, pipe.TestInputs());
+    for (size_t i = 0; i < outs_a.size(); ++i)
+        EXPECT_DOUBLE_EQ(outs_a[i][0], outs_b[i][0]);
+}
+
+TEST(PipelineTest, PredictorFactoryCoversSchemes)
+{
+    EXPECT_EQ(Pipeline::MakePredictor(Scheme::kEma)->Name(), "EMA");
+    EXPECT_EQ(Pipeline::MakePredictor(Scheme::kLinear)->Name(),
+              "linearErrors");
+    EXPECT_EQ(Pipeline::MakePredictor(Scheme::kTree)->Name(),
+              "treeErrors");
+}
+
+TEST(PipelineTest, TrainedPredictorTracksTrainErrors)
+{
+    Pipeline pipe(apps::MakeBenchmark("inversek2j"), FastPipeline());
+    auto tree = pipe.TrainPredictor(Scheme::kTree);
+    // On the training inputs themselves, predictions must correlate
+    // with the true errors (mean absolute residual well below the
+    // error spread).
+    double resid = 0.0, spread = 0.0, mean = 0.0;
+    const auto& errors = pipe.TrainErrors();
+    for (double e : errors)
+        mean += e;
+    mean /= static_cast<double>(errors.size());
+    for (size_t i = 0; i < errors.size(); ++i) {
+        const auto norm = pipe.NormalizeInput(pipe.TrainInputs()[i]);
+        resid += std::fabs(tree->PredictError(norm, {}) - errors[i]);
+        spread += std::fabs(errors[i] - mean);
+    }
+    EXPECT_LT(resid, spread);
+}
+
+}  // namespace
+}  // namespace rumba::core

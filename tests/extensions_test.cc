@@ -1,0 +1,617 @@
+// Tests for the extension features (hybrid checker, runtime threshold
+// calibration) and parameterized property sweeps across formats, PE
+// counts, tuner modes and predictor schemes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/dataset.h"
+#include "common/random.h"
+#include "core/overlap_sim.h"
+#include "core/pipeline.h"
+#include "core/runtime.h"
+#include "core/schemes.h"
+#include "npu/fixed_point.h"
+#include "npu/schedule.h"
+#include "predict/ema.h"
+#include "predict/hybrid.h"
+#include "predict/linear.h"
+#include "predict/tree.h"
+
+namespace rumba {
+namespace {
+
+// ------------------------------------------------------ HybridPredictor
+
+/** inputs -> scalar error dataset for a generator function. */
+template <typename Fn>
+Dataset
+MakeErrorData(size_t n, size_t dims, uint64_t seed, Fn&& fn)
+{
+    Rng rng(seed);
+    Dataset d(dims, 1);
+    for (size_t i = 0; i < n; ++i) {
+        std::vector<double> x(dims);
+        for (auto& v : x)
+            v = rng.Uniform();
+        d.Add(x, {fn(x)});
+    }
+    return d;
+}
+
+TEST(HybridPredictorTest, PicksTreeForStepTarget)
+{
+    const auto fn = [](const std::vector<double>& x) {
+        return x[0] < 0.4 ? 0.8 : 0.05;
+    };
+    predict::HybridErrorPredictor hybrid;
+    hybrid.Train(MakeErrorData(2000, 1, 3, fn));
+    EXPECT_EQ(hybrid.SelectedName(), "treeErrors");
+    EXPECT_NEAR(hybrid.PredictError({0.1}, {}), 0.8, 0.1);
+}
+
+TEST(HybridPredictorTest, PicksLinearForLinearTarget)
+{
+    // A clean linear trend: the linear model fits it exactly while a
+    // depth-7 tree staircases it.
+    const auto fn = [](const std::vector<double>& x) {
+        return 0.1 + 0.7 * x[0];
+    };
+    predict::HybridErrorPredictor hybrid;
+    hybrid.Train(MakeErrorData(2000, 1, 5, fn));
+    EXPECT_EQ(hybrid.SelectedName(), "linearErrors");
+}
+
+TEST(HybridPredictorTest, NeverWorseThanBothCandidates)
+{
+    const auto fn = [](const std::vector<double>& x) {
+        return 0.2 * x[0] + (x[1] < 0.5 ? 0.3 : 0.0);
+    };
+    const Dataset train = MakeErrorData(3000, 2, 7, fn);
+    const Dataset test = MakeErrorData(500, 2, 11, fn);
+
+    predict::HybridErrorPredictor hybrid;
+    predict::LinearErrorPredictor linear;
+    predict::TreeErrorPredictor tree;
+    hybrid.Train(train);
+    linear.Train(train);
+    tree.Train(train);
+
+    auto mae = [&test](predict::ErrorPredictor* p) {
+        double total = 0.0;
+        for (size_t s = 0; s < test.Size(); ++s)
+            total += std::fabs(p->PredictError(test.Input(s), {}) -
+                               test.Target(s)[0]);
+        return total / static_cast<double>(test.Size());
+    };
+    const double best = std::min(mae(&linear), mae(&tree));
+    EXPECT_LE(mae(&hybrid), best * 1.2);  // validation-noise margin.
+}
+
+TEST(HybridPredictorTest, CostMatchesSelection)
+{
+    const auto fn = [](const std::vector<double>& x) {
+        return x[0] < 0.4 ? 0.8 : 0.05;
+    };
+    predict::HybridErrorPredictor hybrid;
+    hybrid.Train(MakeErrorData(1000, 1, 13, fn));
+    // Tree selected: the cost must be comparison-based (no MACs).
+    EXPECT_DOUBLE_EQ(hybrid.CostPerCheck().macs, 0.0);
+    EXPECT_GT(hybrid.CostPerCheck().compares, 0.0);
+}
+
+TEST(HybridPredictorTest, ReportsCandidateScores)
+{
+    predict::HybridErrorPredictor hybrid;
+    hybrid.Train(MakeErrorData(500, 1, 17, [](const auto& x) {
+        return x[0];
+    }));
+    ASSERT_EQ(hybrid.CandidateScores().size(), 2u);
+    for (const auto& [name, mae] : hybrid.CandidateScores()) {
+        EXPECT_FALSE(name.empty());
+        EXPECT_GE(mae, 0.0);
+    }
+}
+
+TEST(HybridPredictorTest, UntrainedPredictPanics)
+{
+    predict::HybridErrorPredictor hybrid;
+    EXPECT_DEATH(hybrid.PredictError({0.5}, {}), "check failed");
+}
+
+// ------------------------------------------------------ Scheme plumbing
+
+TEST(ExtendedSchemesTest, HybridAppended)
+{
+    const auto schemes = core::ExtendedSchemes();
+    EXPECT_EQ(schemes.size(), 7u);
+    EXPECT_EQ(schemes.back(), core::Scheme::kHybrid);
+    EXPECT_STREQ(core::SchemeName(core::Scheme::kHybrid),
+                 "hybridErrors");
+    EXPECT_TRUE(core::IsPredictorScheme(core::Scheme::kHybrid));
+}
+
+TEST(ExtendedSchemesTest, PipelineBuildsHybrid)
+{
+    EXPECT_EQ(core::Pipeline::MakePredictor(core::Scheme::kHybrid)
+                  ->Name(),
+              "hybridErrors");
+}
+
+// ------------------------------------------------ Runtime calibration
+
+TEST(RuntimeCalibrationTest, AutoThresholdLandsNearTarget)
+{
+    core::RuntimeConfig cfg;
+    cfg.pipeline.train_epochs = 30;
+    cfg.pipeline.max_train_elements = 1000;
+    cfg.pipeline.max_test_elements = 600;
+    cfg.checker = core::Scheme::kTree;
+    cfg.tuner.mode = core::TuningMode::kToq;
+    cfg.tuner.target_error_pct = 10.0;
+    cfg.initial_threshold = 0.0;  // auto-calibrate.
+    core::RumbaRuntime runtime(apps::MakeBenchmark("inversek2j"), cfg);
+
+    EXPECT_GT(runtime.Threshold(), cfg.tuner.min_threshold);
+
+    const auto inputs = runtime.Bench().TestInputs();
+    std::vector<std::vector<double>> batch(inputs.begin(),
+                                           inputs.begin() + 600);
+    std::vector<std::vector<double>> outputs;
+    const auto report = runtime.ProcessInvocation(batch, &outputs);
+    // First invocation already in the target's neighborhood (train ->
+    // test generalization slack).
+    EXPECT_LT(report.output_error_pct, 16.0);
+    EXPECT_GT(report.fixes, 0u);
+    EXPECT_LT(report.fixes, 600u);
+}
+
+TEST(RuntimeCalibrationTest, LooseTargetMeansFewFixes)
+{
+    core::RuntimeConfig cfg;
+    cfg.pipeline.train_epochs = 30;
+    cfg.pipeline.max_train_elements = 800;
+    cfg.pipeline.max_test_elements = 400;
+    cfg.checker = core::Scheme::kTree;
+    cfg.tuner.target_error_pct = 90.0;  // nearly anything goes.
+    cfg.initial_threshold = 0.0;
+    core::RumbaRuntime runtime(apps::MakeBenchmark("fft"), cfg);
+    const auto inputs = runtime.Bench().TestInputs();
+    std::vector<std::vector<double>> batch(inputs.begin(),
+                                           inputs.begin() + 400);
+    std::vector<std::vector<double>> outputs;
+    const auto report = runtime.ProcessInvocation(batch, &outputs);
+    EXPECT_LT(report.fixes, 40u);
+}
+
+TEST(RuntimeCalibrationTest, HybridCheckerWorksOnline)
+{
+    core::RuntimeConfig cfg;
+    cfg.pipeline.train_epochs = 30;
+    cfg.pipeline.max_train_elements = 800;
+    cfg.pipeline.max_test_elements = 400;
+    cfg.checker = core::Scheme::kHybrid;
+    cfg.tuner.target_error_pct = 10.0;
+    cfg.initial_threshold = 0.0;
+    core::RumbaRuntime runtime(apps::MakeBenchmark("inversek2j"), cfg);
+    const auto inputs = runtime.Bench().TestInputs();
+    std::vector<std::vector<double>> batch(inputs.begin(),
+                                           inputs.begin() + 400);
+    std::vector<std::vector<double>> outputs;
+    const auto report = runtime.ProcessInvocation(batch, &outputs);
+    EXPECT_EQ(outputs.size(), 400u);
+    EXPECT_LT(report.output_error_pct, 20.0);
+}
+
+// ---------------------------------------------------------- DriftMonitor
+
+TEST(DriftMonitorTest, DisabledWithoutExpectedRate)
+{
+    core::DriftMonitor monitor;
+    EXPECT_FALSE(monitor.Enabled());
+    for (int i = 0; i < 20; ++i)
+        monitor.Observe(100, 100);  // extreme rate, still no alarm.
+    EXPECT_FALSE(monitor.DriftDetected());
+}
+
+TEST(DriftMonitorTest, QuietWhileOnCalibration)
+{
+    core::DriftMonitor::Options opt;
+    opt.expected_fire_rate = 0.2;
+    core::DriftMonitor monitor(opt);
+    for (int i = 0; i < 20; ++i)
+        monitor.Observe(20, 100);
+    EXPECT_FALSE(monitor.DriftDetected());
+    EXPECT_NEAR(monitor.SmoothedFireRate(), 0.2, 1e-9);
+}
+
+TEST(DriftMonitorTest, FiresOnPersistentRateJump)
+{
+    core::DriftMonitor::Options opt;
+    opt.expected_fire_rate = 0.1;
+    core::DriftMonitor monitor(opt);
+    for (int i = 0; i < 30; ++i)
+        monitor.Observe(60, 100);  // 6x the calibrated rate.
+    EXPECT_TRUE(monitor.DriftDetected());
+}
+
+TEST(DriftMonitorTest, FiresOnPersistentRateCollapse)
+{
+    core::DriftMonitor::Options opt;
+    opt.expected_fire_rate = 0.4;
+    core::DriftMonitor monitor(opt);
+    for (int i = 0; i < 30; ++i)
+        monitor.Observe(2, 100);
+    EXPECT_TRUE(monitor.DriftDetected());
+}
+
+TEST(DriftMonitorTest, SingleSpikeIsAbsorbed)
+{
+    core::DriftMonitor::Options opt;
+    opt.expected_fire_rate = 0.2;
+    opt.alpha = 0.1;
+    core::DriftMonitor monitor(opt);
+    for (int i = 0; i < 10; ++i)
+        monitor.Observe(20, 100);
+    monitor.Observe(90, 100);  // one bad batch.
+    EXPECT_FALSE(monitor.DriftDetected());
+}
+
+TEST(DriftMonitorTest, WarmupSuppressesEarlyAlarms)
+{
+    core::DriftMonitor::Options opt;
+    opt.expected_fire_rate = 0.1;
+    opt.warmup = 5;
+    opt.alpha = 1.0;  // no smoothing: the alarm condition is instant.
+    core::DriftMonitor monitor(opt);
+    for (int i = 0; i < 4; ++i) {
+        monitor.Observe(90, 100);
+        EXPECT_FALSE(monitor.DriftDetected()) << i;
+    }
+    monitor.Observe(90, 100);
+    EXPECT_TRUE(monitor.DriftDetected());
+}
+
+TEST(DriftMonitorTest, RuntimeRaisesDriftOnShiftedInputs)
+{
+    // Calibrate on inversek2j's training distribution, then feed
+    // waypoints far outside it: the fire rate jumps and the report's
+    // drift flag must come up.
+    // A well-trained network keeps the calibrated fire rate low, so
+    // an upward departure is detectable within the tolerance band.
+    core::RuntimeConfig cfg;
+    cfg.pipeline.train_epochs = 80;
+    cfg.pipeline.max_train_elements = 3000;
+    cfg.pipeline.max_test_elements = 400;
+    cfg.checker = core::Scheme::kTree;
+    cfg.tuner.target_error_pct = 10.0;
+    cfg.initial_threshold = 0.0;  // calibration enables the monitor.
+    core::RumbaRuntime runtime(apps::MakeBenchmark("inversek2j"), cfg);
+    EXPECT_TRUE(runtime.Drift().Enabled());
+    ASSERT_LT(runtime.Drift().Config().expected_fire_rate, 0.4);
+
+    // Out-of-distribution targets hugging the workspace boundary.
+    std::vector<std::vector<double>> weird;
+    for (int i = 0; i < 200; ++i) {
+        const double angle = 0.5 + 0.4 * i / 200.0;
+        weird.push_back(
+            {0.99 * std::cos(angle), 0.99 * std::sin(angle)});
+    }
+    std::vector<std::vector<double>> outputs;
+    bool drifted = false;
+    for (int round = 0; round < 8; ++round)
+        drifted = runtime.ProcessInvocation(weird, &outputs)
+                      .drift_detected;
+    EXPECT_TRUE(drifted);
+}
+
+// ------------------------------------------------------------ RunSummary
+
+TEST(RunSummaryTest, AccumulatesAcrossInvocations)
+{
+    core::RuntimeConfig cfg;
+    cfg.pipeline.train_epochs = 25;
+    cfg.pipeline.max_train_elements = 600;
+    cfg.pipeline.max_test_elements = 600;
+    cfg.checker = core::Scheme::kTree;
+    cfg.tuner.target_error_pct = 10.0;
+    core::RumbaRuntime runtime(apps::MakeBenchmark("inversek2j"), cfg);
+    const auto inputs = runtime.Bench().TestInputs();
+
+    std::vector<std::vector<double>> outputs;
+    size_t expected_fixes = 0;
+    for (int r = 0; r < 3; ++r) {
+        std::vector<std::vector<double>> batch(
+            inputs.begin() + r * 150, inputs.begin() + (r + 1) * 150);
+        expected_fixes +=
+            runtime.ProcessInvocation(batch, &outputs).fixes;
+    }
+    const core::RunSummary& s = runtime.Summary();
+    EXPECT_EQ(s.invocations, 3u);
+    EXPECT_EQ(s.elements, 450u);
+    EXPECT_EQ(s.fixes, expected_fixes);
+    EXPECT_GE(s.MeanOutputErrorPct(), 0.0);
+    EXPECT_GT(s.EnergySaving(), 0.0);
+    EXPECT_GT(s.Speedup(), 0.0);
+    EXPECT_NEAR(s.FixFraction(),
+                static_cast<double>(expected_fixes) / 450.0, 1e-12);
+}
+
+TEST(RunSummaryTest, EmptySummaryIsZero)
+{
+    const core::RunSummary s;
+    EXPECT_DOUBLE_EQ(s.MeanOutputErrorPct(), 0.0);
+    EXPECT_DOUBLE_EQ(s.FixFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(s.EnergySaving(), 0.0);
+    EXPECT_DOUBLE_EQ(s.Speedup(), 0.0);
+}
+
+// ----------------------------------------------------- Overlap simulator
+
+TEST(OverlapSimTest, NoFiresMeansAcceleratorOnly)
+{
+    core::OverlapConfig cfg;
+    cfg.accel_cycles_per_element = 10;
+    const auto res = core::SimulateOverlap(std::vector<char>(100, 0),
+                                           cfg);
+    EXPECT_EQ(res.total_cycles, 1000u);
+    EXPECT_EQ(res.fixes, 0u);
+    EXPECT_EQ(res.accel_stall_cycles, 0u);
+    EXPECT_EQ(res.cpu_busy_cycles, 0u);
+}
+
+TEST(OverlapSimTest, AllFiresCpuBound)
+{
+    core::OverlapConfig cfg;
+    cfg.accel_cycles_per_element = 10;
+    cfg.cpu_cycles_per_fix = 40;
+    cfg.queue_capacity = 1000;
+    const auto res = core::SimulateOverlap(std::vector<char>(100, 1),
+                                           cfg);
+    EXPECT_EQ(res.fixes, 100u);
+    // CPU-bound: the last fix commits at first-arrival + 100 * 40.
+    EXPECT_EQ(res.total_cycles, 10u + 100u * 40u);
+    EXPECT_EQ(res.cpu_busy_cycles, 4000u);
+}
+
+TEST(OverlapSimTest, SustainableRateNeverStalls)
+{
+    // Accelerator 4x faster than a fix, 25% fire rate, perfectly
+    // spaced: the CPU exactly keeps up (paper's Figure 8 example
+    // shape).
+    core::OverlapConfig cfg;
+    cfg.accel_cycles_per_element = 10;
+    cfg.cpu_cycles_per_fix = 40;
+    cfg.queue_capacity = 4;
+    std::vector<char> mask(1000, 0);
+    for (size_t i = 0; i < mask.size(); i += 4)
+        mask[i] = 1;
+    const auto res = core::SimulateOverlap(mask, cfg);
+    EXPECT_EQ(res.accel_stall_cycles, 0u);
+    EXPECT_LE(res.total_cycles, 10u * 1000u + 40u);
+}
+
+TEST(OverlapSimTest, TinyQueuePlusBurstStalls)
+{
+    core::OverlapConfig cfg;
+    cfg.accel_cycles_per_element = 10;
+    cfg.cpu_cycles_per_fix = 40;
+    cfg.queue_capacity = 2;
+    // A burst of 20 consecutive fires at an otherwise idle start.
+    std::vector<char> mask(200, 0);
+    for (size_t i = 0; i < 20; ++i)
+        mask[i] = 1;
+    const auto res = core::SimulateOverlap(mask, cfg);
+    EXPECT_GT(res.accel_stall_cycles, 0u);
+    EXPECT_EQ(res.max_queue_depth, 2u);
+}
+
+TEST(OverlapSimTest, BiggerQueueNeverSlower)
+{
+    Rng rng(3);
+    std::vector<char> mask(5000, 0);
+    for (auto& m : mask)
+        m = rng.Chance(0.3);
+    core::OverlapConfig cfg;
+    cfg.accel_cycles_per_element = 10;
+    cfg.cpu_cycles_per_fix = 25;
+    uint64_t prev = UINT64_MAX;
+    for (size_t q : {1ul, 2ul, 8ul, 32ul, 256ul}) {
+        cfg.queue_capacity = q;
+        const auto res = core::SimulateOverlap(mask, cfg);
+        EXPECT_LE(res.total_cycles, prev) << "queue " << q;
+        prev = res.total_cycles;
+    }
+}
+
+TEST(OverlapSimTest, TraceMatchesPaperFigure8)
+{
+    // Fires at 0, 2, 5, 6 with a 2x-faster accelerator: the paper's
+    // worked example. Iteration 0's fix overlaps iterations 1-2 on
+    // the accelerator; iteration 2's fix overlaps 3-4; and so on.
+    std::vector<char> mask(8, 0);
+    mask[0] = mask[2] = mask[5] = mask[6] = 1;
+    core::OverlapConfig cfg;
+    cfg.accel_cycles_per_element = 10;
+    cfg.cpu_cycles_per_fix = 20;
+    std::vector<core::ElementTrace> trace;
+    const auto res = core::SimulateOverlap(mask, cfg, &trace);
+    ASSERT_EQ(trace.size(), 8u);
+
+    EXPECT_EQ(trace[0].accel_start, 0u);
+    EXPECT_EQ(trace[0].accel_end, 10u);
+    EXPECT_TRUE(trace[0].fired);
+    EXPECT_EQ(trace[0].cpu_start, 10u);   // right after it's produced.
+    EXPECT_EQ(trace[0].cpu_end, 30u);     // overlaps accel elems 1-2.
+
+    EXPECT_EQ(trace[2].cpu_start, 30u);   // CPU freed by fix 0.
+    EXPECT_EQ(trace[2].cpu_end, 50u);
+
+    EXPECT_FALSE(trace[1].fired);
+    EXPECT_EQ(trace[1].cpu_end, 0u);
+
+    // Back-to-back fires at 5 and 6 serialize on the CPU.
+    EXPECT_EQ(trace[5].cpu_start, 60u);
+    EXPECT_EQ(trace[6].cpu_start, 80u);
+    EXPECT_EQ(res.total_cycles, 100u);
+    EXPECT_EQ(res.accel_stall_cycles, 0u);
+}
+
+TEST(OverlapSimTest, NeverBeatsFluidLimit)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<char> mask(2000, 0);
+        const double rate = rng.Uniform(0.05, 0.9);
+        size_t fires = 0;
+        for (auto& m : mask) {
+            m = rng.Chance(rate);
+            fires += m;
+        }
+        core::OverlapConfig cfg;
+        cfg.accel_cycles_per_element = 1 + rng.Below(30);
+        cfg.cpu_cycles_per_fix = 1 + rng.Below(100);
+        cfg.queue_capacity = 1 + rng.Below(128);
+        const auto res = core::SimulateOverlap(mask, cfg);
+        const uint64_t fluid = std::max(
+            mask.size() * cfg.accel_cycles_per_element,
+            fires * cfg.cpu_cycles_per_fix);
+        EXPECT_GE(res.total_cycles + cfg.cpu_cycles_per_fix, fluid);
+        EXPECT_EQ(res.fixes, fires);
+    }
+}
+
+// ------------------------------------------- Parameterized: fixed point
+
+class FixedFormatTest : public ::testing::TestWithParam<int> {
+};
+
+TEST_P(FixedFormatTest, RoundTripWithinHalfStep)
+{
+    npu::FixedFormat fmt;
+    fmt.fractional_bits = GetParam();
+    Rng rng(21);
+    const double range = 32768.0 / fmt.Scale() * 0.95;
+    for (int i = 0; i < 2000; ++i) {
+        const double v = rng.Uniform(-range, range);
+        EXPECT_NEAR(fmt.RoundTrip(v), v, fmt.Resolution() / 2 + 1e-12);
+    }
+}
+
+TEST_P(FixedFormatTest, MacReduceMatchesProduct)
+{
+    npu::FixedFormat fmt;
+    fmt.fractional_bits = GetParam();
+    Rng rng(23);
+    for (int i = 0; i < 500; ++i) {
+        const double a = rng.Uniform(-2.0, 2.0);
+        const double b = rng.Uniform(-2.0, 2.0);
+        npu::MacAccumulator acc;
+        acc.Mac(fmt.Quantize(a), fmt.Quantize(b));
+        EXPECT_NEAR(fmt.Dequantize(acc.Reduce(fmt)), a * b,
+                    3.0 * fmt.Resolution() + 8.0 * fmt.Resolution());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, FixedFormatTest,
+                         ::testing::Values(4, 6, 8, 10, 12));
+
+// ---------------------------------------------- Parameterized: schedule
+
+class ScheduleSweepTest
+    : public ::testing::TestWithParam<std::tuple<const char*, size_t>> {
+};
+
+TEST_P(ScheduleSweepTest, Invariants)
+{
+    const auto [topo_text, pes] = GetParam();
+    const auto topo = nn::Topology::Parse(topo_text);
+    const npu::Schedule sched = npu::BuildSchedule(topo, pes);
+
+    EXPECT_EQ(sched.layers.size(), topo.layers.size() - 1);
+    EXPECT_EQ(sched.input_cycles, topo.NumInputs());
+    EXPECT_EQ(sched.output_cycles, topo.NumOutputs());
+    size_t sum = sched.input_cycles + sched.output_cycles;
+    for (size_t li = 0; li < sched.layers.size(); ++li) {
+        const auto& layer = sched.layers[li];
+        EXPECT_EQ(layer.neurons, topo.layers[li + 1]);
+        EXPECT_EQ(layer.waves, (layer.neurons + pes - 1) / pes);
+        EXPECT_EQ(layer.mac_cycles, layer.waves * (layer.inputs + 1));
+        sum += layer.mac_cycles + layer.act_cycles;
+    }
+    EXPECT_EQ(sched.total_cycles, sum);
+
+    // Monotone in PEs: doubling PEs never increases cycles.
+    const npu::Schedule doubled = npu::BuildSchedule(topo, pes * 2);
+    EXPECT_LE(doubled.total_cycles, sched.total_cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, ScheduleSweepTest,
+    ::testing::Combine(::testing::Values("6->8->8->1", "1->4->4->2",
+                                         "18->32->8->2", "64->16->64",
+                                         "9->8->1", "2->2->2"),
+                       ::testing::Values(size_t{1}, size_t{2},
+                                         size_t{4}, size_t{8},
+                                         size_t{16})));
+
+// ----------------------------------------------- Parameterized: tuner
+
+class TunerModeTest : public ::testing::TestWithParam<core::TuningMode> {
+};
+
+TEST_P(TunerModeTest, ThresholdStaysInRange)
+{
+    core::TunerConfig cfg;
+    cfg.mode = GetParam();
+    cfg.iteration_budget = 50;
+    cfg.min_threshold = 0.01;
+    cfg.max_threshold = 10.0;
+    core::OnlineTuner tuner(cfg, 1.0);
+    Rng rng(31);
+    for (int i = 0; i < 200; ++i) {
+        core::InvocationFeedback fb;
+        fb.elements = 100;
+        fb.fixes = static_cast<size_t>(rng.Below(101));
+        fb.estimated_error_pct = rng.Uniform(0.0, 40.0);
+        fb.cpu_busy_ratio = rng.Uniform(0.0, 2.0);
+        tuner.EndInvocation(fb);
+        EXPECT_GE(tuner.Threshold(), cfg.min_threshold);
+        EXPECT_LE(tuner.Threshold(), cfg.max_threshold);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, TunerModeTest,
+                         ::testing::Values(core::TuningMode::kToq,
+                                           core::TuningMode::kEnergy,
+                                           core::TuningMode::kQuality));
+
+// --------------------------------------- Parameterized: EMA windows
+
+class EmaWindowTest : public ::testing::TestWithParam<size_t> {
+};
+
+TEST_P(EmaWindowTest, SpikeAlwaysExceedsSteadyState)
+{
+    predict::EmaDetector ema(GetParam());
+    for (int i = 0; i < 100; ++i)
+        ema.PredictError({}, {0.4});
+    const double spike = ema.PredictError({}, {0.9});
+    EXPECT_NEAR(spike, 0.5, 1e-9);
+}
+
+TEST_P(EmaWindowTest, LargerWindowsForgetSlower)
+{
+    predict::EmaDetector ema(GetParam());
+    EXPECT_NEAR(ema.Alpha(),
+                2.0 / (1.0 + static_cast<double>(GetParam())), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, EmaWindowTest,
+                         ::testing::Values(size_t{1}, size_t{4},
+                                           size_t{8}, size_t{16},
+                                           size_t{64}));
+
+}  // namespace
+}  // namespace rumba

@@ -1,0 +1,316 @@
+// Unit tests for the neural-network library: topologies, forward
+// pass, backprop training (including a numerical gradient check),
+// serialization, and the topology search.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/dataset.h"
+#include "common/random.h"
+#include "nn/activation.h"
+#include "nn/mlp.h"
+#include "nn/topology.h"
+#include "nn/topology_search.h"
+#include "nn/trainer.h"
+
+namespace rumba::nn {
+namespace {
+
+// -------------------------------------------------------------- Topology
+
+TEST(TopologyTest, ParseAndPrintRoundTrip)
+{
+    const Topology t = Topology::Parse("6->8->4->1");
+    EXPECT_EQ(t.ToString(), "6->8->4->1");
+    EXPECT_EQ(t.NumInputs(), 6u);
+    EXPECT_EQ(t.NumOutputs(), 1u);
+    EXPECT_EQ(t.NumHiddenLayers(), 2u);
+}
+
+TEST(TopologyTest, NeuronAndMacCounts)
+{
+    const Topology t = Topology::Parse("6->8->4->1");
+    EXPECT_EQ(t.NumNeurons(), 13u);
+    // 8*(6+1) + 4*(8+1) + 1*(4+1) = 56 + 36 + 5.
+    EXPECT_EQ(t.MacsPerInvocation(), 97u);
+}
+
+TEST(TopologyTest, TwoLayerMinimum)
+{
+    const Topology t = Topology::Parse("3->2");
+    EXPECT_EQ(t.NumHiddenLayers(), 0u);
+    EXPECT_EQ(t.MacsPerInvocation(), 2u * 4u);
+}
+
+// ------------------------------------------------------------ Activation
+
+TEST(ActivationTest, SigmoidValues)
+{
+    EXPECT_DOUBLE_EQ(Evaluate(Activation::kSigmoid, 0.0), 0.5);
+    EXPECT_NEAR(Evaluate(Activation::kSigmoid, 100.0), 1.0, 1e-12);
+    EXPECT_NEAR(Evaluate(Activation::kSigmoid, -100.0), 0.0, 1e-12);
+}
+
+TEST(ActivationTest, DerivativesMatchNumeric)
+{
+    for (auto act : {Activation::kSigmoid, Activation::kTanh,
+                     Activation::kLinear}) {
+        for (double x : {-1.5, -0.2, 0.0, 0.7, 2.0}) {
+            const double h = 1e-6;
+            const double numeric =
+                (Evaluate(act, x + h) - Evaluate(act, x - h)) / (2 * h);
+            const double analytic =
+                DerivativeFromOutput(act, Evaluate(act, x));
+            EXPECT_NEAR(analytic, numeric, 1e-6)
+                << Name(act) << " at " << x;
+        }
+    }
+}
+
+// ------------------------------------------------------------------- Mlp
+
+TEST(MlpTest, ForwardOnHandWeights)
+{
+    // One sigmoid neuron: out = sigmoid(2*x + 1).
+    Mlp mlp(Topology::Parse("1->1"));
+    mlp.MutableLayers()[0].W(0, 0) = 2.0;
+    mlp.MutableLayers()[0].Bias(0) = 1.0;
+    const auto out = mlp.Forward({0.5});
+    EXPECT_NEAR(out[0], 1.0 / (1.0 + std::exp(-2.0)), 1e-12);
+}
+
+TEST(MlpTest, LinearOutputLayer)
+{
+    Mlp mlp(Topology::Parse("2->1"), Activation::kSigmoid,
+            Activation::kLinear);
+    mlp.MutableLayers()[0].W(0, 0) = 3.0;
+    mlp.MutableLayers()[0].W(0, 1) = -1.0;
+    mlp.MutableLayers()[0].Bias(0) = 0.5;
+    const auto out = mlp.Forward({1.0, 2.0});
+    EXPECT_DOUBLE_EQ(out[0], 3.0 - 2.0 + 0.5);
+}
+
+TEST(MlpTest, TraceMatchesForward)
+{
+    Rng rng(3);
+    Mlp mlp(Topology::Parse("3->5->2"));
+    mlp.RandomizeWeights(&rng);
+    const std::vector<double> in{0.1, 0.7, 0.3};
+    const auto direct = mlp.Forward(in);
+    const auto trace = mlp.ForwardWithTrace(in);
+    ASSERT_EQ(trace.activations.size(), 3u);
+    ASSERT_EQ(trace.activations.back().size(), direct.size());
+    for (size_t i = 0; i < direct.size(); ++i)
+        EXPECT_DOUBLE_EQ(trace.activations.back()[i], direct[i]);
+}
+
+TEST(MlpTest, NumParameters)
+{
+    Mlp mlp(Topology::Parse("6->8->4->1"));
+    EXPECT_EQ(mlp.NumParameters(), 97u);
+}
+
+TEST(MlpTest, SerializeRoundTrip)
+{
+    Rng rng(11);
+    Mlp mlp(Topology::Parse("4->6->2"), Activation::kTanh,
+            Activation::kLinear);
+    mlp.RandomizeWeights(&rng);
+    const Mlp copy = Mlp::Deserialize(mlp.Serialize());
+    const std::vector<double> in{0.2, 0.4, 0.6, 0.8};
+    const auto a = mlp.Forward(in);
+    const auto b = copy.Forward(in);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+// ----------------------------------------------------- Gradient checking
+
+/** MSE loss of the network on a single sample. */
+double
+SampleLoss(const Mlp& mlp, const std::vector<double>& in,
+           const std::vector<double>& target)
+{
+    const auto out = mlp.Forward(in);
+    double loss = 0.0;
+    for (size_t i = 0; i < out.size(); ++i) {
+        const double d = out[i] - target[i];
+        loss += 0.5 * d * d;
+    }
+    return loss;
+}
+
+TEST(TrainerTest, BackpropMatchesNumericGradient)
+{
+    // Train exactly one plain-SGD step (no momentum, single sample)
+    // and compare the resulting weights with w - lr * numeric_grad.
+    // Train() seeds its own Rng and randomizes weights first; we
+    // replicate that initialization to know the starting point.
+    const uint64_t seed = 17;
+    const std::vector<double> in{0.3, 0.8};
+    const std::vector<double> target{0.2, 0.9};
+
+    Mlp start(Topology::Parse("2->3->2"));
+    {
+        Rng rng(seed);
+        start.RandomizeWeights(&rng);
+    }
+
+    // Numerical gradient of the 0.5*sum(d^2) loss at the start point.
+    const double h = 1e-6;
+    std::vector<std::vector<double>> numeric;
+    for (size_t li = 0; li < start.Layers().size(); ++li) {
+        numeric.emplace_back();
+        for (size_t k = 0; k < start.Layers()[li].weights.size(); ++k) {
+            Mlp plus = start, minus = start;
+            plus.MutableLayers()[li].weights[k] += h;
+            minus.MutableLayers()[li].weights[k] -= h;
+            numeric.back().push_back(
+                (SampleLoss(plus, in, target) -
+                 SampleLoss(minus, in, target)) /
+                (2 * h));
+        }
+    }
+
+    Dataset d(2, 2);
+    d.Add(in, target);
+    Mlp trained(Topology::Parse("2->3->2"));
+    TrainConfig tc;
+    tc.epochs = 1;
+    tc.learning_rate = 1e-3;
+    tc.momentum = 0.0;
+    tc.validation_fraction = 0.0;
+    tc.seed = seed;
+    Train(&trained, d, tc);
+
+    for (size_t li = 0; li < start.Layers().size(); ++li) {
+        for (size_t k = 0; k < start.Layers()[li].weights.size(); ++k) {
+            const double expected = start.Layers()[li].weights[k] -
+                                    tc.learning_rate * numeric[li][k];
+            EXPECT_NEAR(trained.Layers()[li].weights[k], expected, 1e-8)
+                << "layer " << li << " weight " << k;
+        }
+    }
+}
+
+TEST(TrainerTest, LearnsLinearFunction)
+{
+    Rng rng(23);
+    Dataset d(2, 1);
+    for (int i = 0; i < 600; ++i) {
+        const double x = rng.Uniform();
+        const double y = rng.Uniform();
+        d.Add({x, y}, {0.3 * x + 0.5 * y + 0.1});
+    }
+    Mlp mlp(Topology::Parse("2->4->1"));
+    TrainConfig tc;
+    tc.epochs = 150;
+    const TrainResult res = Train(&mlp, d, tc);
+    EXPECT_LT(res.validation_mse, 1e-3);
+}
+
+TEST(TrainerTest, LearnsXor)
+{
+    Dataset d(2, 1);
+    // Oversample the four XOR corners.
+    for (int rep = 0; rep < 50; ++rep) {
+        d.Add({0, 0}, {0});
+        d.Add({0, 1}, {1});
+        d.Add({1, 0}, {1});
+        d.Add({1, 1}, {0});
+    }
+    Mlp mlp(Topology::Parse("2->4->1"));
+    TrainConfig tc;
+    tc.epochs = 400;
+    tc.patience = 400;
+    tc.seed = 5;
+    const TrainResult res = Train(&mlp, d, tc);
+    EXPECT_LT(res.train_mse, 0.05);
+}
+
+TEST(TrainerTest, DeterministicForSeed)
+{
+    Rng rng(29);
+    Dataset d(1, 1);
+    for (int i = 0; i < 200; ++i) {
+        const double x = rng.Uniform();
+        d.Add({x}, {x * x});
+    }
+    TrainConfig tc;
+    tc.epochs = 30;
+    Mlp a(Topology::Parse("1->4->1"));
+    Mlp b(Topology::Parse("1->4->1"));
+    Train(&a, d, tc);
+    Train(&b, d, tc);
+    EXPECT_DOUBLE_EQ(a.Forward({0.4})[0], b.Forward({0.4})[0]);
+}
+
+TEST(TrainerTest, EarlyStopRespectsPatience)
+{
+    // Pure-noise targets: validation cannot keep improving, so the
+    // patience counter must cut training short.
+    Rng rng(31);
+    Dataset d(1, 1);
+    for (int i = 0; i < 300; ++i)
+        d.Add({rng.Uniform()}, {rng.Uniform()});
+    TrainConfig tc;
+    tc.epochs = 500;
+    tc.patience = 10;
+    Mlp mlp(Topology::Parse("1->2->1"));
+    const TrainResult res = Train(&mlp, d, tc);
+    EXPECT_LT(res.epochs_run, 250u);
+}
+
+// -------------------------------------------------------- TopologySearch
+
+TEST(TopologySearchTest, PicksSmallNetForEasyTarget)
+{
+    Rng rng(37);
+    Dataset d(1, 1);
+    for (int i = 0; i < 400; ++i) {
+        const double x = rng.Uniform();
+        d.Add({x}, {0.2 + 0.6 * x});
+    }
+    SearchConfig cfg;
+    cfg.hidden_candidates = {{2}, {16}, {16, 8}};
+    cfg.train.epochs = 200;
+    cfg.slack = 1.5;
+    const SearchResult res = SearchTopology(d, cfg);
+    ASSERT_EQ(res.entries.size(), 3u);
+    // A linear target is learnable by the smallest candidate, which
+    // must win on MACs.
+    EXPECT_EQ(res.best.GetTopology().ToString(), "1->2->1");
+}
+
+TEST(TopologySearchTest, EntriesCoverAllCandidates)
+{
+    Rng rng(41);
+    Dataset d(2, 1);
+    for (int i = 0; i < 300; ++i) {
+        const double x = rng.Uniform(), y = rng.Uniform();
+        d.Add({x, y}, {x * y});
+    }
+    SearchConfig cfg;
+    cfg.hidden_candidates = {{2}, {4}, {4, 2}};
+    cfg.train.epochs = 40;
+    const SearchResult res = SearchTopology(d, cfg);
+    EXPECT_EQ(res.entries.size(), 3u);
+    for (const auto& e : res.entries)
+        EXPECT_GT(e.macs, 0u);
+}
+
+TEST(TopologySearchTest, RespectsNeuronCap)
+{
+    Rng rng(43);
+    Dataset d(1, 1);
+    for (int i = 0; i < 100; ++i)
+        d.Add({rng.Uniform()}, {0.5});
+    SearchConfig cfg;
+    cfg.hidden_candidates = {{33}};
+    cfg.train.epochs = 1;
+    EXPECT_DEATH(SearchTopology(d, cfg), "check failed");
+}
+
+}  // namespace
+}  // namespace rumba::nn

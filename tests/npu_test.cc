@@ -1,0 +1,331 @@
+// Unit tests for the accelerator model: queues, fixed point,
+// activation LUT, the static schedule, and datapath fidelity against
+// the float software network.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/dataset.h"
+#include "common/random.h"
+#include "nn/mlp.h"
+#include "npu/fifo.h"
+#include "npu/fixed_point.h"
+#include "npu/npu.h"
+#include "npu/schedule.h"
+#include "npu/sigmoid_lut.h"
+
+namespace rumba::npu {
+namespace {
+
+// ------------------------------------------------------------------ Fifo
+
+TEST(FifoTest, FifoOrdering)
+{
+    Fifo<int> q(4);
+    q.Push(1);
+    q.Push(2);
+    q.Push(3);
+    EXPECT_EQ(q.Pop(), 1);
+    EXPECT_EQ(q.Pop(), 2);
+    EXPECT_EQ(q.Pop(), 3);
+    EXPECT_TRUE(q.Empty());
+}
+
+TEST(FifoTest, FullAndCapacity)
+{
+    Fifo<int> q(2);
+    EXPECT_FALSE(q.Full());
+    q.Push(1);
+    q.Push(2);
+    EXPECT_TRUE(q.Full());
+    EXPECT_EQ(q.Capacity(), 2u);
+}
+
+TEST(FifoTest, TracksTrafficAndHighWater)
+{
+    Fifo<int> q(8);
+    q.Push(1);
+    q.Push(2);
+    q.Pop();
+    q.Push(3);
+    q.Push(4);
+    EXPECT_EQ(q.TotalPushes(), 4u);
+    EXPECT_EQ(q.HighWater(), 3u);
+}
+
+TEST(FifoTest, OverflowPanics)
+{
+    Fifo<int> q(1);
+    q.Push(1);
+    EXPECT_DEATH(q.Push(2), "check failed");
+}
+
+TEST(FifoTest, UnderflowPanics)
+{
+    Fifo<int> q(1);
+    EXPECT_DEATH(q.Pop(), "check failed");
+}
+
+TEST(FifoTest, ClearEmpties)
+{
+    Fifo<int> q(4);
+    q.Push(1);
+    q.Clear();
+    EXPECT_TRUE(q.Empty());
+    EXPECT_EQ(q.TotalPushes(), 1u);  // traffic history survives.
+}
+
+// ------------------------------------------------------------ FixedPoint
+
+TEST(FixedPointTest, QuantizeRoundTripAccuracy)
+{
+    FixedFormat fmt;
+    for (double v : {-3.2, -1.0, -0.125, 0.0, 0.3, 0.999, 7.5}) {
+        EXPECT_NEAR(fmt.RoundTrip(v), v, fmt.Resolution() / 2 + 1e-12)
+            << v;
+    }
+}
+
+TEST(FixedPointTest, Saturates)
+{
+    FixedFormat fmt;  // Q5.10: max ~31.999
+    EXPECT_EQ(fmt.Quantize(1e9), INT16_MAX);
+    EXPECT_EQ(fmt.Quantize(-1e9), INT16_MIN);
+}
+
+TEST(FixedPointTest, MacAccumulatesExactly)
+{
+    FixedFormat fmt;
+    MacAccumulator acc;
+    const int16_t a = fmt.Quantize(1.5);
+    const int16_t b = fmt.Quantize(2.0);
+    acc.Mac(a, b);
+    acc.Mac(a, b);
+    // 2 * 1.5 * 2.0 = 6.0 in single-precision fixed point.
+    EXPECT_NEAR(fmt.Dequantize(acc.Reduce(fmt)), 6.0, 0.01);
+}
+
+TEST(FixedPointTest, ReduceSaturates)
+{
+    FixedFormat fmt;
+    MacAccumulator acc;
+    const int16_t big = fmt.Quantize(30.0);
+    for (int i = 0; i < 100; ++i)
+        acc.Mac(big, big);
+    EXPECT_EQ(acc.Reduce(fmt), INT16_MAX);
+}
+
+// ------------------------------------------------------------ SigmoidLut
+
+TEST(SigmoidLutTest, AccurateWithinRange)
+{
+    FixedFormat fmt;
+    SigmoidLut lut(nn::Activation::kSigmoid, 2048, 8.0, fmt);
+    // Table + quantization error stays small.
+    EXPECT_LT(lut.MaxError(), 0.01);
+}
+
+TEST(SigmoidLutTest, ClampsOutsideRange)
+{
+    FixedFormat fmt;
+    SigmoidLut lut(nn::Activation::kSigmoid, 512, 4.0, fmt);
+    const int16_t lo = lut.Lookup(fmt.Quantize(-20.0));
+    const int16_t hi = lut.Lookup(fmt.Quantize(20.0));
+    EXPECT_NEAR(fmt.Dequantize(lo), 0.0, 0.02);
+    EXPECT_NEAR(fmt.Dequantize(hi), 1.0, 0.02);
+}
+
+TEST(SigmoidLutTest, MidpointIsHalf)
+{
+    FixedFormat fmt;
+    SigmoidLut lut(nn::Activation::kSigmoid, 2049, 8.0, fmt);
+    EXPECT_NEAR(fmt.Dequantize(lut.Lookup(0)), 0.5, 0.005);
+}
+
+TEST(SigmoidLutTest, TanhTableIsOdd)
+{
+    FixedFormat fmt;
+    SigmoidLut lut(nn::Activation::kTanh, 2049, 8.0, fmt);
+    const double pos = fmt.Dequantize(lut.Lookup(fmt.Quantize(1.0)));
+    const double neg = fmt.Dequantize(lut.Lookup(fmt.Quantize(-1.0)));
+    EXPECT_NEAR(pos, -neg, 0.01);
+    EXPECT_NEAR(pos, std::tanh(1.0), 0.01);
+}
+
+// -------------------------------------------------------------- Schedule
+
+TEST(ScheduleTest, SingleWaveLayer)
+{
+    const Schedule s = BuildSchedule(nn::Topology::Parse("9->8->1"), 8);
+    ASSERT_EQ(s.layers.size(), 2u);
+    EXPECT_EQ(s.layers[0].waves, 1u);
+    EXPECT_EQ(s.layers[0].mac_cycles, 10u);  // 9 inputs + bias.
+    EXPECT_EQ(s.layers[0].act_cycles, 1u);
+    EXPECT_EQ(s.layers[1].waves, 1u);
+    EXPECT_EQ(s.layers[1].mac_cycles, 9u);
+    EXPECT_EQ(s.input_cycles, 9u);
+    EXPECT_EQ(s.output_cycles, 1u);
+    EXPECT_EQ(s.total_cycles, 9 + 10 + 1 + 9 + 1 + 1u);
+}
+
+TEST(ScheduleTest, MultiWaveLayer)
+{
+    // 32 neurons on 8 PEs -> 4 waves.
+    const Schedule s =
+        BuildSchedule(nn::Topology::Parse("18->32->2"), 8);
+    EXPECT_EQ(s.layers[0].waves, 4u);
+    EXPECT_EQ(s.layers[0].mac_cycles, 4u * 19u);
+}
+
+TEST(ScheduleTest, MorePesShortenSchedule)
+{
+    const auto topo = nn::Topology::Parse("16->32->16->4");
+    const Schedule s8 = BuildSchedule(topo, 8);
+    const Schedule s16 = BuildSchedule(topo, 16);
+    EXPECT_LT(s16.total_cycles, s8.total_cycles);
+}
+
+TEST(ScheduleTest, PeAssignmentRoundRobin)
+{
+    EXPECT_EQ(Schedule::PeForNeuron(0, 8), 0u);
+    EXPECT_EQ(Schedule::PeForNeuron(7, 8), 7u);
+    EXPECT_EQ(Schedule::PeForNeuron(8, 8), 0u);
+}
+
+// ------------------------------------------------------------------- Npu
+
+/** A small trained-looking network with bounded weights. */
+nn::Mlp
+MakeTestMlp(uint64_t seed, const char* topo = "3->4->2")
+{
+    Rng rng(seed);
+    nn::Mlp mlp(nn::Topology::Parse(topo));
+    mlp.RandomizeWeights(&rng, 1.0);
+    return mlp;
+}
+
+TEST(NpuTest, RequiresConfiguration)
+{
+    Npu npu;
+    EXPECT_FALSE(npu.Configured());
+    EXPECT_DEATH(npu.Invoke({0.1, 0.2, 0.3}), "check failed");
+}
+
+TEST(NpuTest, MatchesFloatNetworkClosely)
+{
+    const nn::Mlp mlp = MakeTestMlp(7);
+    Npu npu;
+    npu.Configure(mlp);
+    Rng rng(13);
+    double worst = 0.0;
+    for (int i = 0; i < 500; ++i) {
+        const std::vector<double> in{rng.Uniform(), rng.Uniform(),
+                                     rng.Uniform()};
+        const auto exact = mlp.Forward(in);
+        const auto approx = npu.Invoke(in);
+        ASSERT_EQ(approx.size(), exact.size());
+        for (size_t o = 0; o < exact.size(); ++o)
+            worst = std::max(worst, std::fabs(exact[o] - approx[o]));
+    }
+    // Fixed-point + LUT noise is small but nonzero.
+    EXPECT_LT(worst, 0.03);
+}
+
+TEST(NpuTest, QuantizationIsNotExact)
+{
+    const nn::Mlp mlp = MakeTestMlp(19);
+    Npu npu;
+    npu.Configure(mlp);
+    Rng rng(23);
+    double total = 0.0;
+    for (int i = 0; i < 200; ++i) {
+        const std::vector<double> in{rng.Uniform(), rng.Uniform(),
+                                     rng.Uniform()};
+        const auto exact = mlp.Forward(in);
+        const auto approx = npu.Invoke(in);
+        for (size_t o = 0; o < exact.size(); ++o)
+            total += std::fabs(exact[o] - approx[o]);
+    }
+    // The accelerator is an *approximate* unit: deviation exists.
+    EXPECT_GT(total, 0.0);
+}
+
+TEST(NpuTest, StatsCountEvents)
+{
+    const nn::Mlp mlp = MakeTestMlp(29);
+    Npu npu;
+    npu.Configure(mlp);
+    npu.ResetStats();
+    npu.Invoke({0.1, 0.2, 0.3});
+    npu.Invoke({0.4, 0.5, 0.6});
+    const NpuStats& s = npu.Stats();
+    EXPECT_EQ(s.invocations, 2u);
+    // 4*(3+1) + 2*(4+1) = 26 MACs per invocation.
+    EXPECT_EQ(s.macs, 52u);
+    EXPECT_EQ(s.lut_lookups, 12u);  // 6 neurons x 2.
+    EXPECT_EQ(s.input_words, 6u);
+    EXPECT_EQ(s.output_words, 4u);
+    EXPECT_EQ(s.cycles, 2 * npu.CyclesPerInvocation());
+}
+
+TEST(NpuTest, ConfigCountsWeights)
+{
+    const nn::Mlp mlp = MakeTestMlp(31);
+    Npu npu;
+    npu.Configure(mlp);
+    EXPECT_EQ(npu.Stats().config_words, mlp.NumParameters());
+}
+
+TEST(NpuTest, ReconfigureSwitchesNetwork)
+{
+    Npu npu;
+    npu.Configure(MakeTestMlp(37));
+    const auto a = npu.Invoke({0.5, 0.5, 0.5});
+    npu.Configure(MakeTestMlp(41));
+    const auto b = npu.Invoke({0.5, 0.5, 0.5});
+    bool differs = false;
+    for (size_t o = 0; o < a.size(); ++o)
+        differs |= std::fabs(a[o] - b[o]) > 1e-6;
+    EXPECT_TRUE(differs);
+}
+
+TEST(NpuTest, LatencyMatchesSchedule)
+{
+    const nn::Mlp mlp = MakeTestMlp(43);
+    NpuConfig cfg;
+    cfg.frequency_ghz = 2.0;
+    Npu npu(cfg);
+    npu.Configure(mlp);
+    EXPECT_DOUBLE_EQ(
+        npu.InvocationLatencyNs(),
+        static_cast<double>(npu.CyclesPerInvocation()) / 2.0);
+}
+
+TEST(NpuTest, DeterministicInvocations)
+{
+    const nn::Mlp mlp = MakeTestMlp(47);
+    Npu npu;
+    npu.Configure(mlp);
+    const auto a = npu.Invoke({0.2, 0.4, 0.8});
+    const auto b = npu.Invoke({0.2, 0.4, 0.8});
+    for (size_t o = 0; o < a.size(); ++o)
+        EXPECT_DOUBLE_EQ(a[o], b[o]);
+}
+
+TEST(NpuTest, LinearOutputLayerSkipsLut)
+{
+    Rng rng(53);
+    nn::Mlp mlp(nn::Topology::Parse("2->3->1"), nn::Activation::kSigmoid,
+                nn::Activation::kLinear);
+    mlp.RandomizeWeights(&rng, 1.0);
+    Npu npu;
+    npu.Configure(mlp);
+    npu.ResetStats();
+    npu.Invoke({0.3, 0.7});
+    // Only the 3 hidden sigmoids hit the LUT.
+    EXPECT_EQ(npu.Stats().lut_lookups, 3u);
+}
+
+}  // namespace
+}  // namespace rumba::npu

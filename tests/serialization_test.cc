@@ -1,0 +1,225 @@
+// Tests for the deployable-configuration path (Figure 4's "embedded
+// in the binary"): predictor/normalizer/network serialization, the
+// Artifact container, and full runtime round trips.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/dataset.h"
+#include "common/random.h"
+#include "core/artifact.h"
+#include "core/runtime.h"
+#include "predict/ema.h"
+#include "predict/evp.h"
+#include "predict/hybrid.h"
+#include "predict/linear.h"
+#include "predict/tree.h"
+
+namespace rumba {
+namespace {
+
+Dataset
+SampleErrorData(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset d(2, 1);
+    for (size_t i = 0; i < n; ++i) {
+        const double x = rng.Uniform(), y = rng.Uniform();
+        d.Add({x, y}, {0.3 * x + (y < 0.4 ? 0.2 : 0.0)});
+    }
+    return d;
+}
+
+// ------------------------------------------------------------ Normalizer
+
+TEST(SerializationTest, NormalizerRoundTrip)
+{
+    Dataset d(3, 1);
+    d.Add({1.0, -5.0, 100.0}, {0.0});
+    d.Add({3.0, 5.0, 400.0}, {1.0});
+    Normalizer n;
+    n.FitInputs(d);
+    const Normalizer copy = Normalizer::Deserialize(n.Serialize());
+    const std::vector<double> probe{2.0, 0.0, 250.0};
+    const auto a = n.Apply(probe);
+    const auto b = copy.Apply(probe);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(SerializationTest, NormalizerBadBlobFatal)
+{
+    EXPECT_DEATH(Normalizer::Deserialize("bogus 3 1 2 3"), "");
+}
+
+// ------------------------------------------------------------ Predictors
+
+TEST(SerializationTest, LinearRoundTripPredictsIdentically)
+{
+    predict::LinearErrorPredictor p;
+    p.Train(SampleErrorData(500, 3));
+    const auto copy =
+        predict::LinearErrorPredictor::Deserialize(p.Serialize());
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        std::vector<double> x{rng.Uniform(), rng.Uniform()};
+        auto mutable_copy = copy;
+        EXPECT_DOUBLE_EQ(p.PredictError(x, {}),
+                         mutable_copy.PredictError(x, {}));
+    }
+}
+
+TEST(SerializationTest, TreeRoundTripPredictsIdentically)
+{
+    predict::TreeErrorPredictor p;
+    p.Train(SampleErrorData(2000, 7));
+    auto copy = predict::TreeErrorPredictor::Deserialize(p.Serialize());
+    EXPECT_EQ(copy.NumNodes(), p.NumNodes());
+    EXPECT_EQ(copy.Depth(), p.Depth());
+    Rng rng(9);
+    for (int i = 0; i < 200; ++i) {
+        std::vector<double> x{rng.Uniform(), rng.Uniform()};
+        EXPECT_DOUBLE_EQ(p.PredictError(x, {}),
+                         copy.PredictError(x, {}));
+    }
+}
+
+TEST(SerializationTest, EmaRoundTripKeepsAlpha)
+{
+    predict::EmaDetector ema(12);
+    auto copy = predict::EmaDetector::Deserialize(ema.Serialize());
+    EXPECT_DOUBLE_EQ(copy.Alpha(), ema.Alpha());
+}
+
+TEST(SerializationTest, EvpRoundTrip)
+{
+    Rng rng(11);
+    Dataset d(1, 2);
+    for (int i = 0; i < 300; ++i) {
+        const double x = rng.Uniform();
+        d.Add({x}, {x, 1.0 - x});
+    }
+    predict::ValuePredictionError p;
+    p.Train(d);
+    auto copy =
+        predict::ValuePredictionError::Deserialize(p.Serialize());
+    EXPECT_DOUBLE_EQ(p.PredictError({0.3}, {0.4, 0.6}),
+                     copy.PredictError({0.3}, {0.4, 0.6}));
+}
+
+TEST(SerializationTest, FactoryDispatchesOnTag)
+{
+    predict::TreeErrorPredictor tree;
+    tree.Train(SampleErrorData(500, 13));
+    auto generic = predict::DeserializePredictor(tree.Serialize());
+    EXPECT_EQ(generic->Name(), "treeErrors");
+
+    predict::LinearErrorPredictor linear;
+    linear.Train(SampleErrorData(500, 13));
+    EXPECT_EQ(predict::DeserializePredictor(linear.Serialize())->Name(),
+              "linearErrors");
+    EXPECT_EQ(predict::DeserializePredictor("ema 0.25\n")->Name(),
+              "EMA");
+}
+
+TEST(SerializationTest, FactoryRejectsUnknownTag)
+{
+    EXPECT_DEATH(predict::DeserializePredictor("martian 1 2 3"), "");
+}
+
+TEST(SerializationTest, HybridSerializesSelection)
+{
+    predict::HybridErrorPredictor hybrid;
+    hybrid.Train(SampleErrorData(2000, 17));
+    auto generic = predict::DeserializePredictor(hybrid.Serialize());
+    EXPECT_EQ(generic->Name(), hybrid.SelectedName());
+}
+
+// -------------------------------------------------------------- Artifact
+
+core::RuntimeConfig
+FastConfig()
+{
+    core::RuntimeConfig cfg;
+    cfg.pipeline.train_epochs = 30;
+    cfg.pipeline.max_train_elements = 800;
+    cfg.pipeline.max_test_elements = 400;
+    cfg.checker = core::Scheme::kTree;
+    cfg.tuner.target_error_pct = 10.0;
+    return cfg;
+}
+
+TEST(ArtifactTest, StringRoundTrip)
+{
+    core::RumbaRuntime trained(apps::MakeBenchmark("inversek2j"),
+                               FastConfig());
+    const core::Artifact artifact = trained.ExportArtifact();
+    const core::Artifact copy =
+        core::Artifact::FromString(artifact.ToString());
+    EXPECT_EQ(copy.benchmark, "inversek2j");
+    EXPECT_DOUBLE_EQ(copy.threshold, artifact.threshold);
+    EXPECT_EQ(copy.rumba_mlp, artifact.rumba_mlp);
+    EXPECT_EQ(copy.predictor, artifact.predictor);
+}
+
+TEST(ArtifactTest, FileRoundTrip)
+{
+    core::RumbaRuntime trained(apps::MakeBenchmark("fft"),
+                               FastConfig());
+    const core::Artifact artifact = trained.ExportArtifact();
+    const std::string path = "/tmp/rumba_test_artifact.txt";
+    ASSERT_TRUE(artifact.Save(path));
+    const core::Artifact loaded = core::Artifact::Load(path);
+    EXPECT_EQ(loaded.benchmark, "fft");
+    EXPECT_EQ(loaded.npu_mlp, artifact.npu_mlp);
+    std::remove(path.c_str());
+}
+
+TEST(ArtifactTest, MalformedBlobsFatal)
+{
+    EXPECT_DEATH(core::Artifact::FromString("not an artifact"), "");
+    EXPECT_DEATH(core::Artifact::Load("/tmp/no_such_artifact"), "");
+    core::Artifact partial;
+    partial.benchmark = "fft";
+    // Missing sections must be detected, not silently defaulted.
+    EXPECT_DEATH(core::Artifact::FromString(
+                     "rumba-artifact v1\nbenchmark fft\nthreshold 0.1\n"),
+                 "missing section");
+}
+
+TEST(ArtifactTest, DeployedRuntimeMatchesTrainedRuntime)
+{
+    core::RumbaRuntime trained(apps::MakeBenchmark("inversek2j"),
+                               FastConfig());
+    const core::Artifact artifact = trained.ExportArtifact();
+    core::RumbaRuntime deployed(artifact, FastConfig());
+
+    const auto inputs = trained.Bench().TestInputs();
+    std::vector<std::vector<double>> batch(inputs.begin(),
+                                           inputs.begin() + 300);
+    std::vector<std::vector<double>> out_a, out_b;
+    const auto ra = trained.ProcessInvocation(batch, &out_a);
+    const auto rb = deployed.ProcessInvocation(batch, &out_b);
+
+    EXPECT_EQ(ra.fixes, rb.fixes);
+    EXPECT_DOUBLE_EQ(ra.threshold_used, rb.threshold_used);
+    ASSERT_EQ(out_a.size(), out_b.size());
+    for (size_t i = 0; i < out_a.size(); ++i)
+        for (size_t o = 0; o < out_a[i].size(); ++o)
+            EXPECT_DOUBLE_EQ(out_a[i][o], out_b[i][o]);
+}
+
+TEST(ArtifactTest, WrongBenchmarkRejected)
+{
+    core::RumbaRuntime trained(apps::MakeBenchmark("fft"),
+                               FastConfig());
+    core::Artifact artifact = trained.ExportArtifact();
+    artifact.benchmark = "sobel";  // kernel mismatch.
+    EXPECT_DEATH(core::RumbaRuntime(artifact, FastConfig()),
+                 "check failed");
+}
+
+}  // namespace
+}  // namespace rumba

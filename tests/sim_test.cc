@@ -1,0 +1,388 @@
+// Unit tests for the timing/energy substrate: operation counting,
+// the CPU cycle model, the event energy model and the whole-system
+// composition.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/cpu_model.h"
+#include "sim/energy_model.h"
+#include "sim/opcount.h"
+#include "sim/system_model.h"
+
+namespace rumba::sim {
+namespace {
+
+// --------------------------------------------------------------- OpCounts
+
+TEST(OpCountsTest, AccumulateAndScale)
+{
+    OpCounts a;
+    a.fp_add = 2;
+    a.load = 4;
+    OpCounts b;
+    b.fp_add = 1;
+    b.branch = 3;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.fp_add, 3.0);
+    EXPECT_DOUBLE_EQ(a.branch, 3.0);
+    const OpCounts half = a.Scaled(0.5);
+    EXPECT_DOUBLE_EQ(half.load, 2.0);
+    EXPECT_DOUBLE_EQ(half.Total(), a.Total() / 2.0);
+}
+
+TEST(CountingScalarTest, CountsArithmetic)
+{
+    CountingScalar::ResetCounts();
+    CountingScalar a(2.0), b(3.0);
+    CountingScalar c = a * b + a - b;
+    c /= a;
+    const OpCounts& ops = CountingScalar::Counts();
+    EXPECT_DOUBLE_EQ(ops.fp_mul, 1.0);
+    EXPECT_DOUBLE_EQ(ops.fp_add, 2.0);
+    EXPECT_DOUBLE_EQ(ops.fp_div, 1.0);
+    EXPECT_DOUBLE_EQ(c.Value(), (2.0 * 3.0 + 2.0 - 3.0) / 2.0);
+}
+
+TEST(CountingScalarTest, CountsComparisonsAsBranches)
+{
+    CountingScalar::ResetCounts();
+    CountingScalar a(1.0), b(2.0);
+    (void)(a < b);
+    (void)(a >= b);
+    EXPECT_DOUBLE_EQ(CountingScalar::Counts().branch, 2.0);
+}
+
+TEST(CountingScalarTest, ValuesMatchPlainDoubles)
+{
+    CountingScalar::ResetCounts();
+    const CountingScalar x(0.7);
+    EXPECT_DOUBLE_EQ(Sqrt(x).Value(), std::sqrt(0.7));
+    EXPECT_DOUBLE_EQ(Exp(x).Value(), std::exp(0.7));
+    EXPECT_DOUBLE_EQ(Sin(x).Value(), std::sin(0.7));
+    EXPECT_DOUBLE_EQ(Cos(x).Value(), std::cos(0.7));
+    EXPECT_DOUBLE_EQ(Log(x).Value(), std::log(0.7));
+    EXPECT_DOUBLE_EQ(Fabs(CountingScalar(-0.7)).Value(), 0.7);
+    EXPECT_DOUBLE_EQ(Atan2(x, x).Value(), std::atan2(0.7, 0.7));
+}
+
+TEST(CountingScalarTest, TranscendentalsCostMoreThanAdds)
+{
+    CountingScalar::ResetCounts();
+    (void)Sin(CountingScalar(0.3));
+    const double sin_ops = CountingScalar::Counts().Total();
+    CountingScalar::ResetCounts();
+    (void)(CountingScalar(0.3) + CountingScalar(0.4));
+    const double add_ops = CountingScalar::Counts().Total();
+    EXPECT_GT(sin_ops, 10 * add_ops);
+}
+
+TEST(CountingScalarTest, SqrtIsHardwareOp)
+{
+    CountingScalar::ResetCounts();
+    (void)Sqrt(CountingScalar(2.0));
+    EXPECT_DOUBLE_EQ(CountingScalar::Counts().fp_sqrt, 1.0);
+    EXPECT_DOUBLE_EQ(CountingScalar::Counts().fp_add, 0.0);
+}
+
+TEST(CountingScalarTest, RecordMemory)
+{
+    CountingScalar::ResetCounts();
+    CountingScalar::RecordMemory(5, 2);
+    EXPECT_DOUBLE_EQ(CountingScalar::Counts().load, 5.0);
+    EXPECT_DOUBLE_EQ(CountingScalar::Counts().store, 2.0);
+}
+
+// --------------------------------------------------------------- CpuModel
+
+TEST(CpuModelTest, IssueWidthBound)
+{
+    CoreParams params;
+    CpuModel cpu(params);
+    OpCounts ops;
+    // Balanced mix that stresses issue width, not one FU class.
+    ops.int_op = 60;
+    ops.fp_add = 60;
+    ops.load = 50;
+    const CycleBreakdown b = cpu.Cycles(ops);
+    EXPECT_GT(b.total, 0.0);
+    EXPECT_GE(b.total,
+              ops.Total() / static_cast<double>(params.issue_width));
+}
+
+TEST(CpuModelTest, FpDivOccupancyDominates)
+{
+    CpuModel cpu;
+    OpCounts divs;
+    divs.fp_div = 10;
+    OpCounts adds;
+    adds.fp_add = 10;
+    EXPECT_GT(cpu.Cycles(divs).total, 5.0 * cpu.Cycles(adds).total);
+}
+
+TEST(CpuModelTest, MoreWorkMoreCycles)
+{
+    CpuModel cpu;
+    OpCounts small;
+    small.fp_add = 10;
+    OpCounts big = small.Scaled(10.0);
+    EXPECT_NEAR(cpu.Cycles(big).total, 10.0 * cpu.Cycles(small).total,
+                1e-9);
+}
+
+TEST(CpuModelTest, BranchMispredictionPenalty)
+{
+    CpuModel cpu;
+    OpCounts ops;
+    ops.branch = 100;
+    const CycleBreakdown b = cpu.Cycles(ops);
+    const CoreParams& p = cpu.Params();
+    EXPECT_NEAR(b.branch_penalty,
+                100.0 * p.branch_misp_rate *
+                    static_cast<double>(p.branch_misp_penalty),
+                1e-9);
+}
+
+TEST(CpuModelTest, NanosecondsUsesFrequency)
+{
+    CoreParams params;
+    params.frequency_ghz = 4.0;
+    CpuModel cpu(params);
+    OpCounts ops;
+    ops.fp_add = 8;
+    EXPECT_NEAR(cpu.Nanoseconds(ops), cpu.Cycles(ops).total / 4.0, 1e-12);
+}
+
+TEST(CpuModelTest, Table2Defaults)
+{
+    const CoreParams p;
+    EXPECT_EQ(p.fetch_width, 4u);
+    EXPECT_EQ(p.issue_width, 6u);
+    EXPECT_EQ(p.int_alus, 2u);
+    EXPECT_EQ(p.fpus, 2u);
+    EXPECT_EQ(p.rob_entries, 96u);
+    EXPECT_EQ(p.issue_queue_entries, 32u);
+    EXPECT_EQ(p.l1_dcache_kb, 32u);
+    EXPECT_EQ(p.l2_size_mb, 2u);
+    EXPECT_EQ(p.l1_hit_cycles, 3u);
+    EXPECT_EQ(p.l2_hit_cycles, 12u);
+    EXPECT_EQ(p.btb_entries, 2048u);
+    EXPECT_EQ(p.ras_entries, 16u);
+    EXPECT_STREQ(p.branch_predictor, "Tournament");
+}
+
+// ------------------------------------------------------------ EnergyModel
+
+TEST(EnergyModelTest, DynamicEnergyScalesWithOps)
+{
+    EnergyModel em;
+    OpCounts ops;
+    ops.fp_add = 100;
+    const double e1 = em.CpuDynamicNj(ops);
+    const double e2 = em.CpuDynamicNj(ops.Scaled(3.0));
+    EXPECT_NEAR(e2, 3.0 * e1, 1e-9);
+    EXPECT_GT(e1, 0.0);
+}
+
+TEST(EnergyModelTest, StaticEnergyIsPowerTimesTime)
+{
+    EnergyParams params;
+    params.cpu_busy_static_w = 2.0;
+    EnergyModel em(params);
+    EXPECT_DOUBLE_EQ(em.CpuBusyStaticNj(100.0), 200.0);
+}
+
+TEST(EnergyModelTest, IdleCheaperThanBusy)
+{
+    EnergyModel em;
+    EXPECT_LT(em.CpuIdleStaticNj(50.0), em.CpuBusyStaticNj(50.0));
+}
+
+TEST(EnergyModelTest, NpuMacsAreCheap)
+{
+    EnergyModel em;
+    // One CPU FP add (incl. pipeline overhead) costs far more than
+    // one NPU fixed-point MAC — the core premise of the accelerator.
+    OpCounts one_add;
+    one_add.fp_add = 1;
+    EXPECT_GT(em.CpuDynamicNj(one_add), 10 * em.NpuDynamicNj(1, 0, 0));
+}
+
+TEST(EnergyModelTest, BreakdownSumsToTotal)
+{
+    EnergyModel em;
+    OpCounts ops;
+    ops.int_op = 10;
+    ops.int_mul = 2;
+    ops.fp_add = 30;
+    ops.fp_mul = 25;
+    ops.fp_div = 3;
+    ops.fp_sqrt = 1;
+    ops.load = 12;
+    ops.store = 4;
+    ops.branch = 8;
+    const CpuEnergyBreakdown b = em.CpuBreakdown(ops);
+    EXPECT_NEAR(b.total_nj,
+                b.frontend_nj + b.int_exec_nj + b.fp_exec_nj + b.lsu_nj +
+                    b.branch_nj,
+                1e-12);
+    EXPECT_NEAR(b.total_nj, em.CpuDynamicNj(ops), 1e-12);
+    EXPECT_GT(b.frontend_nj, 0.0);
+    EXPECT_GT(b.fp_exec_nj, b.int_exec_nj);
+}
+
+TEST(EnergyModelTest, FrontendDominatesTypicalMixes)
+{
+    // The accelerator's premise: pipeline overhead per uop dwarfs the
+    // useful arithmetic on a general-purpose core.
+    EnergyModel em;
+    OpCounts ops;
+    ops.fp_add = 50;
+    ops.fp_mul = 50;
+    ops.load = 10;
+    const CpuEnergyBreakdown b = em.CpuBreakdown(ops);
+    EXPECT_GT(b.frontend_nj, 0.5 * b.total_nj);
+}
+
+TEST(EnergyModelTest, CheckerEnergyComposition)
+{
+    EnergyModel em;
+    CheckerCost cost;
+    cost.macs = 7;
+    cost.compares = 1;
+    cost.table_reads = 7;
+    const double one = em.CheckerDynamicNj(cost, 1.0);
+    const double many = em.CheckerDynamicNj(cost, 1000.0);
+    EXPECT_NEAR(many, 1000.0 * one, 1e-9);
+    const EnergyParams& p = em.Params();
+    EXPECT_NEAR(one,
+                (7 * p.chk_mac_pj + p.chk_compare_pj + 7 * p.chk_table_pj) *
+                    1e-3,
+                1e-12);
+}
+
+// ------------------------------------------------------------ SystemModel
+
+SystemModel
+MakeSystem()
+{
+    return SystemModel(CoreParams(), EnergyParams());
+}
+
+RegionProfile
+MakeRegion(double flops = 100, size_t iters = 1000, double fraction = 0.9)
+{
+    RegionProfile region;
+    region.cpu_ops_per_iter.fp_add = flops / 2;
+    region.cpu_ops_per_iter.fp_mul = flops / 2;
+    region.cpu_ops_per_iter.load = 4;
+    region.cpu_ops_per_iter.store = 1;
+    region.iterations = iters;
+    region.region_fraction = fraction;
+    return region;
+}
+
+AcceleratorProfile
+MakeAccel(size_t cycles = 20)
+{
+    AcceleratorProfile accel;
+    accel.cycles_per_invocation = cycles;
+    accel.frequency_ghz = 2.0;
+    accel.macs_per_invocation = 50;
+    accel.luts_per_invocation = 8;
+    accel.queue_words_per_invocation = 5;
+    return accel;
+}
+
+TEST(SystemModelTest, BaselineAmdahl)
+{
+    const SystemModel sys = MakeSystem();
+    const SystemCosts costs = sys.Baseline(MakeRegion(100, 1000, 0.5));
+    EXPECT_NEAR(costs.baseline_app_ns, 2.0 * costs.baseline_region_ns,
+                1e-9);
+    EXPECT_NEAR(costs.baseline_app_nj, 2.0 * costs.baseline_region_nj,
+                1e-9);
+}
+
+TEST(SystemModelTest, UncheckedAcceleratorWins)
+{
+    const SystemModel sys = MakeSystem();
+    const SystemCosts costs =
+        sys.Evaluate(MakeRegion(), MakeAccel(), nullptr, 0);
+    EXPECT_GT(costs.Speedup(), 1.0);
+    EXPECT_GT(costs.EnergySaving(), 1.0);
+}
+
+TEST(SystemModelTest, FixesCostEnergy)
+{
+    const SystemModel sys = MakeSystem();
+    const RegionProfile region = MakeRegion();
+    const AcceleratorProfile accel = MakeAccel();
+    const SystemCosts none = sys.Evaluate(region, accel, nullptr, 0);
+    const SystemCosts some = sys.Evaluate(region, accel, nullptr, 200);
+    EXPECT_GT(some.scheme_app_nj, none.scheme_app_nj);
+}
+
+TEST(SystemModelTest, OverlappedRecoveryPreservesTime)
+{
+    const SystemModel sys = MakeSystem();
+    const RegionProfile region = MakeRegion(100, 1000, 0.9);
+    const AcceleratorProfile accel = MakeAccel();
+    const SystemCosts none = sys.Evaluate(region, accel, nullptr, 0);
+    // A few fixes fit entirely under the accelerator's execution
+    // (pipelined recovery): region time must not grow.
+    const SystemCosts few = sys.Evaluate(region, accel, nullptr, 50);
+    EXPECT_DOUBLE_EQ(few.scheme_region_ns, none.scheme_region_ns);
+}
+
+TEST(SystemModelTest, CpuBoundRecoverySlowsDown)
+{
+    const SystemModel sys = MakeSystem();
+    const RegionProfile region = MakeRegion(200, 1000, 0.9);
+    const AcceleratorProfile accel = MakeAccel(10);  // fast accelerator
+    const SystemCosts none = sys.Evaluate(region, accel, nullptr, 0);
+    const SystemCosts all = sys.Evaluate(region, accel, nullptr, 1000);
+    EXPECT_GT(all.scheme_region_ns, none.scheme_region_ns);
+    EXPECT_LT(all.Speedup(), none.Speedup());
+}
+
+TEST(SystemModelTest, CheckerAddsEnergyNotTime)
+{
+    const SystemModel sys = MakeSystem();
+    const RegionProfile region = MakeRegion();
+    const AcceleratorProfile accel = MakeAccel();
+    CheckerCost checker;
+    checker.macs = 7;
+    checker.compares = 1;
+    checker.table_reads = 7;
+    checker.cycles = 8;
+    const SystemCosts without = sys.Evaluate(region, accel, nullptr, 0);
+    const SystemCosts with = sys.Evaluate(region, accel, &checker, 0);
+    EXPECT_GT(with.scheme_app_nj, without.scheme_app_nj);
+    EXPECT_DOUBLE_EQ(with.scheme_app_ns, without.scheme_app_ns);
+    EXPECT_GT(with.checker_ns, 0.0);
+}
+
+TEST(SystemModelTest, FixingEverythingIsWorseThanBaselineTime)
+{
+    // Re-executing all iterations means the CPU does all the original
+    // work *plus* the accelerator ran: never faster than baseline.
+    const SystemModel sys = MakeSystem();
+    const RegionProfile region = MakeRegion();
+    const SystemCosts all =
+        sys.Evaluate(region, MakeAccel(), nullptr, region.iterations);
+    EXPECT_LE(all.Speedup(), 1.0 + 1e-9);
+}
+
+TEST(SystemModelTest, EnergySavingDefinitionConsistent)
+{
+    const SystemModel sys = MakeSystem();
+    const SystemCosts costs =
+        sys.Evaluate(MakeRegion(), MakeAccel(), nullptr, 10);
+    EXPECT_NEAR(costs.EnergySaving() * costs.NormalizedEnergy(), 1.0,
+                1e-9);
+}
+
+}  // namespace
+}  // namespace rumba::sim
