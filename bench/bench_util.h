@@ -39,6 +39,16 @@ std::string CsvDir(int argc, char** argv);
 void Emit(const Table& table, const std::string& title,
           const std::string& csv_dir, const std::string& name);
 
+/**
+ * Print the run's telemetry (invocation-latency percentiles, detector
+ * fire rate, fix rate — see src/obs) as one summary line per signal,
+ * and write the full metrics snapshot to
+ * <csv_dir>/<name>.metrics.csv when @p csv_dir is set. Called by
+ * Emit(); RUMBA_METRICS_OUT additionally routes a JSONL snapshot to a
+ * file at exit without any per-bench code.
+ */
+void EmitMetrics(const std::string& csv_dir, const std::string& name);
+
 /** Arithmetic mean of a series. */
 double Mean(const std::vector<double>& values);
 

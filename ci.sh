@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification, twice: a plain build, then an ASan/UBSan build
+# (RUMBA_SANITIZE wires -fsanitize flags through the whole tree).
+# Usage: ./ci.sh [--skip-sanitize]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run_suite() {
+    local dir="$1"; shift
+    cmake -B "$dir" -S . "$@"
+    cmake --build "$dir" -j
+    ctest --test-dir "$dir" --output-on-failure -j
+}
+
+echo "==> plain build + tests"
+run_suite build
+
+if [[ "${1:-}" != "--skip-sanitize" ]]; then
+    echo "==> sanitized build + tests (address,undefined)"
+    run_suite build-sanitize -DRUMBA_SANITIZE=address,undefined
+fi
+
+echo "==> ci.sh: all suites passed"

@@ -15,6 +15,8 @@
 #include <cstdio>
 
 #include "core/runtime.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 using namespace rumba;
 
@@ -71,5 +73,16 @@ main()
                 "trained one without ever running the trainers.\n",
                 mismatches,
                 out_trained.size() * deployed.Bench().NumOutputs());
+
+    // ---- Telemetry -------------------------------------------------------
+    // Everything above was measured by the obs subsystem as a side
+    // effect; snapshot it, show the table, and honor RUMBA_METRICS_OUT
+    // (e.g. RUMBA_METRICS_OUT=metrics.jsonl ./build/examples/deploy).
+    obs::ToTable(obs::Registry::Default().Snapshot())
+        .Print("run telemetry (src/obs)");
+    const std::string metrics_path = obs::ExportIfConfigured();
+    if (!metrics_path.empty())
+        std::printf("telemetry written to %s\n", metrics_path.c_str());
+
     return mismatches == 0 && a.fixes == b.fixes ? 0 : 1;
 }

@@ -1,16 +1,57 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
 
 namespace rumba {
 
 namespace {
 
-LogLevel g_threshold = LogLevel::kInform;
+/** Serializes emission so concurrent logs do not interleave lines. */
+std::mutex g_emit_mu;
+
+/** RUMBA_LOG value -> threshold; unknown values keep the default. */
+LogLevel
+ParseEnvThreshold()
+{
+    const char* env = std::getenv("RUMBA_LOG");
+    if (env == nullptr || env[0] == '\0')
+        return LogLevel::kInform;
+    std::string value;
+    for (const char* p = env; *p != '\0'; ++p)
+        value += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(*p)));
+    if (value == "debug")
+        return LogLevel::kDebug;
+    if (value == "inform" || value == "info")
+        return LogLevel::kInform;
+    if (value == "warn" || value == "warning")
+        return LogLevel::kWarn;
+    if (value == "fatal" || value == "quiet")
+        return LogLevel::kFatal;
+    std::fprintf(stderr,
+                 "warn: RUMBA_LOG=%s not recognized (want debug, "
+                 "inform, warn, or fatal); keeping inform\n",
+                 env);
+    return LogLevel::kInform;
+}
+
+/** Threshold storage, initialized from RUMBA_LOG at first use. */
+std::atomic<LogLevel>&
+Threshold()
+{
+    static std::atomic<LogLevel> threshold{ParseEnvThreshold()};
+    return threshold;
+}
 
 void VPrint(const char* tag, const char* fmt, va_list args)
 {
+    std::lock_guard<std::mutex> lock(g_emit_mu);
     std::fprintf(stderr, "%s: ", tag);
     std::vfprintf(stderr, fmt, args);
     std::fprintf(stderr, "\n");
@@ -21,19 +62,30 @@ void VPrint(const char* tag, const char* fmt, va_list args)
 void
 SetLogThreshold(LogLevel level)
 {
-    g_threshold = level;
+    Threshold().store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 LogThreshold()
 {
-    return g_threshold;
+    return Threshold().load(std::memory_order_relaxed);
+}
+
+void
+Debug(const char* fmt, ...)
+{
+    if (LogThreshold() > LogLevel::kDebug)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    VPrint("debug", fmt, args);
+    va_end(args);
 }
 
 void
 Inform(const char* fmt, ...)
 {
-    if (g_threshold > LogLevel::kInform)
+    if (LogThreshold() > LogLevel::kInform)
         return;
     va_list args;
     va_start(args, fmt);
@@ -44,7 +96,7 @@ Inform(const char* fmt, ...)
 void
 Warn(const char* fmt, ...)
 {
-    if (g_threshold > LogLevel::kWarn)
+    if (LogThreshold() > LogLevel::kWarn)
         return;
     va_list args;
     va_start(args, fmt);

@@ -15,6 +15,7 @@ namespace rumba {
 
 /** Severity of a log message. */
 enum class LogLevel {
+    kDebug,
     kInform,
     kWarn,
     kFatal,
@@ -24,11 +25,20 @@ enum class LogLevel {
 /**
  * Global log verbosity control. Messages below the threshold are
  * suppressed; fatal/panic are never suppressed.
+ *
+ * The initial threshold comes from the RUMBA_LOG environment variable
+ * (debug / inform / warn / fatal, case-insensitive), parsed on first
+ * use; it defaults to inform. SetLogThreshold() overrides it.
+ * Emission is serialized by a mutex so concurrent threads (or benches
+ * sharing a terminal) do not interleave lines.
  */
 void SetLogThreshold(LogLevel level);
 
 /** Current verbosity threshold. */
 LogLevel LogThreshold();
+
+/** Print a debug message (suppressed unless RUMBA_LOG=debug). */
+void Debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Print an informational message (printf-style). */
 void Inform(const char* fmt, ...) __attribute__((format(printf, 1, 2)));

@@ -1,12 +1,19 @@
 #include "core/detector.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace rumba::core {
 
 Detector::Detector(std::unique_ptr<predict::ErrorPredictor> predictor,
                    double threshold)
-    : predictor_(std::move(predictor)), threshold_(threshold)
+    : predictor_(std::move(predictor)),
+      threshold_(threshold),
+      obs_checks_(obs::Registry::Default().GetCounter("detector.checks")),
+      obs_fires_(obs::Registry::Default().GetCounter("detector.fires")),
+      obs_check_ns_(
+          obs::Registry::Default().GetHistogram("detector.check_ns"))
 {
     RUMBA_CHECK(predictor_ != nullptr);
 }
@@ -15,13 +22,17 @@ CheckResult
 Detector::Check(const std::vector<double>& inputs,
                 const std::vector<double>& approx_outputs)
 {
+    const obs::ScopedTimer timer(obs_check_ns_);
     CheckResult result;
     result.predicted_error =
         predictor_->PredictError(inputs, approx_outputs);
     result.fired = result.predicted_error >= threshold_;
     ++checks_;
-    if (result.fired)
+    obs_checks_->Increment();
+    if (result.fired) {
         ++fired_;
+        obs_fires_->Increment();
+    }
     return result;
 }
 

@@ -13,6 +13,11 @@
 
 #include "predict/predictor.h"
 
+namespace rumba::obs {
+class Counter;
+class Histogram;
+}  // namespace rumba::obs
+
 namespace rumba::core {
 
 /** Outcome of one dynamic check. */
@@ -66,6 +71,10 @@ class Detector {
     double threshold_;
     size_t checks_ = 0;
     size_t fired_ = 0;
+    /** Process-wide telemetry: check/fire counts and check latency. */
+    obs::Counter* obs_checks_;
+    obs::Counter* obs_fires_;
+    obs::Histogram* obs_check_ns_;
 };
 
 }  // namespace rumba::core

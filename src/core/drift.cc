@@ -4,12 +4,18 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace rumba::core {
 
 DriftMonitor::DriftMonitor() : DriftMonitor(Options()) {}
 
-DriftMonitor::DriftMonitor(const Options& options) : options_(options)
+DriftMonitor::DriftMonitor(const Options& options)
+    : options_(options),
+      obs_observations_(
+          obs::Registry::Default().GetCounter("drift.observations")),
+      obs_fire_rate_(
+          obs::Registry::Default().GetGauge("drift.smoothed_fire_rate"))
 {
     RUMBA_CHECK(options.expected_fire_rate >= 0.0 &&
                 options.expected_fire_rate <= 1.0);
@@ -28,6 +34,8 @@ DriftMonitor::Observe(size_t fired, size_t elements)
     smoothed_ = options_.alpha * rate +
                 (1.0 - options_.alpha) * smoothed_;
     ++observations_;
+    obs_observations_->Increment();
+    obs_fire_rate_->Set(smoothed_);
 }
 
 bool

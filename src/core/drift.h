@@ -15,6 +15,11 @@
 
 #include <cstddef>
 
+namespace rumba::obs {
+class Counter;
+class Gauge;
+}  // namespace rumba::obs
+
 namespace rumba::core {
 
 /** Flags persistent fire-rate departures from the calibrated rate. */
@@ -59,6 +64,9 @@ class DriftMonitor {
     Options options_;
     double smoothed_ = 0.0;
     size_t observations_ = 0;
+    /** Process-wide telemetry: observation count and smoothed rate. */
+    obs::Counter* obs_observations_;
+    obs::Gauge* obs_fire_rate_;
 };
 
 }  // namespace rumba::core

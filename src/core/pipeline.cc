@@ -5,6 +5,8 @@
 #include "common/logging.h"
 #include "core/artifact.h"
 #include "nn/trainer.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 #include "predict/ema.h"
 #include "predict/hybrid.h"
 #include "predict/linear.h"
@@ -53,14 +55,28 @@ Pipeline::Pipeline(std::unique_ptr<apps::Benchmark> bench,
     tc.epochs = config_.train_epochs;
     tc.seed = config_.seed;
 
+    auto& registry = obs::Registry::Default();
+    registry.GetCounter("pipeline.train_elements")
+        ->Increment(train_inputs_.size());
+    obs::Histogram* train_ns =
+        registry.GetHistogram("pipeline.train_ns");
+    obs::Counter* trainings =
+        registry.GetCounter("pipeline.trainings");
+
     const auto& info = bench_->Info();
     rumba_mlp_.emplace(info.rumba_topology);
-    nn::Train(&*rumba_mlp_, norm_train, tc);
+    {
+        const obs::ScopedTimer timer(train_ns);
+        nn::Train(&*rumba_mlp_, norm_train, tc);
+        trainings->Increment();
+    }
     if (info.npu_topology == info.rumba_topology) {
         npu_mlp_ = rumba_mlp_;
     } else {
         npu_mlp_.emplace(info.npu_topology);
+        const obs::ScopedTimer timer(train_ns);
         nn::Train(&*npu_mlp_, norm_train, tc);
+        trainings->Increment();
     }
 
     // True accelerator errors on the training elements (predictor
@@ -171,12 +187,17 @@ Pipeline::TrainPredictor(Scheme scheme) const
     if (scheme == Scheme::kEma)
         return predictor;  // output-based: no offline fitting.
 
+    const obs::ScopedTimer timer(obs::Registry::Default().GetHistogram(
+        "pipeline.predictor_train_ns"));
     Dataset error_data(bench_->NumInputs(), 1);
     for (size_t s = 0; s < train_inputs_.size(); ++s) {
         error_data.Add(in_norm_.Apply(train_inputs_[s]),
                        {train_errors_[s]});
     }
     predictor->Train(error_data);
+    obs::Registry::Default()
+        .GetCounter("pipeline.predictor_trainings")
+        ->Increment();
     return predictor;
 }
 

@@ -1,12 +1,21 @@
 #include "core/recovery.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace rumba::core {
 
 RecoveryModule::RecoveryModule(const apps::Benchmark* bench,
                                size_t queue_capacity)
-    : bench_(bench), queue_(queue_capacity)
+    : bench_(bench),
+      queue_(queue_capacity),
+      obs_reexecutions_(
+          obs::Registry::Default().GetCounter("recovery.reexecutions")),
+      obs_queue_full_stalls_(obs::Registry::Default().GetCounter(
+          "recovery.queue_full_stalls")),
+      obs_drain_ns_(
+          obs::Registry::Default().GetHistogram("recovery.drain_ns"))
 {
     RUMBA_CHECK(bench != nullptr);
 }
@@ -18,6 +27,7 @@ RecoveryModule::Drain(const std::vector<std::vector<double>>& inputs,
 {
     RUMBA_CHECK(outputs != nullptr);
     RUMBA_CHECK(outputs->size() == inputs.size());
+    const obs::ScopedTimer timer(obs_drain_ns_);
     size_t drained = 0;
     std::vector<double> exact(bench_->NumOutputs());
     while (!queue_.Empty()) {
@@ -32,7 +42,14 @@ RecoveryModule::Drain(const std::vector<std::vector<double>>& inputs,
         ++drained;
         ++reexecutions_;
     }
+    obs_reexecutions_->Increment(drained);
     return drained;
+}
+
+void
+RecoveryModule::RecordQueueFullStall()
+{
+    obs_queue_full_stalls_->Increment();
 }
 
 }  // namespace rumba::core

@@ -17,6 +17,11 @@
 #include "apps/benchmark.h"
 #include "npu/fifo.h"
 
+namespace rumba::obs {
+class Counter;
+class Histogram;
+}  // namespace rumba::obs
+
 namespace rumba::core {
 
 /** One recovery-queue entry: the flagged iteration's identity. */
@@ -59,10 +64,22 @@ class RecoveryModule {
     /** Total iterations re-executed since construction. */
     size_t TotalReexecutions() const { return reexecutions_; }
 
+    /**
+     * Record one queue-full backpressure stall (the detector side had
+     * to force a drain before it could push). Feeds the
+     * recovery.queue_full_stalls telemetry counter.
+     */
+    void RecordQueueFullStall();
+
   private:
     const apps::Benchmark* bench_;
     RecoveryQueue queue_;
     size_t reexecutions_ = 0;
+    /** Process-wide telemetry: re-executions, backpressure stalls,
+     *  and drain latency. */
+    obs::Counter* obs_reexecutions_;
+    obs::Counter* obs_queue_full_stalls_;
+    obs::Histogram* obs_drain_ns_;
 };
 
 }  // namespace rumba::core

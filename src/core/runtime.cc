@@ -4,8 +4,25 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
 
 namespace rumba::core {
+
+void
+RumbaRuntime::RegisterMetrics()
+{
+    auto& registry = obs::Registry::Default();
+    obs_invocations_ = registry.GetCounter("runtime.invocations");
+    obs_elements_ = registry.GetCounter("runtime.elements");
+    obs_fixes_ = registry.GetCounter("runtime.fixes");
+    obs_drift_alarms_ = registry.GetCounter("drift.alarms");
+    obs_output_error_ = registry.GetGauge("runtime.output_error_pct");
+    obs_invocation_ns_ = registry.GetHistogram("runtime.invocation_ns");
+    obs_verify_ns_ = registry.GetHistogram("runtime.verify_ns");
+    obs_calibrate_ns_ = registry.GetHistogram("runtime.calibrate_ns");
+}
 
 RumbaRuntime::RumbaRuntime(std::unique_ptr<apps::Benchmark> bench,
                            const RuntimeConfig& config)
@@ -19,6 +36,7 @@ RumbaRuntime::RumbaRuntime(std::unique_ptr<apps::Benchmark> bench,
       system_(config.core, config.energy)
 {
     RUMBA_CHECK(IsPredictorScheme(config.checker));
+    RegisterMetrics();
     kernel_ops_ = pipeline_.Bench().ProfileKernel();
     if (config.initial_threshold <= 0.0) {
         const double calibrated =
@@ -51,6 +69,7 @@ RumbaRuntime::RumbaRuntime(const Artifact& artifact,
       tuner_(config.tuner, artifact.threshold),
       system_(config.core, config.energy)
 {
+    RegisterMetrics();
     kernel_ops_ = pipeline_.Bench().ProfileKernel();
 }
 
@@ -71,7 +90,17 @@ RumbaRuntime::CalibrateThreshold(double target_error_pct)
     const apps::Benchmark& app = pipeline_.Bench();
     const auto& train = pipeline_.TrainInputs();
     const auto& true_errors = pipeline_.TrainErrors();
+    if (train.empty() || true_errors.size() != train.size()) {
+        Fatal("threshold calibration needs a non-empty training set "
+              "with per-element errors (%zu inputs, %zu errors); set "
+              "initial_threshold > 0 to skip calibration",
+              train.size(), true_errors.size());
+    }
 
+    const obs::ScopedTimer timer(obs_calibrate_ns_);
+    obs::Registry::Default()
+        .GetCounter("runtime.calibrations")
+        ->Increment();
     detector_.Reset();
     std::vector<double> scores(train.size());
     for (size_t i = 0; i < train.size(); ++i) {
@@ -122,6 +151,7 @@ RumbaRuntime::ProcessInvocation(
 {
     RUMBA_CHECK(outputs != nullptr);
     RUMBA_CHECK(!raw_inputs.empty());
+    const obs::ScopedTimer invocation_timer(obs_invocation_ns_);
     const apps::Benchmark& app = pipeline_.Bench();
     const size_t n = raw_inputs.size();
 
@@ -136,6 +166,8 @@ RumbaRuntime::ProcessInvocation(
     std::vector<char> fixed(n, 0);
     double unfixed_predicted_sum = 0.0;
     size_t unfixed_count = 0;
+    size_t fires = 0;
+    size_t queue_full_stalls = 0;
 
     for (size_t i = 0; i < n; ++i) {
         const auto norm_in = pipeline_.NormalizeInput(raw_inputs[i]);
@@ -145,10 +177,14 @@ RumbaRuntime::ProcessInvocation(
         const CheckResult check =
             detector_.Check(norm_in, (*outputs)[i]);
         if (check.fired) {
+            ++fires;
             // Backpressure: drain the queue when full, as the
             // pipelined CPU side would.
-            if (recovery_.Queue().Full())
+            if (recovery_.Queue().Full()) {
+                ++queue_full_stalls;
+                recovery_.RecordQueueFullStall();
                 recovery_.Drain(raw_inputs, outputs, &fixed);
+            }
             recovery_.Queue().Push(RecoveryEntry{i});
         } else {
             unfixed_predicted_sum += std::max(0.0,
@@ -163,12 +199,15 @@ RumbaRuntime::ProcessInvocation(
     // True residual error (the runtime can verify because the exact
     // kernel is available; a production deployment would not).
     std::vector<double> residual(n, 0.0);
-    std::vector<double> exact(app.NumOutputs());
-    for (size_t i = 0; i < n; ++i) {
-        if (fixed[i])
-            continue;
-        app.RunExact(raw_inputs[i].data(), exact.data());
-        residual[i] = app.ElementError(exact, (*outputs)[i]);
+    {
+        const obs::ScopedTimer verify_timer(obs_verify_ns_);
+        std::vector<double> exact(app.NumOutputs());
+        for (size_t i = 0; i < n; ++i) {
+            if (fixed[i])
+                continue;
+            app.RunExact(raw_inputs[i].data(), exact.data());
+            residual[i] = app.ElementError(exact, (*outputs)[i]);
+        }
     }
     report.output_error_pct = app.AggregateError(residual);
     report.estimated_error_pct =
@@ -206,12 +245,15 @@ RumbaRuntime::ProcessInvocation(
         report.costs.npu_ns > 0.0
             ? report.costs.recovery_ns / report.costs.npu_ns
             : 0.0;
+    const size_t adjustments_before = tuner_.Adjustments();
     tuner_.EndInvocation(feedback);
 
     // Every fired check became a fix (the queue always drains), so
     // the fix count is this invocation's fire count.
     drift_.Observe(report.fixes, n);
     report.drift_detected = drift_.DriftDetected();
+    if (report.drift_detected)
+        obs_drift_alarms_->Increment();
 
     ++invocations_;
     ++summary_.invocations;
@@ -223,6 +265,24 @@ RumbaRuntime::ProcessInvocation(
     summary_.baseline_app_nj += report.costs.baseline_app_nj;
     summary_.scheme_app_ns += report.costs.scheme_app_ns;
     summary_.scheme_app_nj += report.costs.scheme_app_nj;
+
+    obs_invocations_->Increment();
+    obs_elements_->Increment(n);
+    obs_fixes_->Increment(report.fixes);
+    obs_output_error_->Set(report.output_error_pct);
+
+    obs::TraceEvent event;
+    event.invocation = invocations_ - 1;
+    event.elements = n;
+    event.threshold = report.threshold_used;
+    event.fires = fires;
+    event.fixes = report.fixes;
+    event.queue_full_stalls = queue_full_stalls;
+    event.tuner_adjustments = tuner_.Adjustments() - adjustments_before;
+    event.output_error_pct = report.output_error_pct;
+    event.estimated_error_pct = report.estimated_error_pct;
+    event.drift = report.drift_detected;
+    obs::TraceRing::Default().Record(event);
     return report;
 }
 

@@ -25,6 +25,12 @@
 #include "core/tuner.h"
 #include "sim/system_model.h"
 
+namespace rumba::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace rumba::obs
+
 namespace rumba::core {
 
 /** Online-system configuration. */
@@ -160,6 +166,9 @@ class RumbaRuntime {
     /** Offline threshold calibration (see RuntimeConfig). */
     double CalibrateThreshold(double target_error_pct);
 
+    /** Register this runtime's instruments with the default registry. */
+    void RegisterMetrics();
+
     RuntimeConfig config_;
     Pipeline pipeline_;
     npu::Npu accel_;
@@ -174,6 +183,16 @@ class RumbaRuntime {
     size_t invocations_ = 0;
     RunSummary summary_;
     DriftMonitor drift_;
+    /** Process-wide telemetry (obs/): per-invocation counters, hot-path
+     *  latency histograms, and the invocation trace ring feed. */
+    obs::Counter* obs_invocations_;
+    obs::Counter* obs_elements_;
+    obs::Counter* obs_fixes_;
+    obs::Counter* obs_drift_alarms_;
+    obs::Gauge* obs_output_error_;
+    obs::Histogram* obs_invocation_ns_;
+    obs::Histogram* obs_verify_ns_;
+    obs::Histogram* obs_calibrate_ns_;
 };
 
 }  // namespace rumba::core

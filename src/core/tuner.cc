@@ -3,18 +3,24 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace rumba::core {
 
 OnlineTuner::OnlineTuner(const TunerConfig& config,
                          double initial_threshold)
-    : config_(config), threshold_(initial_threshold)
+    : config_(config),
+      threshold_(initial_threshold),
+      obs_threshold_(obs::Registry::Default().GetGauge("tuner.threshold")),
+      obs_adjustments_(
+          obs::Registry::Default().GetCounter("tuner.adjustments"))
 {
     RUMBA_CHECK(config.adjust_factor > 1.0);
     RUMBA_CHECK(config.min_threshold > 0.0);
     RUMBA_CHECK(config.max_threshold > config.min_threshold);
     threshold_ = std::clamp(threshold_, config.min_threshold,
                             config.max_threshold);
+    obs_threshold_->Set(threshold_);
 }
 
 void
@@ -25,6 +31,7 @@ OnlineTuner::Raise()
     if (next != threshold_) {
         threshold_ = next;
         ++adjustments_;
+        obs_adjustments_->Increment();
     }
 }
 
@@ -36,6 +43,7 @@ OnlineTuner::Lower()
     if (next != threshold_) {
         threshold_ = next;
         ++adjustments_;
+        obs_adjustments_->Increment();
     }
 }
 
@@ -73,6 +81,7 @@ OnlineTuner::EndInvocation(const InvocationFeedback& feedback)
         break;
       }
     }
+    obs_threshold_->Set(threshold_);
 }
 
 }  // namespace rumba::core

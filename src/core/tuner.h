@@ -12,6 +12,11 @@
 
 #include <cstddef>
 
+namespace rumba::obs {
+class Counter;
+class Gauge;
+}  // namespace rumba::obs
+
 namespace rumba::core {
 
 /** The tuner's programming modes (Section 3.4). */
@@ -73,6 +78,9 @@ class OnlineTuner {
     TunerConfig config_;
     double threshold_;
     size_t adjustments_ = 0;
+    /** Process-wide telemetry: current threshold and move count. */
+    obs::Gauge* obs_threshold_;
+    obs::Counter* obs_adjustments_;
 };
 
 }  // namespace rumba::core

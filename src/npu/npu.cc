@@ -1,6 +1,8 @@
 #include "npu/npu.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace rumba::npu {
 
@@ -9,7 +11,11 @@ Npu::Npu(const NpuConfig& config)
       sigmoid_lut_(nn::Activation::kSigmoid, config.lut_entries,
                    config.lut_range, config.format),
       tanh_lut_(nn::Activation::kTanh, config.lut_entries, config.lut_range,
-                config.format)
+                config.format),
+      obs_invocations_(
+          obs::Registry::Default().GetCounter("npu.invocations")),
+      obs_invoke_ns_(
+          obs::Registry::Default().GetHistogram("npu.invoke_ns"))
 {
     RUMBA_CHECK(config.num_pes > 0);
 }
@@ -38,6 +44,8 @@ Npu::Invoke(const std::vector<double>& input)
 {
     RUMBA_CHECK(Configured());
     RUMBA_CHECK(input.size() == topology_.NumInputs());
+    const obs::ScopedTimer timer(obs_invoke_ns_);
+    obs_invocations_->Increment();
 
     // Stream inputs in through the input queue, quantizing at the
     // interface.

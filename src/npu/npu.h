@@ -18,6 +18,11 @@
 #include "npu/schedule.h"
 #include "npu/sigmoid_lut.h"
 
+namespace rumba::obs {
+class Counter;
+class Histogram;
+}  // namespace rumba::obs
+
 namespace rumba::npu {
 
 /** Structural configuration of the accelerator. */
@@ -104,6 +109,10 @@ class Npu {
     SigmoidLut sigmoid_lut_;
     SigmoidLut tanh_lut_;
     NpuStats stats_;
+    /** Process-wide telemetry (obs/metrics.h): invocation count and
+     *  per-invoke wall-clock latency. */
+    obs::Counter* obs_invocations_;
+    obs::Histogram* obs_invoke_ns_;
 };
 
 }  // namespace rumba::npu

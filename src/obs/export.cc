@@ -1,0 +1,187 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "common/logging.h"
+
+namespace rumba::obs {
+
+namespace {
+
+/** JSON-safe number: finite values via %.9g, otherwise 0. */
+std::string
+JsonNum(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+std::string
+JsonStr(const std::string& s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace
+
+std::string
+ToJsonl(const RegistrySnapshot& snapshot,
+        const std::vector<TraceEvent>& trace)
+{
+    std::string out;
+    for (const auto& c : snapshot.counters) {
+        out += "{\"type\":\"counter\",\"name\":" + JsonStr(c.name) +
+               ",\"value\":" + std::to_string(c.value) + "}\n";
+    }
+    for (const auto& g : snapshot.gauges) {
+        out += "{\"type\":\"gauge\",\"name\":" + JsonStr(g.name) +
+               ",\"value\":" + JsonNum(g.value) + "}\n";
+    }
+    for (const auto& h : snapshot.histograms) {
+        out += "{\"type\":\"histogram\",\"name\":" + JsonStr(h.name) +
+               ",\"count\":" + std::to_string(h.count) +
+               ",\"sum\":" + JsonNum(h.sum) +
+               ",\"min\":" + JsonNum(h.min) +
+               ",\"max\":" + JsonNum(h.max) +
+               ",\"p50\":" + JsonNum(h.p50) +
+               ",\"p90\":" + JsonNum(h.p90) +
+               ",\"p99\":" + JsonNum(h.p99) + "}\n";
+    }
+    for (const auto& e : trace) {
+        out += "{\"type\":\"trace\",\"seq\":" +
+               std::to_string(e.sequence) +
+               ",\"invocation\":" + std::to_string(e.invocation) +
+               ",\"elements\":" + std::to_string(e.elements) +
+               ",\"threshold\":" + JsonNum(e.threshold) +
+               ",\"fires\":" + std::to_string(e.fires) +
+               ",\"fixes\":" + std::to_string(e.fixes) +
+               ",\"queue_full_stalls\":" +
+               std::to_string(e.queue_full_stalls) +
+               ",\"tuner_adjustments\":" +
+               std::to_string(e.tuner_adjustments) +
+               ",\"output_error_pct\":" + JsonNum(e.output_error_pct) +
+               ",\"estimated_error_pct\":" +
+               JsonNum(e.estimated_error_pct) +
+               ",\"drift\":" + (e.drift ? "true" : "false") + "}\n";
+    }
+    return out;
+}
+
+namespace {
+
+/** Shared row shape for the CSV and table exporters. */
+std::vector<std::vector<std::string>>
+SnapshotRows(const RegistrySnapshot& snapshot)
+{
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& c : snapshot.counters) {
+        rows.push_back({"counter", c.name, std::to_string(c.value), "",
+                        "", "", "", "", "", ""});
+    }
+    for (const auto& g : snapshot.gauges) {
+        rows.push_back({"gauge", g.name, Table::Num(g.value, 6), "", "",
+                        "", "", "", "", ""});
+    }
+    for (const auto& h : snapshot.histograms) {
+        rows.push_back({"histogram", h.name, std::to_string(h.count),
+                        Table::Num(h.sum, 1), Table::Num(h.min, 1),
+                        Table::Num(h.max, 1), Table::Num(h.p50, 1),
+                        Table::Num(h.p90, 1), Table::Num(h.p99, 1), ""});
+    }
+    return rows;
+}
+
+const std::vector<std::string> kColumns = {
+    "type", "name", "value", "sum", "min",
+    "max",  "p50",  "p90",   "p99", "notes"};
+
+}  // namespace
+
+std::string
+ToCsv(const RegistrySnapshot& snapshot)
+{
+    Table table(kColumns);
+    for (auto& row : SnapshotRows(snapshot))
+        table.AddRow(std::move(row));
+    return table.ToCsv();
+}
+
+Table
+ToTable(const RegistrySnapshot& snapshot)
+{
+    Table table(kColumns);
+    for (auto& row : SnapshotRows(snapshot))
+        table.AddRow(std::move(row));
+    return table;
+}
+
+bool
+WriteMetricsFile(const std::string& path)
+{
+    const RegistrySnapshot snapshot = Registry::Default().Snapshot();
+    const bool csv =
+        path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+    const std::string body =
+        csv ? ToCsv(snapshot)
+            : ToJsonl(snapshot, TraceRing::Default().Dump());
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+    const bool ok = std::fclose(f) == 0 && written == body.size();
+    return ok;
+}
+
+std::string
+ExportIfConfigured()
+{
+    const char* path = std::getenv("RUMBA_METRICS_OUT");
+    if (path == nullptr || path[0] == '\0')
+        return "";
+    Debug("RUMBA_METRICS_OUT: exporting registry + trace to %s", path);
+    if (!WriteMetricsFile(path)) {
+        Warn("RUMBA_METRICS_OUT: could not write %s", path);
+        return "";
+    }
+    return path;
+}
+
+namespace {
+
+void
+ExportAtExit()
+{
+    ExportIfConfigured();
+}
+
+}  // namespace
+
+void
+InstallAtExitExport()
+{
+    static const bool armed = [] {
+        // Touch the singletons so their destructors are registered
+        // before this exit hook (hooks run LIFO: export sees live
+        // instruments).
+        TraceRing::Default();
+        std::atexit(ExportAtExit);
+        return true;
+    }();
+    (void)armed;
+}
+
+}  // namespace rumba::obs

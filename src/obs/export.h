@@ -1,0 +1,66 @@
+#ifndef RUMBA_OBS_EXPORT_H_
+#define RUMBA_OBS_EXPORT_H_
+
+/**
+ * @file
+ * Metric and trace exporters: JSONL (one JSON object per line), CSV,
+ * and a human-readable table built on common/table. The
+ * RUMBA_METRICS_OUT environment variable names a sink file that is
+ * written automatically at process exit (armed on first use of
+ * Registry::Default()), so every bench and example emits telemetry
+ * without code changes; the extension picks the format (.csv writes
+ * CSV, anything else JSONL).
+ */
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rumba::obs {
+
+/**
+ * Render a snapshot as JSONL. Each metric becomes one line tagged
+ * with "type" (counter / gauge / histogram); each trace event becomes
+ * one "trace" line.
+ */
+std::string ToJsonl(const RegistrySnapshot& snapshot,
+                    const std::vector<TraceEvent>& trace = {});
+
+/**
+ * Render a snapshot as CSV with header
+ * type,name,count,value,sum,min,max,p50,p90,p99 (trace events are a
+ * JSONL-only concern).
+ */
+std::string ToCsv(const RegistrySnapshot& snapshot);
+
+/** Render a snapshot as an aligned console table. */
+Table ToTable(const RegistrySnapshot& snapshot);
+
+/**
+ * Snapshot the default registry and trace ring and write them to
+ * @p path (format by extension: .csv selects CSV, otherwise JSONL).
+ * Returns false on I/O error.
+ */
+bool WriteMetricsFile(const std::string& path);
+
+/**
+ * Honor RUMBA_METRICS_OUT: when the variable names a file, write the
+ * current default-registry snapshot there and return the path; when
+ * unset (or on I/O failure, after a warning) return "". Idempotent —
+ * each call rewrites the file with the latest snapshot, and the
+ * at-exit hook makes the final call.
+ */
+std::string ExportIfConfigured();
+
+/**
+ * Arm the at-exit RUMBA_METRICS_OUT exporter (once per process).
+ * Called automatically by Registry::Default().
+ */
+void InstallAtExitExport();
+
+}  // namespace rumba::obs
+
+#endif  // RUMBA_OBS_EXPORT_H_

@@ -1,0 +1,233 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "obs/export.h"
+
+namespace rumba::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0)
+{
+    RUMBA_CHECK(!bounds_.empty());
+    RUMBA_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void
+Histogram::Observe(double value)
+{
+    const size_t bucket = static_cast<size_t>(
+        std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+        bounds_.begin());
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counts_[bucket];
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+}
+
+uint64_t
+Histogram::Count() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+}
+
+double
+Histogram::Sum() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return sum_;
+}
+
+double
+Histogram::Min() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return min_;
+}
+
+double
+Histogram::Max() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_;
+}
+
+double
+Histogram::Quantile(double q) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return QuantileLocked(q);
+}
+
+double
+Histogram::QuantileLocked(double q) const
+{
+    RUMBA_CHECK(q >= 0.0 && q <= 1.0);
+    if (count_ == 0)
+        return 0.0;
+    const double target = q * static_cast<double>(count_);
+    double cumulative = 0.0;
+    for (size_t b = 0; b < counts_.size(); ++b) {
+        if (counts_[b] == 0)
+            continue;
+        const double next = cumulative + static_cast<double>(counts_[b]);
+        if (next >= target) {
+            // Interpolate within this bucket's edges.
+            const double lo = b == 0 ? min_ : bounds_[b - 1];
+            const double hi = b < bounds_.size() ? bounds_[b] : max_;
+            const double t =
+                (target - cumulative) / static_cast<double>(counts_[b]);
+            const double v = lo + t * (hi - lo);
+            return std::clamp(v, min_, max_);
+        }
+        cumulative = next;
+    }
+    return max_;
+}
+
+HistogramSnapshot
+Histogram::Snapshot(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    HistogramSnapshot snap;
+    snap.name = name;
+    snap.count = count_;
+    snap.sum = sum_;
+    snap.min = min_;
+    snap.max = max_;
+    snap.p50 = QuantileLocked(0.50);
+    snap.p90 = QuantileLocked(0.90);
+    snap.p99 = QuantileLocked(0.99);
+    return snap;
+}
+
+std::vector<uint64_t>
+Histogram::BucketCounts() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counts_;
+}
+
+void
+Histogram::Reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+std::vector<double>
+Histogram::ExponentialBuckets(double start, double factor, size_t count)
+{
+    RUMBA_CHECK(start > 0.0 && factor > 1.0 && count > 0);
+    std::vector<double> bounds;
+    bounds.reserve(count);
+    double bound = start;
+    for (size_t i = 0; i < count; ++i) {
+        bounds.push_back(bound);
+        bound *= factor;
+    }
+    return bounds;
+}
+
+std::vector<double>
+Histogram::LinearBuckets(double start, double width, size_t count)
+{
+    RUMBA_CHECK(width > 0.0 && count > 0);
+    std::vector<double> bounds;
+    bounds.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        bounds.push_back(start + width * static_cast<double>(i));
+    return bounds;
+}
+
+std::vector<double>
+Histogram::DefaultLatencyBounds()
+{
+    return ExponentialBuckets(64.0, 2.0, 26);
+}
+
+Counter*
+Registry::GetCounter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = counters_[name];
+    if (slot == nullptr)
+        slot = std::make_unique<Counter>();
+    return slot.get();
+}
+
+Gauge*
+Registry::GetGauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = gauges_[name];
+    if (slot == nullptr)
+        slot = std::make_unique<Gauge>();
+    return slot.get();
+}
+
+Histogram*
+Registry::GetHistogram(const std::string& name,
+                       std::vector<double> bounds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = histograms_[name];
+    if (slot == nullptr) {
+        slot = std::make_unique<Histogram>(
+            bounds.empty() ? Histogram::DefaultLatencyBounds()
+                           : std::move(bounds));
+    }
+    return slot.get();
+}
+
+RegistrySnapshot
+Registry::Snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    RegistrySnapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_)
+        snap.counters.push_back({name, counter->Value()});
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, gauge] : gauges_)
+        snap.gauges.push_back({name, gauge->Value()});
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_)
+        snap.histograms.push_back(histogram->Snapshot(name));
+    return snap;
+}
+
+void
+Registry::Reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, counter] : counters_)
+        counter->Reset();
+    for (auto& [name, gauge] : gauges_)
+        gauge->Reset();
+    for (auto& [name, histogram] : histograms_)
+        histogram->Reset();
+}
+
+Registry&
+Registry::Default()
+{
+    static Registry registry;
+    InstallAtExitExport();
+    return registry;
+}
+
+}  // namespace rumba::obs

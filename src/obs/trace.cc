@@ -1,0 +1,98 @@
+#include "obs/trace.h"
+
+#include "common/logging.h"
+
+namespace rumba::obs {
+
+TraceRing::TraceRing(size_t capacity) : capacity_(capacity)
+{
+    RUMBA_CHECK(capacity > 0);
+    ring_.reserve(capacity);
+}
+
+void
+TraceRing::Start()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    enabled_ = true;
+}
+
+void
+TraceRing::Stop()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    enabled_ = false;
+}
+
+bool
+TraceRing::Enabled() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return enabled_;
+}
+
+void
+TraceRing::Record(const TraceEvent& event)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_)
+        return;
+    TraceEvent stamped = event;
+    stamped.sequence = next_sequence_++;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(stamped);
+    } else {
+        ring_[head_] = stamped;
+        head_ = (head_ + 1) % capacity_;
+    }
+}
+
+std::vector<TraceEvent>
+TraceRing::Dump() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<TraceEvent> events;
+    events.reserve(ring_.size());
+    for (size_t i = 0; i < ring_.size(); ++i)
+        events.push_back(ring_[(head_ + i) % ring_.size()]);
+    return events;
+}
+
+uint64_t
+TraceRing::TotalRecorded() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_sequence_;
+}
+
+uint64_t
+TraceRing::Dropped() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_sequence_ - ring_.size();
+}
+
+size_t
+TraceRing::Size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return ring_.size();
+}
+
+void
+TraceRing::Clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_.clear();
+    head_ = 0;
+    next_sequence_ = 0;
+}
+
+TraceRing&
+TraceRing::Default()
+{
+    static TraceRing ring(4096);
+    return ring;
+}
+
+}  // namespace rumba::obs

@@ -1,0 +1,85 @@
+#ifndef RUMBA_OBS_TRACE_H_
+#define RUMBA_OBS_TRACE_H_
+
+/**
+ * @file
+ * Bounded invocation tracing. The runtime records one TraceEvent per
+ * ProcessInvocation() into a fixed-capacity ring buffer: the threshold
+ * used, how many checks fired, how many elements were fixed, queue
+ * backpressure stalls, tuner movement, and the drift verdict. The ring
+ * keeps the most recent events, can be started/stopped at runtime, and
+ * dumps oldest-first for exporters and tests.
+ */
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace rumba::obs {
+
+/** One accelerator invocation as the online loop saw it. */
+struct TraceEvent {
+    uint64_t sequence = 0;     ///< global record order (assigned).
+    uint64_t invocation = 0;   ///< runtime's invocation index.
+    uint64_t elements = 0;     ///< elements in the batch.
+    double threshold = 0.0;    ///< detection threshold this round.
+    uint64_t fires = 0;        ///< checks that fired.
+    uint64_t fixes = 0;        ///< iterations re-executed.
+    uint64_t queue_full_stalls = 0;  ///< backpressure drains forced.
+    uint64_t tuner_adjustments = 0;  ///< threshold moves this round.
+    double output_error_pct = 0.0;   ///< verified residual error.
+    double estimated_error_pct = 0.0;  ///< detector's own estimate.
+    bool drift = false;        ///< drift alarm raised this round.
+};
+
+/** Fixed-capacity ring of the most recent trace events. */
+class TraceRing {
+  public:
+    /** @param capacity events retained (oldest evicted first). */
+    explicit TraceRing(size_t capacity = 1024);
+
+    /** Resume recording (rings start enabled). */
+    void Start();
+
+    /** Stop recording; Record() becomes a no-op. */
+    void Stop();
+
+    /** True while recording. */
+    bool Enabled() const;
+
+    /** Append one event (assigns TraceEvent::sequence). */
+    void Record(const TraceEvent& event);
+
+    /** Retained events, oldest first. */
+    std::vector<TraceEvent> Dump() const;
+
+    /** Events ever recorded (including evicted ones). */
+    uint64_t TotalRecorded() const;
+
+    /** Events evicted by capacity pressure. */
+    uint64_t Dropped() const;
+
+    /** Events currently retained. */
+    size_t Size() const;
+
+    /** Capacity the ring was built with. */
+    size_t Capacity() const { return capacity_; }
+
+    /** Drop every retained event and reset the sequence counter. */
+    void Clear();
+
+    /** The process-wide ring the Rumba runtime records into. */
+    static TraceRing& Default();
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mu_;
+    std::vector<TraceEvent> ring_;  ///< circular storage.
+    size_t head_ = 0;               ///< next write slot when full.
+    uint64_t next_sequence_ = 0;
+    bool enabled_ = true;
+};
+
+}  // namespace rumba::obs
+
+#endif  // RUMBA_OBS_TRACE_H_

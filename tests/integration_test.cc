@@ -9,6 +9,8 @@
 
 #include "core/experiment.h"
 #include "core/runtime.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rumba::core {
 namespace {
@@ -392,6 +394,92 @@ TEST(RuntimeTest, RequiresPredictorScheme)
                               FastRuntime(Scheme::kIdeal,
                                           TuningMode::kToq)),
                  "");
+}
+
+// ------------------------------------------------------------- Telemetry
+
+TEST(RuntimeTest, PopulatesTelemetry)
+{
+    // Small offline phase: this test is about the online telemetry.
+    auto cfg = FastRuntime(Scheme::kTree, TuningMode::kToq);
+    cfg.pipeline.train_epochs = 10;
+    cfg.pipeline.max_train_elements = 300;
+    RumbaRuntime runtime(apps::MakeBenchmark("inversek2j"), cfg);
+    obs::Registry::Default().Reset();
+    obs::TraceRing::Default().Clear();
+
+    const auto inputs = runtime.Bench().TestInputs();
+    std::vector<std::vector<double>> batch(inputs.begin(),
+                                           inputs.begin() + 250);
+    std::vector<std::vector<double>> outputs;
+    const InvocationReport report =
+        runtime.ProcessInvocation(batch, &outputs);
+
+    // A full online run populates every expected metric name.
+    const obs::RegistrySnapshot snap =
+        obs::Registry::Default().Snapshot();
+    std::map<std::string, uint64_t> counters;
+    for (const auto& c : snap.counters)
+        counters[c.name] = c.value;
+    std::map<std::string, obs::HistogramSnapshot> histograms;
+    for (const auto& h : snap.histograms)
+        histograms[h.name] = h;
+    std::map<std::string, double> gauges;
+    for (const auto& g : snap.gauges)
+        gauges[g.name] = g.value;
+
+    EXPECT_EQ(counters.at("runtime.invocations"), 1u);
+    EXPECT_EQ(counters.at("runtime.elements"), 250u);
+    EXPECT_EQ(counters.at("runtime.fixes"), report.fixes);
+    EXPECT_EQ(counters.at("detector.checks"), 250u);
+    EXPECT_EQ(counters.at("detector.fires"), report.fixes);
+    EXPECT_EQ(counters.at("recovery.reexecutions"), report.fixes);
+    EXPECT_EQ(counters.count("recovery.queue_full_stalls"), 1u);
+    EXPECT_EQ(counters.at("drift.observations"), 1u);
+    ASSERT_EQ(gauges.count("tuner.threshold"), 1u);
+    EXPECT_DOUBLE_EQ(gauges.at("runtime.output_error_pct"),
+                     report.output_error_pct);
+
+    // Latency histograms carry sane per-element counts and quantiles.
+    const auto& invoke = histograms.at("npu.invoke_ns");
+    EXPECT_EQ(invoke.count, 250u);
+    EXPECT_GT(invoke.p50, 0.0);
+    EXPECT_LE(invoke.p50, invoke.p99);
+    const auto& drain = histograms.at("recovery.drain_ns");
+    EXPECT_GE(drain.count, 1u);
+    EXPECT_LE(drain.p50, drain.p99);
+    EXPECT_EQ(histograms.at("detector.check_ns").count, 250u);
+    EXPECT_EQ(histograms.at("runtime.invocation_ns").count, 1u);
+    EXPECT_EQ(histograms.at("runtime.verify_ns").count, 1u);
+
+    // The trace ring recorded exactly this invocation, with fields
+    // matching the returned report.
+    const auto events = obs::TraceRing::Default().Dump();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].elements, 250u);
+    EXPECT_DOUBLE_EQ(events[0].threshold, report.threshold_used);
+    EXPECT_EQ(events[0].fires, report.fixes);
+    EXPECT_EQ(events[0].fixes, report.fixes);
+    EXPECT_DOUBLE_EQ(events[0].output_error_pct,
+                     report.output_error_pct);
+    EXPECT_EQ(events[0].drift, report.drift_detected);
+
+    // A second invocation appends a second event and doubles the
+    // element counters.
+    runtime.ProcessInvocation(batch, &outputs);
+    EXPECT_EQ(obs::TraceRing::Default().Dump().size(), 2u);
+    EXPECT_EQ(obs::Registry::Default()
+                  .GetCounter("runtime.elements")
+                  ->Value(),
+              500u);
+
+    // Stopping the ring suppresses runtime events; restarting resumes.
+    obs::TraceRing::Default().Stop();
+    runtime.ProcessInvocation(batch, &outputs);
+    EXPECT_EQ(obs::TraceRing::Default().Dump().size(), 2u);
+    obs::TraceRing::Default().Start();
+    runtime.ProcessInvocation(batch, &outputs);
+    EXPECT_EQ(obs::TraceRing::Default().Dump().size(), 3u);
 }
 
 }  // namespace

@@ -1,0 +1,372 @@
+// Unit tests for the telemetry subsystem (src/obs): counter / gauge /
+// histogram semantics, quantile accuracy on known distributions,
+// trace-ring wraparound, snapshot idempotence, and exporter
+// round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
+
+namespace rumba::obs {
+namespace {
+
+// ------------------------------------------------------------ Counters
+
+TEST(CounterTest, StartsAtZeroAndAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.Value(), 0u);
+    c.Increment();
+    c.Increment(41);
+    EXPECT_EQ(c.Value(), 42u);
+    c.Reset();
+    EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless)
+{
+    Counter c;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&c] {
+            for (int i = 0; i < 10000; ++i)
+                c.Increment();
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    EXPECT_EQ(c.Value(), 40000u);
+}
+
+// -------------------------------------------------------------- Gauges
+
+TEST(GaugeTest, LastValueWins)
+{
+    Gauge g;
+    EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+    g.Set(0.25);
+    g.Set(1.5);
+    EXPECT_DOUBLE_EQ(g.Value(), 1.5);
+}
+
+// ---------------------------------------------------------- Histograms
+
+TEST(HistogramTest, CountsSumMinMax)
+{
+    Histogram h(Histogram::LinearBuckets(10.0, 10.0, 10));
+    for (double v : {5.0, 15.0, 95.0, 250.0})
+        h.Observe(v);
+    EXPECT_EQ(h.Count(), 4u);
+    EXPECT_DOUBLE_EQ(h.Sum(), 365.0);
+    EXPECT_DOUBLE_EQ(h.Min(), 5.0);
+    EXPECT_DOUBLE_EQ(h.Max(), 250.0);  // overflow bucket keeps max.
+}
+
+TEST(HistogramTest, QuantilesOnUniformDistribution)
+{
+    // 1..1000 into width-10 buckets: quantiles should land within one
+    // bucket of the exact order statistic.
+    Histogram h(Histogram::LinearBuckets(10.0, 10.0, 100));
+    for (int v = 1; v <= 1000; ++v)
+        h.Observe(static_cast<double>(v));
+    EXPECT_NEAR(h.Quantile(0.50), 500.0, 10.0);
+    EXPECT_NEAR(h.Quantile(0.90), 900.0, 10.0);
+    EXPECT_NEAR(h.Quantile(0.99), 990.0, 10.0);
+    EXPECT_NEAR(h.Quantile(1.00), 1000.0, 1e-9);
+}
+
+TEST(HistogramTest, QuantilesAreMonotoneAndClamped)
+{
+    Histogram h(Histogram::ExponentialBuckets(1.0, 2.0, 16));
+    for (double v : {3.0, 3.0, 3.0, 7.0, 20000.0, 70000.0})
+        h.Observe(v);
+    double prev = h.Min();
+    for (double q : {0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+        const double value = h.Quantile(q);
+        EXPECT_GE(value, prev) << "q=" << q;
+        EXPECT_GE(value, h.Min());
+        EXPECT_LE(value, h.Max());
+        prev = value;
+    }
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZero)
+{
+    Histogram h(Histogram::DefaultLatencyBounds());
+    EXPECT_EQ(h.Count(), 0u);
+    EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+    const HistogramSnapshot snap = h.Snapshot("x");
+    EXPECT_DOUBLE_EQ(snap.min, 0.0);
+    EXPECT_DOUBLE_EQ(snap.max, 0.0);
+    EXPECT_DOUBLE_EQ(snap.p99, 0.0);
+}
+
+TEST(HistogramTest, BucketCountsIncludeOverflow)
+{
+    Histogram h(Histogram::LinearBuckets(1.0, 1.0, 3));  // 1, 2, 3.
+    for (double v : {0.5, 1.5, 2.5, 99.0})
+        h.Observe(v);
+    const auto counts = h.BucketCounts();
+    ASSERT_EQ(counts.size(), 4u);
+    EXPECT_EQ(counts[0], 1u);  // <= 1
+    EXPECT_EQ(counts[1], 1u);  // (1, 2]
+    EXPECT_EQ(counts[2], 1u);  // (2, 3]
+    EXPECT_EQ(counts[3], 1u);  // overflow
+}
+
+// ------------------------------------------------------------ Registry
+
+TEST(RegistryTest, SameNameSameInstrument)
+{
+    Registry registry;
+    Counter* a = registry.GetCounter("x.count");
+    Counter* b = registry.GetCounter("x.count");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(registry.GetGauge("x.gauge"), nullptr);
+    Histogram* h1 = registry.GetHistogram("x.lat");
+    Histogram* h2 =
+        registry.GetHistogram("x.lat", Histogram::LinearBuckets(1, 1, 2));
+    EXPECT_EQ(h1, h2);  // bounds only apply on first registration.
+    EXPECT_EQ(h1->Bounds(), Histogram::DefaultLatencyBounds());
+}
+
+TEST(RegistryTest, SnapshotIsIdempotentAndSorted)
+{
+    Registry registry;
+    registry.GetCounter("b.count")->Increment(2);
+    registry.GetCounter("a.count")->Increment(1);
+    registry.GetGauge("g")->Set(3.5);
+    registry.GetHistogram("h")->Observe(100.0);
+
+    const RegistrySnapshot s1 = registry.Snapshot();
+    const RegistrySnapshot s2 = registry.Snapshot();
+
+    ASSERT_EQ(s1.counters.size(), 2u);
+    EXPECT_EQ(s1.counters[0].name, "a.count");  // sorted by name.
+    EXPECT_EQ(s1.counters[1].name, "b.count");
+    EXPECT_EQ(s1.counters[1].value, 2u);
+
+    // Snapshotting must not disturb state: s2 is identical.
+    ASSERT_EQ(s2.counters.size(), s1.counters.size());
+    for (size_t i = 0; i < s1.counters.size(); ++i) {
+        EXPECT_EQ(s1.counters[i].name, s2.counters[i].name);
+        EXPECT_EQ(s1.counters[i].value, s2.counters[i].value);
+    }
+    ASSERT_EQ(s1.histograms.size(), 1u);
+    ASSERT_EQ(s2.histograms.size(), 1u);
+    EXPECT_EQ(s1.histograms[0].count, s2.histograms[0].count);
+    EXPECT_DOUBLE_EQ(s1.histograms[0].p50, s2.histograms[0].p50);
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsNames)
+{
+    Registry registry;
+    registry.GetCounter("c")->Increment(7);
+    registry.GetHistogram("h")->Observe(42.0);
+    registry.Reset();
+    const RegistrySnapshot snap = registry.Snapshot();
+    ASSERT_EQ(snap.counters.size(), 1u);
+    EXPECT_EQ(snap.counters[0].value, 0u);
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    EXPECT_EQ(snap.histograms[0].count, 0u);
+}
+
+// --------------------------------------------------------- ScopedTimer
+
+TEST(ScopedTimerTest, RecordsPositiveDuration)
+{
+    Histogram h(Histogram::DefaultLatencyBounds());
+    {
+        ScopedTimer timer(&h);
+        volatile double sink = 0.0;
+        for (int i = 0; i < 1000; ++i)
+            sink += static_cast<double>(i);
+        (void)sink;
+    }
+    EXPECT_EQ(h.Count(), 1u);
+    EXPECT_GT(h.Sum(), 0.0);
+}
+
+TEST(ScopedTimerTest, NullHistogramIsNoop)
+{
+    ScopedTimer timer(nullptr);  // must not crash on destruction.
+}
+
+// ----------------------------------------------------------- TraceRing
+
+TraceEvent
+EventWithFixes(uint64_t fixes)
+{
+    TraceEvent e;
+    e.fixes = fixes;
+    return e;
+}
+
+TEST(TraceRingTest, KeepsMostRecentOnWraparound)
+{
+    TraceRing ring(4);
+    for (uint64_t i = 0; i < 10; ++i)
+        ring.Record(EventWithFixes(i));
+    EXPECT_EQ(ring.TotalRecorded(), 10u);
+    EXPECT_EQ(ring.Dropped(), 6u);
+    const auto events = ring.Dump();
+    ASSERT_EQ(events.size(), 4u);
+    for (size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].sequence, 6 + i);  // oldest first.
+        EXPECT_EQ(events[i].fixes, 6 + i);
+    }
+}
+
+TEST(TraceRingTest, StartStopGatesRecording)
+{
+    TraceRing ring(8);
+    EXPECT_TRUE(ring.Enabled());
+    ring.Record(EventWithFixes(1));
+    ring.Stop();
+    EXPECT_FALSE(ring.Enabled());
+    ring.Record(EventWithFixes(2));  // dropped.
+    ring.Start();
+    ring.Record(EventWithFixes(3));
+    const auto events = ring.Dump();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].fixes, 1u);
+    EXPECT_EQ(events[1].fixes, 3u);
+}
+
+TEST(TraceRingTest, ClearResetsSequence)
+{
+    TraceRing ring(2);
+    ring.Record(EventWithFixes(1));
+    ring.Clear();
+    EXPECT_EQ(ring.Size(), 0u);
+    EXPECT_EQ(ring.TotalRecorded(), 0u);
+    ring.Record(EventWithFixes(9));
+    EXPECT_EQ(ring.Dump().front().sequence, 0u);
+}
+
+// ----------------------------------------------------------- Exporters
+
+RegistrySnapshot
+KnownSnapshot()
+{
+    Registry registry;
+    registry.GetCounter("runtime.invocations")->Increment(3);
+    registry.GetGauge("tuner.threshold")->Set(0.125);
+    Histogram* h = registry.GetHistogram(
+        "npu.invoke_ns", Histogram::LinearBuckets(100.0, 100.0, 10));
+    for (double v : {150.0, 250.0, 350.0})
+        h->Observe(v);
+    return registry.Snapshot();
+}
+
+TEST(ExportTest, JsonlRoundTrip)
+{
+    TraceEvent event;
+    event.invocation = 7;
+    event.elements = 100;
+    event.threshold = 0.5;
+    event.fires = 9;
+    event.fixes = 9;
+    const std::string jsonl = ToJsonl(KnownSnapshot(), {event});
+
+    // Every line is a braced object.
+    std::istringstream lines(jsonl);
+    std::string line;
+    size_t count = 0;
+    while (std::getline(lines, line)) {
+        ASSERT_FALSE(line.empty());
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        ++count;
+    }
+    EXPECT_EQ(count, 4u);  // counter + gauge + histogram + trace.
+
+    // The values survive the trip.
+    EXPECT_NE(jsonl.find("{\"type\":\"counter\",\"name\":"
+                         "\"runtime.invocations\",\"value\":3}"),
+              std::string::npos);
+    EXPECT_NE(jsonl.find("\"name\":\"tuner.threshold\",\"value\":0.125"),
+              std::string::npos);
+    EXPECT_NE(jsonl.find("\"name\":\"npu.invoke_ns\",\"count\":3"),
+              std::string::npos);
+    EXPECT_NE(jsonl.find("\"type\":\"trace\",\"seq\":0,"
+                         "\"invocation\":7,\"elements\":100"),
+              std::string::npos);
+    EXPECT_NE(jsonl.find("\"fires\":9,\"fixes\":9"), std::string::npos);
+}
+
+TEST(ExportTest, CsvRoundTrip)
+{
+    const std::string csv = ToCsv(KnownSnapshot());
+    std::istringstream lines(csv);
+    std::string header;
+    ASSERT_TRUE(std::getline(lines, header));
+    EXPECT_EQ(header,
+              "type,name,value,sum,min,max,p50,p90,p99,notes");
+
+    std::map<std::string, std::vector<std::string>> by_name;
+    std::string line;
+    while (std::getline(lines, line)) {
+        std::vector<std::string> cells;
+        std::istringstream fields(line);
+        std::string cell;
+        while (std::getline(fields, cell, ','))
+            cells.push_back(cell);
+        ASSERT_GE(cells.size(), 3u);
+        by_name[cells[1]] = cells;
+    }
+    ASSERT_EQ(by_name.count("runtime.invocations"), 1u);
+    EXPECT_EQ(by_name["runtime.invocations"][0], "counter");
+    EXPECT_EQ(by_name["runtime.invocations"][2], "3");
+    ASSERT_EQ(by_name.count("npu.invoke_ns"), 1u);
+    EXPECT_EQ(by_name["npu.invoke_ns"][0], "histogram");
+    EXPECT_EQ(by_name["npu.invoke_ns"][2], "3");
+    EXPECT_EQ(std::stod(by_name["npu.invoke_ns"][4]), 150.0);  // min.
+    EXPECT_EQ(std::stod(by_name["npu.invoke_ns"][5]), 350.0);  // max.
+}
+
+TEST(ExportTest, TableHasOneRowPerInstrument)
+{
+    const Table table = ToTable(KnownSnapshot());
+    EXPECT_EQ(table.Rows(), 3u);
+}
+
+TEST(ExportTest, WriteMetricsFileProducesParseableJsonl)
+{
+    Registry::Default().GetCounter("export_test.marker")->Increment();
+    const std::string path = ::testing::TempDir() + "obs_export.jsonl";
+    ASSERT_TRUE(WriteMetricsFile(path));
+
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::string body;
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        body.append(buf, got);
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    EXPECT_NE(body.find("\"name\":\"export_test.marker\",\"value\":1"),
+              std::string::npos);
+    std::istringstream lines(body);
+    std::string line;
+    while (std::getline(lines, line)) {
+        ASSERT_FALSE(line.empty());
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+    }
+}
+
+}  // namespace
+}  // namespace rumba::obs
