@@ -110,7 +110,8 @@ EmitMetrics(const std::string& csv_dir, const std::string& name)
     if (!csv_dir.empty()) {
         const std::string path =
             csv_dir + "/" + name + ".metrics.csv";
-        const std::string body = obs::ToCsv(snap);
+        const std::string body =
+            "# " + obs::MetadataJsonLine() + "\n" + obs::ToCsv(snap);
         std::FILE* f = std::fopen(path.c_str(), "w");
         if (f == nullptr) {
             Warn("could not write %s", path.c_str());

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification, twice: a plain build, then an ASan/UBSan build
-# (RUMBA_SANITIZE wires -fsanitize flags through the whole tree).
+# Tier-1 verification, three ways: a plain build, an ASan/UBSan build,
+# and a TSan build of the threaded paths (RUMBA_SANITIZE wires any
+# -fsanitize= spelling through the whole tree). The plain build also
+# gates telemetry against the checked-in baselines with rumba-stat.
 # Usage: ./ci.sh [--skip-sanitize]
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -15,9 +17,27 @@ run_suite() {
 echo "==> plain build + tests"
 run_suite build
 
+echo "==> telemetry regression gate (rumba-stat vs bench/baselines)"
+RUMBA_METRICS_OUT=build/quickstart.metrics.jsonl \
+    ./build/examples/quickstart > /dev/null
+# Counters are seed-deterministic; the tolerance absorbs float noise
+# in gauges across compilers. Latency histograms are skipped by
+# default (machine-dependent).
+./build/tools/rumba-stat diff \
+    bench/baselines/quickstart.metrics.jsonl \
+    build/quickstart.metrics.jsonl --tol 0.02
+
 if [[ "${1:-}" != "--skip-sanitize" ]]; then
     echo "==> sanitized build + tests (address,undefined)"
     run_suite build-sanitize -DRUMBA_SANITIZE=address,undefined
+
+    # TSan: the threaded paths — snapshot streamer, span collector,
+    # and the two-thread recovery replay — under real concurrency.
+    echo "==> thread-sanitized build + threading tests (thread)"
+    cmake -B build-tsan -S . -DRUMBA_SANITIZE=thread
+    cmake --build build-tsan -j
+    ctest --test-dir build-tsan --output-on-failure -j \
+        -R '^(obs_test|extensions_test)$'
 fi
 
 echo "==> ci.sh: all suites passed"

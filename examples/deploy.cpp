@@ -74,6 +74,39 @@ main()
                 mismatches,
                 out_trained.size() * deployed.Bench().NumOutputs());
 
+    // ---- Serving loop ----------------------------------------------------
+    // Serve the rest of the test set in small batches, the way a
+    // deployed binary serves requests — but from a *stale* artifact
+    // whose embedded threshold is far too loose (as if the binary were
+    // built long before deployment). The online TOQ tuner walks the
+    // threshold back toward the quality target between invocations, so
+    // a RUMBA_STREAM_OUT capture of this loop records the whole
+    // convergence trajectory.
+    core::Artifact stale = artifact;
+    stale.threshold = artifact.threshold * 8.0;
+    core::RumbaRuntime serving(stale, config);
+    std::printf("\n[deploy] serving from a stale artifact (threshold "
+                "%.4f, calibrated %.4f)\n",
+                stale.threshold, artifact.threshold);
+    constexpr size_t kServeBatch = 250;
+    size_t served = 0;
+    size_t serve_fixes = 0;
+    for (size_t start = 2000;
+         start + kServeBatch <= inputs.size() && served < 48;
+         start += kServeBatch, ++served) {
+        std::vector<std::vector<double>> serve(
+            inputs.begin() + static_cast<long>(start),
+            inputs.begin() + static_cast<long>(start + kServeBatch));
+        std::vector<std::vector<double>> serve_out;
+        const auto r = serving.ProcessInvocation(serve, &serve_out);
+        serve_fixes += r.fixes;
+    }
+    std::printf("[deploy] served %zu batches of %zu (%zu fixes); the "
+                "tuner walked the threshold\n  %.4f -> %.4f "
+                "(calibrated %.4f)\n",
+                served, kServeBatch, serve_fixes, stale.threshold,
+                serving.Threshold(), artifact.threshold);
+
     // ---- Telemetry -------------------------------------------------------
     // Everything above was measured by the obs subsystem as a side
     // effect; snapshot it, show the table, and honor RUMBA_METRICS_OUT

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/timer.h"
 
 namespace rumba::core {
@@ -23,6 +24,7 @@ Detector::Check(const std::vector<double>& inputs,
                 const std::vector<double>& approx_outputs)
 {
     const obs::ScopedTimer timer(obs_check_ns_);
+    const obs::Span span("detector.check");
     CheckResult result;
     result.predicted_error =
         predictor_->PredictError(inputs, approx_outputs);

@@ -1,9 +1,15 @@
 #include "core/overlap_sim.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <deque>
+#include <mutex>
+#include <thread>
 
+#include "apps/benchmark.h"
 #include "common/logging.h"
+#include "obs/span.h"
+#include "obs/timer.h"
 
 namespace rumba::core {
 
@@ -80,6 +86,151 @@ SimulateOverlap(const std::vector<char>& fire_mask,
         result.total_cycles >= result.cpu_busy_cycles
             ? result.total_cycles - result.cpu_busy_cycles
             : 0;
+    return result;
+}
+
+namespace {
+
+/**
+ * Bounded blocking index queue: the recovery-bit FIFO of Figure 4
+ * with real blocking semantics. The producer (accelerator lane)
+ * blocks on a full queue — backpressure — and the consumer (recovery
+ * lane) blocks on an empty one until the stream closes.
+ */
+class BoundedIndexQueue {
+  public:
+    explicit BoundedIndexQueue(size_t capacity) : capacity_(capacity)
+    {
+        RUMBA_CHECK(capacity > 0);
+    }
+
+    /** Enqueue, blocking while full; counts backpressure waits. */
+    void
+    Push(size_t index)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (queue_.size() >= capacity_) {
+            ++push_waits_;
+            const obs::Span wait_span("overlap.queue_push_wait");
+            not_full_.wait(lock,
+                           [this] { return queue_.size() < capacity_; });
+        }
+        queue_.push_back(index);
+        max_depth_ = std::max(max_depth_, queue_.size());
+        not_empty_.notify_one();
+    }
+
+    /** Dequeue; false once the queue is closed and drained. */
+    bool
+    Pop(size_t* index)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_empty_.wait(lock,
+                        [this] { return !queue_.empty() || closed_; });
+        if (queue_.empty())
+            return false;
+        *index = queue_.front();
+        queue_.pop_front();
+        not_full_.notify_one();
+        return true;
+    }
+
+    /** No more pushes; wakes a consumer blocked on empty. */
+    void
+    Close()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+        not_empty_.notify_all();
+    }
+
+    size_t
+    MaxDepth() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return max_depth_;
+    }
+
+    size_t
+    PushWaits() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return push_waits_;
+    }
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::deque<size_t> queue_;
+    bool closed_ = false;
+    size_t max_depth_ = 0;
+    size_t push_waits_ = 0;
+};
+
+/** Busy-wait until @p until_ns on the steady clock (trace pacing). */
+void
+SpinUntil(uint64_t until_ns)
+{
+    while (obs::NowNs() < until_ns) {
+        // Pacing only; nothing to do.
+    }
+}
+
+}  // namespace
+
+OverlapReplayResult
+ReplayOverlapThreaded(const apps::Benchmark& bench,
+                      const std::vector<std::vector<double>>& inputs,
+                      const std::vector<char>& fire_mask,
+                      std::vector<std::vector<double>>* outputs,
+                      const OverlapReplayConfig& config)
+{
+    RUMBA_CHECK(outputs != nullptr);
+    RUMBA_CHECK(inputs.size() == fire_mask.size());
+    outputs->assign(inputs.size(), {});
+
+    OverlapReplayResult result;
+    result.elements = inputs.size();
+    const uint64_t start_ns = obs::NowNs();
+
+    BoundedIndexQueue queue(config.queue_capacity);
+    size_t fixes = 0;
+    std::thread recovery([&] {
+        const obs::Span worker_span("overlap.recovery_worker");
+        std::vector<double> exact(bench.NumOutputs());
+        for (;;) {
+            size_t index = 0;
+            {
+                const obs::Span wait_span("overlap.queue_wait");
+                if (!queue.Pop(&index))
+                    break;
+            }
+            const obs::Span fix_span("overlap.cpu_reexecute");
+            bench.RunExact(inputs[index].data(), exact.data());
+            (*outputs)[index] = exact;  // output-merger commit.
+            ++fixes;
+        }
+    });
+
+    {
+        const obs::Span stream_span("overlap.accel_stream");
+        for (size_t i = 0; i < inputs.size(); ++i) {
+            const obs::Span element_span("overlap.accel_element");
+            if (config.accel_ns_per_element > 0)
+                SpinUntil(obs::NowNs() + config.accel_ns_per_element);
+            if (fire_mask[i])
+                queue.Push(i);
+        }
+    }
+    queue.Close();
+    recovery.join();
+
+    result.fixes = fixes;
+    result.max_queue_depth = queue.MaxDepth();
+    result.push_waits = queue.PushWaits();
+    result.wall_ns = obs::NowNs() - start_ns;
     return result;
 }
 

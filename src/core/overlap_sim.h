@@ -85,6 +85,58 @@ OverlapResult SimulateOverlap(const std::vector<char>& fire_mask,
                               const OverlapConfig& config,
                               std::vector<ElementTrace>* trace = nullptr);
 
+/** Parameters of the real-threads replay. */
+struct OverlapReplayConfig {
+    size_t queue_capacity = 64;  ///< recovery-queue depth.
+    /** Busy-wait pacing per accelerator element (0 = run free). Makes
+     *  the two lanes visible at trace scale without changing what is
+     *  computed. */
+    uint64_t accel_ns_per_element = 0;
+};
+
+/** What the real-threads replay measured. */
+struct OverlapReplayResult {
+    size_t elements = 0;         ///< elements streamed.
+    size_t fixes = 0;            ///< entries the recovery thread served.
+    size_t max_queue_depth = 0;  ///< high-water mark observed.
+    size_t push_waits = 0;       ///< producer blocks on a full queue.
+    uint64_t wall_ns = 0;        ///< steady-clock start-to-join time.
+};
+
+}  // namespace rumba::core
+
+namespace rumba::apps {
+class Benchmark;
+}  // namespace rumba::apps
+
+namespace rumba::core {
+
+/**
+ * Replay one invocation's fire pattern with *real* concurrency: the
+ * calling thread plays the accelerator lane (one element at a time,
+ * pushing fired elements into a bounded blocking queue and stalling
+ * on backpressure exactly like Figure 8's arrangement), while a
+ * spawned recovery thread drains the queue, re-executes each flagged
+ * element via @p bench's exact kernel, and commits the result into
+ * @p outputs (the output-merger step). Both lanes are instrumented
+ * with obs/span.h spans ("overlap.accel_element",
+ * "overlap.queue_push_wait", "overlap.queue_wait",
+ * "overlap.cpu_reexecute"), so a RUMBA_TRACE_OUT dump shows the
+ * overlapped pipeline as two thread tracks.
+ *
+ * @param bench the application whose exact kernel re-executes fixes.
+ * @param inputs one raw input vector per element.
+ * @param fire_mask one flag per element (size must match inputs).
+ * @param outputs resized to inputs.size(); fired elements receive the
+ *        exact outputs, unfired ones stay empty.
+ */
+OverlapReplayResult ReplayOverlapThreaded(
+    const apps::Benchmark& bench,
+    const std::vector<std::vector<double>>& inputs,
+    const std::vector<char>& fire_mask,
+    std::vector<std::vector<double>>* outputs,
+    const OverlapReplayConfig& config = OverlapReplayConfig());
+
 }  // namespace rumba::core
 
 #endif  // RUMBA_CORE_OVERLAP_SIM_H_

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/timer.h"
 
 namespace rumba::core {
@@ -28,12 +29,17 @@ RecoveryModule::Drain(const std::vector<std::vector<double>>& inputs,
     RUMBA_CHECK(outputs != nullptr);
     RUMBA_CHECK(outputs->size() == inputs.size());
     const obs::ScopedTimer timer(obs_drain_ns_);
+    const obs::Span drain_span("recovery.drain");
     size_t drained = 0;
     std::vector<double> exact(bench_->NumOutputs());
     while (!queue_.Empty()) {
         const RecoveryEntry entry = queue_.Pop();
         RUMBA_CHECK(entry.iteration < inputs.size());
-        bench_->RunExact(inputs[entry.iteration].data(), exact.data());
+        {
+            const obs::Span fix_span("recovery.reexecute");
+            bench_->RunExact(inputs[entry.iteration].data(),
+                             exact.data());
+        }
         (*outputs)[entry.iteration] = exact;
         if (fixed != nullptr) {
             RUMBA_CHECK(entry.iteration < fixed->size());

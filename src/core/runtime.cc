@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/stream.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
 
@@ -55,6 +57,7 @@ RumbaRuntime::RumbaRuntime(std::unique_ptr<apps::Benchmark> bench,
                 1, calibration_scores_.size()));
         drift_ = DriftMonitor(drift_options);
     }
+    obs::SnapshotStreamer::AcquireFromEnv();
 }
 
 RumbaRuntime::RumbaRuntime(const Artifact& artifact,
@@ -71,6 +74,12 @@ RumbaRuntime::RumbaRuntime(const Artifact& artifact,
 {
     RegisterMetrics();
     kernel_ops_ = pipeline_.Bench().ProfileKernel();
+    obs::SnapshotStreamer::AcquireFromEnv();
+}
+
+RumbaRuntime::~RumbaRuntime()
+{
+    obs::SnapshotStreamer::Release();
 }
 
 Artifact
@@ -98,6 +107,7 @@ RumbaRuntime::CalibrateThreshold(double target_error_pct)
     }
 
     const obs::ScopedTimer timer(obs_calibrate_ns_);
+    const obs::Span span("runtime.calibrate");
     obs::Registry::Default()
         .GetCounter("runtime.calibrations")
         ->Increment();
@@ -152,6 +162,7 @@ RumbaRuntime::ProcessInvocation(
     RUMBA_CHECK(outputs != nullptr);
     RUMBA_CHECK(!raw_inputs.empty());
     const obs::ScopedTimer invocation_timer(obs_invocation_ns_);
+    const obs::Span invocation_span("runtime.invocation");
     const apps::Benchmark& app = pipeline_.Bench();
     const size_t n = raw_inputs.size();
 
@@ -169,30 +180,39 @@ RumbaRuntime::ProcessInvocation(
     size_t fires = 0;
     size_t queue_full_stalls = 0;
 
-    for (size_t i = 0; i < n; ++i) {
-        const auto norm_in = pipeline_.NormalizeInput(raw_inputs[i]);
-        const auto norm_out = accel_.Invoke(norm_in);
-        (*outputs)[i] = pipeline_.DenormalizeOutput(norm_out);
+    {
+        const obs::Span stream_span("runtime.accel_stream");
+        for (size_t i = 0; i < n; ++i) {
+            const auto norm_in =
+                pipeline_.NormalizeInput(raw_inputs[i]);
+            const auto norm_out = accel_.Invoke(norm_in);
+            (*outputs)[i] = pipeline_.DenormalizeOutput(norm_out);
 
-        const CheckResult check =
-            detector_.Check(norm_in, (*outputs)[i]);
-        if (check.fired) {
-            ++fires;
-            // Backpressure: drain the queue when full, as the
-            // pipelined CPU side would.
-            if (recovery_.Queue().Full()) {
-                ++queue_full_stalls;
-                recovery_.RecordQueueFullStall();
-                recovery_.Drain(raw_inputs, outputs, &fixed);
+            const CheckResult check =
+                detector_.Check(norm_in, (*outputs)[i]);
+            if (check.fired) {
+                ++fires;
+                // Backpressure: drain the queue when full, as the
+                // pipelined CPU side would.
+                if (recovery_.Queue().Full()) {
+                    const obs::Span stall_span(
+                        "recovery.queue_backpressure");
+                    ++queue_full_stalls;
+                    recovery_.RecordQueueFullStall();
+                    recovery_.Drain(raw_inputs, outputs, &fixed);
+                }
+                recovery_.Queue().Push(RecoveryEntry{i});
+            } else {
+                unfixed_predicted_sum +=
+                    std::max(0.0, check.predicted_error);
+                ++unfixed_count;
             }
-            recovery_.Queue().Push(RecoveryEntry{i});
-        } else {
-            unfixed_predicted_sum += std::max(0.0,
-                                              check.predicted_error);
-            ++unfixed_count;
         }
     }
-    recovery_.Drain(raw_inputs, outputs, &fixed);
+    {
+        const obs::Span merge_span("runtime.merge");
+        recovery_.Drain(raw_inputs, outputs, &fixed);
+    }
     report.fixes = static_cast<size_t>(
         std::count(fixed.begin(), fixed.end(), char{1}));
 
@@ -201,6 +221,7 @@ RumbaRuntime::ProcessInvocation(
     std::vector<double> residual(n, 0.0);
     {
         const obs::ScopedTimer verify_timer(obs_verify_ns_);
+        const obs::Span verify_span("runtime.verify");
         std::vector<double> exact(app.NumOutputs());
         for (size_t i = 0; i < n; ++i) {
             if (fixed[i])

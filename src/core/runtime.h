@@ -126,6 +126,9 @@ class RumbaRuntime {
     RumbaRuntime(const struct Artifact& artifact,
                  const RuntimeConfig& config);
 
+    /** Releases the env-configured snapshot streamer (obs/stream.h). */
+    ~RumbaRuntime();
+
     /**
      * Export this runtime's trained configuration (networks,
      * normalizers, checker, current threshold) for deployment.

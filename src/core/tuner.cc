@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace rumba::core {
 
@@ -50,6 +51,7 @@ OnlineTuner::Lower()
 void
 OnlineTuner::EndInvocation(const InvocationFeedback& feedback)
 {
+    const obs::Span span("tuner.adjust");
     const double band = config_.dead_band;
     switch (config_.mode) {
       case TuningMode::kToq: {

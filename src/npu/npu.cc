@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/timer.h"
 
 namespace rumba::npu {
@@ -45,6 +46,7 @@ Npu::Invoke(const std::vector<double>& input)
     RUMBA_CHECK(Configured());
     RUMBA_CHECK(input.size() == topology_.NumInputs());
     const obs::ScopedTimer timer(obs_invoke_ns_);
+    const obs::Span span("npu.invoke");
     obs_invocations_->Increment();
 
     // Stream inputs in through the input queue, quantizing at the

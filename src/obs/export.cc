@@ -1,18 +1,27 @@
 #include "obs/export.h"
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <mutex>
 #include <string>
 
 #include "common/logging.h"
+#include "obs/span.h"
+#include "obs/stream.h"
+
+#ifndef RUMBA_BUILD_TYPE
+#define RUMBA_BUILD_TYPE "unknown"
+#endif
+#ifndef RUMBA_SANITIZE_FLAGS
+#define RUMBA_SANITIZE_FLAGS ""
+#endif
 
 namespace rumba::obs {
 
-namespace {
-
-/** JSON-safe number: finite values via %.9g, otherwise 0. */
 std::string
 JsonNum(double v)
 {
@@ -24,16 +33,80 @@ JsonNum(double v)
 }
 
 std::string
+EscapeJson(const std::string& s)
+{
+    static const char* kHex = "0123456789abcdef";
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                out += "\\u00";
+                out += kHex[(c >> 4) & 0xF];
+                out += kHex[c & 0xF];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+JsonQuote(const std::string& s)
+{
+    return "\"" + EscapeJson(s) + "\"";
+}
+
+RunMetadata
+CollectRunMetadata()
+{
+    RunMetadata meta;
+    const std::time_t now = std::time(nullptr);
+    std::tm utc{};
+    gmtime_r(&now, &utc);
+    char stamp[32];
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+    meta.wall_time_iso8601 = stamp;
+    char host[256] = "unknown";
+    if (gethostname(host, sizeof(host)) == 0)
+        host[sizeof(host) - 1] = '\0';
+    meta.hostname = host;
+    meta.build_type = RUMBA_BUILD_TYPE;
+    meta.sanitizers = RUMBA_SANITIZE_FLAGS;
+    meta.trace_ring_capacity = TraceRing::Default().Capacity();
+    return meta;
+}
+
+std::string
+MetadataJsonLine()
+{
+    const RunMetadata meta = CollectRunMetadata();
+    return "{\"type\":\"meta\",\"schema_version\":" +
+           std::to_string(meta.schema_version) +
+           ",\"wall_time\":" + JsonQuote(meta.wall_time_iso8601) +
+           ",\"hostname\":" + JsonQuote(meta.hostname) +
+           ",\"build_type\":" + JsonQuote(meta.build_type) +
+           ",\"sanitizers\":" + JsonQuote(meta.sanitizers) +
+           ",\"trace_ring_capacity\":" +
+           std::to_string(meta.trace_ring_capacity) + "}";
+}
+
+namespace {
+
+/** Local alias so exporter bodies read naturally. */
+std::string
 JsonStr(const std::string& s)
 {
-    std::string out = "\"";
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
-    out += '"';
-    return out;
+    return JsonQuote(s);
 }
 
 }  // namespace
@@ -135,9 +208,12 @@ WriteMetricsFile(const std::string& path)
     const RegistrySnapshot snapshot = Registry::Default().Snapshot();
     const bool csv =
         path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+    // The metadata header leads either format; CSV carries it as a
+    // "# " comment so the column grid stays rectangular.
     const std::string body =
-        csv ? ToCsv(snapshot)
-            : ToJsonl(snapshot, TraceRing::Default().Dump());
+        csv ? "# " + MetadataJsonLine() + "\n" + ToCsv(snapshot)
+            : MetadataJsonLine() + "\n" +
+                  ToJsonl(snapshot, TraceRing::Default().Dump());
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr)
         return false;
@@ -165,7 +241,11 @@ namespace {
 void
 ExportAtExit()
 {
+    // Stop the sampler first so its final sample lands before the
+    // registry is frozen into the metrics/trace dumps.
+    SnapshotStreamer::Default().Stop();
     ExportIfConfigured();
+    ExportTraceIfConfigured();
 }
 
 }  // namespace
@@ -178,6 +258,8 @@ InstallAtExitExport()
         // before this exit hook (hooks run LIFO: export sees live
         // instruments).
         TraceRing::Default();
+        SpanCollector::Default();
+        SnapshotStreamer::Default();
         std::atexit(ExportAtExit);
         return true;
     }();

@@ -9,7 +9,14 @@
  * written automatically at process exit (armed on first use of
  * Registry::Default()), so every bench and example emits telemetry
  * without code changes; the extension picks the format (.csv writes
- * CSV, anything else JSONL).
+ * CSV, anything else JSONL). The same at-exit hook flushes the
+ * RUMBA_TRACE_OUT span trace (obs/span.h) and stops the
+ * RUMBA_STREAM_OUT sampler (obs/stream.h).
+ *
+ * Every file export opens with a run-metadata header — schema
+ * version, ISO-8601 wall time, hostname, build type, sanitizer flags,
+ * trace-ring capacity — so tools/rumba-stat can refuse to diff
+ * incompatible dumps.
  */
 
 #include <string>
@@ -20,6 +27,44 @@
 #include "obs/trace.h"
 
 namespace rumba::obs {
+
+/**
+ * Version of the exported metric/trace/sample schema. Bump when a
+ * field changes meaning; rumba-stat refuses to diff dumps whose
+ * versions differ.
+ */
+inline constexpr int kMetricsSchemaVersion = 2;
+
+/** Everything the run-metadata header records about this process. */
+struct RunMetadata {
+    int schema_version = kMetricsSchemaVersion;
+    std::string wall_time_iso8601;  ///< UTC, e.g. 2026-08-07T12:00:00Z.
+    std::string hostname;
+    std::string build_type;      ///< CMAKE_BUILD_TYPE at compile time.
+    std::string sanitizers;      ///< RUMBA_SANITIZE flags ("" = none).
+    size_t trace_ring_capacity = 0;  ///< effective TraceRing capacity.
+};
+
+/** Collect the current process's run metadata. */
+RunMetadata CollectRunMetadata();
+
+/**
+ * The run-metadata header as a single JSON object line (no trailing
+ * newline): {"type":"meta","schema_version":...,...}.
+ */
+std::string MetadataJsonLine();
+
+/**
+ * Escape @p s for use inside a JSON string literal (quotes,
+ * backslashes, and control characters; no surrounding quotes).
+ */
+std::string EscapeJson(const std::string& s);
+
+/** @p s as a complete JSON string literal (quoted and escaped). */
+std::string JsonQuote(const std::string& s);
+
+/** JSON-safe number rendering: finite values via %.9g, otherwise 0. */
+std::string JsonNum(double v);
 
 /**
  * Render a snapshot as JSONL. Each metric becomes one line tagged
@@ -41,8 +86,9 @@ Table ToTable(const RegistrySnapshot& snapshot);
 
 /**
  * Snapshot the default registry and trace ring and write them to
- * @p path (format by extension: .csv selects CSV, otherwise JSONL).
- * Returns false on I/O error.
+ * @p path (format by extension: .csv selects CSV, otherwise JSONL),
+ * preceded by the run-metadata header (a "# "-prefixed comment line
+ * in CSV). Returns false on I/O error.
  */
 bool WriteMetricsFile(const std::string& path);
 
@@ -56,8 +102,9 @@ bool WriteMetricsFile(const std::string& path);
 std::string ExportIfConfigured();
 
 /**
- * Arm the at-exit RUMBA_METRICS_OUT exporter (once per process).
- * Called automatically by Registry::Default().
+ * Arm the at-exit telemetry flush (once per process): stop the
+ * RUMBA_STREAM_OUT sampler, then export RUMBA_METRICS_OUT and
+ * RUMBA_TRACE_OUT. Called automatically by Registry::Default().
  */
 void InstallAtExitExport();
 

@@ -1,0 +1,212 @@
+#include "obs/stream.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/trace.h"
+
+namespace rumba::obs {
+
+int
+ParseStreamPeriodMs(const char* value)
+{
+    if (value == nullptr || value[0] == '\0')
+        return kDefaultStreamPeriodMs;
+    char* end = nullptr;
+    const long parsed = std::strtol(value, &end, 10);
+    if (end == value)
+        return kDefaultStreamPeriodMs;
+    return std::clamp(static_cast<int>(parsed), kMinStreamPeriodMs,
+                      kMaxStreamPeriodMs);
+}
+
+SnapshotStreamer::~SnapshotStreamer()
+{
+    Stop();
+}
+
+bool
+SnapshotStreamer::Start(const std::string& path, int period_ms)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    if (running_)
+        return false;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        Warn("snapshot streamer: could not open %s", path.c_str());
+        return false;
+    }
+    file_ = f;
+    period_ms_ = std::clamp(period_ms, kMinStreamPeriodMs,
+                            kMaxStreamPeriodMs);
+    start_time_ = std::chrono::steady_clock::now();
+    samples_ = 0;
+    prev_counters_.clear();
+    // Header first, before the thread exists: no concurrent writers.
+    const std::string meta = MetadataJsonLine() + "\n";
+    std::fwrite(meta.data(), 1, meta.size(), file_);
+    std::fflush(file_);
+    stop_requested_ = false;
+    running_ = true;
+    thread_ = std::thread(&SnapshotStreamer::Loop, this);
+    return true;
+}
+
+void
+SnapshotStreamer::Stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!running_)
+            return;
+        stop_requested_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();  // the loop writes its final sample before exiting.
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fclose(file_);
+    file_ = nullptr;
+    running_ = false;
+}
+
+bool
+SnapshotStreamer::Running() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return running_;
+}
+
+uint64_t
+SnapshotStreamer::Samples() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_;
+}
+
+void
+SnapshotStreamer::Loop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        const bool stopping = stop_requested_;
+        lock.unlock();
+        WriteSample();
+        lock.lock();
+        ++samples_;
+        if (stopping)
+            return;
+        cv_.wait_for(lock, std::chrono::milliseconds(period_ms_),
+                     [this] { return stop_requested_; });
+        // A stop request still gets one final (flushed) sample above.
+    }
+}
+
+void
+SnapshotStreamer::WriteSample()
+{
+    const Span span("stream.sample");
+    const RegistrySnapshot snapshot = Registry::Default().Snapshot();
+    const double t_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_time_)
+            .count();
+
+    std::string line = "{\"type\":\"sample\",\"t_ms\":" + JsonNum(t_ms);
+
+    line += ",\"counters\":{";
+    bool first = true;
+    for (const CounterSnapshot& c : snapshot.counters) {
+        const uint64_t prev = prev_counters_[c.name];
+        prev_counters_[c.name] = c.value;
+        if (!first)
+            line += ",";
+        first = false;
+        line += JsonQuote(c.name) + ":" +
+                std::to_string(c.value - std::min(prev, c.value));
+    }
+    line += "},\"gauges\":{";
+    first = true;
+    for (const GaugeSnapshot& g : snapshot.gauges) {
+        if (!first)
+            line += ",";
+        first = false;
+        line += JsonQuote(g.name) + ":" + JsonNum(g.value);
+    }
+    line += "}";
+
+    TraceEvent latest;
+    if (TraceRing::Default().Latest(&latest)) {
+        const double fire_rate =
+            latest.elements == 0
+                ? 0.0
+                : static_cast<double>(latest.fires) /
+                      static_cast<double>(latest.elements);
+        line += ",\"trace\":{\"invocation\":" +
+                std::to_string(latest.invocation) +
+                ",\"threshold\":" + JsonNum(latest.threshold) +
+                ",\"fire_rate\":" + JsonNum(fire_rate) +
+                ",\"queue_full_stalls\":" +
+                std::to_string(latest.queue_full_stalls) +
+                ",\"output_error_pct\":" +
+                JsonNum(latest.output_error_pct) +
+                ",\"estimated_error_pct\":" +
+                JsonNum(latest.estimated_error_pct) +
+                ",\"drift\":" + (latest.drift ? "true" : "false") + "}";
+    }
+    line += "}\n";
+    // One whole line per fwrite + flush: a reader (or a crash) never
+    // sees a torn record.
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fflush(file_);
+}
+
+SnapshotStreamer&
+SnapshotStreamer::Default()
+{
+    // Leaked on purpose: the at-exit hook (obs/export.h) stops it
+    // before static destruction, and leaking sidesteps any teardown
+    // race with late samples.
+    static SnapshotStreamer* streamer = new SnapshotStreamer();
+    return *streamer;
+}
+
+namespace {
+
+std::mutex env_refcount_mu;
+int env_refcount = 0;
+bool env_started = false;
+
+}  // namespace
+
+void
+SnapshotStreamer::AcquireFromEnv()
+{
+    std::lock_guard<std::mutex> lock(env_refcount_mu);
+    if (++env_refcount != 1)
+        return;
+    const char* path = std::getenv("RUMBA_STREAM_OUT");
+    if (path == nullptr || path[0] == '\0')
+        return;
+    const int period =
+        ParseStreamPeriodMs(std::getenv("RUMBA_STREAM_PERIOD_MS"));
+    env_started = Default().Start(path, period);
+    if (env_started)
+        Debug("RUMBA_STREAM_OUT: streaming samples to %s every %d ms",
+              path, period);
+}
+
+void
+SnapshotStreamer::Release()
+{
+    std::lock_guard<std::mutex> lock(env_refcount_mu);
+    if (--env_refcount != 0 || !env_started)
+        return;
+    env_started = false;
+    Default().Stop();
+}
+
+}  // namespace rumba::obs

@@ -1,0 +1,109 @@
+#ifndef RUMBA_OBS_STREAM_H_
+#define RUMBA_OBS_STREAM_H_
+
+/**
+ * @file
+ * Live metric streaming: a background sampler thread that appends one
+ * timestamped JSONL sample per period to a file — counter *deltas*
+ * since the previous sample, current gauge values, and the latest
+ * invocation TraceEvent's fields (threshold, fire rate, queue
+ * backpressure, observed error). A run's tuner-convergence curve
+ * (paper Fig. 16's TOQ trajectory) falls out of any binary without
+ * per-call-site plumbing:
+ *
+ *   RUMBA_STREAM_OUT=stream.jsonl RUMBA_STREAM_PERIOD_MS=25 ./deploy
+ *
+ * The file starts with the run-metadata header of obs/export.h, then
+ * holds one {"type":"sample",...} object per line. RumbaRuntime
+ * acquires/releases the env-configured default streamer on
+ * construction/destruction, so the stream covers exactly the window
+ * where a runtime is alive; the at-exit hook flushes it as a backstop.
+ */
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace rumba::obs {
+
+/** Default and clamp range for RUMBA_STREAM_PERIOD_MS. */
+inline constexpr int kDefaultStreamPeriodMs = 25;
+inline constexpr int kMinStreamPeriodMs = 1;
+inline constexpr int kMaxStreamPeriodMs = 60000;
+
+/**
+ * Parse a RUMBA_STREAM_PERIOD_MS value: nullptr / empty / garbage
+ * select the default; numbers are clamped to the sane range.
+ */
+int ParseStreamPeriodMs(const char* value);
+
+/** The background registry sampler. */
+class SnapshotStreamer {
+  public:
+    SnapshotStreamer() = default;
+
+    /** Stops the sampler if still running (joins the thread). */
+    ~SnapshotStreamer();
+
+    SnapshotStreamer(const SnapshotStreamer&) = delete;
+    SnapshotStreamer& operator=(const SnapshotStreamer&) = delete;
+
+    /**
+     * Start sampling the default registry + trace ring into @p path
+     * every @p period_ms milliseconds. Writes the metadata header
+     * immediately. Returns false (and starts nothing) when already
+     * running or the file cannot be opened.
+     */
+    bool Start(const std::string& path, int period_ms);
+
+    /**
+     * Stop sampling: the thread writes one final sample, the file is
+     * flushed and closed, and the thread is joined. Idempotent.
+     */
+    void Stop();
+
+    /** True between a successful Start() and the matching Stop(). */
+    bool Running() const;
+
+    /** Samples written since Start() (final sample included). */
+    uint64_t Samples() const;
+
+    /** The process-wide streamer the runtime starts from the env. */
+    static SnapshotStreamer& Default();
+
+    /**
+     * Runtime-lifetime refcounting: the first acquirer starts the
+     * default streamer from RUMBA_STREAM_OUT / RUMBA_STREAM_PERIOD_MS
+     * (no-op when unset); the last Release() stops it. Called by
+     * RumbaRuntime's constructor/destructor.
+     */
+    static void AcquireFromEnv();
+    static void Release();
+
+  private:
+    void Loop();
+
+    /** Append one sample line (sampler thread only). */
+    void WriteSample();
+
+    mutable std::mutex mu_;  ///< guards running_/stop_requested_/samples_.
+    std::condition_variable cv_;
+    std::thread thread_;
+    bool running_ = false;
+    bool stop_requested_ = false;
+    uint64_t samples_ = 0;
+    int period_ms_ = kDefaultStreamPeriodMs;
+    std::FILE* file_ = nullptr;  ///< sampler thread only, once started.
+    std::chrono::steady_clock::time_point start_time_;
+    /** Previous sample's counter values (sampler thread only). */
+    std::map<std::string, uint64_t> prev_counters_;
+};
+
+}  // namespace rumba::obs
+
+#endif  // RUMBA_OBS_STREAM_H_

@@ -1,8 +1,25 @@
 #include "obs/trace.h"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "common/logging.h"
 
 namespace rumba::obs {
+
+size_t
+ParseTraceRingCapacity(const char* value)
+{
+    if (value == nullptr || value[0] == '\0')
+        return TraceRing::kDefaultRingCapacity;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (end == value)
+        return TraceRing::kDefaultRingCapacity;
+    return std::clamp(static_cast<size_t>(parsed),
+                      TraceRing::kMinRingCapacity,
+                      TraceRing::kMaxRingCapacity);
+}
 
 TraceRing::TraceRing(size_t capacity) : capacity_(capacity)
 {
@@ -45,6 +62,21 @@ TraceRing::Record(const TraceEvent& event)
         ring_[head_] = stamped;
         head_ = (head_ + 1) % capacity_;
     }
+}
+
+bool
+TraceRing::Latest(TraceEvent* event) const
+{
+    RUMBA_CHECK(event != nullptr);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.empty())
+        return false;
+    // The newest slot is just behind the next write position.
+    const size_t newest = ring_.size() < capacity_
+                              ? ring_.size() - 1
+                              : (head_ + capacity_ - 1) % capacity_;
+    *event = ring_[newest];
+    return true;
 }
 
 std::vector<TraceEvent>
@@ -91,7 +123,8 @@ TraceRing::Clear()
 TraceRing&
 TraceRing::Default()
 {
-    static TraceRing ring(4096);
+    static TraceRing ring(
+        ParseTraceRingCapacity(std::getenv("RUMBA_TRACE_RING_CAPACITY")));
     return ring;
 }
 

@@ -53,6 +53,12 @@ class TraceRing {
     /** Retained events, oldest first. */
     std::vector<TraceEvent> Dump() const;
 
+    /**
+     * Copy the most recently recorded event into @p event. Returns
+     * false (leaving @p event untouched) when nothing was recorded.
+     */
+    bool Latest(TraceEvent* event) const;
+
     /** Events ever recorded (including evicted ones). */
     uint64_t TotalRecorded() const;
 
@@ -68,8 +74,20 @@ class TraceRing {
     /** Drop every retained event and reset the sequence counter. */
     void Clear();
 
-    /** The process-wide ring the Rumba runtime records into. */
+    /**
+     * The process-wide ring the Rumba runtime records into. Its
+     * capacity comes from RUMBA_TRACE_RING_CAPACITY (parsed once via
+     * ParseTraceRingCapacity); exports report the effective value in
+     * the run-metadata header.
+     */
     static TraceRing& Default();
+
+    /** Capacity the default ring is built with when the env is unset. */
+    static constexpr size_t kDefaultRingCapacity = 4096;
+
+    /** Clamp range for RUMBA_TRACE_RING_CAPACITY. */
+    static constexpr size_t kMinRingCapacity = 16;
+    static constexpr size_t kMaxRingCapacity = 1u << 20;
 
   private:
     const size_t capacity_;
@@ -79,6 +97,13 @@ class TraceRing {
     uint64_t next_sequence_ = 0;
     bool enabled_ = true;
 };
+
+/**
+ * Parse a RUMBA_TRACE_RING_CAPACITY value: nullptr / empty / garbage
+ * select TraceRing::kDefaultRingCapacity; numbers are clamped to
+ * [kMinRingCapacity, kMaxRingCapacity].
+ */
+size_t ParseTraceRingCapacity(const char* value);
 
 }  // namespace rumba::obs
 

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
+#include <string>
 
 #include "common/dataset.h"
 #include "common/random.h"
@@ -14,6 +16,7 @@
 #include "core/schemes.h"
 #include "npu/fixed_point.h"
 #include "npu/schedule.h"
+#include "obs/span.h"
 #include "predict/ema.h"
 #include "predict/hybrid.h"
 #include "predict/linear.h"
@@ -612,6 +615,109 @@ INSTANTIATE_TEST_SUITE_P(Windows, EmaWindowTest,
                          ::testing::Values(size_t{1}, size_t{4},
                                            size_t{8}, size_t{16},
                                            size_t{64}));
+
+// --------------------------------------- Threaded overlap replay
+
+TEST(OverlapReplayTest, RecoversExactlyTheFiredElements)
+{
+    const auto bench = apps::MakeBenchmark("inversek2j");
+    const auto inputs = bench->TestInputs();
+    const size_t n = 64;
+    std::vector<std::vector<double>> batch(inputs.begin(),
+                                           inputs.begin() + n);
+    std::vector<char> mask(n, 0);
+    for (size_t i = 0; i < n; i += 3)
+        mask[i] = 1;  // every third element fires.
+
+    std::vector<std::vector<double>> outputs;
+    const auto res =
+        core::ReplayOverlapThreaded(*bench, batch, mask, &outputs);
+
+    EXPECT_EQ(res.elements, n);
+    EXPECT_EQ(res.fixes, (n + 2) / 3);
+    EXPECT_GT(res.wall_ns, 0u);
+    ASSERT_EQ(outputs.size(), n);
+    std::vector<double> exact(bench->NumOutputs());
+    for (size_t i = 0; i < n; ++i) {
+        if (!mask[i]) {
+            EXPECT_TRUE(outputs[i].empty()) << "element " << i;
+            continue;
+        }
+        // The recovery thread committed the exact kernel's result.
+        ASSERT_EQ(outputs[i].size(), bench->NumOutputs())
+            << "element " << i;
+        bench->RunExact(batch[i].data(), exact.data());
+        for (size_t o = 0; o < exact.size(); ++o)
+            EXPECT_DOUBLE_EQ(outputs[i][o], exact[o]);
+    }
+}
+
+TEST(OverlapReplayTest, TinyQueueBoundsDepthAndBackpressures)
+{
+    const auto bench = apps::MakeBenchmark("inversek2j");
+    const auto inputs = bench->TestInputs();
+    const size_t n = 96;
+    std::vector<std::vector<double>> batch(inputs.begin(),
+                                           inputs.begin() + n);
+    std::vector<char> mask(n, 1);  // everything fires.
+
+    core::OverlapReplayConfig cfg;
+    cfg.queue_capacity = 2;
+    std::vector<std::vector<double>> outputs;
+    const auto res = core::ReplayOverlapThreaded(*bench, batch, mask,
+                                                 &outputs, cfg);
+
+    EXPECT_EQ(res.fixes, n);  // nothing lost under backpressure.
+    EXPECT_LE(res.max_queue_depth, cfg.queue_capacity);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(outputs[i].size(), bench->NumOutputs());
+}
+
+TEST(OverlapReplayTest, NoFiresMeansIdleRecoveryThread)
+{
+    const auto bench = apps::MakeBenchmark("fft");
+    const auto inputs = bench->TestInputs();
+    std::vector<std::vector<double>> batch(inputs.begin(),
+                                           inputs.begin() + 32);
+    std::vector<char> mask(32, 0);
+    std::vector<std::vector<double>> outputs;
+    const auto res =
+        core::ReplayOverlapThreaded(*bench, batch, mask, &outputs);
+    EXPECT_EQ(res.fixes, 0u);
+    EXPECT_EQ(res.push_waits, 0u);
+    for (const auto& out : outputs)
+        EXPECT_TRUE(out.empty());
+}
+
+TEST(OverlapReplayTest, SpansCoverBothLanes)
+{
+    // The replay records into the *default* collector; enable it for
+    // the duration and verify both lanes left attributed spans.
+    auto& collector = obs::SpanCollector::Default();
+    collector.Clear();
+    collector.Enable();
+    const auto bench = apps::MakeBenchmark("inversek2j");
+    const auto inputs = bench->TestInputs();
+    std::vector<std::vector<double>> batch(inputs.begin(),
+                                           inputs.begin() + 16);
+    std::vector<char> mask(16, 1);
+    std::vector<std::vector<double>> outputs;
+    core::ReplayOverlapThreaded(*bench, batch, mask, &outputs);
+    collector.Disable();
+
+    std::set<std::string> names;
+    std::set<uint32_t> threads;
+    for (const auto& s : collector.Dump()) {
+        names.insert(s.name);
+        threads.insert(s.thread_id);
+    }
+    collector.Clear();
+    EXPECT_TRUE(names.count("overlap.accel_stream"));
+    EXPECT_TRUE(names.count("overlap.accel_element"));
+    EXPECT_TRUE(names.count("overlap.recovery_worker"));
+    EXPECT_TRUE(names.count("overlap.cpu_reexecute"));
+    EXPECT_GE(threads.size(), 2u);  // producer + recovery threads.
+}
 
 }  // namespace
 }  // namespace rumba

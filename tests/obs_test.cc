@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -14,6 +17,8 @@
 
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/stream.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
 
@@ -366,6 +371,293 @@ TEST(ExportTest, WriteMetricsFileProducesParseableJsonl)
         EXPECT_EQ(line.front(), '{');
         EXPECT_EQ(line.back(), '}');
     }
+}
+
+// ---------------------------------------------------------- EscapeJson
+
+TEST(EscapeJsonTest, EscapesStructuralAndControlCharacters)
+{
+    EXPECT_EQ(EscapeJson("plain.name_42"), "plain.name_42");
+    EXPECT_EQ(EscapeJson("a\"b"), "a\\\"b");
+    EXPECT_EQ(EscapeJson("a\\b"), "a\\\\b");
+    EXPECT_EQ(EscapeJson("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(EscapeJson(std::string(1, '\x01')), "\\u0001");
+    EXPECT_EQ(JsonQuote("say \"hi\""), "\"say \\\"hi\\\"\"");
+}
+
+TEST(EscapeJsonTest, HostileMetricNameSurvivesJsonlExport)
+{
+    Registry registry;
+    registry.GetCounter("evil\"name\nwith\\stuff")->Increment();
+    const std::string jsonl = ToJsonl(registry.Snapshot(), {});
+    EXPECT_NE(jsonl.find("\"evil\\\"name\\nwith\\\\stuff\""),
+              std::string::npos);
+}
+
+// ---------------------------------------------------- Env-knob parsing
+
+TEST(ParseTraceRingCapacityTest, DefaultsAndClamps)
+{
+    EXPECT_EQ(ParseTraceRingCapacity(nullptr),
+              TraceRing::kDefaultRingCapacity);
+    EXPECT_EQ(ParseTraceRingCapacity(""),
+              TraceRing::kDefaultRingCapacity);
+    EXPECT_EQ(ParseTraceRingCapacity("bogus"),
+              TraceRing::kDefaultRingCapacity);
+    EXPECT_EQ(ParseTraceRingCapacity("1024"), 1024u);
+    EXPECT_EQ(ParseTraceRingCapacity("1"), TraceRing::kMinRingCapacity);
+    EXPECT_EQ(ParseTraceRingCapacity("999999999"),
+              TraceRing::kMaxRingCapacity);
+}
+
+TEST(ParseStreamPeriodMsTest, DefaultsAndClamps)
+{
+    EXPECT_EQ(ParseStreamPeriodMs(nullptr), kDefaultStreamPeriodMs);
+    EXPECT_EQ(ParseStreamPeriodMs(""), kDefaultStreamPeriodMs);
+    EXPECT_EQ(ParseStreamPeriodMs("junk"), kDefaultStreamPeriodMs);
+    EXPECT_EQ(ParseStreamPeriodMs("250"), 250);
+    EXPECT_EQ(ParseStreamPeriodMs("0"), kMinStreamPeriodMs);
+    EXPECT_EQ(ParseStreamPeriodMs("9999999"), kMaxStreamPeriodMs);
+}
+
+// ------------------------------------------------------- Run metadata
+
+TEST(RunMetadataTest, LineCarriesVersionedIdentity)
+{
+    const std::string line = MetadataJsonLine();
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"type\":\"meta\""), std::string::npos);
+    EXPECT_NE(line.find("\"schema_version\":" +
+                        std::to_string(kMetricsSchemaVersion)),
+              std::string::npos);
+    EXPECT_NE(line.find("\"wall_time\":"), std::string::npos);
+    EXPECT_NE(line.find("\"hostname\":"), std::string::npos);
+    EXPECT_NE(line.find("\"build_type\":"), std::string::npos);
+    EXPECT_NE(line.find("\"sanitizers\":"), std::string::npos);
+
+    const RunMetadata meta = CollectRunMetadata();
+    EXPECT_EQ(meta.schema_version, kMetricsSchemaVersion);
+    // ISO-8601 UTC: "2026-08-07T09:00:00Z" is 20 characters.
+    EXPECT_EQ(meta.wall_time_iso8601.size(), 20u);
+    EXPECT_EQ(meta.wall_time_iso8601.back(), 'Z');
+}
+
+TEST(RunMetadataTest, MetricsFileLeadsWithMetaHeader)
+{
+    const std::string path = ::testing::TempDir() + "obs_meta.jsonl";
+    ASSERT_TRUE(WriteMetricsFile(path));
+    std::ifstream in(path);
+    std::string first;
+    ASSERT_TRUE(std::getline(in, first));
+    std::remove(path.c_str());
+    EXPECT_EQ(first.find("{\"type\":\"meta\",\"schema_version\":"), 0u);
+}
+
+// --------------------------------------------------------------- Spans
+
+TEST(SpanTest, DisabledCollectorRecordsNothing)
+{
+    SpanCollector collector(8);
+    {
+        const Span span("ignored", &collector);
+    }
+    EXPECT_EQ(collector.TotalRecorded(), 0u);
+    EXPECT_EQ(collector.ThreadCount(), 0u);
+    EXPECT_TRUE(collector.Dump().empty());
+}
+
+TEST(SpanTest, RecordsNestingDepthAndContainment)
+{
+    SpanCollector collector(16);
+    collector.Enable();
+    {
+        const Span outer("outer", &collector);
+        {
+            const Span inner("inner", &collector);
+        }
+        {
+            const Span sibling("sibling", &collector);
+        }
+    }
+    collector.Disable();
+
+    const auto spans = collector.Dump();
+    ASSERT_EQ(spans.size(), 3u);
+    // Dump() is start-sorted: outer opened first.
+    EXPECT_EQ(spans[0].name, "outer");
+    EXPECT_EQ(spans[0].depth, 0u);
+    EXPECT_EQ(spans[1].name, "inner");
+    EXPECT_EQ(spans[1].depth, 1u);
+    EXPECT_EQ(spans[2].name, "sibling");
+    EXPECT_EQ(spans[2].depth, 1u);
+    // The children nest inside the parent's interval.
+    const uint64_t outer_end =
+        spans[0].start_ns + spans[0].duration_ns;
+    for (size_t i = 1; i < spans.size(); ++i) {
+        EXPECT_GE(spans[i].start_ns, spans[0].start_ns);
+        EXPECT_LE(spans[i].start_ns + spans[i].duration_ns, outer_end);
+    }
+    // Siblings do not overlap: "sibling" opens after "inner" closes.
+    EXPECT_GE(spans[2].start_ns,
+              spans[1].start_ns + spans[1].duration_ns);
+    EXPECT_EQ(collector.ThreadCount(), 1u);
+}
+
+TEST(SpanTest, AttributesSpansToRecordingThreads)
+{
+    SpanCollector collector(16);
+    collector.Enable();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 3; ++t) {
+        threads.emplace_back([&collector] {
+            const Span span("worker", &collector);
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    collector.Disable();
+
+    EXPECT_EQ(collector.ThreadCount(), 3u);
+    const auto spans = collector.Dump();
+    ASSERT_EQ(spans.size(), 3u);
+    std::set<uint32_t> ids;
+    for (const auto& s : spans) {
+        EXPECT_GE(s.thread_id, 1u);  // ids are 1-based.
+        ids.insert(s.thread_id);
+    }
+    EXPECT_EQ(ids.size(), 3u);  // one distinct id per thread.
+}
+
+TEST(SpanTest, DropsNewestAtCapacityAndCounts)
+{
+    SpanCollector collector(4);
+    collector.Enable();
+    for (int i = 0; i < 10; ++i) {
+        const Span span("burst", &collector);
+    }
+    collector.Disable();
+    EXPECT_EQ(collector.TotalRecorded(), 4u);  // trace keeps its start.
+    EXPECT_EQ(collector.Dropped(), 6u);
+    EXPECT_EQ(collector.Dump().size(), 4u);
+}
+
+TEST(SpanTest, ClearDropsSpansButKeepsRegistrations)
+{
+    SpanCollector collector(8);
+    collector.Enable();
+    {
+        const Span span("once", &collector);
+    }
+    ASSERT_EQ(collector.TotalRecorded(), 1u);
+    collector.Clear();
+    EXPECT_EQ(collector.TotalRecorded(), 0u);
+    EXPECT_EQ(collector.Dropped(), 0u);
+    EXPECT_EQ(collector.ThreadCount(), 1u);
+    {
+        const Span span("again", &collector);
+    }
+    EXPECT_EQ(collector.TotalRecorded(), 1u);
+}
+
+TEST(ChromeTraceTest, EmitsCompleteEventsWithMetadata)
+{
+    SpanCollector collector(16);
+    collector.Enable();
+    {
+        const Span outer("stage.outer", &collector);
+        const Span inner("stage.inner", &collector);
+    }
+    collector.Disable();
+
+    const std::string json = ToChromeTrace(
+        collector.Dump(), collector.Dropped(),
+        collector.PerThreadCapacity());
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"stage.outer\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"stage.inner\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"args\":{\"depth\":1}"), std::string::npos);
+    // The run metadata rides along under otherData.
+    EXPECT_NE(json.find("\"otherData\":{\"type\":\"meta\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"span_per_thread_capacity\":16"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"span_dropped\":0"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, EmptyDumpIsStillAValidDocument)
+{
+    const std::string json = ToChromeTrace({}, 0, 8);
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_EQ(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+// ------------------------------------------------------------ Streamer
+
+TEST(SnapshotStreamerTest, WritesHeaderThenWholeLineSamples)
+{
+    Registry::Default().GetCounter("stream_test.marker")->Increment(5);
+    const std::string path = ::testing::TempDir() + "obs_stream.jsonl";
+    SnapshotStreamer streamer;
+    ASSERT_TRUE(streamer.Start(path, 1));
+    EXPECT_TRUE(streamer.Running());
+    EXPECT_FALSE(streamer.Start(path, 1));  // refuses a double start.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    streamer.Stop();
+    EXPECT_FALSE(streamer.Running());
+    EXPECT_GE(streamer.Samples(), 1u);  // final sample at minimum.
+
+    std::ifstream in(path);
+    std::string line;
+    size_t lineno = 0, samples = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        // No torn records: every line is one complete JSON object.
+        ASSERT_FALSE(line.empty());
+        EXPECT_EQ(line.front(), '{') << "line " << lineno;
+        EXPECT_EQ(line.back(), '}') << "line " << lineno;
+        if (lineno == 1) {
+            EXPECT_NE(line.find("\"type\":\"meta\""),
+                      std::string::npos);
+        } else {
+            EXPECT_NE(line.find("\"type\":\"sample\""),
+                      std::string::npos);
+            EXPECT_NE(line.find("\"t_ms\":"), std::string::npos);
+            EXPECT_NE(line.find("\"stream_test.marker\""),
+                      std::string::npos);
+            ++samples;
+        }
+    }
+    std::remove(path.c_str());
+    EXPECT_EQ(samples, streamer.Samples());
+}
+
+TEST(SnapshotStreamerTest, StopIsIdempotentAndStartReusable)
+{
+    const std::string path = ::testing::TempDir() + "obs_stream2.jsonl";
+    SnapshotStreamer streamer;
+    streamer.Stop();  // never started: no-op.
+    ASSERT_TRUE(streamer.Start(path, 1));
+    streamer.Stop();
+    streamer.Stop();  // second stop: no-op.
+    const uint64_t first_run = streamer.Samples();
+    EXPECT_GE(first_run, 1u);
+    // The same object can stream again after a stop.
+    ASSERT_TRUE(streamer.Start(path, 1));
+    EXPECT_TRUE(streamer.Running());
+    streamer.Stop();
+    std::remove(path.c_str());
+}
+
+TEST(SnapshotStreamerTest, StartFailsOnUnwritablePath)
+{
+    SnapshotStreamer streamer;
+    EXPECT_FALSE(streamer.Start("/nonexistent-dir/x/y/z.jsonl", 10));
+    EXPECT_FALSE(streamer.Running());
 }
 
 }  // namespace

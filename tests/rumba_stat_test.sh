@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# End-to-end checks for the rumba-stat CLI against synthetic dumps:
+# identical runs pass, an out-of-tolerance metric fails with exit 1,
+# and a schema-version mismatch is refused with exit 2.
+# Usage: rumba_stat_test.sh <path-to-rumba-stat>
+set -u
+STAT="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+cat > "$DIR/base.jsonl" <<'EOF'
+{"type":"meta","schema_version":2,"wall_time":"2026-01-01T00:00:00Z","hostname":"ci","build_type":"Release","sanitizers":""}
+{"type":"counter","name":"runtime.fixes","value":120}
+{"type":"counter","name":"runtime.invocations","value":8}
+{"type":"gauge","name":"tuner.threshold","value":0.25}
+{"type":"histogram","name":"npu.invoke_ns","count":8,"sum":800,"min":90,"max":110,"p50":100,"p90":108,"p99":110}
+{"type":"histogram","name":"detector.score","count":8,"sum":4,"min":0.1,"max":0.9,"p50":0.5,"p90":0.8,"p99":0.9}
+{"type":"trace","seq":0,"invocation":1,"elements":100,"threshold":0.25,"fires":15,"fixes":15,"queue_full_stalls":0,"tuner_adjustments":0,"output_error_pct":9.5,"estimated_error_pct":9.1,"drift":false}
+EOF
+
+# 1. A dump diffs clean against itself.
+"$STAT" diff "$DIR/base.jsonl" "$DIR/base.jsonl" > /dev/null ||
+    fail "identical dumps should pass (got $?)"
+
+# 2. Latency distributions are machine noise: a shifted p50 on an _ns
+#    histogram passes by default but fails under --include-latency.
+sed 's/"p50":100/"p50":400/' "$DIR/base.jsonl" > "$DIR/slow.jsonl"
+"$STAT" diff "$DIR/base.jsonl" "$DIR/slow.jsonl" > /dev/null ||
+    fail "latency-only shift should pass by default (got $?)"
+"$STAT" diff "$DIR/base.jsonl" "$DIR/slow.jsonl" --include-latency \
+    > /dev/null
+[[ $? -eq 1 ]] || fail "--include-latency should flag the p50 shift"
+
+# 3. A counter outside tolerance is a regression (exit 1)...
+sed 's/"name":"runtime.fixes","value":120/"name":"runtime.fixes","value":150/' \
+    "$DIR/base.jsonl" > "$DIR/worse.jsonl"
+"$STAT" diff "$DIR/base.jsonl" "$DIR/worse.jsonl" > /dev/null
+[[ $? -eq 1 ]] || fail "25% counter jump should fail exact diff"
+
+# 4. ...but passes inside an explicit relative tolerance.
+"$STAT" diff "$DIR/base.jsonl" "$DIR/worse.jsonl" --tol 0.30 \
+    > /dev/null || fail "25% jump should pass --tol 0.30 (got $?)"
+"$STAT" diff "$DIR/base.jsonl" "$DIR/worse.jsonl" \
+    --tol-metric runtime.fixes=0.30 > /dev/null ||
+    fail "per-metric tolerance should absorb the jump (got $?)"
+
+# 5. A metric missing from the candidate is a regression.
+grep -v 'runtime.invocations' "$DIR/base.jsonl" > "$DIR/missing.jsonl"
+"$STAT" diff "$DIR/base.jsonl" "$DIR/missing.jsonl" > /dev/null
+[[ $? -eq 1 ]] || fail "missing metric should fail the diff"
+
+# 6. Incompatible schema versions are refused (exit 2).
+sed 's/"schema_version":2/"schema_version":1/' "$DIR/base.jsonl" \
+    > "$DIR/old.jsonl"
+"$STAT" diff "$DIR/base.jsonl" "$DIR/old.jsonl" > /dev/null 2>&1
+[[ $? -eq 2 ]] || fail "schema mismatch should be refused with exit 2"
+
+# 7. summary renders both metric dumps and stream dumps.
+"$STAT" summary "$DIR/base.jsonl" | grep -q "threshold trajectory" ||
+    fail "summary should report the threshold trajectory"
+cat > "$DIR/stream.jsonl" <<'EOF'
+{"type":"meta","schema_version":2,"wall_time":"2026-01-01T00:00:00Z","hostname":"ci","build_type":"Release","sanitizers":""}
+{"type":"sample","t_ms":1.5,"counters":{"runtime.fixes":10},"gauges":{"tuner.threshold":0.5}}
+{"type":"sample","t_ms":3.0,"counters":{"runtime.fixes":7},"gauges":{"tuner.threshold":0.4}}
+EOF
+"$STAT" summary "$DIR/stream.jsonl" | grep -q "2 distinct" ||
+    fail "stream summary should see 2 distinct thresholds"
+# Stream counter deltas accumulate into run totals.
+"$STAT" summary "$DIR/stream.jsonl" | grep -q "runtime.fixes.*17" ||
+    fail "stream summary should total the counter deltas"
+
+echo "PASS: rumba-stat behaves"

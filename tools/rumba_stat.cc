@@ -1,0 +1,617 @@
+/**
+ * @file
+ * rumba-stat: offline companion to the obs/ subsystem. Reads the
+ * JSONL dumps the runtime emits (RUMBA_METRICS_OUT metric dumps and
+ * RUMBA_STREAM_OUT sample streams), summarizes one run, and diffs two
+ * runs against per-metric relative tolerances so CI can gate merges
+ * on telemetry regressions.
+ *
+ *   rumba-stat summary <dump.jsonl>
+ *   rumba-stat diff <baseline.jsonl> <candidate.jsonl>
+ *       [--tol <rel>] [--tol-metric name=<rel>] [--include-latency]
+ *
+ * Exit codes: 0 = ok / no regression, 1 = regression detected,
+ * 2 = usage or load error (including schema-version mismatch).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON-line parser: handles exactly the flat (one level of
+// nesting for stream samples) objects our own exporters emit. Not a
+// general JSON parser; unknown constructs fail the line loudly.
+// ---------------------------------------------------------------------------
+
+/** One parsed JSON scalar. */
+struct JsonValue {
+    enum class Kind { kNumber, kString, kBool } kind = Kind::kNumber;
+    double number = 0.0;
+    std::string text;
+};
+
+/** A parsed line: scalars at the top level plus "prefix.key" for the
+ *  one nested level stream samples use ("counters", "gauges",
+ *  "trace"). */
+using JsonObject = std::map<std::string, JsonValue>;
+
+void
+SkipSpace(const std::string& s, size_t* i)
+{
+    while (*i < s.size() &&
+           (s[*i] == ' ' || s[*i] == '\t' || s[*i] == '\r'))
+        ++*i;
+}
+
+bool
+ParseString(const std::string& s, size_t* i, std::string* out)
+{
+    if (*i >= s.size() || s[*i] != '"')
+        return false;
+    ++*i;
+    out->clear();
+    while (*i < s.size() && s[*i] != '"') {
+        char c = s[*i];
+        if (c == '\\' && *i + 1 < s.size()) {
+            ++*i;
+            switch (s[*i]) {
+              case '"': c = '"'; break;
+              case '\\': c = '\\'; break;
+              case '/': c = '/'; break;
+              case 'b': c = '\b'; break;
+              case 'f': c = '\f'; break;
+              case 'n': c = '\n'; break;
+              case 'r': c = '\r'; break;
+              case 't': c = '\t'; break;
+              case 'u': {
+                // Only \u00XX is ever emitted; decode the low byte.
+                if (*i + 4 >= s.size())
+                    return false;
+                c = static_cast<char>(
+                    std::strtol(s.substr(*i + 1, 4).c_str(), nullptr,
+                                16));
+                *i += 4;
+                break;
+              }
+              default: return false;
+            }
+        }
+        out->push_back(c);
+        ++*i;
+    }
+    if (*i >= s.size())
+        return false;
+    ++*i;  // closing quote.
+    return true;
+}
+
+bool
+ParseValue(const std::string& s, size_t* i, const std::string& prefix,
+           const std::string& key, JsonObject* out);
+
+bool
+ParseObject(const std::string& s, size_t* i, const std::string& prefix,
+            JsonObject* out)
+{
+    if (*i >= s.size() || s[*i] != '{')
+        return false;
+    ++*i;
+    SkipSpace(s, i);
+    if (*i < s.size() && s[*i] == '}') {
+        ++*i;
+        return true;
+    }
+    for (;;) {
+        SkipSpace(s, i);
+        std::string key;
+        if (!ParseString(s, i, &key))
+            return false;
+        SkipSpace(s, i);
+        if (*i >= s.size() || s[*i] != ':')
+            return false;
+        ++*i;
+        SkipSpace(s, i);
+        if (!ParseValue(s, i, prefix, key, out))
+            return false;
+        SkipSpace(s, i);
+        if (*i >= s.size())
+            return false;
+        if (s[*i] == ',') {
+            ++*i;
+            continue;
+        }
+        if (s[*i] == '}') {
+            ++*i;
+            return true;
+        }
+        return false;
+    }
+}
+
+bool
+ParseValue(const std::string& s, size_t* i, const std::string& prefix,
+           const std::string& key, JsonObject* out)
+{
+    const std::string full = prefix.empty() ? key : prefix + "." + key;
+    JsonValue v;
+    if (*i >= s.size())
+        return false;
+    const char c = s[*i];
+    if (c == '"') {
+        v.kind = JsonValue::Kind::kString;
+        if (!ParseString(s, i, &v.text))
+            return false;
+    } else if (c == '{') {
+        // One nested level: flatten as "key.subkey".
+        return ParseObject(s, i, full, out);
+    } else if (s.compare(*i, 4, "true") == 0) {
+        v.kind = JsonValue::Kind::kBool;
+        v.number = 1.0;
+        *i += 4;
+    } else if (s.compare(*i, 5, "false") == 0) {
+        v.kind = JsonValue::Kind::kBool;
+        v.number = 0.0;
+        *i += 5;
+    } else {
+        char* end = nullptr;
+        v.number = std::strtod(s.c_str() + *i, &end);
+        if (end == s.c_str() + *i)
+            return false;
+        *i = static_cast<size_t>(end - s.c_str());
+    }
+    (*out)[full] = v;
+    return true;
+}
+
+bool
+ParseJsonLine(const std::string& line, JsonObject* out)
+{
+    size_t i = 0;
+    SkipSpace(line, &i);
+    if (!ParseObject(line, &i, "", out))
+        return false;
+    SkipSpace(line, &i);
+    return i == line.size() || line[i] == '\n';
+}
+
+// ---------------------------------------------------------------------------
+// Dump model: one loaded metrics or stream file.
+// ---------------------------------------------------------------------------
+
+/** Histogram summary row from a metrics dump. */
+struct HistogramStats {
+    double count = 0, sum = 0, min = 0, max = 0, p50 = 0, p90 = 0,
+           p99 = 0;
+};
+
+/** Everything rumba-stat extracts from one dump file. */
+struct Dump {
+    std::string path;
+    bool has_meta = false;
+    long schema_version = -1;
+    std::string wall_time, hostname, build_type, sanitizers;
+    std::map<std::string, double> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramStats> histograms;
+    /** Threshold trajectory: per-invocation from trace lines, or
+     *  per-sample from stream lines — whichever the file carries. */
+    std::vector<double> thresholds;
+    size_t samples = 0;      ///< stream "sample" lines seen.
+    size_t trace_lines = 0;  ///< metrics "trace" lines seen.
+};
+
+double
+Field(const JsonObject& obj, const std::string& key, double fallback = 0)
+{
+    const auto it = obj.find(key);
+    return it == obj.end() ? fallback : it->second.number;
+}
+
+std::string
+TextField(const JsonObject& obj, const std::string& key)
+{
+    const auto it = obj.find(key);
+    return it == obj.end() ? "" : it->second.text;
+}
+
+/** One "type,name,value,sum,min,max,p50,p90,p99,notes" CSV row. */
+bool
+LoadCsvRow(const std::string& line, Dump* dump)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    for (char c : line) {
+        if (c == ',') {
+            cells.push_back(cell);
+            cell.clear();
+        } else {
+            cell.push_back(c);
+        }
+    }
+    cells.push_back(cell);
+    if (cells.size() < 3)
+        return false;
+    const std::string& type = cells[0];
+    if (type == "type")
+        return true;  // header row.
+    const std::string& name = cells[1];
+    if (type == "counter") {
+        dump->counters[name] = std::strtod(cells[2].c_str(), nullptr);
+    } else if (type == "gauge") {
+        dump->gauges[name] = std::strtod(cells[2].c_str(), nullptr);
+    } else if (type == "histogram" && cells.size() >= 9) {
+        HistogramStats h;
+        h.count = std::strtod(cells[2].c_str(), nullptr);
+        h.sum = std::strtod(cells[3].c_str(), nullptr);
+        h.min = std::strtod(cells[4].c_str(), nullptr);
+        h.max = std::strtod(cells[5].c_str(), nullptr);
+        h.p50 = std::strtod(cells[6].c_str(), nullptr);
+        h.p90 = std::strtod(cells[7].c_str(), nullptr);
+        h.p99 = std::strtod(cells[8].c_str(), nullptr);
+        dump->histograms[name] = h;
+    }
+    return true;  // unknown row types are forward-compatible.
+}
+
+/** Load a metrics/stream JSONL dump or a ".csv" metrics dump.
+ *  Returns false on I/O or parse failure (diagnostic on stderr). */
+bool
+LoadDump(const std::string& path, Dump* dump)
+{
+    dump->path = path;
+    const bool csv =
+        path.size() >= 4 &&
+        path.compare(path.size() - 4, 4, ".csv") == 0;
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "rumba-stat: cannot open %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        // CSV dumps carry the meta header as a "# " comment.
+        if (line[0] == '#') {
+            const size_t brace = line.find('{');
+            if (brace == std::string::npos)
+                continue;
+            line = line.substr(brace);
+        } else if (csv) {
+            if (!LoadCsvRow(line, dump)) {
+                std::fprintf(stderr,
+                             "rumba-stat: %s:%zu: bad CSV row\n",
+                             path.c_str(), lineno);
+                return false;
+            }
+            continue;
+        }
+        JsonObject obj;
+        if (!ParseJsonLine(line, &obj)) {
+            std::fprintf(stderr, "rumba-stat: %s:%zu: bad JSON line\n",
+                         path.c_str(), lineno);
+            return false;
+        }
+        const std::string type = TextField(obj, "type");
+        if (type == "meta") {
+            dump->has_meta = true;
+            dump->schema_version =
+                static_cast<long>(Field(obj, "schema_version", -1));
+            dump->wall_time = TextField(obj, "wall_time");
+            dump->hostname = TextField(obj, "hostname");
+            dump->build_type = TextField(obj, "build_type");
+            dump->sanitizers = TextField(obj, "sanitizers");
+        } else if (type == "counter") {
+            dump->counters[TextField(obj, "name")] =
+                Field(obj, "value");
+        } else if (type == "gauge") {
+            dump->gauges[TextField(obj, "name")] = Field(obj, "value");
+        } else if (type == "histogram") {
+            HistogramStats h;
+            h.count = Field(obj, "count");
+            h.sum = Field(obj, "sum");
+            h.min = Field(obj, "min");
+            h.max = Field(obj, "max");
+            h.p50 = Field(obj, "p50");
+            h.p90 = Field(obj, "p90");
+            h.p99 = Field(obj, "p99");
+            dump->histograms[TextField(obj, "name")] = h;
+        } else if (type == "trace") {
+            ++dump->trace_lines;
+            dump->thresholds.push_back(Field(obj, "threshold"));
+        } else if (type == "sample") {
+            ++dump->samples;
+            // Stream samples carry counter *deltas*; accumulate them
+            // into run totals. Gauges are instantaneous; keep latest.
+            for (const auto& [key, value] : obj) {
+                if (key.rfind("counters.", 0) == 0)
+                    dump->counters[key.substr(9)] += value.number;
+                else if (key.rfind("gauges.", 0) == 0)
+                    dump->gauges[key.substr(7)] = value.number;
+            }
+            const auto t = obj.find("gauges.tuner.threshold");
+            if (t != obj.end())
+                dump->thresholds.push_back(t->second.number);
+            else if (obj.count("trace.threshold"))
+                dump->thresholds.push_back(
+                    Field(obj, "trace.threshold"));
+        }
+        // Unknown types are forward-compatible: ignored.
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// summary
+// ---------------------------------------------------------------------------
+
+void
+PrintThresholdTrajectory(const Dump& dump)
+{
+    if (dump.thresholds.empty()) {
+        std::printf("threshold trajectory: (none recorded)\n");
+        return;
+    }
+    double lo = dump.thresholds.front(), hi = lo;
+    std::set<double> distinct;
+    size_t moves = 0;
+    for (size_t i = 0; i < dump.thresholds.size(); ++i) {
+        const double t = dump.thresholds[i];
+        lo = std::min(lo, t);
+        hi = std::max(hi, t);
+        distinct.insert(t);
+        if (i > 0 && t != dump.thresholds[i - 1])
+            ++moves;
+    }
+    std::printf("threshold trajectory: %zu points, %zu distinct, %zu "
+                "moves\n  first %.6g -> last %.6g   (range [%.6g, "
+                "%.6g])\n",
+                dump.thresholds.size(), distinct.size(), moves,
+                dump.thresholds.front(), dump.thresholds.back(), lo,
+                hi);
+}
+
+int
+CmdSummary(const Dump& dump)
+{
+    std::printf("== %s ==\n", dump.path.c_str());
+    if (dump.has_meta) {
+        std::printf("meta: schema v%ld, %s on %s, build %s%s%s\n",
+                    dump.schema_version, dump.wall_time.c_str(),
+                    dump.hostname.c_str(), dump.build_type.c_str(),
+                    dump.sanitizers.empty() ? "" : ", sanitizers ",
+                    dump.sanitizers.c_str());
+    } else {
+        std::printf("meta: (no header — pre-v2 dump)\n");
+    }
+    std::printf("%zu counters, %zu gauges, %zu histograms, %zu trace "
+                "lines, %zu stream samples\n\n",
+                dump.counters.size(), dump.gauges.size(),
+                dump.histograms.size(), dump.trace_lines,
+                dump.samples);
+    for (const auto& [name, value] : dump.counters)
+        std::printf("  counter    %-32s %.0f\n", name.c_str(), value);
+    for (const auto& [name, value] : dump.gauges)
+        std::printf("  gauge      %-32s %.6g\n", name.c_str(), value);
+    for (const auto& [name, h] : dump.histograms) {
+        std::printf("  histogram  %-32s n=%-8.0f p50=%-12.6g "
+                    "p99=%.6g\n",
+                    name.c_str(), h.count, h.p50, h.p99);
+    }
+    std::printf("\n");
+    PrintThresholdTrajectory(dump);
+    return 0;
+}
+
+// ---------------------------------------------------------------------------
+// diff
+// ---------------------------------------------------------------------------
+
+/** Tolerances: a default plus per-metric overrides. */
+struct DiffOptions {
+    double default_tol = 0.0;  ///< relative; 0 = exact.
+    std::map<std::string, double> per_metric;
+    bool include_latency = false;
+};
+
+double
+TolFor(const DiffOptions& opts, const std::string& name)
+{
+    const auto it = opts.per_metric.find(name);
+    return it == opts.per_metric.end() ? opts.default_tol : it->second;
+}
+
+/** True when the metric measures wall time (machine-dependent). */
+bool
+IsLatencyMetric(const std::string& name)
+{
+    return name.size() > 3 &&
+           name.compare(name.size() - 3, 3, "_ns") == 0;
+}
+
+bool
+WithinTolerance(double base, double cand, double tol)
+{
+    if (base == cand)
+        return true;
+    const double mag = std::max(std::fabs(base), std::fabs(cand));
+    return std::fabs(cand - base) <= tol * mag;
+}
+
+/** Compare one metric; prints and counts a regression when outside
+ *  tolerance. */
+void
+CheckValue(const std::string& kind, const std::string& name,
+           double base, double cand, const DiffOptions& opts,
+           size_t* compared, size_t* regressions)
+{
+    ++*compared;
+    const double tol = TolFor(opts, name);
+    if (WithinTolerance(base, cand, tol))
+        return;
+    ++*regressions;
+    const double mag = std::max(std::fabs(base), std::fabs(cand));
+    std::printf("REGRESSION  %-9s %-32s %.6g -> %.6g  (rel %.3g > tol "
+                "%.3g)\n",
+                kind.c_str(), name.c_str(), base, cand,
+                mag == 0 ? 0 : std::fabs(cand - base) / mag, tol);
+}
+
+int
+CmdDiff(const Dump& base, const Dump& cand, const DiffOptions& opts)
+{
+    // Refuse to compare dumps written by incompatible exporters.
+    if (base.has_meta && cand.has_meta &&
+        base.schema_version != cand.schema_version) {
+        std::fprintf(stderr,
+                     "rumba-stat: schema mismatch: %s is v%ld, %s is "
+                     "v%ld — refusing to diff\n",
+                     base.path.c_str(), base.schema_version,
+                     cand.path.c_str(), cand.schema_version);
+        return 2;
+    }
+    if (base.has_meta && cand.has_meta &&
+        base.sanitizers != cand.sanitizers) {
+        std::printf("note: sanitizer configs differ (\"%s\" vs "
+                    "\"%s\") — latency metrics are not comparable\n",
+                    base.sanitizers.c_str(), cand.sanitizers.c_str());
+    }
+
+    size_t compared = 0, regressions = 0, skipped_latency = 0;
+    std::vector<std::string> missing;
+
+    for (const auto& [name, value] : base.counters) {
+        const auto it = cand.counters.find(name);
+        if (it == cand.counters.end()) {
+            missing.push_back("counter " + name);
+            continue;
+        }
+        CheckValue("counter", name, value, it->second, opts, &compared,
+                   &regressions);
+    }
+    for (const auto& [name, value] : base.gauges) {
+        const auto it = cand.gauges.find(name);
+        if (it == cand.gauges.end()) {
+            missing.push_back("gauge " + name);
+            continue;
+        }
+        CheckValue("gauge", name, value, it->second, opts, &compared,
+                   &regressions);
+    }
+    for (const auto& [name, h] : base.histograms) {
+        const auto it = cand.histograms.find(name);
+        if (it == cand.histograms.end()) {
+            missing.push_back("histogram " + name);
+            continue;
+        }
+        // Event counts are deterministic; the value distribution of a
+        // latency histogram is machine noise unless asked for.
+        CheckValue("histogram", name + ".count", h.count,
+                   it->second.count, opts, &compared, &regressions);
+        if (IsLatencyMetric(name) && !opts.include_latency) {
+            ++skipped_latency;
+            continue;
+        }
+        if (!IsLatencyMetric(name) || opts.include_latency) {
+            CheckValue("histogram", name + ".p50", h.p50,
+                       it->second.p50, opts, &compared, &regressions);
+        }
+    }
+
+    for (const auto& name : missing)
+        std::printf("REGRESSION  missing in candidate: %s\n",
+                    name.c_str());
+    regressions += missing.size();
+
+    std::printf("%s: %zu metrics compared, %zu regressions, %zu "
+                "latency distributions skipped\n",
+                regressions == 0 ? "PASS" : "FAIL", compared,
+                regressions, skipped_latency);
+    return regressions == 0 ? 0 : 1;
+}
+
+int
+Usage()
+{
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  rumba-stat summary <dump.jsonl>...\n"
+        "  rumba-stat diff <baseline.jsonl> <candidate.jsonl>\n"
+        "      [--tol <rel>] [--tol-metric <name>=<rel>]\n"
+        "      [--include-latency]\n"
+        "\n"
+        "Dumps are RUMBA_METRICS_OUT metric files or RUMBA_STREAM_OUT\n"
+        "sample streams (JSONL; '.csv' metric dumps load too).\n"
+        "diff exits 1 when any metric moves outside its relative\n"
+        "tolerance (default: exact), 2 on load/schema errors.\n");
+    return 2;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2)
+        return Usage();
+    const std::string cmd = argv[1];
+
+    if (cmd == "summary") {
+        if (argc < 3)
+            return Usage();
+        for (int i = 2; i < argc; ++i) {
+            Dump dump;
+            if (!LoadDump(argv[i], &dump))
+                return 2;
+            if (i > 2)
+                std::printf("\n");
+            CmdSummary(dump);
+        }
+        return 0;
+    }
+
+    if (cmd == "diff") {
+        DiffOptions opts;
+        std::vector<std::string> files;
+        for (int i = 2; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--tol" && i + 1 < argc) {
+                opts.default_tol = std::strtod(argv[++i], nullptr);
+            } else if (arg == "--tol-metric" && i + 1 < argc) {
+                const std::string spec = argv[++i];
+                const size_t eq = spec.find('=');
+                if (eq == std::string::npos)
+                    return Usage();
+                opts.per_metric[spec.substr(0, eq)] =
+                    std::strtod(spec.c_str() + eq + 1, nullptr);
+            } else if (arg == "--include-latency") {
+                opts.include_latency = true;
+            } else if (!arg.empty() && arg[0] == '-') {
+                return Usage();
+            } else {
+                files.push_back(arg);
+            }
+        }
+        if (files.size() != 2)
+            return Usage();
+        Dump base, cand;
+        if (!LoadDump(files[0], &base) || !LoadDump(files[1], &cand))
+            return 2;
+        return CmdDiff(base, cand, opts);
+    }
+
+    return Usage();
+}
