@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Fault sweep: delivered output error and energy saving as a function
+ * of the injected NPU fault rate, with the circuit breaker on vs off.
+ *
+ * The runtime is trained once and redeployed from its artifact into
+ * every sweep cell; each cell arms a seeded NaN fault plan and serves
+ * the same batches, so cells differ only in fault rate and breaker
+ * policy. The containment story this regenerates: the detector's
+ * non-finite guard keeps NaNs out of the delivered outputs at any
+ * rate, while the breaker trades energy saving for exact-only safety
+ * once faults persist — and hands the accelerator back via canary
+ * probes when the plan is mild enough to pass them.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/runtime.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
+
+using namespace rumba;
+
+namespace {
+
+constexpr size_t kBatch = 250;
+constexpr size_t kBatches = 24;
+
+struct Cell {
+    double delivered_error_pct = 0.0;
+    double fix_pct = 0.0;
+    double exact_pct = 0.0;
+    size_t trips = 0;
+    size_t closes = 0;
+    double energy_saving = 0.0;
+};
+
+Cell
+RunCell(const core::Artifact& artifact, const core::RuntimeConfig& base,
+        double fault_rate, bool breaker_on, uint64_t seed)
+{
+    core::RuntimeConfig config = base;
+    config.breaker.enabled = breaker_on;
+    config.breaker.trip_after = 2;
+    config.breaker.open_invocations = 2;
+    config.breaker.close_after = 2;
+    core::RumbaRuntime runtime(artifact, config);
+
+    fault::FaultInjector& injector = fault::FaultInjector::Default();
+    if (fault_rate > 0.0) {
+        fault::FaultPlan plan;
+        std::string error;
+        char spec[64];
+        std::snprintf(spec, sizeof(spec), "seed=%llu;npu.output_nan=%g",
+                      static_cast<unsigned long long>(seed),
+                      fault_rate);
+        if (!fault::FaultPlan::Parse(spec, &plan, &error)) {
+            std::fprintf(stderr, "bad plan %s: %s\n", spec,
+                         error.c_str());
+            std::exit(1);
+        }
+        injector.Arm(plan);
+    } else {
+        injector.Disarm();
+    }
+
+    const auto& inputs = runtime.Bench().TestInputs();
+    std::vector<std::vector<double>> out;
+    size_t exact_elements = 0;
+    for (size_t b = 0; b < kBatches; ++b) {
+        std::vector<std::vector<double>> batch;
+        batch.reserve(kBatch);
+        for (size_t k = 0; k < kBatch; ++k)
+            batch.push_back(inputs[(b * kBatch + k) % inputs.size()]);
+        exact_elements +=
+            runtime.ProcessInvocation(batch, &out).exact_elements;
+    }
+    injector.Disarm();
+
+    const core::RunSummary& summary = runtime.Summary();
+    Cell cell;
+    cell.delivered_error_pct = summary.MeanOutputErrorPct();
+    cell.fix_pct = 100.0 * summary.FixFraction();
+    cell.exact_pct = 100.0 * static_cast<double>(exact_elements) /
+                     static_cast<double>(summary.elements);
+    cell.trips = runtime.Breaker().Trips();
+    cell.closes = runtime.Breaker().Closes();
+    cell.energy_saving = summary.EnergySaving();
+    return cell;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    const std::string csv_dir = benchutil::CsvDir(argc, argv);
+
+    core::RuntimeConfig config;
+    config.pipeline.train_epochs = 120;
+    config.checker = core::Scheme::kTree;
+    config.tuner.mode = core::TuningMode::kToq;
+    config.tuner.target_error_pct = benchutil::kTargetErrorPct;
+
+    std::fprintf(stderr, "[fig_fault_sweep] training inversek2j once "
+                         "for all sweep cells...\n");
+    core::RumbaRuntime trained(apps::MakeBenchmark("inversek2j"),
+                               config);
+    const core::Artifact artifact = trained.ExportArtifact();
+
+    const std::vector<double> rates = {0.0, 0.005, 0.01, 0.02, 0.05};
+    Table table({"NaN fault rate %", "Breaker", "Delivered err %",
+                 "Fix %", "Exact-only %", "Trips", "Closes",
+                 "Energy saving x"});
+    for (size_t r = 0; r < rates.size(); ++r) {
+        for (bool breaker_on : {false, true}) {
+            const Cell cell =
+                RunCell(artifact, config, rates[r], breaker_on,
+                        /*seed=*/1000 + r);
+            table.AddRow({Table::Num(100.0 * rates[r], 1),
+                          breaker_on ? "on" : "off",
+                          Table::Num(cell.delivered_error_pct, 2),
+                          Table::Num(cell.fix_pct, 1),
+                          Table::Num(cell.exact_pct, 1),
+                          Table::Int(static_cast<long>(cell.trips)),
+                          Table::Int(static_cast<long>(cell.closes)),
+                          Table::Num(cell.energy_saving, 2)});
+        }
+    }
+    benchutil::Emit(table,
+                    "Fault sweep: injected NaN rate vs delivered "
+                    "error, breaker off/on (inversek2j)",
+                    csv_dir, "fig_fault_sweep");
+
+    std::printf("\nThe non-finite guard holds delivered error inside "
+                "the TOQ target at every rate;\nthe breaker converts "
+                "persistent fault storms into exact-only execution "
+                "(energy\nsaving -> 1x) and hands the accelerator "
+                "back once canary probes run clean.\n");
+    return 0;
+}

@@ -31,13 +31,36 @@ if [[ "${1:-}" != "--skip-sanitize" ]]; then
     echo "==> sanitized build + tests (address,undefined)"
     run_suite build-sanitize -DRUMBA_SANITIZE=address,undefined
 
+    # Fault-injection matrix: replay canned fault plans through the
+    # fault suite and the deploy drill on the ASan/UBSan build, so
+    # every injected NaN / bit flip / stall also runs under the
+    # sanitizers. Plans are seeded — failures replay exactly.
+    echo "==> fault-injection matrix (ASan/UBSan)"
+    fault_plans=(
+        'seed=101;npu.output_nan=0.02'
+        'seed=102;npu.bitflip=0.01;npu.output_inf=0.005'
+        'seed=103;queue.stall=1;checker.mispredict=0.1'
+        'seed=104;npu.lut=0.02;npu.output_stuck=0.01:0.5'
+    )
+    for plan in "${fault_plans[@]}"; do
+        echo "   -- RUMBA_FAULT_PLAN='${plan}'"
+        RUMBA_FAULT_PLAN="$plan" \
+            ctest --test-dir build-sanitize --output-on-failure \
+            -R '^fault_test$' > /dev/null
+    done
+    RUMBA_FAULT_PLAN='seed=105;npu.output_nan=0.02' \
+        ./build-sanitize/examples/deploy > /dev/null
+
     # TSan: the threaded paths — snapshot streamer, span collector,
-    # and the two-thread recovery replay — under real concurrency.
+    # the two-thread recovery replay, and the queue/breaker paths the
+    # fault suite drives — under real concurrency.
     echo "==> thread-sanitized build + threading tests (thread)"
     cmake -B build-tsan -S . -DRUMBA_SANITIZE=thread
     cmake --build build-tsan -j
-    ctest --test-dir build-tsan --output-on-failure -j \
-        -R '^(obs_test|extensions_test)$'
+    # -R must precede the bare -j: ctest would otherwise eat the
+    # regex as -j's value and run the whole suite.
+    ctest --test-dir build-tsan --output-on-failure \
+        -R '^(obs_test|extensions_test|fault_test)$' -j
 fi
 
 echo "==> ci.sh: all suites passed"

@@ -9,12 +9,19 @@
  *                  the whole configuration (networks, normalizers,
  *                  checker, calibrated threshold) as an artifact file;
  *   deploy phase — brings the runtime up *from the artifact alone*
- *                  (no training) and verifies it behaves identically.
+ *                  (no training) and verifies it behaves identically;
+ *   fault phases — loads a deliberately truncated artifact (graceful
+ *                  exact-only fallback, no crash) and then serves
+ *                  under an armed NaN fault plan until the circuit
+ *                  breaker trips, probes, and closes again.
  */
 
 #include <cstdio>
+#include <fstream>
 
 #include "core/runtime.h"
+#include "fault/corrupt.h"
+#include "fault/injector.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 
@@ -29,6 +36,18 @@ main()
     config.checker = core::Scheme::kHybrid;  // offline best-of choice.
     config.tuner.mode = core::TuningMode::kToq;
     config.tuner.target_error_pct = 10.0;
+
+    // A RUMBA_FAULT_PLAN in the environment is honored — but during
+    // the fault drill below, not during the build/deploy comparison,
+    // which is only meaningful over a clean accelerator.
+    fault::FaultInjector& injector = fault::FaultInjector::Default();
+    const fault::FaultPlan env_plan = injector.Plan();
+    if (injector.Armed()) {
+        std::printf("[fault] RUMBA_FAULT_PLAN armed (%s); deferring "
+                    "it to the fault drill\n",
+                    env_plan.ToSpec().c_str());
+        injector.Disarm();
+    }
 
     // ---- Build phase ---------------------------------------------------
     std::printf("[build] training networks + checker, calibrating "
@@ -107,6 +126,110 @@ main()
                 served, kServeBatch, serve_fixes, stale.threshold,
                 serving.Threshold(), artifact.threshold);
 
+    // ---- Corrupt-artifact fallback ---------------------------------------
+    // A shipped artifact can be truncated or bit-rotted on disk. The
+    // v2 blob carries a checksum, TryLoad() reports the damage instead
+    // of dying, and the application degrades to exact-only execution.
+    const char* kCorruptPath = "inversek2j.corrupt.rumba";
+    std::string corrupt_blob = artifact.ToString();
+    fault::TruncateBlob(&corrupt_blob, /*keep_fraction=*/0.6);
+    {
+        std::ofstream out(kCorruptPath);
+        out << corrupt_blob;
+    }
+    core::Artifact damaged;
+    std::string load_error;
+    const bool corrupt_rejected =
+        !core::Artifact::TryLoad(kCorruptPath, &damaged, &load_error);
+    std::remove(kCorruptPath);
+    if (corrupt_rejected) {
+        std::printf("\n[fault] warning: artifact rejected (%s); "
+                    "falling back to exact-only execution\n",
+                    load_error.c_str());
+        // Exact-only fallback: the kernel runs on the CPU, quality is
+        // exact, and the binary keeps serving instead of crashing.
+        std::vector<double> exact_out(deployed.Bench().NumOutputs());
+        for (size_t i = 0; i < kServeBatch; ++i)
+            deployed.Bench().RunExact(inputs[i].data(),
+                                      exact_out.data());
+        std::printf("[fault] served %zu elements exactly from the "
+                    "fallback path\n", kServeBatch);
+    } else {
+        std::printf("\n[fault] ERROR: truncated artifact was accepted "
+                    "— checksum verification failed to catch it\n");
+    }
+
+    // ---- Fault drill -----------------------------------------------------
+    // Arm a NaN fault plan against a fresh deployed runtime and serve
+    // until the circuit breaker trips (degrading to exact-only), then
+    // disarm and keep serving until its canary probes close it again:
+    // one full closed -> open -> half-open -> closed episode, recorded
+    // in the trace ring / stream for any capture to see.
+    core::RuntimeConfig drill_config = config;
+    drill_config.breaker.trip_after = 2;
+    drill_config.breaker.open_invocations = 2;
+    drill_config.breaker.close_after = 2;
+    core::RumbaRuntime drill(artifact, drill_config);
+
+    fault::FaultPlan drill_plan = env_plan;
+    if (drill_plan.Empty()) {
+        std::string plan_error;
+        if (!fault::FaultPlan::Parse("seed=7;npu.output_nan=0.02",
+                                     &drill_plan, &plan_error)) {
+            std::fprintf(stderr, "drill plan: %s\n",
+                         plan_error.c_str());
+            return 1;
+        }
+    }
+    injector.Arm(drill_plan);
+    std::printf("\n[fault] drill armed: %s\n",
+                drill_plan.ToSpec().c_str());
+
+    core::BreakerState last_state = drill.Breaker().State();
+    size_t drill_batches = 0;
+    auto drill_batch = [&](size_t index) {
+        std::vector<std::vector<double>> batch_in;
+        batch_in.reserve(kServeBatch);
+        for (size_t k = 0; k < kServeBatch; ++k)
+            batch_in.push_back(
+                inputs[(index * kServeBatch + k) % inputs.size()]);
+        std::vector<std::vector<double>> batch_out;
+        const auto r = drill.ProcessInvocation(batch_in, &batch_out);
+        ++drill_batches;
+        if (r.breaker_state != last_state) {
+            std::printf("[fault] batch %zu: breaker %s -> %s "
+                        "(non-finite %zu, exact %zu)\n",
+                        drill_batches,
+                        core::BreakerStateName(last_state),
+                        core::BreakerStateName(r.breaker_state),
+                        r.non_finite_outputs, r.exact_elements);
+            last_state = r.breaker_state;
+        }
+        return r;
+    };
+    // Faulty phase: serve until the NaN storm opens the breaker.
+    for (size_t i = 0;
+         i < 16 && drill.Breaker().State() != core::BreakerState::kOpen;
+         ++i)
+        drill_batch(i);
+    // Outage over: the accelerator heals; canary probes close it.
+    injector.Disarm();
+    for (size_t i = 16;
+         i < 32 && drill.Breaker().Closes() == 0; ++i)
+        drill_batch(i);
+
+    const double drill_error = drill.Summary().MeanOutputErrorPct();
+    const bool drill_ok = drill.Breaker().Trips() >= 1 &&
+                          drill.Breaker().Closes() >= 1 &&
+                          drill_error <= config.tuner.target_error_pct;
+    std::printf("[fault] drill %s: %zu batches, %zu trips, %zu "
+                "probes, %zu closes, mean error %.2f%% (target "
+                "%.1f%%)\n",
+                drill_ok ? "passed" : "FAILED", drill_batches,
+                drill.Breaker().Trips(), drill.Breaker().Probes(),
+                drill.Breaker().Closes(), drill_error,
+                config.tuner.target_error_pct);
+
     // ---- Telemetry -------------------------------------------------------
     // Everything above was measured by the obs subsystem as a side
     // effect; snapshot it, show the table, and honor RUMBA_METRICS_OUT
@@ -117,5 +240,8 @@ main()
     if (!metrics_path.empty())
         std::printf("telemetry written to %s\n", metrics_path.c_str());
 
-    return mismatches == 0 && a.fixes == b.fixes ? 0 : 1;
+    return mismatches == 0 && a.fixes == b.fixes && corrupt_rejected &&
+                   drill_ok
+               ? 0
+               : 1;
 }

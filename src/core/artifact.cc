@@ -1,5 +1,7 @@
 #include "core/artifact.h"
 
+#include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -9,7 +11,32 @@ namespace rumba::core {
 
 namespace {
 
-constexpr char kHeader[] = "rumba-artifact v1";
+constexpr char kHeaderV1[] = "rumba-artifact v1";
+constexpr char kHeaderV2[] = "rumba-artifact v2";
+constexpr char kChecksumTag[] = "checksum ";
+
+/** FNV-1a 64-bit over the blob payload (everything after the
+ *  checksum line). Not cryptographic — it catches truncation and
+ *  bitrot, the storage faults a deployed artifact actually meets. */
+uint64_t
+Fnv1a64(const char* data, size_t size)
+{
+    uint64_t hash = 14695981039346656037ull;
+    for (size_t i = 0; i < size; ++i) {
+        hash ^= static_cast<unsigned char>(data[i]);
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+std::string
+HexU64(uint64_t value)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
 
 /** Emit one marker-delimited section. */
 void
@@ -22,20 +49,27 @@ EmitSection(std::ostream& out, const char* name,
     out << "END " << name << "\n";
 }
 
-/** Read the section @p name from the blob; fatal when absent. */
-std::string
-ReadSection(const std::string& text, const std::string& name)
+/** Read the section @p name from @p text into @p body; on failure
+ *  fills @p error and returns false. */
+bool
+TryReadSection(const std::string& text, const std::string& name,
+               std::string* body, std::string* error)
 {
     const std::string begin = "BEGIN " + name + "\n";
     const std::string end = "END " + name + "\n";
     const size_t start = text.find(begin);
-    if (start == std::string::npos)
-        Fatal("artifact missing section '%s'", name.c_str());
-    const size_t body = start + begin.size();
-    const size_t stop = text.find(end, body);
-    if (stop == std::string::npos)
-        Fatal("artifact section '%s' not terminated", name.c_str());
-    return text.substr(body, stop - body);
+    if (start == std::string::npos) {
+        *error = "artifact missing section '" + name + "'";
+        return false;
+    }
+    const size_t body_at = start + begin.size();
+    const size_t stop = text.find(end, body_at);
+    if (stop == std::string::npos) {
+        *error = "artifact section '" + name + "' not terminated";
+        return false;
+    }
+    *body = text.substr(body_at, stop - body_at);
+    return true;
 }
 
 }  // namespace
@@ -43,42 +77,99 @@ ReadSection(const std::string& text, const std::string& name)
 std::string
 Artifact::ToString() const
 {
-    std::ostringstream out;
-    out.precision(17);
-    out << kHeader << "\n";
-    out << "benchmark " << benchmark << "\n";
-    out << "threshold " << threshold << "\n";
-    EmitSection(out, "rumba_mlp", rumba_mlp);
-    EmitSection(out, "npu_mlp", npu_mlp);
-    EmitSection(out, "in_norm", in_norm);
-    EmitSection(out, "out_norm", out_norm);
-    EmitSection(out, "predictor", predictor);
-    return out.str();
+    std::ostringstream payload;
+    payload.precision(17);
+    payload << "benchmark " << benchmark << "\n";
+    payload << "threshold " << threshold << "\n";
+    EmitSection(payload, "rumba_mlp", rumba_mlp);
+    EmitSection(payload, "npu_mlp", npu_mlp);
+    EmitSection(payload, "in_norm", in_norm);
+    EmitSection(payload, "out_norm", out_norm);
+    EmitSection(payload, "predictor", predictor);
+    const std::string body = payload.str();
+    return std::string(kHeaderV2) + "\n" + kChecksumTag +
+           HexU64(Fnv1a64(body.data(), body.size())) + "\n" + body;
+}
+
+bool
+Artifact::TryFromString(const std::string& text, Artifact* artifact,
+                        std::string* error)
+{
+    RUMBA_CHECK(artifact != nullptr);
+    std::string local_error;
+    std::string* err = error != nullptr ? error : &local_error;
+
+    size_t line_end = text.find('\n');
+    if (line_end == std::string::npos) {
+        *err = "not a rumba artifact (bad header)";
+        return false;
+    }
+    const std::string header = text.substr(0, line_end);
+    size_t payload_at = line_end + 1;
+    if (header == kHeaderV2) {
+        // v2 carries a checksum line over everything below it.
+        const size_t sum_end = text.find('\n', payload_at);
+        if (sum_end == std::string::npos) {
+            *err = "artifact missing checksum record";
+            return false;
+        }
+        const std::string sum_line =
+            text.substr(payload_at, sum_end - payload_at);
+        if (sum_line.compare(0, sizeof(kChecksumTag) - 1,
+                             kChecksumTag) != 0) {
+            *err = "artifact missing checksum record";
+            return false;
+        }
+        const std::string expected =
+            sum_line.substr(sizeof(kChecksumTag) - 1);
+        payload_at = sum_end + 1;
+        const std::string computed =
+            HexU64(Fnv1a64(text.data() + payload_at,
+                           text.size() - payload_at));
+        if (expected != computed) {
+            *err = "artifact checksum mismatch (stored " + expected +
+                   ", computed " + computed +
+                   "): blob truncated or bit-rotted";
+            return false;
+        }
+    } else if (header != kHeaderV1) {
+        *err = "not a rumba artifact (bad header)";
+        return false;
+    }
+    const std::string payload = text.substr(payload_at);
+
+    Artifact parsed;
+    std::istringstream in(payload);
+    std::string tag;
+    in >> tag >> parsed.benchmark;
+    if (tag != "benchmark") {
+        *err = "artifact missing benchmark record";
+        return false;
+    }
+    in >> tag >> parsed.threshold;
+    if (tag != "threshold" || in.fail()) {
+        *err = "artifact missing threshold record";
+        return false;
+    }
+
+    if (!TryReadSection(payload, "rumba_mlp", &parsed.rumba_mlp, err) ||
+        !TryReadSection(payload, "npu_mlp", &parsed.npu_mlp, err) ||
+        !TryReadSection(payload, "in_norm", &parsed.in_norm, err) ||
+        !TryReadSection(payload, "out_norm", &parsed.out_norm, err) ||
+        !TryReadSection(payload, "predictor", &parsed.predictor, err)) {
+        return false;
+    }
+    *artifact = std::move(parsed);
+    return true;
 }
 
 Artifact
 Artifact::FromString(const std::string& text)
 {
-    std::istringstream in(text);
-    std::string line;
-    std::getline(in, line);
-    if (line != kHeader)
-        Fatal("not a rumba artifact (bad header)");
-
     Artifact artifact;
-    std::string tag;
-    in >> tag >> artifact.benchmark;
-    if (tag != "benchmark")
-        Fatal("artifact missing benchmark record");
-    in >> tag >> artifact.threshold;
-    if (tag != "threshold")
-        Fatal("artifact missing threshold record");
-
-    artifact.rumba_mlp = ReadSection(text, "rumba_mlp");
-    artifact.npu_mlp = ReadSection(text, "npu_mlp");
-    artifact.in_norm = ReadSection(text, "in_norm");
-    artifact.out_norm = ReadSection(text, "out_norm");
-    artifact.predictor = ReadSection(text, "predictor");
+    std::string error;
+    if (!TryFromString(text, &artifact, &error))
+        Fatal("%s", error.c_str());
     return artifact;
 }
 
@@ -92,15 +183,29 @@ Artifact::Save(const std::string& path) const
     return static_cast<bool>(out);
 }
 
+bool
+Artifact::TryLoad(const std::string& path, Artifact* artifact,
+                  std::string* error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error != nullptr)
+            *error = "cannot open artifact '" + path + "'";
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return TryFromString(buffer.str(), artifact, error);
+}
+
 Artifact
 Artifact::Load(const std::string& path)
 {
-    std::ifstream in(path);
-    if (!in)
-        Fatal("cannot open artifact '%s'", path.c_str());
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    return FromString(buffer.str());
+    Artifact artifact;
+    std::string error;
+    if (!TryLoad(path, &artifact, &error))
+        Fatal("%s", error.c_str());
+    return artifact;
 }
 
 }  // namespace rumba::core

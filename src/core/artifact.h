@@ -29,14 +29,37 @@ struct Artifact {
     std::string predictor;   ///< trained checker blob.
     double threshold = 0.0;  ///< calibrated detection threshold.
 
-    /** Render as a single self-describing text blob. */
+    /**
+     * Render as a single self-describing text blob (v2 format: the
+     * header line is followed by an FNV-1a checksum over the payload,
+     * so truncation and bitrot are caught at load time).
+     */
     std::string ToString() const;
+
+    /**
+     * Parse a ToString() blob without dying: on success fills
+     * @p artifact and returns true; on malformed input returns false
+     * and (when non-null) @p error describes what is wrong. v1 blobs
+     * (no checksum line) are still accepted; v2 blobs must pass their
+     * checksum.
+     */
+    static bool TryFromString(const std::string& text,
+                              Artifact* artifact, std::string* error);
 
     /** Parse ToString() output; fatal on malformed input. */
     static Artifact FromString(const std::string& text);
 
     /** Write the blob to a file. @return false on I/O error. */
     bool Save(const std::string& path) const;
+
+    /**
+     * Load a blob from a file without dying: false (with @p error
+     * filled when non-null) when the file is missing, truncated,
+     * bit-rotted or otherwise malformed. The caller can fall back to
+     * exact-only execution instead of crashing.
+     */
+    static bool TryLoad(const std::string& path, Artifact* artifact,
+                        std::string* error);
 
     /** Load a blob from a file; fatal when missing or malformed. */
     static Artifact Load(const std::string& path);

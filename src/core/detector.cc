@@ -1,5 +1,7 @@
 #include "core/detector.h"
 
+#include <cmath>
+
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -13,6 +15,8 @@ Detector::Detector(std::unique_ptr<predict::ErrorPredictor> predictor,
       threshold_(threshold),
       obs_checks_(obs::Registry::Default().GetCounter("detector.checks")),
       obs_fires_(obs::Registry::Default().GetCounter("detector.fires")),
+      obs_non_finite_(
+          obs::Registry::Default().GetCounter("detector.non_finite")),
       obs_check_ns_(
           obs::Registry::Default().GetHistogram("detector.check_ns"))
 {
@@ -26,6 +30,32 @@ Detector::Check(const std::vector<double>& inputs,
     const obs::ScopedTimer timer(obs_check_ns_);
     const obs::Span span("detector.check");
     CheckResult result;
+
+    // Non-finite guard: a NaN/Inf anywhere in the element means the
+    // accelerator (or the data feeding it) misbehaved outright. Fire
+    // unconditionally and skip the predictor — running it would both
+    // waste the check and, for sequential checkers like the EMA,
+    // poison their running state with the garbage value.
+    auto any_non_finite = [](const std::vector<double>& values) {
+        for (double v : values) {
+            if (!std::isfinite(v))
+                return true;
+        }
+        return false;
+    };
+    if (any_non_finite(approx_outputs) || any_non_finite(inputs)) {
+        result.predicted_error = threshold_;
+        result.fired = true;
+        result.non_finite = true;
+        ++checks_;
+        ++fired_;
+        ++non_finite_;
+        obs_checks_->Increment();
+        obs_fires_->Increment();
+        obs_non_finite_->Increment();
+        return result;
+    }
+
     result.predicted_error =
         predictor_->PredictError(inputs, approx_outputs);
     result.fired = result.predicted_error >= threshold_;

@@ -24,6 +24,11 @@ namespace rumba::core {
 struct CheckResult {
     double predicted_error = 0.0;  ///< the checker's error estimate.
     bool fired = false;            ///< predicted_error >= threshold.
+    /** The approximate output (or the input) contained NaN/Inf. Such
+     *  elements fire unconditionally — a non-finite word can never be
+     *  delivered — and bypass the predictor so sequential checker
+     *  state (the EMA history) is not poisoned by it. */
+    bool non_finite = false;
 };
 
 /** The detection module: predictor + threshold. */
@@ -66,14 +71,19 @@ class Detector {
     /** Checks that fired since construction. */
     size_t ChecksFired() const { return fired_; }
 
+    /** Checks that fired on a non-finite value since construction. */
+    size_t NonFiniteChecks() const { return non_finite_; }
+
   private:
     std::unique_ptr<predict::ErrorPredictor> predictor_;
     double threshold_;
     size_t checks_ = 0;
     size_t fired_ = 0;
+    size_t non_finite_ = 0;
     /** Process-wide telemetry: check/fire counts and check latency. */
     obs::Counter* obs_checks_;
     obs::Counter* obs_fires_;
+    obs::Counter* obs_non_finite_;
     obs::Histogram* obs_check_ns_;
 };
 

@@ -27,7 +27,8 @@ DriftMonitor::DriftMonitor(const Options& options)
 void
 DriftMonitor::Observe(size_t fired, size_t elements)
 {
-    RUMBA_CHECK(elements > 0);
+    if (elements == 0)
+        return;
     RUMBA_CHECK(fired <= elements);
     const double rate =
         static_cast<double>(fired) / static_cast<double>(elements);
@@ -35,6 +36,14 @@ DriftMonitor::Observe(size_t fired, size_t elements)
                 (1.0 - options_.alpha) * smoothed_;
     ++observations_;
     obs_observations_->Increment();
+    obs_fire_rate_->Set(smoothed_);
+}
+
+void
+DriftMonitor::ReArm()
+{
+    smoothed_ = options_.expected_fire_rate;
+    observations_ = 0;
     obs_fire_rate_->Set(smoothed_);
 }
 

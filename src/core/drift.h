@@ -45,8 +45,19 @@ class DriftMonitor {
     DriftMonitor();
     explicit DriftMonitor(const Options& options);
 
-    /** Record one invocation's outcome. */
+    /**
+     * Record one invocation's outcome. A zero-element invocation
+     * (e.g. one the circuit breaker served entirely on the CPU) is
+     * ignored: it carries no fire-rate information.
+     */
     void Observe(size_t fired, size_t elements);
+
+    /**
+     * Re-arm after a recovery episode: reset the smoothed rate to the
+     * calibrated expectation and restart the warmup window, so a
+     * cleared alarm needs fresh persistent evidence to fire again.
+     */
+    void ReArm();
 
     /** Smoothed fire rate over recent invocations. */
     double SmoothedFireRate() const { return smoothed_; }
@@ -56,6 +67,9 @@ class DriftMonitor {
 
     /** Monitoring enabled (an expected rate was provided). */
     bool Enabled() const { return options_.expected_fire_rate > 0.0; }
+
+    /** Invocations observed since construction/ReArm(). */
+    size_t Observations() const { return observations_; }
 
     /** The active policy. */
     const Options& Config() const { return options_; }

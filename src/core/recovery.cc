@@ -15,6 +15,8 @@ RecoveryModule::RecoveryModule(const apps::Benchmark* bench,
           obs::Registry::Default().GetCounter("recovery.reexecutions")),
       obs_queue_full_stalls_(obs::Registry::Default().GetCounter(
           "recovery.queue_full_stalls")),
+      obs_queue_drops_(obs::Registry::Default().GetCounter(
+          "recovery.queue_drops")),
       obs_drain_ns_(
           obs::Registry::Default().GetHistogram("recovery.drain_ns"))
 {
@@ -56,6 +58,13 @@ void
 RecoveryModule::RecordQueueFullStall()
 {
     obs_queue_full_stalls_->Increment();
+}
+
+void
+RecoveryModule::RecordQueueDrop()
+{
+    ++queue_drops_;
+    obs_queue_drops_->Increment();
 }
 
 }  // namespace rumba::core

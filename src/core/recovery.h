@@ -71,14 +71,29 @@ class RecoveryModule {
      */
     void RecordQueueFullStall();
 
+    /**
+     * Record one dropped recovery entry: the queue was full and the
+     * CPU-side drain was unavailable, so the flagged iteration keeps
+     * its approximate result. Drop-and-count is the defined overflow
+     * policy — the loss is visible in the rumba.recovery.queue_drops
+     * counter (registered as "recovery.queue_drops") and in the
+     * invocation trace, never silent.
+     */
+    void RecordQueueDrop();
+
+    /** Entries dropped on overflow since construction. */
+    size_t QueueDrops() const { return queue_drops_; }
+
   private:
     const apps::Benchmark* bench_;
     RecoveryQueue queue_;
     size_t reexecutions_ = 0;
+    size_t queue_drops_ = 0;
     /** Process-wide telemetry: re-executions, backpressure stalls,
-     *  and drain latency. */
+     *  overflow drops, and drain latency. */
     obs::Counter* obs_reexecutions_;
     obs::Counter* obs_queue_full_stalls_;
+    obs::Counter* obs_queue_drops_;
     obs::Histogram* obs_drain_ns_;
 };
 

@@ -1,9 +1,11 @@
 #include "core/runtime.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/logging.h"
+#include "fault/injector.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/stream.h"
@@ -20,6 +22,10 @@ RumbaRuntime::RegisterMetrics()
     obs_elements_ = registry.GetCounter("runtime.elements");
     obs_fixes_ = registry.GetCounter("runtime.fixes");
     obs_drift_alarms_ = registry.GetCounter("drift.alarms");
+    obs_non_finite_salvaged_ =
+        registry.GetCounter("runtime.non_finite_salvaged");
+    obs_breaker_exact_elements_ =
+        registry.GetCounter("breaker.exact_elements");
     obs_output_error_ = registry.GetGauge("runtime.output_error_pct");
     obs_invocation_ns_ = registry.GetHistogram("runtime.invocation_ns");
     obs_verify_ns_ = registry.GetHistogram("runtime.verify_ns");
@@ -35,7 +41,8 @@ RumbaRuntime::RumbaRuntime(std::unique_ptr<apps::Benchmark> bench,
                 config.initial_threshold),
       recovery_(&pipeline_.Bench(), config.recovery_queue_capacity),
       tuner_(config.tuner, config.initial_threshold),
-      system_(config.core, config.energy)
+      system_(config.core, config.energy),
+      breaker_(config.breaker)
 {
     RUMBA_CHECK(IsPredictorScheme(config.checker));
     RegisterMetrics();
@@ -70,7 +77,8 @@ RumbaRuntime::RumbaRuntime(const Artifact& artifact,
                 artifact.threshold),
       recovery_(&pipeline_.Bench(), config.recovery_queue_capacity),
       tuner_(config.tuner, artifact.threshold),
-      system_(config.core, config.energy)
+      system_(config.core, config.energy),
+      breaker_(config.breaker)
 {
     RegisterMetrics();
     kernel_ops_ = pipeline_.Bench().ProfileKernel();
@@ -173,16 +181,32 @@ RumbaRuntime::ProcessInvocation(
     report.elements = n;
     report.threshold_used = detector_.Threshold();
 
+    // The breaker decides how much of the batch may ride the
+    // accelerator: all of it while closed, a canary slice while
+    // half-open, none while open (exact-only degradation).
+    const BreakerState state_before = breaker_.State();
+    const size_t approx_n = breaker_.ApproxBudget(n);
+
+    fault::FaultInjector& injector = fault::FaultInjector::Default();
+    const bool inject_mispredict =
+        injector.Armed() &&
+        injector.Enabled(fault::FaultClass::kCheckerMispredict);
+    const bool inject_stall =
+        injector.Armed() &&
+        injector.Enabled(fault::FaultClass::kQueueStall);
+
     outputs->assign(n, {});
     std::vector<char> fixed(n, 0);
     double unfixed_predicted_sum = 0.0;
     size_t unfixed_count = 0;
     size_t fires = 0;
     size_t queue_full_stalls = 0;
+    size_t queue_drops = 0;
+    size_t non_finite_seen = 0;
 
     {
         const obs::Span stream_span("runtime.accel_stream");
-        for (size_t i = 0; i < n; ++i) {
+        for (size_t i = 0; i < approx_n; ++i) {
             const auto norm_in =
                 pipeline_.NormalizeInput(raw_inputs[i]);
             const auto norm_out = accel_.Invoke(norm_in);
@@ -190,18 +214,40 @@ RumbaRuntime::ProcessInvocation(
 
             const CheckResult check =
                 detector_.Check(norm_in, (*outputs)[i]);
-            if (check.fired) {
+            if (check.non_finite)
+                ++non_finite_seen;
+            bool fired = check.fired;
+            // Checker-mispredict fault: flip the verdict. Non-finite
+            // fires are never flipped — that guard is unconditional.
+            if (inject_mispredict && !check.non_finite &&
+                injector.ShouldInject(
+                    fault::FaultClass::kCheckerMispredict)) {
+                fired = !fired;
+            }
+            if (fired) {
                 ++fires;
-                // Backpressure: drain the queue when full, as the
-                // pipelined CPU side would.
                 if (recovery_.Queue().Full()) {
-                    const obs::Span stall_span(
-                        "recovery.queue_backpressure");
-                    ++queue_full_stalls;
-                    recovery_.RecordQueueFullStall();
-                    recovery_.Drain(raw_inputs, outputs, &fixed);
+                    // Queue-stall fault: the CPU side is unavailable,
+                    // so no backpressure drain can happen and the
+                    // push below overflows into drop-and-count.
+                    if (inject_stall &&
+                        injector.ShouldInject(
+                            fault::FaultClass::kQueueStall)) {
+                        // stalled: fall through to the failing Push.
+                    } else {
+                        // Backpressure: drain the queue when full, as
+                        // the pipelined CPU side would.
+                        const obs::Span stall_span(
+                            "recovery.queue_backpressure");
+                        ++queue_full_stalls;
+                        recovery_.RecordQueueFullStall();
+                        recovery_.Drain(raw_inputs, outputs, &fixed);
+                    }
                 }
-                recovery_.Queue().Push(RecoveryEntry{i});
+                if (!recovery_.Queue().Push(RecoveryEntry{i})) {
+                    recovery_.RecordQueueDrop();
+                    ++queue_drops;
+                }
             } else {
                 unfixed_predicted_sum +=
                     std::max(0.0, check.predicted_error);
@@ -209,10 +255,45 @@ RumbaRuntime::ProcessInvocation(
             }
         }
     }
+    if (approx_n < n) {
+        // Breaker-degraded tail: exact CPU execution (paper-faithful
+        // recovery of everything), bypassing accelerator and checker.
+        const obs::Span exact_span("runtime.breaker_exact");
+        for (size_t i = approx_n; i < n; ++i) {
+            (*outputs)[i].assign(app.NumOutputs(), 0.0);
+            app.RunExact(raw_inputs[i].data(), (*outputs)[i].data());
+            fixed[i] = 1;
+        }
+        obs_breaker_exact_elements_->Increment(n - approx_n);
+    }
     {
         const obs::Span merge_span("runtime.merge");
         recovery_.Drain(raw_inputs, outputs, &fixed);
     }
+    // Non-finite salvage: a NaN/Inf approximate output must never be
+    // delivered. The detector's guard queues them, but an overflowed
+    // (dropped) entry could still slip through — recover it here,
+    // unconditionally.
+    size_t salvaged = 0;
+    for (size_t i = 0; i < approx_n; ++i) {
+        if (fixed[i])
+            continue;
+        bool finite = true;
+        for (double v : (*outputs)[i]) {
+            if (!std::isfinite(v)) {
+                finite = false;
+                break;
+            }
+        }
+        if (finite)
+            continue;
+        (*outputs)[i].assign(app.NumOutputs(), 0.0);
+        app.RunExact(raw_inputs[i].data(), (*outputs)[i].data());
+        fixed[i] = 1;
+        ++salvaged;
+    }
+    if (salvaged > 0)
+        obs_non_finite_salvaged_->Increment(salvaged);
     report.fixes = static_cast<size_t>(
         std::count(fixed.begin(), fixed.end(), char{1}));
 
@@ -258,23 +339,55 @@ RumbaRuntime::ProcessInvocation(
     report.costs = system_.Evaluate(region, accel_profile, &checker,
                                     report.fixes);
 
-    InvocationFeedback feedback;
-    feedback.elements = n;
-    feedback.fixes = report.fixes;
-    feedback.estimated_error_pct = report.estimated_error_pct;
-    feedback.cpu_busy_ratio =
-        report.costs.npu_ns > 0.0
-            ? report.costs.recovery_ns / report.costs.npu_ns
-            : 0.0;
     const size_t adjustments_before = tuner_.Adjustments();
-    tuner_.EndInvocation(feedback);
+    if (approx_n == n) {
+        // Only full-approximate invocations feed the tuner: a
+        // breaker-degraded batch would read as an artificially low
+        // error and pull the threshold the wrong way.
+        InvocationFeedback feedback;
+        feedback.elements = n;
+        feedback.fixes = report.fixes;
+        feedback.estimated_error_pct = report.estimated_error_pct;
+        feedback.cpu_busy_ratio =
+            report.costs.npu_ns > 0.0
+                ? report.costs.recovery_ns / report.costs.npu_ns
+                : 0.0;
+        tuner_.EndInvocation(feedback);
+    }
 
-    // Every fired check became a fix (the queue always drains), so
-    // the fix count is this invocation's fire count.
-    drift_.Observe(report.fixes, n);
+    // Fire rate over the accelerator-served slice only (Observe
+    // ignores zero-element rounds, i.e. an open breaker).
+    drift_.Observe(fires, approx_n);
     report.drift_detected = drift_.DriftDetected();
     if (report.drift_detected)
         obs_drift_alarms_->Increment();
+
+    // Breaker health covers only the accelerator-served slice; the
+    // exact tail is correct by construction.
+    BreakerHealth health;
+    health.approx_elements = approx_n;
+    health.fires = fires;
+    health.non_finite = non_finite_seen;
+    health.queue_drops = queue_drops;
+    health.drift = report.drift_detected;
+    if (approx_n > 0) {
+        const std::vector<double> approx_residual(
+            residual.begin(),
+            residual.begin() + static_cast<ptrdiff_t>(approx_n));
+        health.output_error_pct = app.AggregateError(approx_residual);
+    }
+    health.target_error_pct = config_.tuner.target_error_pct;
+    breaker_.OnInvocation(health);
+    if (state_before == BreakerState::kHalfOpen &&
+        breaker_.State() == BreakerState::kClosed) {
+        // Quality recovered: the drift baseline restarts from the
+        // calibrated expectation instead of the outage's fire storm.
+        drift_.ReArm();
+    }
+    report.queue_drops = queue_drops;
+    report.non_finite_outputs = non_finite_seen;
+    report.exact_elements = n - approx_n;
+    report.breaker_state = breaker_.State();
 
     ++invocations_;
     ++summary_.invocations;
@@ -299,10 +412,15 @@ RumbaRuntime::ProcessInvocation(
     event.fires = fires;
     event.fixes = report.fixes;
     event.queue_full_stalls = queue_full_stalls;
+    event.queue_drops = queue_drops;
+    event.non_finite = non_finite_seen;
+    event.exact_elements = report.exact_elements;
     event.tuner_adjustments = tuner_.Adjustments() - adjustments_before;
     event.output_error_pct = report.output_error_pct;
     event.estimated_error_pct = report.estimated_error_pct;
     event.drift = report.drift_detected;
+    event.breaker_state =
+        static_cast<uint32_t>(report.breaker_state);
     obs::TraceRing::Default().Record(event);
     return report;
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/artifact.h"
+#include "core/breaker.h"
 #include "core/detector.h"
 #include "core/drift.h"
 #include "core/pipeline.h"
@@ -44,6 +45,10 @@ struct RuntimeConfig {
      *  whose fix set meets tuner.target_error_pct on them. */
     double initial_threshold = 0.0;
     size_t recovery_queue_capacity = 64;
+    /** Circuit-breaker policy over the approximate path (see
+     *  core/breaker.h). Enabled by default; in healthy operation it
+     *  never trips and costs one branch per invocation. */
+    BreakerConfig breaker;
     sim::CoreParams core;             ///< host-core model (Table 2).
     sim::EnergyParams energy;         ///< event energies.
 };
@@ -60,6 +65,17 @@ struct InvocationReport {
      *  from its calibration-time value (see core/drift.h). Only
      *  raised when the threshold was auto-calibrated. */
     bool drift_detected = false;
+    /** Recovery entries dropped on a stalled, full queue this round
+     *  (the drop-and-count overflow policy; see core/recovery.h). */
+    size_t queue_drops = 0;
+    /** Non-finite accelerator outputs contained this round — every
+     *  one was recovered unconditionally, none was delivered. */
+    size_t non_finite_outputs = 0;
+    /** Elements the circuit breaker served exactly on the CPU
+     *  (everything while open, the non-canary rest while half-open). */
+    size_t exact_elements = 0;
+    /** Breaker position after this invocation. */
+    BreakerState breaker_state = BreakerState::kClosed;
     sim::SystemCosts costs;         ///< modeled energy/time.
 };
 
@@ -165,6 +181,12 @@ class RumbaRuntime {
     /** The input-drift monitor (enabled by threshold calibration). */
     const DriftMonitor& Drift() const { return drift_; }
 
+    /** The circuit breaker over the approximate path. */
+    const CircuitBreaker& Breaker() const { return breaker_; }
+
+    /** The recovery module (queue drop/backpressure inspection). */
+    const RecoveryModule& Recovery() const { return recovery_; }
+
   private:
     /** Offline threshold calibration (see RuntimeConfig). */
     double CalibrateThreshold(double target_error_pct);
@@ -186,12 +208,15 @@ class RumbaRuntime {
     size_t invocations_ = 0;
     RunSummary summary_;
     DriftMonitor drift_;
+    CircuitBreaker breaker_;
     /** Process-wide telemetry (obs/): per-invocation counters, hot-path
      *  latency histograms, and the invocation trace ring feed. */
     obs::Counter* obs_invocations_;
     obs::Counter* obs_elements_;
     obs::Counter* obs_fixes_;
     obs::Counter* obs_drift_alarms_;
+    obs::Counter* obs_non_finite_salvaged_;
+    obs::Counter* obs_breaker_exact_elements_;
     obs::Gauge* obs_output_error_;
     obs::Histogram* obs_invocation_ns_;
     obs::Histogram* obs_verify_ns_;

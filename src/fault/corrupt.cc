@@ -1,0 +1,36 @@
+#include "fault/corrupt.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace rumba::fault {
+
+size_t
+TruncateBlob(std::string* blob, double keep_fraction)
+{
+    const double keep = std::clamp(keep_fraction, 0.0, 1.0);
+    const size_t new_size = static_cast<size_t>(
+        static_cast<double>(blob->size()) * keep);
+    const size_t removed = blob->size() - new_size;
+    blob->resize(new_size);
+    return removed;
+}
+
+size_t
+BitrotBlob(std::string* blob, double rate, uint64_t seed)
+{
+    Rng rng(seed);
+    size_t corrupted = 0;
+    for (char& byte : *blob) {
+        if (!rng.Chance(rate))
+            continue;
+        byte = static_cast<char>(
+            static_cast<unsigned char>(byte) ^
+            static_cast<unsigned char>(1u << rng.Below(8)));
+        ++corrupted;
+    }
+    return corrupted;
+}
+
+}  // namespace rumba::fault

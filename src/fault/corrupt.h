@@ -1,0 +1,33 @@
+#ifndef RUMBA_FAULT_CORRUPT_H_
+#define RUMBA_FAULT_CORRUPT_H_
+
+/**
+ * @file
+ * Artifact-blob corruption: deterministic storage-fault models for
+ * the deployable configuration blobs (core/artifact.h). Truncation
+ * models an interrupted write or short read; bitrot models media
+ * decay. Both are seeded so a corrupted blob — and everything a test
+ * asserts about how the loader rejects it — replays exactly.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace rumba::fault {
+
+/**
+ * Keep only the leading @p keep_fraction of @p blob (clamped to
+ * [0, 1]). Returns the number of bytes removed.
+ */
+size_t TruncateBlob(std::string* blob, double keep_fraction);
+
+/**
+ * Flip one random bit in each byte of @p blob with probability
+ * @p rate, drawing from a stream seeded by @p seed. Returns the
+ * number of bytes corrupted.
+ */
+size_t BitrotBlob(std::string* blob, double rate, uint64_t seed);
+
+}  // namespace rumba::fault
+
+#endif  // RUMBA_FAULT_CORRUPT_H_

@@ -1,0 +1,193 @@
+#include "fault/injector.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace rumba::fault {
+
+namespace {
+
+uint64_t
+SplitMix64(uint64_t& x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+Rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+/** Registry counter for one class, fetched once per process. */
+obs::Counter*
+InjectionCounter(FaultClass fault)
+{
+    static obs::Counter* counters[kNumFaultClasses] = {};
+    const size_t index = static_cast<size_t>(fault);
+    if (counters[index] == nullptr) {
+        counters[index] = obs::Registry::Default().GetCounter(
+            std::string("fault.injected.") + FaultClassName(fault));
+    }
+    return counters[index];
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector() = default;
+
+void
+FaultInjector::Arm(const FaultPlan& plan)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    plan_ = plan;
+    for (ClassState& state : classes_)
+        state = ClassState();
+    for (const FaultRule& rule : plan.rules) {
+        ClassState& state = classes_[static_cast<size_t>(rule.fault)];
+        state.rate = rule.rate;
+        state.param = rule.param;
+        state.enabled = rule.rate > 0.0;
+        // Each class draws from its own stream, seeded by the plan
+        // seed and the class identity: sites never perturb each
+        // other's schedules, so adding a rule replays the rest.
+        uint64_t sm = plan.seed ^
+                      (0xC2B2AE3D27D4EB4Full *
+                       (static_cast<uint64_t>(rule.fault) + 1));
+        for (auto& s : state.rng)
+            s = SplitMix64(sm);
+    }
+    armed_.store(!plan.Empty(), std::memory_order_relaxed);
+    obs::Registry::Default().GetGauge("fault.armed")->Set(
+        Armed() ? 1.0 : 0.0);
+}
+
+void
+FaultInjector::Disarm()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    plan_ = FaultPlan();
+    for (ClassState& state : classes_)
+        state = ClassState();
+    armed_.store(false, std::memory_order_relaxed);
+    obs::Registry::Default().GetGauge("fault.armed")->Set(0.0);
+}
+
+bool
+FaultInjector::Enabled(FaultClass fault) const
+{
+    if (!Armed())
+        return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    return classes_[static_cast<size_t>(fault)].enabled;
+}
+
+double
+FaultInjector::Rate(FaultClass fault) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return classes_[static_cast<size_t>(fault)].rate;
+}
+
+double
+FaultInjector::Param(FaultClass fault) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return classes_[static_cast<size_t>(fault)].param;
+}
+
+uint64_t
+FaultInjector::NextRaw(ClassState* state)
+{
+    uint64_t* s = state->rng;
+    const uint64_t result = Rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = Rotl(s[3], 45);
+    return result;
+}
+
+bool
+FaultInjector::ShouldInject(FaultClass fault)
+{
+    if (!Armed())
+        return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    ClassState& state = classes_[static_cast<size_t>(fault)];
+    if (!state.enabled)
+        return false;
+    const double draw =
+        static_cast<double>(NextRaw(&state) >> 11) * 0x1.0p-53;
+    if (draw >= state.rate)
+        return false;
+    ++state.injections;
+    InjectionCounter(fault)->Increment();
+    return true;
+}
+
+uint64_t
+FaultInjector::Draw(FaultClass fault)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return NextRaw(&classes_[static_cast<size_t>(fault)]);
+}
+
+uint64_t
+FaultInjector::Injections(FaultClass fault) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return classes_[static_cast<size_t>(fault)].injections;
+}
+
+uint64_t
+FaultInjector::TotalInjections() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t total = 0;
+    for (const ClassState& state : classes_)
+        total += state.injections;
+    return total;
+}
+
+FaultPlan
+FaultInjector::Plan() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return plan_;
+}
+
+FaultInjector&
+FaultInjector::Default()
+{
+    // Leaked on purpose, like the obs singletons: injection sites may
+    // run from static destructors of late-teardown threads.
+    static FaultInjector* injector = [] {
+        auto* made = new FaultInjector();
+        const char* spec = std::getenv("RUMBA_FAULT_PLAN");
+        if (spec != nullptr && spec[0] != '\0') {
+            FaultPlan plan;
+            std::string error;
+            if (FaultPlan::Parse(spec, &plan, &error)) {
+                made->Arm(plan);
+                Inform("RUMBA_FAULT_PLAN armed: %s",
+                       plan.ToSpec().c_str());
+            } else {
+                Warn("RUMBA_FAULT_PLAN ignored: %s", error.c_str());
+            }
+        }
+        return made;
+    }();
+    return *injector;
+}
+
+}  // namespace rumba::fault

@@ -1,0 +1,108 @@
+#ifndef RUMBA_FAULT_INJECTOR_H_
+#define RUMBA_FAULT_INJECTOR_H_
+
+/**
+ * @file
+ * The process-wide fault injector. Components with injection sites
+ * (npu datapath, recovery path, detector) query it at each fault
+ * opportunity; when a FaultPlan is armed the injector answers from a
+ * deterministic per-class random stream, so the same plan over the
+ * same workload replays bit-identically. Disarmed (the default) every
+ * site reduces to a single relaxed atomic load.
+ *
+ * Every injected fault is counted both internally (Injections()) and
+ * in the default metrics registry as `fault.injected.<class>`, so a
+ * run's fault schedule shows up next to the quality telemetry it
+ * caused.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "fault/plan.h"
+
+namespace rumba::fault {
+
+/** Deterministic, seedable fault source. */
+class FaultInjector {
+  public:
+    FaultInjector();
+
+    /**
+     * Arm @p plan: resets every class's decision stream from the
+     * plan's seed and zeroes the per-class injection counts. Arming
+     * an empty plan is equivalent to Disarm().
+     */
+    void Arm(const FaultPlan& plan);
+
+    /** Stop injecting; every site becomes a no-op again. */
+    void Disarm();
+
+    /** True while a non-empty plan is armed. */
+    bool
+    Armed() const
+    {
+        return armed_.load(std::memory_order_relaxed);
+    }
+
+    /** True when @p fault is armed with a positive rate. */
+    bool Enabled(FaultClass fault) const;
+
+    /** The armed rate of @p fault (0 when disarmed/absent). */
+    double Rate(FaultClass fault) const;
+
+    /** The armed class parameter of @p fault (0 when absent). */
+    double Param(FaultClass fault) const;
+
+    /**
+     * One fault opportunity for @p fault: consumes one Bernoulli draw
+     * from the class's stream and returns true when the fault fires
+     * (counted). Always false while disarmed or the class is absent.
+     */
+    bool ShouldInject(FaultClass fault);
+
+    /**
+     * A raw 64-bit draw from @p fault's stream, for site-specific
+     * decisions (which bit to flip, which sign to use). Deterministic
+     * alongside ShouldInject() for the same call sequence.
+     */
+    uint64_t Draw(FaultClass fault);
+
+    /** Faults injected for @p fault since the last Arm(). */
+    uint64_t Injections(FaultClass fault) const;
+
+    /** Faults injected across all classes since the last Arm(). */
+    uint64_t TotalInjections() const;
+
+    /** The armed plan (empty when disarmed). */
+    FaultPlan Plan() const;
+
+    /**
+     * The process-wide injector every built-in site queries. First
+     * use arms it from RUMBA_FAULT_PLAN when that is set (a malformed
+     * spec warns and stays disarmed).
+     */
+    static FaultInjector& Default();
+
+  private:
+    struct ClassState {
+        double rate = 0.0;
+        double param = 0.0;
+        bool enabled = false;
+        uint64_t rng[4] = {0, 0, 0, 0};  ///< xoshiro256** state.
+        uint64_t injections = 0;
+    };
+
+    /** Next raw value from @p state's stream (caller holds mu_). */
+    static uint64_t NextRaw(ClassState* state);
+
+    std::atomic<bool> armed_{false};
+    mutable std::mutex mu_;
+    FaultPlan plan_;
+    ClassState classes_[kNumFaultClasses];
+};
+
+}  // namespace rumba::fault
+
+#endif  // RUMBA_FAULT_INJECTOR_H_

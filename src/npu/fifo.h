@@ -19,9 +19,12 @@ namespace rumba::npu {
 /**
  * Fixed-capacity FIFO with occupancy/traffic accounting.
  *
- * Push on a full queue and pop on an empty queue are modeling bugs
- * (the hardware applies backpressure), so both panic; callers check
- * Full()/Empty() and account stall cycles instead.
+ * Push on a full queue is *rejected* and counted — the hardware
+ * applies backpressure, so an unserviced producer loses the write and
+ * the loss must be observable (RejectedPushes()), never silent.
+ * Callers that can stall check Full() first and account stall cycles;
+ * callers that cannot (a stalled drain side) treat a false return as
+ * a drop. Pop on an empty queue remains a modeling bug and panics.
  */
 template <typename T>
 class Fifo {
@@ -44,14 +47,21 @@ class Fifo {
     /** Capacity the queue was built with. */
     size_t Capacity() const { return capacity_; }
 
-    /** Enqueue one entry; panics when full. */
-    void
+    /**
+     * Enqueue one entry. Returns false — and counts the rejection —
+     * when the queue is full; the entry is dropped.
+     */
+    [[nodiscard]] bool
     Push(T item)
     {
-        RUMBA_CHECK(!Full());
+        if (Full()) {
+            ++rejected_pushes_;
+            return false;
+        }
         items_.push_back(std::move(item));
         ++total_pushes_;
         high_water_ = std::max(high_water_, items_.size());
+        return true;
     }
 
     /** Dequeue the oldest entry; panics when empty. */
@@ -67,6 +77,9 @@ class Fifo {
     /** Entries ever pushed (bus-traffic proxy for the energy model). */
     size_t TotalPushes() const { return total_pushes_; }
 
+    /** Pushes rejected because the queue was full. */
+    size_t RejectedPushes() const { return rejected_pushes_; }
+
     /** Maximum occupancy observed. */
     size_t HighWater() const { return high_water_; }
 
@@ -81,6 +94,7 @@ class Fifo {
     size_t capacity_;
     std::deque<T> items_;
     size_t total_pushes_ = 0;
+    size_t rejected_pushes_ = 0;
     size_t high_water_ = 0;
 };
 

@@ -1,11 +1,44 @@
 #include "npu/npu.h"
 
+#include <cmath>
+#include <limits>
+
 #include "common/logging.h"
+#include "fault/injector.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/timer.h"
 
 namespace rumba::npu {
+
+namespace {
+
+/**
+ * Flip one injector-chosen bit in every armed entry of @p lut —
+ * models single-event upsets in the activation-table SRAM. Runs at
+ * Configure() time; the corruption persists for the accelerator's
+ * lifetime, exactly like a real stuck SRAM cell.
+ */
+size_t
+CorruptLut(SigmoidLut* lut, fault::FaultInjector* injector)
+{
+    size_t corrupted = 0;
+    for (size_t i = 0; i < lut->Entries(); ++i) {
+        if (!injector->ShouldInject(fault::FaultClass::kNpuLutCorrupt))
+            continue;
+        const int16_t word = lut->RawEntry(i);
+        lut->SetRawEntry(
+            i, static_cast<int16_t>(
+                   word ^ static_cast<int16_t>(
+                              1 << (injector->Draw(
+                                        fault::FaultClass::kNpuLutCorrupt) &
+                                    15))));
+        ++corrupted;
+    }
+    return corrupted;
+}
+
+}  // namespace
 
 Npu::Npu(const NpuConfig& config)
     : config_(config),
@@ -38,6 +71,15 @@ Npu::Configure(const nn::Mlp& mlp)
         layers_.push_back(std::move(q));
     }
     schedule_ = BuildSchedule(topology_, config_.num_pes);
+
+    auto& injector = fault::FaultInjector::Default();
+    if (injector.Enabled(fault::FaultClass::kNpuLutCorrupt)) {
+        const size_t upsets = CorruptLut(&sigmoid_lut_, &injector) +
+                              CorruptLut(&tanh_lut_, &injector);
+        if (upsets > 0)
+            Debug("npu: %zu activation-LUT words corrupted by fault plan",
+                  upsets);
+    }
 }
 
 std::vector<double>
@@ -56,6 +98,13 @@ Npu::Invoke(const std::vector<double>& input)
     for (double v : input)
         current.push_back(config_.format.Quantize(v));
     stats_.input_words += input.size();
+
+    // Hoist the per-invocation fault gates: a disarmed injector costs
+    // one relaxed load; armed classes pay their per-opportunity draw.
+    auto& injector = fault::FaultInjector::Default();
+    const bool armed = injector.Armed();
+    const bool flip_bits =
+        armed && injector.Enabled(fault::FaultClass::kNpuBitFlip);
 
     const int16_t one = config_.format.Quantize(1.0);
     std::vector<int16_t> next;
@@ -82,6 +131,18 @@ Npu::Invoke(const std::vector<double>& input)
                 next[n] = pre;
                 break;
             }
+            // Datapath upset: one bit of the PE's activation word
+            // flips before it is forwarded to the next layer, so the
+            // corruption propagates through the rest of the network.
+            if (flip_bits &&
+                injector.ShouldInject(fault::FaultClass::kNpuBitFlip)) {
+                next[n] = static_cast<int16_t>(
+                    next[n] ^
+                    static_cast<int16_t>(
+                        1 << (injector.Draw(
+                                  fault::FaultClass::kNpuBitFlip) &
+                              15)));
+            }
         }
         current.swap(next);
     }
@@ -94,6 +155,36 @@ Npu::Invoke(const std::vector<double>& input)
     out.reserve(current.size());
     for (int16_t q : current)
         out.push_back(config_.format.Dequantize(q));
+
+    // Output-interface corruption: a misbehaving accelerator can hand
+    // the host NaN, Inf, or a stuck constant instead of its result.
+    // These leave the fixed-point datapath's value domain entirely,
+    // which is exactly what the runtime's non-finite guards and the
+    // circuit breaker must contain.
+    if (armed) {
+        const bool nan_on =
+            injector.Enabled(fault::FaultClass::kNpuOutputNan);
+        const bool inf_on =
+            injector.Enabled(fault::FaultClass::kNpuOutputInf);
+        const bool stuck_on =
+            injector.Enabled(fault::FaultClass::kNpuOutputStuck);
+        for (double& v : out) {
+            if (nan_on &&
+                injector.ShouldInject(fault::FaultClass::kNpuOutputNan)) {
+                v = std::numeric_limits<double>::quiet_NaN();
+            } else if (inf_on &&
+                       injector.ShouldInject(
+                           fault::FaultClass::kNpuOutputInf)) {
+                v = (injector.Draw(fault::FaultClass::kNpuOutputInf) & 1)
+                        ? std::numeric_limits<double>::infinity()
+                        : -std::numeric_limits<double>::infinity();
+            } else if (stuck_on &&
+                       injector.ShouldInject(
+                           fault::FaultClass::kNpuOutputStuck)) {
+                v = injector.Param(fault::FaultClass::kNpuOutputStuck);
+            }
+        }
+    }
     return out;
 }
 

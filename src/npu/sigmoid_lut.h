@@ -32,6 +32,15 @@ class SigmoidLut {
     /** Number of table entries (hardware SRAM words). */
     size_t Entries() const { return table_.size(); }
 
+    /** Raw quantized table word at @p index (fault injection/tests). */
+    int16_t RawEntry(size_t index) const { return table_[index]; }
+
+    /**
+     * Overwrite the raw table word at @p index — models an SRAM upset
+     * in the activation table (fault/plan.h `npu.lut`).
+     */
+    void SetRawEntry(size_t index, int16_t value) { table_[index] = value; }
+
     /** Input magnitude covered before clamping. */
     double Range() const { return range_; }
 

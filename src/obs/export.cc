@@ -144,12 +144,18 @@ ToJsonl(const RegistrySnapshot& snapshot,
                ",\"fixes\":" + std::to_string(e.fixes) +
                ",\"queue_full_stalls\":" +
                std::to_string(e.queue_full_stalls) +
+               ",\"queue_drops\":" + std::to_string(e.queue_drops) +
+               ",\"non_finite\":" + std::to_string(e.non_finite) +
+               ",\"exact_elements\":" +
+               std::to_string(e.exact_elements) +
                ",\"tuner_adjustments\":" +
                std::to_string(e.tuner_adjustments) +
                ",\"output_error_pct\":" + JsonNum(e.output_error_pct) +
                ",\"estimated_error_pct\":" +
                JsonNum(e.estimated_error_pct) +
-               ",\"drift\":" + (e.drift ? "true" : "false") + "}\n";
+               ",\"drift\":" + (e.drift ? "true" : "false") +
+               ",\"breaker_state\":" + std::to_string(e.breaker_state) +
+               "}\n";
     }
     return out;
 }

@@ -151,11 +151,16 @@ SnapshotStreamer::WriteSample()
                 ",\"fire_rate\":" + JsonNum(fire_rate) +
                 ",\"queue_full_stalls\":" +
                 std::to_string(latest.queue_full_stalls) +
+                ",\"queue_drops\":" +
+                std::to_string(latest.queue_drops) +
+                ",\"non_finite\":" + std::to_string(latest.non_finite) +
                 ",\"output_error_pct\":" +
                 JsonNum(latest.output_error_pct) +
                 ",\"estimated_error_pct\":" +
                 JsonNum(latest.estimated_error_pct) +
-                ",\"drift\":" + (latest.drift ? "true" : "false") + "}";
+                ",\"drift\":" + (latest.drift ? "true" : "false") +
+                ",\"breaker_state\":" +
+                std::to_string(latest.breaker_state) + "}";
     }
     line += "}\n";
     // One whole line per fwrite + flush: a reader (or a crash) never

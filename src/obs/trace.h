@@ -26,10 +26,16 @@ struct TraceEvent {
     uint64_t fires = 0;        ///< checks that fired.
     uint64_t fixes = 0;        ///< iterations re-executed.
     uint64_t queue_full_stalls = 0;  ///< backpressure drains forced.
+    uint64_t queue_drops = 0;  ///< recovery entries dropped (overflow).
+    uint64_t non_finite = 0;   ///< NaN/Inf accelerator outputs seen.
+    uint64_t exact_elements = 0;  ///< elements the breaker kept exact.
     uint64_t tuner_adjustments = 0;  ///< threshold moves this round.
     double output_error_pct = 0.0;   ///< verified residual error.
     double estimated_error_pct = 0.0;  ///< detector's own estimate.
     bool drift = false;        ///< drift alarm raised this round.
+    /** Circuit-breaker position after this invocation (core/breaker.h
+     *  encoding: 0 closed, 1 open, 2 half-open). */
+    uint32_t breaker_state = 0;
 };
 
 /** Fixed-capacity ring of the most recent trace events. */

@@ -128,8 +128,8 @@ TEST(RecoveryTest, DrainsQueueAndMerges)
     // Corrupt all outputs; flag elements 0 and 2.
     std::vector<std::vector<double>> outputs(3, {99.0});
     std::vector<char> fixed(3, 0);
-    recovery.Queue().Push(RecoveryEntry{0});
-    recovery.Queue().Push(RecoveryEntry{2});
+    ASSERT_TRUE(recovery.Queue().Push(RecoveryEntry{0}));
+    ASSERT_TRUE(recovery.Queue().Push(RecoveryEntry{2}));
     const size_t drained = recovery.Drain(inputs, &outputs, &fixed);
     EXPECT_EQ(drained, 2u);
     EXPECT_EQ(recovery.TotalReexecutions(), 2u);
@@ -161,7 +161,7 @@ TEST(RecoveryTest, OutOfRangeIterationPanics)
     std::vector<std::vector<double>> inputs = {
         {0.1, 0.2, 0.3, 0.4, 0.5, 0.6}};
     std::vector<std::vector<double>> outputs = {{1.0}};
-    recovery.Queue().Push(RecoveryEntry{5});
+    ASSERT_TRUE(recovery.Queue().Push(RecoveryEntry{5}));
     EXPECT_DEATH(recovery.Drain(inputs, &outputs, nullptr),
                  "check failed");
 }

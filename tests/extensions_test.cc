@@ -276,6 +276,81 @@ TEST(DriftMonitorTest, WarmupSuppressesEarlyAlarms)
     EXPECT_TRUE(monitor.DriftDetected());
 }
 
+TEST(DriftMonitorTest, ZeroElementInvocationsIgnored)
+{
+    // A breaker-degraded invocation serves zero elements on the
+    // accelerator: no fire-rate information, no state change.
+    core::DriftMonitor::Options opt;
+    opt.expected_fire_rate = 0.2;
+    core::DriftMonitor monitor(opt);
+    for (int i = 0; i < 10; ++i)
+        monitor.Observe(20, 100);
+    const double before = monitor.SmoothedFireRate();
+    const size_t observed = monitor.Observations();
+    monitor.Observe(0, 0);
+    EXPECT_DOUBLE_EQ(monitor.SmoothedFireRate(), before);
+    EXPECT_EQ(monitor.Observations(), observed);
+    EXPECT_FALSE(monitor.DriftDetected());
+}
+
+TEST(DriftMonitorTest, ZeroExpectedRateDisablesEvenWithObservations)
+{
+    core::DriftMonitor::Options opt;
+    opt.expected_fire_rate = 0.0;
+    core::DriftMonitor monitor(opt);
+    EXPECT_FALSE(monitor.Enabled());
+    for (int i = 0; i < 50; ++i)
+        monitor.Observe(100, 100);
+    EXPECT_FALSE(monitor.DriftDetected());
+}
+
+TEST(DriftMonitorTest, MinDeltaGuardsTinyExpectedRates)
+{
+    // expected 1%, observed 2.5%: a 2.5x ratio (over tolerance) but
+    // only a 1.5-point absolute departure — inside min_delta, never
+    // drift.
+    core::DriftMonitor::Options opt;
+    opt.expected_fire_rate = 0.01;
+    opt.min_delta = 0.02;
+    opt.alpha = 1.0;
+    core::DriftMonitor monitor(opt);
+    for (int i = 0; i < 20; ++i)
+        monitor.Observe(25, 1000);
+    EXPECT_FALSE(monitor.DriftDetected());
+    // Past the absolute slack the ratio test applies again.
+    for (int i = 0; i < 20; ++i)
+        monitor.Observe(100, 1000);
+    EXPECT_TRUE(monitor.DriftDetected());
+}
+
+TEST(DriftMonitorTest, ReArmClearsAlarmUntilFreshEvidence)
+{
+    core::DriftMonitor::Options opt;
+    opt.expected_fire_rate = 0.1;
+    opt.warmup = 3;
+    opt.alpha = 1.0;
+    core::DriftMonitor monitor(opt);
+    for (int i = 0; i < 10; ++i)
+        monitor.Observe(90, 100);
+    ASSERT_TRUE(monitor.DriftDetected());
+
+    // Recovery (e.g. the circuit breaker closed): re-arm resets the
+    // smoothed rate to the calibrated expectation and restarts warmup.
+    monitor.ReArm();
+    EXPECT_FALSE(monitor.DriftDetected());
+    EXPECT_EQ(monitor.Observations(), 0u);
+    EXPECT_NEAR(monitor.SmoothedFireRate(), 0.1, 1e-12);
+
+    // Healthy traffic keeps it quiet...
+    for (int i = 0; i < 5; ++i)
+        monitor.Observe(10, 100);
+    EXPECT_FALSE(monitor.DriftDetected());
+    // ...and a fresh persistent departure re-raises the alarm.
+    for (int i = 0; i < 10; ++i)
+        monitor.Observe(90, 100);
+    EXPECT_TRUE(monitor.DriftDetected());
+}
+
 TEST(DriftMonitorTest, RuntimeRaisesDriftOnShiftedInputs)
 {
     // Calibrate on inversek2j's training distribution, then feed

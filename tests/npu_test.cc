@@ -23,9 +23,9 @@ namespace {
 TEST(FifoTest, FifoOrdering)
 {
     Fifo<int> q(4);
-    q.Push(1);
-    q.Push(2);
-    q.Push(3);
+    ASSERT_TRUE(q.Push(1));
+    ASSERT_TRUE(q.Push(2));
+    ASSERT_TRUE(q.Push(3));
     EXPECT_EQ(q.Pop(), 1);
     EXPECT_EQ(q.Pop(), 2);
     EXPECT_EQ(q.Pop(), 3);
@@ -36,8 +36,8 @@ TEST(FifoTest, FullAndCapacity)
 {
     Fifo<int> q(2);
     EXPECT_FALSE(q.Full());
-    q.Push(1);
-    q.Push(2);
+    ASSERT_TRUE(q.Push(1));
+    ASSERT_TRUE(q.Push(2));
     EXPECT_TRUE(q.Full());
     EXPECT_EQ(q.Capacity(), 2u);
 }
@@ -45,20 +45,29 @@ TEST(FifoTest, FullAndCapacity)
 TEST(FifoTest, TracksTrafficAndHighWater)
 {
     Fifo<int> q(8);
-    q.Push(1);
-    q.Push(2);
+    ASSERT_TRUE(q.Push(1));
+    ASSERT_TRUE(q.Push(2));
     q.Pop();
-    q.Push(3);
-    q.Push(4);
+    ASSERT_TRUE(q.Push(3));
+    ASSERT_TRUE(q.Push(4));
     EXPECT_EQ(q.TotalPushes(), 4u);
     EXPECT_EQ(q.HighWater(), 3u);
 }
 
-TEST(FifoTest, OverflowPanics)
+TEST(FifoTest, OverflowRejectsAndCounts)
 {
+    // Push-on-full is rejected and counted, never a panic: a fault or
+    // stall upstream must not crash the whole runtime.
     Fifo<int> q(1);
-    q.Push(1);
-    EXPECT_DEATH(q.Push(2), "check failed");
+    ASSERT_TRUE(q.Push(1));
+    EXPECT_FALSE(q.Push(2));
+    EXPECT_FALSE(q.Push(3));
+    EXPECT_EQ(q.RejectedPushes(), 2u);
+    EXPECT_EQ(q.Size(), 1u);
+    EXPECT_EQ(q.Pop(), 1);        // the stored element is intact.
+    EXPECT_EQ(q.TotalPushes(), 1u);  // rejections aren't traffic.
+    ASSERT_TRUE(q.Push(4));       // space freed: pushes work again.
+    EXPECT_EQ(q.Pop(), 4);
 }
 
 TEST(FifoTest, UnderflowPanics)
@@ -70,7 +79,7 @@ TEST(FifoTest, UnderflowPanics)
 TEST(FifoTest, ClearEmpties)
 {
     Fifo<int> q(4);
-    q.Push(1);
+    ASSERT_TRUE(q.Push(1));
     q.Clear();
     EXPECT_TRUE(q.Empty());
     EXPECT_EQ(q.TotalPushes(), 1u);  // traffic history survives.

@@ -11,6 +11,7 @@
 #include "common/random.h"
 #include "core/artifact.h"
 #include "core/runtime.h"
+#include "fault/corrupt.h"
 #include "predict/ema.h"
 #include "predict/evp.h"
 #include "predict/hybrid.h"
@@ -187,6 +188,82 @@ TEST(ArtifactTest, MalformedBlobsFatal)
     EXPECT_DEATH(core::Artifact::FromString(
                      "rumba-artifact v1\nbenchmark fft\nthreshold 0.1\n"),
                  "missing section");
+}
+
+TEST(ArtifactTest, TryFromStringReportsInsteadOfDying)
+{
+    core::Artifact parsed;
+    std::string error;
+    EXPECT_FALSE(
+        core::Artifact::TryFromString("not an artifact", &parsed,
+                                      &error));
+    EXPECT_NE(error.find("bad header"), std::string::npos);
+
+    EXPECT_FALSE(core::Artifact::TryFromString(
+        "rumba-artifact v1\nbenchmark fft\nthreshold 0.1\n", &parsed,
+        &error));
+    EXPECT_NE(error.find("missing section"), std::string::npos);
+
+    // A null error pointer is allowed.
+    EXPECT_FALSE(
+        core::Artifact::TryFromString("junk", &parsed, nullptr));
+}
+
+TEST(ArtifactTest, TryLoadReportsMissingFile)
+{
+    core::Artifact parsed;
+    std::string error;
+    EXPECT_FALSE(core::Artifact::TryLoad("/tmp/no_such_artifact_file",
+                                         &parsed, &error));
+    EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(ArtifactTest, ChecksumCatchesTruncationAndBitrot)
+{
+    core::RumbaRuntime trained(apps::MakeBenchmark("inversek2j"),
+                               FastConfig());
+    const core::Artifact artifact = trained.ExportArtifact();
+    const std::string good = artifact.ToString();
+    EXPECT_EQ(good.compare(0, 17, "rumba-artifact v2"), 0);
+
+    core::Artifact parsed;
+    std::string error;
+    ASSERT_TRUE(core::Artifact::TryFromString(good, &parsed, &error))
+        << error;
+
+    std::string truncated = good;
+    fault::TruncateBlob(&truncated, /*keep_fraction=*/0.7);
+    EXPECT_FALSE(
+        core::Artifact::TryFromString(truncated, &parsed, &error));
+
+    std::string rotted = good;
+    const size_t flipped =
+        fault::BitrotBlob(&rotted, /*rate=*/0.01, /*seed=*/99);
+    ASSERT_GT(flipped, 0u);
+    EXPECT_FALSE(
+        core::Artifact::TryFromString(rotted, &parsed, &error));
+}
+
+TEST(ArtifactTest, V1BlobWithoutChecksumStillAccepted)
+{
+    core::RumbaRuntime trained(apps::MakeBenchmark("inversek2j"),
+                               FastConfig());
+    const core::Artifact artifact = trained.ExportArtifact();
+    std::string blob = artifact.ToString();
+    // Strip the v2 header + checksum line, substitute the v1 header:
+    // artifacts written before the checksum existed must keep loading.
+    const size_t header_end = blob.find('\n');
+    const size_t checksum_end = blob.find('\n', header_end + 1);
+    ASSERT_NE(checksum_end, std::string::npos);
+    blob = "rumba-artifact v1\n" + blob.substr(checksum_end + 1);
+
+    core::Artifact parsed;
+    std::string error;
+    ASSERT_TRUE(core::Artifact::TryFromString(blob, &parsed, &error))
+        << error;
+    EXPECT_EQ(parsed.benchmark, artifact.benchmark);
+    EXPECT_DOUBLE_EQ(parsed.threshold, artifact.threshold);
+    EXPECT_EQ(parsed.predictor, artifact.predictor);
 }
 
 TEST(ArtifactTest, DeployedRuntimeMatchesTrainedRuntime)
