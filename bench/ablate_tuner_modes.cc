@@ -31,18 +31,19 @@ RunMode(const char* title, core::TuningMode mode,
 
     core::RumbaRuntime runtime(apps::MakeBenchmark("inversek2j"), cfg);
     const auto inputs = runtime.Bench().TestInputs();
+    const std::vector<double> flat = core::FlattenBatch(inputs);
+    const size_t in_w = runtime.Bench().NumInputs();
 
     Table table({"Invocation", "Threshold", "Fixes", "Fix %",
                  "Output error %", "CPU busy ratio"});
     const size_t batch = 500;
     const size_t rounds = 16;
+    std::vector<double> out(batch * runtime.Bench().NumOutputs());
     for (size_t r = 0; r < rounds; ++r) {
         const size_t start = (r * batch) % (inputs.size() - batch);
-        std::vector<std::vector<double>> in(
-            inputs.begin() + static_cast<ptrdiff_t>(start),
-            inputs.begin() + static_cast<ptrdiff_t>(start + batch));
-        std::vector<std::vector<double>> out;
-        const auto report = runtime.ProcessInvocation(in, &out);
+        const core::BatchView in(flat.data() + start * in_w, batch,
+                                 in_w);
+        const auto report = runtime.ProcessInvocation(in, out.data());
         table.AddRow(
             {Table::Int(static_cast<long>(r)),
              Table::Num(report.threshold_used, 4),

@@ -68,15 +68,22 @@ RunCell(const core::Artifact& artifact, const core::RuntimeConfig& base,
     }
 
     const auto& inputs = runtime.Bench().TestInputs();
-    std::vector<std::vector<double>> out;
+    const size_t in_w = runtime.Bench().NumInputs();
+    std::vector<double> batch_flat;
+    batch_flat.reserve(kBatch * in_w);
+    std::vector<double> out(kBatch * runtime.Bench().NumOutputs());
     size_t exact_elements = 0;
     for (size_t b = 0; b < kBatches; ++b) {
-        std::vector<std::vector<double>> batch;
-        batch.reserve(kBatch);
-        for (size_t k = 0; k < kBatch; ++k)
-            batch.push_back(inputs[(b * kBatch + k) % inputs.size()]);
+        batch_flat.clear();
+        for (size_t k = 0; k < kBatch; ++k) {
+            const auto& row = inputs[(b * kBatch + k) % inputs.size()];
+            batch_flat.insert(batch_flat.end(), row.begin(), row.end());
+        }
         exact_elements +=
-            runtime.ProcessInvocation(batch, &out).exact_elements;
+            runtime
+                .ProcessInvocation(core::BatchView(batch_flat, in_w),
+                                   out.data())
+                .exact_elements;
     }
     injector.Disarm();
 

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Serving-layer throughput: invocation throughput of the sharded
+ * engine (src/serve) at 1 vs 4 shards over one deployed artifact.
+ *
+ * The paper's Figure 8 overlap argument applied to serving: an
+ * invocation's latency is CPU time (normalize, check, recover,
+ * verify) plus accelerator occupancy. The accelerator part is modeled
+ * (ServeConfig::emulated_device_ns) and calibrated at startup to 4x
+ * the *measured* CPU time per element on this machine, so the bench
+ * is meaningful on any host — including single-core CI runners, where
+ * shards overlap device wait rather than CPU time, exactly as N
+ * accelerators behind one host core would.
+ *
+ * Modes:
+ *   (default)   shard sweep + exit-code invariant: >= 2.5x
+ *               throughput at 4 shards vs 1.
+ *   --smoke     quick concurrent submit/drain/shutdown pass (for the
+ *               sanitizer suites); no timing assertions.
+ *   --gate      deterministic synchronous pass for the telemetry
+ *               baseline (ci.sh diffs the RUMBA_METRICS_OUT snapshot
+ *               against bench/baselines with rumba-stat). Submission
+ *               waits for each future, so every counter is
+ *               reproducible; concurrency (and with it last-writer
+ *               gauge races) is deliberately absent.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/batch_view.h"
+#include "core/runtime.h"
+#include "obs/timer.h"
+#include "serve/engine.h"
+
+using namespace rumba;
+
+namespace {
+
+constexpr size_t kRequests = 16;
+constexpr size_t kBatch = 500;
+
+core::RuntimeConfig
+DeployConfig()
+{
+    return core::RuntimeConfig::Builder()
+        .WithChecker(core::Scheme::kTree)
+        .WithTunerMode(core::TuningMode::kToq)
+        .WithTargetErrorPct(benchutil::kTargetErrorPct)
+        .WithTrainEpochs(60)
+        .WithElementCaps(2000, 2000)
+        .Build();
+}
+
+/** Flat request stream: kRequests x kBatch elements, wrapping over
+ *  the kernel's test inputs. */
+std::vector<double>
+RequestStream(const apps::Benchmark& bench)
+{
+    const auto inputs = bench.TestInputs();
+    const size_t in_w = bench.NumInputs();
+    std::vector<double> flat;
+    flat.reserve(kRequests * kBatch * in_w);
+    for (size_t e = 0; e < kRequests * kBatch; ++e) {
+        const auto& row = inputs[e % inputs.size()];
+        flat.insert(flat.end(), row.begin(), row.end());
+    }
+    return flat;
+}
+
+serve::InvocationRequest
+NthRequest(const std::vector<double>& stream, size_t r, size_t in_w)
+{
+    serve::InvocationRequest request;
+    request.count = kBatch;
+    request.width = in_w;
+    request.inputs.assign(
+        stream.begin() + static_cast<ptrdiff_t>(r * kBatch * in_w),
+        stream.begin() +
+            static_cast<ptrdiff_t>((r + 1) * kBatch * in_w));
+    return request;
+}
+
+/** Measured CPU nanoseconds per element of one deployed runtime. */
+uint64_t
+CalibrateCpuNsPerElement(const core::Artifact& artifact,
+                         const std::vector<double>& stream, size_t in_w,
+                         size_t out_w)
+{
+    auto runtime =
+        core::RumbaRuntime::FromArtifact(artifact, DeployConfig());
+    if (!runtime.ok()) {
+        std::fprintf(stderr, "calibration deploy: %s\n",
+                     runtime.status().ToString().c_str());
+        std::exit(1);
+    }
+    std::vector<double> out(kBatch * out_w);
+    const core::BatchView warmup(stream.data(), kBatch, in_w);
+    (*runtime)->ProcessInvocation(warmup, out.data());  // warm caches.
+    const uint64_t start = obs::NowNs();
+    constexpr size_t kCalibrationRounds = 4;
+    for (size_t r = 0; r < kCalibrationRounds; ++r) {
+        const core::BatchView batch(
+            stream.data() + r * kBatch * in_w, kBatch, in_w);
+        (*runtime)->ProcessInvocation(batch, out.data());
+    }
+    const uint64_t elapsed = obs::NowNs() - start;
+    return std::max<uint64_t>(1,
+                              elapsed / (kCalibrationRounds * kBatch));
+}
+
+/** Wall seconds to serve the whole stream on @p shards shards. */
+double
+TimedRun(const core::Artifact& artifact, size_t shards,
+         uint64_t device_ns, const std::vector<double>& stream,
+         size_t in_w)
+{
+    serve::ServeConfig config;
+    config.shards = shards;
+    config.queue_capacity = kRequests;  // admit the whole stream.
+    config.emulated_device_ns = device_ns;
+    auto engine = serve::ShardedEngine::Create(artifact, DeployConfig(),
+                                               config);
+    if (!engine.ok()) {
+        std::fprintf(stderr, "engine: %s\n",
+                     engine.status().ToString().c_str());
+        std::exit(1);
+    }
+
+    const uint64_t start = obs::NowNs();
+    std::vector<std::future<serve::InvocationResult>> futures;
+    futures.reserve(kRequests);
+    for (size_t r = 0; r < kRequests; ++r)
+        futures.push_back(
+            (*engine)->Submit(NthRequest(stream, r, in_w)));
+    (*engine)->Drain();
+    const double seconds =
+        static_cast<double>(obs::NowNs() - start) * 1e-9;
+
+    for (auto& future : futures) {
+        const serve::InvocationResult result = future.get();
+        if (!result.status.ok()) {
+            std::fprintf(stderr, "request failed: %s\n",
+                         result.status.ToString().c_str());
+            std::exit(1);
+        }
+    }
+    (*engine)->Shutdown();
+    return seconds;
+}
+
+int
+RunSmoke(const core::Artifact& artifact,
+         const std::vector<double>& stream, size_t in_w)
+{
+    serve::ServeConfig config;
+    config.shards = 2;
+    config.queue_capacity = 8;
+    config.max_coalesce_elements = 2 * kBatch;
+    auto engine = serve::ShardedEngine::Create(artifact, DeployConfig(),
+                                               config);
+    if (!engine.ok()) {
+        std::fprintf(stderr, "engine: %s\n",
+                     engine.status().ToString().c_str());
+        return 1;
+    }
+    // Two client threads race the submit path; backpressure rejects
+    // are acceptable, anything else is not.
+    std::vector<std::thread> clients;
+    std::atomic<size_t> failures{0};
+    for (size_t t = 0; t < 2; ++t) {
+        clients.emplace_back([&, t] {
+            for (size_t r = 0; r < kRequests / 2; ++r) {
+                auto future = (*engine)->Submit(NthRequest(
+                    stream, (t * kRequests / 2 + r), in_w));
+                const auto result = future.get();
+                if (!result.status.ok() &&
+                    result.status.code() !=
+                        core::StatusCode::kResourceExhausted)
+                    failures.fetch_add(1);
+            }
+        });
+    }
+    for (auto& client : clients)
+        client.join();
+    (*engine)->Drain();
+    (*engine)->Shutdown();
+    std::printf("serve smoke: %zu unexpected failures\n",
+                failures.load());
+    return failures.load() == 0 ? 0 : 1;
+}
+
+int
+RunGate(const core::Artifact& artifact,
+        const std::vector<double>& stream, size_t in_w)
+{
+    serve::ServeConfig config;
+    config.shards = 2;
+    config.queue_capacity = 4;
+    auto engine = serve::ShardedEngine::Create(artifact, DeployConfig(),
+                                               config);
+    if (!engine.ok()) {
+        std::fprintf(stderr, "engine: %s\n",
+                     engine.status().ToString().c_str());
+        return 1;
+    }
+    // Strictly synchronous: one request in flight at a time, so every
+    // serve/runtime counter lands in a reproducible order.
+    size_t served = 0;
+    for (size_t r = 0; r < kRequests; ++r) {
+        const auto result =
+            (*engine)->Submit(NthRequest(stream, r, in_w)).get();
+        if (!result.status.ok()) {
+            std::fprintf(stderr, "gate request %zu: %s\n", r,
+                         result.status.ToString().c_str());
+            return 1;
+        }
+        served += result.report.elements;
+    }
+    (*engine)->Shutdown();
+    std::printf("serve gate: %zu elements over %zu requests\n", served,
+                kRequests);
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    const std::string csv_dir = benchutil::CsvDir(argc, argv);
+    bool smoke = false, gate = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else if (std::strcmp(argv[i], "--gate") == 0)
+            gate = true;
+    }
+
+    std::fprintf(stderr, "[serve_throughput] training inversek2j and "
+                         "exporting the artifact...\n");
+    core::RumbaRuntime trained(apps::MakeBenchmark("inversek2j"),
+                               DeployConfig());
+    const core::Artifact artifact = trained.ExportArtifact();
+    const size_t in_w = trained.Bench().NumInputs();
+    const size_t out_w = trained.Bench().NumOutputs();
+    const std::vector<double> stream = RequestStream(trained.Bench());
+
+    if (smoke)
+        return RunSmoke(artifact, stream, in_w);
+    if (gate)
+        return RunGate(artifact, stream, in_w);
+
+    // Accelerator occupancy: 4x the measured CPU cost per element
+    // (see file comment), so device wait dominates and sharding has
+    // real overlap to win — on any host speed.
+    const uint64_t cpu_ns =
+        CalibrateCpuNsPerElement(artifact, stream, in_w, out_w);
+    const uint64_t device_ns = 4 * cpu_ns;
+    std::fprintf(stderr,
+                 "[serve_throughput] calibrated %llu ns CPU/element, "
+                 "emulating %llu ns device/element\n",
+                 static_cast<unsigned long long>(cpu_ns),
+                 static_cast<unsigned long long>(device_ns));
+
+    Table table({"Shards", "Requests", "Elements", "Wall ms",
+                 "Elements/s", "Speedup x"});
+    double base_seconds = 0.0;
+    double ratio = 0.0;
+    for (const size_t shards : {size_t{1}, size_t{4}}) {
+        const double seconds =
+            TimedRun(artifact, shards, device_ns, stream, in_w);
+        if (shards == 1)
+            base_seconds = seconds;
+        const double speedup = base_seconds / seconds;
+        if (shards == 4)
+            ratio = speedup;
+        table.AddRow(
+            {Table::Int(static_cast<long>(shards)),
+             Table::Int(static_cast<long>(kRequests)),
+             Table::Int(static_cast<long>(kRequests * kBatch)),
+             Table::Num(seconds * 1e3, 1),
+             Table::Num(static_cast<double>(kRequests * kBatch) /
+                            seconds,
+                        0),
+             Table::Num(speedup, 2)});
+    }
+    benchutil::Emit(table,
+                    "Serving throughput: sharded engine, modeled "
+                    "accelerator occupancy (inversek2j)",
+                    csv_dir, "serve_throughput");
+
+    constexpr double kRequiredSpeedup = 2.5;
+    std::printf("\n4-shard speedup %.2fx (required >= %.1fx): %s\n",
+                ratio, kRequiredSpeedup,
+                ratio >= kRequiredSpeedup ? "ok" : "FAILED");
+    return ratio >= kRequiredSpeedup ? 0 : 1;
+}

@@ -26,6 +26,13 @@ RUMBA_METRICS_OUT=build/quickstart.metrics.jsonl \
 ./build/tools/rumba-stat diff \
     bench/baselines/quickstart.metrics.jsonl \
     build/quickstart.metrics.jsonl --tol 0.02
+# Serving-layer gate: the bench's --gate mode submits synchronously
+# (one request in flight), so the serve.* counters are reproducible.
+RUMBA_METRICS_OUT=build/serve_throughput.metrics.jsonl \
+    ./build/bench/serve_throughput --gate > /dev/null
+./build/tools/rumba-stat diff \
+    bench/baselines/serve_throughput.metrics.jsonl \
+    build/serve_throughput.metrics.jsonl --tol 0.02
 
 if [[ "${1:-}" != "--skip-sanitize" ]]; then
     echo "==> sanitized build + tests (address,undefined)"
@@ -51,16 +58,21 @@ if [[ "${1:-}" != "--skip-sanitize" ]]; then
     RUMBA_FAULT_PLAN='seed=105;npu.output_nan=0.02' \
         ./build-sanitize/examples/deploy > /dev/null
 
+    # Serving engine smoke under ASan/UBSan: concurrent submit /
+    # drain / shutdown across two client threads.
+    ./build-sanitize/bench/serve_throughput --smoke > /dev/null
+
     # TSan: the threaded paths — snapshot streamer, span collector,
-    # the two-thread recovery replay, and the queue/breaker paths the
-    # fault suite drives — under real concurrency.
+    # the two-thread recovery replay, the queue/breaker paths the
+    # fault suite drives, and the sharded serving engine — under real
+    # concurrency.
     echo "==> thread-sanitized build + threading tests (thread)"
     cmake -B build-tsan -S . -DRUMBA_SANITIZE=thread
     cmake --build build-tsan -j
     # -R must precede the bare -j: ctest would otherwise eat the
     # regex as -j's value and run the whole suite.
     ctest --test-dir build-tsan --output-on-failure \
-        -R '^(obs_test|extensions_test|fault_test)$' -j
+        -R '^(obs_test|extensions_test|fault_test|serve_test)$' -j
 fi
 
 echo "==> ci.sh: all suites passed"

@@ -32,10 +32,12 @@ main()
 {
     const char* kArtifactPath = "inversek2j.rumba";
 
-    core::RuntimeConfig config;
-    config.checker = core::Scheme::kHybrid;  // offline best-of choice.
-    config.tuner.mode = core::TuningMode::kToq;
-    config.tuner.target_error_pct = 10.0;
+    const core::RuntimeConfig config =
+        core::RuntimeConfig::Builder()
+            .WithChecker(core::Scheme::kHybrid)  // offline best-of.
+            .WithTunerMode(core::TuningMode::kToq)
+            .WithTargetErrorPct(10.0)
+            .Build();
 
     // A RUMBA_FAULT_PLAN in the environment is honored — but during
     // the fault drill below, not during the build/deploy comparison,
@@ -66,20 +68,40 @@ main()
 
     // ---- Deploy phase ---------------------------------------------------
     std::printf("[deploy] loading artifact — no training runs\n");
-    core::RumbaRuntime deployed(core::Artifact::Load(kArtifactPath),
-                                config);
+    const auto loaded = core::Artifact::TryLoad(kArtifactPath);
+    if (!loaded.ok()) {
+        std::fprintf(stderr, "artifact load: %s\n",
+                     loaded.status().ToString().c_str());
+        return 1;
+    }
+    auto deployed_or = core::RumbaRuntime::FromArtifact(*loaded, config);
+    if (!deployed_or.ok()) {
+        std::fprintf(stderr, "artifact deploy: %s\n",
+                     deployed_or.status().ToString().c_str());
+        return 1;
+    }
+    core::RumbaRuntime& deployed = **deployed_or;
 
+    // The whole test set flattened once: every batch below is a
+    // zero-copy BatchView window into this one buffer (the hot-path
+    // invocation form).
     const auto inputs = deployed.Bench().TestInputs();
-    std::vector<std::vector<double>> batch(inputs.begin(),
-                                           inputs.begin() + 2000);
-    std::vector<std::vector<double>> out_trained, out_deployed;
-    const auto a = trained.ProcessInvocation(batch, &out_trained);
-    const auto b = deployed.ProcessInvocation(batch, &out_deployed);
+    const size_t in_w = deployed.Bench().NumInputs();
+    const size_t out_w = deployed.Bench().NumOutputs();
+    const std::vector<double> flat_inputs = core::FlattenBatch(inputs);
+
+    constexpr size_t kCompareElements = 2000;
+    const core::BatchView batch(flat_inputs.data(), kCompareElements,
+                                in_w);
+    std::vector<double> out_trained(kCompareElements * out_w);
+    std::vector<double> out_deployed(kCompareElements * out_w);
+    const auto a = trained.ProcessInvocation(batch, out_trained.data());
+    const auto b =
+        deployed.ProcessInvocation(batch, out_deployed.data());
 
     size_t mismatches = 0;
     for (size_t i = 0; i < out_trained.size(); ++i)
-        for (size_t o = 0; o < out_trained[i].size(); ++o)
-            mismatches += out_trained[i][o] != out_deployed[i][o];
+        mismatches += out_trained[i] != out_deployed[i];
 
     std::printf("\n%-24s %-10s %-14s %s\n", "runtime", "fixes",
                 "output err %", "threshold");
@@ -90,8 +112,7 @@ main()
     std::printf("\noutput mismatches between the two: %zu of %zu "
                 "values — the deployed system is\nbit-identical to the "
                 "trained one without ever running the trainers.\n",
-                mismatches,
-                out_trained.size() * deployed.Bench().NumOutputs());
+                mismatches, out_trained.size());
 
     // ---- Serving loop ----------------------------------------------------
     // Serve the rest of the test set in small batches, the way a
@@ -110,14 +131,14 @@ main()
     constexpr size_t kServeBatch = 250;
     size_t served = 0;
     size_t serve_fixes = 0;
-    for (size_t start = 2000;
+    std::vector<double> serve_out(kServeBatch * out_w);
+    for (size_t start = kCompareElements;
          start + kServeBatch <= inputs.size() && served < 48;
          start += kServeBatch, ++served) {
-        std::vector<std::vector<double>> serve(
-            inputs.begin() + static_cast<long>(start),
-            inputs.begin() + static_cast<long>(start + kServeBatch));
-        std::vector<std::vector<double>> serve_out;
-        const auto r = serving.ProcessInvocation(serve, &serve_out);
+        const core::BatchView serve(flat_inputs.data() + start * in_w,
+                                    kServeBatch, in_w);
+        const auto r = serving.ProcessInvocation(serve,
+                                                 serve_out.data());
         serve_fixes += r.fixes;
     }
     std::printf("[deploy] served %zu batches of %zu (%zu fixes); the "
@@ -137,15 +158,13 @@ main()
         std::ofstream out(kCorruptPath);
         out << corrupt_blob;
     }
-    core::Artifact damaged;
-    std::string load_error;
-    const bool corrupt_rejected =
-        !core::Artifact::TryLoad(kCorruptPath, &damaged, &load_error);
+    const auto damaged = core::Artifact::TryLoad(kCorruptPath);
+    const bool corrupt_rejected = !damaged.ok();
     std::remove(kCorruptPath);
     if (corrupt_rejected) {
         std::printf("\n[fault] warning: artifact rejected (%s); "
                     "falling back to exact-only execution\n",
-                    load_error.c_str());
+                    damaged.status().ToString().c_str());
         // Exact-only fallback: the kernel runs on the CPU, quality is
         // exact, and the binary keeps serving instead of crashing.
         std::vector<double> exact_out(deployed.Bench().NumOutputs());
@@ -165,10 +184,14 @@ main()
     // disarm and keep serving until its canary probes close it again:
     // one full closed -> open -> half-open -> closed episode, recorded
     // in the trace ring / stream for any capture to see.
-    core::RuntimeConfig drill_config = config;
-    drill_config.breaker.trip_after = 2;
-    drill_config.breaker.open_invocations = 2;
-    drill_config.breaker.close_after = 2;
+    core::BreakerConfig drill_breaker;
+    drill_breaker.trip_after = 2;
+    drill_breaker.open_invocations = 2;
+    drill_breaker.close_after = 2;
+    const core::RuntimeConfig drill_config =
+        core::RuntimeConfig::Builder(config)
+            .WithBreaker(drill_breaker)
+            .Build();
     core::RumbaRuntime drill(artifact, drill_config);
 
     fault::FaultPlan drill_plan = env_plan;

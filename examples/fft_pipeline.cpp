@@ -110,18 +110,21 @@ main()
         }
     }
 
-    core::RuntimeConfig config;
-    config.checker = core::Scheme::kTree;
-    config.tuner.mode = core::TuningMode::kToq;
-    config.tuner.target_error_pct = 10.0;
+    const core::RuntimeConfig config =
+        core::RuntimeConfig::Builder()
+            .WithChecker(core::Scheme::kTree)
+            .WithTunerMode(core::TuningMode::kToq)
+            .WithTargetErrorPct(10.0)
+            .Build();
     std::printf("training accelerator network and error predictor...\n");
     core::RumbaRuntime runtime(apps::MakeBenchmark("fft"), config);
 
     // Approximate twiddles, unchecked and managed.
-    core::RuntimeConfig unchecked_cfg = config;
-    unchecked_cfg.initial_threshold = 1e6;
-    unchecked_cfg.tuner.min_threshold = 1e6;
-    unchecked_cfg.tuner.max_threshold = 1e7;
+    const core::RuntimeConfig unchecked_cfg =
+        core::RuntimeConfig::Builder(config)
+            .WithInitialThreshold(1e6)
+            .WithThresholdRange(1e6, 1e7)
+            .Build();
     core::RumbaRuntime unchecked(apps::MakeBenchmark("fft"),
                                  unchecked_cfg);
 

@@ -48,10 +48,12 @@ ExactBookValue(const apps::Benchmark& bench,
 int
 main()
 {
-    core::RuntimeConfig config;
-    config.checker = core::Scheme::kTree;
-    config.tuner.mode = core::TuningMode::kToq;
-    config.tuner.target_error_pct = 5.0;  // strict: 95% quality.
+    const core::RuntimeConfig config =
+        core::RuntimeConfig::Builder()
+            .WithChecker(core::Scheme::kTree)
+            .WithTunerMode(core::TuningMode::kToq)
+            .WithTargetErrorPct(5.0)  // strict: 95% quality.
+            .Build();
 
     std::printf("training accelerator network and error predictor...\n");
     core::RumbaRuntime runtime(apps::MakeBenchmark("blackscholes"),

@@ -41,13 +41,15 @@ main()
 
     // Rumba runtime around sobel, quality mode: fix as much as the
     // CPU can absorb without slowing the accelerator down.
-    core::RuntimeConfig config;
-    config.checker = core::Scheme::kTree;
-    config.tuner.mode = core::TuningMode::kQuality;
     // Calibrate the starting threshold for a strict 95% quality so
     // the first frame already gets meaningful cleanup; quality mode
     // then trades fixes against CPU headroom on later frames.
-    config.tuner.target_error_pct = 5.0;
+    const core::RuntimeConfig config =
+        core::RuntimeConfig::Builder()
+            .WithChecker(core::Scheme::kTree)
+            .WithTunerMode(core::TuningMode::kQuality)
+            .WithTargetErrorPct(5.0)
+            .Build();
     std::printf("training accelerator network and error predictor...\n");
     core::RumbaRuntime runtime(apps::MakeBenchmark("sobel"), config);
 
@@ -61,10 +63,11 @@ main()
     // Unchecked accelerator map: rebuild the runtime's accelerator
     // result by subtracting the fixes — simplest honest route is a
     // second pass with the threshold forced out of reach.
-    core::RuntimeConfig unchecked_cfg = config;
-    unchecked_cfg.initial_threshold = 1e6;  // checks never fire.
-    unchecked_cfg.tuner.min_threshold = 1e6;
-    unchecked_cfg.tuner.max_threshold = 1e7;
+    const core::RuntimeConfig unchecked_cfg =
+        core::RuntimeConfig::Builder(config)
+            .WithInitialThreshold(1e6)  // checks never fire.
+            .WithThresholdRange(1e6, 1e7)
+            .Build();
     core::RumbaRuntime unchecked(apps::MakeBenchmark("sobel"),
                                  unchecked_cfg);
     std::vector<std::vector<double>> raw_outputs;

@@ -22,10 +22,12 @@ main()
 {
     // 1. Configure the system: which checker to attach to the
     //    accelerator and what goal the online tuner should chase.
-    core::RuntimeConfig config;
-    config.checker = core::Scheme::kTree;        // treeErrors checker.
-    config.tuner.mode = core::TuningMode::kToq;  // target a quality.
-    config.tuner.target_error_pct = 10.0;        // 90% output quality.
+    const core::RuntimeConfig config =
+        core::RuntimeConfig::Builder()
+            .WithChecker(core::Scheme::kTree)      // treeErrors.
+            .WithTunerMode(core::TuningMode::kToq)  // target a quality.
+            .WithTargetErrorPct(10.0)               // 90% quality.
+            .Build();
 
     // 2. Build the runtime. This runs the offline half of the paper's
     //    Figure 4: trains the accelerator's neural network on the
@@ -36,13 +38,17 @@ main()
 
     // 3. Stream work through it. One ProcessInvocation() is one
     //    accelerator invocation over a batch of data-parallel
-    //    elements (here: 3x3 pixel windows).
+    //    elements (here: 3x3 pixel windows), passed as a BatchView
+    //    over one contiguous buffer — the allocation-free hot path.
     const auto inputs = runtime.Bench().TestInputs();
-    std::vector<std::vector<double>> batch(inputs.begin(),
-                                           inputs.begin() + 2000);
-    std::vector<std::vector<double>> outputs;
+    const std::vector<double> flat = core::FlattenBatch(inputs);
+    constexpr size_t kElements = 2000;
+    const core::BatchView batch(flat.data(), kElements,
+                                runtime.Bench().NumInputs());
+    std::vector<double> outputs(kElements *
+                                runtime.Bench().NumOutputs());
     const core::InvocationReport report =
-        runtime.ProcessInvocation(batch, &outputs);
+        runtime.ProcessInvocation(batch, outputs.data());
 
     // 4. Inspect what the quality manager did.
     std::printf("\nprocessed %zu elements\n", report.elements);

@@ -58,19 +58,22 @@ main()
 
     // Rumba in quality mode: recompute as many flagged ticks as the
     // host can absorb without stalling the control loop.
-    core::RuntimeConfig config;
-    config.checker = core::Scheme::kTree;
-    config.tuner.mode = core::TuningMode::kQuality;
-    config.tuner.target_error_pct = 5.0;  // strict starting calibration.
+    const core::RuntimeConfig config =
+        core::RuntimeConfig::Builder()
+            .WithChecker(core::Scheme::kTree)
+            .WithTunerMode(core::TuningMode::kQuality)
+            .WithTargetErrorPct(5.0)  // strict starting calibration.
+            .Build();
     std::printf("training accelerator network and error predictor...\n");
     core::RumbaRuntime runtime(apps::MakeBenchmark("inversek2j"),
                                config);
 
     // Unchecked pass (threshold out of reach -> no checks fire).
-    core::RuntimeConfig unchecked_cfg = config;
-    unchecked_cfg.initial_threshold = 1e6;
-    unchecked_cfg.tuner.min_threshold = 1e6;
-    unchecked_cfg.tuner.max_threshold = 1e7;
+    const core::RuntimeConfig unchecked_cfg =
+        core::RuntimeConfig::Builder(config)
+            .WithInitialThreshold(1e6)
+            .WithThresholdRange(1e6, 1e7)
+            .Build();
     core::RumbaRuntime unchecked(apps::MakeBenchmark("inversek2j"),
                                  unchecked_cfg);
 

@@ -109,6 +109,15 @@ BenchmarkNames()
 std::unique_ptr<Benchmark>
 MakeBenchmark(const std::string& name)
 {
+    auto bench = TryMakeBenchmark(name);
+    if (bench == nullptr)
+        Fatal("unknown benchmark '%s'", name.c_str());
+    return bench;
+}
+
+std::unique_ptr<Benchmark>
+TryMakeBenchmark(const std::string& name)
+{
     if (name == "blackscholes")
         return std::make_unique<BlackScholes>();
     if (name == "fft")
@@ -123,7 +132,7 @@ MakeBenchmark(const std::string& name)
         return std::make_unique<Kmeans>();
     if (name == "sobel")
         return std::make_unique<Sobel>();
-    Fatal("unknown benchmark '%s'", name.c_str());
+    return nullptr;
 }
 
 }  // namespace rumba::apps

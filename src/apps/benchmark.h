@@ -153,6 +153,10 @@ std::vector<std::unique_ptr<Benchmark>> AllBenchmarks();
 /** One benchmark by name; fatal when unknown. */
 std::unique_ptr<Benchmark> MakeBenchmark(const std::string& name);
 
+/** One benchmark by name; nullptr when unknown (fallible loaders —
+ *  e.g. artifact-driven construction — report instead of dying). */
+std::unique_ptr<Benchmark> TryMakeBenchmark(const std::string& name);
+
 /** The seven benchmark names in Table 1 order. */
 std::vector<std::string> BenchmarkNames();
 

@@ -92,12 +92,21 @@ std::vector<double>
 Normalizer::Apply(const std::vector<double>& raw) const
 {
     RUMBA_CHECK(raw.size() == lo_.size());
-    std::vector<double> out(raw.size());
-    for (size_t f = 0; f < raw.size(); ++f) {
-        const double span = hi_[f] - lo_[f];
-        out[f] = span > 0.0 ? (raw[f] - lo_[f]) / span : 0.5;
-    }
+    std::vector<double> out;
+    Apply(raw.data(), raw.size(), &out);
     return out;
+}
+
+void
+Normalizer::Apply(const double* raw, size_t n,
+                  std::vector<double>* out) const
+{
+    RUMBA_CHECK(n == lo_.size());
+    out->resize(n);
+    for (size_t f = 0; f < n; ++f) {
+        const double span = hi_[f] - lo_[f];
+        (*out)[f] = span > 0.0 ? (raw[f] - lo_[f]) / span : 0.5;
+    }
 }
 
 std::string
@@ -141,12 +150,21 @@ std::vector<double>
 Normalizer::Invert(const std::vector<double>& norm) const
 {
     RUMBA_CHECK(norm.size() == lo_.size());
-    std::vector<double> out(norm.size());
-    for (size_t f = 0; f < norm.size(); ++f) {
-        const double span = hi_[f] - lo_[f];
-        out[f] = span > 0.0 ? lo_[f] + norm[f] * span : lo_[f];
-    }
+    std::vector<double> out;
+    Invert(norm.data(), norm.size(), &out);
     return out;
+}
+
+void
+Normalizer::Invert(const double* norm, size_t n,
+                   std::vector<double>* out) const
+{
+    RUMBA_CHECK(n == lo_.size());
+    out->resize(n);
+    for (size_t f = 0; f < n; ++f) {
+        const double span = hi_[f] - lo_[f];
+        (*out)[f] = span > 0.0 ? lo_[f] + norm[f] * span : lo_[f];
+    }
 }
 
 }  // namespace rumba

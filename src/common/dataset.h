@@ -87,8 +87,18 @@ class Normalizer {
     /** Map a raw vector into [0, 1] per feature. */
     std::vector<double> Apply(const std::vector<double>& raw) const;
 
+    /** Apply() over a borrowed buffer into a reusable scratch vector
+     *  (hot-path form: no per-element allocation once @p out has
+     *  capacity). */
+    void Apply(const double* raw, size_t n,
+               std::vector<double>* out) const;
+
     /** Inverse of Apply(). */
     std::vector<double> Invert(const std::vector<double>& norm) const;
+
+    /** Invert() over a borrowed buffer into a reusable scratch. */
+    void Invert(const double* norm, size_t n,
+                std::vector<double>* out) const;
 
     /** Serialize ranges to a one-line text record. */
     std::string Serialize() const;

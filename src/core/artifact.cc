@@ -5,8 +5,6 @@
 #include <fstream>
 #include <sstream>
 
-#include "common/logging.h"
-
 namespace rumba::core {
 
 namespace {
@@ -91,34 +89,28 @@ Artifact::ToString() const
            HexU64(Fnv1a64(body.data(), body.size())) + "\n" + body;
 }
 
-bool
-Artifact::TryFromString(const std::string& text, Artifact* artifact,
-                        std::string* error)
+Result<Artifact>
+Artifact::TryFromString(const std::string& text)
 {
-    RUMBA_CHECK(artifact != nullptr);
-    std::string local_error;
-    std::string* err = error != nullptr ? error : &local_error;
+    const auto data_loss = [](std::string message) {
+        return Status(StatusCode::kDataLoss, std::move(message));
+    };
 
     size_t line_end = text.find('\n');
-    if (line_end == std::string::npos) {
-        *err = "not a rumba artifact (bad header)";
-        return false;
-    }
+    if (line_end == std::string::npos)
+        return data_loss("not a rumba artifact (bad header)");
     const std::string header = text.substr(0, line_end);
     size_t payload_at = line_end + 1;
     if (header == kHeaderV2) {
         // v2 carries a checksum line over everything below it.
         const size_t sum_end = text.find('\n', payload_at);
-        if (sum_end == std::string::npos) {
-            *err = "artifact missing checksum record";
-            return false;
-        }
+        if (sum_end == std::string::npos)
+            return data_loss("artifact missing checksum record");
         const std::string sum_line =
             text.substr(payload_at, sum_end - payload_at);
         if (sum_line.compare(0, sizeof(kChecksumTag) - 1,
                              kChecksumTag) != 0) {
-            *err = "artifact missing checksum record";
-            return false;
+            return data_loss("artifact missing checksum record");
         }
         const std::string expected =
             sum_line.substr(sizeof(kChecksumTag) - 1);
@@ -127,14 +119,13 @@ Artifact::TryFromString(const std::string& text, Artifact* artifact,
             HexU64(Fnv1a64(text.data() + payload_at,
                            text.size() - payload_at));
         if (expected != computed) {
-            *err = "artifact checksum mismatch (stored " + expected +
-                   ", computed " + computed +
-                   "): blob truncated or bit-rotted";
-            return false;
+            return data_loss(
+                "artifact checksum mismatch (stored " + expected +
+                ", computed " + computed +
+                "): blob truncated or bit-rotted");
         }
     } else if (header != kHeaderV1) {
-        *err = "not a rumba artifact (bad header)";
-        return false;
+        return data_loss("not a rumba artifact (bad header)");
     }
     const std::string payload = text.substr(payload_at);
 
@@ -142,35 +133,24 @@ Artifact::TryFromString(const std::string& text, Artifact* artifact,
     std::istringstream in(payload);
     std::string tag;
     in >> tag >> parsed.benchmark;
-    if (tag != "benchmark") {
-        *err = "artifact missing benchmark record";
-        return false;
-    }
+    if (tag != "benchmark")
+        return data_loss("artifact missing benchmark record");
     in >> tag >> parsed.threshold;
-    if (tag != "threshold" || in.fail()) {
-        *err = "artifact missing threshold record";
-        return false;
-    }
+    if (tag != "threshold" || in.fail())
+        return data_loss("artifact missing threshold record");
 
-    if (!TryReadSection(payload, "rumba_mlp", &parsed.rumba_mlp, err) ||
-        !TryReadSection(payload, "npu_mlp", &parsed.npu_mlp, err) ||
-        !TryReadSection(payload, "in_norm", &parsed.in_norm, err) ||
-        !TryReadSection(payload, "out_norm", &parsed.out_norm, err) ||
-        !TryReadSection(payload, "predictor", &parsed.predictor, err)) {
-        return false;
-    }
-    *artifact = std::move(parsed);
-    return true;
-}
-
-Artifact
-Artifact::FromString(const std::string& text)
-{
-    Artifact artifact;
     std::string error;
-    if (!TryFromString(text, &artifact, &error))
-        Fatal("%s", error.c_str());
-    return artifact;
+    if (!TryReadSection(payload, "rumba_mlp", &parsed.rumba_mlp,
+                        &error) ||
+        !TryReadSection(payload, "npu_mlp", &parsed.npu_mlp, &error) ||
+        !TryReadSection(payload, "in_norm", &parsed.in_norm, &error) ||
+        !TryReadSection(payload, "out_norm", &parsed.out_norm,
+                        &error) ||
+        !TryReadSection(payload, "predictor", &parsed.predictor,
+                        &error)) {
+        return data_loss(std::move(error));
+    }
+    return parsed;
 }
 
 bool
@@ -183,29 +163,17 @@ Artifact::Save(const std::string& path) const
     return static_cast<bool>(out);
 }
 
-bool
-Artifact::TryLoad(const std::string& path, Artifact* artifact,
-                  std::string* error)
+Result<Artifact>
+Artifact::TryLoad(const std::string& path)
 {
     std::ifstream in(path);
     if (!in) {
-        if (error != nullptr)
-            *error = "cannot open artifact '" + path + "'";
-        return false;
+        return Status(StatusCode::kNotFound,
+                      "cannot open artifact '" + path + "'");
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    return TryFromString(buffer.str(), artifact, error);
-}
-
-Artifact
-Artifact::Load(const std::string& path)
-{
-    Artifact artifact;
-    std::string error;
-    if (!TryLoad(path, &artifact, &error))
-        Fatal("%s", error.c_str());
-    return artifact;
+    return TryFromString(buffer.str());
 }
 
 }  // namespace rumba::core

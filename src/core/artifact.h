@@ -15,6 +15,8 @@
 
 #include <string>
 
+#include "core/status.h"
+
 namespace rumba::core {
 
 class Pipeline;
@@ -37,32 +39,23 @@ struct Artifact {
     std::string ToString() const;
 
     /**
-     * Parse a ToString() blob without dying: on success fills
-     * @p artifact and returns true; on malformed input returns false
-     * and (when non-null) @p error describes what is wrong. v1 blobs
-     * (no checksum line) are still accepted; v2 blobs must pass their
+     * Parse a ToString() blob without dying: kDataLoss (with a
+     * message saying what is wrong) on malformed input. v1 blobs (no
+     * checksum line) are still accepted; v2 blobs must pass their
      * checksum.
      */
-    static bool TryFromString(const std::string& text,
-                              Artifact* artifact, std::string* error);
-
-    /** Parse ToString() output; fatal on malformed input. */
-    static Artifact FromString(const std::string& text);
+    static Result<Artifact> TryFromString(const std::string& text);
 
     /** Write the blob to a file. @return false on I/O error. */
     bool Save(const std::string& path) const;
 
     /**
-     * Load a blob from a file without dying: false (with @p error
-     * filled when non-null) when the file is missing, truncated,
-     * bit-rotted or otherwise malformed. The caller can fall back to
-     * exact-only execution instead of crashing.
+     * Load a blob from a file without dying: kNotFound when the file
+     * cannot be opened, kDataLoss when it is truncated, bit-rotted or
+     * otherwise malformed. The caller can fall back to exact-only
+     * execution instead of crashing.
      */
-    static bool TryLoad(const std::string& path, Artifact* artifact,
-                        std::string* error);
-
-    /** Load a blob from a file; fatal when missing or malformed. */
-    static Artifact Load(const std::string& path);
+    static Result<Artifact> TryLoad(const std::string& path);
 };
 
 }  // namespace rumba::core

@@ -134,10 +134,24 @@ Pipeline::NormalizeInput(const std::vector<double>& raw) const
     return in_norm_.Apply(raw);
 }
 
+void
+Pipeline::NormalizeInput(const double* raw,
+                         std::vector<double>* out) const
+{
+    in_norm_.Apply(raw, in_norm_.Arity(), out);
+}
+
 std::vector<double>
 Pipeline::DenormalizeOutput(const std::vector<double>& norm) const
 {
     return out_norm_.Invert(norm);
+}
+
+void
+Pipeline::DenormalizeOutput(const std::vector<double>& norm,
+                            std::vector<double>* out) const
+{
+    out_norm_.Invert(norm.data(), norm.size(), out);
 }
 
 npu::Npu

@@ -87,9 +87,19 @@ class Pipeline {
     std::vector<double> NormalizeInput(
         const std::vector<double>& raw) const;
 
+    /** NormalizeInput() over a borrowed element buffer into a
+     *  reusable scratch vector (hot-path form, no allocation once
+     *  @p out has capacity). */
+    void NormalizeInput(const double* raw, std::vector<double>* out)
+        const;
+
     /** Map NN-domain outputs back into the raw output domain. */
     std::vector<double> DenormalizeOutput(
         const std::vector<double>& norm) const;
+
+    /** DenormalizeOutput() into a reusable scratch vector. */
+    void DenormalizeOutput(const std::vector<double>& norm,
+                           std::vector<double>* out) const;
 
     /**
      * Build an accelerator configured with the requested network.

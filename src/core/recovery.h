@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "apps/benchmark.h"
+#include "core/batch_view.h"
 #include "npu/fifo.h"
 
 namespace rumba::obs {
@@ -46,17 +47,26 @@ class RecoveryModule {
     /** The recovery queue the detector side pushes into. */
     RecoveryQueue& Queue() { return queue_; }
 
+    /** Read-only queue inspection. */
+    const RecoveryQueue& Queue() const { return queue_; }
+
     /**
      * Drain the queue: re-execute every flagged iteration exactly and
      * merge the exact outputs into @p outputs (the output-merger step).
      *
      * @param inputs all element inputs of the invocation (raw domain).
-     * @param outputs in/out: approximate outputs, overwritten with
-     *        exact results for flagged iterations.
+     * @param outputs in/out: flat approximate outputs
+     *        (inputs.count() x out_width), overwritten with exact
+     *        results for flagged iterations.
+     * @param out_width doubles per element in @p outputs.
      * @param fixed optional per-element flags updated to record which
      *        elements were recovered (may be nullptr).
      * @return iterations re-executed during this drain.
      */
+    size_t Drain(const BatchView& inputs, double* outputs,
+                 size_t out_width, std::vector<char>* fixed);
+
+    /** Drain() over the legacy vector-of-vectors batch form. */
     size_t Drain(const std::vector<std::vector<double>>& inputs,
                  std::vector<std::vector<double>>* outputs,
                  std::vector<char>* fixed);

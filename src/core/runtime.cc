@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "fault/injector.h"
+#include "nn/mlp.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/stream.h"
@@ -162,17 +163,45 @@ RumbaRuntime::CalibrateThreshold(double target_error_pct)
     return std::max(scores[order[hi - 1]], config_.tuner.min_threshold);
 }
 
+Result<std::unique_ptr<RumbaRuntime>>
+RumbaRuntime::FromArtifact(const Artifact& artifact,
+                           const RuntimeConfig& config)
+{
+    auto bench = apps::TryMakeBenchmark(artifact.benchmark);
+    if (bench == nullptr) {
+        return Status(StatusCode::kNotFound,
+                      "artifact names unknown benchmark '" +
+                          artifact.benchmark + "'");
+    }
+    if (predict::TryDeserializePredictor(artifact.predictor) ==
+        nullptr) {
+        return Status(StatusCode::kDataLoss,
+                      "artifact carries an unrecognized checker blob");
+    }
+    const nn::Mlp probe = nn::Mlp::Deserialize(artifact.rumba_mlp);
+    if (probe.GetTopology().NumInputs() != bench->NumInputs() ||
+        probe.GetTopology().NumOutputs() != bench->NumOutputs()) {
+        return Status(
+            StatusCode::kFailedPrecondition,
+            "artifact network arity does not match kernel '" +
+                artifact.benchmark + "'");
+    }
+    return std::unique_ptr<RumbaRuntime>(
+        new RumbaRuntime(artifact, config));
+}
+
 InvocationReport
-RumbaRuntime::ProcessInvocation(
-    const std::vector<std::vector<double>>& raw_inputs,
-    std::vector<std::vector<double>>* outputs)
+RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
+                                double* outputs)
 {
     RUMBA_CHECK(outputs != nullptr);
     RUMBA_CHECK(!raw_inputs.empty());
+    RUMBA_CHECK(raw_inputs.width() == pipeline_.Bench().NumInputs());
     const obs::ScopedTimer invocation_timer(obs_invocation_ns_);
     const obs::Span invocation_span("runtime.invocation");
     const apps::Benchmark& app = pipeline_.Bench();
-    const size_t n = raw_inputs.size();
+    const size_t n = raw_inputs.count();
+    const size_t out_w = app.NumOutputs();
 
     detector_.SetThreshold(tuner_.Threshold());
     detector_.Reset();
@@ -195,8 +224,8 @@ RumbaRuntime::ProcessInvocation(
         injector.Armed() &&
         injector.Enabled(fault::FaultClass::kQueueStall);
 
-    outputs->assign(n, {});
-    std::vector<char> fixed(n, 0);
+    std::vector<char>& fixed = scratch_fixed_;
+    fixed.assign(n, 0);
     double unfixed_predicted_sum = 0.0;
     size_t unfixed_count = 0;
     size_t fires = 0;
@@ -206,14 +235,17 @@ RumbaRuntime::ProcessInvocation(
 
     {
         const obs::Span stream_span("runtime.accel_stream");
+        std::vector<double>& norm_in = scratch_norm_in_;
+        std::vector<double>& norm_out = scratch_norm_out_;
+        std::vector<double>& raw_out = scratch_raw_out_;
         for (size_t i = 0; i < approx_n; ++i) {
-            const auto norm_in =
-                pipeline_.NormalizeInput(raw_inputs[i]);
-            const auto norm_out = accel_.Invoke(norm_in);
-            (*outputs)[i] = pipeline_.DenormalizeOutput(norm_out);
+            pipeline_.NormalizeInput(raw_inputs[i].data(), &norm_in);
+            accel_.Invoke(norm_in, &norm_out);
+            pipeline_.DenormalizeOutput(norm_out, &raw_out);
+            std::copy(raw_out.begin(), raw_out.end(),
+                      outputs + i * out_w);
 
-            const CheckResult check =
-                detector_.Check(norm_in, (*outputs)[i]);
+            const CheckResult check = detector_.Check(norm_in, raw_out);
             if (check.non_finite)
                 ++non_finite_seen;
             bool fired = check.fired;
@@ -241,7 +273,8 @@ RumbaRuntime::ProcessInvocation(
                             "recovery.queue_backpressure");
                         ++queue_full_stalls;
                         recovery_.RecordQueueFullStall();
-                        recovery_.Drain(raw_inputs, outputs, &fixed);
+                        recovery_.Drain(raw_inputs, outputs, out_w,
+                                        &fixed);
                     }
                 }
                 if (!recovery_.Queue().Push(RecoveryEntry{i})) {
@@ -260,15 +293,14 @@ RumbaRuntime::ProcessInvocation(
         // recovery of everything), bypassing accelerator and checker.
         const obs::Span exact_span("runtime.breaker_exact");
         for (size_t i = approx_n; i < n; ++i) {
-            (*outputs)[i].assign(app.NumOutputs(), 0.0);
-            app.RunExact(raw_inputs[i].data(), (*outputs)[i].data());
+            app.RunExact(raw_inputs[i].data(), outputs + i * out_w);
             fixed[i] = 1;
         }
         obs_breaker_exact_elements_->Increment(n - approx_n);
     }
     {
         const obs::Span merge_span("runtime.merge");
-        recovery_.Drain(raw_inputs, outputs, &fixed);
+        recovery_.Drain(raw_inputs, outputs, out_w, &fixed);
     }
     // Non-finite salvage: a NaN/Inf approximate output must never be
     // delivered. The detector's guard queues them, but an overflowed
@@ -279,16 +311,15 @@ RumbaRuntime::ProcessInvocation(
         if (fixed[i])
             continue;
         bool finite = true;
-        for (double v : (*outputs)[i]) {
-            if (!std::isfinite(v)) {
+        for (size_t o = 0; o < out_w; ++o) {
+            if (!std::isfinite(outputs[i * out_w + o])) {
                 finite = false;
                 break;
             }
         }
         if (finite)
             continue;
-        (*outputs)[i].assign(app.NumOutputs(), 0.0);
-        app.RunExact(raw_inputs[i].data(), (*outputs)[i].data());
+        app.RunExact(raw_inputs[i].data(), outputs + i * out_w);
         fixed[i] = 1;
         ++salvaged;
     }
@@ -299,16 +330,21 @@ RumbaRuntime::ProcessInvocation(
 
     // True residual error (the runtime can verify because the exact
     // kernel is available; a production deployment would not).
-    std::vector<double> residual(n, 0.0);
+    std::vector<double>& residual = scratch_residual_;
+    residual.assign(n, 0.0);
     {
         const obs::ScopedTimer verify_timer(obs_verify_ns_);
         const obs::Span verify_span("runtime.verify");
-        std::vector<double> exact(app.NumOutputs());
+        std::vector<double>& exact = scratch_raw_out_;
+        std::vector<double>& approx = scratch_norm_out_;
+        exact.assign(out_w, 0.0);
         for (size_t i = 0; i < n; ++i) {
             if (fixed[i])
                 continue;
             app.RunExact(raw_inputs[i].data(), exact.data());
-            residual[i] = app.ElementError(exact, (*outputs)[i]);
+            approx.assign(outputs + i * out_w,
+                          outputs + (i + 1) * out_w);
+            residual[i] = app.ElementError(exact, approx);
         }
     }
     report.output_error_pct = app.AggregateError(residual);
@@ -422,6 +458,27 @@ RumbaRuntime::ProcessInvocation(
     event.breaker_state =
         static_cast<uint32_t>(report.breaker_state);
     obs::TraceRing::Default().Record(event);
+    return report;
+}
+
+InvocationReport
+RumbaRuntime::ProcessInvocation(
+    const std::vector<std::vector<double>>& raw_inputs,
+    std::vector<std::vector<double>>* outputs)
+{
+    RUMBA_CHECK(outputs != nullptr);
+    const std::vector<double> flat = FlattenBatch(raw_inputs);
+    const size_t in_w = pipeline_.Bench().NumInputs();
+    const size_t out_w = pipeline_.Bench().NumOutputs();
+    std::vector<double> flat_out(raw_inputs.size() * out_w, 0.0);
+    const InvocationReport report = ProcessInvocation(
+        BatchView(flat, in_w), flat_out.data());
+    outputs->assign(raw_inputs.size(), {});
+    for (size_t i = 0; i < raw_inputs.size(); ++i) {
+        (*outputs)[i].assign(
+            flat_out.begin() + static_cast<ptrdiff_t>(i * out_w),
+            flat_out.begin() + static_cast<ptrdiff_t>((i + 1) * out_w));
+    }
     return report;
 }
 

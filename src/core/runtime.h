@@ -17,12 +17,14 @@
 #include <vector>
 
 #include "core/artifact.h"
+#include "core/batch_view.h"
 #include "core/breaker.h"
 #include "core/detector.h"
 #include "core/drift.h"
 #include "core/pipeline.h"
 #include "core/recovery.h"
 #include "core/schemes.h"
+#include "core/status.h"
 #include "core/tuner.h"
 #include "sim/system_model.h"
 
@@ -51,6 +53,121 @@ struct RuntimeConfig {
     BreakerConfig breaker;
     sim::CoreParams core;             ///< host-core model (Table 2).
     sim::EnergyParams energy;         ///< event energies.
+
+    class Builder;
+};
+
+/**
+ * Fluent construction of a RuntimeConfig, so applications state their
+ * intent in one expression instead of mutating nested structs
+ * field-by-field:
+ *
+ *   const auto config = core::RuntimeConfig::Builder()
+ *                           .WithChecker(core::Scheme::kTree)
+ *                           .WithTunerMode(core::TuningMode::kToq)
+ *                           .WithTargetErrorPct(10.0)
+ *                           .Build();
+ *
+ * Seed an existing config into the constructor to derive variants
+ * (e.g. the same runtime with a twitchier breaker).
+ */
+class RuntimeConfig::Builder {
+  public:
+    Builder() = default;
+
+    /** Start from @p base instead of the defaults. */
+    explicit Builder(const RuntimeConfig& base) : config_(base) {}
+
+    Builder&
+    WithChecker(Scheme checker)
+    {
+        config_.checker = checker;
+        return *this;
+    }
+
+    Builder&
+    WithTunerMode(TuningMode mode)
+    {
+        config_.tuner.mode = mode;
+        return *this;
+    }
+
+    /** TOQ-mode goal: target output error in percent. */
+    Builder&
+    WithTargetErrorPct(double pct)
+    {
+        config_.tuner.target_error_pct = pct;
+        return *this;
+    }
+
+    /** Energy-mode goal: re-executions allowed per invocation. */
+    Builder&
+    WithIterationBudget(size_t budget)
+    {
+        config_.tuner.iteration_budget = budget;
+        return *this;
+    }
+
+    /** Fixed starting threshold (skips offline calibration). */
+    Builder&
+    WithInitialThreshold(double threshold)
+    {
+        config_.initial_threshold = threshold;
+        return *this;
+    }
+
+    /** Clamp the tuner's threshold walk to [min, max]. Pinning the
+     *  whole range above any reachable score makes an "unchecked"
+     *  runtime whose checks never fire (a common baseline). */
+    Builder&
+    WithThresholdRange(double min_threshold, double max_threshold)
+    {
+        config_.tuner.min_threshold = min_threshold;
+        config_.tuner.max_threshold = max_threshold;
+        return *this;
+    }
+
+    Builder&
+    WithTrainEpochs(size_t epochs)
+    {
+        config_.pipeline.train_epochs = epochs;
+        return *this;
+    }
+
+    Builder&
+    WithSeed(uint64_t seed)
+    {
+        config_.pipeline.seed = seed;
+        return *this;
+    }
+
+    /** Subsample caps for quick runs (0 = use everything). */
+    Builder&
+    WithElementCaps(size_t max_train, size_t max_test)
+    {
+        config_.pipeline.max_train_elements = max_train;
+        config_.pipeline.max_test_elements = max_test;
+        return *this;
+    }
+
+    Builder&
+    WithRecoveryQueueCapacity(size_t capacity)
+    {
+        config_.recovery_queue_capacity = capacity;
+        return *this;
+    }
+
+    Builder&
+    WithBreaker(const BreakerConfig& breaker)
+    {
+        config_.breaker = breaker;
+        return *this;
+    }
+
+    RuntimeConfig Build() const { return config_; }
+
+  private:
+    RuntimeConfig config_;
 };
 
 /** What one invocation reported back. */
@@ -137,10 +254,23 @@ class RumbaRuntime {
      * "embedded in the binary" configuration): no training happens;
      * the networks, normalizers, checker and threshold all come from
      * @p artifact. config.checker and config.initial_threshold are
-     * ignored.
+     * ignored. Checked-fatal on an artifact that names an unknown
+     * kernel or carries an unrecognized checker blob — use
+     * FromArtifact() where the artifact is external input.
      */
     RumbaRuntime(const struct Artifact& artifact,
                  const RuntimeConfig& config);
+
+    /**
+     * Fallible artifact construction: validates that the artifact
+     * names a known kernel (kNotFound), carries a recognizable
+     * checker blob (kDataLoss) and a network matching the kernel's
+     * arity (kFailedPrecondition) before bringing the system up. The
+     * artifact is only read — a serving engine instantiates every
+     * shard's replica from one shared Artifact.
+     */
+    static Result<std::unique_ptr<RumbaRuntime>> FromArtifact(
+        const struct Artifact& artifact, const RuntimeConfig& config);
 
     /** Releases the env-configured snapshot streamer (obs/stream.h). */
     ~RumbaRuntime();
@@ -153,8 +283,20 @@ class RumbaRuntime {
 
     /**
      * Run one accelerator invocation over a batch of raw element
-     * inputs. @p outputs receives the merged (approximate + recovered
-     * exact) element outputs.
+     * inputs — the hot-path form. @p raw_inputs views one contiguous
+     * buffer of count x NumInputs() doubles; @p outputs receives the
+     * merged (approximate + recovered exact) element outputs as
+     * count x NumOutputs() contiguous doubles into caller-owned
+     * storage. Steady-state invocations perform no per-element heap
+     * allocation.
+     */
+    InvocationReport ProcessInvocation(const BatchView& raw_inputs,
+                                       double* outputs);
+
+    /**
+     * Legacy batch form: packs the ragged rows into the contiguous
+     * layout and forwards to the BatchView overload (thin adapter —
+     * identical results, extra copies).
      */
     InvocationReport ProcessInvocation(
         const std::vector<std::vector<double>>& raw_inputs,
@@ -205,6 +347,13 @@ class RumbaRuntime {
     /** Checker scores observed on the training elements during
      *  threshold calibration (drift baseline). */
     std::vector<double> calibration_scores_;
+    /** Hot-path scratch reused across invocations so steady-state
+     *  ProcessInvocation() stays allocation-free. */
+    std::vector<double> scratch_norm_in_;
+    std::vector<double> scratch_norm_out_;
+    std::vector<double> scratch_raw_out_;
+    std::vector<double> scratch_residual_;
+    std::vector<char> scratch_fixed_;
     size_t invocations_ = 0;
     RunSummary summary_;
     DriftMonitor drift_;

@@ -1,0 +1,39 @@
+#include "core/status.h"
+
+namespace rumba::core {
+
+const char*
+StatusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk:
+        return "ok";
+      case StatusCode::kCancelled:
+        return "cancelled";
+      case StatusCode::kInvalidArgument:
+        return "invalid-argument";
+      case StatusCode::kNotFound:
+        return "not-found";
+      case StatusCode::kDataLoss:
+        return "data-loss";
+      case StatusCode::kResourceExhausted:
+        return "resource-exhausted";
+      case StatusCode::kFailedPrecondition:
+        return "failed-precondition";
+      case StatusCode::kUnavailable:
+        return "unavailable";
+      case StatusCode::kInternal:
+        return "internal";
+    }
+    return "unknown";
+}
+
+std::string
+Status::ToString() const
+{
+    if (ok())
+        return "ok";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+}
+
+}  // namespace rumba::core

@@ -1,0 +1,127 @@
+#ifndef RUMBA_CORE_STATUS_H_
+#define RUMBA_CORE_STATUS_H_
+
+/**
+ * @file
+ * Fallible-result types for the public API. Library entry points that
+ * can fail at runtime on external input — artifact loading, runtime
+ * construction from a deployed artifact, request submission to the
+ * serving engine — return a Status (code + message) or a Result<T>
+ * (Status or value) instead of dying in Fatal() or collapsing the
+ * failure into a bare bool. Fatal() remains for programming errors
+ * and for the tools/benches, where dying with a message is the right
+ * behaviour.
+ */
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace rumba::core {
+
+/** Why an operation failed (kOk means it did not). */
+enum class StatusCode {
+    kOk = 0,
+    kCancelled,           ///< shut down before the work ran.
+    kInvalidArgument,     ///< malformed request (caller bug).
+    kNotFound,            ///< named thing does not exist.
+    kDataLoss,            ///< blob truncated, bit-rotted, unparsable.
+    kResourceExhausted,   ///< queue full — backpressure, retry later.
+    kFailedPrecondition,  ///< state does not admit the operation.
+    kUnavailable,         ///< temporarily not accepting work.
+    kInternal,            ///< invariant violation inside the library.
+};
+
+/** Stable lowercase name ("ok", "data-loss", ...). */
+const char* StatusCodeName(StatusCode code);
+
+/** The outcome of a fallible operation: a code plus, on failure, a
+ *  human-readable message saying what went wrong. */
+class [[nodiscard]] Status {
+  public:
+    /** Success. */
+    Status() = default;
+
+    /** Failure with a message; @p code must not be kOk. */
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+        RUMBA_CHECK(code != StatusCode::kOk);
+    }
+
+    /** Explicit success value (reads better than `{}` at call sites). */
+    static Status Ok() { return Status(); }
+
+    bool ok() const { return code_ == StatusCode::kOk; }
+    StatusCode code() const { return code_; }
+    const std::string& message() const { return message_; }
+
+    /** "ok" or "<code-name>: <message>". */
+    std::string ToString() const;
+
+  private:
+    StatusCode code_ = StatusCode::kOk;
+    std::string message_;
+};
+
+/**
+ * A value or the Status explaining why there is none. Construction is
+ * implicit from either side, so `return Status(...)` and
+ * `return value` both work; access to the wrong side is a checked
+ * programming error.
+ */
+template <typename T>
+class [[nodiscard]] Result {
+  public:
+    /** Success. */
+    Result(T value) : value_(std::move(value)) {}
+
+    /** Failure; @p status must not be ok. */
+    Result(Status status) : status_(std::move(status))
+    {
+        RUMBA_CHECK(!status_.ok());
+    }
+
+    bool ok() const { return value_.has_value(); }
+
+    /** The failure (Status::Ok() when ok()). */
+    const Status& status() const { return status_; }
+
+    /** The value; checked against access on failure. */
+    const T&
+    value() const&
+    {
+        RUMBA_CHECK(value_.has_value());
+        return *value_;
+    }
+
+    T&
+    value() &
+    {
+        RUMBA_CHECK(value_.has_value());
+        return *value_;
+    }
+
+    /** Move the value out (for move-only payloads like futures). */
+    T&&
+    value() &&
+    {
+        RUMBA_CHECK(value_.has_value());
+        return *std::move(value_);
+    }
+
+    const T& operator*() const& { return value(); }
+    T& operator*() & { return value(); }
+    const T* operator->() const { return &value(); }
+    T* operator->() { return &value(); }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+}  // namespace rumba::core
+
+#endif  // RUMBA_CORE_STATUS_H_

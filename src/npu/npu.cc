@@ -85,15 +85,26 @@ Npu::Configure(const nn::Mlp& mlp)
 std::vector<double>
 Npu::Invoke(const std::vector<double>& input)
 {
+    std::vector<double> out;
+    Invoke(input, &out);
+    return out;
+}
+
+void
+Npu::Invoke(const std::vector<double>& input,
+            std::vector<double>* output)
+{
     RUMBA_CHECK(Configured());
     RUMBA_CHECK(input.size() == topology_.NumInputs());
+    RUMBA_CHECK(output != nullptr);
     const obs::ScopedTimer timer(obs_invoke_ns_);
     const obs::Span span("npu.invoke");
     obs_invocations_->Increment();
 
     // Stream inputs in through the input queue, quantizing at the
     // interface.
-    std::vector<int16_t> current;
+    std::vector<int16_t>& current = scratch_current_;
+    current.clear();
     current.reserve(input.size());
     for (double v : input)
         current.push_back(config_.format.Quantize(v));
@@ -107,7 +118,7 @@ Npu::Invoke(const std::vector<double>& input)
         armed && injector.Enabled(fault::FaultClass::kNpuBitFlip);
 
     const int16_t one = config_.format.Quantize(1.0);
-    std::vector<int16_t> next;
+    std::vector<int16_t>& next = scratch_next_;
     for (const auto& layer : layers_) {
         next.assign(layer.out, 0);
         for (size_t n = 0; n < layer.out; ++n) {
@@ -151,7 +162,8 @@ Npu::Invoke(const std::vector<double>& input)
     stats_.cycles += schedule_.total_cycles;
     ++stats_.invocations;
 
-    std::vector<double> out;
+    std::vector<double>& out = *output;
+    out.clear();
     out.reserve(current.size());
     for (int16_t q : current)
         out.push_back(config_.format.Dequantize(q));
@@ -185,7 +197,6 @@ Npu::Invoke(const std::vector<double>& input)
             }
         }
     }
-    return out;
 }
 
 double

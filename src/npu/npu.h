@@ -69,6 +69,15 @@ class Npu {
      */
     std::vector<double> Invoke(const std::vector<double>& input);
 
+    /**
+     * Invoke() into a caller-owned output vector (hot-path form: the
+     * datapath reuses internal scratch and @p output keeps its
+     * capacity across calls, so a steady-state invocation performs no
+     * heap allocation).
+     */
+    void Invoke(const std::vector<double>& input,
+                std::vector<double>* output);
+
     /** Latency of one invocation in accelerator cycles. */
     size_t CyclesPerInvocation() const { return schedule_.total_cycles; }
 
@@ -109,6 +118,9 @@ class Npu {
     SigmoidLut sigmoid_lut_;
     SigmoidLut tanh_lut_;
     NpuStats stats_;
+    /** Datapath scratch reused across invocations (see Invoke). */
+    std::vector<int16_t> scratch_current_;
+    std::vector<int16_t> scratch_next_;
     /** Process-wide telemetry (obs/metrics.h): invocation count and
      *  per-invoke wall-clock latency. */
     obs::Counter* obs_invocations_;

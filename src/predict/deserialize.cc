@@ -13,6 +13,19 @@ namespace rumba::predict {
 std::unique_ptr<ErrorPredictor>
 DeserializePredictor(const std::string& blob)
 {
+    auto predictor = TryDeserializePredictor(blob);
+    if (predictor == nullptr) {
+        std::istringstream in(blob);
+        std::string tag;
+        in >> tag;
+        Fatal("unknown predictor blob tag '%s'", tag.c_str());
+    }
+    return predictor;
+}
+
+std::unique_ptr<ErrorPredictor>
+TryDeserializePredictor(const std::string& blob)
+{
     std::istringstream in(blob);
     std::string tag;
     in >> tag;
@@ -32,7 +45,7 @@ DeserializePredictor(const std::string& blob)
         return std::make_unique<ValuePredictionError>(
             ValuePredictionError::Deserialize(blob));
     }
-    Fatal("unknown predictor blob tag '%s'", tag.c_str());
+    return nullptr;
 }
 
 }  // namespace rumba::predict

@@ -78,6 +78,16 @@ class ErrorPredictor {
 std::unique_ptr<ErrorPredictor> DeserializePredictor(
     const std::string& blob);
 
+/**
+ * Rebuild a trained checker without dying: nullptr when the blob's
+ * leading tag names no known scheme (fallible artifact loaders check
+ * this before committing to a runtime). The blob is read through a
+ * const reference only — shards of a serving engine deserialize their
+ * replicas from one shared artifact.
+ */
+std::unique_ptr<ErrorPredictor> TryDeserializePredictor(
+    const std::string& blob);
+
 }  // namespace rumba::predict
 
 #endif  // RUMBA_PREDICT_PREDICTOR_H_

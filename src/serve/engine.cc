@@ -1,0 +1,340 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+#include "core/batch_view.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/timer.h"
+
+namespace rumba::serve {
+
+namespace {
+
+/** Immediately-resolved future for requests that never enqueue. */
+std::future<InvocationResult>
+Resolved(InvocationResult result)
+{
+    std::promise<InvocationResult> promise;
+    std::future<InvocationResult> future = promise.get_future();
+    promise.set_value(std::move(result));
+    return future;
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(const ServeConfig& config,
+                             size_t input_width, size_t output_width)
+    : config_(config),
+      input_width_(input_width),
+      output_width_(output_width)
+{
+    auto& registry = obs::Registry::Default();
+    obs_submitted_ = registry.GetCounter("serve.submitted");
+    obs_rejected_ = registry.GetCounter("serve.rejected");
+    obs_completed_ = registry.GetCounter("serve.completed");
+    obs_cancelled_ = registry.GetCounter("serve.cancelled");
+    obs_coalesced_batches_ =
+        registry.GetCounter("serve.coalesced_batches");
+    obs_enqueue_to_complete_ns_ =
+        registry.GetHistogram("serve.enqueue_to_complete_ns");
+    obs_batch_elements_ = registry.GetHistogram("serve.batch_elements");
+}
+
+core::Result<std::unique_ptr<ShardedEngine>>
+ShardedEngine::Create(const core::Artifact& artifact,
+                      const core::RuntimeConfig& runtime_config,
+                      const ServeConfig& serve_config)
+{
+    if (serve_config.shards == 0) {
+        return core::Status(core::StatusCode::kInvalidArgument,
+                            "a serving engine needs at least one shard");
+    }
+    if (serve_config.queue_capacity == 0) {
+        return core::Status(
+            core::StatusCode::kInvalidArgument,
+            "queue_capacity 0 would reject every submission");
+    }
+
+    // Validate the artifact once, then replicate: every shard is
+    // instantiated from the same deployment blob (train-once,
+    // replicate-everywhere), so one failure mode covers all shards.
+    std::vector<std::unique_ptr<core::RumbaRuntime>> replicas;
+    replicas.reserve(serve_config.shards);
+    for (size_t i = 0; i < serve_config.shards; ++i) {
+        auto replica =
+            core::RumbaRuntime::FromArtifact(artifact, runtime_config);
+        if (!replica.ok())
+            return replica.status();
+        replicas.push_back(std::move(replica).value());
+    }
+
+    const size_t in_w = replicas.front()->Bench().NumInputs();
+    const size_t out_w = replicas.front()->Bench().NumOutputs();
+    std::unique_ptr<ShardedEngine> engine(
+        new ShardedEngine(serve_config, in_w, out_w));
+
+    auto& registry = obs::Registry::Default();
+    engine->shards_.reserve(serve_config.shards);
+    for (size_t i = 0; i < serve_config.shards; ++i) {
+        auto shard = std::make_unique<Shard>(serve_config.queue_capacity);
+        shard->runtime = std::move(replicas[i]);
+        const std::string prefix =
+            "serve.shard" + std::to_string(i) + ".";
+        shard->obs_queue_depth =
+            registry.GetGauge(prefix + "queue_depth");
+        shard->obs_breaker_state =
+            registry.GetGauge(prefix + "breaker_state");
+        shard->obs_served = registry.GetCounter(prefix + "served");
+        engine->shards_.push_back(std::move(shard));
+    }
+    for (size_t i = 0; i < serve_config.shards; ++i) {
+        engine->shards_[i]->worker =
+            std::thread([raw = engine.get(), i] { raw->WorkerLoop(i); });
+    }
+    return engine;
+}
+
+ShardedEngine::~ShardedEngine()
+{
+    Shutdown();
+}
+
+const core::RumbaRuntime&
+ShardedEngine::Runtime(size_t i) const
+{
+    RUMBA_CHECK(i < shards_.size());
+    return *shards_[i]->runtime;
+}
+
+std::future<InvocationResult>
+ShardedEngine::Submit(InvocationRequest request)
+{
+    obs_submitted_->Increment();
+
+    InvocationResult reject;
+    if (shutdown_.load(std::memory_order_acquire)) {
+        reject.status =
+            core::Status(core::StatusCode::kUnavailable,
+                         "engine is shut down");
+        obs_rejected_->Increment();
+        return Resolved(std::move(reject));
+    }
+    if (request.count == 0 || request.width != input_width_ ||
+        request.inputs.size() != request.count * request.width) {
+        reject.status = core::Status(
+            core::StatusCode::kInvalidArgument,
+            "request shape must be count x " +
+                std::to_string(input_width_) + " contiguous doubles");
+        obs_rejected_->Increment();
+        return Resolved(std::move(reject));
+    }
+    if (request.shard != InvocationRequest::kAnyShard &&
+        (request.shard < 0 ||
+         static_cast<size_t>(request.shard) >= shards_.size())) {
+        reject.status =
+            core::Status(core::StatusCode::kInvalidArgument,
+                         "no such shard " +
+                             std::to_string(request.shard));
+        obs_rejected_->Increment();
+        return Resolved(std::move(reject));
+    }
+
+    const size_t shard_index =
+        request.shard == InvocationRequest::kAnyShard
+            ? next_shard_.fetch_add(1, std::memory_order_relaxed) %
+                  shards_.size()
+            : static_cast<size_t>(request.shard);
+    Shard& shard = *shards_[shard_index];
+
+    Pending pending;
+    pending.request = std::move(request);
+    pending.enqueue_ns = obs::NowNs();
+    std::future<InvocationResult> future =
+        pending.promise.get_future();
+
+    // Count the request in-flight *before* the push: the worker may
+    // complete it (and decrement) the instant it lands.
+    {
+        std::lock_guard<std::mutex> lock(drain_mu_);
+        ++in_flight_;
+    }
+    if (!shard.queue.TryPush(pending)) {
+        {
+            std::lock_guard<std::mutex> lock(drain_mu_);
+            --in_flight_;
+        }
+        drain_cv_.notify_all();
+        reject.status = core::Status(
+            core::StatusCode::kResourceExhausted,
+            "shard " + std::to_string(shard_index) +
+                " queue is full (backpressure; retry later)");
+        reject.shard = shard_index;
+        obs_rejected_->Increment();
+        // The promise in `pending` dies unused; the caller holds the
+        // resolved future below instead.
+        return Resolved(std::move(reject));
+    }
+    shard.obs_queue_depth->Set(
+        static_cast<double>(shard.queue.Size()));
+    return future;
+}
+
+void
+ShardedEngine::Drain()
+{
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void
+ShardedEngine::Shutdown()
+{
+    bool expected = false;
+    if (!shutdown_.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel))
+        return;  // idempotent: someone already shut us down.
+
+    // Cancel everything still queued; workers finish their in-flight
+    // batch (its futures resolve kOk), then see the closed queue and
+    // exit.
+    for (auto& shard : shards_) {
+        std::deque<Pending> leftovers;
+        shard->queue.Close(&leftovers);
+        for (auto& pending : leftovers) {
+            InvocationResult cancelled;
+            cancelled.status =
+                core::Status(core::StatusCode::kCancelled,
+                             "engine shut down before the request ran");
+            obs_cancelled_->Increment();
+            FinishOne(&pending, std::move(cancelled));
+        }
+    }
+    for (auto& shard : shards_) {
+        if (shard->worker.joinable())
+            shard->worker.join();
+    }
+}
+
+void
+ShardedEngine::Pause()
+{
+    for (auto& shard : shards_)
+        shard->queue.SetPaused(true);
+}
+
+void
+ShardedEngine::Resume()
+{
+    for (auto& shard : shards_)
+        shard->queue.SetPaused(false);
+}
+
+void
+ShardedEngine::FinishOne(Pending* pending, InvocationResult result)
+{
+    pending->promise.set_value(std::move(result));
+    {
+        std::lock_guard<std::mutex> lock(drain_mu_);
+        --in_flight_;
+    }
+    drain_cv_.notify_all();
+}
+
+void
+ShardedEngine::WorkerLoop(size_t shard_index)
+{
+    Shard& shard = *shards_[shard_index];
+    Pending first;
+    while (shard.queue.Pop(&first)) {
+        std::vector<Pending> batch;
+        size_t total = first.request.count;
+        batch.push_back(std::move(first));
+        if (config_.max_coalesce_elements > 0) {
+            Pending extra;
+            while (total < config_.max_coalesce_elements &&
+                   shard.queue.TryPop(&extra)) {
+                total += extra.request.count;
+                batch.push_back(std::move(extra));
+            }
+        }
+        shard.obs_queue_depth->Set(
+            static_cast<double>(shard.queue.Size()));
+        ProcessBatch(shard, shard_index, &batch);
+    }
+}
+
+void
+ShardedEngine::ProcessBatch(Shard& shard, size_t shard_index,
+                            std::vector<Pending>* batch)
+{
+    const obs::Span batch_span("serve.batch");
+    size_t total = 0;
+    for (const Pending& pending : *batch)
+        total += pending.request.count;
+    obs_batch_elements_->Observe(static_cast<double>(total));
+    if (batch->size() > 1)
+        obs_coalesced_batches_->Increment();
+
+    // One contiguous invocation over the whole batch. A lone request
+    // is served straight out of its own buffer (zero copy); a
+    // coalesced batch concatenates into shard-local scratch.
+    const double* in_data;
+    if (batch->size() == 1) {
+        in_data = (*batch)[0].request.inputs.data();
+    } else {
+        shard.scratch_in.clear();
+        shard.scratch_in.reserve(total * input_width_);
+        for (const Pending& pending : *batch) {
+            shard.scratch_in.insert(shard.scratch_in.end(),
+                                    pending.request.inputs.begin(),
+                                    pending.request.inputs.end());
+        }
+        in_data = shard.scratch_in.data();
+    }
+    shard.scratch_out.resize(total * output_width_);
+
+    const core::BatchView view(in_data, total, input_width_);
+    const core::InvocationReport report =
+        shard.runtime->ProcessInvocation(view,
+                                         shard.scratch_out.data());
+
+    // Modeled accelerator occupancy (see ServeConfig): the shard's
+    // virtual device stays busy for the invocation's element count;
+    // other shards' devices run during the wait, which is exactly the
+    // overlap a multi-accelerator deployment gets.
+    if (config_.emulated_device_ns > 0) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(
+            config_.emulated_device_ns * total));
+    }
+
+    shard.obs_breaker_state->Set(
+        static_cast<double>(static_cast<int>(report.breaker_state)));
+    shard.obs_served->Increment(total);
+
+    const uint64_t done_ns = obs::NowNs();
+    size_t offset = 0;
+    for (Pending& pending : *batch) {
+        const size_t count = pending.request.count;
+        InvocationResult result;
+        result.status = core::Status::Ok();
+        result.shard = shard_index;
+        result.report = report;
+        result.report.elements = count;
+        result.outputs.assign(
+            shard.scratch_out.begin() +
+                static_cast<ptrdiff_t>(offset * output_width_),
+            shard.scratch_out.begin() + static_cast<ptrdiff_t>(
+                                            (offset + count) *
+                                            output_width_));
+        offset += count;
+        obs_enqueue_to_complete_ns_->Observe(
+            static_cast<double>(done_ns - pending.enqueue_ns));
+        obs_completed_->Increment();
+        FinishOne(&pending, std::move(result));
+    }
+}
+
+}  // namespace rumba::serve

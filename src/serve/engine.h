@@ -1,0 +1,229 @@
+#ifndef RUMBA_SERVE_ENGINE_H_
+#define RUMBA_SERVE_ENGINE_H_
+
+/**
+ * @file
+ * The sharded serving engine: Rumba as an online service. The paper's
+ * runtime manages one accelerator; a deployment serves many
+ * concurrent clients, so the engine owns N worker shards, each
+ * holding a full RumbaRuntime replica (accelerator + checker + tuner
+ * + breaker) instantiated from one shared deployment Artifact —
+ * train once, replicate everywhere.
+ *
+ * Clients Submit() asynchronously and receive a
+ * std::future<InvocationResult>. Requests flow through a bounded
+ * per-shard queue with reject-on-full backpressure (the same
+ * drop-visible policy as the recovery queue: overload is reported,
+ * never silently absorbed as latency). Each shard worker drains its
+ * queue in FIFO order, optionally coalescing adjacent small requests
+ * into one accelerator invocation, and completes the futures.
+ *
+ * Determinism: with explicit or round-robin shard assignment and
+ * coalescing disabled, shard k's runtime sees exactly the same
+ * request stream a dedicated single-runtime deployment would, so the
+ * merged outputs are element-wise identical to N sequential streams
+ * (tested). Coalescing trades that replayability for throughput:
+ * batch boundaries then depend on arrival timing, which perturbs the
+ * per-invocation tuner walk (never output correctness).
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/artifact.h"
+#include "core/runtime.h"
+#include "core/status.h"
+#include "serve/queue.h"
+
+namespace rumba::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace rumba::obs
+
+namespace rumba::serve {
+
+/** Serving-engine knobs. */
+struct ServeConfig {
+    /** Worker shards; each holds one RumbaRuntime replica. */
+    size_t shards = 4;
+    /** Pending requests each shard's queue admits before rejecting
+     *  with kResourceExhausted (reject-on-full backpressure). */
+    size_t queue_capacity = 64;
+    /**
+     * Coalescing budget, in elements: a worker that pops a request
+     * keeps greedily popping until the combined element count would
+     * exceed this, then runs the whole batch as one accelerator
+     * invocation. 0 disables coalescing (deterministic replay — see
+     * file comment).
+     */
+    size_t max_coalesce_elements = 0;
+    /**
+     * Modeled accelerator occupancy per element, in nanoseconds: the
+     * worker holds its (virtual) device busy for count x this after
+     * each invocation. On hosts with fewer cores than shards this is
+     * what the paper's CPU/accelerator overlap looks like from the
+     * serving layer: shards overlap device wait time, not CPU time.
+     * 0 disables the emulation (pure CPU-bound serving).
+     */
+    uint64_t emulated_device_ns = 0;
+};
+
+/** One asynchronous invocation request. */
+struct InvocationRequest {
+    /** Flat element inputs, count x width contiguous doubles. */
+    std::vector<double> inputs;
+    size_t count = 0;  ///< elements in @c inputs.
+    size_t width = 0;  ///< doubles per element (kernel input arity).
+    /**
+     * Target shard, or kAnyShard for round-robin assignment. Explicit
+     * pinning gives a client session a stable runtime (stable tuner
+     * state); round-robin spreads load and is deterministic in
+     * submission order.
+     */
+    int shard = kAnyShard;
+
+    static constexpr int kAnyShard = -1;
+};
+
+/** What the future resolves to. */
+struct InvocationResult {
+    /** kOk, or why the request never ran (rejected / cancelled). */
+    core::Status status;
+    /** Merged element outputs, count x NumOutputs() doubles. */
+    std::vector<double> outputs;
+    /** The runtime's quality report for the invocation that served
+     *  this request (elements reflects this request's count). */
+    core::InvocationReport report;
+    size_t shard = 0;  ///< shard that served (or rejected) it.
+};
+
+/** N RumbaRuntime replicas behind bounded queues. */
+class ShardedEngine {
+  public:
+    /**
+     * Bring up @p config.shards replicas from one deployment
+     * artifact. Fails (never dies) when the artifact is rejected by
+     * RumbaRuntime::FromArtifact() or the shard/queue shape is
+     * degenerate (kInvalidArgument).
+     */
+    static core::Result<std::unique_ptr<ShardedEngine>> Create(
+        const core::Artifact& artifact,
+        const core::RuntimeConfig& runtime_config,
+        const ServeConfig& serve_config);
+
+    /** Shutdown() if the caller has not already. */
+    ~ShardedEngine();
+
+    ShardedEngine(const ShardedEngine&) = delete;
+    ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+    /**
+     * Submit one request. Always returns a valid future; it resolves
+     * to:
+     *  - kInvalidArgument  — malformed request (empty, wrong width,
+     *                        inputs.size() != count x width, bad
+     *                        shard index); resolved immediately.
+     *  - kResourceExhausted — the target shard's queue is full
+     *                        (backpressure); resolved immediately.
+     *  - kUnavailable      — engine already shut down.
+     *  - kCancelled        — accepted, then Shutdown() before a
+     *                        worker reached it.
+     *  - kOk               — served; outputs and report are valid.
+     */
+    std::future<InvocationResult> Submit(InvocationRequest request);
+
+    /**
+     * Block until every accepted request has completed (all futures
+     * resolved). New submissions keep being accepted; Drain() returns
+     * once the in-flight count touches zero.
+     */
+    void Drain();
+
+    /**
+     * Stop the engine: reject new submissions (kUnavailable), cancel
+     * every queued-but-unstarted request (kCancelled), finish the
+     * in-flight invocations, join the workers. Idempotent.
+     */
+    void Shutdown();
+
+    /** Test hook: stall/resume all shard workers so a producer can
+     *  fill a queue deterministically. @{ */
+    void Pause();
+    void Resume();
+    /** @} */
+
+    size_t Shards() const { return shards_.size(); }
+
+    /** Kernel input arity every request's width must match. */
+    size_t InputWidth() const { return input_width_; }
+
+    /** Kernel output arity (outputs are count x this). */
+    size_t OutputWidth() const { return output_width_; }
+
+    /** Shard @p i's runtime replica (inspection; the engine owns it
+     *  and its worker mutates it — read between Drain()s). */
+    const core::RumbaRuntime& Runtime(size_t i) const;
+
+  private:
+    /** One queued request awaiting its shard worker. */
+    struct Pending {
+        InvocationRequest request;
+        std::promise<InvocationResult> promise;
+        uint64_t enqueue_ns = 0;
+    };
+
+    /** One worker shard: a runtime replica behind a bounded queue. */
+    struct Shard {
+        explicit Shard(size_t queue_capacity) : queue(queue_capacity) {}
+
+        std::unique_ptr<core::RumbaRuntime> runtime;
+        BoundedQueue<Pending> queue;
+        std::thread worker;
+        /** Coalescing scratch, reused across batches. */
+        std::vector<double> scratch_in;
+        std::vector<double> scratch_out;
+        /** Per-shard telemetry. */
+        obs::Gauge* obs_queue_depth = nullptr;
+        obs::Gauge* obs_breaker_state = nullptr;
+        obs::Counter* obs_served = nullptr;
+    };
+
+    ShardedEngine(const ServeConfig& config, size_t input_width,
+                  size_t output_width);
+
+    void WorkerLoop(size_t shard_index);
+    void ProcessBatch(Shard& shard, size_t shard_index,
+                      std::vector<Pending>* batch);
+    void FinishOne(Pending* pending, InvocationResult result);
+
+    ServeConfig config_;
+    const size_t input_width_;
+    const size_t output_width_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<size_t> next_shard_{0};   ///< round-robin cursor.
+    std::atomic<bool> shutdown_{false};
+
+    std::mutex drain_mu_;
+    std::condition_variable drain_cv_;
+    size_t in_flight_ = 0;  ///< accepted, future not yet resolved.
+
+    /** Aggregated telemetry (process-wide obs registry). */
+    obs::Counter* obs_submitted_;
+    obs::Counter* obs_rejected_;
+    obs::Counter* obs_completed_;
+    obs::Counter* obs_cancelled_;
+    obs::Counter* obs_coalesced_batches_;
+    obs::Histogram* obs_enqueue_to_complete_ns_;
+    obs::Histogram* obs_batch_elements_;
+};
+
+}  // namespace rumba::serve
+
+#endif  // RUMBA_SERVE_ENGINE_H_

@@ -157,8 +157,10 @@ TEST(ArtifactTest, StringRoundTrip)
     core::RumbaRuntime trained(apps::MakeBenchmark("inversek2j"),
                                FastConfig());
     const core::Artifact artifact = trained.ExportArtifact();
-    const core::Artifact copy =
-        core::Artifact::FromString(artifact.ToString());
+    const auto parsed =
+        core::Artifact::TryFromString(artifact.ToString());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    const core::Artifact& copy = *parsed;
     EXPECT_EQ(copy.benchmark, "inversek2j");
     EXPECT_DOUBLE_EQ(copy.threshold, artifact.threshold);
     EXPECT_EQ(copy.rumba_mlp, artifact.rumba_mlp);
@@ -172,50 +174,39 @@ TEST(ArtifactTest, FileRoundTrip)
     const core::Artifact artifact = trained.ExportArtifact();
     const std::string path = "/tmp/rumba_test_artifact.txt";
     ASSERT_TRUE(artifact.Save(path));
-    const core::Artifact loaded = core::Artifact::Load(path);
-    EXPECT_EQ(loaded.benchmark, "fft");
-    EXPECT_EQ(loaded.npu_mlp, artifact.npu_mlp);
+    const auto loaded = core::Artifact::TryLoad(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->benchmark, "fft");
+    EXPECT_EQ(loaded->npu_mlp, artifact.npu_mlp);
     std::remove(path.c_str());
-}
-
-TEST(ArtifactTest, MalformedBlobsFatal)
-{
-    EXPECT_DEATH(core::Artifact::FromString("not an artifact"), "");
-    EXPECT_DEATH(core::Artifact::Load("/tmp/no_such_artifact"), "");
-    core::Artifact partial;
-    partial.benchmark = "fft";
-    // Missing sections must be detected, not silently defaulted.
-    EXPECT_DEATH(core::Artifact::FromString(
-                     "rumba-artifact v1\nbenchmark fft\nthreshold 0.1\n"),
-                 "missing section");
 }
 
 TEST(ArtifactTest, TryFromStringReportsInsteadOfDying)
 {
-    core::Artifact parsed;
-    std::string error;
-    EXPECT_FALSE(
-        core::Artifact::TryFromString("not an artifact", &parsed,
-                                      &error));
-    EXPECT_NE(error.find("bad header"), std::string::npos);
+    const auto bad_header =
+        core::Artifact::TryFromString("not an artifact");
+    ASSERT_FALSE(bad_header.ok());
+    EXPECT_EQ(bad_header.status().code(), core::StatusCode::kDataLoss);
+    EXPECT_NE(bad_header.status().message().find("bad header"),
+              std::string::npos);
 
-    EXPECT_FALSE(core::Artifact::TryFromString(
-        "rumba-artifact v1\nbenchmark fft\nthreshold 0.1\n", &parsed,
-        &error));
-    EXPECT_NE(error.find("missing section"), std::string::npos);
-
-    // A null error pointer is allowed.
-    EXPECT_FALSE(
-        core::Artifact::TryFromString("junk", &parsed, nullptr));
+    // Missing sections must be detected, not silently defaulted.
+    const auto partial = core::Artifact::TryFromString(
+        "rumba-artifact v1\nbenchmark fft\nthreshold 0.1\n");
+    ASSERT_FALSE(partial.ok());
+    EXPECT_EQ(partial.status().code(), core::StatusCode::kDataLoss);
+    EXPECT_NE(partial.status().message().find("missing section"),
+              std::string::npos);
 }
 
 TEST(ArtifactTest, TryLoadReportsMissingFile)
 {
-    core::Artifact parsed;
-    std::string error;
-    EXPECT_FALSE(core::Artifact::TryLoad("/tmp/no_such_artifact_file",
-                                         &parsed, &error));
-    EXPECT_NE(error.find("cannot open"), std::string::npos);
+    const auto missing =
+        core::Artifact::TryLoad("/tmp/no_such_artifact_file");
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.status().code(), core::StatusCode::kNotFound);
+    EXPECT_NE(missing.status().message().find("cannot open"),
+              std::string::npos);
 }
 
 TEST(ArtifactTest, ChecksumCatchesTruncationAndBitrot)
@@ -226,22 +217,21 @@ TEST(ArtifactTest, ChecksumCatchesTruncationAndBitrot)
     const std::string good = artifact.ToString();
     EXPECT_EQ(good.compare(0, 17, "rumba-artifact v2"), 0);
 
-    core::Artifact parsed;
-    std::string error;
-    ASSERT_TRUE(core::Artifact::TryFromString(good, &parsed, &error))
-        << error;
+    const auto parsed = core::Artifact::TryFromString(good);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
 
     std::string truncated = good;
     fault::TruncateBlob(&truncated, /*keep_fraction=*/0.7);
-    EXPECT_FALSE(
-        core::Artifact::TryFromString(truncated, &parsed, &error));
+    EXPECT_FALSE(core::Artifact::TryFromString(truncated).ok());
 
     std::string rotted = good;
     const size_t flipped =
         fault::BitrotBlob(&rotted, /*rate=*/0.01, /*seed=*/99);
     ASSERT_GT(flipped, 0u);
-    EXPECT_FALSE(
-        core::Artifact::TryFromString(rotted, &parsed, &error));
+    const auto rot_result = core::Artifact::TryFromString(rotted);
+    ASSERT_FALSE(rot_result.ok());
+    EXPECT_EQ(rot_result.status().code(),
+              core::StatusCode::kDataLoss);
 }
 
 TEST(ArtifactTest, V1BlobWithoutChecksumStillAccepted)
@@ -257,13 +247,11 @@ TEST(ArtifactTest, V1BlobWithoutChecksumStillAccepted)
     ASSERT_NE(checksum_end, std::string::npos);
     blob = "rumba-artifact v1\n" + blob.substr(checksum_end + 1);
 
-    core::Artifact parsed;
-    std::string error;
-    ASSERT_TRUE(core::Artifact::TryFromString(blob, &parsed, &error))
-        << error;
-    EXPECT_EQ(parsed.benchmark, artifact.benchmark);
-    EXPECT_DOUBLE_EQ(parsed.threshold, artifact.threshold);
-    EXPECT_EQ(parsed.predictor, artifact.predictor);
+    const auto parsed = core::Artifact::TryFromString(blob);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->benchmark, artifact.benchmark);
+    EXPECT_DOUBLE_EQ(parsed->threshold, artifact.threshold);
+    EXPECT_EQ(parsed->predictor, artifact.predictor);
 }
 
 TEST(ArtifactTest, DeployedRuntimeMatchesTrainedRuntime)
@@ -296,6 +284,40 @@ TEST(ArtifactTest, WrongBenchmarkRejected)
     artifact.benchmark = "sobel";  // kernel mismatch.
     EXPECT_DEATH(core::RumbaRuntime(artifact, FastConfig()),
                  "check failed");
+}
+
+TEST(ArtifactTest, FromArtifactReportsEveryRejection)
+{
+    core::RumbaRuntime trained(apps::MakeBenchmark("fft"),
+                               FastConfig());
+    const core::Artifact good = trained.ExportArtifact();
+
+    core::Artifact unknown = good;
+    unknown.benchmark = "martian";
+    const auto not_found =
+        core::RumbaRuntime::FromArtifact(unknown, FastConfig());
+    ASSERT_FALSE(not_found.ok());
+    EXPECT_EQ(not_found.status().code(), core::StatusCode::kNotFound);
+
+    core::Artifact bad_checker = good;
+    bad_checker.predictor = "martian 1 2 3";
+    const auto data_loss =
+        core::RumbaRuntime::FromArtifact(bad_checker, FastConfig());
+    ASSERT_FALSE(data_loss.ok());
+    EXPECT_EQ(data_loss.status().code(), core::StatusCode::kDataLoss);
+
+    core::Artifact mismatched = good;
+    mismatched.benchmark = "sobel";  // different arity than fft's net.
+    const auto precondition =
+        core::RumbaRuntime::FromArtifact(mismatched, FastConfig());
+    ASSERT_FALSE(precondition.ok());
+    EXPECT_EQ(precondition.status().code(),
+              core::StatusCode::kFailedPrecondition);
+
+    const auto deployed =
+        core::RumbaRuntime::FromArtifact(good, FastConfig());
+    ASSERT_TRUE(deployed.ok()) << deployed.status().ToString();
+    EXPECT_EQ((*deployed)->Bench().Info().name, "fft");
 }
 
 }  // namespace

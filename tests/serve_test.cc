@@ -1,0 +1,507 @@
+// Tests for the serving layer (src/serve): the sharded engine's
+// async submit/future contract, backpressure, drain/shutdown
+// semantics and shard determinism — plus unit tests for the
+// Status/Result and ElementView/BatchView API types it is built on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/artifact.h"
+#include "core/batch_view.h"
+#include "core/runtime.h"
+#include "core/status.h"
+#include "serve/engine.h"
+#include "serve/queue.h"
+
+namespace rumba {
+namespace {
+
+// ------------------------------------------------------- Status/Result
+
+TEST(StatusTest, DefaultIsOk)
+{
+    const core::Status ok;
+    EXPECT_TRUE(ok.ok());
+    EXPECT_EQ(ok.code(), core::StatusCode::kOk);
+    EXPECT_EQ(ok.ToString(), "ok");
+    EXPECT_TRUE(core::Status::Ok().ok());
+}
+
+TEST(StatusTest, FailureCarriesCodeAndMessage)
+{
+    const core::Status s(core::StatusCode::kResourceExhausted,
+                         "queue full");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), core::StatusCode::kResourceExhausted);
+    EXPECT_EQ(s.message(), "queue full");
+    EXPECT_EQ(s.ToString(), "resource-exhausted: queue full");
+}
+
+TEST(StatusTest, CodeNamesAreStable)
+{
+    EXPECT_STREQ(core::StatusCodeName(core::StatusCode::kOk), "ok");
+    EXPECT_STREQ(core::StatusCodeName(core::StatusCode::kDataLoss),
+                 "data-loss");
+    EXPECT_STREQ(
+        core::StatusCodeName(core::StatusCode::kFailedPrecondition),
+        "failed-precondition");
+}
+
+TEST(ResultTest, HoldsValueOrStatus)
+{
+    const core::Result<int> good(42);
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good.value(), 42);
+    EXPECT_EQ(*good, 42);
+    EXPECT_TRUE(good.status().ok());
+
+    const core::Result<int> bad(
+        core::Status(core::StatusCode::kNotFound, "nope"));
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), core::StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MovesOutMoveOnlyPayloads)
+{
+    core::Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(**r, 7);
+    std::unique_ptr<int> moved = std::move(r).value();
+    EXPECT_EQ(*moved, 7);
+}
+
+TEST(ResultTest, WrongSideAccessDies)
+{
+    const core::Result<int> bad(
+        core::Status(core::StatusCode::kInternal, "x"));
+    EXPECT_DEATH(bad.value(), "check failed");
+}
+
+// --------------------------------------------------------- Batch views
+
+TEST(BatchViewTest, ElementViewWrapsContiguousDoubles)
+{
+    const std::vector<double> row{1.0, 2.0, 3.0};
+    const core::ElementView view(row);
+    EXPECT_EQ(view.size(), 3u);
+    EXPECT_DOUBLE_EQ(view[1], 2.0);
+    EXPECT_EQ(view.data(), row.data());
+}
+
+TEST(BatchViewTest, BatchViewSlicesFlatBuffer)
+{
+    const std::vector<double> flat{1, 2, 3, 4, 5, 6};
+    const core::BatchView batch(flat, /*width=*/2);
+    EXPECT_EQ(batch.count(), 3u);
+    EXPECT_EQ(batch.width(), 2u);
+    EXPECT_DOUBLE_EQ(batch[0][0], 1.0);
+    EXPECT_DOUBLE_EQ(batch[2][1], 6.0);
+    EXPECT_EQ(batch[1].data(), flat.data() + 2);
+}
+
+TEST(BatchViewTest, FlattenBatchPacksRows)
+{
+    const std::vector<std::vector<double>> rows{{1, 2}, {3, 4}, {5, 6}};
+    const std::vector<double> flat = core::FlattenBatch(rows);
+    EXPECT_EQ(flat, (std::vector<double>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(BatchViewTest, RaggedRowsAreAProgrammingError)
+{
+    const std::vector<std::vector<double>> ragged{{1, 2}, {3}};
+    EXPECT_DEATH(core::FlattenBatch(ragged), "check failed");
+}
+
+// -------------------------------------------------------- BoundedQueue
+
+TEST(BoundedQueueTest, RejectsWhenFullAndDrainsFifo)
+{
+    serve::BoundedQueue<int> q(2);
+    int a = 1, b = 2, c = 3;
+    EXPECT_TRUE(q.TryPush(a));
+    EXPECT_TRUE(q.TryPush(b));
+    EXPECT_FALSE(q.TryPush(c));  // full: reject, don't block.
+    int out = 0;
+    EXPECT_TRUE(q.Pop(&out));
+    EXPECT_EQ(out, 1);
+    EXPECT_TRUE(q.Pop(&out));
+    EXPECT_EQ(out, 2);
+}
+
+TEST(BoundedQueueTest, CloseWakesConsumersAndReturnsLeftovers)
+{
+    serve::BoundedQueue<int> q(4);
+    int a = 1, b = 2;
+    ASSERT_TRUE(q.TryPush(a));
+    ASSERT_TRUE(q.TryPush(b));
+    std::deque<int> leftovers;
+    q.Close(&leftovers);
+    ASSERT_EQ(leftovers.size(), 2u);
+    EXPECT_EQ(leftovers[0], 1);
+    int out = 0;
+    EXPECT_FALSE(q.Pop(&out));   // closed and empty.
+    EXPECT_FALSE(q.TryPush(a));  // closed: no new work.
+}
+
+// ------------------------------------------------------ Engine fixture
+
+core::RuntimeConfig
+ServeRuntimeConfig()
+{
+    return core::RuntimeConfig::Builder()
+        .WithChecker(core::Scheme::kTree)
+        .WithTargetErrorPct(10.0)
+        .WithTrainEpochs(30)
+        .WithElementCaps(800, 400)
+        .Build();
+}
+
+/** One trained artifact shared by every engine test (training is the
+ *  expensive part; the engine only ever deploys from it). */
+const core::Artifact&
+SharedArtifact()
+{
+    static const core::Artifact artifact = [] {
+        core::RumbaRuntime trained(apps::MakeBenchmark("inversek2j"),
+                                   ServeRuntimeConfig());
+        return trained.ExportArtifact();
+    }();
+    return artifact;
+}
+
+/** Flat test inputs for the artifact's kernel. */
+const std::vector<double>&
+SharedInputs()
+{
+    static const std::vector<double> flat = [] {
+        const auto bench = apps::MakeBenchmark("inversek2j");
+        return core::FlattenBatch(bench->TestInputs());
+    }();
+    return flat;
+}
+
+serve::InvocationRequest
+MakeRequest(size_t start_element, size_t count)
+{
+    serve::InvocationRequest request;
+    request.width = 2;  // inversek2j input arity.
+    request.count = count;
+    const auto& flat = SharedInputs();
+    request.inputs.assign(
+        flat.begin() + static_cast<ptrdiff_t>(start_element * 2),
+        flat.begin() +
+            static_cast<ptrdiff_t>((start_element + count) * 2));
+    return request;
+}
+
+std::unique_ptr<serve::ShardedEngine>
+MakeEngine(const serve::ServeConfig& config)
+{
+    auto engine = serve::ShardedEngine::Create(
+        SharedArtifact(), ServeRuntimeConfig(), config);
+    EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+    return std::move(engine).value();
+}
+
+// ------------------------------------------------------- Engine tests
+
+TEST(ShardedEngineTest, CreateRejectsDegenerateShapes)
+{
+    serve::ServeConfig no_shards;
+    no_shards.shards = 0;
+    EXPECT_EQ(serve::ShardedEngine::Create(SharedArtifact(),
+                                           ServeRuntimeConfig(),
+                                           no_shards)
+                  .status()
+                  .code(),
+              core::StatusCode::kInvalidArgument);
+
+    core::Artifact unknown = SharedArtifact();
+    unknown.benchmark = "martian";
+    EXPECT_EQ(serve::ShardedEngine::Create(unknown,
+                                           ServeRuntimeConfig(), {})
+                  .status()
+                  .code(),
+              core::StatusCode::kNotFound);
+}
+
+TEST(ShardedEngineTest, SubmitValidatesRequestShape)
+{
+    serve::ServeConfig config;
+    config.shards = 1;
+    auto engine = MakeEngine(config);
+
+    serve::InvocationRequest empty;
+    EXPECT_EQ(engine->Submit(std::move(empty)).get().status.code(),
+              core::StatusCode::kInvalidArgument);
+
+    serve::InvocationRequest wrong_width = MakeRequest(0, 4);
+    wrong_width.width = 3;
+    EXPECT_EQ(
+        engine->Submit(std::move(wrong_width)).get().status.code(),
+        core::StatusCode::kInvalidArgument);
+
+    serve::InvocationRequest short_buffer = MakeRequest(0, 4);
+    short_buffer.inputs.pop_back();
+    EXPECT_EQ(
+        engine->Submit(std::move(short_buffer)).get().status.code(),
+        core::StatusCode::kInvalidArgument);
+
+    serve::InvocationRequest bad_shard = MakeRequest(0, 4);
+    bad_shard.shard = 7;  // only shard 0 exists.
+    EXPECT_EQ(engine->Submit(std::move(bad_shard)).get().status.code(),
+              core::StatusCode::kInvalidArgument);
+
+    engine->Shutdown();
+    EXPECT_EQ(engine->Submit(MakeRequest(0, 4)).get().status.code(),
+              core::StatusCode::kUnavailable);
+}
+
+TEST(ShardedEngineTest, ServesOneRequestCorrectly)
+{
+    serve::ServeConfig config;
+    config.shards = 1;
+    auto engine = MakeEngine(config);
+
+    // Reference: a dedicated runtime deployed from the same artifact.
+    auto reference = core::RumbaRuntime::FromArtifact(
+        SharedArtifact(), ServeRuntimeConfig());
+    ASSERT_TRUE(reference.ok());
+    constexpr size_t kCount = 200;
+    std::vector<double> expected(kCount * 2);
+    (*reference)->ProcessInvocation(
+        core::BatchView(SharedInputs().data(), kCount, 2),
+        expected.data());
+
+    auto future = engine->Submit(MakeRequest(0, kCount));
+    const serve::InvocationResult result = future.get();
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_EQ(result.report.elements, kCount);
+    ASSERT_EQ(result.outputs.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i)
+        EXPECT_DOUBLE_EQ(result.outputs[i], expected[i]) << "at " << i;
+}
+
+TEST(ShardedEngineTest, FourShardsMatchFourSequentialStreams)
+{
+    constexpr size_t kShards = 4;
+    constexpr size_t kRequests = 16;
+    constexpr size_t kCount = 100;
+
+    serve::ServeConfig config;
+    config.shards = kShards;
+    config.queue_capacity = kRequests;
+    config.max_coalesce_elements = 0;  // deterministic replay mode.
+    auto engine = MakeEngine(config);
+
+    // Round-robin submission from one thread: request r lands on
+    // shard r % kShards, each shard serves its stream in FIFO order.
+    std::vector<std::future<serve::InvocationResult>> futures;
+    for (size_t r = 0; r < kRequests; ++r)
+        futures.push_back(engine->Submit(MakeRequest(r * kCount,
+                                                     kCount)));
+
+    // Reference: four *sequential* single-runtime streams, stream k
+    // processing requests k, k+4, k+8, ... in order.
+    std::vector<std::vector<double>> expected(kRequests);
+    for (size_t k = 0; k < kShards; ++k) {
+        auto replica = core::RumbaRuntime::FromArtifact(
+            SharedArtifact(), ServeRuntimeConfig());
+        ASSERT_TRUE(replica.ok());
+        for (size_t r = k; r < kRequests; r += kShards) {
+            expected[r].resize(kCount * 2);
+            (*replica)->ProcessInvocation(
+                core::BatchView(SharedInputs().data() + r * kCount * 2,
+                                kCount, 2),
+                expected[r].data());
+        }
+    }
+
+    for (size_t r = 0; r < kRequests; ++r) {
+        const serve::InvocationResult result = futures[r].get();
+        ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+        EXPECT_EQ(result.shard, r % kShards);
+        ASSERT_EQ(result.outputs.size(), expected[r].size());
+        for (size_t i = 0; i < expected[r].size(); ++i)
+            EXPECT_DOUBLE_EQ(result.outputs[i], expected[r][i])
+                << "request " << r << " element " << i;
+    }
+    engine->Shutdown();
+}
+
+TEST(ShardedEngineTest, CoalescedBatchMatchesOneBigInvocation)
+{
+    serve::ServeConfig config;
+    config.shards = 1;
+    config.max_coalesce_elements = 4096;
+    auto engine = MakeEngine(config);
+
+    constexpr size_t kCount = 50;
+    constexpr size_t kRequests = 4;
+    engine->Pause();  // queue all four, then serve them as one batch.
+    std::vector<std::future<serve::InvocationResult>> futures;
+    for (size_t r = 0; r < kRequests; ++r)
+        futures.push_back(engine->Submit(MakeRequest(r * kCount,
+                                                     kCount)));
+    engine->Resume();
+
+    auto reference = core::RumbaRuntime::FromArtifact(
+        SharedArtifact(), ServeRuntimeConfig());
+    ASSERT_TRUE(reference.ok());
+    std::vector<double> expected(kRequests * kCount * 2);
+    (*reference)->ProcessInvocation(
+        core::BatchView(SharedInputs().data(), kRequests * kCount, 2),
+        expected.data());
+
+    for (size_t r = 0; r < kRequests; ++r) {
+        const serve::InvocationResult result = futures[r].get();
+        ASSERT_TRUE(result.status.ok());
+        EXPECT_EQ(result.report.elements, kCount);
+        for (size_t i = 0; i < result.outputs.size(); ++i)
+            EXPECT_DOUBLE_EQ(result.outputs[i],
+                             expected[r * kCount * 2 + i])
+                << "request " << r << " element " << i;
+    }
+}
+
+TEST(ShardedEngineTest, FullQueueRejectsWithResourceExhausted)
+{
+    serve::ServeConfig config;
+    config.shards = 1;
+    config.queue_capacity = 2;
+    auto engine = MakeEngine(config);
+
+    engine->Pause();  // workers stall: pushes accumulate.
+    auto first = engine->Submit(MakeRequest(0, 10));
+    auto second = engine->Submit(MakeRequest(10, 10));
+    auto third = engine->Submit(MakeRequest(20, 10));
+
+    const serve::InvocationResult rejected = third.get();
+    EXPECT_EQ(rejected.status.code(),
+              core::StatusCode::kResourceExhausted);
+    EXPECT_TRUE(rejected.outputs.empty());
+
+    engine->Resume();
+    EXPECT_TRUE(first.get().status.ok());
+    EXPECT_TRUE(second.get().status.ok());
+}
+
+TEST(ShardedEngineTest, DrainCompletesEveryAcceptedFuture)
+{
+    serve::ServeConfig config;
+    config.shards = 2;
+    config.queue_capacity = 64;
+    auto engine = MakeEngine(config);
+
+    std::vector<std::future<serve::InvocationResult>> futures;
+    for (size_t r = 0; r < 24; ++r)
+        futures.push_back(engine->Submit(MakeRequest(r * 20, 20)));
+    engine->Drain();
+
+    for (auto& future : futures) {
+        ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+        EXPECT_TRUE(future.get().status.ok());
+    }
+}
+
+TEST(ShardedEngineTest, ShutdownCancelsQueuedWork)
+{
+    serve::ServeConfig config;
+    config.shards = 1;
+    config.queue_capacity = 8;
+    auto engine = MakeEngine(config);
+
+    engine->Pause();
+    auto queued_a = engine->Submit(MakeRequest(0, 10));
+    auto queued_b = engine->Submit(MakeRequest(10, 10));
+    engine->Shutdown();
+
+    EXPECT_EQ(queued_a.get().status.code(),
+              core::StatusCode::kCancelled);
+    EXPECT_EQ(queued_b.get().status.code(),
+              core::StatusCode::kCancelled);
+    // Post-shutdown submissions are turned away, not crashed.
+    EXPECT_EQ(engine->Submit(MakeRequest(0, 4)).get().status.code(),
+              core::StatusCode::kUnavailable);
+}
+
+TEST(ShardedEngineTest, ConcurrentSubmitStress)
+{
+    serve::ServeConfig config;
+    config.shards = 2;
+    config.queue_capacity = 16;
+    auto engine = MakeEngine(config);
+
+    constexpr size_t kThreads = 4;
+    constexpr size_t kPerThread = 40;
+    std::atomic<size_t> served{0};
+    std::atomic<size_t> rejected{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kThreads);
+    for (size_t t = 0; t < kThreads; ++t) {
+        clients.emplace_back([&, t] {
+            for (size_t r = 0; r < kPerThread; ++r) {
+                auto future = engine->Submit(
+                    MakeRequest(((t * kPerThread + r) * 8) % 4000, 8));
+                const serve::InvocationResult result = future.get();
+                if (result.status.ok()) {
+                    ASSERT_EQ(result.outputs.size(), 8u * 2u);
+                    served.fetch_add(1);
+                } else {
+                    // Backpressure is the only acceptable failure.
+                    ASSERT_EQ(result.status.code(),
+                              core::StatusCode::kResourceExhausted);
+                    rejected.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (auto& client : clients)
+        client.join();
+    engine->Drain();
+    engine->Shutdown();
+    EXPECT_EQ(served.load() + rejected.load(), kThreads * kPerThread);
+    EXPECT_GT(served.load(), 0u);
+}
+
+// --------------------------------------------- Legacy-overload adapter
+
+TEST(BatchViewTest, LegacyProcessInvocationMatchesViewForm)
+{
+    auto via_view = core::RumbaRuntime::FromArtifact(
+        SharedArtifact(), ServeRuntimeConfig());
+    auto via_vectors = core::RumbaRuntime::FromArtifact(
+        SharedArtifact(), ServeRuntimeConfig());
+    ASSERT_TRUE(via_view.ok() && via_vectors.ok());
+
+    constexpr size_t kCount = 300;
+    std::vector<double> flat_out(kCount * 2);
+    const auto report_a = (*via_view)->ProcessInvocation(
+        core::BatchView(SharedInputs().data(), kCount, 2),
+        flat_out.data());
+
+    const auto bench = apps::MakeBenchmark("inversek2j");
+    const auto rows = bench->TestInputs();
+    const std::vector<std::vector<double>> batch(
+        rows.begin(), rows.begin() + kCount);
+    std::vector<std::vector<double>> vec_out;
+    const auto report_b =
+        (*via_vectors)->ProcessInvocation(batch, &vec_out);
+
+    EXPECT_EQ(report_a.fixes, report_b.fixes);
+    EXPECT_DOUBLE_EQ(report_a.output_error_pct,
+                     report_b.output_error_pct);
+    ASSERT_EQ(vec_out.size(), kCount);
+    for (size_t i = 0; i < kCount; ++i)
+        for (size_t o = 0; o < 2; ++o)
+            EXPECT_DOUBLE_EQ(vec_out[i][o], flat_out[i * 2 + o]);
+}
+
+}  // namespace
+}  // namespace rumba
