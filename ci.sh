@@ -34,6 +34,50 @@ RUMBA_METRICS_OUT=build/serve_throughput.metrics.jsonl \
     bench/baselines/serve_throughput.metrics.jsonl \
     build/serve_throughput.metrics.jsonl --tol 0.02
 
+echo "==> live observability gate (scrape endpoint + flight recorder)"
+# Run the deploy example with the scrape server up and a flight-dump
+# directory, scrape it live mid-run, and assert the breaker-trip
+# drill left flight-recorder artifacts that join back to traces.
+obs_port=19841
+flight_dir=build/flight-dumps
+rm -rf "$flight_dir" && mkdir -p "$flight_dir"
+RUMBA_METRICS_PORT=$obs_port RUMBA_FLIGHT_DIR="$flight_dir" \
+    RUMBA_OBS_LINGER_MS=8000 \
+    ./build/examples/deploy > build/deploy_obs.log 2>&1 &
+deploy_pid=$!
+# The server comes up at main(); wait for it, then for the serving
+# engine's /statusz provider (live during the obs drill + linger).
+for _ in $(seq 1 150); do
+    if curl -sf "http://127.0.0.1:$obs_port/healthz" \
+        > /dev/null 2>&1; then break; fi
+    sleep 0.2
+done
+curl -sf "http://127.0.0.1:$obs_port/healthz" | grep -q '^ok$'
+statusz=""
+for _ in $(seq 1 300); do
+    statusz=$(curl -sf "http://127.0.0.1:$obs_port/statusz" \
+        2>/dev/null || true)
+    if [[ "$statusz" == *'"shards"'* ]]; then break; fi
+    sleep 0.2
+done
+[[ "$statusz" == *'"tuner_mode":"toq"'* ]] ||
+    { echo "statusz never showed the serving engine"; exit 1; }
+# Live exposition: valid Prometheus text carrying the serve.* and
+# slo.* series, both straight off the socket and from a saved copy.
+curl -sf "http://127.0.0.1:$obs_port/metrics" > build/deploy_scrape.prom
+grep -q '^rumba_serve_submitted_total' build/deploy_scrape.prom
+grep -q '^rumba_slo_serve_quality_fast_burn_rate' build/deploy_scrape.prom
+grep -q '^rumba_serve_shard0_threshold' build/deploy_scrape.prom
+./build/tools/rumba-stat scrape "http://127.0.0.1:$obs_port/metrics" \
+    --check > /dev/null
+./build/tools/rumba-stat scrape build/deploy_scrape.prom --check
+wait "$deploy_pid"
+# The NaN storm must have tripped breakers and dumped flight records
+# carrying request trace ids.
+ls "$flight_dir"/flight-shard*.jsonl > /dev/null
+grep -q '"reason":"breaker_open"' "$flight_dir"/flight-shard*.jsonl
+grep -q '"trace_id"' "$flight_dir"/flight-shard*.jsonl
+
 if [[ "${1:-}" != "--skip-sanitize" ]]; then
     echo "==> sanitized build + tests (address,undefined)"
     run_suite build-sanitize -DRUMBA_SANITIZE=address,undefined

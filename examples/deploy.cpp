@@ -13,17 +13,35 @@
  *   fault phases — loads a deliberately truncated artifact (graceful
  *                  exact-only fallback, no crash) and then serves
  *                  under an armed NaN fault plan until the circuit
- *                  breaker trips, probes, and closes again.
+ *                  breaker trips, probes, and closes again;
+ *   obs drill    — brings the sharded serving engine up on the same
+ *                  artifact with the full observability stack (scrape
+ *                  server, request traces, SLO monitors, per-shard
+ *                  flight recorders) and storms it with NaNs until
+ *                  every breaker opens, auto-dumping flight records
+ *                  into RUMBA_FLIGHT_DIR.
+ *
+ * RUMBA_METRICS_PORT serves /metrics /healthz /statusz live for the
+ * whole run; RUMBA_OBS_LINGER_MS keeps the process (and with it the
+ * scrape server and /statusz provider) alive at the end so an
+ * external scraper — ci.sh, curl, rumba-stat scrape — can inspect it.
  */
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <thread>
 
 #include "core/runtime.h"
 #include "fault/corrupt.h"
 #include "fault/injector.h"
 #include "obs/export.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "serve/engine.h"
 
 using namespace rumba;
 
@@ -31,6 +49,14 @@ int
 main()
 {
     const char* kArtifactPath = "inversek2j.rumba";
+
+    // Live observability first: with RUMBA_METRICS_PORT set, /metrics,
+    // /healthz and /statusz serve from here to process exit.
+    if (obs::ObservabilityServer::StartFromEnv()) {
+        std::printf("[obs] scrape server on 127.0.0.1:%u\n",
+                    static_cast<unsigned>(
+                        obs::ObservabilityServer::Default().Port()));
+    }
 
     const core::RuntimeConfig config =
         core::RuntimeConfig::Builder()
@@ -253,6 +279,116 @@ main()
                 drill.Breaker().Closes(), drill_error,
                 config.tuner.target_error_pct);
 
+    // ---- Observability drill ---------------------------------------------
+    // The serving engine ties the whole observability stack together:
+    // every Submit gets a request trace, every completion lands in its
+    // shard's flight recorder, SLO monitors watch latency and quality
+    // burn rates, and /statusz reports per-shard state while the
+    // engine lives. Storm a two-shard engine with NaNs until both
+    // breakers open — each trip auto-dumps that shard's flight
+    // recorder (the requests leading into the incident) to disk.
+    serve::ServeConfig obs_config;
+    obs_config.shards = 2;
+    obs_config.queue_capacity = 32;
+    obs_config.trace.sample_every = 4;
+    if (const char* flight_dir = std::getenv("RUMBA_FLIGHT_DIR"))
+        obs_config.flight.dump_dir = flight_dir;
+
+    auto obs_engine_or = serve::ShardedEngine::Create(
+        artifact, drill_config, obs_config);
+    if (!obs_engine_or.ok()) {
+        std::fprintf(stderr, "obs engine: %s\n",
+                     obs_engine_or.status().ToString().c_str());
+        return 1;
+    }
+    serve::ShardedEngine& obs_engine = **obs_engine_or;
+
+    // The alert sink is where a deployment pages an operator or
+    // forces a breaker canary probe; here it narrates the edges.
+    std::atomic<size_t> slo_edges{0};
+    const auto alert_sink = [&slo_edges](const obs::SloAlert& alert) {
+        slo_edges.fetch_add(1, std::memory_order_relaxed);
+        std::printf("[obs] SLO '%s' %s (fast burn %.1f, slow %.1f)\n",
+                    alert.name.c_str(),
+                    alert.firing ? "FIRING — requesting breaker probe"
+                                 : "cleared",
+                    alert.fast_burn, alert.slow_burn);
+    };
+    if (obs_engine.QualitySlo() != nullptr)
+        obs_engine.QualitySlo()->SetAlertSink(alert_sink);
+    if (obs_engine.LatencySlo() != nullptr)
+        obs_engine.LatencySlo()->SetAlertSink(alert_sink);
+
+    const uint64_t dumps_before =
+        obs::Registry::Default()
+            .GetCounter("serve.flight_dumps")
+            ->Value();
+
+    fault::FaultPlan storm_plan;
+    std::string storm_error;
+    if (!fault::FaultPlan::Parse("seed=11;npu.output_nan=0.5",
+                                 &storm_plan, &storm_error)) {
+        std::fprintf(stderr, "storm plan: %s\n", storm_error.c_str());
+        return 1;
+    }
+    injector.Arm(storm_plan);
+    const auto both_open = [&] {
+        for (size_t s = 0; s < obs_engine.Shards(); ++s) {
+            if (obs_engine.Runtime(s).Breaker().State() !=
+                core::BreakerState::kOpen)
+                return false;
+        }
+        return true;
+    };
+    size_t obs_requests = 0;
+    for (size_t r = 0; r < 32 && !both_open(); ++r, ++obs_requests) {
+        serve::InvocationRequest request;
+        const size_t start =
+            (r * kServeBatch) % (inputs.size() - kServeBatch);
+        request.inputs.assign(
+            flat_inputs.begin()
+                + static_cast<ptrdiff_t>(start * in_w),
+            flat_inputs.begin()
+                + static_cast<ptrdiff_t>((start + kServeBatch) * in_w));
+        request.count = kServeBatch;
+        request.width = in_w;
+        request.shard = static_cast<int>(r % obs_config.shards);
+        obs_engine.Submit(std::move(request)).get();
+    }
+    injector.Disarm();
+    obs_engine.Drain();
+
+    size_t obs_trips = 0;
+    for (size_t s = 0; s < obs_engine.Shards(); ++s)
+        obs_trips += obs_engine.Runtime(s).Breaker().Trips();
+    const uint64_t flight_dumps =
+        obs::Registry::Default()
+            .GetCounter("serve.flight_dumps")
+            ->Value() -
+        dumps_before;
+    const bool obs_ok = obs_trips >= 1 && flight_dumps >= 1;
+    std::printf("\n[obs] drill %s: %zu requests, %zu breaker trips, "
+                "%llu flight dumps into %s, %zu SLO edges\n",
+                obs_ok ? "passed" : "FAILED", obs_requests, obs_trips,
+                static_cast<unsigned long long>(flight_dumps),
+                obs_config.flight.dump_dir.c_str(),
+                slo_edges.load());
+    std::printf("[obs] statusz: %s\n",
+                obs_engine.StatuszJson().c_str());
+
+    // Keep the engine (and its /statusz provider) up long enough for
+    // an external scraper to look around, when asked to.
+    if (const char* linger_env = std::getenv("RUMBA_OBS_LINGER_MS")) {
+        const long linger_ms = std::strtol(linger_env, nullptr, 10);
+        if (linger_ms > 0) {
+            std::printf("[obs] lingering %ld ms for scrapers...\n",
+                        linger_ms);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(linger_ms));
+        }
+    }
+    obs_engine.Shutdown();
+
     // ---- Telemetry -------------------------------------------------------
     // Everything above was measured by the obs subsystem as a side
     // effect; snapshot it, show the table, and honor RUMBA_METRICS_OUT
@@ -264,7 +400,7 @@ main()
         std::printf("telemetry written to %s\n", metrics_path.c_str());
 
     return mismatches == 0 && a.fixes == b.fixes && corrupt_rejected &&
-                   drill_ok
+                   drill_ok && obs_ok
                ? 0
                : 1;
 }

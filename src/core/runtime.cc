@@ -232,9 +232,15 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
     size_t queue_full_stalls = 0;
     size_t queue_drops = 0;
     size_t non_finite_seen = 0;
+    const bool timed = config_.stage_timings;
+    uint64_t stage_start = 0;
+    uint64_t check_ns = 0;
+    size_t checks_timed = 0;
 
     {
         const obs::Span stream_span("runtime.accel_stream");
+        if (timed)
+            stage_start = obs::NowNs();
         std::vector<double>& norm_in = scratch_norm_in_;
         std::vector<double>& norm_out = scratch_norm_out_;
         std::vector<double>& raw_out = scratch_raw_out_;
@@ -245,7 +251,17 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
             std::copy(raw_out.begin(), raw_out.end(),
                       outputs + i * out_w);
 
+            // Strided check timing: clocking every element doubles
+            // the clock-read traffic of the hot loop, so time one
+            // check in eight and scale below. The estimate is for
+            // trace spans, not for gating.
+            const uint64_t check_start =
+                timed && (i & 7u) == 0 ? obs::NowNs() : 0;
             const CheckResult check = detector_.Check(norm_in, raw_out);
+            if (check_start != 0) {
+                check_ns += obs::NowNs() - check_start;
+                ++checks_timed;
+            }
             if (check.non_finite)
                 ++non_finite_seen;
             bool fired = check.fired;
@@ -287,20 +303,39 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
                 ++unfixed_count;
             }
         }
+        if (timed) {
+            report.timings.accel_stream_ns =
+                obs::NowNs() - stage_start;
+            // Scale the 1-in-8 sample up to the full stream, clamped
+            // so the check slice never exceeds its containing stage.
+            report.timings.check_ns =
+                checks_timed == 0
+                    ? 0
+                    : std::min(check_ns * approx_n / checks_timed,
+                               report.timings.accel_stream_ns);
+        }
     }
     if (approx_n < n) {
         // Breaker-degraded tail: exact CPU execution (paper-faithful
         // recovery of everything), bypassing accelerator and checker.
         const obs::Span exact_span("runtime.breaker_exact");
+        if (timed)
+            stage_start = obs::NowNs();
         for (size_t i = approx_n; i < n; ++i) {
             app.RunExact(raw_inputs[i].data(), outputs + i * out_w);
             fixed[i] = 1;
         }
+        if (timed)
+            report.timings.exact_ns = obs::NowNs() - stage_start;
         obs_breaker_exact_elements_->Increment(n - approx_n);
     }
     {
         const obs::Span merge_span("runtime.merge");
+        if (timed)
+            stage_start = obs::NowNs();
         recovery_.Drain(raw_inputs, outputs, out_w, &fixed);
+        if (timed)
+            report.timings.recover_ns = obs::NowNs() - stage_start;
     }
     // Non-finite salvage: a NaN/Inf approximate output must never be
     // delivered. The detector's guard queues them, but an overflowed
@@ -335,6 +370,8 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
     {
         const obs::ScopedTimer verify_timer(obs_verify_ns_);
         const obs::Span verify_span("runtime.verify");
+        if (timed)
+            stage_start = obs::NowNs();
         std::vector<double>& exact = scratch_raw_out_;
         std::vector<double>& approx = scratch_norm_out_;
         exact.assign(out_w, 0.0);
@@ -346,6 +383,8 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
                           outputs + (i + 1) * out_w);
             residual[i] = app.ElementError(exact, approx);
         }
+        if (timed)
+            report.timings.verify_ns = obs::NowNs() - stage_start;
     }
     report.output_error_pct = app.AggregateError(residual);
     report.estimated_error_pct =

@@ -51,6 +51,12 @@ struct RuntimeConfig {
      *  core/breaker.h). Enabled by default; in healthy operation it
      *  never trips and costs one branch per invocation. */
     BreakerConfig breaker;
+    /** Measure wall-clock per pipeline stage into
+     *  InvocationReport::timings. Off by default: it adds two clock
+     *  reads per eighth element on the check path (the check slice is
+     *  a scaled 1-in-8 sample), which request-scoped tracing
+     *  (obs/reqtrace.h) needs but batch experiments do not. */
+    bool stage_timings = false;
     sim::CoreParams core;             ///< host-core model (Table 2).
     sim::EnergyParams energy;         ///< event energies.
 
@@ -164,10 +170,30 @@ class RuntimeConfig::Builder {
         return *this;
     }
 
+    /** Measure per-stage wall clock into InvocationReport::timings. */
+    Builder&
+    WithStageTimings(bool enabled = true)
+    {
+        config_.stage_timings = enabled;
+        return *this;
+    }
+
     RuntimeConfig Build() const { return config_; }
 
   private:
     RuntimeConfig config_;
+};
+
+/** Per-stage wall clock of one invocation (all zero unless
+ *  RuntimeConfig::stage_timings). accel_stream_ns covers the whole
+ *  normalize/invoke/denormalize/check loop and *includes* check_ns,
+ *  so device-only time is the difference. */
+struct InvocationTimings {
+    uint64_t accel_stream_ns = 0;  ///< accelerator streaming loop.
+    uint64_t check_ns = 0;         ///< detector checks (within stream).
+    uint64_t exact_ns = 0;         ///< breaker-degraded exact tail.
+    uint64_t recover_ns = 0;       ///< recovery-queue drain + merge.
+    uint64_t verify_ns = 0;        ///< true-error verification pass.
 };
 
 /** What one invocation reported back. */
@@ -193,6 +219,8 @@ struct InvocationReport {
     size_t exact_elements = 0;
     /** Breaker position after this invocation. */
     BreakerState breaker_state = BreakerState::kClosed;
+    /** Per-stage wall clock (RuntimeConfig::stage_timings only). */
+    InvocationTimings timings;
     sim::SystemCosts costs;         ///< modeled energy/time.
 };
 

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "obs/reqtrace.h"
 #include "obs/span.h"
 #include "obs/stream.h"
 
@@ -252,6 +253,7 @@ ExportAtExit()
     SnapshotStreamer::Default().Stop();
     ExportIfConfigured();
     ExportTraceIfConfigured();
+    ExportRequestTracesIfConfigured();
 }
 
 }  // namespace
@@ -266,6 +268,7 @@ InstallAtExitExport()
         TraceRing::Default();
         SpanCollector::Default();
         SnapshotStreamer::Default();
+        RequestTraceCollector::Default();
         std::atexit(ExportAtExit);
         return true;
     }();

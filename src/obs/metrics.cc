@@ -81,12 +81,18 @@ Histogram::QuantileLocked(double q) const
             continue;
         const double next = cumulative + static_cast<double>(counts_[b]);
         if (next >= target) {
-            // Interpolate within this bucket's edges.
-            const double lo = b == 0 ? min_ : bounds_[b - 1];
-            const double hi = b < bounds_.size() ? bounds_[b] : max_;
+            // Interpolate within this bucket's edges, tightened to the
+            // observed range (see the estimator note in metrics.h):
+            // without the tightening a narrow distribution inside one
+            // wide bucket reports quantiles rounded up toward the
+            // bucket bound.
+            const double lo =
+                std::max(b == 0 ? min_ : bounds_[b - 1], min_);
+            const double hi =
+                std::min(b < bounds_.size() ? bounds_[b] : max_, max_);
             const double t =
                 (target - cumulative) / static_cast<double>(counts_[b]);
-            const double v = lo + t * (hi - lo);
+            const double v = hi <= lo ? lo : lo + t * (hi - lo);
             return std::clamp(v, min_, max_);
         }
         cumulative = next;
@@ -107,6 +113,8 @@ Histogram::Snapshot(const std::string& name) const
     snap.p50 = QuantileLocked(0.50);
     snap.p90 = QuantileLocked(0.90);
     snap.p99 = QuantileLocked(0.99);
+    snap.bounds = bounds_;
+    snap.buckets = counts_;
     return snap;
 }
 

@@ -83,14 +83,33 @@ struct HistogramSnapshot {
     double p50 = 0.0;    ///< median estimate.
     double p90 = 0.0;    ///< 90th-percentile estimate.
     double p99 = 0.0;    ///< 99th-percentile estimate.
+    /** Bucket upper bounds and per-bucket counts (bounds.size() + 1
+     *  entries, the last being the overflow bucket). Carried so the
+     *  Prometheus exposition (obs/http_exporter.h) can render
+     *  cumulative `le` buckets from the same consistent view. */
+    std::vector<double> bounds;
+    std::vector<uint64_t> buckets;
 };
 
 /**
  * Fixed-bucket histogram with quantile queries. Buckets are defined
  * by ascending upper bounds; values above the last bound land in an
- * overflow bucket. Quantiles interpolate linearly inside the bucket
- * holding the target rank and are clamped to the observed [min, max],
- * so p50 <= p90 <= p99 always holds.
+ * overflow bucket.
+ *
+ * Quantile estimator: the bucket holding the target rank is found by
+ * a cumulative scan, then the estimate interpolates linearly within
+ * that bucket — but over the bucket's edges *tightened to the
+ * observed range*: lo = max(bucket lower bound, observed min),
+ * hi = min(bucket upper bound, observed max). Without the
+ * tightening, a distribution occupying a narrow slice of one wide
+ * bucket reports quantiles spread across the whole bucket (p99 rounds
+ * up to the bucket bound; a median of values uniform in [15, 20]
+ * under a (10, 100] bucket reads as ~55). With it, the same query
+ * reads ~17.5. The result is finally clamped to [min, max], so
+ * p50 <= p90 <= p99 always holds and single-valued histograms report
+ * that value exactly. The estimate is exact when observations are
+ * uniform within each bucket's occupied slice and never off by more
+ * than one bucket's tightened width.
  */
 class Histogram {
   public:

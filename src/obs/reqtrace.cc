@@ -1,0 +1,234 @@
+#include "obs/reqtrace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace rumba::obs {
+
+const char*
+RequestOutcomeName(RequestOutcome outcome)
+{
+    switch (outcome) {
+      case RequestOutcome::kCompleted: return "completed";
+      case RequestOutcome::kRejected: return "rejected";
+      case RequestOutcome::kCancelled: return "cancelled";
+    }
+    return "unknown";
+}
+
+RequestTraceCollector::RequestTraceCollector(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{
+}
+
+void
+RequestTraceCollector::Configure(const TailSamplingPolicy& policy)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    policy_ = policy;
+}
+
+TailSamplingPolicy
+RequestTraceCollector::Policy() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return policy_;
+}
+
+uint64_t
+RequestTraceCollector::NextTraceId()
+{
+    return next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+RequestTraceCollector::Enable()
+{
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+RequestTraceCollector::Disable()
+{
+    enabled_.store(false, std::memory_order_relaxed);
+}
+
+bool
+RequestTraceCollector::Enabled() const
+{
+    return enabled_.load(std::memory_order_relaxed);
+}
+
+bool
+RequestTraceCollector::KeepLocked(const RequestTrace& trace)
+{
+    // Tail decision: the outcome is known, so flag the interesting
+    // traces first, then head-sample the healthy remainder.
+    if (policy_.keep_errors &&
+        trace.outcome != RequestOutcome::kCompleted)
+        return true;
+    if (policy_.keep_recovered && trace.fixes > 0)
+        return true;
+    if (policy_.keep_breaker && trace.breaker_state != 0)
+        return true;
+    if (policy_.latency_keep_ns > 0 &&
+        trace.total_ns >= policy_.latency_keep_ns)
+        return true;
+    if (policy_.sample_every == 0)
+        return false;
+    return ++unflagged_seen_ % policy_.sample_every == 0;
+}
+
+void
+RequestTraceCollector::Record(RequestTrace trace)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++total_recorded_;  // offered traces count even while disabled.
+    if (!Enabled())
+        return;
+    if (!KeepLocked(trace)) {
+        ++sampled_out_;
+        return;
+    }
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(trace));
+        return;
+    }
+    ring_[head_] = std::move(trace);
+    head_ = (head_ + 1) % capacity_;
+    ++evicted_;
+}
+
+std::vector<RequestTrace>
+RequestTraceCollector::Dump() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<RequestTrace> out;
+    out.reserve(ring_.size());
+    for (size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(head_ + i) % ring_.size()]);
+    return out;
+}
+
+uint64_t
+RequestTraceCollector::TotalRecorded() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_recorded_;
+}
+
+uint64_t
+RequestTraceCollector::Sampled() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return sampled_out_;
+}
+
+uint64_t
+RequestTraceCollector::Evicted() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return evicted_;
+}
+
+size_t
+RequestTraceCollector::Size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return ring_.size();
+}
+
+void
+RequestTraceCollector::Clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_.clear();
+    head_ = 0;
+    total_recorded_ = 0;
+    sampled_out_ = 0;
+    evicted_ = 0;
+    unflagged_seen_ = 0;
+}
+
+RequestTraceCollector&
+RequestTraceCollector::Default()
+{
+    static RequestTraceCollector collector;
+    return collector;
+}
+
+std::string
+RequestTraceJson(const RequestTrace& trace)
+{
+    std::string out = "{\"type\":\"reqtrace\",\"trace_id\":" +
+                      std::to_string(trace.trace_id) +
+                      ",\"shard\":" + std::to_string(trace.shard) +
+                      ",\"outcome\":" +
+                      JsonQuote(RequestOutcomeName(trace.outcome)) +
+                      ",\"submit_ns\":" +
+                      std::to_string(trace.submit_ns) +
+                      ",\"total_ns\":" + std::to_string(trace.total_ns) +
+                      ",\"elements\":" +
+                      std::to_string(trace.elements) +
+                      ",\"batch_requests\":" +
+                      std::to_string(trace.batch_requests) +
+                      ",\"fixes\":" + std::to_string(trace.fixes) +
+                      ",\"breaker_state\":" +
+                      std::to_string(trace.breaker_state) +
+                      ",\"spans\":[";
+    bool first = true;
+    for (const RequestSpan& span : trace.spans) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "{\"name\":" + JsonQuote(span.name) +
+               ",\"start_ns\":" + std::to_string(span.start_ns) +
+               ",\"duration_ns\":" + std::to_string(span.duration_ns) +
+               "}";
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+RequestTracesToJsonl(const std::vector<RequestTrace>& traces)
+{
+    std::string out = MetadataJsonLine() + "\n";
+    for (const RequestTrace& trace : traces)
+        out += RequestTraceJson(trace) + "\n";
+    return out;
+}
+
+bool
+WriteRequestTraceFile(const std::string& path)
+{
+    const std::string body =
+        RequestTracesToJsonl(RequestTraceCollector::Default().Dump());
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+    return std::fclose(f) == 0 && written == body.size();
+}
+
+std::string
+ExportRequestTracesIfConfigured()
+{
+    const char* path = std::getenv("RUMBA_REQTRACE_OUT");
+    if (path == nullptr || path[0] == '\0')
+        return "";
+    Debug("RUMBA_REQTRACE_OUT: exporting %zu kept request traces to %s",
+          RequestTraceCollector::Default().Size(), path);
+    if (!WriteRequestTraceFile(path)) {
+        Warn("RUMBA_REQTRACE_OUT: could not write %s", path);
+        return "";
+    }
+    return path;
+}
+
+}  // namespace rumba::obs

@@ -1,0 +1,187 @@
+#ifndef RUMBA_OBS_REQTRACE_H_
+#define RUMBA_OBS_REQTRACE_H_
+
+/**
+ * @file
+ * Request-scoped tracing for the serving layer. Where obs/span.h
+ * records an anonymous per-thread timeline and obs/trace.h records
+ * one ring entry per accelerator invocation, this module follows one
+ * *client request* end to end: the serving engine assigns every
+ * submitted InvocationRequest a process-unique trace id, carries it
+ * through the shard queue, the worker, any coalesced batch, the
+ * breaker-degraded and recovery paths, and records one RequestTrace —
+ * a flat span tree (queue-wait, device, check, recover, merge) plus
+ * outcome flags — when the request's future resolves.
+ *
+ * Keeping every trace of a heavy-traffic serving process is
+ * pointless; keeping the *interesting* ones is the whole value. The
+ * collector therefore applies tail-based sampling at record time,
+ * when the outcome is known: traces that recovered elements, ran
+ * under a non-closed breaker, were rejected or cancelled, or
+ * exceeded a latency bound are always kept; of the healthy remainder
+ * one in `sample_every` survives. Kept traces land in a bounded ring
+ * (oldest evicted) and export as JSONL; RUMBA_REQTRACE_OUT arms an
+ * at-exit dump of the default collector (obs/export.h).
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rumba::obs {
+
+/** One timed stage of a request's life (flat span tree: parents are
+ *  implied by containment of [start, start+duration) intervals). */
+struct RequestSpan {
+    /** Stage name; the serving engine emits "queue_wait", "device",
+     *  "check", "recover" and "merge". Must outlive the trace
+     *  (string literals at every call site). */
+    const char* name = "";
+    uint64_t start_ns = 0;     ///< steady-clock open time.
+    uint64_t duration_ns = 0;  ///< close - open.
+};
+
+/** How a traced request's future resolved. */
+enum class RequestOutcome : uint32_t {
+    kCompleted,  ///< served; outputs delivered.
+    kRejected,   ///< never enqueued (bad shape / backpressure).
+    kCancelled,  ///< accepted, then shut down before a worker ran it.
+};
+
+/** Stable name for an outcome ("completed" / "rejected" /
+ *  "cancelled"). */
+const char* RequestOutcomeName(RequestOutcome outcome);
+
+/** One request, end to end, as the serving engine saw it. */
+struct RequestTrace {
+    uint64_t trace_id = 0;    ///< process-unique, assigned at Submit.
+    uint32_t shard = 0;       ///< shard that served (or rejected) it.
+    RequestOutcome outcome = RequestOutcome::kCompleted;
+    uint64_t submit_ns = 0;   ///< steady-clock Submit() time.
+    uint64_t total_ns = 0;    ///< submit -> future resolution.
+    uint64_t elements = 0;    ///< elements in the request.
+    /** Requests coalesced into the invocation that served this one
+     *  (1 = served alone). */
+    uint32_t batch_requests = 1;
+    uint64_t fixes = 0;       ///< recovered iterations in that invocation.
+    /** Breaker position after that invocation (0 closed, 1 open,
+     *  2 half-open). */
+    uint32_t breaker_state = 0;
+    std::vector<RequestSpan> spans;
+};
+
+/** Tail-based sampling policy: which finished traces to keep. */
+struct TailSamplingPolicy {
+    /** Always keep rejected / cancelled outcomes. */
+    bool keep_errors = true;
+    /** Always keep traces whose invocation recovered elements. */
+    bool keep_recovered = true;
+    /** Always keep traces served under a non-closed breaker. */
+    bool keep_breaker = true;
+    /** Always keep traces with total_ns >= this bound (0 disables). */
+    uint64_t latency_keep_ns = 0;
+    /** Of the unflagged remainder keep one in N; 0 drops them all,
+     *  1 keeps everything. */
+    uint32_t sample_every = 16;
+};
+
+/**
+ * Bounded ring of kept request traces. Record() applies the tail
+ * policy; eviction drops the oldest kept trace. All methods are
+ * thread-safe (shard workers record concurrently).
+ */
+class RequestTraceCollector {
+  public:
+    static constexpr size_t kDefaultCapacity = 4096;
+
+    explicit RequestTraceCollector(size_t capacity = kDefaultCapacity);
+
+    /** Replace the sampling policy (applies to future Record calls). */
+    void Configure(const TailSamplingPolicy& policy);
+
+    /** The active sampling policy. */
+    TailSamplingPolicy Policy() const;
+
+    /** Next process-unique trace id (monotonic from 1; 0 is "no
+     *  trace"). Ids stay unique even while recording is disabled so
+     *  results always carry one. */
+    uint64_t NextTraceId();
+
+    /** Resume keeping traces (collectors start enabled). */
+    void Enable();
+
+    /** Stop keeping traces; Record() only counts. */
+    void Disable();
+
+    /** True while keeping traces. */
+    bool Enabled() const;
+
+    /** Offer one finished trace; the tail policy decides its fate. */
+    void Record(RequestTrace trace);
+
+    /** Kept traces, oldest first. */
+    std::vector<RequestTrace> Dump() const;
+
+    /** Traces offered to Record() since construction / Clear(). */
+    uint64_t TotalRecorded() const;
+
+    /** Traces the tail policy discarded. */
+    uint64_t Sampled() const;
+
+    /** Kept traces evicted by capacity pressure. */
+    uint64_t Evicted() const;
+
+    /** Kept traces currently retained. */
+    size_t Size() const;
+
+    size_t Capacity() const { return capacity_; }
+
+    /** Drop every kept trace and reset the counters (the trace-id
+     *  sequence keeps advancing — ids are never reused). */
+    void Clear();
+
+    /** The process-wide collector the serving engine records into. */
+    static RequestTraceCollector& Default();
+
+  private:
+    bool KeepLocked(const RequestTrace& trace);
+
+    const size_t capacity_;
+    std::atomic<uint64_t> next_trace_id_{1};
+    std::atomic<bool> enabled_{true};
+    mutable std::mutex mu_;
+    TailSamplingPolicy policy_;
+    std::vector<RequestTrace> ring_;  ///< circular storage.
+    size_t head_ = 0;                 ///< next write slot when full.
+    uint64_t total_recorded_ = 0;
+    uint64_t sampled_out_ = 0;
+    uint64_t evicted_ = 0;
+    uint64_t unflagged_seen_ = 0;  ///< 1-in-N sampling counter.
+};
+
+/**
+ * Render traces as JSONL: the run-metadata header of obs/export.h,
+ * then one {"type":"reqtrace",...} object per trace with a nested
+ * "spans" array.
+ */
+std::string RequestTracesToJsonl(const std::vector<RequestTrace>& traces);
+
+/** One trace as a single JSON object (no trailing newline). */
+std::string RequestTraceJson(const RequestTrace& trace);
+
+/** Dump the default collector to @p path. False on I/O error. */
+bool WriteRequestTraceFile(const std::string& path);
+
+/**
+ * Honor RUMBA_REQTRACE_OUT: when set, write the default collector's
+ * kept traces there and return the path; otherwise (or on I/O
+ * failure, after a warning) return "". The at-exit hook of
+ * obs/export.h makes the final call.
+ */
+std::string ExportRequestTracesIfConfigured();
+
+}  // namespace rumba::obs
+
+#endif  // RUMBA_OBS_REQTRACE_H_

@@ -5,7 +5,10 @@
 
 #include "common/logging.h"
 #include "core/batch_view.h"
+#include "obs/export.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/span.h"
 #include "obs/timer.h"
 
@@ -21,6 +24,17 @@ Resolved(InvocationResult result)
     std::future<InvocationResult> future = promise.get_future();
     promise.set_value(std::move(result));
     return future;
+}
+
+const char*
+TuningModeName(core::TuningMode mode)
+{
+    switch (mode) {
+      case core::TuningMode::kToq: return "toq";
+      case core::TuningMode::kEnergy: return "energy";
+      case core::TuningMode::kQuality: return "quality";
+    }
+    return "unknown";
 }
 
 }  // namespace
@@ -58,14 +72,20 @@ ShardedEngine::Create(const core::Artifact& artifact,
             "queue_capacity 0 would reject every submission");
     }
 
+    // Request tracing needs per-stage wall clock from every replica;
+    // everything else in the runtime config passes through untouched.
+    core::RuntimeConfig shard_runtime_config = runtime_config;
+    if (serve_config.trace.enabled)
+        shard_runtime_config.stage_timings = true;
+
     // Validate the artifact once, then replicate: every shard is
     // instantiated from the same deployment blob (train-once,
     // replicate-everywhere), so one failure mode covers all shards.
     std::vector<std::unique_ptr<core::RumbaRuntime>> replicas;
     replicas.reserve(serve_config.shards);
     for (size_t i = 0; i < serve_config.shards; ++i) {
-        auto replica =
-            core::RumbaRuntime::FromArtifact(artifact, runtime_config);
+        auto replica = core::RumbaRuntime::FromArtifact(
+            artifact, shard_runtime_config);
         if (!replica.ok())
             return replica.status();
         replicas.push_back(std::move(replica).value());
@@ -87,9 +107,54 @@ ShardedEngine::Create(const core::Artifact& artifact,
             registry.GetGauge(prefix + "queue_depth");
         shard->obs_breaker_state =
             registry.GetGauge(prefix + "breaker_state");
+        shard->obs_threshold = registry.GetGauge(prefix + "threshold");
         shard->obs_served = registry.GetCounter(prefix + "served");
+        shard->obs_threshold->Set(shard->runtime->Threshold());
+        if (serve_config.flight.capacity > 0) {
+            shard->flight = std::make_unique<FlightRecorder>(
+                serve_config.flight.capacity);
+        }
         engine->shards_.push_back(std::move(shard));
     }
+
+    engine->tuner_mode_ = TuningModeName(runtime_config.tuner.mode);
+    if (serve_config.trace.enabled) {
+        obs::TailSamplingPolicy policy;
+        policy.sample_every = serve_config.trace.sample_every;
+        policy.latency_keep_ns = serve_config.trace.latency_keep_ns;
+        obs::RequestTraceCollector::Default().Configure(policy);
+    }
+    if (serve_config.slo.enabled) {
+        if (serve_config.slo.latency_bound_ns > 0) {
+            obs::SloConfig slo;
+            slo.name = "serve_latency";
+            slo.objective = serve_config.slo.latency_objective;
+            slo.fast_window_ns = serve_config.slo.fast_window_ns;
+            slo.slow_window_ns = serve_config.slo.slow_window_ns;
+            engine->latency_slo_ =
+                std::make_unique<obs::SloMonitor>(slo);
+        }
+        if (serve_config.slo.quality_margin_pct >= 0.0) {
+            obs::SloConfig slo;
+            slo.name = "serve_quality";
+            slo.objective = serve_config.slo.quality_objective;
+            slo.fast_window_ns = serve_config.slo.fast_window_ns;
+            slo.slow_window_ns = serve_config.slo.slow_window_ns;
+            engine->quality_slo_ =
+                std::make_unique<obs::SloMonitor>(slo);
+            engine->quality_bound_pct_ =
+                runtime_config.tuner.target_error_pct +
+                serve_config.slo.quality_margin_pct;
+        }
+    }
+
+    // Live observability surface: honor RUMBA_METRICS_PORT and serve
+    // this engine's status at /statusz (Shutdown uninstalls it).
+    obs::ObservabilityServer::StartFromEnv();
+    obs::ObservabilityServer::Default().SetStatusProvider(
+        [raw = engine.get()] { return raw->StatuszJson(); });
+    engine->statusz_installed_ = true;
+
     for (size_t i = 0; i < serve_config.shards; ++i) {
         engine->shards_[i]->worker =
             std::thread([raw = engine.get(), i] { raw->WorkerLoop(i); });
@@ -113,13 +178,19 @@ std::future<InvocationResult>
 ShardedEngine::Submit(InvocationRequest request)
 {
     obs_submitted_->Increment();
+    const uint64_t trace_id =
+        obs::RequestTraceCollector::Default().NextTraceId();
+    const uint64_t submit_ns = obs::NowNs();
 
     InvocationResult reject;
+    reject.trace_id = trace_id;
     if (shutdown_.load(std::memory_order_acquire)) {
         reject.status =
             core::Status(core::StatusCode::kUnavailable,
                          "engine is shut down");
         obs_rejected_->Increment();
+        RecordTerminalTrace(trace_id, 0, submit_ns,
+                            obs::RequestOutcome::kRejected);
         return Resolved(std::move(reject));
     }
     if (request.count == 0 || request.width != input_width_ ||
@@ -129,6 +200,8 @@ ShardedEngine::Submit(InvocationRequest request)
             "request shape must be count x " +
                 std::to_string(input_width_) + " contiguous doubles");
         obs_rejected_->Increment();
+        RecordTerminalTrace(trace_id, 0, submit_ns,
+                            obs::RequestOutcome::kRejected);
         return Resolved(std::move(reject));
     }
     if (request.shard != InvocationRequest::kAnyShard &&
@@ -139,6 +212,8 @@ ShardedEngine::Submit(InvocationRequest request)
                          "no such shard " +
                              std::to_string(request.shard));
         obs_rejected_->Increment();
+        RecordTerminalTrace(trace_id, 0, submit_ns,
+                            obs::RequestOutcome::kRejected);
         return Resolved(std::move(reject));
     }
 
@@ -151,7 +226,8 @@ ShardedEngine::Submit(InvocationRequest request)
 
     Pending pending;
     pending.request = std::move(request);
-    pending.enqueue_ns = obs::NowNs();
+    pending.enqueue_ns = submit_ns;
+    pending.trace_id = trace_id;
     std::future<InvocationResult> future =
         pending.promise.get_future();
 
@@ -173,6 +249,8 @@ ShardedEngine::Submit(InvocationRequest request)
                 " queue is full (backpressure; retry later)");
         reject.shard = shard_index;
         obs_rejected_->Increment();
+        RecordTerminalTrace(trace_id, shard_index, submit_ns,
+                            obs::RequestOutcome::kRejected);
         // The promise in `pending` dies unused; the caller holds the
         // resolved future below instead.
         return Resolved(std::move(reject));
@@ -197,9 +275,16 @@ ShardedEngine::Shutdown()
                                            std::memory_order_acq_rel))
         return;  // idempotent: someone already shut us down.
 
+    // This engine's status must not outlive it on the scrape surface.
+    if (statusz_installed_) {
+        obs::ObservabilityServer::Default().SetStatusProvider(nullptr);
+        statusz_installed_ = false;
+    }
+
     // Cancel everything still queued; workers finish their in-flight
     // batch (its futures resolve kOk), then see the closed queue and
     // exit.
+    size_t shard_index = 0;
     for (auto& shard : shards_) {
         std::deque<Pending> leftovers;
         shard->queue.Close(&leftovers);
@@ -208,9 +293,15 @@ ShardedEngine::Shutdown()
             cancelled.status =
                 core::Status(core::StatusCode::kCancelled,
                              "engine shut down before the request ran");
+            cancelled.trace_id = pending.trace_id;
+            cancelled.shard = shard_index;
             obs_cancelled_->Increment();
+            RecordTerminalTrace(pending.trace_id, shard_index,
+                                pending.enqueue_ns,
+                                obs::RequestOutcome::kCancelled);
             FinishOne(&pending, std::move(cancelled));
         }
+        ++shard_index;
     }
     for (auto& shard : shards_) {
         if (shard->worker.joinable())
@@ -244,6 +335,96 @@ ShardedEngine::FinishOne(Pending* pending, InvocationResult result)
 }
 
 void
+ShardedEngine::RecordTerminalTrace(uint64_t trace_id,
+                                   size_t shard_index,
+                                   uint64_t submit_ns,
+                                   obs::RequestOutcome outcome)
+{
+    if (!config_.trace.enabled)
+        return;
+    obs::RequestTrace trace;
+    trace.trace_id = trace_id;
+    trace.shard = static_cast<uint32_t>(shard_index);
+    trace.outcome = outcome;
+    trace.submit_ns = submit_ns;
+    trace.total_ns = obs::NowNs() - submit_ns;
+    obs::RequestTraceCollector::Default().Record(std::move(trace));
+}
+
+std::vector<std::string>
+ShardedEngine::DumpFlightRecords(const std::string& reason)
+{
+    std::vector<std::string> paths;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+        if (shards_[i]->flight == nullptr)
+            continue;
+        std::string path = shards_[i]->flight->Dump(
+            config_.flight.dump_dir, static_cast<uint32_t>(i), reason);
+        if (!path.empty())
+            paths.push_back(std::move(path));
+    }
+    return paths;
+}
+
+const FlightRecorder&
+ShardedEngine::Flight(size_t i) const
+{
+    RUMBA_CHECK(i < shards_.size() && shards_[i]->flight != nullptr);
+    return *shards_[i]->flight;
+}
+
+std::string
+ShardedEngine::StatuszJson() const
+{
+    size_t in_flight;
+    {
+        std::lock_guard<std::mutex> lock(drain_mu_);
+        in_flight = in_flight_;
+    }
+    std::string out = "{\"healthy\":";
+    out += shutdown_.load(std::memory_order_acquire) ? "false" : "true";
+    out += ",\"tuner_mode\":\"";
+    out += tuner_mode_;
+    out += "\",\"in_flight\":" + std::to_string(in_flight);
+    out += ",\"submitted\":" + std::to_string(obs_submitted_->Value());
+    out += ",\"completed\":" + std::to_string(obs_completed_->Value());
+    out += ",\"rejected\":" + std::to_string(obs_rejected_->Value());
+    out += ",\"cancelled\":" + std::to_string(obs_cancelled_->Value());
+    if (latency_slo_ != nullptr) {
+        out += ",\"latency_slo_alerting\":";
+        out += latency_slo_->Alerting() ? "true" : "false";
+    }
+    if (quality_slo_ != nullptr) {
+        out += ",\"quality_slo_alerting\":";
+        out += quality_slo_->Alerting() ? "true" : "false";
+    }
+    out += ",\"shards\":[";
+    for (size_t i = 0; i < shards_.size(); ++i) {
+        const Shard& shard = *shards_[i];
+        if (i > 0)
+            out += ",";
+        out += "{\"shard\":" + std::to_string(i);
+        out += ",\"queue_depth\":" +
+               std::to_string(static_cast<uint64_t>(
+                   shard.obs_queue_depth->Value()));
+        out += ",\"breaker_state\":" +
+               std::to_string(static_cast<uint64_t>(
+                   shard.obs_breaker_state->Value()));
+        out += ",\"threshold\":" +
+               obs::JsonNum(shard.obs_threshold->Value());
+        out += ",\"served\":" +
+               std::to_string(shard.obs_served->Value());
+        if (shard.flight != nullptr) {
+            out += ",\"flight_records\":" +
+                   std::to_string(shard.flight->TotalAppended());
+        }
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
+void
 ShardedEngine::WorkerLoop(size_t shard_index)
 {
     Shard& shard = *shards_[shard_index];
@@ -271,6 +452,7 @@ ShardedEngine::ProcessBatch(Shard& shard, size_t shard_index,
                             std::vector<Pending>* batch)
 {
     const obs::Span batch_span("serve.batch");
+    const uint64_t pickup_ns = obs::NowNs();
     size_t total = 0;
     for (const Pending& pending : *batch)
         total += pending.request.count;
@@ -312,7 +494,25 @@ ShardedEngine::ProcessBatch(Shard& shard, size_t shard_index,
 
     shard.obs_breaker_state->Set(
         static_cast<double>(static_cast<int>(report.breaker_state)));
+    shard.obs_threshold->Set(report.threshold_used);
     shard.obs_served->Increment(total);
+
+    const uint32_t breaker_state =
+        static_cast<uint32_t>(report.breaker_state);
+    const uint64_t device_only_ns =
+        report.timings.accel_stream_ns - report.timings.check_ns +
+        config_.emulated_device_ns * total;
+    const uint64_t recover_ns =
+        report.timings.recover_ns + report.timings.exact_ns;
+    // Per-invocation quality SLO event: one verified error per batch.
+    if (quality_slo_ != nullptr) {
+        quality_slo_->Record(report.output_error_pct <=
+                             quality_bound_pct_);
+    }
+
+    obs::RequestTraceCollector& collector =
+        obs::RequestTraceCollector::Default();
+    const bool tracing = config_.trace.enabled && collector.Enabled();
 
     const uint64_t done_ns = obs::NowNs();
     size_t offset = 0;
@@ -320,21 +520,99 @@ ShardedEngine::ProcessBatch(Shard& shard, size_t shard_index,
         const size_t count = pending.request.count;
         InvocationResult result;
         result.status = core::Status::Ok();
+        result.trace_id = pending.trace_id;
         result.shard = shard_index;
         result.report = report;
         result.report.elements = count;
+        const uint64_t merge_start_ns = obs::NowNs();
         result.outputs.assign(
             shard.scratch_out.begin() +
                 static_cast<ptrdiff_t>(offset * output_width_),
             shard.scratch_out.begin() + static_cast<ptrdiff_t>(
                                             (offset + count) *
                                             output_width_));
+        const uint64_t merge_end_ns = obs::NowNs();
         offset += count;
+        const uint64_t latency_ns = done_ns - pending.enqueue_ns;
         obs_enqueue_to_complete_ns_->Observe(
-            static_cast<double>(done_ns - pending.enqueue_ns));
+            static_cast<double>(latency_ns));
         obs_completed_->Increment();
+        if (latency_slo_ != nullptr) {
+            latency_slo_->Record(latency_ns <=
+                                 config_.slo.latency_bound_ns);
+        }
+        if (shard.flight != nullptr) {
+            FlightRecord record;
+            record.trace_id = pending.trace_id;
+            record.shard = static_cast<uint32_t>(shard_index);
+            record.enqueue_ns = pending.enqueue_ns;
+            record.complete_ns = done_ns;
+            record.queue_wait_ns = pickup_ns - pending.enqueue_ns;
+            record.device_ns = device_only_ns;
+            record.elements = count;
+            record.inputs_digest =
+                DigestInputs(pending.request.inputs.data(),
+                             pending.request.inputs.size());
+            record.threshold = report.threshold_used;
+            record.predicted_error_pct = report.estimated_error_pct;
+            record.actual_error_pct = report.output_error_pct;
+            record.fixes = report.fixes;
+            record.breaker_state = breaker_state;
+            shard.flight->Append(record);
+        }
+        if (tracing) {
+            obs::RequestTrace trace;
+            trace.trace_id = pending.trace_id;
+            trace.shard = static_cast<uint32_t>(shard_index);
+            trace.outcome = obs::RequestOutcome::kCompleted;
+            trace.submit_ns = pending.enqueue_ns;
+            trace.total_ns = merge_end_ns - pending.enqueue_ns;
+            trace.elements = count;
+            trace.batch_requests =
+                static_cast<uint32_t>(batch->size());
+            trace.fixes = report.fixes;
+            trace.breaker_state = breaker_state;
+            trace.spans = {
+                {"queue_wait", pending.enqueue_ns,
+                 pickup_ns - pending.enqueue_ns},
+                {"device", pickup_ns, device_only_ns},
+                {"check", pickup_ns + device_only_ns,
+                 report.timings.check_ns},
+                {"recover",
+                 pickup_ns + device_only_ns +
+                     report.timings.check_ns,
+                 recover_ns},
+                {"merge", merge_start_ns,
+                 merge_end_ns - merge_start_ns},
+            };
+            collector.Record(std::move(trace));
+        }
         FinishOne(&pending, std::move(result));
     }
+
+    // Incident hooks: dump the shard's flight recorder the moment its
+    // breaker transitions to open, and once per fault episode when a
+    // fault first surfaces (non-finite outputs or recovery-queue
+    // drops) — the ring then still holds the requests leading in.
+    if (shard.flight != nullptr) {
+        const bool opened =
+            breaker_state ==
+                static_cast<uint32_t>(core::BreakerState::kOpen) &&
+            shard.last_breaker_state != breaker_state;
+        const bool fault = report.non_finite_outputs > 0 ||
+                           report.queue_drops > 0;
+        if (opened) {
+            shard.flight->Dump(config_.flight.dump_dir,
+                               static_cast<uint32_t>(shard_index),
+                               "breaker_open");
+        } else if (fault && !shard.fault_dump_latched) {
+            shard.flight->Dump(config_.flight.dump_dir,
+                               static_cast<uint32_t>(shard_index),
+                               "fault");
+        }
+        shard.fault_dump_latched = fault || opened;
+    }
+    shard.last_breaker_state = breaker_state;
 }
 
 }  // namespace rumba::serve

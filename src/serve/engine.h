@@ -39,12 +39,15 @@
 #include "core/artifact.h"
 #include "core/runtime.h"
 #include "core/status.h"
+#include "obs/reqtrace.h"
+#include "serve/flight_recorder.h"
 #include "serve/queue.h"
 
 namespace rumba::obs {
 class Counter;
 class Gauge;
 class Histogram;
+class SloMonitor;
 }  // namespace rumba::obs
 
 namespace rumba::serve {
@@ -73,6 +76,44 @@ struct ServeConfig {
      * 0 disables the emulation (pure CPU-bound serving).
      */
     uint64_t emulated_device_ns = 0;
+
+    /** Request-scoped tracing (obs/reqtrace.h). */
+    struct TraceOptions {
+        /** Record per-request traces into the default collector (and
+         *  enable per-stage runtime timings on every shard). */
+        bool enabled = true;
+        /** Head-sampling rate for unflagged (healthy) traces. */
+        uint32_t sample_every = 16;
+        /** Always keep traces at least this slow (0 disables). */
+        uint64_t latency_keep_ns = 0;
+    };
+    TraceOptions trace;
+
+    /** Per-shard flight recorder (serve/flight_recorder.h). */
+    struct FlightOptions {
+        /** Recent requests retained per shard (0 disables). */
+        size_t capacity = FlightRecorder::kDefaultCapacity;
+        /** Directory dump artifacts are written into. */
+        std::string dump_dir = ".";
+    };
+    FlightOptions flight;
+
+    /** SLO burn-rate monitoring (obs/slo.h). */
+    struct SloOptions {
+        bool enabled = true;
+        /** Latency objective: enqueue-to-complete under this bound.
+         *  0 disables the latency SLO. */
+        uint64_t latency_bound_ns = 100ull * 1000 * 1000;
+        double latency_objective = 0.99;
+        /** Quality objective: verified invocation error within
+         *  tuner target + this margin (percentage points; negative
+         *  disables the quality SLO). */
+        double quality_margin_pct = 2.0;
+        double quality_objective = 0.99;
+        uint64_t fast_window_ns = 10ull * 1000 * 1000 * 1000;
+        uint64_t slow_window_ns = 60ull * 1000 * 1000 * 1000;
+    };
+    SloOptions slo;
 };
 
 /** One asynchronous invocation request. */
@@ -96,6 +137,10 @@ struct InvocationRequest {
 struct InvocationResult {
     /** kOk, or why the request never ran (rejected / cancelled). */
     core::Status status;
+    /** Request trace id (obs/reqtrace.h), assigned at Submit even for
+     *  rejected requests — joins results with exported traces and
+     *  flight-recorder dumps. */
+    uint64_t trace_id = 0;
     /** Merged element outputs, count x NumOutputs() doubles. */
     std::vector<double> outputs;
     /** The runtime's quality report for the invocation that served
@@ -171,12 +216,42 @@ class ShardedEngine {
      *  and its worker mutates it — read between Drain()s). */
     const core::RumbaRuntime& Runtime(size_t i) const;
 
+    /**
+     * Dump every shard's flight recorder to
+     * ServeConfig::flight.dump_dir now (operator's SIGUSR1
+     * equivalent). Returns the paths written. The engine also dumps a
+     * shard automatically when its breaker transitions to open or a
+     * fault (non-finite outputs, recovery-queue drops) first appears.
+     */
+    std::vector<std::string> DumpFlightRecords(
+        const std::string& reason = "manual");
+
+    /** Shard @p i's flight recorder (inspection / tests). */
+    const FlightRecorder& Flight(size_t i) const;
+
+    /**
+     * Live engine status as a JSON object — per-shard queue depth,
+     * breaker state, current threshold, served count, plus engine
+     * totals and the tuner mode. Reads only atomics and gauges, so it
+     * is safe to call from the scrape server while workers run; the
+     * engine installs it as the /statusz provider
+     * (obs/http_exporter.h) on Create.
+     */
+    std::string StatuszJson() const;
+
+    /** The latency SLO monitor (null when disabled). */
+    obs::SloMonitor* LatencySlo() { return latency_slo_.get(); }
+
+    /** The quality SLO monitor (null when disabled). */
+    obs::SloMonitor* QualitySlo() { return quality_slo_.get(); }
+
   private:
     /** One queued request awaiting its shard worker. */
     struct Pending {
         InvocationRequest request;
         std::promise<InvocationResult> promise;
         uint64_t enqueue_ns = 0;
+        uint64_t trace_id = 0;  ///< assigned at Submit (obs/reqtrace.h).
     };
 
     /** One worker shard: a runtime replica behind a bounded queue. */
@@ -192,7 +267,13 @@ class ShardedEngine {
         /** Per-shard telemetry. */
         obs::Gauge* obs_queue_depth = nullptr;
         obs::Gauge* obs_breaker_state = nullptr;
+        obs::Gauge* obs_threshold = nullptr;
         obs::Counter* obs_served = nullptr;
+        /** Flight recorder (constructed with flight.capacity). */
+        std::unique_ptr<FlightRecorder> flight;
+        /** Auto-dump bookkeeping (worker thread only). */
+        uint32_t last_breaker_state = 0;
+        bool fault_dump_latched = false;
     };
 
     ShardedEngine(const ServeConfig& config, size_t input_width,
@@ -202,6 +283,10 @@ class ShardedEngine {
     void ProcessBatch(Shard& shard, size_t shard_index,
                       std::vector<Pending>* batch);
     void FinishOne(Pending* pending, InvocationResult result);
+    /** Record a never-ran (rejected / cancelled) request's trace. */
+    void RecordTerminalTrace(uint64_t trace_id, size_t shard_index,
+                             uint64_t submit_ns,
+                             obs::RequestOutcome outcome);
 
     ServeConfig config_;
     const size_t input_width_;
@@ -210,7 +295,7 @@ class ShardedEngine {
     std::atomic<size_t> next_shard_{0};   ///< round-robin cursor.
     std::atomic<bool> shutdown_{false};
 
-    std::mutex drain_mu_;
+    mutable std::mutex drain_mu_;
     std::condition_variable drain_cv_;
     size_t in_flight_ = 0;  ///< accepted, future not yet resolved.
 
@@ -222,6 +307,16 @@ class ShardedEngine {
     obs::Counter* obs_coalesced_batches_;
     obs::Histogram* obs_enqueue_to_complete_ns_;
     obs::Histogram* obs_batch_elements_;
+
+    /** SLO monitors (null when ServeConfig::slo disables them). */
+    std::unique_ptr<obs::SloMonitor> latency_slo_;
+    std::unique_ptr<obs::SloMonitor> quality_slo_;
+    /** Quality-SLO pass bound: tuner target + margin (percent). */
+    double quality_bound_pct_ = 0.0;
+    /** Tuner mode name for /statusz (config constant). */
+    const char* tuner_mode_ = "toq";
+    /** True while this engine owns the /statusz provider. */
+    bool statusz_installed_ = false;
 };
 
 }  // namespace rumba::serve

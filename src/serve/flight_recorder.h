@@ -1,0 +1,100 @@
+#ifndef RUMBA_SERVE_FLIGHT_RECORDER_H_
+#define RUMBA_SERVE_FLIGHT_RECORDER_H_
+
+/**
+ * @file
+ * Per-shard flight recorder: a bounded ring of the last N completed
+ * request records — inputs digest, threshold, predicted vs actual
+ * error, stage timings, breaker position — that the serving engine
+ * dumps to a JSONL artifact the moment something goes wrong (breaker
+ * opens, a fault-plan fault fires) or an operator asks
+ * (ShardedEngine::DumpFlightRecords). Unlike request traces
+ * (obs/reqtrace.h), which are sampled and process-global, the flight
+ * recorder keeps *every* recent request per shard precisely so the
+ * moments before an incident are never sampled away: PR 3's fault
+ * drills become diagnosable incidents.
+ *
+ * Appending is a mutex-guarded struct copy into preallocated storage;
+ * rendering/writing happens only on dump.
+ */
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rumba::serve {
+
+/** One completed request as the flight recorder saw it. */
+struct FlightRecord {
+    uint64_t trace_id = 0;        ///< obs/reqtrace.h id (joins dumps
+                                  ///< with exported traces).
+    uint32_t shard = 0;
+    uint64_t enqueue_ns = 0;      ///< steady clock at accept.
+    uint64_t complete_ns = 0;     ///< steady clock at future resolve.
+    uint64_t queue_wait_ns = 0;   ///< enqueue -> worker pickup.
+    uint64_t device_ns = 0;       ///< accelerator streaming time.
+    uint64_t elements = 0;
+    uint64_t inputs_digest = 0;   ///< FNV-1a over the raw input bytes.
+    double threshold = 0.0;       ///< detector threshold that round.
+    double predicted_error_pct = 0.0;  ///< checker's estimate.
+    double actual_error_pct = 0.0;     ///< verified residual error.
+    uint64_t fixes = 0;           ///< re-executed iterations.
+    uint32_t breaker_state = 0;   ///< 0 closed / 1 open / 2 half-open.
+    uint32_t status_code = 0;     ///< StatusCode of the result (0 = ok).
+};
+
+/** FNV-1a 64-bit over @p count doubles (stable input fingerprint). */
+uint64_t DigestInputs(const double* data, size_t count);
+
+/**
+ * Bounded ring of FlightRecords. Thread-safe; one instance per shard
+ * (plus Dump callers from other threads).
+ */
+class FlightRecorder {
+  public:
+    static constexpr size_t kDefaultCapacity = 256;
+
+    explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+
+    /** Append one record, evicting the oldest when full. */
+    void Append(const FlightRecord& record);
+
+    /** Retained records, oldest first. */
+    std::vector<FlightRecord> Snapshot() const;
+
+    /** Records appended since construction. */
+    uint64_t TotalAppended() const;
+
+    size_t Capacity() const { return capacity_; }
+
+    /** Drop all retained records (counters keep counting). */
+    void Clear();
+
+    /**
+     * Write the retained records to
+     * @p dir/flight-shard<shard>-<seq>.jsonl: the obs run-metadata
+     * header, one {"type":"flight_dump","reason":...} line, then one
+     * {"type":"flight",...} line per record, oldest first. @p seq is
+     * maintained internally so repeated dumps never overwrite.
+     * Returns the path written, or "" on I/O failure (after a
+     * warning).
+     */
+    std::string Dump(const std::string& dir, uint32_t shard,
+                     const std::string& reason);
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mu_;
+    std::vector<FlightRecord> ring_;
+    size_t head_ = 0;        ///< next write slot when full.
+    uint64_t appended_ = 0;
+    uint32_t dump_seq_ = 0;
+};
+
+/** One record as a single JSON object line (no trailing newline). */
+std::string FlightRecordJson(const FlightRecord& record);
+
+}  // namespace rumba::serve
+
+#endif  // RUMBA_SERVE_FLIGHT_RECORDER_H_

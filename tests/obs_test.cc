@@ -16,7 +16,10 @@
 #include <vector>
 
 #include "obs/export.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/reqtrace.h"
+#include "obs/slo.h"
 #include "obs/span.h"
 #include "obs/stream.h"
 #include "obs/timer.h"
@@ -658,6 +661,316 @@ TEST(SnapshotStreamerTest, StartFailsOnUnwritablePath)
     SnapshotStreamer streamer;
     EXPECT_FALSE(streamer.Start("/nonexistent-dir/x/y/z.jsonl", 10));
     EXPECT_FALSE(streamer.Running());
+}
+
+// --------------------------------------------- Quantile interpolation
+
+TEST(HistogramTest, QuantileInterpolatesWithinOccupiedSlice)
+{
+    // Values uniform in [15, 20] land entirely inside the wide
+    // (10, 100] bucket. Interpolating over the raw bucket edges would
+    // report a median of ~55; tightening to the observed range reads
+    // the true ~17.5 (see the estimator note in obs/metrics.h).
+    Histogram h({10.0, 100.0});
+    for (int i = 0; i <= 10; ++i)
+        h.Observe(15.0 + 0.5 * i);  // 15, 15.5, ..., 20.
+    EXPECT_NEAR(h.Quantile(0.5), 17.5, 1.0);
+    EXPECT_LE(h.Quantile(0.99), 20.0);
+    EXPECT_GE(h.Quantile(0.01), 15.0);
+    // Ordering survives the tightening.
+    EXPECT_LE(h.Quantile(0.5), h.Quantile(0.9));
+    EXPECT_LE(h.Quantile(0.9), h.Quantile(0.99));
+}
+
+TEST(HistogramTest, SnapshotCarriesBucketCounts)
+{
+    Histogram h({1.0, 10.0, 100.0});
+    h.Observe(0.5);    // bucket 0.
+    h.Observe(5.0);    // bucket 1.
+    h.Observe(50.0);   // bucket 2.
+    h.Observe(500.0);  // overflow.
+    h.Observe(5.0);    // bucket 1 again.
+    const HistogramSnapshot snap = h.Snapshot("t");
+    ASSERT_EQ(snap.bounds.size(), 3u);
+    ASSERT_EQ(snap.buckets.size(), 4u);
+    EXPECT_EQ(snap.buckets[0], 1u);
+    EXPECT_EQ(snap.buckets[1], 2u);
+    EXPECT_EQ(snap.buckets[2], 1u);
+    EXPECT_EQ(snap.buckets[3], 1u);
+    uint64_t total = 0;
+    for (uint64_t b : snap.buckets)
+        total += b;
+    EXPECT_EQ(total, snap.count);
+}
+
+// ------------------------------------------------ Prometheus rendering
+
+TEST(PrometheusTextTest, RendersCountersGaugesAndHistograms)
+{
+    Registry registry;
+    registry.GetCounter("prom.requests")->Increment(3);
+    registry.GetGauge("prom.depth")->Set(2.5);
+    Histogram* h = registry.GetHistogram("prom.lat_ns", {10.0, 100.0});
+    h->Observe(5.0);
+    h->Observe(50.0);
+    h->Observe(500.0);
+
+    const std::string text = ToPrometheusText(registry.Snapshot());
+
+    // Counter: mangled name, _total suffix, dotted original as label.
+    EXPECT_NE(text.find("# TYPE rumba_prom_requests_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("rumba_prom_requests_total{"
+                        "name=\"prom.requests\"} 3"),
+              std::string::npos);
+    // Gauge.
+    EXPECT_NE(text.find("# TYPE rumba_prom_depth gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("rumba_prom_depth{name=\"prom.depth\"} 2.5"),
+              std::string::npos);
+    // Histogram: cumulative le buckets, +Inf == _count, sum/count.
+    EXPECT_NE(text.find("# TYPE rumba_prom_lat_ns histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("le=\"10\"} 1"), std::string::npos);
+    EXPECT_NE(text.find("le=\"100\"} 2"), std::string::npos);
+    EXPECT_NE(text.find("le=\"+Inf\"} 3"), std::string::npos);
+    EXPECT_NE(text.find("rumba_prom_lat_ns_count{"
+                        "name=\"prom.lat_ns\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("rumba_prom_lat_ns_sum{"), std::string::npos);
+    // Companion min/max gauges.
+    EXPECT_NE(text.find("rumba_prom_lat_ns_min{"), std::string::npos);
+    EXPECT_NE(text.find("rumba_prom_lat_ns_max{"), std::string::npos);
+    // Exposition ends with a newline (required by the format).
+    ASSERT_FALSE(text.empty());
+    EXPECT_EQ(text.back(), '\n');
+}
+
+// ---------------------------------------------- Observability server
+
+TEST(ObservabilityServerTest, ServesMetricsHealthzAndStatusz)
+{
+    Registry::Default().GetCounter("server_test.pings")->Increment();
+
+    ObservabilityServer server;
+    ASSERT_TRUE(server.Start(0));  // ephemeral port.
+    ASSERT_TRUE(server.Running());
+    const uint16_t port = server.Port();
+    ASSERT_NE(port, 0);
+
+    std::string body;
+    int status = 0;
+    ASSERT_TRUE(HttpGet(port, "/healthz", &body, &status));
+    EXPECT_EQ(status, 200);
+    EXPECT_EQ(body, "ok\n");
+
+    ASSERT_TRUE(HttpGet(port, "/metrics", &body, &status));
+    EXPECT_EQ(status, 200);
+    EXPECT_NE(body.find("# TYPE"), std::string::npos);
+    EXPECT_NE(body.find("rumba_server_test_pings_total"),
+              std::string::npos);
+
+    ASSERT_TRUE(HttpGet(port, "/statusz", &body, &status));
+    EXPECT_EQ(status, 200);
+    EXPECT_NE(body.find("\"healthy\":true"), std::string::npos);
+
+    server.SetStatusProvider(
+        [] { return std::string("{\"custom\":42}\n"); });
+    ASSERT_TRUE(HttpGet(port, "/statusz", &body, &status));
+    EXPECT_NE(body.find("\"custom\":42"), std::string::npos);
+    server.SetStatusProvider(nullptr);  // default restored.
+    ASSERT_TRUE(HttpGet(port, "/statusz", &body, &status));
+    EXPECT_NE(body.find("\"healthy\":true"), std::string::npos);
+
+    ASSERT_TRUE(HttpGet(port, "/nope", &body, &status));
+    EXPECT_EQ(status, 404);
+
+    EXPECT_GE(server.RequestsServed(), 5u);
+    server.Stop();
+    EXPECT_FALSE(server.Running());
+    server.Stop();  // idempotent.
+}
+
+// --------------------------------------------------- SLO burn rates
+
+TEST(SloMonitorTest, MultiWindowAlertFiresAndClearsWithHysteresis)
+{
+    SloConfig cfg;
+    cfg.name = "slo_test";
+    cfg.objective = 0.9;  // error budget 0.1: all-bad burns at 10x.
+    cfg.fast_window_ns = 1000;
+    cfg.slow_window_ns = 10000;
+    cfg.buckets = 10;  // one bucket per fast window.
+    cfg.fast_burn_alert = 5.0;
+    cfg.slow_burn_alert = 2.0;
+    cfg.min_events = 5;
+    SloMonitor monitor(cfg);
+
+    std::vector<SloAlert> edges;
+    monitor.SetAlertSink(
+        [&edges](const SloAlert& a) { edges.push_back(a); });
+
+    // Below min_events nothing fires, however bad the stream.
+    for (int i = 0; i < 4; ++i)
+        monitor.Record(false, 10000 + i * 100);
+    EXPECT_FALSE(monitor.Alerting());
+    EXPECT_TRUE(edges.empty());
+
+    // Crossing min_events with both windows saturated fires once.
+    for (int i = 4; i < 10; ++i)
+        monitor.Record(false, 10000 + i * 100);
+    EXPECT_TRUE(monitor.Alerting());
+    EXPECT_EQ(monitor.AlertCount(), 1u);
+    EXPECT_NEAR(monitor.FastBurnRate(10900), 10.0, 1e-9);
+    EXPECT_NEAR(monitor.SlowBurnRate(10900), 10.0, 1e-9);
+    ASSERT_EQ(edges.size(), 1u);
+    EXPECT_TRUE(edges[0].firing);
+    EXPECT_EQ(edges[0].name, "slo_test");
+
+    // A healthy fast window clears the alert (hysteresis: the slow
+    // window still carries the bad events).
+    monitor.Record(true, 12500);
+    EXPECT_FALSE(monitor.Alerting());
+    EXPECT_EQ(monitor.AlertCount(), 1u);  // fires counted, not clears.
+    ASSERT_EQ(edges.size(), 2u);
+    EXPECT_FALSE(edges[1].firing);
+    EXPECT_GT(monitor.SlowBurnRate(12500), 2.0);
+    EXPECT_DOUBLE_EQ(monitor.FastBurnRate(12500), 0.0);
+}
+
+TEST(SloMonitorTest, BurnRateTracksBadFraction)
+{
+    SloConfig cfg;
+    cfg.name = "slo_frac";
+    cfg.objective = 0.99;  // budget 0.01.
+    cfg.fast_window_ns = 1000;
+    cfg.slow_window_ns = 10000;
+    cfg.buckets = 10;
+    SloMonitor monitor(cfg);
+
+    // 1 bad in 100 == exactly the provisioned budget: burn == 1.
+    for (int i = 0; i < 99; ++i)
+        monitor.Record(true, 5000);
+    monitor.Record(false, 5000);
+    EXPECT_NEAR(monitor.FastBurnRate(5000), 1.0, 1e-9);
+    EXPECT_NEAR(monitor.SlowBurnRate(5000), 1.0, 1e-9);
+    // Events outside the slow window stop counting.
+    EXPECT_DOUBLE_EQ(monitor.SlowBurnRate(50000), 0.0);
+}
+
+// ------------------------------------------- Request-trace collector
+
+RequestTrace
+HealthyTrace(uint64_t id)
+{
+    RequestTrace trace;
+    trace.trace_id = id;
+    trace.outcome = RequestOutcome::kCompleted;
+    trace.total_ns = 10;
+    trace.spans.push_back({"device", 0, 10});
+    return trace;
+}
+
+TEST(RequestTraceCollectorTest, TailPolicyKeepsFlaggedOutcomes)
+{
+    RequestTraceCollector collector(16);
+    TailSamplingPolicy policy;
+    policy.sample_every = 0;  // drop every unflagged trace.
+    policy.latency_keep_ns = 1000;
+    collector.Configure(policy);
+
+    collector.Record(HealthyTrace(1));  // unflagged: sampled out.
+
+    RequestTrace recovered = HealthyTrace(2);
+    recovered.fixes = 3;
+    collector.Record(recovered);
+
+    RequestTrace breaker = HealthyTrace(3);
+    breaker.breaker_state = 1;
+    collector.Record(breaker);
+
+    RequestTrace rejected = HealthyTrace(4);
+    rejected.outcome = RequestOutcome::kRejected;
+    collector.Record(rejected);
+
+    RequestTrace slow = HealthyTrace(5);
+    slow.total_ns = 5000;  // >= latency_keep_ns.
+    collector.Record(slow);
+
+    const auto kept = collector.Dump();
+    ASSERT_EQ(kept.size(), 4u);
+    EXPECT_EQ(kept[0].trace_id, 2u);
+    EXPECT_EQ(kept[1].trace_id, 3u);
+    EXPECT_EQ(kept[2].trace_id, 4u);
+    EXPECT_EQ(kept[3].trace_id, 5u);
+    EXPECT_EQ(collector.TotalRecorded(), 5u);
+    EXPECT_EQ(collector.Sampled(), 1u);
+}
+
+TEST(RequestTraceCollectorTest, SamplesOneInNAndEvictsOldest)
+{
+    RequestTraceCollector collector(3);
+    TailSamplingPolicy policy;
+    policy.sample_every = 2;  // keep every second unflagged trace.
+    collector.Configure(policy);
+
+    for (uint64_t id = 1; id <= 10; ++id)
+        collector.Record(HealthyTrace(id));
+    // Ids 2, 4, 6, 8, 10 were kept; capacity 3 retains 6, 8, 10.
+    const auto kept = collector.Dump();
+    ASSERT_EQ(kept.size(), 3u);
+    EXPECT_EQ(kept[0].trace_id, 6u);
+    EXPECT_EQ(kept[1].trace_id, 8u);
+    EXPECT_EQ(kept[2].trace_id, 10u);
+    EXPECT_EQ(collector.Sampled(), 5u);
+    EXPECT_EQ(collector.Evicted(), 2u);
+
+    collector.Clear();
+    EXPECT_EQ(collector.Size(), 0u);
+    EXPECT_EQ(collector.TotalRecorded(), 0u);
+}
+
+TEST(RequestTraceCollectorTest, DisableCountsButKeepsNothing)
+{
+    RequestTraceCollector collector(4);
+    TailSamplingPolicy keep_all;
+    keep_all.sample_every = 1;
+    collector.Configure(keep_all);
+    collector.Disable();
+    collector.Record(HealthyTrace(1));
+    EXPECT_EQ(collector.Size(), 0u);
+    EXPECT_EQ(collector.TotalRecorded(), 1u);
+    collector.Enable();
+    collector.Record(HealthyTrace(2));
+    EXPECT_EQ(collector.Size(), 1u);
+}
+
+TEST(RequestTraceCollectorTest, TraceIdsAreUniqueAcrossClear)
+{
+    RequestTraceCollector collector(4);
+    const uint64_t a = collector.NextTraceId();
+    collector.Clear();
+    const uint64_t b = collector.NextTraceId();
+    EXPECT_GT(b, a);  // the sequence never restarts.
+}
+
+TEST(RequestTraceJsonTest, RendersOutcomeAndSpans)
+{
+    RequestTrace trace = HealthyTrace(77);
+    trace.shard = 2;
+    trace.batch_requests = 3;
+    trace.spans.push_back({"queue_wait", 5, 7});
+    const std::string json = RequestTraceJson(trace);
+    EXPECT_NE(json.find("\"type\":\"reqtrace\""), std::string::npos);
+    EXPECT_NE(json.find("\"trace_id\":77"), std::string::npos);
+    EXPECT_NE(json.find("\"outcome\":\"completed\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"batch_requests\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"queue_wait\""), std::string::npos);
+
+    const std::string jsonl = RequestTracesToJsonl({trace});
+    EXPECT_NE(jsonl.find("\"type\":\"meta\""), std::string::npos);
+    EXPECT_NE(jsonl.find("\"type\":\"reqtrace\""), std::string::npos);
 }
 
 }  // namespace

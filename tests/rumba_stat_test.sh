@@ -70,4 +70,58 @@ EOF
 "$STAT" summary "$DIR/stream.jsonl" | grep -q "runtime.fixes.*17" ||
     fail "stream summary should total the counter deltas"
 
+# 8. scrape --check validates a saved Prometheus text exposition.
+cat > "$DIR/expo.prom" <<'EOF'
+# HELP rumba_runtime_fixes_total rumba metric
+# TYPE rumba_runtime_fixes_total counter
+rumba_runtime_fixes_total{name="runtime.fixes"} 120
+# TYPE rumba_runtime_invocations_total counter
+rumba_runtime_invocations_total{name="runtime.invocations"} 8
+# TYPE rumba_tuner_threshold gauge
+rumba_tuner_threshold{name="tuner.threshold"} 0.25
+# TYPE rumba_npu_invoke_ns histogram
+rumba_npu_invoke_ns_bucket{name="npu.invoke_ns",le="100"} 4
+rumba_npu_invoke_ns_bucket{name="npu.invoke_ns",le="+Inf"} 8
+rumba_npu_invoke_ns_sum{name="npu.invoke_ns"} 800
+rumba_npu_invoke_ns_count{name="npu.invoke_ns"} 8
+# TYPE rumba_npu_invoke_ns_min gauge
+rumba_npu_invoke_ns_min{name="npu.invoke_ns"} 90
+# TYPE rumba_npu_invoke_ns_max gauge
+rumba_npu_invoke_ns_max{name="npu.invoke_ns"} 110
+# TYPE rumba_detector_score histogram
+rumba_detector_score_bucket{name="detector.score",le="+Inf"} 8
+rumba_detector_score_sum{name="detector.score"} 4
+rumba_detector_score_count{name="detector.score"} 8
+EOF
+"$STAT" scrape "$DIR/expo.prom" --check > /dev/null ||
+    fail "valid exposition should pass scrape --check (got $?)"
+
+# 9. Buckets that disagree with _count are refused (exit 2).
+sed 's/le="+Inf"} 8/le="+Inf"} 5/' "$DIR/expo.prom" > "$DIR/bad.prom"
+"$STAT" scrape "$DIR/bad.prom" --check > /dev/null 2>&1
+[[ $? -eq 2 ]] || fail "+Inf != _count should fail scrape --check"
+
+# 10. An undeclared sample (no # TYPE) is a format violation.
+echo 'rumba_mystery{name="mystery"} 1' >> "$DIR/bad2.prom"
+cat "$DIR/expo.prom" >> "$DIR/bad2.prom"
+"$STAT" scrape "$DIR/bad2.prom" --check > /dev/null 2>&1
+[[ $? -eq 2 ]] || fail "TYPE-less sample should fail scrape --check"
+
+# 11. scrape --baseline gates a live exposition against a JSONL dump.
+"$STAT" scrape "$DIR/expo.prom" --baseline "$DIR/base.jsonl" \
+    > /dev/null ||
+    fail "matching scrape should pass the baseline gate (got $?)"
+sed 's/"runtime.fixes"} 120/"runtime.fixes"} 200/' \
+    "$DIR/expo.prom" > "$DIR/drift.prom"
+"$STAT" scrape "$DIR/drift.prom" --baseline "$DIR/base.jsonl" \
+    > /dev/null
+[[ $? -eq 1 ]] || fail "66% counter jump should fail the scrape gate"
+"$STAT" scrape "$DIR/drift.prom" --baseline "$DIR/base.jsonl" \
+    --tol-metric runtime.fixes=0.70 > /dev/null ||
+    fail "per-metric tolerance should absorb the scrape jump (got $?)"
+
+# 12. Default scrape mode summarizes with dotted names recovered.
+"$STAT" scrape "$DIR/expo.prom" | grep -q "runtime.fixes" ||
+    fail "scrape summary should recover dotted metric names"
+
 echo "PASS: rumba-stat behaves"

@@ -5,9 +5,17 @@
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+#include <sys/stat.h>
+
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <future>
+#include <iterator>
+#include <map>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -15,7 +23,11 @@
 #include "core/batch_view.h"
 #include "core/runtime.h"
 #include "core/status.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
+#include "obs/reqtrace.h"
 #include "serve/engine.h"
+#include "serve/flight_recorder.h"
 #include "serve/queue.h"
 
 namespace rumba {
@@ -468,6 +480,292 @@ TEST(ShardedEngineTest, ConcurrentSubmitStress)
     engine->Shutdown();
     EXPECT_EQ(served.load() + rejected.load(), kThreads * kPerThread);
     EXPECT_GT(served.load(), 0u);
+}
+
+// ------------------------------------------- Request-scoped tracing
+
+TEST(ShardedEngineTest, TraceIdsAppearExactlyOnceInExportedTraces)
+{
+    auto& collector = obs::RequestTraceCollector::Default();
+    collector.Clear();
+
+    serve::ServeConfig config;
+    config.shards = 2;
+    config.queue_capacity = 64;
+    config.max_coalesce_elements = 4096;  // force coalesced batches.
+    config.trace.sample_every = 1;        // tail policy keeps all.
+    auto engine = MakeEngine(config);
+
+    // Completed (and coalesced): queue twelve requests while paused so
+    // each shard serves its whole backlog as one multi-request batch.
+    engine->Pause();
+    std::vector<std::future<serve::InvocationResult>> futures;
+    for (size_t r = 0; r < 12; ++r)
+        futures.push_back(engine->Submit(MakeRequest(r * 50, 50)));
+    engine->Resume();
+    engine->Drain();
+
+    // Rejected: a malformed request fails at Submit, yet carries an id.
+    serve::InvocationRequest bad = MakeRequest(0, 4);
+    bad.width = 3;
+    const serve::InvocationResult rejected =
+        engine->Submit(std::move(bad)).get();
+    EXPECT_EQ(rejected.status.code(),
+              core::StatusCode::kInvalidArgument);
+
+    // Cancelled: queued work killed by Shutdown.
+    engine->Pause();
+    auto queued_a = engine->Submit(MakeRequest(0, 10));
+    auto queued_b = engine->Submit(MakeRequest(10, 10));
+    engine->Shutdown();
+
+    std::map<uint64_t, obs::RequestOutcome> expected;
+    for (auto& future : futures) {
+        const serve::InvocationResult result = future.get();
+        ASSERT_TRUE(result.status.ok());
+        ASSERT_NE(result.trace_id, 0u);
+        EXPECT_TRUE(expected
+                        .emplace(result.trace_id,
+                                 obs::RequestOutcome::kCompleted)
+                        .second)
+            << "duplicate id " << result.trace_id;
+    }
+    ASSERT_NE(rejected.trace_id, 0u);
+    expected.emplace(rejected.trace_id,
+                     obs::RequestOutcome::kRejected);
+    for (auto* queued : {&queued_a, &queued_b}) {
+        const serve::InvocationResult result = queued->get();
+        ASSERT_EQ(result.status.code(), core::StatusCode::kCancelled);
+        ASSERT_NE(result.trace_id, 0u);
+        expected.emplace(result.trace_id,
+                         obs::RequestOutcome::kCancelled);
+    }
+
+    const auto traces = collector.Dump();
+    EXPECT_EQ(traces.size(), expected.size());
+    std::map<uint64_t, size_t> seen;
+    bool saw_coalesced = false;
+    for (const auto& trace : traces) {
+        ++seen[trace.trace_id];
+        const auto it = expected.find(trace.trace_id);
+        ASSERT_NE(it, expected.end())
+            << "unexpected trace " << trace.trace_id;
+        EXPECT_EQ(trace.outcome, it->second);
+        if (trace.outcome == obs::RequestOutcome::kCompleted) {
+            saw_coalesced |= trace.batch_requests > 1;
+            // Served traces carry the span tree.
+            bool has_queue_wait = false, has_device = false;
+            for (const auto& span : trace.spans) {
+                has_queue_wait |=
+                    std::string(span.name) == "queue_wait";
+                has_device |= std::string(span.name) == "device";
+            }
+            EXPECT_TRUE(has_queue_wait && has_device)
+                << "trace " << trace.trace_id << " missing spans";
+        }
+    }
+    for (const auto& [id, outcome] : expected)
+        EXPECT_EQ(seen[id], 1u) << "trace " << id;
+    EXPECT_TRUE(saw_coalesced);
+    collector.Clear();
+}
+
+// ------------------------------------------------ Flight recorder
+
+size_t
+CountFlightDumps(const std::string& dir)
+{
+    size_t n = 0;
+    if (DIR* d = ::opendir(dir.c_str())) {
+        while (const dirent* entry = ::readdir(d))
+            n += std::string(entry->d_name).rfind("flight-shard", 0) ==
+                 0;
+        ::closedir(d);
+    }
+    return n;
+}
+
+// TempDir() persists across test runs and dump sequence numbers
+// restart per engine, so stale artifacts from a previous run would
+// absorb a fresh dump into an unchanged file count. Start clean.
+void
+RemoveFlightDumps(const std::string& dir)
+{
+    if (DIR* d = ::opendir(dir.c_str())) {
+        while (const dirent* entry = ::readdir(d)) {
+            const std::string name = entry->d_name;
+            if (name.rfind("flight-shard", 0) == 0)
+                std::remove((dir + "/" + name).c_str());
+        }
+        ::closedir(d);
+    }
+}
+
+std::string
+ReadWholeFile(const std::string& path)
+{
+    std::ifstream in(path);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+TEST(FlightRecorderTest, RingEvictsOldestAndDumpsJsonl)
+{
+    serve::FlightRecorder recorder(4);
+    for (uint64_t id = 1; id <= 6; ++id) {
+        serve::FlightRecord record;
+        record.trace_id = id;
+        record.elements = id * 10;
+        recorder.Append(record);
+    }
+    EXPECT_EQ(recorder.TotalAppended(), 6u);
+    const auto snapshot = recorder.Snapshot();
+    ASSERT_EQ(snapshot.size(), 4u);
+    EXPECT_EQ(snapshot.front().trace_id, 3u);  // 1 and 2 evicted.
+    EXPECT_EQ(snapshot.back().trace_id, 6u);
+
+    const std::string path =
+        recorder.Dump(::testing::TempDir(), 9, "unit_test");
+    ASSERT_FALSE(path.empty());
+    EXPECT_NE(path.find("flight-shard9-"), std::string::npos);
+    const std::string contents = ReadWholeFile(path);
+    EXPECT_NE(contents.find("\"type\":\"meta\""), std::string::npos);
+    EXPECT_NE(contents.find("\"type\":\"flight_dump\""),
+              std::string::npos);
+    EXPECT_NE(contents.find("\"reason\":\"unit_test\""),
+              std::string::npos);
+    EXPECT_NE(contents.find("\"records\":4"), std::string::npos);
+    EXPECT_NE(contents.find("\"trace_id\":6"), std::string::npos);
+    std::remove(path.c_str());
+
+    // A second dump gets a fresh sequence number (never overwrites).
+    const std::string second =
+        recorder.Dump(::testing::TempDir(), 9, "unit_test");
+    EXPECT_NE(second, path);
+    std::remove(second.c_str());
+}
+
+TEST(FlightRecorderTest, DigestIsStableAndInputSensitive)
+{
+    const std::vector<double> a = {1.0, 2.0, 3.0};
+    const std::vector<double> b = {1.0, 2.0, 3.5};
+    EXPECT_EQ(serve::DigestInputs(a.data(), a.size()),
+              serve::DigestInputs(a.data(), a.size()));
+    EXPECT_NE(serve::DigestInputs(a.data(), a.size()),
+              serve::DigestInputs(b.data(), b.size()));
+    EXPECT_NE(serve::DigestInputs(a.data(), a.size()), 0u);
+}
+
+TEST(ShardedEngineTest, FlightRecorderCapturesServedRequests)
+{
+    serve::ServeConfig config;
+    config.shards = 1;
+    config.flight.capacity = 8;
+    config.flight.dump_dir = ::testing::TempDir() + "flight_manual";
+    ::mkdir(config.flight.dump_dir.c_str(), 0755);
+    RemoveFlightDumps(config.flight.dump_dir);
+    auto engine = MakeEngine(config);
+
+    std::vector<uint64_t> ids;
+    for (size_t r = 0; r < 3; ++r) {
+        const serve::InvocationResult result =
+            engine->Submit(MakeRequest(r * 30, 30)).get();
+        ASSERT_TRUE(result.status.ok());
+        ids.push_back(result.trace_id);
+    }
+    engine->Drain();
+
+    const auto records = engine->Flight(0).Snapshot();
+    ASSERT_EQ(records.size(), 3u);
+    for (size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records[i].trace_id, ids[i]);
+        EXPECT_EQ(records[i].elements, 30u);
+        EXPECT_NE(records[i].inputs_digest, 0u);
+        EXPECT_GE(records[i].threshold, 0.0);
+        EXPECT_GE(records[i].complete_ns, records[i].enqueue_ns);
+        EXPECT_EQ(records[i].status_code, 0u);
+    }
+
+    const auto paths = engine->DumpFlightRecords("operator");
+    ASSERT_EQ(paths.size(), 1u);
+    const std::string contents = ReadWholeFile(paths[0]);
+    EXPECT_NE(contents.find("\"reason\":\"operator\""),
+              std::string::npos);
+    EXPECT_NE(contents.find("\"trace_id\""), std::string::npos);
+    std::remove(paths[0].c_str());
+
+    const std::string statusz = engine->StatuszJson();
+    EXPECT_NE(statusz.find("\"healthy\":true"), std::string::npos);
+    EXPECT_NE(statusz.find("\"tuner_mode\":\"toq\""),
+              std::string::npos);
+    EXPECT_NE(statusz.find("\"shards\":[{\"shard\":0"),
+              std::string::npos);
+    EXPECT_NE(statusz.find("\"queue_depth\":0"), std::string::npos);
+    EXPECT_NE(statusz.find("\"breaker_state\":0"), std::string::npos);
+    EXPECT_NE(statusz.find("\"flight_records\":3"), std::string::npos);
+}
+
+TEST(ShardedEngineTest, BreakerTripAutoDumpsFlightRecorder)
+{
+    struct DisarmGuard {
+        ~DisarmGuard() { fault::FaultInjector::Default().Disarm(); }
+    } guard;
+
+    core::RuntimeConfig runtime_config = ServeRuntimeConfig();
+    runtime_config.breaker.trip_after = 1;  // twitchy test breaker.
+
+    serve::ServeConfig config;
+    config.shards = 1;
+    const std::string dir = ::testing::TempDir() + "flight_trip";
+    ::mkdir(dir.c_str(), 0755);
+    RemoveFlightDumps(dir);
+    config.flight.dump_dir = dir;
+
+    auto created = serve::ShardedEngine::Create(
+        SharedArtifact(), runtime_config, config);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    auto engine = std::move(created).value();
+
+    // Healthy round: breaker closed, nothing dumped.
+    ASSERT_TRUE(engine->Submit(MakeRequest(0, 50)).get().status.ok());
+    const size_t dumps_before = CountFlightDumps(dir);
+
+    fault::FaultPlan plan;
+    std::string error;
+    ASSERT_TRUE(fault::FaultPlan::Parse("seed=9;npu.output_nan=1",
+                                        &plan, &error))
+        << error;
+    fault::FaultInjector::Default().Arm(plan);
+    const serve::InvocationResult faulty =
+        engine->Submit(MakeRequest(0, 50)).get();
+    fault::FaultInjector::Default().Disarm();
+    ASSERT_TRUE(faulty.status.ok());  // salvaged, never failed.
+    EXPECT_GT(faulty.report.non_finite_outputs, 0u);
+
+    // Barrier: the dump happens after the faulty batch's futures
+    // resolve, so wait for the *next* batch to clear the worker.
+    ASSERT_TRUE(
+        engine->Submit(MakeRequest(100, 50)).get().status.ok());
+    engine->Drain();
+
+    EXPECT_EQ(engine->Runtime(0).Breaker().State(),
+              core::BreakerState::kOpen);
+    ASSERT_GT(CountFlightDumps(dir), dumps_before);
+
+    // The dump artifact names the trip and joins to request traces.
+    std::string all;
+    if (DIR* d = ::opendir(dir.c_str())) {
+        while (const dirent* entry = ::readdir(d)) {
+            const std::string name = entry->d_name;
+            if (name.rfind("flight-shard", 0) == 0)
+                all += ReadWholeFile(dir + "/" + name);
+        }
+        ::closedir(d);
+    }
+    EXPECT_NE(all.find("\"reason\":\"breaker_open\""),
+              std::string::npos);
+    EXPECT_NE(all.find("\"trace_id\""), std::string::npos);
+    engine->Shutdown();
 }
 
 // --------------------------------------------- Legacy-overload adapter

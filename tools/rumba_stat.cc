@@ -9,10 +9,27 @@
  *   rumba-stat summary <dump.jsonl>
  *   rumba-stat diff <baseline.jsonl> <candidate.jsonl>
  *       [--tol <rel>] [--tol-metric name=<rel>] [--include-latency]
+ *   rumba-stat scrape <target> [--check] [--baseline <dump>]
+ *       [--tol <rel>] [--tol-metric name=<rel>] [--include-latency]
+ *
+ * scrape fetches the Prometheus text exposition a live rumba process
+ * serves at /metrics (obs/http_exporter.h) — target is
+ * http://host:port[/path], host:port, or a saved exposition file —
+ * recovers the dotted registry names from the name="..." labels, and
+ * either validates the format (--check), diffs against a baseline
+ * metrics dump with the same tolerance machinery as `diff`
+ * (--baseline; histogram quantiles are not in the exposition, so only
+ * counts are compared), or prints a summary.
  *
  * Exit codes: 0 = ok / no regression, 1 = regression detected,
- * 2 = usage or load error (including schema-version mismatch).
+ * 2 = usage, load, fetch, or format-validation error (including
+ * schema-version mismatch).
  */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <cmath>
 #include <cstdio>
@@ -21,6 +38,7 @@
 #include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -424,6 +442,9 @@ struct DiffOptions {
     double default_tol = 0.0;  ///< relative; 0 = exact.
     std::map<std::string, double> per_metric;
     bool include_latency = false;
+    /** Compare only histogram counts (scrape mode: the exposition
+     *  carries buckets, not the exporter's quantile estimates). */
+    bool histogram_counts_only = false;
 };
 
 double
@@ -520,6 +541,8 @@ CmdDiff(const Dump& base, const Dump& cand, const DiffOptions& opts)
         // latency histogram is machine noise unless asked for.
         CheckValue("histogram", name + ".count", h.count,
                    it->second.count, opts, &compared, &regressions);
+        if (opts.histogram_counts_only)
+            continue;
         if (IsLatencyMetric(name) && !opts.include_latency) {
             ++skipped_latency;
             continue;
@@ -542,6 +565,386 @@ CmdDiff(const Dump& base, const Dump& cand, const DiffOptions& opts)
     return regressions == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// scrape: fetch / parse / validate Prometheus text exposition.
+// ---------------------------------------------------------------------------
+
+/** Blocking HTTP GET (own tiny client — rumba-stat links nothing from
+ *  src/). Supports dotted-quad hosts and "localhost". */
+bool
+FetchHttp(const std::string& host, int port, const std::string& path,
+          std::string* body)
+{
+    const std::string addr_text =
+        host == "localhost" ? "127.0.0.1" : host;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (inet_pton(AF_INET, addr_text.c_str(), &addr.sin_addr) != 1) {
+        std::fprintf(stderr,
+                     "rumba-stat: cannot parse host '%s' (numeric IPv4 "
+                     "or 'localhost' only)\n",
+                     host.c_str());
+        return false;
+    }
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    if (connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+        std::fprintf(stderr, "rumba-stat: cannot connect to %s:%d\n",
+                     host.c_str(), port);
+        close(fd);
+        return false;
+    }
+    const std::string request = "GET " + path +
+                                " HTTP/1.0\r\nHost: " + host +
+                                "\r\nConnection: close\r\n\r\n";
+    size_t sent = 0;
+    while (sent < request.size()) {
+        const ssize_t n = send(fd, request.data() + sent,
+                               request.size() - sent, 0);
+        if (n <= 0) {
+            close(fd);
+            return false;
+        }
+        sent += static_cast<size_t>(n);
+    }
+    std::string response;
+    char buf[4096];
+    ssize_t n;
+    while ((n = recv(fd, buf, sizeof(buf), 0)) > 0)
+        response.append(buf, static_cast<size_t>(n));
+    close(fd);
+    const size_t sp = response.find(' ');
+    if (response.compare(0, 5, "HTTP/") != 0 ||
+        sp == std::string::npos) {
+        std::fprintf(stderr, "rumba-stat: malformed HTTP response\n");
+        return false;
+    }
+    const int status = std::atoi(response.c_str() + sp + 1);
+    if (status != 200) {
+        std::fprintf(stderr, "rumba-stat: HTTP %d from %s:%d%s\n",
+                     status, host.c_str(), port, path.c_str());
+        return false;
+    }
+    size_t head_end = response.find("\r\n\r\n");
+    size_t skip = 4;
+    if (head_end == std::string::npos) {
+        head_end = response.find("\n\n");
+        skip = 2;
+    }
+    *body = head_end == std::string::npos
+                ? ""
+                : response.substr(head_end + skip);
+    return true;
+}
+
+/** One parsed exposition sample. */
+struct PromSample {
+    std::string prom_name;  ///< e.g. rumba_serve_submitted_total.
+    std::string dotted;     ///< recovered name="..." label ("" = none).
+    std::string le;         ///< le="..." label (histogram buckets).
+    double value = 0.0;
+};
+
+/** Everything parsed from one exposition body. */
+struct PromScrape {
+    std::map<std::string, std::string> types;  ///< prom name -> TYPE.
+    std::vector<PromSample> samples;
+    std::vector<std::string> errors;  ///< format violations found.
+};
+
+/** Parse `name{label="v",...} value` lines plus # TYPE comments.
+ *  Format violations land in scrape->errors (parsing continues). */
+void
+ParseExposition(const std::string& body, PromScrape* scrape)
+{
+    std::istringstream in(body);
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            std::istringstream comment(line);
+            std::string hash, kind, name, type;
+            comment >> hash >> kind >> name >> type;
+            if (kind == "TYPE" && !name.empty() && !type.empty())
+                scrape->types[name] = type;
+            continue;
+        }
+        PromSample sample;
+        size_t i = 0;
+        while (i < line.size() && line[i] != '{' && line[i] != ' ')
+            ++i;
+        sample.prom_name = line.substr(0, i);
+        if (sample.prom_name.empty()) {
+            scrape->errors.push_back("line " + std::to_string(lineno) +
+                                     ": empty metric name");
+            continue;
+        }
+        if (i < line.size() && line[i] == '{') {
+            const size_t close = line.find('}', i);
+            if (close == std::string::npos) {
+                scrape->errors.push_back(
+                    "line " + std::to_string(lineno) +
+                    ": unterminated label set");
+                continue;
+            }
+            // Labels our exporter emits: name="...", le="..." —
+            // values never contain '"' (escaped on emit).
+            std::string labels = line.substr(i + 1, close - i - 1);
+            size_t pos = 0;
+            while (pos < labels.size()) {
+                const size_t eq = labels.find('=', pos);
+                if (eq == std::string::npos)
+                    break;
+                const std::string key = labels.substr(pos, eq - pos);
+                const size_t q1 = labels.find('"', eq);
+                const size_t q2 = q1 == std::string::npos
+                                      ? q1
+                                      : labels.find('"', q1 + 1);
+                if (q2 == std::string::npos)
+                    break;
+                const std::string value =
+                    labels.substr(q1 + 1, q2 - q1 - 1);
+                if (key == "name")
+                    sample.dotted = value;
+                else if (key == "le")
+                    sample.le = value;
+                pos = labels.find(',', q2);
+                pos = pos == std::string::npos ? labels.size() : pos + 1;
+            }
+            i = close + 1;
+        }
+        while (i < line.size() && line[i] == ' ')
+            ++i;
+        if (i >= line.size()) {
+            scrape->errors.push_back("line " + std::to_string(lineno) +
+                                     ": missing sample value");
+            continue;
+        }
+        const std::string value_text = line.substr(i);
+        if (value_text == "+Inf") {
+            sample.value = HUGE_VAL;
+        } else {
+            char* end = nullptr;
+            sample.value = std::strtod(value_text.c_str(), &end);
+            if (end == value_text.c_str() ||
+                (*end != '\0' && *end != ' ')) {
+                scrape->errors.push_back(
+                    "line " + std::to_string(lineno) +
+                    ": unparseable value '" + value_text + "'");
+                continue;
+            }
+        }
+        scrape->samples.push_back(std::move(sample));
+    }
+}
+
+/** Strip one of the histogram-series suffixes; "" if none match. */
+std::string
+StripSuffix(const std::string& name, const char* suffix)
+{
+    const size_t len = std::strlen(suffix);
+    if (name.size() > len &&
+        name.compare(name.size() - len, len, suffix) == 0)
+        return name.substr(0, name.size() - len);
+    return "";
+}
+
+/** The TYPE'd base series a sample belongs to ("" when undeclared). */
+std::string
+BaseSeries(const PromScrape& scrape, const std::string& prom_name)
+{
+    if (scrape.types.count(prom_name))
+        return prom_name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+        const std::string base = StripSuffix(prom_name, suffix);
+        if (!base.empty() && scrape.types.count(base))
+            return base;
+    }
+    return "";
+}
+
+/** Per-histogram accumulation for validation and Dump conversion. */
+struct HistAccum {
+    std::vector<std::pair<double, double>> buckets;  ///< (le, cum).
+    double sum = 0, count = 0, min = 0, max = 0;
+    bool has_count = false;
+};
+
+/**
+ * Convert a parsed scrape into the Dump model (counters / gauges /
+ * histograms keyed by recovered dotted names) and run the format
+ * checks: every sample TYPE-declared, histogram buckets cumulative,
+ * +Inf bucket == _count. Violations append to scrape->errors.
+ */
+void
+ScrapeToDump(PromScrape* scrape, Dump* dump)
+{
+    std::map<std::string, HistAccum> hists;  // keyed by dotted name.
+    for (const PromSample& s : scrape->samples) {
+        const std::string base = BaseSeries(*scrape, s.prom_name);
+        if (base.empty()) {
+            scrape->errors.push_back("sample '" + s.prom_name +
+                                     "' has no # TYPE declaration");
+            continue;
+        }
+        const std::string& type = scrape->types[base];
+        const std::string key =
+            s.dotted.empty() ? s.prom_name : s.dotted;
+        if (type == "counter") {
+            dump->counters[key] = s.value;
+        } else if (type == "histogram") {
+            HistAccum& h = hists[key];
+            if (s.prom_name == base + "_bucket") {
+                h.buckets.emplace_back(
+                    s.le == "+Inf" ? HUGE_VAL
+                                   : std::strtod(s.le.c_str(), nullptr),
+                    s.value);
+            } else if (s.prom_name == base + "_sum") {
+                h.sum = s.value;
+            } else if (s.prom_name == base + "_count") {
+                h.count = s.value;
+                h.has_count = true;
+            }
+        } else if (type == "gauge") {
+            // A histogram's companion extrema gauges fold back into
+            // its stats; everything else is a plain gauge.
+            const std::string min_base = StripSuffix(base, "_min");
+            const std::string max_base = StripSuffix(base, "_max");
+            if (!min_base.empty() &&
+                scrape->types.count(min_base) &&
+                scrape->types[min_base] == "histogram") {
+                hists[key].min = s.value;
+            } else if (!max_base.empty() &&
+                       scrape->types.count(max_base) &&
+                       scrape->types[max_base] == "histogram") {
+                hists[key].max = s.value;
+            } else {
+                dump->gauges[key] = s.value;
+            }
+        }
+    }
+    for (auto& [name, h] : hists) {
+        if (!h.has_count) {
+            scrape->errors.push_back("histogram '" + name +
+                                     "' is missing _count");
+        }
+        double prev = -1.0;
+        bool saw_inf = false;
+        for (const auto& [le, cum] : h.buckets) {
+            if (cum < prev) {
+                scrape->errors.push_back(
+                    "histogram '" + name +
+                    "' buckets are not cumulative");
+                break;
+            }
+            prev = cum;
+            if (le == HUGE_VAL) {
+                saw_inf = true;
+                if (h.has_count && cum != h.count) {
+                    scrape->errors.push_back(
+                        "histogram '" + name +
+                        "' +Inf bucket != _count");
+                }
+            }
+        }
+        if (!saw_inf) {
+            scrape->errors.push_back("histogram '" + name +
+                                     "' has no +Inf bucket");
+        }
+        HistogramStats stats;
+        stats.count = h.count;
+        stats.sum = h.sum;
+        stats.min = h.min;
+        stats.max = h.max;
+        dump->histograms[name] = stats;
+    }
+}
+
+/** Fetch (or read) the target exposition into @p body. */
+bool
+FetchTarget(const std::string& target, std::string* body)
+{
+    std::string rest;
+    if (target.rfind("http://", 0) == 0)
+        rest = target.substr(7);
+    else if (target.find(':') != std::string::npos)
+        rest = target;
+    if (!rest.empty()) {
+        std::string path = "/metrics";
+        const size_t slash = rest.find('/');
+        if (slash != std::string::npos) {
+            path = rest.substr(slash);
+            rest.resize(slash);
+        }
+        const size_t colon = rest.find(':');
+        if (colon == std::string::npos) {
+            std::fprintf(stderr,
+                         "rumba-stat: scrape target needs host:port\n");
+            return false;
+        }
+        const int port = std::atoi(rest.c_str() + colon + 1);
+        return FetchHttp(rest.substr(0, colon), port, path, body);
+    }
+    std::ifstream in(target);
+    if (!in) {
+        std::fprintf(stderr, "rumba-stat: cannot open %s\n",
+                     target.c_str());
+        return false;
+    }
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    *body = contents.str();
+    return true;
+}
+
+int
+CmdScrape(const std::string& target, bool check,
+          const std::string& baseline_path, const DiffOptions& opts)
+{
+    std::string body;
+    if (!FetchTarget(target, &body))
+        return 2;
+    PromScrape scrape;
+    ParseExposition(body, &scrape);
+    Dump dump;
+    dump.path = target;
+    ScrapeToDump(&scrape, &dump);
+    if (!scrape.errors.empty()) {
+        for (const std::string& error : scrape.errors)
+            std::fprintf(stderr, "rumba-stat: scrape: %s\n",
+                         error.c_str());
+        std::printf("FAIL: exposition has %zu format violations "
+                    "(%zu samples parsed)\n",
+                    scrape.errors.size(), scrape.samples.size());
+        return 2;
+    }
+    if (check) {
+        std::printf("OK: %zu samples, %zu counters, %zu gauges, %zu "
+                    "histograms, all TYPE-declared, buckets "
+                    "cumulative\n",
+                    scrape.samples.size(), dump.counters.size(),
+                    dump.gauges.size(), dump.histograms.size());
+        return 0;
+    }
+    if (!baseline_path.empty()) {
+        Dump base;
+        if (!LoadDump(baseline_path, &base))
+            return 2;
+        DiffOptions scrape_opts = opts;
+        scrape_opts.histogram_counts_only = true;
+        return CmdDiff(base, dump, scrape_opts);
+    }
+    return CmdSummary(dump);
+}
+
 int
 Usage()
 {
@@ -552,11 +955,18 @@ Usage()
         "  rumba-stat diff <baseline.jsonl> <candidate.jsonl>\n"
         "      [--tol <rel>] [--tol-metric <name>=<rel>]\n"
         "      [--include-latency]\n"
+        "  rumba-stat scrape <target> [--check] [--baseline <dump>]\n"
+        "      [--tol <rel>] [--tol-metric <name>=<rel>]\n"
+        "      [--include-latency]\n"
         "\n"
         "Dumps are RUMBA_METRICS_OUT metric files or RUMBA_STREAM_OUT\n"
         "sample streams (JSONL; '.csv' metric dumps load too).\n"
         "diff exits 1 when any metric moves outside its relative\n"
-        "tolerance (default: exact), 2 on load/schema errors.\n");
+        "tolerance (default: exact), 2 on load/schema errors.\n"
+        "scrape reads Prometheus text from http://host:port[/path],\n"
+        "host:port, or a saved exposition file; --check validates the\n"
+        "format, --baseline diffs against a metrics dump (histogram\n"
+        "counts only), default prints a summary.\n");
     return 2;
 }
 
@@ -611,6 +1021,39 @@ main(int argc, char** argv)
         if (!LoadDump(files[0], &base) || !LoadDump(files[1], &cand))
             return 2;
         return CmdDiff(base, cand, opts);
+    }
+
+    if (cmd == "scrape") {
+        DiffOptions opts;
+        bool check = false;
+        std::string baseline;
+        std::vector<std::string> targets;
+        for (int i = 2; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--check") {
+                check = true;
+            } else if (arg == "--baseline" && i + 1 < argc) {
+                baseline = argv[++i];
+            } else if (arg == "--tol" && i + 1 < argc) {
+                opts.default_tol = std::strtod(argv[++i], nullptr);
+            } else if (arg == "--tol-metric" && i + 1 < argc) {
+                const std::string spec = argv[++i];
+                const size_t eq = spec.find('=');
+                if (eq == std::string::npos)
+                    return Usage();
+                opts.per_metric[spec.substr(0, eq)] =
+                    std::strtod(spec.c_str() + eq + 1, nullptr);
+            } else if (arg == "--include-latency") {
+                opts.include_latency = true;
+            } else if (!arg.empty() && arg[0] == '-') {
+                return Usage();
+            } else {
+                targets.push_back(arg);
+            }
+        }
+        if (targets.size() != 1)
+            return Usage();
+        return CmdScrape(targets[0], check, baseline, opts);
     }
 
     return Usage();
