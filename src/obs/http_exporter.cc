@@ -170,7 +170,7 @@ ObservabilityServer::Start(uint16_t port)
     port_.store(port, std::memory_order_release);
     served_.store(0, std::memory_order_relaxed);
     running_.store(true, std::memory_order_release);
-    thread_ = std::thread(&ObservabilityServer::ServeLoop, this);
+    thread_ = std::thread(&ObservabilityServer::ServeLoop, this, fd);
     Inform("ObservabilityServer: serving /metrics /healthz /statusz on "
            "127.0.0.1:%u",
            static_cast<unsigned>(port));
@@ -180,45 +180,68 @@ ObservabilityServer::Start(uint16_t port)
 void
 ObservabilityServer::Stop()
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!running_.load(std::memory_order_acquire))
-        return;
-    running_.store(false, std::memory_order_release);
-    // Unblock accept(): shutdown() makes the blocked accept return on
-    // Linux; close() then releases the descriptor.
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    if (thread_.joinable())
-        thread_.join();
-    port_.store(0, std::memory_order_release);
+    // Flip state and close the listener under the lock, but join
+    // OUTSIDE it: the serve thread may be mid-/statusz and must be
+    // able to finish its response (StatusBody takes provider_mu_, and
+    // a concurrent Start/Stop would take mu_) without deadlocking
+    // against us.
+    std::thread to_join;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!running_.load(std::memory_order_acquire))
+            return;
+        running_.store(false, std::memory_order_release);
+        // Unblock accept(): shutdown() makes the blocked accept
+        // return on Linux; close() then releases the descriptor.
+        ::shutdown(listen_fd_, SHUT_RDWR);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        port_.store(0, std::memory_order_release);
+        to_join = std::move(thread_);
+    }
+    if (to_join.joinable())
+        to_join.join();
 }
 
 void
 ObservabilityServer::SetStatusProvider(
-    std::function<std::string()> provider)
+    std::function<std::string()> provider, const void* owner)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(provider_mu_);
     provider_ = std::move(provider);
+    provider_owner_ = owner;
+}
+
+void
+ObservabilityServer::ClearStatusProvider(const void* owner)
+{
+    // Owner-checked: if someone else installed a provider after us,
+    // leave theirs alone. Taking provider_mu_ also waits out any
+    // in-flight invocation of our provider, so on return the caller
+    // may safely destroy whatever the provider captured.
+    std::lock_guard<std::mutex> lock(provider_mu_);
+    if (provider_owner_ != owner)
+        return;
+    provider_ = nullptr;
+    provider_owner_ = nullptr;
 }
 
 std::string
 ObservabilityServer::StatusBody()
 {
-    std::function<std::string()> provider;
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        provider = provider_;
-    }
-    if (provider)
-        return provider();
+    // Invoke under provider_mu_ so SetStatusProvider/
+    // ClearStatusProvider synchronize with in-flight renders — the
+    // provider typically captures a raw engine pointer whose lifetime
+    // ends right after the clear.
+    std::lock_guard<std::mutex> lock(provider_mu_);
+    if (provider_)
+        return provider_();
     return "{\"healthy\":true}\n";
 }
 
 void
-ObservabilityServer::ServeLoop()
+ObservabilityServer::ServeLoop(int listen_fd)
 {
-    const int listen_fd = listen_fd_;
     while (running_.load(std::memory_order_acquire)) {
         const int fd = ::accept(listen_fd, nullptr, nullptr);
         if (fd < 0) {

@@ -89,8 +89,29 @@ class ObservabilityServer {
      * Install the /statusz body producer (called per scrape, must be
      * thread-safe and should only read atomics / registry
      * instruments). Pass nullptr to restore the default.
+     *
+     * @p owner is an opaque identity token: a later
+     * ClearStatusProvider(owner) removes the provider only if it is
+     * still the installed one, so two components sharing Default()
+     * cannot clear each other's provider on teardown (last installer
+     * wins the route; earlier owners' clears become no-ops).
+     *
+     * The provider is invoked *under* the provider lock, so both
+     * SetStatusProvider and ClearStatusProvider synchronize with any
+     * in-flight /statusz render: once either returns, the previous
+     * provider can no longer be running and the state it captured may
+     * be torn down. Consequently the provider must not call back into
+     * SetStatusProvider/ClearStatusProvider.
      */
-    void SetStatusProvider(std::function<std::string()> provider);
+    void SetStatusProvider(std::function<std::string()> provider,
+                           const void* owner = nullptr);
+
+    /**
+     * Remove the installed provider iff @p owner installed it (see
+     * SetStatusProvider). Blocks until any in-flight invocation of
+     * that provider finishes.
+     */
+    void ClearStatusProvider(const void* owner);
 
     /** Requests served since Start (any route). */
     uint64_t RequestsServed() const
@@ -109,7 +130,7 @@ class ObservabilityServer {
     static bool StartFromEnv();
 
   private:
-    void ServeLoop();
+    void ServeLoop(int listen_fd);
     void HandleConnection(int fd);
     std::string StatusBody();
 
@@ -118,8 +139,12 @@ class ObservabilityServer {
     std::atomic<uint64_t> served_{0};
     int listen_fd_ = -1;
     std::thread thread_;
-    std::mutex mu_;  ///< guards provider_ and start/stop transitions.
+    std::mutex mu_;  ///< guards start/stop transitions (never held
+                     ///< while joining the serve thread).
+    std::mutex provider_mu_;  ///< guards provider_/provider_owner_
+                              ///< and is held across invocation.
     std::function<std::string()> provider_;
+    const void* provider_owner_ = nullptr;
 };
 
 /**

@@ -52,14 +52,28 @@ SloMonitor::Record(bool good, uint64_t now_ns)
 {
     if (now_ns == 0)
         now_ns = NowNs();
-    std::lock_guard<std::mutex> lock(mu_);
-    AdvanceLocked(now_ns);
-    Bucket& slot = ring_[(now_ns / BucketWidthNs()) % ring_.size()];
-    if (good)
-        ++slot.good;
-    else
-        ++slot.bad;
-    EvaluateLocked(now_ns);
+    // Deliver any fire/clear edge AFTER releasing mu_: the sink may
+    // be slow (it must not stall other recording threads) and may
+    // call back into the monitor's accessors without self-deadlocking
+    // on the non-recursive mutex.
+    SloAlert alert;
+    std::function<void(const SloAlert&)> sink;
+    bool edge = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        AdvanceLocked(now_ns);
+        Bucket& slot =
+            ring_[(now_ns / BucketWidthNs()) % ring_.size()];
+        if (good)
+            ++slot.good;
+        else
+            ++slot.bad;
+        edge = EvaluateLocked(now_ns, &alert);
+        if (edge)
+            sink = sink_;
+    }
+    if (edge && sink)
+        sink(alert);
 }
 
 void
@@ -137,8 +151,8 @@ SloMonitor::SetAlertSink(std::function<void(const SloAlert&)> sink)
     sink_ = std::move(sink);
 }
 
-void
-SloMonitor::EvaluateLocked(uint64_t now_ns)
+bool
+SloMonitor::EvaluateLocked(uint64_t now_ns, SloAlert* out_alert)
 {
     const double fast = BurnLocked(now_ns, config_.fast_window_ns);
     const double slow = BurnLocked(now_ns, config_.slow_window_ns);
@@ -173,15 +187,14 @@ SloMonitor::EvaluateLocked(uint64_t now_ns)
                config_.name.c_str(), fast, slow);
     }
     alert_gauge_->Set(alerting_ ? 1.0 : 0.0);
-    if (edge && sink_) {
-        SloAlert alert;
-        alert.name = config_.name;
-        alert.firing = alerting_;
-        alert.fast_burn = fast;
-        alert.slow_burn = slow;
-        alert.now_ns = now_ns;
-        sink_(alert);
+    if (edge) {
+        out_alert->name = config_.name;
+        out_alert->firing = alerting_;
+        out_alert->fast_burn = fast;
+        out_alert->slow_burn = slow;
+        out_alert->now_ns = now_ns;
     }
+    return edge;
 }
 
 }  // namespace rumba::obs

@@ -99,8 +99,13 @@ class SloMonitor {
     uint64_t AlertCount() const;
 
     /** Install the fire/clear edge sink (nullptr clears). Edges are
-     *  also logged. The sink runs under the monitor's lock — keep it
-     *  short and do not call back into the monitor. */
+     *  also logged. The sink is invoked AFTER the monitor's lock is
+     *  released, so it may call back into the monitor (Alerting(),
+     *  burn-rate accessors, even Record()) and a slow sink delays
+     *  only the recording thread that hit the edge. Under concurrent
+     *  Record() calls, edge deliveries may interleave out of order —
+     *  treat SloAlert::firing as the state at the edge, not the
+     *  current state. */
     void SetAlertSink(std::function<void(const SloAlert&)> sink);
 
     const SloConfig& Config() const { return config_; }
@@ -117,7 +122,9 @@ class SloMonitor {
     void SumWindowLocked(uint64_t now_ns, uint64_t window_ns,
                          uint64_t* good, uint64_t* bad) const;
     double BurnLocked(uint64_t now_ns, uint64_t window_ns) const;
-    void EvaluateLocked(uint64_t now_ns);
+    /** Refresh gauges/alert state; true if a fire/clear edge occurred
+     *  (then @p out_alert is filled for post-unlock delivery). */
+    bool EvaluateLocked(uint64_t now_ns, SloAlert* out_alert);
 
     const SloConfig config_;
     mutable std::mutex mu_;

@@ -149,10 +149,16 @@ ShardedEngine::Create(const core::Artifact& artifact,
     }
 
     // Live observability surface: honor RUMBA_METRICS_PORT and serve
-    // this engine's status at /statusz (Shutdown uninstalls it).
+    // this engine's status at /statusz. The engine pointer doubles as
+    // the owner token: a second engine takes over the route, and each
+    // engine's Shutdown clears the provider only if it still owns it.
+    // The server invokes the provider under its provider lock, so the
+    // owner-checked clear in Shutdown waits out in-flight scrapes
+    // before the engine is torn down.
     obs::ObservabilityServer::StartFromEnv();
     obs::ObservabilityServer::Default().SetStatusProvider(
-        [raw = engine.get()] { return raw->StatuszJson(); });
+        [raw = engine.get()] { return raw->StatuszJson(); },
+        engine.get());
     engine->statusz_installed_ = true;
 
     for (size_t i = 0; i < serve_config.shards; ++i) {
@@ -276,8 +282,11 @@ ShardedEngine::Shutdown()
         return;  // idempotent: someone already shut us down.
 
     // This engine's status must not outlive it on the scrape surface.
+    // Owner-checked (a newer engine may have taken over /statusz) and
+    // blocking: on return no scrape thread can still be inside this
+    // engine's StatuszJson().
     if (statusz_installed_) {
-        obs::ObservabilityServer::Default().SetStatusProvider(nullptr);
+        obs::ObservabilityServer::Default().ClearStatusProvider(this);
         statusz_installed_ = false;
     }
 

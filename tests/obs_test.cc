@@ -791,6 +791,64 @@ TEST(ObservabilityServerTest, ServesMetricsHealthzAndStatusz)
     server.Stop();  // idempotent.
 }
 
+TEST(ObservabilityServerTest, StopDoesNotDeadlockWithInFlightStatusz)
+{
+    // Regression: Stop() used to hold the server mutex across
+    // thread_.join() while the serve thread's /statusz handler locked
+    // the same mutex — a scrape racing shutdown hung both forever.
+    ObservabilityServer server;
+    ASSERT_TRUE(server.Start(0));
+    const uint16_t port = server.Port();
+
+    std::atomic<bool> in_provider{false};
+    server.SetStatusProvider([&in_provider] {
+        in_provider.store(true);
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        return std::string("{\"slow\":true}\n");
+    });
+
+    std::thread scraper([port] {
+        std::string body;
+        int status = 0;
+        HttpGet(port, "/statusz", &body, &status);
+    });
+    // Wait until the serve thread is inside the provider, then race
+    // Stop() against it.
+    while (!in_provider.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    server.Stop();
+    EXPECT_FALSE(server.Running());
+    scraper.join();
+}
+
+TEST(ObservabilityServerTest, StatusProviderClearIsOwnerChecked)
+{
+    ObservabilityServer server;
+    ASSERT_TRUE(server.Start(0));
+    const uint16_t port = server.Port();
+    int owner_a = 0;
+    int owner_b = 0;
+
+    server.SetStatusProvider(
+        [] { return std::string("{\"owner\":\"a\"}\n"); }, &owner_a);
+    // A second installer takes over the route...
+    server.SetStatusProvider(
+        [] { return std::string("{\"owner\":\"b\"}\n"); }, &owner_b);
+    // ...so the first owner's teardown must NOT clear it.
+    server.ClearStatusProvider(&owner_a);
+
+    std::string body;
+    int status = 0;
+    ASSERT_TRUE(HttpGet(port, "/statusz", &body, &status));
+    EXPECT_NE(body.find("\"owner\":\"b\""), std::string::npos);
+
+    // The actual owner's clear restores the default body.
+    server.ClearStatusProvider(&owner_b);
+    ASSERT_TRUE(HttpGet(port, "/statusz", &body, &status));
+    EXPECT_NE(body.find("\"healthy\":true"), std::string::npos);
+    server.Stop();
+}
+
 // --------------------------------------------------- SLO burn rates
 
 TEST(SloMonitorTest, MultiWindowAlertFiresAndClearsWithHysteresis)
@@ -836,6 +894,35 @@ TEST(SloMonitorTest, MultiWindowAlertFiresAndClearsWithHysteresis)
     EXPECT_FALSE(edges[1].firing);
     EXPECT_GT(monitor.SlowBurnRate(12500), 2.0);
     EXPECT_DOUBLE_EQ(monitor.FastBurnRate(12500), 0.0);
+}
+
+TEST(SloMonitorTest, AlertSinkMayReenterTheMonitor)
+{
+    // Regression: edges used to be delivered under the monitor's
+    // non-recursive mutex, so a sink touching any accessor
+    // self-deadlocked. Edges now arrive post-unlock.
+    SloConfig cfg;
+    cfg.name = "slo_reenter";
+    cfg.objective = 0.9;
+    cfg.fast_window_ns = 1000;
+    cfg.slow_window_ns = 10000;
+    cfg.buckets = 10;
+    cfg.fast_burn_alert = 5.0;
+    cfg.slow_burn_alert = 2.0;
+    cfg.min_events = 5;
+    SloMonitor monitor(cfg);
+
+    bool alerting_inside_sink = false;
+    double fast_inside_sink = 0.0;
+    monitor.SetAlertSink([&](const SloAlert& a) {
+        alerting_inside_sink = monitor.Alerting();
+        fast_inside_sink = monitor.FastBurnRate(a.now_ns);
+    });
+    for (int i = 0; i < 6; ++i)
+        monitor.Record(false, 10000 + i * 100);
+    EXPECT_TRUE(monitor.Alerting());
+    EXPECT_TRUE(alerting_inside_sink);
+    EXPECT_NEAR(fast_inside_sink, 10.0, 1e-9);
 }
 
 TEST(SloMonitorTest, BurnRateTracksBadFraction)
