@@ -128,7 +128,8 @@ CalibrateCpuNsPerElement(const core::Artifact& artifact,
 
 /** Wall seconds to serve the whole stream on @p shards shards.
  *  @p instrumented false turns the whole observability stack off
- *  (no request traces, no flight recorder, no SLO monitors). */
+ *  (no request traces, no flight recorder, no SLO monitors, no
+ *  ground-truth audit sampler). */
 double
 TimedRun(const core::Artifact& artifact, size_t shards,
          uint64_t device_ns, const std::vector<double>& stream,
@@ -143,6 +144,7 @@ TimedRun(const core::Artifact& artifact, size_t shards,
         config.flight.capacity = 0;
         config.slo.latency_bound_ns = 0;
         config.slo.quality_margin_pct = -1.0;
+        config.audit.enabled = false;
     }
     auto engine = serve::ShardedEngine::Create(artifact, DeployConfig(),
                                                config);

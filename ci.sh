@@ -41,8 +41,10 @@ echo "==> live observability gate (scrape endpoint + flight recorder)"
 obs_port=19841
 flight_dir=build/flight-dumps
 rm -rf "$flight_dir" && mkdir -p "$flight_dir"
+rm -f build/deploy_audit.jsonl
 RUMBA_METRICS_PORT=$obs_port RUMBA_FLIGHT_DIR="$flight_dir" \
     RUMBA_OBS_LINGER_MS=8000 \
+    RUMBA_AUDIT_SAMPLE_N=1 RUMBA_AUDIT_OUT=build/deploy_audit.jsonl \
     ./build/examples/deploy > build/deploy_obs.log 2>&1 &
 deploy_pid=$!
 # The server comes up at main(); wait for it, then for the serving
@@ -68,6 +70,14 @@ curl -sf "http://127.0.0.1:$obs_port/metrics" > build/deploy_scrape.prom
 grep -q '^rumba_serve_submitted_total' build/deploy_scrape.prom
 grep -q '^rumba_slo_serve_quality_fast_burn_rate' build/deploy_scrape.prom
 grep -q '^rumba_serve_shard0_threshold' build/deploy_scrape.prom
+# The ground-truth auditor publishes to the same registry: the scrape
+# must carry a nonzero audited-sample count and the true (measured,
+# not predicted) TOQ-violation rate.
+awk '/^rumba_audit_samples_total/ { if ($NF + 0 > 0) found = 1 }
+     END { exit !found }' build/deploy_scrape.prom
+grep -q '^rumba_audit_true_toq_violation_rate' build/deploy_scrape.prom
+# Build identity must be scrapeable next to the metrics.
+curl -sf "http://127.0.0.1:$obs_port/buildz" | grep -q '"git_describe"'
 ./build/tools/rumba-stat scrape "http://127.0.0.1:$obs_port/metrics" \
     --check > /dev/null
 ./build/tools/rumba-stat scrape build/deploy_scrape.prom --check
@@ -77,6 +87,12 @@ wait "$deploy_pid"
 ls "$flight_dir"/flight-shard*.jsonl > /dev/null
 grep -q '"reason":"breaker_open"' "$flight_dir"/flight-shard*.jsonl
 grep -q '"trace_id"' "$flight_dir"/flight-shard*.jsonl
+# The audit drill must have left a labeled ground-truth dump that the
+# CLI can summarize (per-invocation "audit" lines + per-element
+# labeled "audit_element" lines).
+grep -q '"type":"audit"' build/deploy_audit.jsonl
+grep -q '"type":"audit_element"' build/deploy_audit.jsonl
+./build/tools/rumba-stat audit build/deploy_audit.jsonl > /dev/null
 
 if [[ "${1:-}" != "--skip-sanitize" ]]; then
     echo "==> sanitized build + tests (address,undefined)"
@@ -108,15 +124,16 @@ if [[ "${1:-}" != "--skip-sanitize" ]]; then
 
     # TSan: the threaded paths — snapshot streamer, span collector,
     # the two-thread recovery replay, the queue/breaker paths the
-    # fault suite drives, and the sharded serving engine — under real
-    # concurrency.
+    # fault suite drives, the sharded serving engine, and the
+    # background ground-truth audit pool — under real concurrency.
     echo "==> thread-sanitized build + threading tests (thread)"
     cmake -B build-tsan -S . -DRUMBA_SANITIZE=thread
     cmake --build build-tsan -j
     # -R must precede the bare -j: ctest would otherwise eat the
     # regex as -j's value and run the whole suite.
     ctest --test-dir build-tsan --output-on-failure \
-        -R '^(obs_test|extensions_test|fault_test|serve_test)$' -j
+        -R '^(obs_test|extensions_test|fault_test|serve_test|audit_test)$' \
+        -j
 fi
 
 echo "==> ci.sh: all suites passed"

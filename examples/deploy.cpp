@@ -32,14 +32,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <thread>
 
 #include "core/runtime.h"
 #include "fault/corrupt.h"
 #include "fault/injector.h"
+#include "obs/audit.h"
 #include "obs/export.h"
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/reqtrace.h"
 #include "obs/slo.h"
 #include "serve/engine.h"
 
@@ -279,6 +282,145 @@ main()
                 drill.Breaker().Closes(), drill_error,
                 config.tuner.target_error_pct);
 
+    // ---- Audit drill -----------------------------------------------------
+    // The ground-truth auditor is the only instrument that can see a
+    // *miscalibrated checker*: arm a verdict-flipping fault plan so
+    // the checker silently accepts elements it should have recovered,
+    // and let the shadow exact re-execution path measure what the
+    // proxy metrics cannot — false-negative accepts, the true (not
+    // predicted) TOQ-violation rate, and an audited-quality SLO burn.
+    serve::ServeConfig audit_config;
+    audit_config.shards = 2;
+    audit_config.queue_capacity = 32;
+    audit_config.audit.sample_every = 1;  // drill: audit everything.
+    audit_config.audit.queue_capacity = 512;
+    audit_config.audit.threads = 2;
+    audit_config.audit.margin_pct = 0.0;  // audited bound = target.
+    audit_config.audit.min_events = 10;
+
+    auto audit_engine_or = serve::ShardedEngine::Create(
+        artifact, config, audit_config);
+    if (!audit_engine_or.ok()) {
+        std::fprintf(stderr, "audit engine: %s\n",
+                     audit_engine_or.status().ToString().c_str());
+        return 1;
+    }
+    serve::ShardedEngine& audit_engine = **audit_engine_or;
+
+    std::atomic<size_t> audited_slo_fires{0};
+    if (audit_engine.Auditor() != nullptr &&
+        audit_engine.Auditor()->Slo() != nullptr) {
+        audit_engine.Auditor()->Slo()->SetAlertSink(
+            [&audited_slo_fires](const obs::SloAlert& alert) {
+                if (alert.firing)
+                    audited_slo_fires.fetch_add(
+                        1, std::memory_order_relaxed);
+                std::printf("[audit] SLO '%s' %s (fast burn %.1f, "
+                            "slow %.1f) — measured, not predicted\n",
+                            alert.name.c_str(),
+                            alert.firing ? "FIRING" : "cleared",
+                            alert.fast_burn, alert.slow_burn);
+            });
+    }
+
+    fault::FaultPlan audit_plan;
+    std::string audit_plan_error;
+    if (!fault::FaultPlan::Parse("seed=13;checker.mispredict=0.4",
+                                 &audit_plan, &audit_plan_error)) {
+        std::fprintf(stderr, "audit plan: %s\n",
+                     audit_plan_error.c_str());
+        return 1;
+    }
+    injector.Arm(audit_plan);
+    std::printf("\n[audit] drill armed: %s — checker verdicts flip, "
+                "shadow exact re-execution watches\n",
+                audit_plan.ToSpec().c_str());
+
+    std::set<uint64_t> audit_trace_ids;
+    for (size_t r = 0; r < 32; ++r) {
+        serve::InvocationRequest request;
+        const size_t start =
+            (r * kServeBatch) % (inputs.size() - kServeBatch);
+        request.inputs.assign(
+            flat_inputs.begin()
+                + static_cast<ptrdiff_t>(start * in_w),
+            flat_inputs.begin()
+                + static_cast<ptrdiff_t>((start + kServeBatch) * in_w));
+        request.count = kServeBatch;
+        request.width = in_w;
+        request.shard = static_cast<int>(r % audit_config.shards);
+        const auto result =
+            audit_engine.Submit(std::move(request)).get();
+        if (result.status.ok())
+            audit_trace_ids.insert(result.trace_id);
+    }
+    injector.Disarm();
+    audit_engine.Drain();
+
+    bool audit_ok = false;
+    if (audit_engine.Auditor() != nullptr) {
+        obs::QualityAuditor& auditor = *audit_engine.Auditor();
+        auditor.Flush();
+        const obs::AuditorStats audit_stats = auditor.Stats();
+
+        // Every audited TOQ miss must join back to a kept request
+        // trace through its trace id (the span tree of the request
+        // that produced the bad output).
+        size_t misses = 0, misses_joined = 0;
+        std::set<uint64_t> kept_audited_ids;
+        for (const auto& trace :
+             obs::RequestTraceCollector::Default().Dump()) {
+            if (trace.audited)
+                kept_audited_ids.insert(trace.trace_id);
+        }
+        for (const auto& result : auditor.RecentResults()) {
+            if (!result.toq_violation)
+                continue;
+            ++misses;
+            misses_joined +=
+                kept_audited_ids.count(result.trace_id) > 0 &&
+                audit_trace_ids.count(result.trace_id) > 0;
+        }
+
+        audit_ok = audit_stats.audited > 0 &&
+                   audit_stats.false_negatives > 0 &&
+                   audit_stats.toq_violations > 0 &&
+                   audited_slo_fires.load() >= 1 &&
+                   misses == misses_joined;
+        std::printf(
+            "[audit] drill %s: %llu audited (%llu forced, %llu "
+            "elements), true TOQ violations %llu (rate %.3f, bound "
+            "%.2f%%)\n",
+            audit_ok ? "passed" : "FAILED",
+            static_cast<unsigned long long>(audit_stats.audited),
+            static_cast<unsigned long long>(audit_stats.forced),
+            static_cast<unsigned long long>(
+                audit_stats.audited_elements),
+            static_cast<unsigned long long>(
+                audit_stats.toq_violations),
+            audit_stats.toq_violation_rate,
+            audit_stats.toq_bound_pct);
+        std::printf(
+            "[audit] checker calibration under the flip plan: "
+            "precision %.3f, recall %.3f (%llu false-negative "
+            "accepts, %llu false-positive recoveries)\n",
+            audit_stats.precision, audit_stats.recall,
+            static_cast<unsigned long long>(
+                audit_stats.false_negatives),
+            static_cast<unsigned long long>(
+                audit_stats.false_positives));
+        std::printf("[audit] %zu of %zu audited misses join a kept "
+                    "request trace; audited SLO fired %zu time(s)\n",
+                    misses_joined, misses, audited_slo_fires.load());
+        std::printf("[audit] statusz: %s\n",
+                    audit_engine.StatuszJson().c_str());
+    } else {
+        std::printf("[audit] drill skipped: auditor disabled "
+                    "(RUMBA_AUDIT_SAMPLE_N=0?)\n");
+        audit_ok = std::getenv("RUMBA_AUDIT_SAMPLE_N") != nullptr;
+    }
+    audit_engine.Shutdown();
+
     // ---- Observability drill ---------------------------------------------
     // The serving engine ties the whole observability stack together:
     // every Submit gets a request trace, every completion lands in its
@@ -400,7 +542,7 @@ main()
         std::printf("telemetry written to %s\n", metrics_path.c_str());
 
     return mismatches == 0 && a.fixes == b.fixes && corrupt_rejected &&
-                   drill_ok && obs_ok
+                   drill_ok && audit_ok && obs_ok
                ? 0
                : 1;
 }

@@ -84,6 +84,52 @@ RecoveryModule::Drain(const std::vector<std::vector<double>>& inputs,
     return drained;
 }
 
+std::unique_ptr<ExactReexecutor>
+ExactReexecutor::Create(const std::string& benchmark)
+{
+    std::unique_ptr<apps::Benchmark> bench =
+        apps::TryMakeBenchmark(benchmark);
+    if (bench == nullptr)
+        return nullptr;
+    return std::unique_ptr<ExactReexecutor>(
+        new ExactReexecutor(std::move(bench)));
+}
+
+ExactReexecutor::ExactReexecutor(std::unique_ptr<apps::Benchmark> bench)
+    : bench_(std::move(bench))
+{
+}
+
+void
+ExactReexecutor::RunElement(const double* in, double* out) const
+{
+    bench_->RunExact(in, out);
+}
+
+void
+ExactReexecutor::RunBatch(const double* in, double* out,
+                          size_t count) const
+{
+    const size_t in_w = bench_->NumInputs();
+    const size_t out_w = bench_->NumOutputs();
+    for (size_t i = 0; i < count; ++i)
+        bench_->RunExact(in + i * in_w, out + i * out_w);
+}
+
+double
+ExactReexecutor::ElementError(const std::vector<double>& exact,
+                              const std::vector<double>& approx) const
+{
+    return bench_->ElementError(exact, approx);
+}
+
+double
+ExactReexecutor::AggregateError(
+    const std::vector<double>& element_errors) const
+{
+    return bench_->AggregateError(element_errors);
+}
+
 void
 RecoveryModule::RecordQueueFullStall()
 {

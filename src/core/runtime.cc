@@ -192,7 +192,7 @@ RumbaRuntime::FromArtifact(const Artifact& artifact,
 
 InvocationReport
 RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
-                                double* outputs)
+                                double* outputs, AuditCapture* capture)
 {
     RUMBA_CHECK(outputs != nullptr);
     RUMBA_CHECK(!raw_inputs.empty());
@@ -202,6 +202,16 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
     const apps::Benchmark& app = pipeline_.Bench();
     const size_t n = raw_inputs.count();
     const size_t out_w = app.NumOutputs();
+
+    if (capture != nullptr) {
+        capture->count = n;
+        capture->out_width = out_w;
+        capture->approx_outputs.assign(n * out_w, 0.0);
+        capture->predicted_error.assign(n, 0.0);
+        capture->fired.assign(n, 0);
+        capture->fixed.assign(n, 0);
+        capture->exact_path.assign(n, 0);
+    }
 
     detector_.SetThreshold(tuner_.Threshold());
     detector_.Reset();
@@ -250,6 +260,11 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
             pipeline_.DenormalizeOutput(norm_out, &raw_out);
             std::copy(raw_out.begin(), raw_out.end(),
                       outputs + i * out_w);
+            if (capture != nullptr) {
+                std::copy(raw_out.begin(), raw_out.end(),
+                          capture->approx_outputs.begin() +
+                              static_cast<ptrdiff_t>(i * out_w));
+            }
 
             // Strided check timing: clocking every element doubles
             // the clock-read traffic of the hot loop, so time one
@@ -271,6 +286,10 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
                 injector.ShouldInject(
                     fault::FaultClass::kCheckerMispredict)) {
                 fired = !fired;
+            }
+            if (capture != nullptr) {
+                capture->predicted_error[i] = check.predicted_error;
+                capture->fired[i] = fired ? 1 : 0;
             }
             if (fired) {
                 ++fires;
@@ -324,6 +343,13 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
         for (size_t i = approx_n; i < n; ++i) {
             app.RunExact(raw_inputs[i].data(), outputs + i * out_w);
             fixed[i] = 1;
+            if (capture != nullptr) {
+                std::copy(outputs + i * out_w,
+                          outputs + (i + 1) * out_w,
+                          capture->approx_outputs.begin() +
+                              static_cast<ptrdiff_t>(i * out_w));
+                capture->exact_path[i] = 1;
+            }
         }
         if (timed)
             report.timings.exact_ns = obs::NowNs() - stage_start;
@@ -362,6 +388,8 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
         obs_non_finite_salvaged_->Increment(salvaged);
     report.fixes = static_cast<size_t>(
         std::count(fixed.begin(), fixed.end(), char{1}));
+    if (capture != nullptr)
+        capture->fixed.assign(fixed.begin(), fixed.end());
 
     // True residual error (the runtime can verify because the exact
     // kernel is available; a production deployment would not).

@@ -270,6 +270,35 @@ struct RunSummary {
     }
 };
 
+/**
+ * Optional per-element capture of one invocation, filled by
+ * ProcessInvocation when a caller passes it in. This is the raw
+ * material for ground-truth auditing (obs/audit.h): the *pre-merge*
+ * accelerator outputs and the checker's per-element verdicts, which
+ * the aggregate InvocationReport cannot reconstruct (after the merger
+ * runs, a recovered element's approximate output is gone). The
+ * capture owns its storage — the runtime's scratch vectors are reused
+ * by the verify pass — and is overwritten (not appended) every call.
+ */
+struct AuditCapture {
+    size_t count = 0;      ///< elements in the captured invocation.
+    size_t out_width = 0;  ///< doubles per element output.
+    /** Pre-merge accelerator outputs, count x out_width. Elements the
+     *  breaker served exactly hold the exact outputs (their
+     *  approximate result never existed). */
+    std::vector<double> approx_outputs;
+    /** Checker error estimate per element (0 on the exact path). */
+    std::vector<double> predicted_error;
+    /** Checker verdict per element, after fault injection — what the
+     *  system *acted on*, which is what calibration must score. */
+    std::vector<char> fired;
+    /** Final recovered mask (queue drain + non-finite salvage +
+     *  breaker tail), matching what the caller's outputs hold. */
+    std::vector<char> fixed;
+    /** 1 when the breaker routed the element to the exact CPU tail. */
+    std::vector<char> exact_path;
+};
+
 /** The online quality-management system. */
 class RumbaRuntime {
   public:
@@ -316,10 +345,13 @@ class RumbaRuntime {
      * merged (approximate + recovered exact) element outputs as
      * count x NumOutputs() contiguous doubles into caller-owned
      * storage. Steady-state invocations perform no per-element heap
-     * allocation.
+     * allocation. @p capture, when non-null, receives the per-element
+     * audit capture (see AuditCapture); passing it re-enables bounded
+     * per-element allocation for the capture's own storage.
      */
     InvocationReport ProcessInvocation(const BatchView& raw_inputs,
-                                       double* outputs);
+                                       double* outputs,
+                                       AuditCapture* capture = nullptr);
 
     /**
      * Legacy batch form: packs the ragged rows into the contiguous

@@ -1,7 +1,9 @@
 #include "obs/export.h"
 
+#include <signal.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -10,6 +12,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "obs/audit.h"
 #include "obs/reqtrace.h"
 #include "obs/span.h"
 #include "obs/stream.h"
@@ -19,6 +22,12 @@
 #endif
 #ifndef RUMBA_SANITIZE_FLAGS
 #define RUMBA_SANITIZE_FLAGS ""
+#endif
+#ifndef RUMBA_GIT_DESCRIBE
+#define RUMBA_GIT_DESCRIBE "unknown"
+#endif
+#ifndef RUMBA_VERSION_STRING
+#define RUMBA_VERSION_STRING "0.0.0"
 #endif
 
 namespace rumba::obs {
@@ -81,6 +90,8 @@ CollectRunMetadata()
     if (gethostname(host, sizeof(host)) == 0)
         host[sizeof(host) - 1] = '\0';
     meta.hostname = host;
+    meta.version = RUMBA_VERSION_STRING;
+    meta.git_describe = RUMBA_GIT_DESCRIBE;
     meta.build_type = RUMBA_BUILD_TYPE;
     meta.sanitizers = RUMBA_SANITIZE_FLAGS;
     meta.trace_ring_capacity = TraceRing::Default().Capacity();
@@ -95,10 +106,48 @@ MetadataJsonLine()
            std::to_string(meta.schema_version) +
            ",\"wall_time\":" + JsonQuote(meta.wall_time_iso8601) +
            ",\"hostname\":" + JsonQuote(meta.hostname) +
+           ",\"version\":" + JsonQuote(meta.version) +
+           ",\"git_describe\":" + JsonQuote(meta.git_describe) +
            ",\"build_type\":" + JsonQuote(meta.build_type) +
            ",\"sanitizers\":" + JsonQuote(meta.sanitizers) +
            ",\"trace_ring_capacity\":" +
            std::to_string(meta.trace_ring_capacity) + "}";
+}
+
+std::string
+BuildInfoJson()
+{
+    const RunMetadata meta = CollectRunMetadata();
+    std::string out = "{\"version\":" + JsonQuote(meta.version) +
+                      ",\"git_describe\":" + JsonQuote(meta.git_describe) +
+                      ",\"build_type\":" + JsonQuote(meta.build_type) +
+                      ",\"sanitizers\":" + JsonQuote(meta.sanitizers) +
+                      ",\"schema_version\":" +
+                      std::to_string(meta.schema_version) + ",\"env\":{";
+    // Every feature knob the runtime reads from the environment; only
+    // the ones actually set appear, so the scrape shows the effective
+    // deployment configuration at a glance.
+    static const char* kKnobs[] = {
+        "RUMBA_AUDIT_OUT",        "RUMBA_AUDIT_SAMPLE_N",
+        "RUMBA_FAULT_PLAN",       "RUMBA_FLIGHT_DIR",
+        "RUMBA_LOG",              "RUMBA_METRICS_OUT",
+        "RUMBA_METRICS_PORT",     "RUMBA_OBS_LINGER_MS",
+        "RUMBA_REQTRACE_OUT",     "RUMBA_STREAM_OUT",
+        "RUMBA_STREAM_PERIOD_MS", "RUMBA_TRACE_OUT",
+        "RUMBA_TRACE_RING_CAPACITY",
+    };
+    bool first = true;
+    for (const char* knob : kKnobs) {
+        const char* value = std::getenv(knob);
+        if (value == nullptr)
+            continue;
+        if (!first)
+            out += ",";
+        first = false;
+        out += JsonQuote(knob) + ":" + JsonQuote(value);
+    }
+    out += "}}";
+    return out;
 }
 
 namespace {
@@ -245,18 +294,85 @@ ExportIfConfigured()
 
 namespace {
 
+/**
+ * Rewrite every configured JSONL sink with the current state. Shared
+ * by the orderly at-exit hook and the signal path; does not join the
+ * streamer thread (unsafe from a handler) — callers that can, stop it
+ * first.
+ */
+void
+FlushFilesBestEffort()
+{
+    ExportIfConfigured();
+    ExportTraceIfConfigured();
+    ExportRequestTracesIfConfigured();
+    ExportAuditIfConfigured();
+}
+
 void
 ExportAtExit()
 {
     // Stop the sampler first so its final sample lands before the
-    // registry is frozen into the metrics/trace dumps.
+    // registry is frozen into the metrics/trace dumps. Runs even if
+    // a signal flush already fired: the exporters are idempotent
+    // rewrites, and the at-exit state is strictly fresher.
     SnapshotStreamer::Default().Stop();
-    ExportIfConfigured();
-    ExportTraceIfConfigured();
-    ExportRequestTracesIfConfigured();
+    FlushFilesBestEffort();
+}
+
+/** Set once the signal handler has run; guards the signal path only. */
+std::atomic<bool> g_signal_flush_done{false};
+
+void
+SignalFlushHandler(int signo)
+{
+    if (!g_signal_flush_done.exchange(true))
+        FlushFilesBestEffort();
+    // Restore the default disposition and re-raise so the process
+    // still terminates with the conventional signal status.
+    struct sigaction dfl {};
+    dfl.sa_handler = SIG_DFL;
+    sigemptyset(&dfl.sa_mask);
+    sigaction(signo, &dfl, nullptr);
+    raise(signo);
+}
+
+bool
+AnySinkConfigured()
+{
+    for (const char* var : {"RUMBA_METRICS_OUT", "RUMBA_TRACE_OUT",
+                            "RUMBA_REQTRACE_OUT", "RUMBA_AUDIT_OUT"}) {
+        const char* value = std::getenv(var);
+        if (value != nullptr && value[0] != '\0')
+            return true;
+    }
+    return false;
 }
 
 }  // namespace
+
+void
+InstallSignalFlush()
+{
+    static const bool installed = [] {
+        for (int signo : {SIGINT, SIGTERM}) {
+            struct sigaction current {};
+            if (sigaction(signo, nullptr, &current) != 0)
+                continue;
+            // Never displace an application's own handler (or an
+            // explicit SIG_IGN, e.g. a nohup'd deploy).
+            if (current.sa_handler != SIG_DFL)
+                continue;
+            struct sigaction flush {};
+            flush.sa_handler = SignalFlushHandler;
+            sigemptyset(&flush.sa_mask);
+            flush.sa_flags = 0;
+            sigaction(signo, &flush, nullptr);
+        }
+        return true;
+    }();
+    (void)installed;
+}
 
 void
 InstallAtExitExport()
@@ -270,6 +386,8 @@ InstallAtExitExport()
         SnapshotStreamer::Default();
         RequestTraceCollector::Default();
         std::atexit(ExportAtExit);
+        if (AnySinkConfigured())
+            InstallSignalFlush();
         return true;
     }();
     (void)armed;

@@ -40,6 +40,8 @@ struct RunMetadata {
     int schema_version = kMetricsSchemaVersion;
     std::string wall_time_iso8601;  ///< UTC, e.g. 2026-08-07T12:00:00Z.
     std::string hostname;
+    std::string version;         ///< project version at compile time.
+    std::string git_describe;    ///< `git describe` at compile time.
     std::string build_type;      ///< CMAKE_BUILD_TYPE at compile time.
     std::string sanitizers;      ///< RUMBA_SANITIZE flags ("" = none).
     size_t trace_ring_capacity = 0;  ///< effective TraceRing capacity.
@@ -102,11 +104,34 @@ bool WriteMetricsFile(const std::string& path);
 std::string ExportIfConfigured();
 
 /**
+ * Build-info surface for the /buildz scrape route: version, git
+ * describe (compile-time defines), build type, sanitizer flags,
+ * schema version, and every RUMBA_* feature env knob currently set —
+ * one JSON object (no trailing newline).
+ */
+std::string BuildInfoJson();
+
+/**
  * Arm the at-exit telemetry flush (once per process): stop the
- * RUMBA_STREAM_OUT sampler, then export RUMBA_METRICS_OUT and
- * RUMBA_TRACE_OUT. Called automatically by Registry::Default().
+ * RUMBA_STREAM_OUT sampler, then export RUMBA_METRICS_OUT,
+ * RUMBA_TRACE_OUT, RUMBA_REQTRACE_OUT and RUMBA_AUDIT_OUT. Called
+ * automatically by Registry::Default(). When any of those sinks is
+ * configured this also arms the best-effort SIGINT/SIGTERM flush
+ * (see InstallSignalFlush).
  */
 void InstallAtExitExport();
+
+/**
+ * Best-effort flush of the configured JSONL sinks on SIGINT/SIGTERM,
+ * so killed deploy runs don't lose the tail of the stream. Installed
+ * only over SIG_DFL dispositions (an application's own handlers are
+ * never displaced); after flushing, the default disposition is
+ * restored and the signal re-raised so the process still dies with
+ * the right status. The flush calls stdio from a signal handler —
+ * technically async-signal-unsafe, accepted here as best-effort
+ * (the alternative is certain data loss). Idempotent.
+ */
+void InstallSignalFlush();
 
 }  // namespace rumba::obs
 

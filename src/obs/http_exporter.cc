@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/export.h"
 
 namespace rumba::obs {
 
@@ -171,7 +172,8 @@ ObservabilityServer::Start(uint16_t port)
     served_.store(0, std::memory_order_relaxed);
     running_.store(true, std::memory_order_release);
     thread_ = std::thread(&ObservabilityServer::ServeLoop, this, fd);
-    Inform("ObservabilityServer: serving /metrics /healthz /statusz on "
+    Inform("ObservabilityServer: serving /metrics /healthz /statusz "
+           "/buildz on "
            "127.0.0.1:%u",
            static_cast<unsigned>(port));
     return true;
@@ -296,6 +298,9 @@ ObservabilityServer::HandleConnection(int fd)
     } else if (path == "/statusz") {
         content_type = "application/json; charset=utf-8";
         body = StatusBody();
+    } else if (path == "/buildz") {
+        content_type = "application/json; charset=utf-8";
+        body = BuildInfoJson() + "\n";
     } else {
         status = 404;
         status_text = "Not Found";

@@ -18,6 +18,9 @@
  *             to {"healthy":true}. The serving engine installs a
  *             provider reporting per-shard queue depth, breaker
  *             state, current threshold, and tuner mode.
+ *   /buildz   build-info JSON (BuildInfoJson in obs/export.h):
+ *             version, git describe, build type, sanitizers, and the
+ *             RUMBA_* env knobs set for this process.
  *   anything else: 404.
  *
  * The server is opt-in: programmatically via Start(port) (port 0

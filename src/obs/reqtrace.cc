@@ -79,6 +79,8 @@ RequestTraceCollector::KeepLocked(const RequestTrace& trace)
     if (policy_.latency_keep_ns > 0 &&
         trace.total_ns >= policy_.latency_keep_ns)
         return true;
+    if (policy_.keep_audited && trace.audited)
+        return true;
     if (policy_.sample_every == 0)
         return false;
     return ++unflagged_seen_ % policy_.sample_every == 0;
@@ -180,6 +182,8 @@ RequestTraceJson(const RequestTrace& trace)
                       ",\"fixes\":" + std::to_string(trace.fixes) +
                       ",\"breaker_state\":" +
                       std::to_string(trace.breaker_state) +
+                      ",\"audited\":" +
+                      (trace.audited ? "true" : "false") +
                       ",\"spans\":[";
     bool first = true;
     for (const RequestSpan& span : trace.spans) {

@@ -69,6 +69,10 @@ struct RequestTrace {
     /** Breaker position after that invocation (0 closed, 1 open,
      *  2 half-open). */
     uint32_t breaker_state = 0;
+    /** The quality auditor sampled this request for ground-truth
+     *  re-execution (obs/audit.h); audited misses join back to their
+     *  span tree through this flag + trace_id. */
+    bool audited = false;
     std::vector<RequestSpan> spans;
 };
 
@@ -82,6 +86,9 @@ struct TailSamplingPolicy {
     bool keep_breaker = true;
     /** Always keep traces with total_ns >= this bound (0 disables). */
     uint64_t latency_keep_ns = 0;
+    /** Always keep audited traces, so every audit verdict can join
+     *  back to a kept span tree. */
+    bool keep_audited = true;
     /** Of the unflagged remainder keep one in N; 0 drops them all,
      *  1 keeps everything. */
     uint32_t sample_every = 16;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 
 #include "common/logging.h"
 #include "core/batch_view.h"
+#include "obs/audit.h"
 #include "obs/export.h"
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
@@ -145,6 +147,70 @@ ShardedEngine::Create(const core::Artifact& artifact,
             engine->quality_bound_pct_ =
                 runtime_config.tuner.target_error_pct +
                 serve_config.slo.quality_margin_pct;
+        }
+    }
+
+    // Ground-truth auditor: background exact re-execution of sampled
+    // invocations. RUMBA_AUDIT_SAMPLE_N overrides the configured
+    // sampling rate; 0 disables the auditor entirely.
+    ServeConfig::AuditOptions audit_opts = serve_config.audit;
+    if (const char* env = std::getenv("RUMBA_AUDIT_SAMPLE_N");
+        env != nullptr && env[0] != '\0') {
+        audit_opts.sample_every = static_cast<size_t>(
+            std::strtoull(env, nullptr, 10));
+        if (audit_opts.sample_every == 0)
+            audit_opts.enabled = false;
+    }
+    if (audit_opts.enabled) {
+        auto exact =
+            core::ExactReexecutor::Create(artifact.benchmark);
+        if (exact == nullptr) {
+            // FromArtifact() validated the name above; stay defensive
+            // anyway — serving works without auditing.
+            Warn("audit: no exact kernel for '%s'; auditing disabled",
+                 artifact.benchmark.c_str());
+        } else {
+            obs::AuditConfig audit_config;
+            audit_config.sample_every = audit_opts.sample_every;
+            audit_config.forced_sample_every =
+                audit_opts.forced_sample_every;
+            audit_config.max_elements_per_sample =
+                audit_opts.max_audit_elements;
+            audit_config.queue_capacity = audit_opts.queue_capacity;
+            audit_config.threads = audit_opts.threads;
+            const double margin =
+                audit_opts.margin_pct >= 0.0
+                    ? audit_opts.margin_pct
+                    : std::max(0.0,
+                               serve_config.slo.quality_margin_pct);
+            audit_config.toq_bound_pct =
+                runtime_config.tuner.target_error_pct + margin;
+            audit_config.result_capacity = audit_opts.result_capacity;
+            audit_config.shards =
+                static_cast<uint32_t>(serve_config.shards);
+            audit_config.slo_enabled = true;
+            audit_config.slo.name = "audited_quality";
+            audit_config.slo.objective = audit_opts.objective;
+            audit_config.slo.fast_window_ns = audit_opts.fast_window_ns;
+            audit_config.slo.slow_window_ns = audit_opts.slow_window_ns;
+            audit_config.slo.min_events = audit_opts.min_events;
+            obs::AuditHooks hooks;
+            std::shared_ptr<core::ExactReexecutor> shared(
+                std::move(exact));
+            hooks.run_exact = [shared](const double* in, double* out) {
+                shared->RunElement(in, out);
+            };
+            hooks.element_error =
+                [shared](const std::vector<double>& exact_out,
+                         const std::vector<double>& approx_out) {
+                    return shared->ElementError(exact_out, approx_out);
+                };
+            hooks.aggregate_error =
+                [shared](const std::vector<double>& element_errors) {
+                    return shared->AggregateError(element_errors);
+                };
+            engine->auditor_ = std::make_unique<obs::QualityAuditor>(
+                audit_config, std::move(hooks));
         }
     }
 
@@ -316,6 +382,11 @@ ShardedEngine::Shutdown()
         if (shard->worker.joinable())
             shard->worker.join();
     }
+    // With the workers gone no new samples can arrive; drain the
+    // audit backlog, stop the pool, and write RUMBA_AUDIT_OUT while
+    // the results are still alive.
+    if (auditor_ != nullptr)
+        auditor_->Shutdown();
 }
 
 void
@@ -407,6 +478,35 @@ ShardedEngine::StatuszJson() const
         out += ",\"quality_slo_alerting\":";
         out += quality_slo_->Alerting() ? "true" : "false";
     }
+    if (auditor_ != nullptr) {
+        const obs::AuditorStats audit = auditor_->Stats();
+        out += ",\"quality\":{\"audited\":" +
+               std::to_string(audit.audited);
+        out += ",\"enqueued\":" + std::to_string(audit.enqueued);
+        out += ",\"forced\":" + std::to_string(audit.forced);
+        out += ",\"queue_drops\":" +
+               std::to_string(audit.queue_drops);
+        out += ",\"queue_depth\":" +
+               std::to_string(audit.queue_depth);
+        out += ",\"true_toq_violations\":" +
+               std::to_string(audit.toq_violations);
+        out += ",\"true_toq_violation_rate\":" +
+               obs::JsonNum(audit.toq_violation_rate);
+        out += ",\"toq_bound_pct\":" +
+               obs::JsonNum(audit.toq_bound_pct);
+        out += ",\"mean_true_error_pct\":" +
+               obs::JsonNum(audit.mean_true_error_pct);
+        out += ",\"checker_precision\":" +
+               obs::JsonNum(audit.precision);
+        out += ",\"checker_recall\":" + obs::JsonNum(audit.recall);
+        out += ",\"false_positive_recoveries\":" +
+               std::to_string(audit.false_positives);
+        out += ",\"false_negative_accepts\":" +
+               std::to_string(audit.false_negatives);
+        out += ",\"audited_slo_alerting\":";
+        out += audit.slo_alerting ? "true" : "false";
+        out += "}";
+    }
     out += ",\"shards\":[";
     for (size_t i = 0; i < shards_.size(); ++i) {
         const Shard& shard = *shards_[i];
@@ -488,9 +588,11 @@ ShardedEngine::ProcessBatch(Shard& shard, size_t shard_index,
     shard.scratch_out.resize(total * output_width_);
 
     const core::BatchView view(in_data, total, input_width_);
+    core::AuditCapture* capture =
+        auditor_ != nullptr ? &shard.audit_capture : nullptr;
     const core::InvocationReport report =
-        shard.runtime->ProcessInvocation(view,
-                                         shard.scratch_out.data());
+        shard.runtime->ProcessInvocation(view, shard.scratch_out.data(),
+                                         capture);
 
     // Modeled accelerator occupancy (see ServeConfig): the shard's
     // virtual device stays busy for the invocation's element count;
@@ -541,6 +643,86 @@ ShardedEngine::ProcessBatch(Shard& shard, size_t shard_index,
                                             (offset + count) *
                                             output_width_));
         const uint64_t merge_end_ns = obs::NowNs();
+
+        // Ground-truth audit sampling: a tail decision per request,
+        // made once the outcome is known. Breaker-degraded and
+        // fault-touched requests are always offered; recovered ones
+        // ride a boosted 1-in-M gate (recovery is routine here, not
+        // an anomaly); of the remainder one in N. The digest is
+        // computed before the sample steals the request's input
+        // buffer.
+        uint64_t inputs_digest = 0;
+        if (shard.flight != nullptr) {
+            inputs_digest =
+                DigestInputs(pending.request.inputs.data(),
+                             pending.request.inputs.size());
+        }
+        bool audited = false;
+        if (capture != nullptr) {
+            size_t req_fixes = 0;
+            size_t req_exact = 0;
+            for (size_t i = offset; i < offset + count; ++i) {
+                req_fixes += capture->fixed[i] != 0 ? 1 : 0;
+                req_exact += capture->exact_path[i] != 0 ? 1 : 0;
+            }
+            const obs::AuditConfig& audit_config = auditor_->Config();
+            bool forced = false;
+            const char* reason = "sampled";
+            if (audit_config.force_recovered && req_fixes > 0 &&
+                auditor_->SampleForcedRecovered()) {
+                forced = true;
+                reason = "recovered";
+            } else if (audit_config.force_breaker &&
+                       (breaker_state != 0 || req_exact > 0)) {
+                forced = true;
+                reason = "breaker";
+            } else if (report.non_finite_outputs > 0 ||
+                       report.queue_drops > 0) {
+                forced = true;
+                reason = "fault";
+            }
+            if (forced || auditor_->SampleHealthy()) {
+                obs::AuditSample sample;
+                sample.trace_id = pending.trace_id;
+                sample.shard = static_cast<uint32_t>(shard_index);
+                sample.forced = forced;
+                sample.forced_reason = reason;
+                sample.count = count;
+                sample.in_width = input_width_;
+                sample.out_width = output_width_;
+                sample.served_outputs = result.outputs;
+                const ptrdiff_t out_lo =
+                    static_cast<ptrdiff_t>(offset * output_width_);
+                const ptrdiff_t out_hi = static_cast<ptrdiff_t>(
+                    (offset + count) * output_width_);
+                sample.approx_outputs.assign(
+                    capture->approx_outputs.begin() + out_lo,
+                    capture->approx_outputs.begin() + out_hi);
+                const ptrdiff_t lo = static_cast<ptrdiff_t>(offset);
+                const ptrdiff_t hi =
+                    static_cast<ptrdiff_t>(offset + count);
+                sample.predicted_error.assign(
+                    capture->predicted_error.begin() + lo,
+                    capture->predicted_error.begin() + hi);
+                sample.fired.assign(capture->fired.begin() + lo,
+                                    capture->fired.begin() + hi);
+                sample.fixed.assign(capture->fixed.begin() + lo,
+                                    capture->fixed.begin() + hi);
+                sample.exact_path.assign(
+                    capture->exact_path.begin() + lo,
+                    capture->exact_path.begin() + hi);
+                sample.threshold_used = report.threshold_used;
+                sample.reported_error_pct = report.output_error_pct;
+                sample.estimated_error_pct =
+                    report.estimated_error_pct;
+                sample.breaker_state = breaker_state;
+                sample.fixes = req_fixes;
+                // The invocation is done and the digest is taken;
+                // the request's input buffer moves into the sample.
+                sample.inputs = std::move(pending.request.inputs);
+                audited = auditor_->Enqueue(std::move(sample));
+            }
+        }
         offset += count;
         const uint64_t latency_ns = done_ns - pending.enqueue_ns;
         obs_enqueue_to_complete_ns_->Observe(
@@ -559,14 +741,13 @@ ShardedEngine::ProcessBatch(Shard& shard, size_t shard_index,
             record.queue_wait_ns = pickup_ns - pending.enqueue_ns;
             record.device_ns = device_only_ns;
             record.elements = count;
-            record.inputs_digest =
-                DigestInputs(pending.request.inputs.data(),
-                             pending.request.inputs.size());
+            record.inputs_digest = inputs_digest;
             record.threshold = report.threshold_used;
             record.predicted_error_pct = report.estimated_error_pct;
             record.actual_error_pct = report.output_error_pct;
             record.fixes = report.fixes;
             record.breaker_state = breaker_state;
+            record.audited = audited;
             shard.flight->Append(record);
         }
         if (tracing) {
@@ -581,6 +762,7 @@ ShardedEngine::ProcessBatch(Shard& shard, size_t shard_index,
                 static_cast<uint32_t>(batch->size());
             trace.fixes = report.fixes;
             trace.breaker_state = breaker_state;
+            trace.audited = audited;
             trace.spans = {
                 {"queue_wait", pending.enqueue_ns,
                  pickup_ns - pending.enqueue_ns},

@@ -47,6 +47,7 @@ namespace rumba::obs {
 class Counter;
 class Gauge;
 class Histogram;
+class QualityAuditor;
 class SloMonitor;
 }  // namespace rumba::obs
 
@@ -114,6 +115,48 @@ struct ServeConfig {
         uint64_t slow_window_ns = 60ull * 1000 * 1000 * 1000;
     };
     SloOptions slo;
+
+    /** Ground-truth quality auditing (obs/audit.h): shadow exact
+     *  re-execution of sampled invocations on a background pool. */
+    struct AuditOptions {
+        bool enabled = true;
+        /** Healthy invocations audited 1-in-N (0 = forced samples
+         *  only). The RUMBA_AUDIT_SAMPLE_N environment variable
+         *  overrides this; "0" there disables auditing entirely. */
+        size_t sample_every = 16;
+        /** Recovered requests are routine under Rumba's 10-25% fix
+         *  rates, so forcing every one would audit nearly all
+         *  traffic; forced "recovered" candidates ride their own
+         *  1-in-M gate (1 = every one, 0 = never; losers still enter
+         *  the healthy draw). Breaker/fault forcing is unconditional.
+         *  The default holds auditing inside the <5%
+         *  instrumentation-overhead gate. */
+        size_t forced_sample_every = 4;
+        /** Element budget per audited invocation: larger invocations
+         *  are strided down to at most this many audited elements, so
+         *  one audit's exact re-execution cost is bounded no matter
+         *  what batch sizes clients submit (0 = audit every element).
+         *  Together with the forced gate this keeps default-rate
+         *  auditing inside the <5% instrumentation-overhead gate. */
+        size_t max_audit_elements = 128;
+        /** Bounded sample queue (overflow drops and counts). */
+        size_t queue_capacity = 64;
+        /** Background audit threads. */
+        size_t threads = 1;
+        /** Audited-TOQ bound margin over the tuner target
+         *  (percentage points); negative reuses
+         *  SloOptions::quality_margin_pct so the proxy and audited
+         *  SLOs judge the same objective. */
+        double margin_pct = -1.0;
+        /** Completed audits retained for /statusz + RUMBA_AUDIT_OUT. */
+        size_t result_capacity = 256;
+        /** Audited-truth SLO (slo.audited_quality.*). */
+        double objective = 0.99;
+        uint64_t fast_window_ns = 10ull * 1000 * 1000 * 1000;
+        uint64_t slow_window_ns = 60ull * 1000 * 1000 * 1000;
+        uint64_t min_events = 10;
+    };
+    AuditOptions audit;
 };
 
 /** One asynchronous invocation request. */
@@ -245,6 +288,9 @@ class ShardedEngine {
     /** The quality SLO monitor (null when disabled). */
     obs::SloMonitor* QualitySlo() { return quality_slo_.get(); }
 
+    /** The ground-truth quality auditor (null when disabled). */
+    obs::QualityAuditor* Auditor() { return auditor_.get(); }
+
   private:
     /** One queued request awaiting its shard worker. */
     struct Pending {
@@ -274,6 +320,9 @@ class ShardedEngine {
         /** Auto-dump bookkeeping (worker thread only). */
         uint32_t last_breaker_state = 0;
         bool fault_dump_latched = false;
+        /** Per-element audit capture of the worker's last invocation
+         *  (worker thread only; filled when auditing is enabled). */
+        core::AuditCapture audit_capture;
     };
 
     ShardedEngine(const ServeConfig& config, size_t input_width,
@@ -311,6 +360,9 @@ class ShardedEngine {
     /** SLO monitors (null when ServeConfig::slo disables them). */
     std::unique_ptr<obs::SloMonitor> latency_slo_;
     std::unique_ptr<obs::SloMonitor> quality_slo_;
+    /** Ground-truth auditor (null when ServeConfig::audit or
+     *  RUMBA_AUDIT_SAMPLE_N=0 disables it). */
+    std::unique_ptr<obs::QualityAuditor> auditor_;
     /** Quality-SLO pass bound: tuner target + margin (percent). */
     double quality_bound_pct_ = 0.0;
     /** Tuner mode name for /statusz (config constant). */

@@ -95,7 +95,9 @@ FlightRecordJson(const FlightRecord& r)
                       ",\"breaker_state\":" +
                       std::to_string(r.breaker_state) +
                       ",\"status_code\":" +
-                      std::to_string(r.status_code) + "}";
+                      std::to_string(r.status_code) +
+                      ",\"audited\":" + (r.audited ? "true" : "false") +
+                      "}";
     return out;
 }
 

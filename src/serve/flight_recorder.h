@@ -42,6 +42,9 @@ struct FlightRecord {
     uint64_t fixes = 0;           ///< re-executed iterations.
     uint32_t breaker_state = 0;   ///< 0 closed / 1 open / 2 half-open.
     uint32_t status_code = 0;     ///< StatusCode of the result (0 = ok).
+    /** Sampled by the quality auditor (obs/audit.h): the audit
+     *  verdict joins this record through trace_id. */
+    bool audited = false;
 };
 
 /** FNV-1a 64-bit over @p count doubles (stable input fingerprint). */

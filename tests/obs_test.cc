@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <signal.h>
+
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -444,6 +446,58 @@ TEST(RunMetadataTest, LineCarriesVersionedIdentity)
     // ISO-8601 UTC: "2026-08-07T09:00:00Z" is 20 characters.
     EXPECT_EQ(meta.wall_time_iso8601.size(), 20u);
     EXPECT_EQ(meta.wall_time_iso8601.back(), 'Z');
+    // Compile-time identity: the project version and git describe
+    // always resolve to something (fallbacks, never empty).
+    EXPECT_FALSE(meta.version.empty());
+    EXPECT_FALSE(meta.git_describe.empty());
+    EXPECT_NE(line.find("\"version\":"), std::string::npos);
+    EXPECT_NE(line.find("\"git_describe\":"), std::string::npos);
+}
+
+TEST(RunMetadataTest, BuildInfoJsonReportsSetEnvKnobs)
+{
+    setenv("RUMBA_AUDIT_SAMPLE_N", "7", 1);
+    unsetenv("RUMBA_FAULT_PLAN");
+    const std::string info = BuildInfoJson();
+    EXPECT_EQ(info.front(), '{');
+    EXPECT_EQ(info.back(), '}');
+    EXPECT_NE(info.find("\"version\":"), std::string::npos);
+    EXPECT_NE(info.find("\"git_describe\":"), std::string::npos);
+    EXPECT_NE(info.find("\"sanitizers\":"), std::string::npos);
+    EXPECT_NE(info.find("\"env\":{"), std::string::npos);
+    // Set knobs appear with their values; unset ones are absent.
+    EXPECT_NE(info.find("\"RUMBA_AUDIT_SAMPLE_N\":\"7\""),
+              std::string::npos);
+    EXPECT_EQ(info.find("\"RUMBA_FAULT_PLAN\""), std::string::npos);
+    unsetenv("RUMBA_AUDIT_SAMPLE_N");
+}
+
+namespace {
+void
+UserSigtermHandler(int)
+{
+}
+}  // namespace
+
+TEST(SignalFlushTest, NeverDisplacesAnApplicationHandler)
+{
+    // An application that installed its own SIGTERM handler must keep
+    // it; the flush only ever claims SIG_DFL dispositions.
+    struct sigaction user {};
+    user.sa_handler = UserSigtermHandler;
+    sigemptyset(&user.sa_mask);
+    ASSERT_EQ(sigaction(SIGTERM, &user, nullptr), 0);
+
+    InstallSignalFlush();
+
+    struct sigaction after {};
+    ASSERT_EQ(sigaction(SIGTERM, nullptr, &after), 0);
+    EXPECT_EQ(after.sa_handler, &UserSigtermHandler);
+
+    struct sigaction dfl {};
+    dfl.sa_handler = SIG_DFL;
+    sigemptyset(&dfl.sa_mask);
+    sigaction(SIGTERM, &dfl, nullptr);
 }
 
 TEST(RunMetadataTest, MetricsFileLeadsWithMetaHeader)
@@ -782,10 +836,16 @@ TEST(ObservabilityServerTest, ServesMetricsHealthzAndStatusz)
     ASSERT_TRUE(HttpGet(port, "/statusz", &body, &status));
     EXPECT_NE(body.find("\"healthy\":true"), std::string::npos);
 
+    ASSERT_TRUE(HttpGet(port, "/buildz", &body, &status));
+    EXPECT_EQ(status, 200);
+    EXPECT_NE(body.find("\"version\":"), std::string::npos);
+    EXPECT_NE(body.find("\"git_describe\":"), std::string::npos);
+    EXPECT_NE(body.find("\"build_type\":"), std::string::npos);
+
     ASSERT_TRUE(HttpGet(port, "/nope", &body, &status));
     EXPECT_EQ(status, 404);
 
-    EXPECT_GE(server.RequestsServed(), 5u);
+    EXPECT_GE(server.RequestsServed(), 6u);
     server.Stop();
     EXPECT_FALSE(server.Running());
     server.Stop();  // idempotent.
@@ -1030,6 +1090,100 @@ TEST(RequestTraceCollectorTest, DisableCountsButKeepsNothing)
     collector.Enable();
     collector.Record(HealthyTrace(2));
     EXPECT_EQ(collector.Size(), 1u);
+}
+
+TEST(RequestTraceCollectorTest, ExactCapacityFillsWithoutEviction)
+{
+    RequestTraceCollector collector(4);
+    TailSamplingPolicy keep_all;
+    keep_all.sample_every = 1;
+    collector.Configure(keep_all);
+    for (uint64_t id = 1; id <= 4; ++id)
+        collector.Record(HealthyTrace(id));
+    // Exactly full: everything retained, nothing evicted yet.
+    EXPECT_EQ(collector.Size(), 4u);
+    EXPECT_EQ(collector.Evicted(), 0u);
+    const auto kept = collector.Dump();
+    ASSERT_EQ(kept.size(), 4u);
+    for (uint64_t id = 1; id <= 4; ++id)
+        EXPECT_EQ(kept[id - 1].trace_id, id);
+    // The very next record crosses the boundary: one eviction.
+    collector.Record(HealthyTrace(5));
+    EXPECT_EQ(collector.Size(), 4u);
+    EXPECT_EQ(collector.Evicted(), 1u);
+    EXPECT_EQ(collector.Dump().front().trace_id, 2u);
+}
+
+TEST(RequestTraceCollectorTest, ForcedKeepEvictsHealthyWhenFull)
+{
+    RequestTraceCollector collector(3);
+    TailSamplingPolicy keep_all;
+    keep_all.sample_every = 1;
+    collector.Configure(keep_all);
+    for (uint64_t id = 1; id <= 3; ++id)
+        collector.Record(HealthyTrace(id));  // ring now full.
+
+    RequestTrace recovered = HealthyTrace(99);
+    recovered.fixes = 2;
+    collector.Record(recovered);
+    // The flagged trace still lands; the oldest healthy one paid.
+    const auto kept = collector.Dump();
+    ASSERT_EQ(kept.size(), 3u);
+    EXPECT_EQ(kept[0].trace_id, 2u);
+    EXPECT_EQ(kept[2].trace_id, 99u);
+    EXPECT_EQ(collector.Evicted(), 1u);
+}
+
+TEST(RequestTraceCollectorTest, WrappedRingExportsEachTraceOnce)
+{
+    RequestTraceCollector collector(4);
+    TailSamplingPolicy keep_all;
+    keep_all.sample_every = 1;
+    collector.Configure(keep_all);
+    for (uint64_t id = 1; id <= 10; ++id)
+        collector.Record(HealthyTrace(id));  // wraps twice.
+
+    const std::string jsonl =
+        RequestTracesToJsonl(collector.Dump());
+    // Exactly the last four ids, each exported exactly once.
+    for (uint64_t id = 7; id <= 10; ++id) {
+        const std::string key =
+            "\"trace_id\":" + std::to_string(id) + ",";
+        const size_t first = jsonl.find(key);
+        EXPECT_NE(first, std::string::npos) << "missing id " << id;
+        EXPECT_EQ(jsonl.find(key, first + 1), std::string::npos)
+            << "duplicate id " << id;
+    }
+    EXPECT_EQ(jsonl.find("\"trace_id\":6,"), std::string::npos);
+    size_t lines = 0;
+    for (char c : jsonl)
+        lines += c == '\n' ? 1 : 0;
+    EXPECT_EQ(lines, 5u);  // meta header + four traces.
+}
+
+TEST(RequestTraceCollectorTest, KeepsAuditedTracesUnlessDisabled)
+{
+    RequestTraceCollector collector(8);
+    TailSamplingPolicy policy;
+    policy.sample_every = 0;  // drop every unflagged trace.
+    collector.Configure(policy);
+
+    RequestTrace audited = HealthyTrace(1);
+    audited.audited = true;
+    collector.Record(audited);
+    collector.Record(HealthyTrace(2));  // healthy, unaudited: dropped.
+    ASSERT_EQ(collector.Size(), 1u);
+    EXPECT_EQ(collector.Dump()[0].trace_id, 1u);
+    EXPECT_NE(RequestTraceJson(collector.Dump()[0])
+                  .find("\"audited\":true"),
+              std::string::npos);
+
+    policy.keep_audited = false;
+    collector.Configure(policy);
+    RequestTrace dropped = HealthyTrace(3);
+    dropped.audited = true;
+    collector.Record(dropped);
+    EXPECT_EQ(collector.Size(), 1u);  // rule off: sampled away.
 }
 
 TEST(RequestTraceCollectorTest, TraceIdsAreUniqueAcrossClear)

@@ -124,4 +124,42 @@ sed 's/"runtime.fixes"} 120/"runtime.fixes"} 200/' \
 "$STAT" scrape "$DIR/expo.prom" | grep -q "runtime.fixes" ||
     fail "scrape summary should recover dotted metric names"
 
+# 13. audit summarizes a RUMBA_AUDIT_OUT labeled dump.
+cat > "$DIR/audit_base.jsonl" <<'EOF'
+{"type":"meta","schema_version":2,"wall_time":"2026-01-01T00:00:00Z","hostname":"ci","build_type":"Release","sanitizers":""}
+{"type":"audit","trace_id":11,"shard":0,"forced":false,"forced_reason":"","elements":2,"threshold":0.3,"estimated_error_pct":4.0,"reported_error_pct":4.2,"true_error_pct":5.0,"toq_violation":false,"toq_bound_pct":12,"tp":1,"fp":0,"fn":0,"tn":1,"breaker_state":0,"fixes":1}
+{"type":"audit","trace_id":12,"shard":1,"forced":true,"forced_reason":"recovered","elements":2,"threshold":0.3,"estimated_error_pct":9.0,"reported_error_pct":9.5,"true_error_pct":15.0,"toq_violation":true,"toq_bound_pct":12,"tp":1,"fp":0,"fn":1,"tn":0,"breaker_state":0,"fixes":1}
+{"type":"audit_element","trace_id":11,"shard":0,"index":0,"predicted_error":0.4,"approx_error":0.5,"served_error":0.0,"fired":true,"fixed":true,"exact_path":false,"needs_fix":true,"input_0":0.25,"input_1":0.5}
+{"type":"audit_element","trace_id":11,"shard":0,"index":1,"predicted_error":0.1,"approx_error":0.1,"served_error":0.1,"fired":false,"fixed":false,"exact_path":false,"needs_fix":false,"input_0":0.75,"input_1":0.5}
+EOF
+"$STAT" audit "$DIR/audit_base.jsonl" > "$DIR/audit_out.txt" ||
+    fail "audit summary should succeed (got $?)"
+grep -q "true TOQ violations: 1 / 2" "$DIR/audit_out.txt" ||
+    fail "audit summary should count the violation"
+grep -q "fn(acc)" "$DIR/audit_out.txt" ||
+    fail "audit summary should print the calibration table"
+grep -q "recovered" "$DIR/audit_out.txt" ||
+    fail "audit worst-K should carry the forced reason"
+
+# 14. audit --baseline passes against itself, fails on a calibration
+#     regression (recall collapse), and respects --tol.
+"$STAT" audit "$DIR/audit_base.jsonl" \
+    --baseline "$DIR/audit_base.jsonl" > /dev/null ||
+    fail "audit should pass against itself (got $?)"
+sed 's/"tp":1,"fp":0,"fn":1/"tp":0,"fp":1,"fn":2/' \
+    "$DIR/audit_base.jsonl" > "$DIR/audit_worse.jsonl"
+"$STAT" audit "$DIR/audit_worse.jsonl" \
+    --baseline "$DIR/audit_base.jsonl" > /dev/null
+[[ $? -eq 1 ]] || fail "calibration collapse should fail the gate"
+"$STAT" audit "$DIR/audit_worse.jsonl" \
+    --baseline "$DIR/audit_base.jsonl" --tol 1.0 > /dev/null ||
+    fail "--tol 1.0 should absorb any calibration move (got $?)"
+
+# 15. Schema mismatches between audit dumps are refused.
+sed 's/"schema_version":2/"schema_version":1/' \
+    "$DIR/audit_base.jsonl" > "$DIR/audit_old.jsonl"
+"$STAT" audit "$DIR/audit_base.jsonl" \
+    --baseline "$DIR/audit_old.jsonl" > /dev/null 2>&1
+[[ $? -eq 2 ]] || fail "audit schema mismatch should exit 2"
+
 echo "PASS: rumba-stat behaves"

@@ -31,6 +31,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -945,6 +947,264 @@ CmdScrape(const std::string& target, bool check,
     return CmdSummary(dump);
 }
 
+// ---------------------------------------------------------------------------
+// audit: summarize / regression-gate RUMBA_AUDIT_OUT labeled dumps.
+// ---------------------------------------------------------------------------
+
+/** One "audit" line from a RUMBA_AUDIT_OUT dump. */
+struct AuditRecord {
+    double trace_id = 0;
+    long shard = 0;
+    bool forced = false;
+    std::string forced_reason;
+    double elements = 0;  ///< audited elements (strided subset size).
+    double estimated_error_pct = 0;
+    double reported_error_pct = 0;
+    double true_error_pct = 0;
+    bool toq_violation = false;
+    double toq_bound_pct = 0;
+    double tp = 0, fp = 0, fn = 0, tn = 0;
+};
+
+/** Everything loaded from one audit dump. */
+struct AuditDump {
+    std::string path;
+    bool has_meta = false;
+    long schema_version = -1;
+    std::vector<AuditRecord> records;
+    size_t element_lines = 0;
+    size_t needs_fix_elements = 0;  ///< from audit_element labels.
+};
+
+/** Derived calibration summary of one audit dump. */
+struct AuditStats {
+    size_t audits = 0, forced = 0, violations = 0;
+    double elements = 0;
+    double tp = 0, fp = 0, fn = 0, tn = 0;
+    double mean_true_error = 0, mean_abs_gap = 0;
+    double violation_rate = 0, precision = 1.0, recall = 1.0;
+    std::map<long, std::array<double, 4>> per_shard;  ///< tp,fp,fn,tn.
+};
+
+bool
+LoadAuditDump(const std::string& path, AuditDump* dump)
+{
+    dump->path = path;
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "rumba-stat: cannot open %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        JsonObject obj;
+        if (!ParseJsonLine(line, &obj)) {
+            std::fprintf(stderr, "rumba-stat: %s:%zu: bad JSON line\n",
+                         path.c_str(), lineno);
+            return false;
+        }
+        const std::string type = TextField(obj, "type");
+        if (type == "meta") {
+            dump->has_meta = true;
+            dump->schema_version =
+                static_cast<long>(Field(obj, "schema_version", -1));
+        } else if (type == "audit") {
+            AuditRecord r;
+            r.trace_id = Field(obj, "trace_id");
+            r.shard = static_cast<long>(Field(obj, "shard"));
+            r.forced = Field(obj, "forced") != 0;
+            r.forced_reason = TextField(obj, "forced_reason");
+            // Older dumps predate element-budget striding and carry
+            // only "elements" (then every element was audited).
+            r.elements =
+                Field(obj, "audited_elements",
+                      Field(obj, "elements"));
+            r.estimated_error_pct = Field(obj, "estimated_error_pct");
+            r.reported_error_pct = Field(obj, "reported_error_pct");
+            r.true_error_pct = Field(obj, "true_error_pct");
+            r.toq_violation = Field(obj, "toq_violation") != 0;
+            r.toq_bound_pct = Field(obj, "toq_bound_pct");
+            r.tp = Field(obj, "tp");
+            r.fp = Field(obj, "fp");
+            r.fn = Field(obj, "fn");
+            r.tn = Field(obj, "tn");
+            dump->records.push_back(std::move(r));
+        } else if (type == "audit_element") {
+            ++dump->element_lines;
+            if (Field(obj, "needs_fix") != 0)
+                ++dump->needs_fix_elements;
+        }
+        // Other line types (metrics mixed in, future kinds): ignored.
+    }
+    if (dump->records.empty()) {
+        std::fprintf(stderr,
+                     "rumba-stat: %s has no \"audit\" lines — not a "
+                     "RUMBA_AUDIT_OUT dump?\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+AuditStats
+SummarizeAudits(const AuditDump& dump)
+{
+    AuditStats s;
+    double gap_sum = 0, err_sum = 0;
+    for (const AuditRecord& r : dump.records) {
+        ++s.audits;
+        s.forced += r.forced ? 1 : 0;
+        s.violations += r.toq_violation ? 1 : 0;
+        s.elements += r.elements;
+        s.tp += r.tp;
+        s.fp += r.fp;
+        s.fn += r.fn;
+        s.tn += r.tn;
+        err_sum += r.true_error_pct;
+        gap_sum += std::fabs(r.true_error_pct - r.estimated_error_pct);
+        auto& shard = s.per_shard[r.shard];
+        shard[0] += r.tp;
+        shard[1] += r.fp;
+        shard[2] += r.fn;
+        shard[3] += r.tn;
+    }
+    if (s.audits > 0) {
+        s.mean_true_error = err_sum / static_cast<double>(s.audits);
+        s.mean_abs_gap = gap_sum / static_cast<double>(s.audits);
+        s.violation_rate = static_cast<double>(s.violations) /
+                           static_cast<double>(s.audits);
+    }
+    const double fires = s.tp + s.fp;
+    const double needed = s.tp + s.fn;
+    s.precision = fires == 0 ? 1.0 : s.tp / fires;
+    s.recall = needed == 0 ? 1.0 : s.tp / needed;
+    return s;
+}
+
+void
+PrintAuditSummary(const AuditDump& dump, const AuditStats& s,
+                  size_t worst_k)
+{
+    std::printf("== %s ==\n", dump.path.c_str());
+    if (dump.has_meta)
+        std::printf("meta: schema v%ld\n", dump.schema_version);
+    std::printf(
+        "%zu audits (%zu forced), %.0f elements audited (%zu element "
+        "lines, %zu needing a fix)\n",
+        s.audits, s.forced, s.elements, dump.element_lines,
+        dump.needs_fix_elements);
+    std::printf(
+        "true TOQ violations: %zu / %zu (rate %.4f, bound %.4g%%)\n",
+        s.violations, s.audits, s.violation_rate,
+        dump.records.front().toq_bound_pct);
+    std::printf(
+        "mean true error %.4g%%   mean |true - estimated| gap %.4g%%\n"
+        "\n",
+        s.mean_true_error, s.mean_abs_gap);
+
+    std::printf("checker calibration (accelerator-served elements):\n");
+    std::printf("  %-8s %10s %10s %10s %10s %10s %8s\n", "shard",
+                "tp", "fp(rec)", "fn(acc)", "tn", "precision",
+                "recall");
+    for (const auto& [shard, counts] : s.per_shard) {
+        const double fires = counts[0] + counts[1];
+        const double needed = counts[0] + counts[2];
+        std::printf("  %-8ld %10.0f %10.0f %10.0f %10.0f %10.4f "
+                    "%8.4f\n",
+                    shard, counts[0], counts[1], counts[2], counts[3],
+                    fires == 0 ? 1.0 : counts[0] / fires,
+                    needed == 0 ? 1.0 : counts[0] / needed);
+    }
+    std::printf("  %-8s %10.0f %10.0f %10.0f %10.0f %10.4f %8.4f\n",
+                "total", s.tp, s.fp, s.fn, s.tn, s.precision,
+                s.recall);
+
+    if (worst_k > 0) {
+        std::vector<const AuditRecord*> ranked;
+        ranked.reserve(dump.records.size());
+        for (const AuditRecord& r : dump.records)
+            ranked.push_back(&r);
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const AuditRecord* a, const AuditRecord* b) {
+                      return a->true_error_pct > b->true_error_pct;
+                  });
+        std::printf("\nworst %zu audited invocations by true error:\n",
+                    std::min(worst_k, ranked.size()));
+        std::printf("  %-12s %-6s %12s %12s %5s %s\n", "trace_id",
+                    "shard", "true_err%", "est_err%", "viol",
+                    "forced");
+        for (size_t i = 0; i < ranked.size() && i < worst_k; ++i) {
+            const AuditRecord& r = *ranked[i];
+            std::printf("  %-12.0f %-6ld %12.4g %12.4g %5s %s\n",
+                        r.trace_id, r.shard, r.true_error_pct,
+                        r.estimated_error_pct,
+                        r.toq_violation ? "YES" : "no",
+                        r.forced ? r.forced_reason.c_str() : "-");
+        }
+    }
+}
+
+/** One audited calibration figure gate: candidate may not be worse
+ *  than baseline by more than @p tol (absolute). */
+void
+CheckCalibration(const char* what, double base, double cand,
+                 bool higher_is_worse, double tol, size_t* regressions)
+{
+    const double delta = higher_is_worse ? cand - base : base - cand;
+    if (delta <= tol)
+        return;
+    ++*regressions;
+    std::printf("REGRESSION  %-24s %.4f -> %.4f  (moved %.4f > tol "
+                "%.4f)\n",
+                what, base, cand, delta, tol);
+}
+
+int
+CmdAudit(const std::string& path, const std::string& baseline_path,
+         double tol, size_t worst_k)
+{
+    AuditDump dump;
+    if (!LoadAuditDump(path, &dump))
+        return 2;
+    const AuditStats stats = SummarizeAudits(dump);
+    PrintAuditSummary(dump, stats, worst_k);
+    if (baseline_path.empty())
+        return 0;
+
+    AuditDump base;
+    if (!LoadAuditDump(baseline_path, &base))
+        return 2;
+    if (base.has_meta && dump.has_meta &&
+        base.schema_version != dump.schema_version) {
+        std::fprintf(stderr,
+                     "rumba-stat: schema mismatch: %s is v%ld, %s is "
+                     "v%ld — refusing to diff\n",
+                     base.path.c_str(), base.schema_version,
+                     dump.path.c_str(), dump.schema_version);
+        return 2;
+    }
+    const AuditStats bs = SummarizeAudits(base);
+    std::printf("\ncalibration gate vs %s (tol %.4f absolute):\n",
+                baseline_path.c_str(), tol);
+    size_t regressions = 0;
+    CheckCalibration("checker precision", bs.precision,
+                     stats.precision, /*higher_is_worse=*/false, tol,
+                     &regressions);
+    CheckCalibration("checker recall", bs.recall, stats.recall,
+                     /*higher_is_worse=*/false, tol, &regressions);
+    CheckCalibration("true TOQ violation rate", bs.violation_rate,
+                     stats.violation_rate, /*higher_is_worse=*/true,
+                     tol, &regressions);
+    std::printf("%s: 3 calibration figures gated, %zu regressions\n",
+                regressions == 0 ? "PASS" : "FAIL", regressions);
+    return regressions == 0 ? 0 : 1;
+}
+
 int
 Usage()
 {
@@ -958,6 +1218,8 @@ Usage()
         "  rumba-stat scrape <target> [--check] [--baseline <dump>]\n"
         "      [--tol <rel>] [--tol-metric <name>=<rel>]\n"
         "      [--include-latency]\n"
+        "  rumba-stat audit <audit.jsonl> [--baseline <audit.jsonl>]\n"
+        "      [--tol <abs>] [--worst <K>]\n"
         "\n"
         "Dumps are RUMBA_METRICS_OUT metric files or RUMBA_STREAM_OUT\n"
         "sample streams (JSONL; '.csv' metric dumps load too).\n"
@@ -966,7 +1228,13 @@ Usage()
         "scrape reads Prometheus text from http://host:port[/path],\n"
         "host:port, or a saved exposition file; --check validates the\n"
         "format, --baseline diffs against a metrics dump (histogram\n"
-        "counts only), default prints a summary.\n");
+        "counts only), default prints a summary.\n"
+        "audit reads a RUMBA_AUDIT_OUT labeled dump: ground-truth TOQ\n"
+        "violation rate, checker-calibration table (per shard), and\n"
+        "the worst-K invocations by true error; --baseline gates\n"
+        "precision / recall / violation rate against another audit\n"
+        "dump (exit 1 when any worsens by more than --tol, default\n"
+        "0.05 absolute).\n");
     return 2;
 }
 
@@ -1054,6 +1322,31 @@ main(int argc, char** argv)
         if (targets.size() != 1)
             return Usage();
         return CmdScrape(targets[0], check, baseline, opts);
+    }
+
+    if (cmd == "audit") {
+        double tol = 0.05;
+        size_t worst_k = 5;
+        std::string baseline;
+        std::vector<std::string> files;
+        for (int i = 2; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--baseline" && i + 1 < argc) {
+                baseline = argv[++i];
+            } else if (arg == "--tol" && i + 1 < argc) {
+                tol = std::strtod(argv[++i], nullptr);
+            } else if (arg == "--worst" && i + 1 < argc) {
+                worst_k = static_cast<size_t>(
+                    std::strtoul(argv[++i], nullptr, 10));
+            } else if (!arg.empty() && arg[0] == '-') {
+                return Usage();
+            } else {
+                files.push_back(arg);
+            }
+        }
+        if (files.size() != 1)
+            return Usage();
+        return CmdAudit(files[0], baseline, tol, worst_k);
     }
 
     return Usage();
