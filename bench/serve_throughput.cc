@@ -26,9 +26,10 @@
  *
  * The default mode also measures the observability tax: the same
  * 1-shard stream with request tracing, flight recording, SLO
- * monitoring and a live scrape server against the same stream with
- * all of it off, asserting the instrumented run costs < 5% of the
- * serving wall time in extra CPU.
+ * monitoring, the cost profiler (per-stage CPU attribution + the
+ * efficiency estimator) and a live scrape server against the same
+ * stream with all of it off, asserting the instrumented run costs
+ * < 5% of the serving wall time in extra CPU.
  */
 
 #include <ctime>
@@ -145,6 +146,7 @@ TimedRun(const core::Artifact& artifact, size_t shards,
         config.slo.latency_bound_ns = 0;
         config.slo.quality_margin_pct = -1.0;
         config.audit.enabled = false;
+        config.profile.enabled = false;
     }
     auto engine = serve::ShardedEngine::Create(artifact, DeployConfig(),
                                                config);
@@ -333,7 +335,8 @@ main(int argc, char** argv)
     // interleaved off/on pairs and expresses the extra CPU as a
     // fraction of the off-side serving wall time: the throughput a
     // CPU-bound deployment would give up. Sleep jitter never enters
-    // the measurement.
+    // the measurement, and the median round (below) keeps one
+    // CI-neighbor load burst from poisoning the verdict.
     obs::ObservabilityServer server;
     const bool server_up = server.Start(0);  // ephemeral port.
     std::atomic<bool> polling{server_up};
@@ -358,30 +361,43 @@ main(int argc, char** argv)
     TimedRun(artifact, 1, device_ns, stream, in_w, false);  // warmup.
     TimedRun(artifact, 1, device_ns, stream, in_w, true);
     double wall_off = 0.0, cpu_off = 0.0, cpu_on = 0.0;
+    std::vector<double> round_pct;
+    round_pct.reserve(kOverheadRounds);
     for (size_t round = 0; round < kOverheadRounds; ++round) {
         const double cpu_0 = cpu_seconds();
-        wall_off += TimedRun(artifact, 1, device_ns, stream, in_w,
-                             /*instrumented=*/false);
+        const double wall = TimedRun(artifact, 1, device_ns, stream,
+                                     in_w, /*instrumented=*/false);
         const double cpu_1 = cpu_seconds();
         TimedRun(artifact, 1, device_ns, stream, in_w,
                  /*instrumented=*/true);
+        const double cpu_2 = cpu_seconds();
+        wall_off += wall;
         cpu_off += cpu_1 - cpu_0;
-        cpu_on += cpu_seconds() - cpu_1;
+        cpu_on += cpu_2 - cpu_1;
+        round_pct.push_back(((cpu_2 - cpu_1) - (cpu_1 - cpu_0)) /
+                            wall * 100.0);
     }
     polling.store(false, std::memory_order_relaxed);
     poller.join();
     server.Stop();
 
+    // Gate on the median round, not the aggregate: a single
+    // scheduler burst (a parallel ctest neighbor, a CI builder)
+    // landing in one round poisons a sum but cannot move the median
+    // of 11 interleaved off/on pairs. A *systematic* cost shifts
+    // every round and is still caught.
     constexpr double kMaxOverheadPct = 5.0;
-    const double overhead_pct =
-        (cpu_on - cpu_off) / wall_off * 100.0;
+    std::sort(round_pct.begin(), round_pct.end());
+    const double overhead_pct = round_pct[round_pct.size() / 2];
     std::printf("\n== Instrumentation overhead: tracing + SLOs + "
                 "scrape server ==\n"
                 "cpu off %.1f ms, cpu on %.1f ms over %.0f ms "
-                "serving -> %+.1f%% extra CPU "
-                "(required < %.0f%%): %s\n",
+                "serving -> %+.1f%% median extra CPU "
+                "(aggregate %+.1f%%, required < %.0f%%): %s\n",
                 cpu_off * 1e3, cpu_on * 1e3, wall_off * 1e3,
-                overhead_pct, kMaxOverheadPct,
+                overhead_pct,
+                (cpu_on - cpu_off) / wall_off * 100.0,
+                kMaxOverheadPct,
                 overhead_pct < kMaxOverheadPct ? "ok" : "FAILED");
 
     // Sanitized builds run the same workloads for the memory/race

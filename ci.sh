@@ -41,10 +41,11 @@ echo "==> live observability gate (scrape endpoint + flight recorder)"
 obs_port=19841
 flight_dir=build/flight-dumps
 rm -rf "$flight_dir" && mkdir -p "$flight_dir"
-rm -f build/deploy_audit.jsonl
+rm -f build/deploy_audit.jsonl build/deploy_profile.folded
 RUMBA_METRICS_PORT=$obs_port RUMBA_FLIGHT_DIR="$flight_dir" \
     RUMBA_OBS_LINGER_MS=8000 \
     RUMBA_AUDIT_SAMPLE_N=1 RUMBA_AUDIT_OUT=build/deploy_audit.jsonl \
+    RUMBA_PROFILE_HZ=499 RUMBA_PROFILE_OUT=build/deploy_profile.folded \
     ./build/examples/deploy > build/deploy_obs.log 2>&1 &
 deploy_pid=$!
 # The server comes up at main(); wait for it, then for the serving
@@ -78,10 +79,37 @@ awk '/^rumba_audit_samples_total/ { if ($NF + 0 > 0) found = 1 }
 grep -q '^rumba_audit_true_toq_violation_rate' build/deploy_scrape.prom
 # Build identity must be scrapeable next to the metrics.
 curl -sf "http://127.0.0.1:$obs_port/buildz" | grep -q '"git_describe"'
+# Cost profiler: the engine must have attributed real CPU to the
+# device and predict-check stages, and the online efficiency
+# estimator must publish a finite, positive speedup.
+awk '/^rumba_cpu_stage_seconds_device_total/ { if ($NF + 0 > 0) f = 1 }
+     END { exit !f }' build/deploy_scrape.prom
+awk '/^rumba_cpu_stage_seconds_predict_check_total/ \
+     { if ($NF + 0 > 0) f = 1 } END { exit !f }' build/deploy_scrape.prom
+awk '/^rumba_efficiency_speedup_estimate/ \
+     { v = $NF + 0; if (v > 0 && v < 1e12) f = 1 }
+     END { exit !f }' build/deploy_scrape.prom
+# /profilez: live stage shares + efficiency estimate, gated against
+# the checked-in baseline (speedup lower-is-worse, energy ratio
+# higher-is-worse; the tolerance absorbs drill-phase timing).
+curl -sf "http://127.0.0.1:$obs_port/profilez" \
+    > build/deploy_profilez.json
+grep -q '"schema_version":1' build/deploy_profilez.json
+./build/tools/rumba-stat profile build/deploy_profilez.json \
+    --baseline bench/baselines/deploy_profilez.json --tol 0.2 \
+    > /dev/null
+# scrape --check on a live target also validates /buildz + /profilez.
 ./build/tools/rumba-stat scrape "http://127.0.0.1:$obs_port/metrics" \
     --check > /dev/null
 ./build/tools/rumba-stat scrape build/deploy_scrape.prom --check
 wait "$deploy_pid"
+# The sampling profiler must have written a parseable folded-stacks
+# dump ("stack count" lines) carrying per-shard stage frames. (The
+# deploy's device bursts are microseconds long, so the sampler lands
+# in the workers' queue_wait frames, not the device ones.)
+awk 'NF < 2 || $NF + 0 <= 0 { bad = 1 } END { exit bad }' \
+    build/deploy_profile.folded
+grep -q '^shard0;' build/deploy_profile.folded
 # The NaN storm must have tripped breakers and dumped flight records
 # carrying request trace ids.
 ls "$flight_dir"/flight-shard*.jsonl > /dev/null
@@ -124,15 +152,16 @@ if [[ "${1:-}" != "--skip-sanitize" ]]; then
 
     # TSan: the threaded paths — snapshot streamer, span collector,
     # the two-thread recovery replay, the queue/breaker paths the
-    # fault suite drives, the sharded serving engine, and the
-    # background ground-truth audit pool — under real concurrency.
+    # fault suite drives, the sharded serving engine, the background
+    # ground-truth audit pool, and the sampling profiler racing
+    # engine shutdown — under real concurrency.
     echo "==> thread-sanitized build + threading tests (thread)"
     cmake -B build-tsan -S . -DRUMBA_SANITIZE=thread
     cmake --build build-tsan -j
     # -R must precede the bare -j: ctest would otherwise eat the
     # regex as -j's value and run the whole suite.
     ctest --test-dir build-tsan --output-on-failure \
-        -R '^(obs_test|extensions_test|fault_test|serve_test|audit_test)$' \
+        -R '^(obs_test|extensions_test|fault_test|serve_test|audit_test|profiler_test)$' \
         -j
 fi
 

@@ -433,7 +433,12 @@ main()
     obs_config.shards = 2;
     obs_config.queue_capacity = 32;
     obs_config.trace.sample_every = 4;
-    if (const char* flight_dir = std::getenv("RUMBA_FLIGHT_DIR"))
+    // Flight dumps land in RUMBA_FLIGHT_DIR; explicitly the current
+    // working directory otherwise (flight-shard*.jsonl is gitignored,
+    // but point this somewhere durable in a real deployment).
+    obs_config.flight.dump_dir = ".";
+    if (const char* flight_dir = std::getenv("RUMBA_FLIGHT_DIR");
+        flight_dir != nullptr && flight_dir[0] != '\0')
         obs_config.flight.dump_dir = flight_dir;
 
     auto obs_engine_or = serve::ShardedEngine::Create(

@@ -8,6 +8,7 @@
 #include "fault/injector.h"
 #include "nn/mlp.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/span.h"
 #include "obs/stream.h"
 #include "obs/timer.h"
@@ -242,13 +243,21 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
     size_t queue_full_stalls = 0;
     size_t queue_drops = 0;
     size_t non_finite_seen = 0;
-    const bool timed = config_.stage_timings;
+    // CPU attribution rides on the wall-clock stage timings: the
+    // check/stream wall ratio apportions the stream's thread-CPU
+    // between device and checker (see InvocationCpuTimings).
+    const bool cpu_timed = config_.cpu_attribution;
+    const bool timed = config_.stage_timings || cpu_timed;
     uint64_t stage_start = 0;
     uint64_t check_ns = 0;
     size_t checks_timed = 0;
+    int64_t stream_cpu_total = 0;   ///< whole stream loop, drains incl.
+    int64_t in_loop_recover_cpu = 0;  ///< backpressure drains in-loop.
 
     {
         const obs::Span stream_span("runtime.accel_stream");
+        const obs::StageScope device_scope(
+            obs::ProfileStage::kDevice, cpu_timed, &stream_cpu_total);
         if (timed)
             stage_start = obs::NowNs();
         std::vector<double>& norm_in = scratch_norm_in_;
@@ -272,7 +281,11 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
             // trace spans, not for gating.
             const uint64_t check_start =
                 timed && (i & 7u) == 0 ? obs::NowNs() : 0;
-            const CheckResult check = detector_.Check(norm_in, raw_out);
+            const CheckResult check = [&] {
+                const obs::StageScope check_tag(
+                    obs::ProfileStage::kPredictCheck);
+                return detector_.Check(norm_in, raw_out);
+            }();
             if (check_start != 0) {
                 check_ns += obs::NowNs() - check_start;
                 ++checks_timed;
@@ -306,6 +319,9 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
                         // the pipelined CPU side would.
                         const obs::Span stall_span(
                             "recovery.queue_backpressure");
+                        const obs::StageScope recover_scope(
+                            obs::ProfileStage::kRecover, cpu_timed,
+                            &in_loop_recover_cpu);
                         ++queue_full_stalls;
                         recovery_.RecordQueueFullStall();
                         recovery_.Drain(raw_inputs, outputs, out_w,
@@ -334,10 +350,29 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
                                report.timings.accel_stream_ns);
         }
     }
+    if (cpu_timed) {
+        // Split the stream's CPU: backpressure drains re-execute on
+        // the CPU and belong to recover; the checker's slice is
+        // apportioned by the wall-clock check/stream ratio.
+        report.cpu.stream_cpu_ns =
+            std::max<int64_t>(0, stream_cpu_total - in_loop_recover_cpu);
+        report.cpu.recover_cpu_ns += in_loop_recover_cpu;
+        if (report.timings.accel_stream_ns > 0) {
+            const double check_ratio =
+                static_cast<double>(report.timings.check_ns) /
+                static_cast<double>(report.timings.accel_stream_ns);
+            report.cpu.check_cpu_ns = static_cast<int64_t>(
+                static_cast<double>(report.cpu.stream_cpu_ns) *
+                std::min(1.0, check_ratio));
+        }
+    }
     if (approx_n < n) {
         // Breaker-degraded tail: exact CPU execution (paper-faithful
         // recovery of everything), bypassing accelerator and checker.
         const obs::Span exact_span("runtime.breaker_exact");
+        const obs::StageScope exact_scope(obs::ProfileStage::kRecover,
+                                          cpu_timed,
+                                          &report.cpu.exact_cpu_ns);
         if (timed)
             stage_start = obs::NowNs();
         for (size_t i = approx_n; i < n; ++i) {
@@ -357,6 +392,9 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
     }
     {
         const obs::Span merge_span("runtime.merge");
+        const obs::StageScope recover_scope(
+            obs::ProfileStage::kRecover, cpu_timed,
+            &report.cpu.recover_cpu_ns);
         if (timed)
             stage_start = obs::NowNs();
         recovery_.Drain(raw_inputs, outputs, out_w, &fixed);
@@ -368,21 +406,26 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
     // (dropped) entry could still slip through — recover it here,
     // unconditionally.
     size_t salvaged = 0;
-    for (size_t i = 0; i < approx_n; ++i) {
-        if (fixed[i])
-            continue;
-        bool finite = true;
-        for (size_t o = 0; o < out_w; ++o) {
-            if (!std::isfinite(outputs[i * out_w + o])) {
-                finite = false;
-                break;
+    {
+        const obs::StageScope salvage_scope(
+            obs::ProfileStage::kRecover, cpu_timed,
+            &report.cpu.recover_cpu_ns);
+        for (size_t i = 0; i < approx_n; ++i) {
+            if (fixed[i])
+                continue;
+            bool finite = true;
+            for (size_t o = 0; o < out_w; ++o) {
+                if (!std::isfinite(outputs[i * out_w + o])) {
+                    finite = false;
+                    break;
+                }
             }
+            if (finite)
+                continue;
+            app.RunExact(raw_inputs[i].data(), outputs + i * out_w);
+            fixed[i] = 1;
+            ++salvaged;
         }
-        if (finite)
-            continue;
-        app.RunExact(raw_inputs[i].data(), outputs + i * out_w);
-        fixed[i] = 1;
-        ++salvaged;
     }
     if (salvaged > 0)
         obs_non_finite_salvaged_->Increment(salvaged);
@@ -398,6 +441,9 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
     {
         const obs::ScopedTimer verify_timer(obs_verify_ns_);
         const obs::Span verify_span("runtime.verify");
+        const obs::StageScope verify_scope(
+            obs::ProfileStage::kVerify, cpu_timed,
+            &report.cpu.verify_cpu_ns);
         if (timed)
             stage_start = obs::NowNs();
         std::vector<double>& exact = scratch_raw_out_;

@@ -57,6 +57,13 @@ struct RuntimeConfig {
      *  a scaled 1-in-8 sample), which request-scoped tracing
      *  (obs/reqtrace.h) needs but batch experiments do not. */
     bool stage_timings = false;
+    /** Attribute per-stage *thread CPU time* (CLOCK_THREAD_CPUTIME_ID)
+     *  into InvocationReport::cpu for the live cost profiler
+     *  (obs/profiler.h). Reads the thread clock only at stage
+     *  boundaries (~8 syscalls per invocation, never per element);
+     *  implies the wall-clock stage timings, whose check/stream ratio
+     *  apportions the stream's CPU between device and checker. */
+    bool cpu_attribution = false;
     sim::CoreParams core;             ///< host-core model (Table 2).
     sim::EnergyParams energy;         ///< event energies.
 
@@ -178,6 +185,14 @@ class RuntimeConfig::Builder {
         return *this;
     }
 
+    /** Attribute per-stage thread CPU into InvocationReport::cpu. */
+    Builder&
+    WithCpuAttribution(bool enabled = true)
+    {
+        config_.cpu_attribution = enabled;
+        return *this;
+    }
+
     RuntimeConfig Build() const { return config_; }
 
   private:
@@ -194,6 +209,20 @@ struct InvocationTimings {
     uint64_t exact_ns = 0;         ///< breaker-degraded exact tail.
     uint64_t recover_ns = 0;       ///< recovery-queue drain + merge.
     uint64_t verify_ns = 0;        ///< true-error verification pass.
+};
+
+/** Per-stage *thread CPU time* of one invocation (all zero unless
+ *  RuntimeConfig::cpu_attribution). stream_cpu_ns covers the whole
+ *  accelerator streaming loop and *includes* check_cpu_ns, which is
+ *  the checker's estimated slice of it (apportioned by the wall-clock
+ *  check/stream ratio — the thread clock is too expensive to read per
+ *  element). */
+struct InvocationCpuTimings {
+    int64_t stream_cpu_ns = 0;   ///< accel streaming loop (checks incl.).
+    int64_t check_cpu_ns = 0;    ///< checker slice of stream_cpu_ns.
+    int64_t exact_cpu_ns = 0;    ///< breaker-degraded exact tail.
+    int64_t recover_cpu_ns = 0;  ///< recovery-queue drain + merge.
+    int64_t verify_cpu_ns = 0;   ///< true-error verification pass.
 };
 
 /** What one invocation reported back. */
@@ -221,6 +250,8 @@ struct InvocationReport {
     BreakerState breaker_state = BreakerState::kClosed;
     /** Per-stage wall clock (RuntimeConfig::stage_timings only). */
     InvocationTimings timings;
+    /** Per-stage thread CPU (RuntimeConfig::cpu_attribution only). */
+    InvocationCpuTimings cpu;
     sim::SystemCosts costs;         ///< modeled energy/time.
 };
 

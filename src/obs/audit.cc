@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace rumba::obs {
 
@@ -188,7 +189,17 @@ QualityAuditor::WorkerLoop()
             queue_.pop_front();
             ++in_flight_;
         }
-        AuditOne(sample);
+        {
+            // The shadow exact re-execution is the "audit" stage in
+            // the cost profiler: tagged for the sampling profiler and
+            // accounted straight into the global stage counters
+            // (shard known per sample).
+            const StageScope audit_scope(
+                ProfileStage::kAudit, /*account=*/true,
+                /*sink_ns=*/nullptr,
+                static_cast<int>(sample.shard));
+            AuditOne(sample);
+        }
         {
             std::lock_guard<std::mutex> lock(mu_);
             --in_flight_;

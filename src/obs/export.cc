@@ -13,6 +13,7 @@
 
 #include "common/logging.h"
 #include "obs/audit.h"
+#include "obs/profiler.h"
 #include "obs/reqtrace.h"
 #include "obs/span.h"
 #include "obs/stream.h"
@@ -132,9 +133,10 @@ BuildInfoJson()
         "RUMBA_FAULT_PLAN",       "RUMBA_FLIGHT_DIR",
         "RUMBA_LOG",              "RUMBA_METRICS_OUT",
         "RUMBA_METRICS_PORT",     "RUMBA_OBS_LINGER_MS",
-        "RUMBA_REQTRACE_OUT",     "RUMBA_STREAM_OUT",
-        "RUMBA_STREAM_PERIOD_MS", "RUMBA_TRACE_OUT",
-        "RUMBA_TRACE_RING_CAPACITY",
+        "RUMBA_PROFILE_HZ",       "RUMBA_PROFILE_OUT",
+        "RUMBA_REQTRACE_OUT",     "RUMBA_STREAM_CHANGED_ONLY",
+        "RUMBA_STREAM_OUT",       "RUMBA_STREAM_PERIOD_MS",
+        "RUMBA_TRACE_OUT",        "RUMBA_TRACE_RING_CAPACITY",
     };
     bool first = true;
     for (const char* knob : kKnobs) {
@@ -169,6 +171,10 @@ ToJsonl(const RegistrySnapshot& snapshot,
     for (const auto& c : snapshot.counters) {
         out += "{\"type\":\"counter\",\"name\":" + JsonStr(c.name) +
                ",\"value\":" + std::to_string(c.value) + "}\n";
+    }
+    for (const auto& c : snapshot.dcounters) {
+        out += "{\"type\":\"counter\",\"name\":" + JsonStr(c.name) +
+               ",\"value\":" + JsonNum(c.value) + "}\n";
     }
     for (const auto& g : snapshot.gauges) {
         out += "{\"type\":\"gauge\",\"name\":" + JsonStr(g.name) +
@@ -219,6 +225,10 @@ SnapshotRows(const RegistrySnapshot& snapshot)
     std::vector<std::vector<std::string>> rows;
     for (const auto& c : snapshot.counters) {
         rows.push_back({"counter", c.name, std::to_string(c.value), "",
+                        "", "", "", "", "", ""});
+    }
+    for (const auto& c : snapshot.dcounters) {
+        rows.push_back({"counter", c.name, Table::Num(c.value, 6), "",
                         "", "", "", "", "", ""});
     }
     for (const auto& g : snapshot.gauges) {
@@ -315,8 +325,11 @@ ExportAtExit()
     // Stop the sampler first so its final sample lands before the
     // registry is frozen into the metrics/trace dumps. Runs even if
     // a signal flush already fired: the exporters are idempotent
-    // rewrites, and the at-exit state is strictly fresher.
+    // rewrites, and the at-exit state is strictly fresher. The
+    // profiling sampler gets the same treatment so RUMBA_PROFILE_OUT
+    // is written even when an engine never released its ref.
     SnapshotStreamer::Default().Stop();
+    SamplingProfiler::StopEnv();
     FlushFilesBestEffort();
 }
 

@@ -16,6 +16,7 @@
 
 #include "common/logging.h"
 #include "obs/export.h"
+#include "obs/profiler.h"
 
 namespace rumba::obs {
 
@@ -91,6 +92,11 @@ ToPrometheusText(const RegistrySnapshot& snapshot)
         char buf[32];
         std::snprintf(buf, sizeof(buf), "%" PRIu64, c.value);
         out += prom + NameLabel(c.name) + " " + buf + "\n";
+    }
+    for (const DoubleCounterSnapshot& c : snapshot.dcounters) {
+        const std::string prom = SanitizeName(c.name) + "_total";
+        AppendHeader(&out, prom, "counter");
+        out += prom + NameLabel(c.name) + " " + PromNum(c.value) + "\n";
     }
     for (const GaugeSnapshot& g : snapshot.gauges) {
         const std::string prom = SanitizeName(g.name);
@@ -173,7 +179,7 @@ ObservabilityServer::Start(uint16_t port)
     running_.store(true, std::memory_order_release);
     thread_ = std::thread(&ObservabilityServer::ServeLoop, this, fd);
     Inform("ObservabilityServer: serving /metrics /healthz /statusz "
-           "/buildz on "
+           "/buildz /profilez on "
            "127.0.0.1:%u",
            static_cast<unsigned>(port));
     return true;
@@ -301,6 +307,9 @@ ObservabilityServer::HandleConnection(int fd)
     } else if (path == "/buildz") {
         content_type = "application/json; charset=utf-8";
         body = BuildInfoJson() + "\n";
+    } else if (path == "/profilez") {
+        content_type = "application/json; charset=utf-8";
+        body = ProfilezJson() + "\n";
     } else {
         status = 404;
         status_text = "Not Found";

@@ -21,6 +21,10 @@
  *   /buildz   build-info JSON (BuildInfoJson in obs/export.h):
  *             version, git describe, build type, sanitizers, and the
  *             RUMBA_* env knobs set for this process.
+ *   /profilez live cost-profiler JSON (ProfilezJson in
+ *             obs/profiler.h): per-stage CPU seconds and shares,
+ *             sampling-profiler state, and the rolling
+ *             speedup/energy-ratio estimate.
  *   anything else: 404.
  *
  * The server is opt-in: programmatically via Start(port) (port 0

@@ -177,6 +177,16 @@ Registry::GetCounter(const std::string& name)
     return slot.get();
 }
 
+DoubleCounter*
+Registry::GetDoubleCounter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = dcounters_[name];
+    if (slot == nullptr)
+        slot = std::make_unique<DoubleCounter>();
+    return slot.get();
+}
+
 Gauge*
 Registry::GetGauge(const std::string& name)
 {
@@ -209,6 +219,9 @@ Registry::Snapshot() const
     snap.counters.reserve(counters_.size());
     for (const auto& [name, counter] : counters_)
         snap.counters.push_back({name, counter->Value()});
+    snap.dcounters.reserve(dcounters_.size());
+    for (const auto& [name, dcounter] : dcounters_)
+        snap.dcounters.push_back({name, dcounter->Value()});
     snap.gauges.reserve(gauges_.size());
     for (const auto& [name, gauge] : gauges_)
         snap.gauges.push_back({name, gauge->Value()});
@@ -224,6 +237,8 @@ Registry::Reset()
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& [name, counter] : counters_)
         counter->Reset();
+    for (auto& [name, dcounter] : dcounters_)
+        dcounter->Reset();
     for (auto& [name, gauge] : gauges_)
         gauge->Reset();
     for (auto& [name, histogram] : histograms_)

@@ -49,6 +49,34 @@ class Counter {
     std::atomic<uint64_t> value_{0};
 };
 
+/**
+ * A monotonically increasing fractional total (e.g. CPU seconds).
+ * Same contract as Counter but accumulates doubles, for quantities
+ * that grow by sub-integer amounts per event.
+ */
+class DoubleCounter {
+  public:
+    /** Add @p delta (callers only pass non-negative deltas). */
+    void
+    Add(double delta)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    /** Current total. */
+    double
+    Value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    /** Zero the total (tests / between runs). */
+    void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
 /** A last-value-wins instantaneous measurement. */
 class Gauge {
   public:
@@ -176,6 +204,12 @@ struct CounterSnapshot {
     uint64_t value = 0;
 };
 
+/** Point-in-time view of one fractional counter. */
+struct DoubleCounterSnapshot {
+    std::string name;
+    double value = 0.0;
+};
+
 /** Point-in-time view of one gauge. */
 struct GaugeSnapshot {
     std::string name;
@@ -185,6 +219,7 @@ struct GaugeSnapshot {
 /** Point-in-time view of a whole registry, sorted by name. */
 struct RegistrySnapshot {
     std::vector<CounterSnapshot> counters;
+    std::vector<DoubleCounterSnapshot> dcounters;
     std::vector<GaugeSnapshot> gauges;
     std::vector<HistogramSnapshot> histograms;
 };
@@ -198,6 +233,9 @@ class Registry {
   public:
     /** Find or create the counter named @p name. */
     Counter* GetCounter(const std::string& name);
+
+    /** Find or create the fractional counter named @p name. */
+    DoubleCounter* GetDoubleCounter(const std::string& name);
 
     /** Find or create the gauge named @p name. */
     Gauge* GetGauge(const std::string& name);
@@ -226,6 +264,7 @@ class Registry {
   private:
     mutable std::mutex mu_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<DoubleCounter>> dcounters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };

@@ -1,0 +1,513 @@
+#include "obs/profiler.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "obs/export.h"
+
+namespace rumba::obs {
+
+namespace {
+
+/** Indexable stage names; order must match ProfileStage. */
+constexpr const char* kStageNames[] = {
+    "idle",   "queue_wait", "device", "predict_check", "recover",
+    "merge",  "audit",      "verify", "other",
+};
+static_assert(sizeof(kStageNames) / sizeof(kStageNames[0]) ==
+                  static_cast<size_t>(ProfileStage::kStageCount),
+              "stage name table out of sync with ProfileStage");
+
+constexpr size_t kStageCount =
+    static_cast<size_t>(ProfileStage::kStageCount);
+
+/** Stage-share histograms span [0, 1]; 20 linear buckets of 0.05. */
+std::vector<double>
+ShareBounds()
+{
+    return Histogram::LinearBuckets(0.05, 0.05, 20);
+}
+
+// ---------------------------------------------------------------------------
+// Thread slot registry: every thread that enters a StageScope (or
+// binds a shard) registers a shared_ptr slot; the sampler walks the
+// registry under a mutex. Slots outlive their threads (shared_ptr),
+// so the sampler can never read freed memory; dead slots are pruned
+// on the sampler's walk.
+// ---------------------------------------------------------------------------
+
+std::mutex&
+SlotMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+std::vector<std::shared_ptr<ThreadSlot>>&
+SlotList()
+{
+    static std::vector<std::shared_ptr<ThreadSlot>> slots;
+    return slots;
+}
+
+/** Marks the slot dead when its thread exits. */
+struct SlotRegistration {
+    std::shared_ptr<ThreadSlot> slot;
+
+    SlotRegistration() : slot(std::make_shared<ThreadSlot>())
+    {
+        std::lock_guard<std::mutex> lock(SlotMutex());
+        SlotList().push_back(slot);
+    }
+
+    ~SlotRegistration()
+    {
+        slot->alive.store(false, std::memory_order_relaxed);
+    }
+};
+
+ThreadSlot*
+LocalSlot()
+{
+    thread_local SlotRegistration registration;
+    return registration.slot.get();
+}
+
+}  // namespace
+
+const char*
+ProfileStageName(ProfileStage stage)
+{
+    const size_t i = static_cast<size_t>(stage);
+    return i < kStageCount ? kStageNames[i] : "unknown";
+}
+
+int64_t
+ThreadCpuNowNs()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+// ------------------------------------------------------- CpuProfiler
+
+CpuProfiler::CpuProfiler(Registry* registry) : registry_(registry)
+{
+    for (size_t s = 0; s < kStageCount; ++s) {
+        const std::string name(kStageNames[s]);
+        stage_seconds_[s] =
+            registry_->GetDoubleCounter("cpu_stage_seconds." + name);
+        stage_share_[s] = registry_->GetHistogram(
+            "profile.stage_share." + name, ShareBounds());
+    }
+    invocations_ = registry_->GetCounter("profile.invocations");
+    speedup_gauge_ =
+        registry_->GetGauge("efficiency.speedup_estimate");
+    energy_gauge_ = registry_->GetGauge("efficiency.energy_ratio");
+    window_gauge_ = registry_->GetGauge("efficiency.window");
+}
+
+DoubleCounter*
+CpuProfiler::ShardStageCounter(int shard, ProfileStage stage)
+{
+    std::lock_guard<std::mutex> lock(shard_mu_);
+    const size_t index = static_cast<size_t>(shard);
+    while (shard_seconds_.size() <= index) {
+        const std::string prefix = "cpu_stage_seconds.shard" +
+                                   std::to_string(shard_seconds_.size());
+        std::array<DoubleCounter*, kStageCount> row{};
+        for (size_t s = 0; s < kStageCount; ++s) {
+            row[s] = registry_->GetDoubleCounter(prefix + "." +
+                                                 kStageNames[s]);
+        }
+        shard_seconds_.push_back(row);
+    }
+    return shard_seconds_[index][static_cast<size_t>(stage)];
+}
+
+void
+CpuProfiler::AddStageCpuNs(ProfileStage stage, int shard, int64_t ns)
+{
+    if (ns <= 0)
+        return;
+    const double seconds = static_cast<double>(ns) * 1e-9;
+    stage_seconds_[static_cast<size_t>(stage)]->Add(seconds);
+    if (shard >= 0)
+        ShardStageCounter(shard, stage)->Add(seconds);
+}
+
+void
+CpuProfiler::RecordInvocation(int shard, const InvocationCpu& cpu)
+{
+    const std::pair<ProfileStage, int64_t> stages[] = {
+        {ProfileStage::kQueueWait, cpu.queue_wait_ns},
+        {ProfileStage::kDevice, cpu.device_ns},
+        {ProfileStage::kPredictCheck, cpu.predict_check_ns},
+        {ProfileStage::kRecover, cpu.recover_ns},
+        {ProfileStage::kMerge, cpu.merge_ns},
+        {ProfileStage::kAudit, cpu.audit_ns},
+        {ProfileStage::kVerify, cpu.verify_ns},
+    };
+    int64_t total_ns = 0;
+    for (const auto& [stage, ns] : stages)
+        total_ns += std::max<int64_t>(0, ns);
+    for (const auto& [stage, ns] : stages) {
+        AddStageCpuNs(stage, shard, ns);
+        if (total_ns > 0 && ns > 0) {
+            stage_share_[static_cast<size_t>(stage)]->Observe(
+                static_cast<double>(ns) /
+                static_cast<double>(total_ns));
+        }
+    }
+    invocations_->Increment();
+}
+
+void
+CpuProfiler::RecordCosts(const sim::SystemCosts& costs)
+{
+    sim::EfficiencyEstimate est;
+    {
+        std::lock_guard<std::mutex> lock(window_mu_);
+        window_.Push(costs);
+        est = window_.Estimate();
+    }
+    speedup_gauge_->Set(est.speedup);
+    energy_gauge_->Set(est.energy_ratio);
+    window_gauge_->Set(static_cast<double>(est.window));
+}
+
+sim::EfficiencyEstimate
+CpuProfiler::Efficiency() const
+{
+    std::lock_guard<std::mutex> lock(window_mu_);
+    return window_.Estimate();
+}
+
+double
+CpuProfiler::StageSeconds(ProfileStage stage) const
+{
+    return stage_seconds_[static_cast<size_t>(stage)]->Value();
+}
+
+uint64_t
+CpuProfiler::Invocations() const
+{
+    return invocations_->Value();
+}
+
+CpuProfiler&
+CpuProfiler::Default()
+{
+    static CpuProfiler profiler(&Registry::Default());
+    return profiler;
+}
+
+// --------------------------------------------------------- StageScope
+
+StageScope::StageScope(ProfileStage stage, bool account,
+                       int64_t* sink_ns, int shard)
+    : stage_(stage), account_(account), sink_ns_(sink_ns),
+      shard_(shard)
+{
+    ThreadSlot* slot = LocalSlot();
+    const uint32_t depth =
+        slot->depth.load(std::memory_order_relaxed);
+    if (depth > 0 && depth <= ThreadSlot::kMaxDepth &&
+        slot->stack[depth - 1].load(std::memory_order_relaxed) ==
+            static_cast<uint8_t>(stage)) {
+        pushed_ = false;  // parent frame already carries this tag.
+    } else {
+        if (depth < ThreadSlot::kMaxDepth) {
+            slot->stack[depth].store(static_cast<uint8_t>(stage),
+                                     std::memory_order_relaxed);
+        }
+        slot->depth.store(depth + 1, std::memory_order_relaxed);
+    }
+    if (account_)
+        start_ns_ = ThreadCpuNowNs();
+}
+
+StageScope::~StageScope()
+{
+    if (account_) {
+        const int64_t delta = ThreadCpuNowNs() - start_ns_;
+        if (sink_ns_ != nullptr)
+            *sink_ns_ += delta;
+        else
+            CpuProfiler::Default().AddStageCpuNs(stage_, shard_, delta);
+    }
+    if (pushed_) {
+        ThreadSlot* slot = LocalSlot();
+        const uint32_t depth =
+            slot->depth.load(std::memory_order_relaxed);
+        if (depth > 0)
+            slot->depth.store(depth - 1, std::memory_order_relaxed);
+    }
+}
+
+void
+BindThreadShard(int shard)
+{
+    LocalSlot()->shard.store(shard, std::memory_order_relaxed);
+}
+
+// --------------------------------------------------- SamplingProfiler
+
+SamplingProfiler::~SamplingProfiler()
+{
+    Stop();
+}
+
+void
+SamplingProfiler::Start(double hz, const std::string& out_path)
+{
+    if (hz <= 0.0 || running_.load(std::memory_order_acquire))
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        hz_ = hz;
+        out_path_ = out_path;
+        folded_.clear();
+        samples_ = 0;
+    }
+    stop_.store(false, std::memory_order_release);
+    running_.store(true, std::memory_order_release);
+    thread_ = std::thread([this] { Loop(); });
+}
+
+void
+SamplingProfiler::Loop()
+{
+    const auto period = std::chrono::nanoseconds(
+        static_cast<int64_t>(1e9 / hz_));
+    while (!stop_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(period);
+        // Walk the slot registry: fold one stack per live thread,
+        // prune slots whose threads exited.
+        std::vector<std::shared_ptr<ThreadSlot>> slots;
+        {
+            std::lock_guard<std::mutex> lock(SlotMutex());
+            auto& list = SlotList();
+            list.erase(std::remove_if(
+                           list.begin(), list.end(),
+                           [](const std::shared_ptr<ThreadSlot>& s) {
+                               return !s->alive.load(
+                                   std::memory_order_relaxed);
+                           }),
+                       list.end());
+            slots = list;
+        }
+        for (const auto& slot : slots) {
+            const uint32_t depth = std::min<uint32_t>(
+                slot->depth.load(std::memory_order_relaxed),
+                ThreadSlot::kMaxDepth);
+            const int32_t shard =
+                slot->shard.load(std::memory_order_relaxed);
+            std::string stack =
+                shard >= 0 ? "shard" + std::to_string(shard)
+                           : "thread";
+            if (depth == 0) {
+                stack += ";idle";
+            } else {
+                for (uint32_t d = 0; d < depth; ++d) {
+                    const auto tag = static_cast<ProfileStage>(
+                        slot->stack[d].load(
+                            std::memory_order_relaxed));
+                    stack += ";";
+                    stack += ProfileStageName(tag);
+                }
+            }
+            std::lock_guard<std::mutex> lock(mu_);
+            ++folded_[stack];
+            ++samples_;
+        }
+    }
+}
+
+void
+SamplingProfiler::Stop()
+{
+    if (!running_.load(std::memory_order_acquire))
+        return;
+    stop_.store(true, std::memory_order_release);
+    if (thread_.joinable())
+        thread_.join();
+    running_.store(false, std::memory_order_release);
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        path = out_path_;
+    }
+    if (!path.empty()) {
+        FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+            Warn("profiler: cannot write %s", path.c_str());
+        } else {
+            const std::string text = FoldedText();
+            std::fwrite(text.data(), 1, text.size(), f);
+            std::fclose(f);
+        }
+    }
+}
+
+bool
+SamplingProfiler::Running() const
+{
+    return running_.load(std::memory_order_acquire);
+}
+
+uint64_t
+SamplingProfiler::Samples() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_;
+}
+
+std::vector<FoldedStack>
+SamplingProfiler::Folded() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<FoldedStack> out;
+    out.reserve(folded_.size());
+    for (const auto& [stack, count] : folded_)
+        out.push_back({stack, count});
+    return out;
+}
+
+std::string
+SamplingProfiler::FoldedText() const
+{
+    std::string out;
+    for (const FoldedStack& f : Folded()) {
+        out += f.stack;
+        out += " ";
+        out += std::to_string(f.count);
+        out += "\n";
+    }
+    return out;
+}
+
+namespace {
+
+SamplingProfiler&
+EnvSampler()
+{
+    static SamplingProfiler sampler;
+    return sampler;
+}
+
+std::mutex env_sampler_mu;
+int env_sampler_refs = 0;
+
+}  // namespace
+
+SamplingProfiler*
+SamplingProfiler::AcquireFromEnv()
+{
+    std::lock_guard<std::mutex> lock(env_sampler_mu);
+    if (env_sampler_refs++ == 0) {
+        // Opt-in, like RUMBA_STREAM_OUT / RUMBA_AUDIT_OUT: either
+        // knob arms the sampler; neither set means no thread at all.
+        // Thread wakeups are not free (tens of µs of scheduler CPU
+        // per tick on a small virtualized box), so an unrequested
+        // sampler would burn the whole <5% instrumentation budget
+        // folding stacks nobody dumps.
+        const char* hz_env = std::getenv("RUMBA_PROFILE_HZ");
+        const char* out = std::getenv("RUMBA_PROFILE_OUT");
+        const bool armed =
+            (hz_env != nullptr && hz_env[0] != '\0') ||
+            (out != nullptr && out[0] != '\0');
+        if (armed) {
+            double hz = 101.0;
+            if (hz_env != nullptr && hz_env[0] != '\0')
+                hz = std::strtod(hz_env, nullptr);
+            EnvSampler().Start(hz, out != nullptr ? out : "");
+        }
+    }
+    return &EnvSampler();
+}
+
+void
+SamplingProfiler::Release()
+{
+    std::lock_guard<std::mutex> lock(env_sampler_mu);
+    if (env_sampler_refs > 0 && --env_sampler_refs == 0)
+        EnvSampler().Stop();
+}
+
+void
+SamplingProfiler::StopEnv()
+{
+    std::lock_guard<std::mutex> lock(env_sampler_mu);
+    EnvSampler().Stop();
+}
+
+// ----------------------------------------------------------- profilez
+
+std::string
+ProfilezJson()
+{
+    CpuProfiler& prof = CpuProfiler::Default();
+    const sim::EfficiencyEstimate est = prof.Efficiency();
+    SamplingProfiler& sampler = EnvSampler();
+
+    double total = 0.0;
+    double seconds[kStageCount] = {};
+    for (size_t s = 1; s < kStageCount; ++s) {  // skip idle.
+        seconds[s] =
+            prof.StageSeconds(static_cast<ProfileStage>(s));
+        total += seconds[s];
+    }
+
+    size_t sampled_threads;
+    {
+        std::lock_guard<std::mutex> lock(SlotMutex());
+        sampled_threads = SlotList().size();
+    }
+
+    std::string out = "{";
+    out += "\"schema_version\":1";
+    out += ",\"cpu_seconds\":{";
+    for (size_t s = 1; s < kStageCount; ++s) {
+        out += "\"";
+        out += kStageNames[s];
+        out += "\":" + JsonNum(seconds[s]) + ",";
+    }
+    out += "\"total\":" + JsonNum(total) + "}";
+    out += ",\"stage_share\":{";
+    for (size_t s = 1; s < kStageCount; ++s) {
+        if (s > 1)
+            out += ",";
+        out += "\"";
+        out += kStageNames[s];
+        out += "\":" +
+               JsonNum(total > 0.0 ? seconds[s] / total : 0.0);
+    }
+    out += "}";
+    out += ",\"sampler\":{";
+    out += "\"running\":" +
+           std::string(sampler.Running() ? "true" : "false");
+    out += ",\"hz\":" + JsonNum(sampler.Hz());
+    out += ",\"samples\":" +
+           std::to_string(sampler.Samples());
+    out += ",\"threads\":" + std::to_string(sampled_threads);
+    out += "}";
+    out += ",\"efficiency\":{";
+    out += "\"speedup_estimate\":" + JsonNum(est.speedup);
+    out += ",\"energy_ratio\":" + JsonNum(est.energy_ratio);
+    out += ",\"window\":" + std::to_string(est.window);
+    out += ",\"invocations\":" + std::to_string(est.invocations);
+    out += "}";
+    out += ",\"invocations\":" +
+           std::to_string(prof.Invocations());
+    out += "}";
+    return out;
+}
+
+}  // namespace rumba::obs

@@ -1,0 +1,288 @@
+#ifndef RUMBA_OBS_PROFILER_H_
+#define RUMBA_OBS_PROFILER_H_
+
+/**
+ * @file
+ * Live cost & efficiency profiler: where does the CPU time go, and
+ * what do the paper's efficiency figures look like *right now*?
+ *
+ * Three cooperating pieces:
+ *
+ * 1. Per-stage thread-CPU attribution. The serving pipeline's stage
+ *    boundaries (queue_wait / device / predict_check / recover /
+ *    merge / audit / verify) are bracketed with CLOCK_THREAD_CPUTIME_ID
+ *    reads (see StageScope and RumbaRuntime's cpu_attribution mode)
+ *    and the deltas accumulate into `cpu_stage_seconds.<stage>`
+ *    DoubleCounters (exposed as `rumba_cpu_stage_seconds_*_total`)
+ *    plus per-shard variants and per-invocation stage-share
+ *    histograms — the paper's Figure 18 CPU-activity breakdown as a
+ *    live /metrics series.
+ *
+ * 2. A sampling profiler. Every worker thread keeps a lock-free
+ *    fixed-depth stack of stage tags in a per-thread slot; a
+ *    background thread wakes at RUMBA_PROFILE_HZ (101 Hz when only
+ *    RUMBA_PROFILE_OUT is set — prime, so it cannot alias against
+ *    millisecond-periodic work; 0 disables; neither knob set spawns
+ *    no thread at all) and appends one sample of every registered
+ *    thread's current stack. Samples fold into
+ *    flamegraph-compatible "shard0;device;predict_check 42" lines
+ *    (RUMBA_PROFILE_OUT), independently validating the exact
+ *    attribution.
+ *
+ * 3. An online efficiency estimator. Each invocation's modeled
+ *    sim::SystemCosts feed a rolling sim::EfficiencyWindow; the
+ *    aggregate exports `efficiency.speedup_estimate` and
+ *    `efficiency.energy_ratio` gauges — Figures 14/15 as live
+ *    series.
+ *
+ * Concurrency: stage tag pushes/pops are relaxed atomic stores into
+ * the calling thread's own slot (safe to tear against the sampler —
+ * a torn read misattributes one sample, it cannot corrupt). CPU
+ * accounting adds two clock_gettime syscalls per scope, so scopes
+ * are stage-granular, never per-element. The estimator serializes
+ * behind a mutex (one push per invocation).
+ */
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/system_model.h"
+
+namespace rumba::obs {
+
+/** Pipeline stages the profiler attributes time to. */
+enum class ProfileStage : uint8_t {
+    kIdle = 0,       ///< registered but outside any stage.
+    kQueueWait,      ///< worker blocked popping the shard queue.
+    kDevice,         ///< accelerator (NPU) streaming.
+    kPredictCheck,   ///< per-element quality-checker prediction.
+    kRecover,        ///< exact re-execution (drain + breaker tail).
+    kMerge,          ///< scatter of shard outputs into responses.
+    kAudit,          ///< ground-truth shadow re-execution.
+    kVerify,         ///< trainer-mode verification pass.
+    kOther,          ///< instrumented but unnamed work.
+    kStageCount,     ///< number of stages (array sizing).
+};
+
+/** Stable lowercase name for @p stage ("queue_wait", "device", ...). */
+const char* ProfileStageName(ProfileStage stage);
+
+/** Current thread's CPU time (CLOCK_THREAD_CPUTIME_ID), in ns. */
+int64_t ThreadCpuNowNs();
+
+/**
+ * One thread's lock-free sampling slot: a fixed-depth stack of stage
+ * tags plus the owning shard. The owner thread pushes/pops with
+ * relaxed stores; the sampler thread reads with relaxed loads.
+ */
+struct ThreadSlot {
+    static constexpr size_t kMaxDepth = 8;
+
+    std::atomic<uint32_t> depth{0};
+    std::atomic<uint8_t> stack[kMaxDepth] = {};
+    std::atomic<int32_t> shard{-1};  ///< -1 = not a shard worker.
+    std::atomic<bool> alive{true};   ///< false once the thread exits.
+};
+
+/**
+ * Per-process stage-attribution sink. Registers its instruments in a
+ * Registry and accumulates CPU seconds per stage (total and per
+ * shard), per-invocation stage shares, and the rolling efficiency
+ * window.
+ */
+class CpuProfiler {
+  public:
+    /** Per-invocation stage CPU breakdown, in nanoseconds. */
+    struct InvocationCpu {
+        int64_t queue_wait_ns = 0;
+        int64_t device_ns = 0;
+        int64_t predict_check_ns = 0;
+        int64_t recover_ns = 0;
+        int64_t merge_ns = 0;
+        int64_t audit_ns = 0;
+        int64_t verify_ns = 0;
+    };
+
+    /** @param registry instrument sink (tests pass their own). */
+    explicit CpuProfiler(Registry* registry);
+
+    /** Add @p ns of CPU time to @p stage for @p shard (shard < 0
+     *  skips the per-shard series). Used for stages recorded outside
+     *  an invocation (audit pool, queue waits folded later). */
+    void AddStageCpuNs(ProfileStage stage, int shard, int64_t ns);
+
+    /** Record one invocation's full stage breakdown: accumulates the
+     *  stage counters and observes the per-invocation stage-share
+     *  histograms (share of the invocation's total attributed CPU). */
+    void RecordInvocation(int shard, const InvocationCpu& cpu);
+
+    /** Feed one invocation's modeled costs into the rolling
+     *  efficiency window and refresh the estimate gauges. */
+    void RecordCosts(const sim::SystemCosts& costs);
+
+    /** Current rolling efficiency estimate. */
+    sim::EfficiencyEstimate Efficiency() const;
+
+    /** Total attributed CPU seconds for @p stage. */
+    double StageSeconds(ProfileStage stage) const;
+
+    /** Invocations recorded via RecordInvocation. */
+    uint64_t Invocations() const;
+
+    /**
+     * The process-wide profiler every serving engine feeds
+     * (instruments live in Registry::Default()).
+     */
+    static CpuProfiler& Default();
+
+  private:
+    Registry* registry_;
+    /** cpu_stage_seconds.<stage> totals, indexed by stage. */
+    DoubleCounter* stage_seconds_[static_cast<size_t>(
+        ProfileStage::kStageCount)] = {};
+    /** stage-share-of-invocation histograms, indexed by stage. */
+    Histogram* stage_share_[static_cast<size_t>(
+        ProfileStage::kStageCount)] = {};
+    Counter* invocations_;
+
+    /** Per-shard counters register lazily (shard count is dynamic). */
+    std::mutex shard_mu_;
+    std::vector<std::array<DoubleCounter*,
+                           static_cast<size_t>(
+                               ProfileStage::kStageCount)>>
+        shard_seconds_;
+
+    DoubleCounter* ShardStageCounter(int shard, ProfileStage stage);
+
+    mutable std::mutex window_mu_;
+    sim::EfficiencyWindow window_;
+    Gauge* speedup_gauge_;
+    Gauge* energy_gauge_;
+    Gauge* window_gauge_;
+};
+
+/**
+ * RAII stage bracket. Construction pushes @p stage onto the calling
+ * thread's sampling slot (always — relaxed stores are nearly free);
+ * destruction pops it. When @p account is true it also reads
+ * CLOCK_THREAD_CPUTIME_ID at both ends and reports the delta, either
+ * into @p sink_ns (caller aggregates into an InvocationCpu) or
+ * straight to CpuProfiler::Default() when @p sink_ns is null.
+ */
+class StageScope {
+  public:
+    explicit StageScope(ProfileStage stage, bool account = false,
+                        int64_t* sink_ns = nullptr, int shard = -1);
+    ~StageScope();
+
+    StageScope(const StageScope&) = delete;
+    StageScope& operator=(const StageScope&) = delete;
+
+  private:
+    ProfileStage stage_;
+    bool account_;
+    int64_t* sink_ns_;
+    int shard_;
+    int64_t start_ns_ = 0;
+    /** False when the parent frame already carries the same tag (the
+     *  frame is elided so "device;device" never appears). */
+    bool pushed_ = true;
+};
+
+/** Bind the calling thread to @p shard in its sampling slot (shows
+ *  up as the "shardN" frame in folded stacks and routes queue-wait
+ *  attribution). Call once from each worker thread. */
+void BindThreadShard(int shard);
+
+/** One captured folded stack with its occurrence count. */
+struct FoldedStack {
+    std::string stack;  ///< "shard0;device;predict_check".
+    uint64_t count = 0;
+};
+
+/**
+ * The background sampling profiler. Start() spawns the sampler
+ * thread (hz <= 0 is a no-op: no thread, no samples); Stop() joins
+ * it and, when an output path was given, writes the folded-stacks
+ * dump. AcquireFromEnv()/Release() refcount a process-wide instance
+ * configured by RUMBA_PROFILE_HZ / RUMBA_PROFILE_OUT so several
+ * engines share one sampler.
+ */
+class SamplingProfiler {
+  public:
+    SamplingProfiler() = default;
+    ~SamplingProfiler();
+
+    SamplingProfiler(const SamplingProfiler&) = delete;
+    SamplingProfiler& operator=(const SamplingProfiler&) = delete;
+
+    /** Spawn the sampler at @p hz; @p out_path ("" = none) receives
+     *  the folded dump on Stop(). No-op if hz <= 0 or running. */
+    void Start(double hz, const std::string& out_path);
+
+    /** Join the sampler and write the folded dump. Safe to call
+     *  when not running. */
+    void Stop();
+
+    /** True while the sampler thread is live. */
+    bool Running() const;
+
+    /** Samples captured so far (one per registered thread per tick). */
+    uint64_t Samples() const;
+
+    /** Sampling rate passed to Start (0 when never started). */
+    double Hz() const { return hz_; }
+
+    /** Current folded stacks, sorted by stack text. */
+    std::vector<FoldedStack> Folded() const;
+
+    /** Folded stacks as "stack count\n" lines (flamegraph input). */
+    std::string FoldedText() const;
+
+    /**
+     * Refcounted process-wide sampler, opt-in via RUMBA_PROFILE_HZ
+     * and/or RUMBA_PROFILE_OUT (neither set: no thread; HZ unset
+     * with OUT set: 101 Hz; HZ=0: disabled). The first acquire
+     * starts it; the last release stops it and writes the dump.
+     * Always returns the instance (running or not).
+     */
+    static SamplingProfiler* AcquireFromEnv();
+    static void Release();
+
+    /** Exit-path backstop: stop the env sampler (writing its dump)
+     *  regardless of outstanding refs. Idempotent; used by the
+     *  at-exit exporter so RUMBA_PROFILE_OUT survives code paths
+     *  that never release (e.g. leaked engines). */
+    static void StopEnv();
+
+  private:
+    void Loop();
+
+    mutable std::mutex mu_;
+    std::map<std::string, uint64_t> folded_;
+    uint64_t samples_ = 0;
+    double hz_ = 0.0;
+    std::string out_path_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+};
+
+/**
+ * /profilez JSON body: stage CPU totals and shares, sampler state,
+ * and the rolling efficiency estimate. Flat/nested objects only (no
+ * arrays — rumba-stat's mini parser flattens dotted keys).
+ */
+std::string ProfilezJson();
+
+}  // namespace rumba::obs
+
+#endif  // RUMBA_OBS_PROFILER_H_

@@ -46,6 +46,8 @@ SnapshotStreamer::Start(const std::string& path, int period_ms)
     start_time_ = std::chrono::steady_clock::now();
     samples_ = 0;
     prev_counters_.clear();
+    prev_dcounters_.clear();
+    prev_gauges_.clear();
     // Header first, before the thread exists: no concurrent writers.
     const std::string meta = MetadataJsonLine() + "\n";
     std::fwrite(meta.data(), 1, meta.size(), file_);
@@ -85,6 +87,18 @@ SnapshotStreamer::Samples() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return samples_;
+}
+
+void
+SnapshotStreamer::SetChangedOnly(bool on)
+{
+    changed_only_.store(on, std::memory_order_relaxed);
+}
+
+bool
+SnapshotStreamer::ChangedOnly() const
+{
+    return changed_only_.load(std::memory_order_relaxed);
 }
 
 void
@@ -128,9 +142,30 @@ SnapshotStreamer::WriteSample()
         line += JsonQuote(c.name) + ":" +
                 std::to_string(c.value - std::min(prev, c.value));
     }
+    for (const DoubleCounterSnapshot& c : snapshot.dcounters) {
+        const double prev = prev_dcounters_[c.name];
+        prev_dcounters_[c.name] = c.value;
+        if (!first)
+            line += ",";
+        first = false;
+        line += JsonQuote(c.name) + ":" +
+                JsonNum(std::max(0.0, c.value - prev));
+    }
+    const bool changed_only =
+        changed_only_.load(std::memory_order_relaxed);
     line += "},\"gauges\":{";
     first = true;
     for (const GaugeSnapshot& g : snapshot.gauges) {
+        if (changed_only) {
+            const auto it = prev_gauges_.find(g.name);
+            const bool unchanged =
+                it != prev_gauges_.end() && it->second == g.value;
+            prev_gauges_[g.name] = g.value;
+            if (unchanged)
+                continue;
+        } else {
+            prev_gauges_[g.name] = g.value;
+        }
         if (!first)
             line += ",";
         first = false;
@@ -198,6 +233,11 @@ SnapshotStreamer::AcquireFromEnv()
         return;
     const int period =
         ParseStreamPeriodMs(std::getenv("RUMBA_STREAM_PERIOD_MS"));
+    if (const char* changed = std::getenv("RUMBA_STREAM_CHANGED_ONLY");
+        changed != nullptr && changed[0] != '\0' &&
+        changed[0] != '0') {
+        Default().SetChangedOnly(true);
+    }
     env_started = Default().Start(path, period);
     if (env_started)
         Debug("RUMBA_STREAM_OUT: streaming samples to %s every %d ms",

@@ -20,6 +20,7 @@
  * where a runtime is alive; the at-exit hook flushes it as a backstop.
  */
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -70,6 +71,18 @@ class SnapshotStreamer {
     /** True between a successful Start() and the matching Stop(). */
     bool Running() const;
 
+    /**
+     * When on, samples omit gauges whose value is unchanged since the
+     * last sample (counters always stream as deltas). Long quiet
+     * stretches then cost a few bytes per line instead of the full
+     * gauge set. Settable any time; RUMBA_STREAM_CHANGED_ONLY=1 sets
+     * it for the env-configured streamer.
+     */
+    void SetChangedOnly(bool on);
+
+    /** Current changed-only setting. */
+    bool ChangedOnly() const;
+
     /** Samples written since Start() (final sample included). */
     uint64_t Samples() const;
 
@@ -102,6 +115,13 @@ class SnapshotStreamer {
     std::chrono::steady_clock::time_point start_time_;
     /** Previous sample's counter values (sampler thread only). */
     std::map<std::string, uint64_t> prev_counters_;
+    /** Previous sample's fractional-counter values (sampler thread
+     *  only; cpu_stage_seconds.* and friends stream as deltas too). */
+    std::map<std::string, double> prev_dcounters_;
+    /** Previous sample's gauge values, for changed-only suppression
+     *  (sampler thread only). */
+    std::map<std::string, double> prev_gauges_;
+    std::atomic<bool> changed_only_{false};
 };
 
 }  // namespace rumba::obs

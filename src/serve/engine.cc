@@ -10,6 +10,7 @@
 #include "obs/export.h"
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/slo.h"
 #include "obs/span.h"
 #include "obs/timer.h"
@@ -79,6 +80,9 @@ ShardedEngine::Create(const core::Artifact& artifact,
     core::RuntimeConfig shard_runtime_config = runtime_config;
     if (serve_config.trace.enabled)
         shard_runtime_config.stage_timings = true;
+    // Cost profiling needs per-stage thread CPU from every replica.
+    if (serve_config.profile.enabled)
+        shard_runtime_config.cpu_attribution = true;
 
     // Validate the artifact once, then replicate: every shard is
     // instantiated from the same deployment blob (train-once,
@@ -226,6 +230,14 @@ ShardedEngine::Create(const core::Artifact& artifact,
         [raw = engine.get()] { return raw->StatuszJson(); },
         engine.get());
     engine->statusz_installed_ = true;
+
+    // Cost profiling: this engine's shards feed the process-wide
+    // CpuProfiler, and the engine holds one ref on the env-configured
+    // sampling profiler (released in Shutdown, which writes the
+    // folded dump on the last release).
+    engine->profiling_ = serve_config.profile.enabled;
+    if (engine->profiling_)
+        obs::SamplingProfiler::AcquireFromEnv();
 
     for (size_t i = 0; i < serve_config.shards; ++i) {
         engine->shards_[i]->worker =
@@ -387,6 +399,11 @@ ShardedEngine::Shutdown()
     // the results are still alive.
     if (auditor_ != nullptr)
         auditor_->Shutdown();
+    // Drop our ref on the shared sampler after the workers are gone
+    // so their slots stop getting sampled mid-teardown; the last
+    // engine out writes RUMBA_PROFILE_OUT.
+    if (profiling_)
+        obs::SamplingProfiler::Release();
 }
 
 void
@@ -537,8 +554,21 @@ void
 ShardedEngine::WorkerLoop(size_t shard_index)
 {
     Shard& shard = *shards_[shard_index];
+    obs::BindThreadShard(static_cast<int>(shard_index));
     Pending first;
-    while (shard.queue.Pop(&first)) {
+    for (;;) {
+        bool popped;
+        {
+            // Blocked-on-queue time is a stage of its own: it shows
+            // as "queue_wait" in sampled stacks, and its (tiny) CPU
+            // cost folds into the next invocation's attribution.
+            const obs::StageScope wait_scope(
+                obs::ProfileStage::kQueueWait, profiling_,
+                &shard.queue_wait_cpu_ns);
+            popped = shard.queue.Pop(&first);
+        }
+        if (!popped)
+            break;
         std::vector<Pending> batch;
         size_t total = first.request.count;
         batch.push_back(std::move(first));
@@ -626,6 +656,8 @@ ShardedEngine::ProcessBatch(Shard& shard, size_t shard_index,
     const bool tracing = config_.trace.enabled && collector.Enabled();
 
     const uint64_t done_ns = obs::NowNs();
+    int64_t merge_cpu_ns = 0;
+    int64_t audit_cpu_ns = 0;
     size_t offset = 0;
     for (Pending& pending : *batch) {
         const size_t count = pending.request.count;
@@ -636,12 +668,16 @@ ShardedEngine::ProcessBatch(Shard& shard, size_t shard_index,
         result.report = report;
         result.report.elements = count;
         const uint64_t merge_start_ns = obs::NowNs();
-        result.outputs.assign(
-            shard.scratch_out.begin() +
-                static_cast<ptrdiff_t>(offset * output_width_),
-            shard.scratch_out.begin() + static_cast<ptrdiff_t>(
-                                            (offset + count) *
-                                            output_width_));
+        {
+            const obs::StageScope merge_scope(
+                obs::ProfileStage::kMerge, profiling_, &merge_cpu_ns);
+            result.outputs.assign(
+                shard.scratch_out.begin() +
+                    static_cast<ptrdiff_t>(offset * output_width_),
+                shard.scratch_out.begin() + static_cast<ptrdiff_t>(
+                                                (offset + count) *
+                                                output_width_));
+        }
         const uint64_t merge_end_ns = obs::NowNs();
 
         // Ground-truth audit sampling: a tail decision per request,
@@ -659,6 +695,10 @@ ShardedEngine::ProcessBatch(Shard& shard, size_t shard_index,
         }
         bool audited = false;
         if (capture != nullptr) {
+            // Sample-assembly cost lands on "audit" (the shadow
+            // re-execution itself is tagged in the audit pool).
+            const obs::StageScope audit_scope(
+                obs::ProfileStage::kAudit, profiling_, &audit_cpu_ns);
             size_t req_fixes = 0;
             size_t req_exact = 0;
             for (size_t i = offset; i < offset + count; ++i) {
@@ -779,6 +819,28 @@ ShardedEngine::ProcessBatch(Shard& shard, size_t shard_index,
             collector.Record(std::move(trace));
         }
         FinishOne(&pending, std::move(result));
+    }
+
+    // Fold this invocation's stage CPU into the live profiler: the
+    // runtime's attribution (device/check/recover/verify) plus the
+    // engine-side stages (queue wait since the last batch, merge,
+    // audit assembly), and feed the modeled costs to the rolling
+    // efficiency estimator.
+    if (profiling_) {
+        obs::CpuProfiler::InvocationCpu cpu;
+        cpu.queue_wait_ns = shard.queue_wait_cpu_ns;
+        shard.queue_wait_cpu_ns = 0;
+        cpu.device_ns = std::max<int64_t>(
+            0, report.cpu.stream_cpu_ns - report.cpu.check_cpu_ns);
+        cpu.predict_check_ns = report.cpu.check_cpu_ns;
+        cpu.recover_ns =
+            report.cpu.recover_cpu_ns + report.cpu.exact_cpu_ns;
+        cpu.merge_ns = merge_cpu_ns;
+        cpu.audit_ns = audit_cpu_ns;
+        cpu.verify_ns = report.cpu.verify_cpu_ns;
+        obs::CpuProfiler::Default().RecordInvocation(
+            static_cast<int>(shard_index), cpu);
+        obs::CpuProfiler::Default().RecordCosts(report.costs);
     }
 
     // Incident hooks: dump the shard's flight recorder the moment its

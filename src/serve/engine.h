@@ -116,6 +116,19 @@ struct ServeConfig {
     };
     SloOptions slo;
 
+    /** Live cost & efficiency profiling (obs/profiler.h). */
+    struct ProfileOptions {
+        /** Per-stage thread-CPU attribution on every shard (feeds the
+         *  rumba_cpu_stage_seconds_* counters and stage-share
+         *  histograms), the rolling speedup/energy estimator, and the
+         *  env-configured sampling profiler (RUMBA_PROFILE_HZ /
+         *  RUMBA_PROFILE_OUT — acquired on Create, released on
+         *  Shutdown). Rides the <5% instrumentation-overhead gate in
+         *  bench/serve_throughput. */
+        bool enabled = true;
+    };
+    ProfileOptions profile;
+
     /** Ground-truth quality auditing (obs/audit.h): shadow exact
      *  re-execution of sampled invocations on a background pool. */
     struct AuditOptions {
@@ -320,6 +333,10 @@ class ShardedEngine {
         /** Auto-dump bookkeeping (worker thread only). */
         uint32_t last_breaker_state = 0;
         bool fault_dump_latched = false;
+        /** Thread CPU spent blocked on the queue since the last
+         *  invocation (worker thread only; folded into the next
+         *  invocation's profiler record). */
+        int64_t queue_wait_cpu_ns = 0;
         /** Per-element audit capture of the worker's last invocation
          *  (worker thread only; filled when auditing is enabled). */
         core::AuditCapture audit_capture;
@@ -369,6 +386,10 @@ class ShardedEngine {
     const char* tuner_mode_ = "toq";
     /** True while this engine owns the /statusz provider. */
     bool statusz_installed_ = false;
+    /** Cost profiling on (ServeConfig::profile): shards attribute
+     *  stage CPU, invocations feed the efficiency estimator, and the
+     *  engine holds a ref on the env-configured sampling profiler. */
+    bool profiling_ = false;
 };
 
 }  // namespace rumba::serve

@@ -11,6 +11,56 @@ SystemModel::SystemModel(const CoreParams& core, const EnergyParams& energy)
 {
 }
 
+EfficiencyWindow::EfficiencyWindow(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity))
+{
+    ring_.reserve(capacity_);
+}
+
+void
+EfficiencyWindow::Push(const SystemCosts& costs)
+{
+    Entry entry;
+    entry.baseline_app_ns = costs.baseline_app_ns;
+    entry.baseline_app_nj = costs.baseline_app_nj;
+    entry.scheme_app_ns = costs.scheme_app_ns;
+    entry.scheme_app_nj = costs.scheme_app_nj;
+    if (ring_.size() < capacity_)
+        ring_.push_back(entry);
+    else
+        ring_[next_] = entry;
+    next_ = (next_ + 1) % capacity_;
+    ++pushed_;
+}
+
+EfficiencyEstimate
+EfficiencyWindow::Estimate() const
+{
+    EfficiencyEstimate est;
+    est.window = ring_.size();
+    est.invocations = pushed_;
+    if (ring_.empty())
+        return est;
+    double base_ns = 0.0, base_nj = 0.0, scheme_ns = 0.0, scheme_nj = 0.0;
+    for (const Entry& e : ring_) {
+        base_ns += e.baseline_app_ns;
+        base_nj += e.baseline_app_nj;
+        scheme_ns += e.scheme_app_ns;
+        scheme_nj += e.scheme_app_nj;
+    }
+    est.speedup = scheme_ns > 0.0 ? base_ns / scheme_ns : 0.0;
+    est.energy_ratio = base_nj > 0.0 ? scheme_nj / base_nj : 0.0;
+    return est;
+}
+
+void
+EfficiencyWindow::Reset()
+{
+    ring_.clear();
+    next_ = 0;
+    pushed_ = 0;
+}
+
 SystemCosts
 SystemModel::Baseline(const RegionProfile& region) const
 {

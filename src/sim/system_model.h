@@ -18,6 +18,7 @@
  */
 
 #include <cstddef>
+#include <vector>
 
 #include "sim/cpu_model.h"
 #include "sim/energy_model.h"
@@ -67,6 +68,60 @@ struct SystemCosts {
     {
         return scheme_app_nj / baseline_app_nj;
     }
+};
+
+/** Rolling-window estimate derived from recent SystemCosts. */
+struct EfficiencyEstimate {
+    /** Whole-app speedup over the CPU baseline (Figure 14/15),
+     *  aggregated over the window: sum(baseline) / sum(scheme). */
+    double speedup = 0.0;
+    /** Normalized whole-app energy, scheme / baseline (Figure 15). */
+    double energy_ratio = 0.0;
+    size_t window = 0;       ///< invocations currently in the window.
+    size_t invocations = 0;  ///< invocations pushed since creation.
+
+    /** True once at least one invocation has been pushed. */
+    bool Valid() const { return window > 0; }
+};
+
+/**
+ * Fixed-capacity ring of per-invocation SystemCosts that turns the
+ * offline Figure 14/15 composition into a live rolling estimate:
+ * each serving invocation pushes its modeled costs, Estimate()
+ * aggregates the window by summing baseline and scheme app totals
+ * (so long invocations weigh proportionally, matching how the
+ * offline bench composes whole runs).
+ *
+ * Not thread-safe; callers serialize pushes (the profiler holds a
+ * mutex around its window).
+ */
+class EfficiencyWindow {
+  public:
+    /** @param capacity rolling-window size in invocations (>= 1). */
+    explicit EfficiencyWindow(size_t capacity = 256);
+
+    /** Record one invocation's modeled costs. */
+    void Push(const SystemCosts& costs);
+
+    /** Aggregate the current window. */
+    EfficiencyEstimate Estimate() const;
+
+    /** Drop all recorded invocations. */
+    void Reset();
+
+  private:
+    /** The per-invocation sums Estimate() needs. */
+    struct Entry {
+        double baseline_app_ns = 0.0;
+        double baseline_app_nj = 0.0;
+        double scheme_app_ns = 0.0;
+        double scheme_app_nj = 0.0;
+    };
+
+    std::vector<Entry> ring_;
+    size_t capacity_;
+    size_t next_ = 0;    ///< ring slot the next push lands in.
+    size_t pushed_ = 0;  ///< total pushes since creation/reset.
 };
 
 /** Combines timing and energy into per-scheme whole-app costs. */

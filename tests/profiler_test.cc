@@ -1,0 +1,529 @@
+// Tests for the live cost & efficiency profiler (obs/profiler.h):
+// StageScope thread-CPU attribution summing to the wall thread-CPU
+// bracket, CpuProfiler counter/histogram/efficiency semantics against
+// a private registry, the sampling profiler's folded-stack output
+// (shard frames, same-tag dedup, RUMBA_PROFILE_HZ=0 as a true no-op),
+// the /profilez JSON body, the snapshot streamer's changed-only gauge
+// suppression, and an engine-level race of the env sampler against
+// ShardedEngine::Shutdown (exercised under TSan in ci.sh).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/benchmark.h"
+#include "core/artifact.h"
+#include "core/batch_view.h"
+#include "core/runtime.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/stream.h"
+#include "serve/engine.h"
+#include "sim/system_model.h"
+
+namespace rumba {
+namespace {
+
+// ------------------------------------------------------------ helpers
+
+/** Burn CPU long enough for CLOCK_THREAD_CPUTIME_ID to see it. */
+double
+Burn(int iters = 400000)
+{
+    volatile double acc = 0.0;
+    for (int i = 0; i < iters; ++i)
+        acc = acc + static_cast<double>(i) * 1e-9;
+    return acc;
+}
+
+/** Number of "t_ms" sample lines, and lines containing @p needle. */
+struct LineStats {
+    int samples = 0;
+    int matches = 0;
+};
+
+LineStats
+CountSampleLines(const std::string& path, const std::string& needle)
+{
+    LineStats stats;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find("\"type\":\"sample\"") == std::string::npos)
+            continue;
+        ++stats.samples;
+        if (line.find(needle) != std::string::npos)
+            ++stats.matches;
+    }
+    return stats;
+}
+
+// --------------------------------------------------------- stage names
+
+TEST(ProfileStageTest, NamesAreStable)
+{
+    EXPECT_STREQ(obs::ProfileStageName(obs::ProfileStage::kQueueWait),
+                 "queue_wait");
+    EXPECT_STREQ(obs::ProfileStageName(obs::ProfileStage::kDevice),
+                 "device");
+    EXPECT_STREQ(
+        obs::ProfileStageName(obs::ProfileStage::kPredictCheck),
+        "predict_check");
+    EXPECT_STREQ(obs::ProfileStageName(obs::ProfileStage::kRecover),
+                 "recover");
+    EXPECT_STREQ(obs::ProfileStageName(obs::ProfileStage::kAudit),
+                 "audit");
+}
+
+TEST(ProfileStageTest, ThreadCpuClockAdvancesUnderWork)
+{
+    const int64_t before = obs::ThreadCpuNowNs();
+    Burn();
+    const int64_t after = obs::ThreadCpuNowNs();
+    EXPECT_GT(after, before);
+}
+
+// --------------------------------------------------------- StageScope
+
+TEST(StageScopeTest, AttributionSumsToThreadCpuBracket)
+{
+    int64_t device_ns = 0;
+    int64_t check_ns = 0;
+    int64_t recover_ns = 0;
+
+    const int64_t bracket_start = obs::ThreadCpuNowNs();
+    {
+        const obs::StageScope scope(obs::ProfileStage::kDevice,
+                                    /*account=*/true, &device_ns);
+        Burn();
+    }
+    {
+        const obs::StageScope scope(obs::ProfileStage::kPredictCheck,
+                                    /*account=*/true, &check_ns);
+        Burn();
+    }
+    {
+        const obs::StageScope scope(obs::ProfileStage::kRecover,
+                                    /*account=*/true, &recover_ns);
+        Burn();
+    }
+    const int64_t bracket_ns = obs::ThreadCpuNowNs() - bracket_start;
+
+    EXPECT_GT(device_ns, 0);
+    EXPECT_GT(check_ns, 0);
+    EXPECT_GT(recover_ns, 0);
+
+    // The three scopes cover everything inside the bracket except a
+    // few clock reads, so their sum tracks the bracket's thread-CPU
+    // delta: never above it (plus scheduler-noise slack), and at
+    // least half of it even on a badly preempted CI machine.
+    const int64_t sum = device_ns + check_ns + recover_ns;
+    EXPECT_LE(sum, bracket_ns + 1000000);
+    EXPECT_GE(sum, bracket_ns / 2);
+}
+
+TEST(StageScopeTest, UnaccountedScopeLeavesSinkUntouched)
+{
+    int64_t sink_ns = 0;
+    {
+        const obs::StageScope scope(obs::ProfileStage::kDevice,
+                                    /*account=*/false, &sink_ns);
+        Burn(50000);
+    }
+    EXPECT_EQ(sink_ns, 0);
+}
+
+// -------------------------------------------------------- CpuProfiler
+
+TEST(CpuProfilerTest, RecordInvocationAccumulatesStageCounters)
+{
+    obs::Registry registry;
+    obs::CpuProfiler profiler(&registry);
+
+    obs::CpuProfiler::InvocationCpu cpu;
+    cpu.device_ns = 2000000;         // 2 ms
+    cpu.predict_check_ns = 1000000;  // 1 ms
+    cpu.recover_ns = 1000000;        // 1 ms
+    profiler.RecordInvocation(/*shard=*/1, cpu);
+
+    EXPECT_NEAR(profiler.StageSeconds(obs::ProfileStage::kDevice),
+                0.002, 1e-12);
+    EXPECT_NEAR(
+        profiler.StageSeconds(obs::ProfileStage::kPredictCheck), 0.001,
+        1e-12);
+    EXPECT_NEAR(profiler.StageSeconds(obs::ProfileStage::kRecover),
+                0.001, 1e-12);
+    EXPECT_DOUBLE_EQ(profiler.StageSeconds(obs::ProfileStage::kMerge),
+                     0.0);
+    EXPECT_EQ(profiler.Invocations(), 1u);
+
+    // The per-shard series registers lazily under shard1.
+    const obs::RegistrySnapshot snapshot = registry.Snapshot();
+    bool total_found = false;
+    bool shard_found = false;
+    for (const obs::DoubleCounterSnapshot& c : snapshot.dcounters) {
+        if (c.name == "cpu_stage_seconds.device") {
+            total_found = true;
+            EXPECT_NEAR(c.value, 0.002, 1e-12);
+        }
+        if (c.name == "cpu_stage_seconds.shard1.device") {
+            shard_found = true;
+            EXPECT_NEAR(c.value, 0.002, 1e-12);
+        }
+    }
+    EXPECT_TRUE(total_found);
+    EXPECT_TRUE(shard_found);
+
+    // Stage shares: device was 2 of 4 attributed ms -> share 0.5.
+    bool share_found = false;
+    for (const obs::HistogramSnapshot& h : snapshot.histograms) {
+        if (h.name != "profile.stage_share.device")
+            continue;
+        share_found = true;
+        EXPECT_EQ(h.count, 1u);
+        EXPECT_NEAR(h.sum, 0.5, 1e-9);
+    }
+    EXPECT_TRUE(share_found);
+}
+
+TEST(CpuProfilerTest, AddStageCpuNsFeedsTotals)
+{
+    obs::Registry registry;
+    obs::CpuProfiler profiler(&registry);
+    profiler.AddStageCpuNs(obs::ProfileStage::kAudit, /*shard=*/-1,
+                           5000000);
+    profiler.AddStageCpuNs(obs::ProfileStage::kAudit, /*shard=*/-1,
+                           5000000);
+    EXPECT_NEAR(profiler.StageSeconds(obs::ProfileStage::kAudit), 0.01,
+                1e-12);
+    // shard < 0: no per-shard series appears.
+    for (const obs::DoubleCounterSnapshot& c :
+         registry.Snapshot().dcounters)
+        EXPECT_EQ(c.name.find("shard"), std::string::npos) << c.name;
+}
+
+TEST(CpuProfilerTest, RecordCostsDrivesEfficiencyGauges)
+{
+    obs::Registry registry;
+    obs::CpuProfiler profiler(&registry);
+
+    EXPECT_FALSE(profiler.Efficiency().Valid());
+
+    sim::SystemCosts costs;
+    costs.baseline_app_ns = 100.0;
+    costs.scheme_app_ns = 25.0;   // 4x speedup.
+    costs.baseline_app_nj = 100.0;
+    costs.scheme_app_nj = 50.0;   // energy ratio 0.5.
+    profiler.RecordCosts(costs);
+    profiler.RecordCosts(costs);
+
+    const sim::EfficiencyEstimate estimate = profiler.Efficiency();
+    ASSERT_TRUE(estimate.Valid());
+    EXPECT_EQ(estimate.window, 2u);
+    EXPECT_EQ(estimate.invocations, 2u);
+    EXPECT_NEAR(estimate.speedup, 4.0, 1e-9);
+    EXPECT_NEAR(estimate.energy_ratio, 0.5, 1e-9);
+
+    bool speedup_found = false;
+    bool energy_found = false;
+    for (const obs::GaugeSnapshot& g : registry.Snapshot().gauges) {
+        if (g.name == "efficiency.speedup_estimate") {
+            speedup_found = true;
+            EXPECT_NEAR(g.value, 4.0, 1e-9);
+        }
+        if (g.name == "efficiency.energy_ratio") {
+            energy_found = true;
+            EXPECT_NEAR(g.value, 0.5, 1e-9);
+        }
+    }
+    EXPECT_TRUE(speedup_found);
+    EXPECT_TRUE(energy_found);
+}
+
+// -------------------------------------------------- sampling profiler
+
+TEST(SamplingProfilerTest, FoldedOutputParsesAndCarriesShardFrames)
+{
+    const std::string path =
+        ::testing::TempDir() + "profiler_test.folded";
+    std::remove(path.c_str());
+
+    std::atomic<bool> stop{false};
+    std::atomic<bool> staged{false};
+    // Worker holds a stable shard3 -> device -> predict_check stack,
+    // with a redundant nested device scope the dedup must elide.
+    std::thread worker([&] {
+        obs::BindThreadShard(3);
+        const obs::StageScope device(obs::ProfileStage::kDevice);
+        const obs::StageScope dup(obs::ProfileStage::kDevice);
+        const obs::StageScope check(obs::ProfileStage::kPredictCheck);
+        staged.store(true);
+        while (!stop.load())
+            Burn(20000);
+    });
+    while (!staged.load())
+        std::this_thread::yield();
+
+    obs::SamplingProfiler sampler;
+    sampler.Start(/*hz=*/2000.0, path);
+    EXPECT_TRUE(sampler.Running());
+    EXPECT_NEAR(sampler.Hz(), 2000.0, 1e-9);
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    sampler.Stop();
+    EXPECT_FALSE(sampler.Running());
+    EXPECT_GT(sampler.Samples(), 0u);
+
+    stop.store(true);
+    worker.join();
+
+    // The in-memory fold saw the worker's full stack, deduped.
+    bool tagged = false;
+    for (const obs::FoldedStack& f : sampler.Folded()) {
+        EXPECT_GT(f.count, 0u);
+        EXPECT_EQ(f.stack.find("device;device"), std::string::npos)
+            << f.stack;
+        if (f.stack.find("shard3;device;predict_check") !=
+            std::string::npos)
+            tagged = true;
+    }
+    EXPECT_TRUE(tagged);
+
+    // The dump parses as flamegraph "stack count" lines and matches.
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    int lines = 0;
+    bool file_tagged = false;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        ++lines;
+        const size_t space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        ASSERT_GT(space, 0u) << line;
+        const std::string count = line.substr(space + 1);
+        ASSERT_FALSE(count.empty()) << line;
+        EXPECT_GT(std::strtoull(count.c_str(), nullptr, 10), 0u)
+            << line;
+        if (line.find("shard3;device;predict_check") !=
+            std::string::npos)
+            file_tagged = true;
+    }
+    EXPECT_GT(lines, 0);
+    EXPECT_TRUE(file_tagged);
+    std::remove(path.c_str());
+}
+
+TEST(SamplingProfilerTest, ZeroHzIsATrueNoop)
+{
+    const std::string path =
+        ::testing::TempDir() + "profiler_test_zero.folded";
+    std::remove(path.c_str());
+    obs::SamplingProfiler sampler;
+    sampler.Start(/*hz=*/0.0, path);
+    EXPECT_FALSE(sampler.Running());
+    EXPECT_EQ(sampler.Samples(), 0u);
+    sampler.Stop();  // safe when never started; writes no dump.
+    std::ifstream in(path);
+    EXPECT_FALSE(in.good());
+}
+
+TEST(SamplingProfilerTest, EnvZeroHzDisablesTheSharedSampler)
+{
+    setenv("RUMBA_PROFILE_HZ", "0", 1);
+    obs::SamplingProfiler* sampler = obs::SamplingProfiler::AcquireFromEnv();
+    ASSERT_NE(sampler, nullptr);
+    EXPECT_FALSE(sampler->Running());
+    obs::SamplingProfiler::Release();
+    unsetenv("RUMBA_PROFILE_HZ");
+}
+
+TEST(SamplingProfilerTest, EnvUnsetSpawnsNoThread)
+{
+    // Opt-in contract: with neither RUMBA_PROFILE_HZ nor
+    // RUMBA_PROFILE_OUT set, acquiring the shared sampler must not
+    // start one (thread wakeups cost real scheduler CPU).
+    unsetenv("RUMBA_PROFILE_HZ");
+    unsetenv("RUMBA_PROFILE_OUT");
+    obs::SamplingProfiler* sampler = obs::SamplingProfiler::AcquireFromEnv();
+    ASSERT_NE(sampler, nullptr);
+    EXPECT_FALSE(sampler->Running());
+    obs::SamplingProfiler::Release();
+}
+
+// ----------------------------------------------------- /profilez JSON
+
+TEST(ProfilezJsonTest, CarriesSchemaStagesSamplerAndEfficiency)
+{
+    const std::string body = obs::ProfilezJson();
+    EXPECT_NE(body.find("\"schema_version\":1"), std::string::npos);
+    EXPECT_NE(body.find("\"cpu_seconds\""), std::string::npos);
+    EXPECT_NE(body.find("\"device\""), std::string::npos);
+    EXPECT_NE(body.find("\"predict_check\""), std::string::npos);
+    EXPECT_NE(body.find("\"total\""), std::string::npos);
+    EXPECT_NE(body.find("\"stage_share\""), std::string::npos);
+    EXPECT_NE(body.find("\"sampler\""), std::string::npos);
+    EXPECT_NE(body.find("\"hz\""), std::string::npos);
+    EXPECT_NE(body.find("\"efficiency\""), std::string::npos);
+    EXPECT_NE(body.find("\"speedup_estimate\""), std::string::npos);
+    EXPECT_NE(body.find("\"energy_ratio\""), std::string::npos);
+    // rumba-stat's mini JSON parser has no array support; /profilez
+    // must stay array-free.
+    EXPECT_EQ(body.find('['), std::string::npos);
+}
+
+// ------------------------------------------- streamer changed-only
+
+TEST(SnapshotStreamerTest, ChangedOnlySuppressesStableGauges)
+{
+    const std::string gauge_name = "test.profiler.changed_only";
+    obs::Gauge* gauge =
+        obs::Registry::Default().GetGauge(gauge_name);
+    gauge->Set(1.25);
+
+    const std::string path =
+        ::testing::TempDir() + "profiler_changed_only.jsonl";
+    obs::SnapshotStreamer streamer;
+    streamer.SetChangedOnly(true);
+    EXPECT_TRUE(streamer.ChangedOnly());
+    ASSERT_TRUE(streamer.Start(path, /*period_ms=*/1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    gauge->Set(2.5);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    streamer.Stop();
+
+    // The gauge changed value once, so it appears in exactly two
+    // samples (its first observation and the change); every other
+    // sample suppresses it. Stop()'s guaranteed final sample makes
+    // the post-change appearance deterministic.
+    const LineStats stats =
+        CountSampleLines(path, "\"" + gauge_name + "\"");
+    EXPECT_GE(stats.samples, 3);
+    EXPECT_EQ(stats.matches, 2);
+    std::remove(path.c_str());
+}
+
+TEST(SnapshotStreamerTest, DefaultModeRepeatsGaugesEverySample)
+{
+    const std::string gauge_name = "test.profiler.always_on";
+    obs::Registry::Default().GetGauge(gauge_name)->Set(3.75);
+
+    const std::string path =
+        ::testing::TempDir() + "profiler_always_on.jsonl";
+    obs::SnapshotStreamer streamer;
+    EXPECT_FALSE(streamer.ChangedOnly());
+    ASSERT_TRUE(streamer.Start(path, /*period_ms=*/1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    streamer.Stop();
+
+    const LineStats stats =
+        CountSampleLines(path, "\"" + gauge_name + "\"");
+    EXPECT_GE(stats.samples, 2);
+    EXPECT_EQ(stats.matches, stats.samples);
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------ engine integration
+
+core::RuntimeConfig
+ServeRuntimeConfig()
+{
+    return core::RuntimeConfig::Builder()
+        .WithChecker(core::Scheme::kTree)
+        .WithTargetErrorPct(10.0)
+        .WithTrainEpochs(30)
+        .WithElementCaps(800, 400)
+        .Build();
+}
+
+const core::Artifact&
+SharedArtifact()
+{
+    static const core::Artifact artifact = [] {
+        core::RumbaRuntime trained(apps::MakeBenchmark("inversek2j"),
+                                   ServeRuntimeConfig());
+        return trained.ExportArtifact();
+    }();
+    return artifact;
+}
+
+serve::InvocationRequest
+MakeRequest(size_t start_element, size_t count)
+{
+    static const std::vector<double> flat = [] {
+        const auto bench = apps::MakeBenchmark("inversek2j");
+        return core::FlattenBatch(bench->TestInputs());
+    }();
+    serve::InvocationRequest request;
+    request.width = 2;  // inversek2j input arity.
+    request.count = count;
+    request.inputs.assign(
+        flat.begin() + static_cast<ptrdiff_t>(start_element * 2),
+        flat.begin() +
+            static_cast<ptrdiff_t>((start_element + count) * 2));
+    return request;
+}
+
+/** The engine races the env sampler against Shutdown (TSan target)
+ *  and must leave device/check CPU and an efficiency estimate behind
+ *  in the process-wide profiler. */
+TEST(ProfilerEngineTest, EngineFeedsProfilerAndRacesSamplerShutdown)
+{
+    const std::string folded =
+        ::testing::TempDir() + "profiler_engine.folded";
+    std::remove(folded.c_str());
+    setenv("RUMBA_PROFILE_HZ", "1499", 1);  // fast prime: many ticks.
+    setenv("RUMBA_PROFILE_OUT", folded.c_str(), 1);
+
+    obs::CpuProfiler& profiler = obs::CpuProfiler::Default();
+    const double device_before =
+        profiler.StageSeconds(obs::ProfileStage::kDevice);
+    const double check_before =
+        profiler.StageSeconds(obs::ProfileStage::kPredictCheck);
+    const uint64_t invocations_before = profiler.Invocations();
+
+    serve::ServeConfig config;
+    config.shards = 2;
+    ASSERT_TRUE(config.profile.enabled);  // on by default.
+    auto engine = serve::ShardedEngine::Create(
+        SharedArtifact(), ServeRuntimeConfig(), config);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+    std::vector<std::future<serve::InvocationResult>> futures;
+    for (int i = 0; i < 8; ++i)
+        futures.push_back(
+            (*engine)->Submit(MakeRequest(i * 16, 16)));
+    for (auto& f : futures)
+        EXPECT_TRUE(f.get().status.ok());
+
+    EXPECT_GT(profiler.StageSeconds(obs::ProfileStage::kDevice),
+              device_before);
+    EXPECT_GT(profiler.StageSeconds(obs::ProfileStage::kPredictCheck),
+              check_before);
+    EXPECT_GT(profiler.Invocations(), invocations_before);
+    const sim::EfficiencyEstimate estimate = profiler.Efficiency();
+    ASSERT_TRUE(estimate.Valid());
+    EXPECT_GT(estimate.speedup, 0.0);
+    EXPECT_GT(estimate.energy_ratio, 0.0);
+
+    // Shutdown while the 1499 Hz env sampler is mid-flight: the
+    // worker-thread slots die as the sampler walks them (the race
+    // TSan checks), and the last release writes the folded dump.
+    (*engine)->Shutdown();
+
+    std::ifstream in(folded);
+    EXPECT_TRUE(in.good());
+    std::remove(folded.c_str());
+    unsetenv("RUMBA_PROFILE_HZ");
+    unsetenv("RUMBA_PROFILE_OUT");
+}
+
+}  // namespace
+}  // namespace rumba

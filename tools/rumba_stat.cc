@@ -11,15 +11,20 @@
  *       [--tol <rel>] [--tol-metric name=<rel>] [--include-latency]
  *   rumba-stat scrape <target> [--check] [--baseline <dump>]
  *       [--tol <rel>] [--tol-metric name=<rel>] [--include-latency]
+ *   rumba-stat profile <target> [--baseline <profilez.json>]
+ *       [--tol <rel>]
  *
  * scrape fetches the Prometheus text exposition a live rumba process
  * serves at /metrics (obs/http_exporter.h) — target is
  * http://host:port[/path], host:port, or a saved exposition file —
  * recovers the dotted registry names from the name="..." labels, and
- * either validates the format (--check), diffs against a baseline
- * metrics dump with the same tolerance machinery as `diff`
+ * either validates the format (--check — live targets additionally
+ * validate the /buildz and /profilez JSON endpoints), diffs against a
+ * baseline metrics dump with the same tolerance machinery as `diff`
  * (--baseline; histogram quantiles are not in the exposition, so only
- * counts are compared), or prints a summary.
+ * counts are compared), or prints a summary. profile reads /profilez
+ * (live or saved) and can gate the speedup/energy estimates against
+ * a baseline body.
  *
  * Exit codes: 0 = ok / no regression, 1 = regression detected,
  * 2 = usage, load, fetch, or format-validation error (including
@@ -870,9 +875,17 @@ ScrapeToDump(PromScrape* scrape, Dump* dump)
     }
 }
 
-/** Fetch (or read) the target exposition into @p body. */
+/**
+ * Fetch (or read) the target into @p body. Live HTTP targets
+ * (http://host:port[/path] or host:port) default to @p default_path
+ * and, when @p host_out / @p port_out are given, report where they
+ * connected so callers can fetch sibling endpoints; plain paths read
+ * a saved file (host_out stays empty).
+ */
 bool
-FetchTarget(const std::string& target, std::string* body)
+FetchTarget(const std::string& target, const char* default_path,
+            std::string* body, std::string* host_out = nullptr,
+            int* port_out = nullptr)
 {
     std::string rest;
     if (target.rfind("http://", 0) == 0)
@@ -880,7 +893,7 @@ FetchTarget(const std::string& target, std::string* body)
     else if (target.find(':') != std::string::npos)
         rest = target;
     if (!rest.empty()) {
-        std::string path = "/metrics";
+        std::string path = default_path;
         const size_t slash = rest.find('/');
         if (slash != std::string::npos) {
             path = rest.substr(slash);
@@ -893,7 +906,12 @@ FetchTarget(const std::string& target, std::string* body)
             return false;
         }
         const int port = std::atoi(rest.c_str() + colon + 1);
-        return FetchHttp(rest.substr(0, colon), port, path, body);
+        const std::string host = rest.substr(0, colon);
+        if (host_out != nullptr)
+            *host_out = host;
+        if (port_out != nullptr)
+            *port_out = port;
+        return FetchHttp(host, port, path, body);
     }
     std::ifstream in(target);
     if (!in) {
@@ -907,12 +925,49 @@ FetchTarget(const std::string& target, std::string* body)
     return true;
 }
 
+/**
+ * Fetch @p path from a live process and validate it: parses as one
+ * JSON object (via the same mini parser the dump loader uses, so
+ * nested objects flatten to dotted keys) and carries every key in
+ * @p required. Returns the number of violations (diagnostics on
+ * stderr); parsed keys land in @p out when non-null.
+ */
+size_t
+CheckJsonEndpoint(const std::string& host, int port, const char* path,
+                  const std::vector<std::string>& required,
+                  JsonObject* out = nullptr)
+{
+    std::string body;
+    if (!FetchHttp(host, port, path, &body)) {
+        std::fprintf(stderr, "rumba-stat: cannot fetch %s\n", path);
+        return 1;
+    }
+    JsonObject obj;
+    if (!ParseJsonLine(body, &obj)) {
+        std::fprintf(stderr, "rumba-stat: %s: malformed JSON\n", path);
+        return 1;
+    }
+    size_t violations = 0;
+    for (const std::string& key : required) {
+        if (obj.count(key) != 0)
+            continue;
+        std::fprintf(stderr, "rumba-stat: %s: missing key \"%s\"\n",
+                     path, key.c_str());
+        ++violations;
+    }
+    if (out != nullptr)
+        *out = std::move(obj);
+    return violations;
+}
+
 int
 CmdScrape(const std::string& target, bool check,
           const std::string& baseline_path, const DiffOptions& opts)
 {
     std::string body;
-    if (!FetchTarget(target, &body))
+    std::string host;
+    int port = 0;
+    if (!FetchTarget(target, "/metrics", &body, &host, &port))
         return 2;
     PromScrape scrape;
     ParseExposition(body, &scrape);
@@ -929,11 +984,35 @@ CmdScrape(const std::string& target, bool check,
         return 2;
     }
     if (check) {
+        // Live targets also serve JSON diagnostics; validate that
+        // /buildz and /profilez are well-formed and carry the keys
+        // dashboards key on. File targets only have the exposition.
+        size_t json_violations = 0;
+        if (!host.empty()) {
+            json_violations += CheckJsonEndpoint(
+                host, port, "/buildz",
+                {"version", "git_describe", "build_type",
+                 "schema_version"});
+            json_violations += CheckJsonEndpoint(
+                host, port, "/profilez",
+                {"schema_version", "cpu_seconds.device",
+                 "cpu_seconds.predict_check", "cpu_seconds.total",
+                 "sampler.hz", "efficiency.speedup_estimate",
+                 "efficiency.energy_ratio"});
+        }
+        if (json_violations > 0) {
+            std::printf("FAIL: exposition ok but %zu JSON endpoint "
+                        "violations (/buildz, /profilez)\n",
+                        json_violations);
+            return 2;
+        }
         std::printf("OK: %zu samples, %zu counters, %zu gauges, %zu "
                     "histograms, all TYPE-declared, buckets "
-                    "cumulative\n",
+                    "cumulative%s\n",
                     scrape.samples.size(), dump.counters.size(),
-                    dump.gauges.size(), dump.histograms.size());
+                    dump.gauges.size(), dump.histograms.size(),
+                    host.empty() ? ""
+                                 : "; /buildz and /profilez valid");
         return 0;
     }
     if (!baseline_path.empty()) {
@@ -945,6 +1024,132 @@ CmdScrape(const std::string& target, bool check,
         return CmdDiff(base, dump, scrape_opts);
     }
     return CmdSummary(dump);
+}
+
+// ---------------------------------------------------------------------------
+// profile: summarize / gate the live cost profiler (/profilez).
+// ---------------------------------------------------------------------------
+
+/** The /profilez keys every valid body carries. */
+const std::vector<std::string> kProfilezRequired = {
+    "schema_version",
+    "cpu_seconds.device",
+    "cpu_seconds.predict_check",
+    "cpu_seconds.recover",
+    "cpu_seconds.total",
+    "sampler.running",
+    "sampler.hz",
+    "sampler.samples",
+    "efficiency.speedup_estimate",
+    "efficiency.energy_ratio",
+    "efficiency.window",
+    "invocations",
+};
+
+/** Load a /profilez body (live endpoint or saved file) into @p obj;
+ *  returns false (diagnostics on stderr) on fetch/parse/schema
+ *  failure. */
+bool
+LoadProfilez(const std::string& target, JsonObject* obj)
+{
+    std::string body;
+    if (!FetchTarget(target, "/profilez", &body))
+        return false;
+    if (!ParseJsonLine(body, obj)) {
+        std::fprintf(stderr, "rumba-stat: %s: malformed JSON\n",
+                     target.c_str());
+        return false;
+    }
+    bool ok = true;
+    for (const std::string& key : kProfilezRequired) {
+        if (obj->count(key) != 0)
+            continue;
+        std::fprintf(stderr, "rumba-stat: %s: missing key \"%s\"\n",
+                     target.c_str(), key.c_str());
+        ok = false;
+    }
+    return ok;
+}
+
+/** One efficiency-figure gate: relative move in the worse direction
+ *  beyond @p tol counts a regression. */
+void
+CheckEfficiency(const char* what, double base, double cand,
+                bool higher_is_worse, double tol, size_t* regressions)
+{
+    const double mag = std::max(std::fabs(base), std::fabs(cand));
+    const double delta = higher_is_worse ? cand - base : base - cand;
+    if (mag == 0.0 || delta <= tol * mag)
+        return;
+    ++*regressions;
+    std::printf("REGRESSION  %-24s %.4g -> %.4g  (moved %.3g > tol "
+                "%.3g relative)\n",
+                what, base, cand, delta / mag, tol);
+}
+
+int
+CmdProfile(const std::string& target, const std::string& baseline_path,
+           double tol)
+{
+    JsonObject obj;
+    if (!LoadProfilez(target, &obj))
+        return 2;
+
+    std::printf("== %s ==\n", target.c_str());
+    static const char* kStages[] = {"queue_wait", "device",
+                                    "predict_check", "recover",
+                                    "merge", "audit", "verify",
+                                    "other"};
+    const double total = Field(obj, "cpu_seconds.total");
+    std::printf("stage CPU attribution (%0.f invocations):\n",
+                Field(obj, "invocations"));
+    for (const char* stage : kStages) {
+        const double sec =
+            Field(obj, std::string("cpu_seconds.") + stage);
+        if (sec == 0.0)
+            continue;
+        std::printf("  %-14s %12.6f s  %6.2f%%\n", stage, sec,
+                    total > 0 ? 100.0 * sec / total : 0.0);
+    }
+    std::printf("  %-14s %12.6f s\n", "total", total);
+    std::printf("sampler: %s, %.4g Hz, %.0f samples\n",
+                Field(obj, "sampler.running") != 0 ? "running"
+                                                   : "stopped",
+                Field(obj, "sampler.hz"),
+                Field(obj, "sampler.samples"));
+    const double speedup = Field(obj, "efficiency.speedup_estimate");
+    const double energy = Field(obj, "efficiency.energy_ratio");
+    std::printf("efficiency: speedup estimate %.4g, energy ratio "
+                "%.4g (window %.0f of %.0f invocations)\n",
+                speedup, energy, Field(obj, "efficiency.window"),
+                Field(obj, "efficiency.invocations"));
+    if (baseline_path.empty())
+        return 0;
+
+    JsonObject base;
+    if (!LoadProfilez(baseline_path, &base))
+        return 2;
+    if (Field(base, "schema_version") != Field(obj, "schema_version")) {
+        std::fprintf(stderr,
+                     "rumba-stat: profilez schema mismatch (%ld vs "
+                     "%ld) — refusing to gate\n",
+                     static_cast<long>(Field(base, "schema_version")),
+                     static_cast<long>(Field(obj, "schema_version")));
+        return 2;
+    }
+    std::printf("\nefficiency gate vs %s (tol %.3g relative):\n",
+                baseline_path.c_str(), tol);
+    size_t regressions = 0;
+    CheckEfficiency("speedup estimate",
+                    Field(base, "efficiency.speedup_estimate"),
+                    speedup, /*higher_is_worse=*/false, tol,
+                    &regressions);
+    CheckEfficiency("energy ratio",
+                    Field(base, "efficiency.energy_ratio"), energy,
+                    /*higher_is_worse=*/true, tol, &regressions);
+    std::printf("%s: 2 efficiency figures gated, %zu regressions\n",
+                regressions == 0 ? "PASS" : "FAIL", regressions);
+    return regressions == 0 ? 0 : 1;
 }
 
 // ---------------------------------------------------------------------------
@@ -1220,6 +1425,8 @@ Usage()
         "      [--include-latency]\n"
         "  rumba-stat audit <audit.jsonl> [--baseline <audit.jsonl>]\n"
         "      [--tol <abs>] [--worst <K>]\n"
+        "  rumba-stat profile <target> [--baseline <profilez.json>]\n"
+        "      [--tol <rel>]\n"
         "\n"
         "Dumps are RUMBA_METRICS_OUT metric files or RUMBA_STREAM_OUT\n"
         "sample streams (JSONL; '.csv' metric dumps load too).\n"
@@ -1234,7 +1441,14 @@ Usage()
         "the worst-K invocations by true error; --baseline gates\n"
         "precision / recall / violation rate against another audit\n"
         "dump (exit 1 when any worsens by more than --tol, default\n"
-        "0.05 absolute).\n");
+        "0.05 absolute).\n"
+        "profile reads the live cost profiler from http://host:port\n"
+        "(/profilez by default), host:port, or a saved JSON body:\n"
+        "per-stage CPU seconds and shares, sampler state, and the\n"
+        "rolling speedup/energy estimate; --baseline gates the two\n"
+        "efficiency figures against a saved /profilez body (exit 1\n"
+        "when either worsens by more than --tol, default 0.15\n"
+        "relative; 2 on schema mismatch).\n");
     return 2;
 }
 
@@ -1322,6 +1536,27 @@ main(int argc, char** argv)
         if (targets.size() != 1)
             return Usage();
         return CmdScrape(targets[0], check, baseline, opts);
+    }
+
+    if (cmd == "profile") {
+        double tol = 0.15;
+        std::string baseline;
+        std::vector<std::string> targets;
+        for (int i = 2; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--baseline" && i + 1 < argc) {
+                baseline = argv[++i];
+            } else if (arg == "--tol" && i + 1 < argc) {
+                tol = std::strtod(argv[++i], nullptr);
+            } else if (!arg.empty() && arg[0] == '-') {
+                return Usage();
+            } else {
+                targets.push_back(arg);
+            }
+        }
+        if (targets.size() != 1)
+            return Usage();
+        return CmdProfile(targets[0], baseline, tol);
     }
 
     if (cmd == "audit") {
