@@ -122,6 +122,17 @@ grep -q '"type":"audit"' build/deploy_audit.jsonl
 grep -q '"type":"audit_element"' build/deploy_audit.jsonl
 ./build/tools/rumba-stat audit build/deploy_audit.jsonl > /dev/null
 
+echo "==> overload scenario matrix (open-loop chaos + admission gate)"
+# Drives the serving engine with the open-loop load generator across
+# arrival shapes x fault plans x admission policies and asserts the
+# overload invariants (no silent loss, expired work never executes,
+# gold survives 2x bursts, admission-off demonstrably fails). Exits
+# nonzero on any FAIL/ERROR; the rumba-stat gate then catches any
+# scenario the checked-in baseline passed going missing or failing.
+./build/tools/rumba_scenarios --out build/scenarios.jsonl
+./build/tools/rumba-stat scenarios build/scenarios.jsonl \
+    --baseline bench/baselines/scenarios.jsonl > /dev/null
+
 if [[ "${1:-}" != "--skip-sanitize" ]]; then
     echo "==> sanitized build + tests (address,undefined)"
     run_suite build-sanitize -DRUMBA_SANITIZE=address,undefined

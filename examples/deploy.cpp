@@ -14,6 +14,12 @@
  *                  exact-only fallback, no crash) and then serves
  *                  under an armed NaN fault plan until the circuit
  *                  breaker trips, probes, and closes again;
+ *   overload     — offers ~2x the engine's service capacity from an
+ *                  open-loop bursty load generator and shows the
+ *                  admission ladder shedding best-effort and
+ *                  degrading silver so gold survives (set
+ *                  RUMBA_ADMISSION=off to watch it fail without the
+ *                  ladder; RUMBA_LOADGEN_OUT keeps the report);
  *   obs drill    — brings the sharded serving engine up on the same
  *                  artifact with the full observability stack (scrape
  *                  server, request traces, SLO monitors, per-shard
@@ -45,6 +51,7 @@
 #include "obs/reqtrace.h"
 #include "obs/slo.h"
 #include "serve/engine.h"
+#include "serve/loadgen.h"
 
 using namespace rumba;
 
@@ -421,6 +428,112 @@ main()
     }
     audit_engine.Shutdown();
 
+    // ---- Overload drill --------------------------------------------------
+    // Surviving overload: an *open-loop* bursty load generator offers
+    // ~2x the engine's service capacity regardless of how the engine
+    // copes (a closed-loop driver could never overload anything), and
+    // deadline-aware admission control sheds best-effort traffic and
+    // degrades silver so gold rides the burst out. Set
+    // RUMBA_ADMISSION=off to watch the same burst take gold down with
+    // everything else, and RUMBA_LOADGEN_OUT=loadgen.jsonl to keep
+    // the per-class report.
+    serve::ServeConfig overload_config;
+    overload_config.shards = 2;
+    overload_config.queue_capacity = 32;
+    overload_config.emulated_device_ns = 50'000;  // 50 us / element.
+    if (const char* flight_dir = std::getenv("RUMBA_FLIGHT_DIR");
+        flight_dir != nullptr && flight_dir[0] != '\0')
+        overload_config.flight.dump_dir = flight_dir;
+
+    auto overload_engine_or = serve::ShardedEngine::Create(
+        artifact, config, overload_config);
+    if (!overload_engine_or.ok()) {
+        std::fprintf(stderr, "overload engine: %s\n",
+                     overload_engine_or.status().ToString().c_str());
+        return 1;
+    }
+    serve::ShardedEngine& overload_engine = **overload_engine_or;
+    const bool admission_on =
+        overload_engine.Admission()->config().enabled;
+
+    serve::LoadGenConfig load;
+    load.arrival = serve::ArrivalProcess::kBursty;
+    // Service time is pinned by the emulated device: 4 elements x
+    // 50 us over 2 shards = 10k req/s capacity. Mean 5k req/s with
+    // 4x bursts = 2x capacity at the peaks.
+    load.rate_hz = 5000.0;
+    load.burst_factor = 4.0;
+    load.duration_ns = 300'000'000ull;  // 300 ms of schedule.
+    load.elements = 4;
+    load.seed = 17;
+    load.input_pool = flat_inputs;
+    load.gold_deadline_ns = 50'000'000ull;
+    load.silver_deadline_ns = 100'000'000ull;
+    load.best_effort_deadline_ns = 30'000'000ull;
+    if (const char* loadgen_out = std::getenv("RUMBA_LOADGEN_OUT");
+        loadgen_out != nullptr && loadgen_out[0] != '\0')
+        load.jsonl_out = loadgen_out;
+
+    std::printf("\n[overload] drill armed: bursty open loop, mean "
+                "%.0f req/s with %.0fx bursts vs ~10000 req/s "
+                "capacity, admission %s\n",
+                load.rate_hz, load.burst_factor,
+                admission_on ? "on" : "OFF (RUMBA_ADMISSION=off)");
+    serve::LoadGenerator overload_gen(overload_engine, load);
+    const serve::LoadReport overload_report = overload_gen.Run();
+    overload_engine.Shutdown();
+
+    uint64_t overload_submitted = 0;
+    bool overload_accounted = true;
+    for (size_t c = 0; c < serve::kNumQualityClasses; ++c) {
+        const serve::ClassStats& cls = overload_report.per_class[c];
+        overload_submitted += cls.submitted;
+        overload_accounted =
+            overload_accounted &&
+            cls.submitted == cls.ok + cls.degraded + cls.bypassed +
+                                 cls.shed + cls.expired +
+                                 cls.rejected + cls.cancelled +
+                                 cls.failed;
+        std::printf("[overload] %-11s submitted %-5llu served %-5llu "
+                    "(degraded %llu, bypassed %llu) shed %-4llu "
+                    "expired %-4llu rejected %-4llu p99 %.1f ms\n",
+                    serve::QualityClassName(
+                        static_cast<serve::QualityClass>(c)),
+                    static_cast<unsigned long long>(cls.submitted),
+                    static_cast<unsigned long long>(cls.Served()),
+                    static_cast<unsigned long long>(cls.degraded),
+                    static_cast<unsigned long long>(cls.bypassed),
+                    static_cast<unsigned long long>(cls.shed),
+                    static_cast<unsigned long long>(cls.expired),
+                    static_cast<unsigned long long>(cls.rejected),
+                    cls.LatencyQuantileNs(0.99) / 1e6);
+    }
+    const serve::ClassStats& overload_gold =
+        overload_report.per_class[static_cast<size_t>(
+            serve::QualityClass::kGold)];
+    // Timing-free invariants only (CI runs this under sanitizers):
+    // nothing lost silently, expired work never executed, and with
+    // admission on gold is never shed or check-bypassed.
+    const bool overload_ok =
+        overload_accounted &&
+        overload_submitted == overload_report.offered &&
+        overload_report.expired_with_output == 0 &&
+        overload_report.Total().failed == 0 &&
+        (!admission_on ||
+         (overload_gold.shed == 0 && overload_gold.bypassed == 0));
+    std::printf("[overload] drill %s: %llu offered, %llu late "
+                "submits, admission state '%s' after the storm%s\n",
+                overload_ok ? "passed" : "FAILED",
+                static_cast<unsigned long long>(
+                    overload_report.offered),
+                static_cast<unsigned long long>(
+                    overload_report.late_submits),
+                serve::AdmissionStateName(
+                    overload_engine.Admission()->state()),
+                load.jsonl_out.empty()
+                    ? ""
+                    : (" — report in " + load.jsonl_out).c_str());
+
     // ---- Observability drill ---------------------------------------------
     // The serving engine ties the whole observability stack together:
     // every Submit gets a request trace, every completion lands in its
@@ -547,7 +660,7 @@ main()
         std::printf("telemetry written to %s\n", metrics_path.c_str());
 
     return mismatches == 0 && a.fixes == b.fixes && corrupt_rejected &&
-                   drill_ok && audit_ok && obs_ok
+                   drill_ok && audit_ok && overload_ok && obs_ok
                ? 0
                : 1;
 }

@@ -33,6 +33,12 @@ Rng::Rng(uint64_t seed)
         s = SplitMix64(sm);
 }
 
+Rng
+Rng::ForStream(uint64_t seed, uint64_t stream)
+{
+    return Rng(seed ^ (0xC2B2AE3D27D4EB4Full * (stream + 1)));
+}
+
 uint64_t
 Rng::Next()
 {

@@ -24,6 +24,17 @@ class Rng {
     /** Construct from a 64-bit seed; any value (including 0) is fine. */
     explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
 
+    /**
+     * A generator for stream @p stream of the family seeded by
+     * @p seed. Streams never perturb each other's schedules: the
+     * fault injector keys one per fault class so adding a rule
+     * replays the rest, and the load generator keys per arrival /
+     * workload / class-mix decision so scenarios stay reproducible
+     * next to an armed fault plan. The derivation is frozen — the
+     * fault-plan replay format depends on it.
+     */
+    static Rng ForStream(uint64_t seed, uint64_t stream);
+
     /** Next raw 64-bit value. */
     uint64_t Next();
 

@@ -191,13 +191,35 @@ RumbaRuntime::FromArtifact(const Artifact& artifact,
         new RumbaRuntime(artifact, config));
 }
 
+const char*
+DegradeModeName(DegradeMode mode)
+{
+    switch (mode) {
+      case DegradeMode::kNone:
+        return "none";
+      case DegradeMode::kSkipRecovery:
+        return "skip-recovery";
+      case DegradeMode::kSkipCheck:
+        return "skip-check";
+    }
+    return "unknown";
+}
+
 InvocationReport
 RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
-                                double* outputs, AuditCapture* capture)
+                                double* outputs, AuditCapture* capture,
+                                DegradeMode degrade)
 {
     RUMBA_CHECK(outputs != nullptr);
     RUMBA_CHECK(!raw_inputs.empty());
     RUMBA_CHECK(raw_inputs.width() == pipeline_.Bench().NumInputs());
+    // The overload rungs (serve/admission.h): skip-recovery keeps the
+    // checker but never queues its verdicts; skip-check bypasses the
+    // detector entirely. Both skip the verify pass (the auditor owns
+    // degraded ground truth) and give no tuner/drift/breaker feedback.
+    const bool degraded = degrade != DegradeMode::kNone;
+    const bool run_check = degrade != DegradeMode::kSkipCheck;
+    const bool run_recovery = degrade == DegradeMode::kNone;
     const obs::ScopedTimer invocation_timer(obs_invocation_ns_);
     const obs::Span invocation_span("runtime.invocation");
     const apps::Benchmark& app = pipeline_.Bench();
@@ -275,6 +297,9 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
                               static_cast<ptrdiff_t>(i * out_w));
             }
 
+            if (!run_check)
+                continue;  // skip-check rung: raw approximate output.
+
             // Strided check timing: clocking every element doubles
             // the clock-read traffic of the hot loop, so time one
             // check in eight and scale below. The estimate is for
@@ -304,8 +329,9 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
                 capture->predicted_error[i] = check.predicted_error;
                 capture->fired[i] = fired ? 1 : 0;
             }
-            if (fired) {
+            if (fired)
                 ++fires;
+            if (fired && run_recovery) {
                 if (recovery_.Queue().Full()) {
                     // Queue-stall fault: the CPU side is unavailable,
                     // so no backpressure drain can happen and the
@@ -333,6 +359,10 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
                     ++queue_drops;
                 }
             } else {
+                // Unfired — or fired on the skip-recovery rung, where
+                // the verdict is recorded but the element stays
+                // approximate and its predicted error stays in the
+                // estimate.
                 unfixed_predicted_sum +=
                     std::max(0.0, check.predicted_error);
                 ++unfixed_count;
@@ -397,7 +427,8 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
             &report.cpu.recover_cpu_ns);
         if (timed)
             stage_start = obs::NowNs();
-        recovery_.Drain(raw_inputs, outputs, out_w, &fixed);
+        if (run_recovery)
+            recovery_.Drain(raw_inputs, outputs, out_w, &fixed);
         if (timed)
             report.timings.recover_ns = obs::NowNs() - stage_start;
     }
@@ -449,7 +480,11 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
         std::vector<double>& exact = scratch_raw_out_;
         std::vector<double>& approx = scratch_norm_out_;
         exact.assign(out_w, 0.0);
-        for (size_t i = 0; i < n; ++i) {
+        // Degraded invocations skip verification entirely — it is the
+        // single most expensive stage (exact re-execution per unfixed
+        // element), and shedding it is the point of the rung. Their
+        // ground truth comes from the auditor's forced samples.
+        for (size_t i = 0; !degraded && i < n; ++i) {
             if (fixed[i])
                 continue;
             app.RunExact(raw_inputs[i].data(), exact.data());
@@ -485,11 +520,12 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
         static_cast<double>(app.NumInputs() + app.NumOutputs()) + 1.0;
 
     const sim::CheckerCost checker = detector_.CostPerCheck();
-    report.costs = system_.Evaluate(region, accel_profile, &checker,
+    report.costs = system_.Evaluate(region, accel_profile,
+                                    run_check ? &checker : nullptr,
                                     report.fixes);
 
     const size_t adjustments_before = tuner_.Adjustments();
-    if (approx_n == n) {
+    if (!degraded && approx_n == n) {
         // Only full-approximate invocations feed the tuner: a
         // breaker-degraded batch would read as an artificially low
         // error and pull the threshold the wrong way.
@@ -504,39 +540,46 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
         tuner_.EndInvocation(feedback);
     }
 
-    // Fire rate over the accelerator-served slice only (Observe
-    // ignores zero-element rounds, i.e. an open breaker).
-    drift_.Observe(fires, approx_n);
-    report.drift_detected = drift_.DriftDetected();
-    if (report.drift_detected)
-        obs_drift_alarms_->Increment();
+    if (!degraded) {
+        // Fire rate over the accelerator-served slice only (Observe
+        // ignores zero-element rounds, i.e. an open breaker).
+        drift_.Observe(fires, approx_n);
+        report.drift_detected = drift_.DriftDetected();
+        if (report.drift_detected)
+            obs_drift_alarms_->Increment();
 
-    // Breaker health covers only the accelerator-served slice; the
-    // exact tail is correct by construction.
-    BreakerHealth health;
-    health.approx_elements = approx_n;
-    health.fires = fires;
-    health.non_finite = non_finite_seen;
-    health.queue_drops = queue_drops;
-    health.drift = report.drift_detected;
-    if (approx_n > 0) {
-        const std::vector<double> approx_residual(
-            residual.begin(),
-            residual.begin() + static_cast<ptrdiff_t>(approx_n));
-        health.output_error_pct = app.AggregateError(approx_residual);
-    }
-    health.target_error_pct = config_.tuner.target_error_pct;
-    breaker_.OnInvocation(health);
-    if (state_before == BreakerState::kHalfOpen &&
-        breaker_.State() == BreakerState::kClosed) {
-        // Quality recovered: the drift baseline restarts from the
-        // calibrated expectation instead of the outage's fire storm.
-        drift_.ReArm();
+        // Breaker health covers only the accelerator-served slice;
+        // the exact tail is correct by construction. Degraded
+        // invocations feed neither drift nor breaker: their reduced
+        // service is deliberate, not accelerator sickness.
+        BreakerHealth health;
+        health.approx_elements = approx_n;
+        health.fires = fires;
+        health.non_finite = non_finite_seen;
+        health.queue_drops = queue_drops;
+        health.drift = report.drift_detected;
+        if (approx_n > 0) {
+            const std::vector<double> approx_residual(
+                residual.begin(),
+                residual.begin() + static_cast<ptrdiff_t>(approx_n));
+            health.output_error_pct =
+                app.AggregateError(approx_residual);
+        }
+        health.target_error_pct = config_.tuner.target_error_pct;
+        breaker_.OnInvocation(health);
+        if (state_before == BreakerState::kHalfOpen &&
+            breaker_.State() == BreakerState::kClosed) {
+            // Quality recovered: the drift baseline restarts from the
+            // calibrated expectation instead of the outage's fire
+            // storm.
+            drift_.ReArm();
+        }
     }
     report.queue_drops = queue_drops;
     report.non_finite_outputs = non_finite_seen;
     report.exact_elements = n - approx_n;
     report.breaker_state = breaker_.State();
+    report.degrade = degrade;
 
     ++invocations_;
     ++summary_.invocations;
@@ -552,7 +595,8 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
     obs_invocations_->Increment();
     obs_elements_->Increment(n);
     obs_fixes_->Increment(report.fixes);
-    obs_output_error_->Set(report.output_error_pct);
+    if (!degraded)  // degraded rounds skip verify: no true error.
+        obs_output_error_->Set(report.output_error_pct);
 
     obs::TraceEvent event;
     event.invocation = invocations_ - 1;

@@ -225,6 +225,28 @@ struct InvocationCpuTimings {
     int64_t verify_cpu_ns = 0;   ///< true-error verification pass.
 };
 
+/**
+ * How much of the quality machinery one invocation keeps under
+ * overload (serve/admission.h picks the mode per request). Degraded
+ * invocations give intentionally reduced service, so they feed
+ * neither the tuner, the drift monitor nor the circuit breaker —
+ * deliberate degradation must not read as accelerator sickness or
+ * drag the threshold walk — and they skip the true-error
+ * verification pass (their ground truth comes from the quality
+ * auditor, which force-samples them). Non-finite salvage always
+ * runs: no mode may deliver NaN/Inf outputs.
+ */
+enum class DegradeMode : uint32_t {
+    kNone = 0,          ///< full service: check + recovery.
+    kSkipRecovery = 1,  ///< checker consulted (verdicts recorded),
+                        ///< recovery re-execution skipped.
+    kSkipCheck = 2,     ///< detector bypassed entirely: raw
+                        ///< approximate outputs.
+};
+
+/** Stable lowercase name ("none", "skip-recovery", "skip-check"). */
+const char* DegradeModeName(DegradeMode mode);
+
 /** What one invocation reported back. */
 struct InvocationReport {
     size_t elements = 0;            ///< elements processed.
@@ -248,6 +270,10 @@ struct InvocationReport {
     size_t exact_elements = 0;
     /** Breaker position after this invocation. */
     BreakerState breaker_state = BreakerState::kClosed;
+    /** Overload rung this invocation ran at (kNone = full service).
+     *  Degraded invocations report output_error_pct 0 — the verify
+     *  pass is skipped; audited truth is the only quality signal. */
+    DegradeMode degrade = DegradeMode::kNone;
     /** Per-stage wall clock (RuntimeConfig::stage_timings only). */
     InvocationTimings timings;
     /** Per-stage thread CPU (RuntimeConfig::cpu_attribution only). */
@@ -379,10 +405,13 @@ class RumbaRuntime {
      * allocation. @p capture, when non-null, receives the per-element
      * audit capture (see AuditCapture); passing it re-enables bounded
      * per-element allocation for the capture's own storage.
+     * @p degrade selects the overload rung (see DegradeMode); the
+     * default runs the full check + recovery service.
      */
-    InvocationReport ProcessInvocation(const BatchView& raw_inputs,
-                                       double* outputs,
-                                       AuditCapture* capture = nullptr);
+    InvocationReport ProcessInvocation(
+        const BatchView& raw_inputs, double* outputs,
+        AuditCapture* capture = nullptr,
+        DegradeMode degrade = DegradeMode::kNone);
 
     /**
      * Legacy batch form: packs the ragged rows into the contiguous

@@ -24,6 +24,8 @@ StatusCodeName(StatusCode code)
         return "unavailable";
       case StatusCode::kInternal:
         return "internal";
+      case StatusCode::kDeadlineExceeded:
+        return "deadline-exceeded";
     }
     return "unknown";
 }

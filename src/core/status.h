@@ -32,6 +32,7 @@ enum class StatusCode {
     kFailedPrecondition,  ///< state does not admit the operation.
     kUnavailable,         ///< temporarily not accepting work.
     kInternal,            ///< invariant violation inside the library.
+    kDeadlineExceeded,    ///< request deadline passed before service.
 };
 
 /** Stable lowercase name ("ok", "data-loss", ...). */

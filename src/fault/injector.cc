@@ -9,22 +9,6 @@ namespace rumba::fault {
 
 namespace {
 
-uint64_t
-SplitMix64(uint64_t& x)
-{
-    x += 0x9E3779B97F4A7C15ull;
-    uint64_t z = x;
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-    return z ^ (z >> 31);
-}
-
-uint64_t
-Rotl(uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 /** Registry counter for one class, fetched once per process. */
 obs::Counter*
 InjectionCounter(FaultClass fault)
@@ -54,14 +38,11 @@ FaultInjector::Arm(const FaultPlan& plan)
         state.rate = rule.rate;
         state.param = rule.param;
         state.enabled = rule.rate > 0.0;
-        // Each class draws from its own stream, seeded by the plan
+        // Each class draws from its own stream, keyed by the plan
         // seed and the class identity: sites never perturb each
         // other's schedules, so adding a rule replays the rest.
-        uint64_t sm = plan.seed ^
-                      (0xC2B2AE3D27D4EB4Full *
-                       (static_cast<uint64_t>(rule.fault) + 1));
-        for (auto& s : state.rng)
-            s = SplitMix64(sm);
+        state.rng = Rng::ForStream(
+            plan.seed, static_cast<uint64_t>(rule.fault));
     }
     armed_.store(!plan.Empty(), std::memory_order_relaxed);
     obs::Registry::Default().GetGauge("fault.armed")->Set(
@@ -102,21 +83,6 @@ FaultInjector::Param(FaultClass fault) const
     return classes_[static_cast<size_t>(fault)].param;
 }
 
-uint64_t
-FaultInjector::NextRaw(ClassState* state)
-{
-    uint64_t* s = state->rng;
-    const uint64_t result = Rotl(s[1] * 5, 7) * 9;
-    const uint64_t t = s[1] << 17;
-    s[2] ^= s[0];
-    s[3] ^= s[1];
-    s[1] ^= s[2];
-    s[0] ^= s[3];
-    s[2] ^= t;
-    s[3] = Rotl(s[3], 45);
-    return result;
-}
-
 bool
 FaultInjector::ShouldInject(FaultClass fault)
 {
@@ -126,9 +92,7 @@ FaultInjector::ShouldInject(FaultClass fault)
     ClassState& state = classes_[static_cast<size_t>(fault)];
     if (!state.enabled)
         return false;
-    const double draw =
-        static_cast<double>(NextRaw(&state) >> 11) * 0x1.0p-53;
-    if (draw >= state.rate)
+    if (state.rng.Uniform() >= state.rate)
         return false;
     ++state.injections;
     InjectionCounter(fault)->Increment();
@@ -139,7 +103,7 @@ uint64_t
 FaultInjector::Draw(FaultClass fault)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    return NextRaw(&classes_[static_cast<size_t>(fault)]);
+    return classes_[static_cast<size_t>(fault)].rng.Next();
 }
 
 uint64_t

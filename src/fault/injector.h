@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "common/random.h"
 #include "fault/plan.h"
 
 namespace rumba::fault {
@@ -90,12 +91,9 @@ class FaultInjector {
         double rate = 0.0;
         double param = 0.0;
         bool enabled = false;
-        uint64_t rng[4] = {0, 0, 0, 0};  ///< xoshiro256** state.
+        Rng rng;  ///< per-class decision stream (Rng::ForStream).
         uint64_t injections = 0;
     };
-
-    /** Next raw value from @p state's stream (caller holds mu_). */
-    static uint64_t NextRaw(ClassState* state);
 
     std::atomic<bool> armed_{false};
     mutable std::mutex mu_;

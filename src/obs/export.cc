@@ -3,6 +3,7 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
@@ -129,12 +130,14 @@ BuildInfoJson()
     // the ones actually set appear, so the scrape shows the effective
     // deployment configuration at a glance.
     static const char* kKnobs[] = {
-        "RUMBA_AUDIT_OUT",        "RUMBA_AUDIT_SAMPLE_N",
-        "RUMBA_FAULT_PLAN",       "RUMBA_FLIGHT_DIR",
-        "RUMBA_LOG",              "RUMBA_METRICS_OUT",
-        "RUMBA_METRICS_PORT",     "RUMBA_OBS_LINGER_MS",
-        "RUMBA_PROFILE_HZ",       "RUMBA_PROFILE_OUT",
-        "RUMBA_REQTRACE_OUT",     "RUMBA_STREAM_CHANGED_ONLY",
+        "RUMBA_ADMISSION",        "RUMBA_AUDIT_OUT",
+        "RUMBA_AUDIT_SAMPLE_N",   "RUMBA_FAULT_PLAN",
+        "RUMBA_FLIGHT_DIR",       "RUMBA_LOADGEN_OUT",
+        "RUMBA_LOG",
+        "RUMBA_METRICS_OUT",      "RUMBA_METRICS_PORT",
+        "RUMBA_OBS_LINGER_MS",    "RUMBA_PROFILE_HZ",
+        "RUMBA_PROFILE_OUT",      "RUMBA_REQTRACE_OUT",
+        "RUMBA_SCENARIO_OUT",     "RUMBA_STREAM_CHANGED_ONLY",
         "RUMBA_STREAM_OUT",       "RUMBA_STREAM_PERIOD_MS",
         "RUMBA_TRACE_OUT",        "RUMBA_TRACE_RING_CAPACITY",
     };
@@ -304,6 +307,13 @@ ExportIfConfigured()
 
 namespace {
 
+/** Registered flush hooks (serve/loadgen.h, tools/rumba_scenarios):
+ *  a fixed lock-free slot array so the signal path can walk it
+ *  without taking a mutex or allocating. */
+constexpr size_t kMaxFlushHooks = 8;
+std::atomic<void (*)()> g_flush_hooks[kMaxFlushHooks]{};
+std::atomic<size_t> g_flush_hook_count{0};
+
 /**
  * Rewrite every configured JSONL sink with the current state. Shared
  * by the orderly at-exit hook and the signal path; does not join the
@@ -317,6 +327,14 @@ FlushFilesBestEffort()
     ExportTraceIfConfigured();
     ExportRequestTracesIfConfigured();
     ExportAuditIfConfigured();
+    const size_t hooks =
+        std::min(g_flush_hook_count.load(std::memory_order_acquire),
+                 kMaxFlushHooks);
+    for (size_t i = 0; i < hooks; ++i) {
+        void (*hook)() = g_flush_hooks[i].load(std::memory_order_acquire);
+        if (hook != nullptr)
+            hook();
+    }
 }
 
 void
@@ -363,6 +381,31 @@ AnySinkConfigured()
 }
 
 }  // namespace
+
+bool
+RegisterFlushHook(void (*hook)())
+{
+    if (hook == nullptr)
+        return false;
+    // Registering the same hook twice is a no-op (callers register
+    // eagerly from constructors).
+    const size_t seen =
+        std::min(g_flush_hook_count.load(std::memory_order_acquire),
+                 kMaxFlushHooks);
+    for (size_t i = 0; i < seen; ++i)
+        if (g_flush_hooks[i].load(std::memory_order_acquire) == hook)
+            return true;
+    const size_t slot =
+        g_flush_hook_count.fetch_add(1, std::memory_order_acq_rel);
+    if (slot >= kMaxFlushHooks) {
+        g_flush_hook_count.store(kMaxFlushHooks,
+                                 std::memory_order_release);
+        Warn("RegisterFlushHook: hook table full (%zu)", kMaxFlushHooks);
+        return false;
+    }
+    g_flush_hooks[slot].store(hook, std::memory_order_release);
+    return true;
+}
 
 void
 InstallSignalFlush()

@@ -122,6 +122,19 @@ std::string BuildInfoJson();
 void InstallAtExitExport();
 
 /**
+ * Register a best-effort flush hook, invoked (in registration order)
+ * alongside the env-configured JSONL sink rewrites by both the
+ * at-exit export and the SIGINT/SIGTERM flush. For sinks configured
+ * programmatically rather than by env var — the load generator's and
+ * scenario runner's JSONL reports — so a killed run still writes its
+ * partial results. Hooks run in signal context: they must only
+ * try-lock, never block or allocate unboundedly. Re-registering the
+ * same function is a no-op; the table holds 8 slots (false, with a
+ * warning, when full or @p hook is null).
+ */
+bool RegisterFlushHook(void (*hook)());
+
+/**
  * Best-effort flush of the configured JSONL sinks on SIGINT/SIGTERM,
  * so killed deploy runs don't lose the tail of the stream. Installed
  * only over SIG_DFL dispositions (an application's own handlers are

@@ -17,6 +17,8 @@ RequestOutcomeName(RequestOutcome outcome)
       case RequestOutcome::kCompleted: return "completed";
       case RequestOutcome::kRejected: return "rejected";
       case RequestOutcome::kCancelled: return "cancelled";
+      case RequestOutcome::kShed: return "shed";
+      case RequestOutcome::kExpired: return "expired";
     }
     return "unknown";
 }

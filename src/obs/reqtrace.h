@@ -48,10 +48,12 @@ enum class RequestOutcome : uint32_t {
     kCompleted,  ///< served; outputs delivered.
     kRejected,   ///< never enqueued (bad shape / backpressure).
     kCancelled,  ///< accepted, then shut down before a worker ran it.
+    kShed,       ///< refused by admission control (serve/admission.h).
+    kExpired,    ///< deadline passed before the device was reached.
 };
 
 /** Stable name for an outcome ("completed" / "rejected" /
- *  "cancelled"). */
+ *  "cancelled" / "shed" / "expired"). */
 const char* RequestOutcomeName(RequestOutcome outcome);
 
 /** One request, end to end, as the serving engine saw it. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <string_view>
 
 #include "common/logging.h"
 #include "core/batch_view.h"
@@ -58,6 +59,12 @@ ShardedEngine::ShardedEngine(const ServeConfig& config,
     obs_enqueue_to_complete_ns_ =
         registry.GetHistogram("serve.enqueue_to_complete_ns");
     obs_batch_elements_ = registry.GetHistogram("serve.batch_elements");
+    obs_adm_admitted_ = registry.GetCounter("serve.admission.admitted");
+    obs_adm_degraded_ = registry.GetCounter("serve.admission.degraded");
+    obs_adm_bypassed_ = registry.GetCounter("serve.admission.bypassed");
+    obs_adm_shed_ = registry.GetCounter("serve.admission.shed");
+    obs_adm_expired_ = registry.GetCounter("serve.admission.expired");
+    obs_adm_rejected_ = registry.GetCounter("serve.admission.rejected");
 }
 
 core::Result<std::unique_ptr<ShardedEngine>>
@@ -122,6 +129,16 @@ ShardedEngine::Create(const core::Artifact& artifact,
         }
         engine->shards_.push_back(std::move(shard));
     }
+
+    // RUMBA_ADMISSION=off reverts to pure reject-on-full backpressure
+    // without a rebuild — the overload drills use it to demonstrate
+    // what the admission ladder is buying.
+    AdmissionConfig admission_config = serve_config.admission;
+    if (const char* knob = std::getenv("RUMBA_ADMISSION");
+        knob != nullptr && std::string_view(knob) == "off")
+        admission_config.enabled = false;
+    engine->admission_ =
+        std::make_unique<AdmissionController>(admission_config);
 
     engine->tuner_mode_ = TuningModeName(runtime_config.tuner.mode);
     if (serve_config.trace.enabled) {
@@ -308,10 +325,75 @@ ShardedEngine::Submit(InvocationRequest request)
             : static_cast<size_t>(request.shard);
     Shard& shard = *shards_[shard_index];
 
+    // A dead-on-arrival deadline never costs the queue a slot.
+    if (request.deadline_ns != 0 && submit_ns > request.deadline_ns) {
+        reject.status = core::Status(
+            core::StatusCode::kDeadlineExceeded,
+            "deadline already expired at submit (shard " +
+                std::to_string(shard_index) + ")");
+        reject.shard = shard_index;
+        obs_rejected_->Increment();
+        obs_adm_expired_->Increment();
+        RecordRefusalFlight(shard_index, trace_id, submit_ns,
+                            request.count,
+                            core::StatusCode::kDeadlineExceeded);
+        RecordTerminalTrace(trace_id, shard_index, submit_ns,
+                            obs::RequestOutcome::kExpired);
+        return Resolved(std::move(reject));
+    }
+
+    // Admission: one observation of this shard's pressure steps the
+    // state machine, then the shedding ladder maps (state, class) to
+    // full service, a degrade rung, or a shed.
+    const size_t queue_depth = shard.queue.Size();
+    const double fill =
+        static_cast<double>(queue_depth) /
+        static_cast<double>(config_.queue_capacity);
+    const bool slo_alerting =
+        latency_slo_ != nullptr && latency_slo_->Alerting();
+    const AdmissionAction action =
+        admission_->Decide(request.quality, fill, slo_alerting);
+    if (action == AdmissionAction::kShed) {
+        reject.status = core::Status(
+            core::StatusCode::kUnavailable,
+            std::string("admission ") +
+                AdmissionStateName(admission_->state()) + ": " +
+                QualityClassName(request.quality) +
+                " request shed (shard " +
+                std::to_string(shard_index) + " queue " +
+                std::to_string(queue_depth) + "/" +
+                std::to_string(config_.queue_capacity) +
+                "; retry later)");
+        reject.shard = shard_index;
+        obs_rejected_->Increment();
+        obs_adm_shed_->Increment();
+        RecordRefusalFlight(shard_index, trace_id, submit_ns,
+                            request.count,
+                            core::StatusCode::kUnavailable);
+        RecordTerminalTrace(trace_id, shard_index, submit_ns,
+                            obs::RequestOutcome::kShed);
+        return Resolved(std::move(reject));
+    }
+
     Pending pending;
     pending.request = std::move(request);
     pending.enqueue_ns = submit_ns;
     pending.trace_id = trace_id;
+    switch (action) {
+      case AdmissionAction::kAdmit:
+        obs_adm_admitted_->Increment();
+        break;
+      case AdmissionAction::kDegrade:
+        pending.degrade = core::DegradeMode::kSkipRecovery;
+        obs_adm_degraded_->Increment();
+        break;
+      case AdmissionAction::kBypassCheck:
+        pending.degrade = core::DegradeMode::kSkipCheck;
+        obs_adm_bypassed_->Increment();
+        break;
+      case AdmissionAction::kShed:
+        break;  // handled above.
+    }
     std::future<InvocationResult> future =
         pending.promise.get_future();
 
@@ -330,9 +412,16 @@ ShardedEngine::Submit(InvocationRequest request)
         reject.status = core::Status(
             core::StatusCode::kResourceExhausted,
             "shard " + std::to_string(shard_index) +
-                " queue is full (backpressure; retry later)");
+                " queue is full at " +
+                std::to_string(shard.queue.Size()) + "/" +
+                std::to_string(config_.queue_capacity) +
+                " (backpressure; retry later)");
         reject.shard = shard_index;
         obs_rejected_->Increment();
+        obs_adm_rejected_->Increment();
+        RecordRefusalFlight(shard_index, trace_id, submit_ns,
+                            pending.request.count,
+                            core::StatusCode::kResourceExhausted);
         RecordTerminalTrace(trace_id, shard_index, submit_ns,
                             obs::RequestOutcome::kRejected);
         // The promise in `pending` dies unused; the caller holds the
@@ -432,6 +521,26 @@ ShardedEngine::FinishOne(Pending* pending, InvocationResult result)
 }
 
 void
+ShardedEngine::RecordRefusalFlight(size_t shard_index,
+                                   uint64_t trace_id,
+                                   uint64_t submit_ns,
+                                   uint64_t elements,
+                                   core::StatusCode code)
+{
+    Shard& shard = *shards_[shard_index];
+    if (shard.flight == nullptr)
+        return;
+    FlightRecord record;
+    record.trace_id = trace_id;
+    record.shard = static_cast<uint32_t>(shard_index);
+    record.enqueue_ns = submit_ns;
+    record.complete_ns = obs::NowNs();
+    record.elements = elements;
+    record.status_code = static_cast<uint32_t>(code);
+    shard.flight->Append(record);
+}
+
+void
 ShardedEngine::RecordTerminalTrace(uint64_t trace_id,
                                    size_t shard_index,
                                    uint64_t submit_ns,
@@ -487,6 +596,20 @@ ShardedEngine::StatuszJson() const
     out += ",\"completed\":" + std::to_string(obs_completed_->Value());
     out += ",\"rejected\":" + std::to_string(obs_rejected_->Value());
     out += ",\"cancelled\":" + std::to_string(obs_cancelled_->Value());
+    out += ",\"admission\":{\"state\":\"";
+    out += AdmissionStateName(admission_->state());
+    out += "\",\"enabled\":";
+    out += admission_->config().enabled ? "true" : "false";
+    out += ",\"transitions\":" +
+           std::to_string(admission_->Transitions());
+    out += ",\"admitted\":" + std::to_string(obs_adm_admitted_->Value());
+    out += ",\"degraded\":" + std::to_string(obs_adm_degraded_->Value());
+    out += ",\"bypassed\":" + std::to_string(obs_adm_bypassed_->Value());
+    out += ",\"shed\":" + std::to_string(obs_adm_shed_->Value());
+    out += ",\"expired\":" + std::to_string(obs_adm_expired_->Value());
+    out += ",\"backpressure_rejected\":" +
+           std::to_string(obs_adm_rejected_->Value());
+    out += "}";
     if (latency_slo_ != nullptr) {
         out += ",\"latency_slo_alerting\":";
         out += latency_slo_->Alerting() ? "true" : "false";
@@ -592,6 +715,50 @@ ShardedEngine::ProcessBatch(Shard& shard, size_t shard_index,
 {
     const obs::Span batch_span("serve.batch");
     const uint64_t pickup_ns = obs::NowNs();
+
+    // Deadline-expired queued work never reaches the device: resolve
+    // it kDeadlineExceeded here, before the invocation is built, and
+    // leave the same counter/flight/trace trail a Submit-side expiry
+    // would.
+    size_t kept = 0;
+    for (Pending& pending : *batch) {
+        const uint64_t deadline = pending.request.deadline_ns;
+        if (deadline == 0 || pickup_ns <= deadline) {
+            if (kept != static_cast<size_t>(&pending - batch->data()))
+                (*batch)[kept] = std::move(pending);
+            ++kept;
+            continue;
+        }
+        InvocationResult expired;
+        expired.status = core::Status(
+            core::StatusCode::kDeadlineExceeded,
+            "deadline expired while queued (shard " +
+                std::to_string(shard_index) + ")");
+        expired.trace_id = pending.trace_id;
+        expired.shard = shard_index;
+        obs_adm_expired_->Increment();
+        RecordRefusalFlight(shard_index, pending.trace_id,
+                            pending.enqueue_ns, pending.request.count,
+                            core::StatusCode::kDeadlineExceeded);
+        RecordTerminalTrace(pending.trace_id, shard_index,
+                            pending.enqueue_ns,
+                            obs::RequestOutcome::kExpired);
+        FinishOne(&pending, std::move(expired));
+    }
+    batch->resize(kept);
+    if (batch->empty())
+        return;
+
+    // A coalesced batch runs at the *least* degraded rung any of its
+    // members was admitted at: requests share one invocation, and an
+    // admitted (or gold) member must not lose its checker because a
+    // best-effort neighbor rode along.
+    core::DegradeMode degrade = core::DegradeMode::kSkipCheck;
+    for (const Pending& pending : *batch) {
+        if (pending.degrade < degrade)
+            degrade = pending.degrade;
+    }
+
     size_t total = 0;
     for (const Pending& pending : *batch)
         total += pending.request.count;
@@ -622,7 +789,7 @@ ShardedEngine::ProcessBatch(Shard& shard, size_t shard_index,
         auditor_ != nullptr ? &shard.audit_capture : nullptr;
     const core::InvocationReport report =
         shard.runtime->ProcessInvocation(view, shard.scratch_out.data(),
-                                         capture);
+                                         capture, degrade);
 
     // Modeled accelerator occupancy (see ServeConfig): the shard's
     // virtual device stays busy for the invocation's element count;
@@ -646,7 +813,11 @@ ShardedEngine::ProcessBatch(Shard& shard, size_t shard_index,
     const uint64_t recover_ns =
         report.timings.recover_ns + report.timings.exact_ns;
     // Per-invocation quality SLO event: one verified error per batch.
-    if (quality_slo_ != nullptr) {
+    // Degraded invocations skip the verify pass, so they have no
+    // proxy error to judge — their quality is protected by the
+    // audited SLO instead (every degraded request is force-sampled).
+    if (quality_slo_ != nullptr &&
+        report.degrade == core::DegradeMode::kNone) {
         quality_slo_->Record(report.output_error_pct <=
                              quality_bound_pct_);
     }
@@ -708,8 +879,14 @@ ShardedEngine::ProcessBatch(Shard& shard, size_t shard_index,
             const obs::AuditConfig& audit_config = auditor_->Config();
             bool forced = false;
             const char* reason = "sampled";
-            if (audit_config.force_recovered && req_fixes > 0 &&
-                auditor_->SampleForcedRecovered()) {
+            if (report.degrade != core::DegradeMode::kNone) {
+                // Degraded service is exactly the traffic whose
+                // quality nothing else measures (verify skipped,
+                // proxy SLO silent): audit every one.
+                forced = true;
+                reason = "degraded";
+            } else if (audit_config.force_recovered && req_fixes > 0 &&
+                       auditor_->SampleForcedRecovered()) {
                 forced = true;
                 reason = "recovered";
             } else if (audit_config.force_breaker &&
@@ -859,11 +1036,14 @@ ShardedEngine::ProcessBatch(Shard& shard, size_t shard_index,
                                static_cast<uint32_t>(shard_index),
                                "breaker_open");
         } else if (fault && !shard.fault_dump_latched) {
+            // Latch stays set for the shard's lifetime: the dump
+            // captures the first fault's lead-in; a fault storm must
+            // not turn into a dump storm.
             shard.flight->Dump(config_.flight.dump_dir,
                                static_cast<uint32_t>(shard_index),
                                "fault");
+            shard.fault_dump_latched = true;
         }
-        shard.fault_dump_latched = fault || opened;
     }
     shard.last_breaker_state = breaker_state;
 }

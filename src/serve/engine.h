@@ -40,6 +40,7 @@
 #include "core/runtime.h"
 #include "core/status.h"
 #include "obs/reqtrace.h"
+#include "serve/admission.h"
 #include "serve/flight_recorder.h"
 #include "serve/queue.h"
 
@@ -170,6 +171,12 @@ struct ServeConfig {
         uint64_t min_events = 10;
     };
     AuditOptions audit;
+
+    /** Deadline-aware admission control (serve/admission.h): the
+     *  closed/shedding/emergency state machine that degrades and
+     *  sheds by quality class before queue-full backpressure hits.
+     *  admission.enabled = false reverts to pure reject-on-full. */
+    AdmissionConfig admission;
 };
 
 /** One asynchronous invocation request. */
@@ -185,6 +192,16 @@ struct InvocationRequest {
      * submission order.
      */
     int shard = kAnyShard;
+    /**
+     * Absolute deadline on the obs::NowNs() steady clock (0 = none).
+     * A request whose deadline has passed resolves kDeadlineExceeded
+     * — immediately at Submit, or at worker pickup without ever
+     * touching the device.
+     */
+    uint64_t deadline_ns = 0;
+    /** Service tier for admission control (serve/admission.h):
+     *  best-effort sheds first, gold is never shed by admission. */
+    QualityClass quality = QualityClass::kGold;
 
     static constexpr int kAnyShard = -1;
 };
@@ -233,10 +250,17 @@ class ShardedEngine {
      *                        shard index); resolved immediately.
      *  - kResourceExhausted — the target shard's queue is full
      *                        (backpressure); resolved immediately.
-     *  - kUnavailable      — engine already shut down.
+     *  - kUnavailable      — engine already shut down, or admission
+     *                        control shed the request (the message
+     *                        names the admission state).
+     *  - kDeadlineExceeded — the request's deadline passed (at
+     *                        Submit, or while queued — expired work
+     *                        never reaches the device).
      *  - kCancelled        — accepted, then Shutdown() before a
      *                        worker reached it.
-     *  - kOk               — served; outputs and report are valid.
+     *  - kOk               — served; outputs and report are valid
+     *                        (report.degrade records the overload
+     *                        rung it was served at).
      */
     std::future<InvocationResult> Submit(InvocationRequest request);
 
@@ -304,6 +328,10 @@ class ShardedEngine {
     /** The ground-truth quality auditor (null when disabled). */
     obs::QualityAuditor* Auditor() { return auditor_.get(); }
 
+    /** The admission controller (never null; inert when
+     *  ServeConfig::admission.enabled is false). */
+    AdmissionController* Admission() { return admission_.get(); }
+
   private:
     /** One queued request awaiting its shard worker. */
     struct Pending {
@@ -311,6 +339,8 @@ class ShardedEngine {
         std::promise<InvocationResult> promise;
         uint64_t enqueue_ns = 0;
         uint64_t trace_id = 0;  ///< assigned at Submit (obs/reqtrace.h).
+        /** Overload rung admission assigned (serve/admission.h). */
+        core::DegradeMode degrade = core::DegradeMode::kNone;
     };
 
     /** One worker shard: a runtime replica behind a bounded queue. */
@@ -353,6 +383,12 @@ class ShardedEngine {
     void RecordTerminalTrace(uint64_t trace_id, size_t shard_index,
                              uint64_t submit_ns,
                              obs::RequestOutcome outcome);
+    /** Flight-recorder entry for a request that never ran (rejected /
+     *  shed / expired): the refusal leaves the same incident trail a
+     *  served request would. */
+    void RecordRefusalFlight(size_t shard_index, uint64_t trace_id,
+                             uint64_t submit_ns, uint64_t elements,
+                             core::StatusCode code);
 
     ServeConfig config_;
     const size_t input_width_;
@@ -373,6 +409,15 @@ class ShardedEngine {
     obs::Counter* obs_coalesced_batches_;
     obs::Histogram* obs_enqueue_to_complete_ns_;
     obs::Histogram* obs_batch_elements_;
+    /** Admission outcomes (serve.admission.*): every Submit lands in
+     *  exactly one of admitted/degraded/bypassed/shed/expired/
+     *  rejected, so the sum reconciles with serve.submitted. */
+    obs::Counter* obs_adm_admitted_;
+    obs::Counter* obs_adm_degraded_;
+    obs::Counter* obs_adm_bypassed_;
+    obs::Counter* obs_adm_shed_;
+    obs::Counter* obs_adm_expired_;
+    obs::Counter* obs_adm_rejected_;
 
     /** SLO monitors (null when ServeConfig::slo disables them). */
     std::unique_ptr<obs::SloMonitor> latency_slo_;
@@ -380,6 +425,9 @@ class ShardedEngine {
     /** Ground-truth auditor (null when ServeConfig::audit or
      *  RUMBA_AUDIT_SAMPLE_N=0 disables it). */
     std::unique_ptr<obs::QualityAuditor> auditor_;
+    /** Admission state machine (always constructed; inert when
+     *  ServeConfig::admission.enabled is false). */
+    std::unique_ptr<AdmissionController> admission_;
     /** Quality-SLO pass bound: tuner target + margin (percent). */
     double quality_bound_pct_ = 0.0;
     /** Tuner mode name for /statusz (config constant). */

@@ -162,4 +162,50 @@ sed 's/"schema_version":2/"schema_version":1/' \
     --baseline "$DIR/audit_old.jsonl" > /dev/null 2>&1
 [[ $? -eq 2 ]] || fail "audit schema mismatch should exit 2"
 
+# 16. scenarios summarizes a RUMBA_SCENARIO_OUT matrix dump; any
+#     fail/error row makes the standalone summary exit 1.
+cat > "$DIR/scen_base.jsonl" <<'EOF'
+{"type":"meta","schema_version":2,"wall_time":"2026-01-01T00:00:00Z","hostname":"ci","build_type":"Release","sanitizers":""}
+{"type":"scenario","name":"steady","status":"pass","workload":"inversek2j","arrival":"poisson","fault":"","admission":true,"offered":900,"served":900,"shed":0,"expired":0,"rejected":0,"gold_p99_ms":2.5,"loss_fraction":0.0,"violations":""}
+{"type":"scenario","name":"burst","status":"pass","workload":"fft","arrival":"bursty","fault":"seed=7;npu.output_nan=0.3","admission":true,"offered":3000,"served":2000,"shed":950,"expired":0,"rejected":50,"gold_p99_ms":12.0,"loss_fraction":0.33,"violations":""}
+{"type":"scenario","name":"skipper","status":"skip","workload":"fft","arrival":"diurnal","fault":"","admission":true,"offered":0,"served":0,"shed":0,"expired":0,"rejected":0,"gold_p99_ms":0,"loss_fraction":0.0,"violations":"external RUMBA_FAULT_PLAN armed; not overriding"}
+EOF
+"$STAT" scenarios "$DIR/scen_base.jsonl" > "$DIR/scen_out.txt" ||
+    fail "scenario summary should succeed (got $?)"
+grep -q "3 scenarios: 2 pass, 0 fail/error, 1 skip" "$DIR/scen_out.txt" ||
+    fail "scenario summary should count statuses"
+sed 's/"name":"burst","status":"pass"/"name":"burst","status":"fail"/' \
+    "$DIR/scen_base.jsonl" > "$DIR/scen_fail.jsonl"
+"$STAT" scenarios "$DIR/scen_fail.jsonl" > /dev/null
+[[ $? -eq 1 ]] || fail "a failing scenario should exit 1 standalone"
+
+# 17. scenarios --baseline: pass stays pass (exit 0), a
+#     baseline-passing scenario failing or going missing is a
+#     regression (exit 1), and a skip is neutral.
+"$STAT" scenarios "$DIR/scen_base.jsonl" \
+    --baseline "$DIR/scen_base.jsonl" > /dev/null ||
+    fail "scenarios should pass against themselves (got $?)"
+"$STAT" scenarios "$DIR/scen_fail.jsonl" \
+    --baseline "$DIR/scen_base.jsonl" > "$DIR/scen_gate.txt"
+[[ $? -eq 1 ]] || fail "pass -> fail should gate (exit 1)"
+grep -q "REGRESSION.*burst" "$DIR/scen_gate.txt" ||
+    fail "the gate should name the regressed scenario"
+grep -v '"name":"burst"' "$DIR/scen_base.jsonl" \
+    > "$DIR/scen_missing.jsonl"
+"$STAT" scenarios "$DIR/scen_missing.jsonl" \
+    --baseline "$DIR/scen_base.jsonl" > /dev/null
+[[ $? -eq 1 ]] || fail "a missing baseline-pass scenario should gate"
+sed 's/"name":"burst","status":"pass"/"name":"burst","status":"skip"/' \
+    "$DIR/scen_base.jsonl" > "$DIR/scen_skip.jsonl"
+"$STAT" scenarios "$DIR/scen_skip.jsonl" \
+    --baseline "$DIR/scen_base.jsonl" > /dev/null ||
+    fail "pass -> skip is neutral, not a regression (got $?)"
+
+# 18. Schema mismatches between scenario dumps are refused.
+sed 's/"schema_version":2/"schema_version":1/' \
+    "$DIR/scen_base.jsonl" > "$DIR/scen_old.jsonl"
+"$STAT" scenarios "$DIR/scen_base.jsonl" \
+    --baseline "$DIR/scen_old.jsonl" > /dev/null 2>&1
+[[ $? -eq 2 ]] || fail "scenario schema mismatch should exit 2"
+
 echo "PASS: rumba-stat behaves"

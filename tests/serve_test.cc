@@ -26,8 +26,11 @@
 #include "fault/injector.h"
 #include "fault/plan.h"
 #include "obs/reqtrace.h"
+#include "obs/timer.h"
+#include "serve/admission.h"
 #include "serve/engine.h"
 #include "serve/flight_recorder.h"
+#include "serve/loadgen.h"
 #include "serve/queue.h"
 
 namespace rumba {
@@ -62,6 +65,11 @@ TEST(StatusTest, CodeNamesAreStable)
     EXPECT_STREQ(
         core::StatusCodeName(core::StatusCode::kFailedPrecondition),
         "failed-precondition");
+    EXPECT_STREQ(
+        core::StatusCodeName(core::StatusCode::kDeadlineExceeded),
+        "deadline-exceeded");
+    EXPECT_STREQ(core::StatusCodeName(core::StatusCode::kUnavailable),
+                 "unavailable");
 }
 
 TEST(ResultTest, HoldsValueOrStatus)
@@ -799,6 +807,244 @@ TEST(BatchViewTest, LegacyProcessInvocationMatchesViewForm)
     for (size_t i = 0; i < kCount; ++i)
         for (size_t o = 0; o < 2; ++o)
             EXPECT_DOUBLE_EQ(vec_out[i][o], flat_out[i * 2 + o]);
+}
+
+// ------------------------------------------- Admission state machine
+
+TEST(AdmissionControllerTest, SheddingLadderOrdersByClass)
+{
+    serve::AdmissionController adm(serve::AdmissionConfig{});
+    // One high-fill observation escalates immediately.
+    EXPECT_EQ(adm.Decide(serve::QualityClass::kGold, 0.80, false),
+              serve::AdmissionAction::kAdmit);
+    EXPECT_EQ(adm.state(), serve::AdmissionState::kShedding);
+    // While shedding: gold untouched, silver degrades, best-effort
+    // sheds at/above best_effort_shed_fill and degrades below it.
+    EXPECT_EQ(adm.Decide(serve::QualityClass::kSilver, 0.80, false),
+              serve::AdmissionAction::kDegrade);
+    EXPECT_EQ(
+        adm.Decide(serve::QualityClass::kBestEffort, 0.80, false),
+        serve::AdmissionAction::kShed);
+    EXPECT_EQ(
+        adm.Decide(serve::QualityClass::kBestEffort, 0.30, false),
+        serve::AdmissionAction::kDegrade);
+}
+
+TEST(AdmissionControllerTest, EmergencyNeverShedsGold)
+{
+    serve::AdmissionController adm(serve::AdmissionConfig{});
+    EXPECT_EQ(adm.Decide(serve::QualityClass::kGold, 0.96, false),
+              serve::AdmissionAction::kDegrade);
+    EXPECT_EQ(adm.state(), serve::AdmissionState::kEmergency);
+    EXPECT_EQ(adm.Decide(serve::QualityClass::kSilver, 0.96, false),
+              serve::AdmissionAction::kShed);
+    EXPECT_EQ(
+        adm.Decide(serve::QualityClass::kBestEffort, 0.96, false),
+        serve::AdmissionAction::kShed);
+    // Below the emergency shed fill the lower tiers ride the cheaper
+    // rungs (0.80 is still pressure, so the state holds).
+    EXPECT_EQ(adm.Decide(serve::QualityClass::kSilver, 0.80, false),
+              serve::AdmissionAction::kDegrade);
+    EXPECT_EQ(
+        adm.Decide(serve::QualityClass::kBestEffort, 0.80, false),
+        serve::AdmissionAction::kBypassCheck);
+    // Gold is degraded, never refused, no matter the pressure.
+    EXPECT_EQ(adm.Decide(serve::QualityClass::kGold, 1.0, true),
+              serve::AdmissionAction::kDegrade);
+    EXPECT_EQ(adm.state(), serve::AdmissionState::kEmergency);
+}
+
+TEST(AdmissionControllerTest, LatencySloEscalatesAtAnyFill)
+{
+    serve::AdmissionController adm(serve::AdmissionConfig{});
+    EXPECT_EQ(adm.Decide(serve::QualityClass::kGold, 0.05, true),
+              serve::AdmissionAction::kAdmit);
+    EXPECT_EQ(adm.state(), serve::AdmissionState::kShedding);
+}
+
+TEST(AdmissionControllerTest, HysteresisRequiresUnbrokenCalmRun)
+{
+    serve::AdmissionConfig config;
+    serve::AdmissionController adm(config);
+    ASSERT_EQ(adm.Decide(serve::QualityClass::kGold, 0.80, false),
+              serve::AdmissionAction::kAdmit);
+    ASSERT_EQ(adm.state(), serve::AdmissionState::kShedding);
+
+    // calm_steps - 1 calm observations are not enough...
+    for (uint32_t i = 0; i + 1 < config.calm_steps; ++i) {
+        adm.Decide(serve::QualityClass::kGold, 0.10, false);
+        EXPECT_EQ(adm.state(), serve::AdmissionState::kShedding);
+    }
+    // ...one more de-escalates.
+    adm.Decide(serve::QualityClass::kGold, 0.10, false);
+    EXPECT_EQ(adm.state(), serve::AdmissionState::kClosed);
+
+    // A single pressure observation mid-run resets the calm counter:
+    // the full run must be consecutive.
+    adm.Decide(serve::QualityClass::kGold, 0.80, false);
+    ASSERT_EQ(adm.state(), serve::AdmissionState::kShedding);
+    for (uint32_t i = 0; i + 1 < config.calm_steps; ++i)
+        adm.Decide(serve::QualityClass::kGold, 0.10, false);
+    adm.Decide(serve::QualityClass::kGold, 0.80, false);  // reset.
+    for (uint32_t i = 0; i + 1 < config.calm_steps; ++i) {
+        adm.Decide(serve::QualityClass::kGold, 0.10, false);
+        EXPECT_EQ(adm.state(), serve::AdmissionState::kShedding);
+    }
+    adm.Decide(serve::QualityClass::kGold, 0.10, false);
+    EXPECT_EQ(adm.state(), serve::AdmissionState::kClosed);
+    EXPECT_EQ(adm.Transitions(), 4u);
+}
+
+TEST(AdmissionControllerTest, DisabledAlwaysAdmits)
+{
+    serve::AdmissionConfig off;
+    off.enabled = false;
+    serve::AdmissionController adm(off);
+    EXPECT_EQ(adm.Decide(serve::QualityClass::kBestEffort, 1.0, true),
+              serve::AdmissionAction::kAdmit);
+    EXPECT_EQ(adm.state(), serve::AdmissionState::kClosed);
+    EXPECT_EQ(adm.Transitions(), 0u);
+}
+
+// ----------------------------------- Admission + deadlines in engine
+
+TEST(ShardedEngineTest, BestEffortShedsBeforeQueueFullRejectsGold)
+{
+    serve::ServeConfig config;
+    config.shards = 1;
+    config.queue_capacity = 8;
+    auto engine = MakeEngine(config);
+
+    // Park the worker and stack the queue to 7/8 with gold.
+    engine->Pause();
+    std::vector<std::future<serve::InvocationResult>> gold;
+    for (int r = 0; r < 7; ++r)
+        gold.push_back(engine->Submit(MakeRequest(r * 4, 4)));
+
+    // Best-effort is shed by admission (kUnavailable) while the queue
+    // still has room — shedding fires BEFORE queue-full backpressure.
+    serve::InvocationRequest best_effort = MakeRequest(0, 4);
+    best_effort.quality = serve::QualityClass::kBestEffort;
+    auto shed = engine->Submit(std::move(best_effort));
+    EXPECT_EQ(engine->Admission()->state(),
+              serve::AdmissionState::kShedding);
+
+    // The slot the shed request did not take still serves gold.
+    gold.push_back(engine->Submit(MakeRequest(28, 4)));
+
+    engine->Resume();
+    engine->Drain();
+
+    const auto shed_result = shed.get();
+    EXPECT_EQ(shed_result.status.code(),
+              core::StatusCode::kUnavailable);
+    EXPECT_TRUE(shed_result.outputs.empty());
+    for (auto& f : gold) {
+        const auto result = f.get();
+        EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+    }
+    engine->Shutdown();
+}
+
+TEST(ShardedEngineTest, ExpiredQueuedWorkNeverReachesTheDevice)
+{
+    serve::ServeConfig config;
+    config.shards = 1;
+    config.queue_capacity = 8;
+    config.admission.enabled = false;  // isolate the deadline path.
+    auto engine = MakeEngine(config);
+
+    engine->Pause();
+    auto healthy = engine->Submit(MakeRequest(0, 4));
+    serve::InvocationRequest doomed = MakeRequest(4, 4);
+    doomed.deadline_ns = obs::NowNs() + 2'000'000ull;  // +2 ms.
+    auto expired = engine->Submit(std::move(doomed));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    engine->Resume();
+    engine->Drain();
+
+    const auto expired_result = expired.get();
+    EXPECT_EQ(expired_result.status.code(),
+              core::StatusCode::kDeadlineExceeded);
+    // The promise the scenario matrix asserts fleet-wide: expired
+    // work resolves without ever executing, so it carries no outputs.
+    EXPECT_TRUE(expired_result.outputs.empty());
+    EXPECT_TRUE(healthy.get().status.ok());
+    engine->Shutdown();
+}
+
+TEST(ShardedEngineTest, DeadArrivalExpiresWithoutQueueSlot)
+{
+    serve::ServeConfig config;
+    config.shards = 1;
+    auto engine = MakeEngine(config);
+    serve::InvocationRequest dead = MakeRequest(0, 4);
+    dead.deadline_ns = 1;  // long past.
+    const auto result = engine->Submit(std::move(dead)).get();
+    EXPECT_EQ(result.status.code(),
+              core::StatusCode::kDeadlineExceeded);
+    EXPECT_TRUE(result.outputs.empty());
+    engine->Shutdown();
+}
+
+// ------------------------------------------------------ Loadgen smoke
+
+TEST(LoadGeneratorTest, ArrivalProcessNamesRoundTrip)
+{
+    for (const auto arrival : {serve::ArrivalProcess::kPoisson,
+                               serve::ArrivalProcess::kBursty,
+                               serve::ArrivalProcess::kDiurnal}) {
+        serve::ArrivalProcess parsed;
+        ASSERT_TRUE(serve::ParseArrivalProcess(
+            serve::ArrivalProcessName(arrival), &parsed));
+        EXPECT_EQ(parsed, arrival);
+    }
+    serve::ArrivalProcess unused;
+    EXPECT_FALSE(serve::ParseArrivalProcess("lunar", &unused));
+}
+
+TEST(LoadGeneratorTest, OpenLoopRunAccountsForEveryArrival)
+{
+    serve::ServeConfig config;
+    config.shards = 2;
+    config.queue_capacity = 8;
+    auto engine = MakeEngine(config);
+
+    serve::LoadGenConfig load;
+    load.arrival = serve::ArrivalProcess::kPoisson;
+    load.rate_hz = 2000.0;
+    load.duration_ns = 100'000'000ull;  // 100 ms schedule.
+    load.elements = 4;
+    load.seed = 1234;
+    load.input_pool = SharedInputs();
+    load.best_effort_deadline_ns = 5'000'000ull;  // 5 ms.
+
+    serve::LoadGenerator generator(*engine, load);
+    const serve::LoadReport report = generator.Run();
+    engine->Shutdown();
+
+    EXPECT_GT(report.offered, 0u);
+    // Every arrival lands in exactly one outcome bucket — nothing is
+    // lost silently, under any interleaving.
+    uint64_t submitted_sum = 0;
+    for (const auto& cls : report.per_class) {
+        submitted_sum += cls.submitted;
+        EXPECT_EQ(cls.submitted,
+                  cls.ok + cls.degraded + cls.bypassed + cls.shed +
+                      cls.expired + cls.rejected + cls.cancelled +
+                      cls.failed);
+    }
+    EXPECT_EQ(report.offered, submitted_sum);
+    EXPECT_EQ(report.expired_with_output, 0u);
+    EXPECT_EQ(report.Total().failed, 0u);
+
+    // The schedule is frozen by the seed: a second run offers exactly
+    // the same arrivals no matter how the first engine coped.
+    auto engine2 = MakeEngine(config);
+    serve::LoadGenerator generator2(*engine2, load);
+    const serve::LoadReport report2 = generator2.Run();
+    engine2->Shutdown();
+    EXPECT_EQ(report2.offered, report.offered);
 }
 
 }  // namespace

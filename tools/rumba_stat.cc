@@ -1410,6 +1410,192 @@ CmdAudit(const std::string& path, const std::string& baseline_path,
     return regressions == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// scenarios: summarize / gate a scenario-matrix dump
+// (tools/rumba_scenarios --out, RUMBA_SCENARIO_OUT).
+// ---------------------------------------------------------------------------
+
+/** One "type":"scenario" line from the matrix runner. */
+struct ScenarioRow {
+    std::string name, status, workload, arrival, fault, violations;
+    bool admission = false;
+    double offered = 0, served = 0, shed = 0, expired = 0,
+           rejected = 0, gold_p99_ms = 0, loss_fraction = 0;
+};
+
+/** A loaded scenario dump: meta header plus rows in file order. */
+struct ScenarioDump {
+    std::string path;
+    bool has_meta = false;
+    long schema_version = -1;
+    std::vector<ScenarioRow> rows;
+};
+
+bool
+LoadScenarioDump(const std::string& path, ScenarioDump* dump)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "rumba-stat: cannot open %s\n",
+                     path.c_str());
+        return false;
+    }
+    dump->path = path;
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        JsonObject obj;
+        if (!ParseJsonLine(line, &obj)) {
+            std::fprintf(stderr,
+                         "rumba-stat: %s:%zu: malformed JSON line\n",
+                         path.c_str(), lineno);
+            return false;
+        }
+        const std::string type = TextField(obj, "type");
+        if (type == "meta") {
+            dump->has_meta = true;
+            dump->schema_version =
+                static_cast<long>(Field(obj, "schema_version", -1));
+            continue;
+        }
+        if (type != "scenario")
+            continue;
+        ScenarioRow row;
+        row.name = TextField(obj, "name");
+        row.status = TextField(obj, "status");
+        row.workload = TextField(obj, "workload");
+        row.arrival = TextField(obj, "arrival");
+        row.fault = TextField(obj, "fault");
+        row.violations = TextField(obj, "violations");
+        row.admission = Field(obj, "admission") != 0;
+        row.offered = Field(obj, "offered");
+        row.served = Field(obj, "served");
+        row.shed = Field(obj, "shed");
+        row.expired = Field(obj, "expired");
+        row.rejected = Field(obj, "rejected");
+        row.gold_p99_ms = Field(obj, "gold_p99_ms");
+        row.loss_fraction = Field(obj, "loss_fraction");
+        if (row.name.empty() || row.status.empty()) {
+            std::fprintf(stderr,
+                         "rumba-stat: %s:%zu: scenario line missing "
+                         "name/status\n",
+                         path.c_str(), lineno);
+            return false;
+        }
+        dump->rows.push_back(std::move(row));
+    }
+    if (dump->rows.empty()) {
+        std::fprintf(stderr,
+                     "rumba-stat: %s: no scenario lines found\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+const ScenarioRow*
+FindScenario(const ScenarioDump& dump, const std::string& name)
+{
+    for (const ScenarioRow& row : dump.rows)
+        if (row.name == name)
+            return &row;
+    return nullptr;
+}
+
+int
+CmdScenarios(const std::string& path, const std::string& baseline_path)
+{
+    ScenarioDump dump;
+    if (!LoadScenarioDump(path, &dump))
+        return 2;
+
+    std::printf("== %s ==\n", dump.path.c_str());
+    size_t pass = 0, fail = 0, skip = 0;
+    for (const ScenarioRow& row : dump.rows) {
+        if (row.status == "pass")
+            ++pass;
+        else if (row.status == "skip")
+            ++skip;
+        else
+            ++fail;
+        std::printf("  %-5s %-24s %-10s %-8s adm=%-3s offered=%-6.0f "
+                    "served=%-6.0f shed=%-5.0f rejected=%-5.0f "
+                    "gold_p99=%.1fms loss=%.3f\n",
+                    row.status.c_str(), row.name.c_str(),
+                    row.workload.c_str(), row.arrival.c_str(),
+                    row.admission ? "on" : "off", row.offered,
+                    row.served, row.shed, row.rejected,
+                    row.gold_p99_ms, row.loss_fraction);
+        if (!row.violations.empty())
+            std::printf("        violations: %s\n",
+                        row.violations.c_str());
+    }
+    std::printf("%zu scenarios: %zu pass, %zu fail/error, %zu skip\n",
+                dump.rows.size(), pass, fail, skip);
+
+    if (baseline_path.empty())
+        return fail == 0 ? 0 : 1;
+
+    ScenarioDump base;
+    if (!LoadScenarioDump(baseline_path, &base))
+        return 2;
+    if (base.has_meta && dump.has_meta &&
+        base.schema_version != dump.schema_version) {
+        std::fprintf(stderr,
+                     "rumba-stat: schema mismatch: %s is v%ld, %s is "
+                     "v%ld — refusing to diff\n",
+                     base.path.c_str(), base.schema_version,
+                     dump.path.c_str(), dump.schema_version);
+        return 2;
+    }
+
+    // Gate: any scenario the baseline passed must still pass (a skip
+    // is neutral — the environment forced it off, e.g. an external
+    // RUMBA_FAULT_PLAN). New scenarios and fixed failures are notes.
+    std::printf("\nscenario gate vs %s:\n", baseline_path.c_str());
+    size_t regressions = 0, compared = 0;
+    for (const ScenarioRow& brow : base.rows) {
+        if (brow.status != "pass")
+            continue;
+        ++compared;
+        const ScenarioRow* crow = FindScenario(dump, brow.name);
+        if (crow == nullptr) {
+            ++regressions;
+            std::printf("REGRESSION  %-24s pass -> (missing)\n",
+                        brow.name.c_str());
+            continue;
+        }
+        if (crow->status == "pass" || crow->status == "skip")
+            continue;
+        ++regressions;
+        std::printf("REGRESSION  %-24s pass -> %s%s%s\n",
+                    brow.name.c_str(), crow->status.c_str(),
+                    crow->violations.empty() ? "" : ": ",
+                    crow->violations.c_str());
+    }
+    for (const ScenarioRow& brow : base.rows) {
+        if (brow.status == "pass")
+            continue;
+        const ScenarioRow* crow = FindScenario(dump, brow.name);
+        if (crow != nullptr && crow->status == "pass")
+            std::printf("note: %s now passes (was %s)\n",
+                        brow.name.c_str(), brow.status.c_str());
+    }
+    for (const ScenarioRow& crow : dump.rows) {
+        if (FindScenario(base, crow.name) == nullptr)
+            std::printf("note: new scenario %s (%s) — not in "
+                        "baseline\n",
+                        crow.name.c_str(), crow.status.c_str());
+    }
+    std::printf("%s: %zu baseline scenarios gated, %zu regressions\n",
+                regressions == 0 ? "PASS" : "FAIL", compared,
+                regressions);
+    return regressions == 0 ? 0 : 1;
+}
+
 int
 Usage()
 {
@@ -1427,6 +1613,8 @@ Usage()
         "      [--tol <abs>] [--worst <K>]\n"
         "  rumba-stat profile <target> [--baseline <profilez.json>]\n"
         "      [--tol <rel>]\n"
+        "  rumba-stat scenarios <scenarios.jsonl>\n"
+        "      [--baseline <scenarios.jsonl>]\n"
         "\n"
         "Dumps are RUMBA_METRICS_OUT metric files or RUMBA_STREAM_OUT\n"
         "sample streams (JSONL; '.csv' metric dumps load too).\n"
@@ -1448,7 +1636,13 @@ Usage()
         "rolling speedup/energy estimate; --baseline gates the two\n"
         "efficiency figures against a saved /profilez body (exit 1\n"
         "when either worsens by more than --tol, default 0.15\n"
-        "relative; 2 on schema mismatch).\n");
+        "relative; 2 on schema mismatch).\n"
+        "scenarios reads a RUMBA_SCENARIO_OUT matrix dump (tools/\n"
+        "rumba_scenarios --out): per-scenario status table plus\n"
+        "violations; without --baseline, exit 1 when any scenario is\n"
+        "fail/error; with --baseline, exit 1 when any scenario the\n"
+        "baseline passed now fails or is missing (skips are neutral;\n"
+        "new scenarios and fixed failures are notes).\n");
     return 2;
 }
 
@@ -1557,6 +1751,24 @@ main(int argc, char** argv)
         if (targets.size() != 1)
             return Usage();
         return CmdProfile(targets[0], baseline, tol);
+    }
+
+    if (cmd == "scenarios") {
+        std::string baseline;
+        std::vector<std::string> files;
+        for (int i = 2; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--baseline" && i + 1 < argc) {
+                baseline = argv[++i];
+            } else if (!arg.empty() && arg[0] == '-') {
+                return Usage();
+            } else {
+                files.push_back(arg);
+            }
+        }
+        if (files.size() != 1)
+            return Usage();
+        return CmdScenarios(files[0], baseline);
     }
 
     if (cmd == "audit") {
