@@ -33,6 +33,15 @@ RUMBA_METRICS_OUT=build/serve_throughput.metrics.jsonl \
 ./build/tools/rumba-stat diff \
     bench/baselines/serve_throughput.metrics.jsonl \
     build/serve_throughput.metrics.jsonl --tol 0.02
+# Tiered-recovery gate: the three-tier example streams and serves
+# with compensation on; the baseline pins the recovery.tier.* split,
+# the boundary-tuner feedback counters, and the audited-quality
+# outcome (zero true TOQ violations with the compensate tier live).
+RUMBA_METRICS_OUT=build/recovery_tiers.metrics.jsonl \
+    ./build/examples/tiered_recovery > /dev/null
+./build/tools/rumba-stat diff \
+    bench/baselines/recovery_tiers.metrics.jsonl \
+    build/recovery_tiers.metrics.jsonl --tol 0.02
 
 echo "==> live observability gate (scrape endpoint + flight recorder)"
 # Run the deploy example with the scrape server up and a flight-dump
@@ -77,6 +86,13 @@ grep -q '^rumba_serve_shard0_threshold' build/deploy_scrape.prom
 awk '/^rumba_audit_samples_total/ { if ($NF + 0 > 0) found = 1 }
      END { exit !found }' build/deploy_scrape.prom
 grep -q '^rumba_audit_true_toq_violation_rate' build/deploy_scrape.prom
+# Tiered recovery in the live binary: the deploy config enables the
+# compensate tier, so the scrape must show all three recovery tiers
+# with a nonzero compensated share.
+awk '/^rumba_recovery_tier_compensate_total/ { if ($NF + 0 > 0) f = 1 }
+     END { exit !f }' build/deploy_scrape.prom
+awk '/^rumba_recovery_tier_reexecute_total/ { if ($NF + 0 > 0) f = 1 }
+     END { exit !f }' build/deploy_scrape.prom
 # Build identity must be scrapeable next to the metrics.
 curl -sf "http://127.0.0.1:$obs_port/buildz" | grep -q '"git_describe"'
 # Cost profiler: the engine must have attributed real CPU to the

@@ -73,6 +73,7 @@ main()
             .WithChecker(core::Scheme::kHybrid)  // offline best-of.
             .WithTunerMode(core::TuningMode::kToq)
             .WithTargetErrorPct(10.0)
+            .WithCompensation()  // three-tier recovery in production.
             .Build();
 
     // A RUMBA_FAULT_PLAN in the environment is honored — but during
@@ -246,14 +247,19 @@ main()
 
     core::BreakerState last_state = drill.Breaker().State();
     size_t drill_batches = 0;
+    std::vector<double> drill_in;
+    std::vector<double> drill_out(kServeBatch * out_w);
     auto drill_batch = [&](size_t index) {
-        std::vector<std::vector<double>> batch_in;
-        batch_in.reserve(kServeBatch);
-        for (size_t k = 0; k < kServeBatch; ++k)
-            batch_in.push_back(
-                inputs[(index * kServeBatch + k) % inputs.size()]);
-        std::vector<std::vector<double>> batch_out;
-        const auto r = drill.ProcessInvocation(batch_in, &batch_out);
+        drill_in.clear();
+        drill_in.reserve(kServeBatch * in_w);
+        for (size_t k = 0; k < kServeBatch; ++k) {
+            const auto& row =
+                inputs[(index * kServeBatch + k) % inputs.size()];
+            drill_in.insert(drill_in.end(), row.begin(), row.end());
+        }
+        const auto r = drill.ProcessInvocation(
+            core::BatchView(drill_in.data(), kServeBatch, in_w),
+            drill_out.data());
         ++drill_batches;
         if (r.breaker_state != last_state) {
             std::printf("[fault] batch %zu: breaker %s -> %s "
@@ -490,17 +496,19 @@ main()
         overload_submitted += cls.submitted;
         overload_accounted =
             overload_accounted &&
-            cls.submitted == cls.ok + cls.degraded + cls.bypassed +
-                                 cls.shed + cls.expired +
-                                 cls.rejected + cls.cancelled +
-                                 cls.failed;
+            cls.submitted == cls.ok + cls.degraded + cls.compensated +
+                                 cls.bypassed + cls.shed +
+                                 cls.expired + cls.rejected +
+                                 cls.cancelled + cls.failed;
         std::printf("[overload] %-11s submitted %-5llu served %-5llu "
-                    "(degraded %llu, bypassed %llu) shed %-4llu "
+                    "(compensated %llu, degraded %llu, bypassed "
+                    "%llu) shed %-4llu "
                     "expired %-4llu rejected %-4llu p99 %.1f ms\n",
                     serve::QualityClassName(
                         static_cast<serve::QualityClass>(c)),
                     static_cast<unsigned long long>(cls.submitted),
                     static_cast<unsigned long long>(cls.Served()),
+                    static_cast<unsigned long long>(cls.compensated),
                     static_cast<unsigned long long>(cls.degraded),
                     static_cast<unsigned long long>(cls.bypassed),
                     static_cast<unsigned long long>(cls.shed),

@@ -21,6 +21,7 @@
 
 #include "apps/fft.h"
 #include "common/random.h"
+#include "core/batch_view.h"
 #include "core/runtime.h"
 
 using namespace rumba;
@@ -128,17 +129,22 @@ main()
     core::RumbaRuntime unchecked(apps::MakeBenchmark("fft"),
                                  unchecked_cfg);
 
-    std::vector<std::vector<double>> tw_rumba, tw_raw;
+    const std::vector<double> flat = core::FlattenBatch(fractions);
+    const core::BatchView view(flat.data(), fractions.size(),
+                               runtime.Bench().NumInputs());
+    const size_t tw_w = runtime.Bench().NumOutputs();
+    std::vector<double> tw_rumba(fractions.size() * tw_w);
+    std::vector<double> tw_raw(tw_rumba.size());
     const auto report_rumba =
-        runtime.ProcessInvocation(fractions, &tw_rumba);
+        runtime.ProcessInvocation(view, tw_rumba.data());
     const auto report_raw =
-        unchecked.ProcessInvocation(fractions, &tw_raw);
+        unchecked.ProcessInvocation(view, tw_raw.data());
 
-    auto run_with = [&](const std::vector<std::vector<double>>& tw) {
+    auto run_with = [&](const std::vector<double>& tw) {
         std::vector<Complex> data = signal;
         Fft(&data, [&](double frac) {
-            const auto& t = tw[fraction_index.at(frac)];
-            return Complex{t[0], t[1]};
+            const size_t t = tw_w * fraction_index.at(frac);
+            return Complex{tw[t], tw[t + 1]};
         });
         return data;
     };

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "apps/blackscholes.h"
+#include "core/batch_view.h"
 #include "core/runtime.h"
 
 using namespace rumba;
@@ -22,11 +23,11 @@ using namespace rumba;
 namespace {
 
 double
-BookValue(const std::vector<std::vector<double>>& prices)
+BookValue(const std::vector<double>& prices)
 {
     double total = 0.0;
-    for (const auto& p : prices)
-        total += p[0];
+    for (double p : prices)
+        total += p;
     return total;
 }
 
@@ -72,9 +73,13 @@ main()
         std::vector<std::vector<double>> scenario(
             book.begin() + static_cast<ptrdiff_t>(s * batch),
             book.begin() + static_cast<ptrdiff_t>((s + 1) * batch));
-        std::vector<std::vector<double>> prices;
-        const auto report =
-            runtime.ProcessInvocation(scenario, &prices);
+        const std::vector<double> flat = core::FlattenBatch(scenario);
+        std::vector<double> prices(scenario.size() *
+                                   runtime.Bench().NumOutputs());
+        const auto report = runtime.ProcessInvocation(
+            core::BatchView(flat.data(), scenario.size(),
+                            runtime.Bench().NumInputs()),
+            prices.data());
 
         const double exact = ExactBookValue(bench, scenario);
         const double approx = BookValue(prices);

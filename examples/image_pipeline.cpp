@@ -17,6 +17,7 @@
 
 #include "apps/sobel.h"
 #include "common/imagegen.h"
+#include "core/batch_view.h"
 #include "core/runtime.h"
 
 using namespace rumba;
@@ -53,12 +54,18 @@ main()
     std::printf("training accelerator network and error predictor...\n");
     core::RumbaRuntime runtime(apps::MakeBenchmark("sobel"), config);
 
-    std::vector<std::vector<double>> outputs;
-    const auto report = runtime.ProcessInvocation(windows, &outputs);
+    // One flat buffer backs every invocation below (Sobel outputs one
+    // gradient value per window, so outputs index 1:1 with windows).
+    const std::vector<double> flat = core::FlattenBatch(windows);
+    const core::BatchView view(flat.data(), windows.size(),
+                               runtime.Bench().NumInputs());
+    std::vector<double> outputs(windows.size() *
+                                runtime.Bench().NumOutputs());
+    const auto report = runtime.ProcessInvocation(view, outputs.data());
 
     GrayImage rumba_map(out_w, out_h);
     for (size_t i = 0; i < outputs.size(); ++i)
-        rumba_map.MutableData()[i] = outputs[i][0];
+        rumba_map.MutableData()[i] = outputs[i];
 
     // Unchecked accelerator map: rebuild the runtime's accelerator
     // result by subtracting the fixes — simplest honest route is a
@@ -70,18 +77,18 @@ main()
             .Build();
     core::RumbaRuntime unchecked(apps::MakeBenchmark("sobel"),
                                  unchecked_cfg);
-    std::vector<std::vector<double>> raw_outputs;
+    std::vector<double> raw_outputs(outputs.size());
     const auto raw_report =
-        unchecked.ProcessInvocation(windows, &raw_outputs);
+        unchecked.ProcessInvocation(view, raw_outputs.data());
     GrayImage raw_map(out_w, out_h);
     for (size_t i = 0; i < raw_outputs.size(); ++i)
-        raw_map.MutableData()[i] = raw_outputs[i][0];
+        raw_map.MutableData()[i] = raw_outputs[i];
 
     // Fix mask: where Rumba's output differs from the unchecked one.
     GrayImage fixmask(out_w, out_h);
     for (size_t i = 0; i < outputs.size(); ++i)
         fixmask.MutableData()[i] =
-            outputs[i][0] == raw_outputs[i][0] ? 0.0 : 1.0;
+            outputs[i] == raw_outputs[i] ? 0.0 : 1.0;
 
     exact.WritePgm("edge_exact.pgm");
     raw_map.WritePgm("edge_unchecked.pgm");

@@ -17,22 +17,24 @@
 
 #include "apps/inversek2j.h"
 #include "common/statistics.h"
+#include "core/batch_view.h"
 #include "core/runtime.h"
 
 using namespace rumba;
 
 namespace {
 
-/** End-effector deviations of solved angles vs targets. */
+/** End-effector deviations of solved angles (flat, 2 per waypoint)
+ *  vs targets. */
 std::vector<double>
 Deviations(const std::vector<std::vector<double>>& targets,
-           const std::vector<std::vector<double>>& angles)
+           const std::vector<double>& angles)
 {
     std::vector<double> devs(targets.size());
     for (size_t i = 0; i < targets.size(); ++i) {
         double x = 0.0, y = 0.0;
-        apps::InverseK2j::ForwardKinematics(angles[i][0], angles[i][1],
-                                            &x, &y);
+        apps::InverseK2j::ForwardKinematics(angles[2 * i],
+                                            angles[2 * i + 1], &x, &y);
         const double dx = x - targets[i][0];
         const double dy = y - targets[i][1];
         devs[i] = std::sqrt(dx * dx + dy * dy);
@@ -77,11 +79,16 @@ main()
     core::RumbaRuntime unchecked(apps::MakeBenchmark("inversek2j"),
                                  unchecked_cfg);
 
-    std::vector<std::vector<double>> angles_rumba, angles_raw;
+    const std::vector<double> flat = core::FlattenBatch(waypoints);
+    const core::BatchView view(flat.data(), waypoints.size(),
+                               runtime.Bench().NumInputs());
+    std::vector<double> angles_rumba(waypoints.size() *
+                                     runtime.Bench().NumOutputs());
+    std::vector<double> angles_raw(angles_rumba.size());
     const auto rumba_report =
-        runtime.ProcessInvocation(waypoints, &angles_rumba);
+        runtime.ProcessInvocation(view, angles_rumba.data());
     const auto raw_report =
-        unchecked.ProcessInvocation(waypoints, &angles_raw);
+        unchecked.ProcessInvocation(view, angles_raw.data());
 
     const auto devs_raw = Deviations(waypoints, angles_raw);
     const auto devs_rumba = Deviations(waypoints, angles_rumba);

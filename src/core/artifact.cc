@@ -84,6 +84,8 @@ Artifact::ToString() const
     EmitSection(payload, "in_norm", in_norm);
     EmitSection(payload, "out_norm", out_norm);
     EmitSection(payload, "predictor", predictor);
+    if (!compensator.empty())
+        EmitSection(payload, "compensator", compensator);
     const std::string body = payload.str();
     return std::string(kHeaderV2) + "\n" + kChecksumTag +
            HexU64(Fnv1a64(body.data(), body.size())) + "\n" + body;
@@ -147,6 +149,13 @@ Artifact::TryFromString(const std::string& text)
         !TryReadSection(payload, "out_norm", &parsed.out_norm,
                         &error) ||
         !TryReadSection(payload, "predictor", &parsed.predictor,
+                        &error)) {
+        return data_loss(std::move(error));
+    }
+    // Optional section: artifacts exported without a compensator (and
+    // every pre-compensation blob) simply lack it.
+    if (payload.find("BEGIN compensator\n") != std::string::npos &&
+        !TryReadSection(payload, "compensator", &parsed.compensator,
                         &error)) {
         return data_loss(std::move(error));
     }

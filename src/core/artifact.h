@@ -29,6 +29,11 @@ struct Artifact {
     std::string in_norm;     ///< input normalizer blob.
     std::string out_norm;    ///< output normalizer blob.
     std::string predictor;   ///< trained checker blob.
+    /** Trained self-compensation model blob (predict/compensator.h),
+     *  empty when the artifact was exported without one. The section
+     *  is optional on the wire: v1/v2 blobs without it still load,
+     *  so pre-compensation artifacts stay deployable. */
+    std::string compensator;
     double threshold = 0.0;  ///< calibrated detection threshold.
 
     /**

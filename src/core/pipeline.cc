@@ -115,7 +115,8 @@ Pipeline::Pipeline(std::unique_ptr<apps::Benchmark> bench,
 
 Artifact
 Pipeline::ExportArtifact(const predict::ErrorPredictor& predictor,
-                         double threshold) const
+                         double threshold,
+                         const predict::Compensator* compensator) const
 {
     Artifact artifact;
     artifact.benchmark = bench_->Info().name;
@@ -124,6 +125,8 @@ Pipeline::ExportArtifact(const predict::ErrorPredictor& predictor,
     artifact.in_norm = in_norm_.Serialize();
     artifact.out_norm = out_norm_.Serialize();
     artifact.predictor = predictor.Serialize();
+    if (compensator != nullptr && compensator->Trained())
+        artifact.compensator = compensator->Serialize();
     artifact.threshold = threshold;
     return artifact;
 }
@@ -139,6 +142,13 @@ Pipeline::NormalizeInput(const double* raw,
                          std::vector<double>* out) const
 {
     in_norm_.Apply(raw, in_norm_.Arity(), out);
+}
+
+void
+Pipeline::NormalizeOutput(const double* raw,
+                          std::vector<double>* out) const
+{
+    out_norm_.Apply(raw, out_norm_.Arity(), out);
 }
 
 std::vector<double>
@@ -213,6 +223,57 @@ Pipeline::TrainPredictor(Scheme scheme) const
         .GetCounter("pipeline.predictor_trainings")
         ->Increment();
     return predictor;
+}
+
+predict::Compensator
+Pipeline::TrainCompensator() const
+{
+    RUMBA_CHECK(!train_inputs_.empty());
+    const obs::ScopedTimer timer(obs::Registry::Default().GetHistogram(
+        "pipeline.compensator_train_ns"));
+    npu::Npu accel = MakeAccelerator(/*use_rumba_topology=*/true);
+    const auto approx = RunAccelerator(&accel, train_inputs_);
+    const Dataset raw_train = bench_->MakeDataset(train_inputs_);
+    // Features are [normalized inputs | normalized approximate
+    // outputs]: the checker only ever sees the inputs, so on the
+    // elements it misjudges the inputs carry no signal — where the
+    // accelerator actually landed is the evidence the residual
+    // network needs. Targets are the signed NN-domain residuals
+    // exact − approximate.
+    //
+    // Train on the hard tail, not the whole distribution: the
+    // compensator is only ever applied to elements the checker
+    // fired on, and an MSE fit over all elements is dominated by the
+    // easy mass it will never see. Keep every element whose true
+    // error reaches the tail quantile (plus a quarter of the easy
+    // mass as a stabilizer so the fit does not forget what "nearly
+    // right" looks like).
+    RUMBA_CHECK(train_errors_.size() == train_inputs_.size());
+    std::vector<double> sorted(train_errors_);
+    std::sort(sorted.begin(), sorted.end());
+    const double tail_cut = sorted[sorted.size() * 6 / 10];
+    const size_t out_w = bench_->NumOutputs();
+    Dataset refine(bench_->NumInputs() + out_w, out_w);
+    std::vector<double> features, norm_out, norm_exact, target(out_w);
+    for (size_t s = 0; s < train_inputs_.size(); ++s) {
+        if (train_errors_[s] < tail_cut && (s & 3u) != 0)
+            continue;
+        features = in_norm_.Apply(train_inputs_[s]);
+        out_norm_.Apply(approx[s].data(), out_w, &norm_out);
+        norm_exact = out_norm_.Apply(raw_train.Target(s));
+        for (size_t o = 0; o < out_w; ++o)
+            target[o] = norm_exact[o] - norm_out[o];
+        features.insert(features.end(), norm_out.begin(),
+                        norm_out.end());
+        refine.Add(features, target);
+    }
+    obs::Registry::Default()
+        .GetCounter("pipeline.compensator_trainings")
+        ->Increment();
+    nn::TrainConfig tc;
+    tc.epochs = config_.train_epochs;
+    tc.seed = config_.seed;
+    return predict::Compensator::Train(refine, tc);
 }
 
 }  // namespace rumba::core

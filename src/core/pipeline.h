@@ -19,6 +19,7 @@
 #include "common/dataset.h"
 #include "core/schemes.h"
 #include "npu/npu.h"
+#include "predict/compensator.h"
 #include "predict/predictor.h"
 
 namespace rumba::core {
@@ -55,9 +56,12 @@ class Pipeline {
     /**
      * Export the trained configuration (networks + normalizers) plus
      * the given checker and threshold as a deployable artifact.
+     * @p compensator, when non-null and trained, rides along as the
+     * artifact's optional compensator section.
      */
-    Artifact ExportArtifact(const predict::ErrorPredictor& predictor,
-                            double threshold) const;
+    Artifact ExportArtifact(
+        const predict::ErrorPredictor& predictor, double threshold,
+        const predict::Compensator* compensator = nullptr) const;
 
     /** The application. */
     const apps::Benchmark& Bench() const { return *bench_; }
@@ -91,6 +95,13 @@ class Pipeline {
      *  reusable scratch vector (hot-path form, no allocation once
      *  @p out has capacity). */
     void NormalizeInput(const double* raw, std::vector<double>* out)
+        const;
+
+    /** Map one element's raw outputs into the NN domain (the forward
+     *  direction of the output normalizer; hot-path borrowed-buffer
+     *  form). The compensator's feature builder uses this to fold the
+     *  approximate outputs into its feature vector. */
+    void NormalizeOutput(const double* raw, std::vector<double>* out)
         const;
 
     /** Map NN-domain outputs back into the raw output domain. */
@@ -131,6 +142,17 @@ class Pipeline {
      */
     std::unique_ptr<predict::ErrorPredictor> TrainPredictor(
         Scheme scheme) const;
+
+    /**
+     * Offline-train the self-compensation model (the recovery middle
+     * tier's executor): runs the Rumba-topology accelerator over the
+     * training elements and fits normalized inputs -> raw-domain
+     * signed residuals (exact − approximate). Requires an offline
+     * training run — unavailable (checked-fatal) on an
+     * artifact-restored pipeline, whose artifact carries the trained
+     * compensator instead.
+     */
+    predict::Compensator TrainCompensator() const;
 
     /**
      * True per-element errors of the Rumba-topology accelerator on

@@ -1,0 +1,129 @@
+#include "core/recovery_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace rumba::core {
+
+const char*
+RecoveryTierName(RecoveryTier tier)
+{
+    switch (tier) {
+      case RecoveryTier::kAccept:
+        return "accept";
+      case RecoveryTier::kCompensate:
+        return "compensate";
+      case RecoveryTier::kReexecute:
+        return "reexecute";
+    }
+    return "unknown";
+}
+
+Status
+ValidateRecoveryPolicyConfig(const RecoveryPolicyConfig& config)
+{
+    const auto invalid = [](std::string message) {
+        return Status(StatusCode::kInvalidArgument,
+                      std::move(message));
+    };
+    if (!(config.min_multiple >= 1.0))
+        return invalid("recovery policy: min_multiple must be >= 1");
+    if (!(config.max_multiple >= config.min_multiple))
+        return invalid(
+            "recovery policy: max_multiple must be >= min_multiple");
+    if (!(config.reexec_multiple >= config.min_multiple &&
+          config.reexec_multiple <= config.max_multiple))
+        return invalid("recovery policy: reexec_multiple outside "
+                       "[min_multiple, max_multiple]");
+    if (!(config.adjust_factor > 1.0))
+        return invalid("recovery policy: adjust_factor must be > 1");
+    if (!(config.dead_band >= 0.0 && config.dead_band < 1.0))
+        return invalid("recovery policy: dead_band must be in [0, 1)");
+    if (!(config.residual_budget_frac > 0.0 &&
+          config.residual_budget_frac <= 1.0))
+        return invalid(
+            "recovery policy: residual_budget_frac must be in (0, 1]");
+    return Status::Ok();
+}
+
+RecoveryPolicy::RecoveryPolicy(const RecoveryPolicyConfig& config,
+                               double target_error_pct)
+    : config_(config),
+      target_error_pct_(target_error_pct),
+      multiple_(config.reexec_multiple),
+      obs_multiple_(obs::Registry::Default().GetGauge(
+          "recovery.policy.reexec_multiple")),
+      obs_adjustments_(obs::Registry::Default().GetCounter(
+          "recovery.policy.adjustments")),
+      obs_feedback_elements_(obs::Registry::Default().GetCounter(
+          "recovery.policy.feedback_elements"))
+{
+    const Status status = ValidateRecoveryPolicyConfig(config);
+    if (!status.ok())
+        Fatal("%s", status.ToString().c_str());
+    RUMBA_CHECK(target_error_pct > 0.0);
+    obs_multiple_->Set(multiple_.load(std::memory_order_relaxed));
+}
+
+RecoveryDecision
+RecoveryPolicy::Decide(size_t iteration, double predicted_error,
+                       bool non_finite, double check_threshold) const
+{
+    RecoveryDecision decision;
+    decision.iteration = iteration;
+    decision.predicted_error = predicted_error;
+    // Garbage re-executes, always: a non-finite output cannot be
+    // corrected by adding a residual to it, and a non-finite
+    // *prediction* is no evidence at all.
+    if (non_finite || !std::isfinite(predicted_error) ||
+        !config_.compensation) {
+        decision.tier = RecoveryTier::kReexecute;
+        return decision;
+    }
+    // A fired check whose predicted error sits below the check
+    // threshold is an inverted verdict (checker.mispredict): the
+    // evidence says the element is nearly right, so the cheap
+    // correction is the proportionate response.
+    if (predicted_error < check_threshold) {
+        decision.tier = RecoveryTier::kCompensate;
+        return decision;
+    }
+    decision.tier = predicted_error >= ReexecThreshold(check_threshold)
+                        ? RecoveryTier::kReexecute
+                        : RecoveryTier::kCompensate;
+    return decision;
+}
+
+void
+RecoveryPolicy::OnCompensatedGroundTruth(double mean_residual_pct,
+                                         size_t elements)
+{
+    if (elements == 0 || !std::isfinite(mean_residual_pct))
+        return;
+    const std::lock_guard<std::mutex> lock(feedback_mu_);
+    obs_feedback_elements_->Increment(elements);
+    const double budget = ResidualBudgetPct();
+    const double band = config_.dead_band;
+    const double current = multiple_.load(std::memory_order_relaxed);
+    double next = current;
+    if (mean_residual_pct > budget * (1.0 + band)) {
+        // Compensation is leaving too much residual error behind:
+        // narrow the band so more of the tail re-executes exactly.
+        next = std::max(current / config_.adjust_factor,
+                        config_.min_multiple);
+    } else if (mean_residual_pct < budget * (1.0 - band)) {
+        next = std::min(current * config_.adjust_factor,
+                        config_.max_multiple);
+    }
+    if (next != current) {
+        multiple_.store(next, std::memory_order_relaxed);
+        adjustments_.fetch_add(1, std::memory_order_relaxed);
+        obs_adjustments_->Increment();
+        obs_multiple_->Set(next);
+    }
+}
+
+}  // namespace rumba::core

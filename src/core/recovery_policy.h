@@ -1,0 +1,192 @@
+#ifndef RUMBA_CORE_RECOVERY_POLICY_H_
+#define RUMBA_CORE_RECOVERY_POLICY_H_
+
+/**
+ * @file
+ * The typed recovery-policy seam: three tiers instead of a queue of
+ * bits. The paper's recovery path re-executes *every* flagged
+ * iteration exactly on the CPU — the dominant cost of online quality
+ * management (Figure 18). Since the EEP checkers estimate the error
+ * itself, a mid-range predicted error can instead be *compensated* in
+ * place (approximate output + predicted signed residual, see
+ * predict/compensator.h), reserving exact re-execution for the worst
+ * tail and for anything non-finite.
+ *
+ * The policy maps one element's predicted error into a tier via two
+ * thresholds:
+ *
+ *       accept        compensate           re-execute
+ *   ──────────────┬────────────────────┬────────────────▶ error
+ *          check threshold      reexec threshold
+ *          (TOQ tuner)      (= multiple × check threshold)
+ *
+ * The lower threshold IS the existing TOQ check threshold — the
+ * online tuner keeps moving it. The upper one rides on it as a
+ * multiple, and the multiple is itself tuned online from *audited
+ * ground truth* (the PR 6 shadow re-execution samples and the
+ * runtime's own verify pass): when the measured mean residual of
+ * compensated elements exceeds its budget the policy narrows the
+ * compensation band, so compensation can never silently violate TOQ.
+ */
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "core/status.h"
+
+namespace rumba::obs {
+class Counter;
+class Gauge;
+}  // namespace rumba::obs
+
+namespace rumba::core {
+
+/** What the recovery layer does with one flagged element. */
+enum class RecoveryTier : uint8_t {
+    kAccept = 0,      ///< below the check threshold: deliver as-is.
+    kCompensate = 1,  ///< mid-range: add the predicted residual.
+    kReexecute = 2,   ///< tail / non-finite: exact CPU re-execution.
+};
+
+/** Stable lowercase name ("accept", "compensate", "reexecute"). */
+const char* RecoveryTierName(RecoveryTier tier);
+
+/**
+ * One typed recovery-queue entry: which element, what to do with it,
+ * and the evidence (predicted error) the decision was made on. This
+ * replaces the raw RecoveryEntry{iteration} bit the accelerator used
+ * to set — the queue now carries decisions, not hints.
+ */
+struct RecoveryDecision {
+    size_t iteration = 0;  ///< element identity within the invocation.
+    RecoveryTier tier = RecoveryTier::kReexecute;
+    double predicted_error = 0.0;  ///< checker estimate acted on.
+};
+
+/** Tiering policy parameters. */
+struct RecoveryPolicyConfig {
+    /** Master switch. Off (the default) keeps the paper's two-tier
+     *  accept/re-execute behaviour bit-for-bit. */
+    bool compensation = false;
+    /** Initial re-execute threshold as a multiple of the check
+     *  threshold (the compensation band's width). */
+    double reexec_multiple = 4.0;
+    /** Clamp range of the tuned multiple. 1.0 degenerates to the
+     *  two-tier policy (every fired check re-executes). */
+    double min_multiple = 1.0;
+    double max_multiple = 64.0;
+    /** Multiplicative step per ground-truth adjustment. */
+    double adjust_factor = 1.25;
+    /** Dead band: no adjustment within this relative margin. */
+    double dead_band = 0.1;
+    /** Compensated elements' residual budget as a fraction of the
+     *  TOQ target error: their audited mean residual must stay below
+     *  residual_budget_frac × target_error_pct, which keeps the
+     *  whole-run error under target with margin to spare. */
+    double residual_budget_frac = 0.5;
+};
+
+/** kInvalidArgument when @p config cannot drive a policy (bad clamp
+ *  range, non-positive budget, adjust factor <= 1). */
+Status ValidateRecoveryPolicyConfig(const RecoveryPolicyConfig& config);
+
+/**
+ * Maps predicted error magnitudes into recovery tiers and tunes the
+ * compensate/re-execute boundary from audited ground truth.
+ *
+ * Thread safety: Decide() is lock-free (one atomic load of the tuned
+ * multiple) so the serving hot path pays nothing extra; the
+ * ground-truth feedback side (the audit pool's threads and the
+ * runtime's verify pass) serializes on an internal mutex.
+ */
+class RecoveryPolicy {
+  public:
+    /**
+     * @param config the tiering policy (checked-fatal when invalid —
+     *        validate first where the config is external input).
+     * @param target_error_pct the TOQ target the budget rides on.
+     */
+    RecoveryPolicy(const RecoveryPolicyConfig& config,
+                   double target_error_pct);
+
+    /** True when the compensate tier may be used at all. */
+    bool
+    CompensationEnabled() const
+    {
+        return config_.compensation;
+    }
+
+    /**
+     * Tier one fired check. @p non_finite elements always re-execute
+     * (garbage cannot be compensated), as does a non-finite
+     * @p predicted_error. A fired element whose predicted error sits
+     * *below* the check threshold (an inverted checker verdict — the
+     * checker.mispredict fault) lands in the compensate tier: the
+     * predicted error is small, so compensation is the cheapest safe
+     * response. Boundary semantics are deterministic and match the
+     * detector's: predicted_error >= reexec threshold re-executes.
+     */
+    RecoveryDecision Decide(size_t iteration, double predicted_error,
+                            bool non_finite,
+                            double check_threshold) const;
+
+    /** The compensate/re-execute boundary for @p check_threshold. */
+    double
+    ReexecThreshold(double check_threshold) const
+    {
+        return check_threshold *
+               multiple_.load(std::memory_order_relaxed);
+    }
+
+    /** The current tuned multiple. */
+    double
+    Multiple() const
+    {
+        return multiple_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Feed measured ground truth for @p elements compensated
+     * elements whose mean true residual error was
+     * @p mean_residual_pct (percent, benchmark AggregateError
+     * units). Over budget narrows the compensation band (more
+     * re-execution); comfortably under widens it. Thread-safe —
+     * called from the audit pool and the runtime's verify pass.
+     */
+    void OnCompensatedGroundTruth(double mean_residual_pct,
+                                  size_t elements);
+
+    /** The compensated-residual budget in percent. */
+    double
+    ResidualBudgetPct() const
+    {
+        return config_.residual_budget_frac * target_error_pct_;
+    }
+
+    /** Boundary adjustments made so far. */
+    size_t
+    Adjustments() const
+    {
+        return adjustments_.load(std::memory_order_relaxed);
+    }
+
+    /** The active configuration. */
+    const RecoveryPolicyConfig& Config() const { return config_; }
+
+  private:
+    RecoveryPolicyConfig config_;
+    double target_error_pct_;
+    std::atomic<double> multiple_;
+    std::atomic<size_t> adjustments_{0};
+    std::mutex feedback_mu_;  ///< serializes ground-truth updates.
+    /** Process-wide telemetry: the tuned multiple and its moves. */
+    obs::Gauge* obs_multiple_;
+    obs::Counter* obs_adjustments_;
+    obs::Counter* obs_feedback_elements_;
+};
+
+}  // namespace rumba::core
+
+#endif  // RUMBA_CORE_RECOVERY_POLICY_H_

@@ -28,6 +28,11 @@ RumbaRuntime::RegisterMetrics()
         registry.GetCounter("runtime.non_finite_salvaged");
     obs_breaker_exact_elements_ =
         registry.GetCounter("breaker.exact_elements");
+    obs_tier_accept_ = registry.GetCounter("recovery.tier.accept");
+    obs_tier_compensate_ =
+        registry.GetCounter("recovery.tier.compensate");
+    obs_tier_reexecute_ =
+        registry.GetCounter("recovery.tier.reexecute");
     obs_output_error_ = registry.GetGauge("runtime.output_error_pct");
     obs_invocation_ns_ = registry.GetHistogram("runtime.invocation_ns");
     obs_verify_ns_ = registry.GetHistogram("runtime.verify_ns");
@@ -42,6 +47,7 @@ RumbaRuntime::RumbaRuntime(std::unique_ptr<apps::Benchmark> bench,
       detector_(pipeline_.TrainPredictor(config.checker),
                 config.initial_threshold),
       recovery_(&pipeline_.Bench(), config.recovery_queue_capacity),
+      policy_(config.recovery_policy, config.tuner.target_error_pct),
       tuner_(config.tuner, config.initial_threshold),
       system_(config.core, config.energy),
       breaker_(config.breaker)
@@ -49,9 +55,14 @@ RumbaRuntime::RumbaRuntime(std::unique_ptr<apps::Benchmark> bench,
     RUMBA_CHECK(IsPredictorScheme(config.checker));
     RegisterMetrics();
     kernel_ops_ = pipeline_.Bench().ProfileKernel();
+    if (config.recovery_policy.compensation)
+        InstallCompensator(pipeline_.TrainCompensator());
     if (config.initial_threshold <= 0.0) {
-        const double calibrated =
+        const Result<double> result =
             CalibrateThreshold(config.tuner.target_error_pct);
+        if (!result.ok())
+            Fatal("%s", result.status().ToString().c_str());
+        const double calibrated = *result;
         detector_.SetThreshold(calibrated);
         tuner_ = OnlineTuner(config.tuner, calibrated);
         // The calibration pass measured the expected fire rate on the
@@ -78,13 +89,64 @@ RumbaRuntime::RumbaRuntime(const Artifact& artifact,
       detector_(predict::DeserializePredictor(artifact.predictor),
                 artifact.threshold),
       recovery_(&pipeline_.Bench(), config.recovery_queue_capacity),
+      policy_(config.recovery_policy, config.tuner.target_error_pct),
       tuner_(config.tuner, artifact.threshold),
       system_(config.core, config.energy),
       breaker_(config.breaker)
 {
     RegisterMetrics();
     kernel_ops_ = pipeline_.Bench().ProfileKernel();
+    // Restore the compensation model whenever the artifact carries
+    // one (not just when the compensate tier is on): the serving
+    // engine's compensate-only shedding rung needs it regardless.
+    if (!artifact.compensator.empty()) {
+        Result<predict::Compensator> compensator =
+            predict::Compensator::TryDeserialize(artifact.compensator);
+        if (!compensator.ok())
+            Fatal("%s", compensator.status().ToString().c_str());
+        InstallCompensator(*std::move(compensator));
+    }
     obs::SnapshotStreamer::AcquireFromEnv();
+}
+
+void
+RumbaRuntime::InstallCompensator(predict::Compensator compensator)
+{
+    RUMBA_CHECK(compensator.Trained());
+    RUMBA_CHECK(compensator.InputArity() ==
+                pipeline_.Bench().NumInputs() +
+                    pipeline_.Bench().NumOutputs());
+    RUMBA_CHECK(compensator.OutputArity() ==
+                pipeline_.Bench().NumOutputs());
+    compensator_.emplace(std::move(compensator));
+    recovery_.SetCompensator(
+        [this](const double* raw_in, double* raw_out) {
+            // Feature vector: normalized inputs, then the element's
+            // normalized approximate outputs (see
+            // predict/compensator.h). The predicted signed residual
+            // comes back in the NN domain; add it to the normalized
+            // approximate outputs, denormalize, and overwrite the
+            // element only once everything is finite.
+            pipeline_.NormalizeInput(raw_in, &scratch_comp_in_);
+            pipeline_.NormalizeOutput(raw_out, &scratch_comp_out_);
+            scratch_comp_in_.insert(scratch_comp_in_.end(),
+                                    scratch_comp_out_.begin(),
+                                    scratch_comp_out_.end());
+            if (!compensator_->Predict(scratch_comp_in_,
+                                       &scratch_comp_pred_))
+                return false;
+            for (size_t o = 0; o < scratch_comp_pred_.size(); ++o)
+                scratch_comp_pred_[o] += scratch_comp_out_[o];
+            pipeline_.DenormalizeOutput(scratch_comp_pred_,
+                                        &scratch_comp_out_);
+            for (double v : scratch_comp_out_) {
+                if (!std::isfinite(v))
+                    return false;
+            }
+            std::copy(scratch_comp_out_.begin(),
+                      scratch_comp_out_.end(), raw_out);
+            return true;
+        });
 }
 
 RumbaRuntime::~RumbaRuntime()
@@ -95,11 +157,12 @@ RumbaRuntime::~RumbaRuntime()
 Artifact
 RumbaRuntime::ExportArtifact() const
 {
-    return pipeline_.ExportArtifact(detector_.Predictor(),
-                                    tuner_.Threshold());
+    return pipeline_.ExportArtifact(
+        detector_.Predictor(), tuner_.Threshold(),
+        compensator_.has_value() ? &*compensator_ : nullptr);
 }
 
-double
+Result<double>
 RumbaRuntime::CalibrateThreshold(double target_error_pct)
 {
     // Replay the training elements through the accelerator and the
@@ -110,10 +173,14 @@ RumbaRuntime::CalibrateThreshold(double target_error_pct)
     const auto& train = pipeline_.TrainInputs();
     const auto& true_errors = pipeline_.TrainErrors();
     if (train.empty() || true_errors.size() != train.size()) {
-        Fatal("threshold calibration needs a non-empty training set "
-              "with per-element errors (%zu inputs, %zu errors); set "
-              "initial_threshold > 0 to skip calibration",
-              train.size(), true_errors.size());
+        return Status(
+            StatusCode::kFailedPrecondition,
+            "threshold calibration needs a non-empty training set "
+            "with per-element errors (" +
+                std::to_string(train.size()) + " inputs, " +
+                std::to_string(true_errors.size()) +
+                " errors); set initial_threshold > 0 to skip "
+                "calibration");
     }
 
     const obs::ScopedTimer timer(obs_calibrate_ns_);
@@ -187,6 +254,33 @@ RumbaRuntime::FromArtifact(const Artifact& artifact,
             "artifact network arity does not match kernel '" +
                 artifact.benchmark + "'");
     }
+    if (!std::isfinite(artifact.threshold)) {
+        return Status(StatusCode::kFailedPrecondition,
+                      "artifact threshold is not finite");
+    }
+    // External configuration: report bad knobs instead of dying in
+    // the constructors' checked-fatal paths.
+    if (Status status = ValidateTunerConfig(config.tuner); !status.ok())
+        return status;
+    if (Status status =
+            ValidateRecoveryPolicyConfig(config.recovery_policy);
+        !status.ok()) {
+        return status;
+    }
+    if (!artifact.compensator.empty()) {
+        const Result<predict::Compensator> compensator =
+            predict::Compensator::TryDeserialize(artifact.compensator);
+        if (!compensator.ok())
+            return compensator.status();
+        if (compensator->InputArity() !=
+                bench->NumInputs() + bench->NumOutputs() ||
+            compensator->OutputArity() != bench->NumOutputs()) {
+            return Status(
+                StatusCode::kFailedPrecondition,
+                "artifact compensator arity does not match kernel '" +
+                    artifact.benchmark + "'");
+        }
+    }
     return std::unique_ptr<RumbaRuntime>(
         new RumbaRuntime(artifact, config));
 }
@@ -197,6 +291,8 @@ DegradeModeName(DegradeMode mode)
     switch (mode) {
       case DegradeMode::kNone:
         return "none";
+      case DegradeMode::kCompensateOnly:
+        return "compensate-only";
       case DegradeMode::kSkipRecovery:
         return "skip-recovery";
       case DegradeMode::kSkipCheck:
@@ -213,13 +309,20 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
     RUMBA_CHECK(outputs != nullptr);
     RUMBA_CHECK(!raw_inputs.empty());
     RUMBA_CHECK(raw_inputs.width() == pipeline_.Bench().NumInputs());
-    // The overload rungs (serve/admission.h): skip-recovery keeps the
-    // checker but never queues its verdicts; skip-check bypasses the
-    // detector entirely. Both skip the verify pass (the auditor owns
-    // degraded ground truth) and give no tuner/drift/breaker feedback.
+    // The overload rungs (serve/admission.h): compensate-only keeps
+    // the checker and the cheap compensate tier but never re-executes
+    // (degenerates to skip-recovery without a deployed compensator);
+    // skip-recovery keeps the checker but never queues its verdicts;
+    // skip-check bypasses the detector entirely. All of them skip the
+    // verify pass (the auditor owns degraded ground truth) and give
+    // no tuner/drift/breaker feedback.
     const bool degraded = degrade != DegradeMode::kNone;
     const bool run_check = degrade != DegradeMode::kSkipCheck;
-    const bool run_recovery = degrade == DegradeMode::kNone;
+    const bool compensate_only =
+        degrade == DegradeMode::kCompensateOnly &&
+        recovery_.HasCompensator();
+    const bool run_recovery =
+        degrade == DegradeMode::kNone || compensate_only;
     const obs::ScopedTimer invocation_timer(obs_invocation_ns_);
     const obs::Span invocation_span("runtime.invocation");
     const apps::Benchmark& app = pipeline_.Bench();
@@ -259,6 +362,7 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
 
     std::vector<char>& fixed = scratch_fixed_;
     fixed.assign(n, 0);
+    DrainStats drain_stats;
     double unfixed_predicted_sum = 0.0;
     size_t unfixed_count = 0;
     size_t fires = 0;
@@ -332,6 +436,19 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
             if (fired)
                 ++fires;
             if (fired && run_recovery) {
+                // Tier the fired check. On the compensate-only
+                // shedding rung, finite re-execute verdicts are
+                // demoted to the cheap tier — that is the rung's
+                // point; non-finite garbage still re-executes (no
+                // mode may deliver NaN/Inf).
+                RecoveryDecision decision = policy_.Decide(
+                    i, check.predicted_error, check.non_finite,
+                    report.threshold_used);
+                if (compensate_only && !check.non_finite &&
+                    std::isfinite(check.predicted_error) &&
+                    decision.tier == RecoveryTier::kReexecute) {
+                    decision.tier = RecoveryTier::kCompensate;
+                }
                 if (recovery_.Queue().Full()) {
                     // Queue-stall fault: the CPU side is unavailable,
                     // so no backpressure drain can happen and the
@@ -351,10 +468,10 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
                         ++queue_full_stalls;
                         recovery_.RecordQueueFullStall();
                         recovery_.Drain(raw_inputs, outputs, out_w,
-                                        &fixed);
+                                        &fixed, &drain_stats);
                     }
                 }
-                if (!recovery_.Queue().Push(RecoveryEntry{i})) {
+                if (!recovery_.Queue().Push(decision)) {
                     recovery_.RecordQueueDrop();
                     ++queue_drops;
                 }
@@ -427,8 +544,10 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
             &report.cpu.recover_cpu_ns);
         if (timed)
             stage_start = obs::NowNs();
-        if (run_recovery)
-            recovery_.Drain(raw_inputs, outputs, out_w, &fixed);
+        if (run_recovery) {
+            recovery_.Drain(raw_inputs, outputs, out_w, &fixed,
+                            &drain_stats);
+        }
         if (timed)
             report.timings.recover_ns = obs::NowNs() - stage_start;
     }
@@ -460,10 +579,32 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
     }
     if (salvaged > 0)
         obs_non_finite_salvaged_->Increment(salvaged);
-    report.fixes = static_cast<size_t>(
-        std::count(fixed.begin(), fixed.end(), char{1}));
+    for (const char f : fixed) {
+        if (f == kFixedExact)
+            ++report.tier_reexecuted;
+        else if (f == kFixedCompensated)
+            ++report.tier_compensated;
+    }
+    report.tier_accepted =
+        n - report.tier_reexecuted - report.tier_compensated;
+    report.fixes = report.tier_reexecuted + report.tier_compensated;
     if (capture != nullptr)
         capture->fixed.assign(fixed.begin(), fixed.end());
+    if (timed)
+        report.timings.compensate_ns = drain_stats.compensate_ns;
+    if (cpu_timed && drain_stats.compensate_ns > 0) {
+        // The drains' CPU was all attributed to recover; carve the
+        // compensate tier's share out by the measured per-tier wall
+        // ratio (the thread clock is not read per queue entry).
+        const double frac =
+            static_cast<double>(drain_stats.compensate_ns) /
+            static_cast<double>(drain_stats.compensate_ns +
+                                drain_stats.reexec_ns);
+        const int64_t comp_cpu = static_cast<int64_t>(
+            static_cast<double>(report.cpu.recover_cpu_ns) * frac);
+        report.cpu.compensate_cpu_ns = comp_cpu;
+        report.cpu.recover_cpu_ns -= comp_cpu;
+    }
 
     // True residual error (the runtime can verify because the exact
     // kernel is available; a production deployment would not).
@@ -484,8 +625,13 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
         // single most expensive stage (exact re-execution per unfixed
         // element), and shedding it is the point of the rung. Their
         // ground truth comes from the auditor's forced samples.
+        // Exactly re-executed elements have zero residual by
+        // construction; *compensated* elements do not — their true
+        // residual is measured here, so compensation shows up in the
+        // verified output error and feeds the policy's boundary
+        // tuning below.
         for (size_t i = 0; !degraded && i < n; ++i) {
-            if (fixed[i])
+            if (fixed[i] == kFixedExact)
                 continue;
             app.RunExact(raw_inputs[i].data(), exact.data());
             approx.assign(outputs + i * out_w,
@@ -496,6 +642,20 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
             report.timings.verify_ns = obs::NowNs() - stage_start;
     }
     report.output_error_pct = app.AggregateError(residual);
+    if (!degraded && report.tier_compensated > 0) {
+        // Verified ground truth for the compensate tier: its mean
+        // true residual drives the policy's re-execute boundary (the
+        // audit path feeds the same loop for degraded invocations).
+        double comp_sum = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            if (fixed[i] == kFixedCompensated)
+                comp_sum += residual[i];
+        }
+        policy_.OnCompensatedGroundTruth(
+            100.0 * comp_sum /
+                static_cast<double>(report.tier_compensated),
+            report.tier_compensated);
+    }
     report.estimated_error_pct =
         unfixed_count == 0
             ? 0.0
@@ -520,9 +680,12 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
         static_cast<double>(app.NumInputs() + app.NumOutputs()) + 1.0;
 
     const sim::CheckerCost checker = detector_.CostPerCheck();
+    // The system model charges exact CPU re-execution per fix;
+    // compensated iterations cost a handful of MACs, not a kernel
+    // re-run, so only the re-execute tier counts here.
     report.costs = system_.Evaluate(region, accel_profile,
                                     run_check ? &checker : nullptr,
-                                    report.fixes);
+                                    report.tier_reexecuted);
 
     const size_t adjustments_before = tuner_.Adjustments();
     if (!degraded && approx_n == n) {
@@ -531,7 +694,8 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
         // error and pull the threshold the wrong way.
         InvocationFeedback feedback;
         feedback.elements = n;
-        feedback.fixes = report.fixes;
+        // Energy mode budgets *re-executions* (the expensive tier).
+        feedback.fixes = report.tier_reexecuted;
         feedback.estimated_error_pct = report.estimated_error_pct;
         feedback.cpu_busy_ratio =
             report.costs.npu_ns > 0.0
@@ -595,6 +759,9 @@ RumbaRuntime::ProcessInvocation(const BatchView& raw_inputs,
     obs_invocations_->Increment();
     obs_elements_->Increment(n);
     obs_fixes_->Increment(report.fixes);
+    obs_tier_accept_->Increment(report.tier_accepted);
+    obs_tier_compensate_->Increment(report.tier_compensated);
+    obs_tier_reexecute_->Increment(report.tier_reexecuted);
     if (!degraded)  // degraded rounds skip verify: no true error.
         obs_output_error_->Set(report.output_error_pct);
 

@@ -23,6 +23,7 @@
 #include "core/drift.h"
 #include "core/pipeline.h"
 #include "core/recovery.h"
+#include "core/recovery_policy.h"
 #include "core/schemes.h"
 #include "core/status.h"
 #include "core/tuner.h"
@@ -47,6 +48,12 @@ struct RuntimeConfig {
      *  whose fix set meets tuner.target_error_pct on them. */
     double initial_threshold = 0.0;
     size_t recovery_queue_capacity = 64;
+    /** Tiered-recovery policy (core/recovery_policy.h). Off by
+     *  default: the paper's two-tier accept/re-execute behaviour.
+     *  With compensation on, the runtime trains (or restores from the
+     *  artifact) a self-compensation model and mid-range predicted
+     *  errors are corrected in place instead of re-executed. */
+    RecoveryPolicyConfig recovery_policy;
     /** Circuit-breaker policy over the approximate path (see
      *  core/breaker.h). Enabled by default; in healthy operation it
      *  never trips and costs one branch per invocation. */
@@ -170,6 +177,23 @@ class RuntimeConfig::Builder {
         return *this;
     }
 
+    /** Enable the compensate tier (trains/restores the compensation
+     *  model; see RuntimeConfig::recovery_policy). */
+    Builder&
+    WithCompensation(bool enabled = true)
+    {
+        config_.recovery_policy.compensation = enabled;
+        return *this;
+    }
+
+    /** Full tiered-recovery policy control. */
+    Builder&
+    WithRecoveryPolicy(const RecoveryPolicyConfig& policy)
+    {
+        config_.recovery_policy = policy;
+        return *this;
+    }
+
     Builder&
     WithBreaker(const BreakerConfig& breaker)
     {
@@ -208,6 +232,10 @@ struct InvocationTimings {
     uint64_t check_ns = 0;         ///< detector checks (within stream).
     uint64_t exact_ns = 0;         ///< breaker-degraded exact tail.
     uint64_t recover_ns = 0;       ///< recovery-queue drain + merge.
+    /** Compensate-tier slice of this invocation's drains (measured
+     *  per entry inside the drain, so it overlaps recover_ns /
+     *  accel_stream_ns rather than adding to them). */
+    uint64_t compensate_ns = 0;
     uint64_t verify_ns = 0;        ///< true-error verification pass.
 };
 
@@ -221,7 +249,10 @@ struct InvocationCpuTimings {
     int64_t stream_cpu_ns = 0;   ///< accel streaming loop (checks incl.).
     int64_t check_cpu_ns = 0;    ///< checker slice of stream_cpu_ns.
     int64_t exact_cpu_ns = 0;    ///< breaker-degraded exact tail.
-    int64_t recover_cpu_ns = 0;  ///< recovery-queue drain + merge.
+    int64_t recover_cpu_ns = 0;  ///< exact re-execution drain + merge.
+    /** Compensate-tier slice, apportioned out of the drains' CPU by
+     *  the per-tier wall ratio (disjoint from recover_cpu_ns). */
+    int64_t compensate_cpu_ns = 0;
     int64_t verify_cpu_ns = 0;   ///< true-error verification pass.
 };
 
@@ -237,20 +268,30 @@ struct InvocationCpuTimings {
  * runs: no mode may deliver NaN/Inf outputs.
  */
 enum class DegradeMode : uint32_t {
-    kNone = 0,          ///< full service: check + recovery.
-    kSkipRecovery = 1,  ///< checker consulted (verdicts recorded),
-                        ///< recovery re-execution skipped.
-    kSkipCheck = 2,     ///< detector bypassed entirely: raw
-                        ///< approximate outputs.
+    kNone = 0,            ///< full service: check + recovery.
+    kCompensateOnly = 1,  ///< checker consulted; fired elements are
+                          ///< compensated in place (cheap) but never
+                          ///< re-executed. Without a deployed
+                          ///< compensator this rung behaves like
+                          ///< kSkipRecovery.
+    kSkipRecovery = 2,    ///< checker consulted (verdicts recorded),
+                          ///< recovery skipped entirely.
+    kSkipCheck = 3,       ///< detector bypassed entirely: raw
+                          ///< approximate outputs.
 };
 
-/** Stable lowercase name ("none", "skip-recovery", "skip-check"). */
+/** Stable lowercase name ("none", "compensate-only", "skip-recovery",
+ *  "skip-check"). */
 const char* DegradeModeName(DegradeMode mode);
 
 /** What one invocation reported back. */
 struct InvocationReport {
     size_t elements = 0;            ///< elements processed.
-    size_t fixes = 0;               ///< iterations re-executed.
+    /** Iterations the recovery layer touched (re-executed or
+     *  compensated); equals tier_compensated + tier_reexecuted. With
+     *  compensation off this is exactly the paper's re-execution
+     *  count. */
+    size_t fixes = 0;
     double threshold_used = 0.0;    ///< detector threshold this round.
     double output_error_pct = 0.0;  ///< true residual error (verified
                                     ///< against the exact kernel).
@@ -274,6 +315,14 @@ struct InvocationReport {
      *  Degraded invocations report output_error_pct 0 — the verify
      *  pass is skipped; audited truth is the only quality signal. */
     DegradeMode degrade = DegradeMode::kNone;
+    /** Per-tier outcome counts (sum == elements). Accepted covers
+     *  everything delivered approximately — unfired checks plus any
+     *  dropped/shed recovery entries. Re-executed covers the exact
+     *  path wherever it ran: queue drain, breaker tail, non-finite
+     *  salvage. */
+    size_t tier_accepted = 0;
+    size_t tier_compensated = 0;
+    size_t tier_reexecuted = 0;
     /** Per-stage wall clock (RuntimeConfig::stage_timings only). */
     InvocationTimings timings;
     /** Per-stage thread CPU (RuntimeConfig::cpu_attribution only). */
@@ -350,7 +399,8 @@ struct AuditCapture {
      *  system *acted on*, which is what calibration must score. */
     std::vector<char> fired;
     /** Final recovered mask (queue drain + non-finite salvage +
-     *  breaker tail), matching what the caller's outputs hold. */
+     *  breaker tail), matching what the caller's outputs hold:
+     *  kFixedNone / kFixedExact / kFixedCompensated. */
     std::vector<char> fixed;
     /** 1 when the breaker routed the element to the exact CPU tail. */
     std::vector<char> exact_path;
@@ -416,8 +466,14 @@ class RumbaRuntime {
     /**
      * Legacy batch form: packs the ragged rows into the contiguous
      * layout and forwards to the BatchView overload (thin adapter —
-     * identical results, extra copies).
+     * identical results, extra copies). Deprecated: new callers
+     * should flatten once (core::FlattenBatch) and use the BatchView
+     * overload, which is allocation-free in steady state and exposes
+     * capture/degrade.
      */
+    [[deprecated(
+        "use the BatchView overload; this adapter copies every batch "
+        "and hides the capture/degrade parameters")]]
     InvocationReport ProcessInvocation(
         const std::vector<std::vector<double>>& raw_inputs,
         std::vector<std::vector<double>>* outputs);
@@ -434,6 +490,13 @@ class RumbaRuntime {
     /** Total re-executions since construction. */
     size_t TotalFixes() const { return recovery_.TotalReexecutions(); }
 
+    /** Total in-place compensations since construction. */
+    size_t
+    TotalCompensations() const
+    {
+        return recovery_.TotalCompensations();
+    }
+
     /** Invocations processed since construction. */
     size_t Invocations() const { return invocations_; }
 
@@ -449,9 +512,33 @@ class RumbaRuntime {
     /** The recovery module (queue drop/backpressure inspection). */
     const RecoveryModule& Recovery() const { return recovery_; }
 
+    /** The tiered-recovery policy (tuned multiple inspection). */
+    const RecoveryPolicy& Policy() const { return policy_; }
+
+    /** True when a trained compensator is deployed on this runtime. */
+    bool HasCompensator() const { return recovery_.HasCompensator(); }
+
+    /**
+     * Audited ground truth for compensated elements (obs/audit.h):
+     * the shadow re-execution sampler measured a mean true residual
+     * of @p mean_residual_pct over @p elements compensated elements.
+     * Feeds the policy's re-execute-boundary tuning; thread-safe.
+     */
+    void
+    OnAuditedCompensation(double mean_residual_pct, size_t elements)
+    {
+        policy_.OnCompensatedGroundTruth(mean_residual_pct, elements);
+    }
+
   private:
-    /** Offline threshold calibration (see RuntimeConfig). */
-    double CalibrateThreshold(double target_error_pct);
+    /** Offline threshold calibration (see RuntimeConfig); fails with
+     *  kFailedPrecondition when the pipeline has no training set. */
+    Result<double> CalibrateThreshold(double target_error_pct);
+
+    /** Train (offline ctor) or restore (artifact ctor) the
+     *  compensation model and install it as the recovery module's
+     *  compensate-tier executor. */
+    void InstallCompensator(predict::Compensator compensator);
 
     /** Register this runtime's instruments with the default registry. */
     void RegisterMetrics();
@@ -461,6 +548,10 @@ class RumbaRuntime {
     npu::Npu accel_;
     Detector detector_;
     RecoveryModule recovery_;
+    RecoveryPolicy policy_;
+    /** Trained self-compensation model (only with compensation
+     *  enabled, or restored from an artifact that carries one). */
+    std::optional<predict::Compensator> compensator_;
     OnlineTuner tuner_;
     sim::SystemModel system_;
     sim::OpCounts kernel_ops_;
@@ -474,6 +565,13 @@ class RumbaRuntime {
     std::vector<double> scratch_raw_out_;
     std::vector<double> scratch_residual_;
     std::vector<char> scratch_fixed_;
+    /** Compensator-hook scratch: the feature vector under assembly
+     *  (normalized inputs + normalized approximate outputs), the
+     *  normalized-output staging half, and the predicted exact
+     *  outputs. */
+    std::vector<double> scratch_comp_in_;
+    std::vector<double> scratch_comp_out_;
+    std::vector<double> scratch_comp_pred_;
     size_t invocations_ = 0;
     RunSummary summary_;
     DriftMonitor drift_;
@@ -486,6 +584,9 @@ class RumbaRuntime {
     obs::Counter* obs_drift_alarms_;
     obs::Counter* obs_non_finite_salvaged_;
     obs::Counter* obs_breaker_exact_elements_;
+    obs::Counter* obs_tier_accept_;
+    obs::Counter* obs_tier_compensate_;
+    obs::Counter* obs_tier_reexecute_;
     obs::Gauge* obs_output_error_;
     obs::Histogram* obs_invocation_ns_;
     obs::Histogram* obs_verify_ns_;

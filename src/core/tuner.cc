@@ -8,6 +8,27 @@
 
 namespace rumba::core {
 
+Status
+ValidateTunerConfig(const TunerConfig& config)
+{
+    const auto invalid = [](std::string message) {
+        return Status(StatusCode::kInvalidArgument,
+                      std::move(message));
+    };
+    if (!(config.adjust_factor > 1.0))
+        return invalid("tuner: adjust_factor must be > 1");
+    if (!(config.min_threshold > 0.0))
+        return invalid("tuner: min_threshold must be > 0");
+    if (!(config.max_threshold > config.min_threshold))
+        return invalid(
+            "tuner: max_threshold must be > min_threshold");
+    if (!(config.target_error_pct > 0.0))
+        return invalid("tuner: target_error_pct must be > 0");
+    if (!(config.dead_band >= 0.0 && config.dead_band < 1.0))
+        return invalid("tuner: dead_band must be in [0, 1)");
+    return Status::Ok();
+}
+
 OnlineTuner::OnlineTuner(const TunerConfig& config,
                          double initial_threshold)
     : config_(config),
@@ -16,9 +37,9 @@ OnlineTuner::OnlineTuner(const TunerConfig& config,
       obs_adjustments_(
           obs::Registry::Default().GetCounter("tuner.adjustments"))
 {
-    RUMBA_CHECK(config.adjust_factor > 1.0);
-    RUMBA_CHECK(config.min_threshold > 0.0);
-    RUMBA_CHECK(config.max_threshold > config.min_threshold);
+    const Status status = ValidateTunerConfig(config);
+    if (!status.ok())
+        Fatal("%s", status.ToString().c_str());
     threshold_ = std::clamp(threshold_, config.min_threshold,
                             config.max_threshold);
     obs_threshold_->Set(threshold_);

@@ -12,6 +12,8 @@
 
 #include <cstddef>
 
+#include "core/status.h"
+
 namespace rumba::obs {
 class Counter;
 class Gauge;
@@ -41,6 +43,16 @@ struct TunerConfig {
     /** Dead band: no adjustment while within this relative margin. */
     double dead_band = 0.1;
 };
+
+/**
+ * kInvalidArgument when @p config cannot drive a tuner (adjust factor
+ * <= 1, non-positive or inverted threshold clamp range, negative
+ * target/dead band). Entry points taking external configuration
+ * (RumbaRuntime::FromArtifact, the serving engine) validate with this
+ * and return the Status instead of dying; the OnlineTuner constructor
+ * keeps its checked-fatal contract for in-process programmer error.
+ */
+Status ValidateTunerConfig(const TunerConfig& config);
 
 /** Per-invocation feedback the tuner consumes. */
 struct InvocationFeedback {

@@ -120,18 +120,29 @@ Mlp::Serialize() const
 Mlp
 Mlp::Deserialize(const std::string& blob)
 {
+    std::optional<Mlp> mlp = TryDeserialize(blob);
+    if (!mlp.has_value())
+        Fatal("malformed MLP blob");
+    return *std::move(mlp);
+}
+
+std::optional<Mlp>
+Mlp::TryDeserialize(const std::string& blob)
+{
     std::istringstream in(blob);
     std::string tag, topo_text;
     in >> tag >> topo_text;
-    if (tag != "mlp")
-        Fatal("MLP blob missing 'mlp' header");
-    const Topology topo = Topology::Parse(topo_text);
-    Mlp mlp(topo);
+    if (tag != "mlp" || in.fail())
+        return std::nullopt;
+    const std::optional<Topology> topo = Topology::TryParse(topo_text);
+    if (!topo.has_value())
+        return std::nullopt;
+    Mlp mlp(*topo);
     for (auto& layer : mlp.layers_) {
         std::string act_name;
         in >> tag >> act_name;
-        if (tag != "layer")
-            Fatal("MLP blob missing 'layer' record");
+        if (tag != "layer" || in.fail())
+            return std::nullopt;
         if (act_name == "sigmoid") {
             layer.act = Activation::kSigmoid;
         } else if (act_name == "tanh") {
@@ -139,11 +150,11 @@ Mlp::Deserialize(const std::string& blob)
         } else if (act_name == "linear") {
             layer.act = Activation::kLinear;
         } else {
-            Fatal("unknown activation '%s' in MLP blob", act_name.c_str());
+            return std::nullopt;
         }
         for (auto& w : layer.weights) {
             if (!(in >> w))
-                Fatal("MLP blob truncated");
+                return std::nullopt;
         }
     }
     return mlp;

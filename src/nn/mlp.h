@@ -9,6 +9,7 @@
  * a fixed-point datapath.
  */
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -93,6 +94,11 @@ class Mlp {
      * is a build bug, not user error).
      */
     static Mlp Deserialize(const std::string& blob);
+
+    /** Deserialize() that reports a malformed blob instead of dying —
+     *  for model text that arrives as external data (deployment
+     *  artifacts), where corruption is an input error. */
+    static std::optional<Mlp> TryDeserialize(const std::string& blob);
 
   private:
     Topology topology_;

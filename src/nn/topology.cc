@@ -21,6 +21,15 @@ Topology::ToString() const
 Topology
 Topology::Parse(const std::string& text)
 {
+    std::optional<Topology> topo = TryParse(text);
+    if (!topo.has_value())
+        Fatal("malformed topology '%s'", text.c_str());
+    return *std::move(topo);
+}
+
+std::optional<Topology>
+Topology::TryParse(const std::string& text)
+{
     Topology topo;
     size_t pos = 0;
     while (pos < text.size()) {
@@ -30,15 +39,14 @@ Topology::Parse(const std::string& text)
         char* end = nullptr;
         const long v = std::strtol(token.c_str(), &end, 10);
         if (end == token.c_str() || v <= 0)
-            Fatal("malformed topology '%s'", text.c_str());
+            return std::nullopt;
         topo.layers.push_back(static_cast<size_t>(v));
         if (next == std::string::npos)
             break;
         pos = next + 2;
     }
     if (topo.layers.size() < 2)
-        Fatal("topology '%s' needs at least input and output layers",
-              text.c_str());
+        return std::nullopt;
     return topo;
 }
 

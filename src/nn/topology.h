@@ -8,6 +8,7 @@
  */
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,10 @@ struct Topology {
 
     /** Parse the "a->b->c" notation; fatal on malformed input. */
     static Topology Parse(const std::string& text);
+
+    /** Parse() that reports malformed input instead of dying — for
+     *  blobs that arrive as external data (deployment artifacts). */
+    static std::optional<Topology> TryParse(const std::string& text);
 
     /** Number of inputs. */
     size_t NumInputs() const { return layers.front(); }

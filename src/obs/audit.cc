@@ -63,6 +63,10 @@ QualityAuditor::QualityAuditor(const AuditConfig& config,
         registry.GetCounter("audit.false_negative_accepts");
     obs_true_negatives_ =
         registry.GetCounter("audit.true_negative_accepts");
+    obs_compensated_ =
+        registry.GetCounter("audit.compensated_elements");
+    obs_compensated_residual_ =
+        registry.GetGauge("audit.mean_compensated_residual_pct");
     obs_violation_rate_ =
         registry.GetGauge("audit.true_toq_violation_rate");
     obs_mean_true_error_ =
@@ -252,6 +256,8 @@ QualityAuditor::AuditOne(const AuditSample& s)
     std::vector<double> served_errors;
     served_errors.reserve((n + stride - 1) / stride);
     uint64_t tp = 0, fp = 0, fn = 0, tn = 0;
+    double compensated_sum = 0.0;  ///< unit-fraction residual sum.
+    size_t compensated_count = 0;
     for (size_t i = 0; i < n; i += stride) {
         AuditedElement el;
         el.index = i;
@@ -261,7 +267,8 @@ QualityAuditor::AuditOne(const AuditSample& s)
         el.predicted_error =
             i < s.predicted_error.size() ? s.predicted_error[i] : 0.0;
         el.fired = i < s.fired.size() && s.fired[i] != 0;
-        el.fixed = i < s.fixed.size() && s.fixed[i] != 0;
+        el.fixed = i < s.fixed.size() && s.fixed[i] == 1;
+        el.compensated = i < s.fixed.size() && s.fixed[i] == 2;
         el.exact_path = i < s.exact_path.size() && s.exact_path[i] != 0;
 
         served.assign(
@@ -270,9 +277,12 @@ QualityAuditor::AuditOne(const AuditSample& s)
             s.served_outputs.begin() +
                 static_cast<ptrdiff_t>((i + 1) * out_w));
         if (el.fixed || el.exact_path) {
-            // Recovery and the breaker's exact tail run the same
-            // exact kernel the auditor would: the served output IS
-            // the ground truth, so re-executing it buys nothing.
+            // Exact re-execution and the breaker's exact tail run the
+            // same exact kernel the auditor would: the served output
+            // IS the ground truth, so re-executing it buys nothing.
+            // Compensated elements deliberately do NOT take this
+            // shortcut — the compensator is a model, and measuring
+            // the residual it left behind is the whole point.
             exact = served;
         } else {
             hooks_.run_exact(s.inputs.data() + i * in_w, exact.data());
@@ -283,6 +293,10 @@ QualityAuditor::AuditOne(const AuditSample& s)
                 : hooks_.element_error(exact, served);
         served_errors.push_back(served_err);
         el.served_error = served_err;
+        if (el.compensated) {
+            compensated_sum += served_err;
+            ++compensated_count;
+        }
         if (el.exact_path || !have_approx) {
             // The breaker served it exactly: no approximate output
             // existed, so no checker verdict to calibrate.
@@ -314,6 +328,12 @@ QualityAuditor::AuditOne(const AuditSample& s)
     result.false_positives = fp;
     result.false_negatives = fn;
     result.true_negatives = tn;
+    result.compensated_elements = compensated_count;
+    result.mean_compensated_residual_pct =
+        compensated_count == 0
+            ? 0.0
+            : 100.0 * compensated_sum /
+                  static_cast<double>(compensated_count);
 
     obs_samples_->Increment();
     obs_elements_->Increment(result.audited_elements);
@@ -321,6 +341,8 @@ QualityAuditor::AuditOne(const AuditSample& s)
     obs_false_positives_->Increment(fp);
     obs_false_negatives_->Increment(fn);
     obs_true_negatives_->Increment(tn);
+    if (compensated_count > 0)
+        obs_compensated_->Increment(compensated_count);
     if (result.toq_violation)
         obs_toq_violations_->Increment();
     obs_predicted_hist_->Observe(
@@ -329,6 +351,8 @@ QualityAuditor::AuditOne(const AuditSample& s)
     obs_gap_hist_->Observe(std::fabs(result.true_error_pct -
                                      result.estimated_error_pct));
 
+    // result is moved into the ring below; copy what outlives it.
+    const bool toq_violation = result.toq_violation;
     {
         std::lock_guard<std::mutex> lock(results_mu_);
         ++totals_.audited;
@@ -345,6 +369,16 @@ QualityAuditor::AuditOne(const AuditSample& s)
         true_error_sum_ += result.true_error_pct;
         totals_.mean_true_error_pct =
             true_error_sum_ / static_cast<double>(totals_.audited);
+        totals_.compensated_elements += compensated_count;
+        compensated_residual_sum_ += compensated_sum;
+        totals_.mean_compensated_residual_pct =
+            totals_.compensated_elements == 0
+                ? 0.0
+                : 100.0 * compensated_residual_sum_ /
+                      static_cast<double>(
+                          totals_.compensated_elements);
+        obs_compensated_residual_->Set(
+            totals_.mean_compensated_residual_pct);
         const uint64_t fires =
             totals_.true_positives + totals_.false_positives;
         const uint64_t needed =
@@ -395,7 +429,19 @@ QualityAuditor::AuditOne(const AuditSample& s)
     // The audited-truth SLO judges measured violations; recorded
     // outside both locks so a slow sink never blocks the pool.
     if (slo_enabled_)
-        slo_.Record(!result.toq_violation);
+        slo_.Record(!toq_violation);
+
+    // Ground-truth feedback for the compensate/re-execute boundary:
+    // the RecoveryPolicy tunes its upper threshold on measured
+    // residuals, never on the compensator's own predictions. Outside
+    // the locks — the sink may take the shard runtime's policy mutex.
+    if (hooks_.on_compensated && compensated_count > 0) {
+        hooks_.on_compensated(
+            s.shard,
+            100.0 * compensated_sum /
+                static_cast<double>(compensated_count),
+            compensated_count);
+    }
 }
 
 AuditorStats
@@ -470,7 +516,11 @@ QualityAuditor::ExportJsonl() const
                 ",\"tn\":" + std::to_string(r.true_negatives) +
                 ",\"breaker_state\":" +
                 std::to_string(r.breaker_state) +
-                ",\"fixes\":" + std::to_string(r.fixes) + "}\n";
+                ",\"fixes\":" + std::to_string(r.fixes) +
+                ",\"compensated_elements\":" +
+                std::to_string(r.compensated_elements) +
+                ",\"mean_compensated_residual_pct\":" +
+                JsonNum(r.mean_compensated_residual_pct) + "}\n";
         // One labeled line per element; inputs land as flat input_<j>
         // keys so the line stays array-free (rumba-stat's JSON mini
         // parser, and most JSONL tooling, prefers flat objects).
@@ -486,6 +536,7 @@ QualityAuditor::ExportJsonl() const
                     ",\"served_error\":" + JsonNum(el.served_error) +
                     ",\"fired\":" + Bool(el.fired) +
                     ",\"fixed\":" + Bool(el.fixed) +
+                    ",\"compensated\":" + Bool(el.compensated) +
                     ",\"exact_path\":" + Bool(el.exact_path) +
                     ",\"needs_fix\":" + Bool(el.needs_fix);
             for (size_t j = 0; j < el.inputs.size(); ++j) {

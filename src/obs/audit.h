@@ -70,7 +70,12 @@ struct AuditSample {
     std::vector<double> approx_outputs;  ///< pre-merge accelerator out.
     std::vector<double> predicted_error; ///< checker estimate / element.
     std::vector<char> fired;             ///< acted-on verdict / element.
-    std::vector<char> fixed;             ///< recovered mask / element.
+    /** Recovery-tier mask per element: 0 = accepted as-is, 1 = exact
+     *  re-execution (core::kFixedExact), 2 = compensated in place
+     *  (core::kFixedCompensated). Compensated elements are NOT ground
+     *  truth — the auditor re-executes them to measure the residual
+     *  the compensator left behind. */
+    std::vector<char> fixed;
     std::vector<char> exact_path;        ///< breaker exact tail mask.
     double threshold_used = 0.0;
     double reported_error_pct = 0.0;   ///< runtime's verified error.
@@ -92,7 +97,12 @@ struct AuditedElement {
     /** True error of the served (post-merge) output. */
     double served_error = 0.0;
     bool fired = false;
+    /** Recovered by exact re-execution (served output IS ground
+     *  truth; served_error is 0 by construction). */
     bool fixed = false;
+    /** Corrected in place by the compensate tier; served_error is the
+     *  *measured* residual the compensator left behind. */
+    bool compensated = false;
     bool exact_path = false;
     /** Ground truth: the approximate output exceeded the threshold the
      *  checker was enforcing, so a correct checker fires. */
@@ -122,6 +132,12 @@ struct AuditResult {
     uint64_t true_negatives = 0;
     uint32_t breaker_state = 0;
     uint64_t fixes = 0;
+    /** Audited elements the compensate tier corrected in place. */
+    size_t compensated_elements = 0;
+    /** Mean measured residual of those elements, in percent (same
+     *  units as true_error_pct) — the ground-truth feedback the
+     *  RecoveryPolicy's upper-threshold tuner consumes. */
+    double mean_compensated_residual_pct = 0.0;
     std::vector<AuditedElement> labeled;  ///< per-element labels.
 };
 
@@ -136,6 +152,16 @@ struct AuditHooks {
     /** Whole-invocation output error in percent. */
     std::function<double(const std::vector<double>& element_errors)>
         aggregate_error;
+    /** Optional: invoked once per audited invocation that contained
+     *  compensated elements, with the measured mean residual (percent)
+     *  and the audited compensated-element count. The serving engine
+     *  wires this to the shard runtime's OnAuditedCompensation so the
+     *  compensate/re-execute boundary is tuned by measured truth, not
+     *  by the compensator's own opinion of itself. Must be
+     *  thread-safe; may be null. */
+    std::function<void(uint32_t shard, double mean_residual_pct,
+                       size_t elements)>
+        on_compensated;
 };
 
 /** Auditor policy. */
@@ -195,6 +221,10 @@ struct AuditorStats {
     double precision = 0.0;  ///< TP / (TP + FP), 1 when no fires.
     double recall = 0.0;     ///< TP / (TP + FN), 1 when nothing needed.
     double mean_true_error_pct = 0.0;
+    /** Audited compensate-tier elements and the mean measured
+     *  residual (percent) they carried. */
+    uint64_t compensated_elements = 0;
+    double mean_compensated_residual_pct = 0.0;
     size_t queue_depth = 0;
     bool slo_alerting = false;
     double slo_fast_burn = 0.0;
@@ -288,6 +318,9 @@ class QualityAuditor {
     AuditorStats totals_;
     std::vector<uint64_t> shard_tp_, shard_fp_, shard_fn_, shard_tn_;
     double true_error_sum_ = 0.0;
+    /** Sum of per-element compensated residuals (unit fraction, not
+     *  percent) across all audits, for the running mean. */
+    double compensated_residual_sum_ = 0.0;
 
     Counter* obs_enqueued_;
     Counter* obs_forced_;
@@ -299,6 +332,8 @@ class QualityAuditor {
     Counter* obs_false_positives_;
     Counter* obs_false_negatives_;
     Counter* obs_true_negatives_;
+    Counter* obs_compensated_;
+    Gauge* obs_compensated_residual_;
     Gauge* obs_violation_rate_;
     Gauge* obs_mean_true_error_;
     Histogram* obs_predicted_hist_;

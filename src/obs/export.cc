@@ -14,6 +14,7 @@
 
 #include "common/logging.h"
 #include "obs/audit.h"
+#include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/reqtrace.h"
 #include "obs/span.h"
@@ -151,7 +152,20 @@ BuildInfoJson()
         first = false;
         out += JsonQuote(knob) + ":" + JsonQuote(value);
     }
-    out += "}}";
+    out += "}";
+    // Runtime shape knobs that are fixed at construction but worth a
+    // glance on the same scrape: the recovery queue's configured
+    // capacity and the RecoveryPolicy's live re-execution multiple
+    // (zero until a runtime registers them).
+    auto& registry = Registry::Default();
+    out += ",\"runtime\":{\"recovery_queue_capacity\":" +
+           JsonNum(registry.GetGauge("recovery.queue_capacity")
+                       ->Value()) +
+           ",\"recovery_reexec_multiple\":" +
+           JsonNum(
+               registry.GetGauge("recovery.policy.reexec_multiple")
+                   ->Value()) +
+           "}}";
     return out;
 }
 

@@ -16,8 +16,8 @@ namespace {
 
 /** Indexable stage names; order must match ProfileStage. */
 constexpr const char* kStageNames[] = {
-    "idle",   "queue_wait", "device", "predict_check", "recover",
-    "merge",  "audit",      "verify", "other",
+    "idle",       "queue_wait", "device", "predict_check", "recover",
+    "compensate", "merge",      "audit",  "verify",        "other",
 };
 static_assert(sizeof(kStageNames) / sizeof(kStageNames[0]) ==
                   static_cast<size_t>(ProfileStage::kStageCount),
@@ -150,6 +150,7 @@ CpuProfiler::RecordInvocation(int shard, const InvocationCpu& cpu)
         {ProfileStage::kDevice, cpu.device_ns},
         {ProfileStage::kPredictCheck, cpu.predict_check_ns},
         {ProfileStage::kRecover, cpu.recover_ns},
+        {ProfileStage::kCompensate, cpu.compensate_ns},
         {ProfileStage::kMerge, cpu.merge_ns},
         {ProfileStage::kAudit, cpu.audit_ns},
         {ProfileStage::kVerify, cpu.verify_ns},

@@ -65,6 +65,7 @@ enum class ProfileStage : uint8_t {
     kDevice,         ///< accelerator (NPU) streaming.
     kPredictCheck,   ///< per-element quality-checker prediction.
     kRecover,        ///< exact re-execution (drain + breaker tail).
+    kCompensate,     ///< compensate-tier in-place correction.
     kMerge,          ///< scatter of shard outputs into responses.
     kAudit,          ///< ground-truth shadow re-execution.
     kVerify,         ///< trainer-mode verification pass.
@@ -106,6 +107,7 @@ class CpuProfiler {
         int64_t device_ns = 0;
         int64_t predict_check_ns = 0;
         int64_t recover_ns = 0;
+        int64_t compensate_ns = 0;
         int64_t merge_ns = 0;
         int64_t audit_ns = 0;
         int64_t verify_ns = 0;

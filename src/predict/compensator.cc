@@ -1,0 +1,80 @@
+#include "predict/compensator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace rumba::predict {
+
+Compensator
+Compensator::Train(const rumba::Dataset& data,
+                   const nn::TrainConfig& config)
+{
+    RUMBA_CHECK(!data.Empty());
+    const size_t in_w = data.NumInputs();
+    const size_t out_w = data.NumTargets();
+    // One hidden layer sized to the feature width, and a *linear*
+    // output head: the targets are signed normalized residuals, so
+    // "predict zero" is exactly the approximate answer and every bit
+    // of learned signal is a net error reduction. (A head that
+    // predicts the full output instead collapses into copying the
+    // approximate-output features — a local optimum that compensates
+    // nothing.)
+    nn::Topology topology;
+    topology.layers = {in_w, std::max<size_t>(8, 2 * in_w), out_w};
+    Compensator model;
+    model.mlp_.emplace(topology, nn::Activation::kSigmoid,
+                       nn::Activation::kLinear);
+    nn::Train(&*model.mlp_, data, config);
+    return model;
+}
+
+bool
+Compensator::Predict(const std::vector<double>& features,
+                     std::vector<double>* norm_residual) const
+{
+    RUMBA_CHECK(Trained());
+    RUMBA_CHECK(features.size() == InputArity());
+    RUMBA_CHECK(norm_residual != nullptr);
+    for (double v : features) {
+        if (!std::isfinite(v))
+            return false;
+    }
+    *norm_residual = mlp_->Forward(features);
+    for (double v : *norm_residual) {
+        if (!std::isfinite(v))
+            return false;  // leave the whole element approximate.
+    }
+    return true;
+}
+
+std::string
+Compensator::Serialize() const
+{
+    RUMBA_CHECK(Trained());
+    return "compensator\n" + mlp_->Serialize();
+}
+
+core::Result<Compensator>
+Compensator::TryDeserialize(const std::string& blob)
+{
+    const auto data_loss = [](std::string message) {
+        return core::Status(core::StatusCode::kDataLoss,
+                            std::move(message));
+    };
+    const size_t newline = blob.find('\n');
+    if (newline == std::string::npos ||
+        blob.substr(0, newline) != "compensator")
+        return data_loss("compensator blob missing header");
+    std::optional<nn::Mlp> mlp =
+        nn::Mlp::TryDeserialize(blob.substr(newline + 1));
+    if (!mlp.has_value())
+        return data_loss("compensator blob has a malformed network");
+    Compensator model;
+    model.mlp_ = *std::move(mlp);
+    return model;
+}
+
+}  // namespace rumba::predict

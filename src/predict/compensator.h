@@ -1,0 +1,93 @@
+#ifndef RUMBA_PREDICT_COMPENSATOR_H_
+#define RUMBA_PREDICT_COMPENSATOR_H_
+
+/**
+ * @file
+ * Self-compensation model for the recovery middle tier (per
+ * "Machine Learning-Based Self-Compensating Approximate Computing").
+ * The EEP checkers predict an element's scalar error *magnitude*;
+ * actually correcting an output in place needs the signed residual
+ * per output instead. This model is a small residual network: it
+ * maps an element's feature vector — normalized inputs concatenated
+ * with the normalized *approximate outputs* — to the signed
+ * NN-domain residual (exact − approximate), trained over the same
+ * elements the checker trainer uses. The output half of the
+ * features matters: the EEP checkers only ever saw the inputs, so
+ * the elements they misjudge are exactly the ones where inputs
+ * alone carry no signal — where the accelerator actually landed is
+ * fresh evidence about the approximation's residual. Applying it
+ * costs one small forward pass — far cheaper than an exact CPU
+ * re-execution of the kernel — and the domain conversions stay with
+ * the pipeline that owns the normalizers.
+ */
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "core/status.h"
+#include "nn/mlp.h"
+#include "nn/trainer.h"
+
+namespace rumba::predict {
+
+/** Residual network: [norm inputs | norm approx outputs] → the
+ *  signed NN-domain residual exact − approximate. */
+class Compensator {
+  public:
+    /** Untrained compensator; Predict() is a checked error until
+     *  Train()/TryDeserialize() produce a trained one. */
+    Compensator() = default;
+
+    /**
+     * Train the residual network: @p data holds normalized element
+     * features against signed NN-domain residuals exact − approx.
+     * The topology is derived from the data arities (one hidden
+     * layer sized to the feature width, linear output head).
+     */
+    static Compensator Train(const rumba::Dataset& data,
+                             const nn::TrainConfig& config);
+
+    /** True once a trained network exists. */
+    bool Trained() const { return mlp_.has_value(); }
+
+    /** Input features the model was fit on. */
+    size_t InputArity() const
+    {
+        return Trained() ? mlp_->GetTopology().NumInputs() : 0;
+    }
+
+    /** Outputs the model corrects. */
+    size_t OutputArity() const
+    {
+        return Trained() ? mlp_->GetTopology().NumOutputs() : 0;
+    }
+
+    /**
+     * Predict one element's signed NN-domain residual into
+     * @p norm_residual (add it to the normalized approximate outputs
+     * to compensate). A non-finite feature or prediction returns
+     * false with @p norm_residual unspecified — compensation must
+     * never make an output worse than approximate, and the runtime's
+     * non-finite salvage owns garbage values.
+     */
+    bool Predict(const std::vector<double>& features,
+                 std::vector<double>* norm_residual) const;
+
+    /** Multi-line text record (header + the network blob). */
+    std::string Serialize() const;
+
+    /** Rebuild from Serialize() output; core::kDataLoss on a
+     *  malformed blob. */
+    static core::Result<Compensator> TryDeserialize(
+        const std::string& blob);
+
+  private:
+    std::optional<nn::Mlp> mlp_;
+};
+
+}  // namespace rumba::predict
+
+#endif  // RUMBA_PREDICT_COMPENSATOR_H_

@@ -38,6 +38,8 @@ AdmissionActionName(AdmissionAction action)
     switch (action) {
       case AdmissionAction::kAdmit:
         return "admit";
+      case AdmissionAction::kCompensateOnly:
+        return "compensate-only";
       case AdmissionAction::kDegrade:
         return "degrade";
       case AdmissionAction::kBypassCheck:
@@ -111,7 +113,9 @@ AdmissionController::Decide(QualityClass quality, double fill,
           case QualityClass::kGold:
             return AdmissionAction::kAdmit;
           case QualityClass::kSilver:
-            return AdmissionAction::kDegrade;
+            // The cheapest real rung: keep the checker and the
+            // in-place compensator, drop only exact re-execution.
+            return AdmissionAction::kCompensateOnly;
           case QualityClass::kBestEffort:
             return fill >= config_.best_effort_shed_fill
                        ? AdmissionAction::kShed
@@ -122,10 +126,11 @@ AdmissionController::Decide(QualityClass quality, double fill,
       case AdmissionState::kEmergency:
         switch (quality) {
           case QualityClass::kGold:
-            // Gold keeps its checker but gives up recovery; it is
-            // never shed by admission (queue-full backpressure is the
-            // only thing that can refuse gold).
-            return AdmissionAction::kDegrade;
+            // Gold keeps its checker and the cheap compensate tier
+            // but gives up exact re-execution; it is never shed by
+            // admission (queue-full backpressure is the only thing
+            // that can refuse gold).
+            return AdmissionAction::kCompensateOnly;
           case QualityClass::kSilver:
             return fill >= config_.emergency_shed_fill
                        ? AdmissionAction::kShed

@@ -20,17 +20,22 @@
  * The response is Rumba's quality dial, not a binary gate. Per
  * request the controller answers with an AdmissionAction:
  *
- *   - kAdmit        full service (check + recovery).
- *   - kDegrade      accept without recovery: the checker still runs
- *                   and records what it would have fixed, but the
- *                   recovery re-executions are skipped. First rung of
- *                   the shedding ladder — throughput back, quality
- *                   measurably (and auditably) reduced.
- *   - kBypassCheck  accept without check: raw approximate outputs,
- *                   detector bypassed entirely. Emergency-only, and
- *                   only for best-effort traffic.
- *   - kShed         refuse at Submit (kUnavailable) before the
- *                   request costs the device anything.
+ *   - kAdmit           full service (check + recovery).
+ *   - kCompensateOnly  accept with cheap recovery only: the checker
+ *                      runs and fired elements are compensated in
+ *                      place, but nothing is re-executed exactly.
+ *                      First rung of the ladder — most of the
+ *                      recovery CPU back, quality held near target by
+ *                      the compensator. Without a deployed
+ *                      compensator it behaves like kDegrade.
+ *   - kDegrade         accept without recovery: the checker still
+ *                      runs and records what it would have fixed, but
+ *                      recovery is skipped entirely.
+ *   - kBypassCheck     accept without check: raw approximate outputs,
+ *                      detector bypassed entirely. Emergency-only,
+ *                      and only for best-effort traffic.
+ *   - kShed            refuse at Submit (kUnavailable) before the
+ *                      request costs the device anything.
  *
  * Quality classes order the ladder: best-effort sheds first, silver
  * degrades before gold feels anything, and gold is never shed by
@@ -68,12 +73,14 @@ enum class AdmissionState : uint32_t {
 /** Stable lowercase name ("closed", "shedding", "emergency"). */
 const char* AdmissionStateName(AdmissionState state);
 
-/** What to do with one request, per the ladder above. */
+/** What to do with one request, per the ladder above (ordered from
+ *  full service to refusal). */
 enum class AdmissionAction : uint32_t {
     kAdmit = 0,
-    kDegrade = 1,
-    kBypassCheck = 2,
-    kShed = 3,
+    kCompensateOnly = 1,
+    kDegrade = 2,
+    kBypassCheck = 3,
+    kShed = 4,
 };
 
 /** Stable lowercase name ("admit", "degrade", ...). */

@@ -60,6 +60,8 @@ ShardedEngine::ShardedEngine(const ServeConfig& config,
         registry.GetHistogram("serve.enqueue_to_complete_ns");
     obs_batch_elements_ = registry.GetHistogram("serve.batch_elements");
     obs_adm_admitted_ = registry.GetCounter("serve.admission.admitted");
+    obs_adm_compensated_ =
+        registry.GetCounter("serve.admission.compensated");
     obs_adm_degraded_ = registry.GetCounter("serve.admission.degraded");
     obs_adm_bypassed_ = registry.GetCounter("serve.admission.bypassed");
     obs_adm_shed_ = registry.GetCounter("serve.admission.shed");
@@ -230,6 +232,22 @@ ShardedEngine::Create(const core::Artifact& artifact,
                 [shared](const std::vector<double>& element_errors) {
                     return shared->AggregateError(element_errors);
                 };
+            // Close the tiered-recovery feedback loop: measured
+            // compensator residuals flow back into the serving
+            // shard's RecoveryPolicy, which tunes the compensate/
+            // re-execute boundary on audited truth. Safe across
+            // shutdown: auditor_ is declared after shards_, so its
+            // pool joins before any shard runtime dies.
+            hooks.on_compensated =
+                [raw = engine.get()](uint32_t shard,
+                                     double mean_residual_pct,
+                                     size_t elements) {
+                    if (shard < raw->shards_.size()) {
+                        raw->shards_[shard]
+                            ->runtime->OnAuditedCompensation(
+                                mean_residual_pct, elements);
+                    }
+                };
             engine->auditor_ = std::make_unique<obs::QualityAuditor>(
                 audit_config, std::move(hooks));
         }
@@ -382,6 +400,10 @@ ShardedEngine::Submit(InvocationRequest request)
     switch (action) {
       case AdmissionAction::kAdmit:
         obs_adm_admitted_->Increment();
+        break;
+      case AdmissionAction::kCompensateOnly:
+        pending.degrade = core::DegradeMode::kCompensateOnly;
+        obs_adm_compensated_->Increment();
         break;
       case AdmissionAction::kDegrade:
         pending.degrade = core::DegradeMode::kSkipRecovery;
@@ -603,6 +625,8 @@ ShardedEngine::StatuszJson() const
     out += ",\"transitions\":" +
            std::to_string(admission_->Transitions());
     out += ",\"admitted\":" + std::to_string(obs_adm_admitted_->Value());
+    out += ",\"compensated\":" +
+           std::to_string(obs_adm_compensated_->Value());
     out += ",\"degraded\":" + std::to_string(obs_adm_degraded_->Value());
     out += ",\"bypassed\":" + std::to_string(obs_adm_bypassed_->Value());
     out += ",\"shed\":" + std::to_string(obs_adm_shed_->Value());
@@ -1012,6 +1036,7 @@ ShardedEngine::ProcessBatch(Shard& shard, size_t shard_index,
         cpu.predict_check_ns = report.cpu.check_cpu_ns;
         cpu.recover_ns =
             report.cpu.recover_cpu_ns + report.cpu.exact_cpu_ns;
+        cpu.compensate_ns = report.cpu.compensate_cpu_ns;
         cpu.merge_ns = merge_cpu_ns;
         cpu.audit_ns = audit_cpu_ns;
         cpu.verify_ns = report.cpu.verify_cpu_ns;

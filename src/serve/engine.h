@@ -410,9 +410,10 @@ class ShardedEngine {
     obs::Histogram* obs_enqueue_to_complete_ns_;
     obs::Histogram* obs_batch_elements_;
     /** Admission outcomes (serve.admission.*): every Submit lands in
-     *  exactly one of admitted/degraded/bypassed/shed/expired/
-     *  rejected, so the sum reconciles with serve.submitted. */
+     *  exactly one of admitted/compensated/degraded/bypassed/shed/
+     *  expired/rejected, so the sum reconciles with serve.submitted. */
     obs::Counter* obs_adm_admitted_;
+    obs::Counter* obs_adm_compensated_;
     obs::Counter* obs_adm_degraded_;
     obs::Counter* obs_adm_bypassed_;
     obs::Counter* obs_adm_shed_;

@@ -34,6 +34,7 @@ ClassStatsJson(const char* cls, const ClassStats& stats)
            ",\"submitted\":" + std::to_string(stats.submitted) +
            ",\"ok\":" + std::to_string(stats.ok) +
            ",\"degraded\":" + std::to_string(stats.degraded) +
+           ",\"compensated\":" + std::to_string(stats.compensated) +
            ",\"bypassed\":" + std::to_string(stats.bypassed) +
            ",\"shed\":" + std::to_string(stats.shed) +
            ",\"expired\":" + std::to_string(stats.expired) +
@@ -98,6 +99,7 @@ LoadReport::Total() const
         total.submitted += stats.submitted;
         total.ok += stats.ok;
         total.degraded += stats.degraded;
+        total.compensated += stats.compensated;
         total.bypassed += stats.bypassed;
         total.shed += stats.shed;
         total.expired += stats.expired;
@@ -193,6 +195,9 @@ LoadGenerator::AbsorbLocked(const InFlight& flight,
       case core::StatusCode::kOk: {
         switch (result.report.degrade) {
           case core::DegradeMode::kNone: ++stats.ok; break;
+          case core::DegradeMode::kCompensateOnly:
+            ++stats.compensated;
+            break;
           case core::DegradeMode::kSkipRecovery: ++stats.degraded; break;
           case core::DegradeMode::kSkipCheck: ++stats.bypassed; break;
         }

@@ -133,6 +133,7 @@ struct ClassStats {
     uint64_t submitted = 0;
     uint64_t ok = 0;         ///< served at full quality (no degrade).
     uint64_t degraded = 0;   ///< served, recovery skipped.
+    uint64_t compensated = 0;  ///< served, compensate-only recovery.
     uint64_t bypassed = 0;   ///< served, checker bypassed.
     uint64_t shed = 0;       ///< refused by admission (kUnavailable).
     uint64_t expired = 0;    ///< kDeadlineExceeded (Submit or queue).
@@ -147,8 +148,11 @@ struct ClassStats {
      *  requests (includes harvest-polling granularity). */
     std::vector<double> latencies_ns;
 
-    /** Served requests (ok + degraded + bypassed). */
-    uint64_t Served() const { return ok + degraded + bypassed; }
+    /** Served requests (ok + degraded + compensated + bypassed). */
+    uint64_t Served() const
+    {
+        return ok + degraded + compensated + bypassed;
+    }
 
     /** Latency quantile in ns over served requests (0 when none). */
     double LatencyQuantileNs(double q) const;

@@ -217,6 +217,75 @@ TEST(QualityAuditorTest, RuntimeExactElementsAreNotReexecuted)
     EXPECT_DOUBLE_EQ(results[0].labeled[2].served_error, 3.0);
 }
 
+TEST(QualityAuditorTest, CompensatedElementsAuditedWithTrueResidual)
+{
+    // Compensated elements (fixed mask 2) must NOT take the
+    // served-is-ground-truth shortcut: the compensator is a model,
+    // and the auditor's job is to measure the residual it left.
+    std::atomic<int> exact_runs{0};
+    std::atomic<int> hook_calls{0};
+    double hook_residual_pct = 0.0;
+    size_t hook_elements = 0;
+    uint32_t hook_shard = 99;
+    AuditHooks hooks = IdentityHooks();
+    const auto base_exact = hooks.run_exact;
+    hooks.run_exact = [&exact_runs, base_exact](const double* in,
+                                                double* out) {
+        exact_runs.fetch_add(1, std::memory_order_relaxed);
+        base_exact(in, out);
+    };
+    hooks.on_compensated = [&](uint32_t shard, double residual_pct,
+                               size_t elements) {
+        hook_calls.fetch_add(1, std::memory_order_relaxed);
+        hook_shard = shard;
+        hook_residual_pct = residual_pct;
+        hook_elements = elements;
+    };
+    QualityAuditor auditor(UnitConfig(), hooks);
+
+    // Element 0: approx error 0.5, compensated down to a 0.04
+    // residual. Element 1: re-executed exactly. Element 2: accepted.
+    AuditSample s = MakeSample(11, {0.5, 20.0, 0.0}, {1, 1, 0},
+                               {2, 1, 0}, 10.0);
+    s.shard = 3;
+    s.served_outputs[0] = s.inputs[0] + 0.04;
+    ASSERT_TRUE(auditor.Enqueue(std::move(s)));
+    auditor.Flush();
+
+    // The compensated element and the accepted one re-execute; the
+    // exactly-fixed one is already ground truth.
+    EXPECT_EQ(exact_runs.load(), 2);
+
+    const auto results = auditor.RecentResults();
+    ASSERT_EQ(results.size(), 1u);
+    const AuditResult& r = results[0];
+    EXPECT_EQ(r.compensated_elements, 1u);
+    // Unit-fraction residual 0.04 -> 4% in AggregateError units.
+    EXPECT_NEAR(r.mean_compensated_residual_pct, 4.0, 1e-9);
+    ASSERT_EQ(r.labeled.size(), 3u);
+    EXPECT_TRUE(r.labeled[0].compensated);
+    EXPECT_FALSE(r.labeled[0].fixed);
+    EXPECT_NEAR(r.labeled[0].served_error, 0.04, 1e-12);
+    EXPECT_FALSE(r.labeled[1].compensated);
+    EXPECT_TRUE(r.labeled[1].fixed);
+    EXPECT_DOUBLE_EQ(r.labeled[1].served_error, 0.0);
+
+    // Ground-truth feedback flowed to the hook, tagged by shard.
+    EXPECT_EQ(hook_calls.load(), 1);
+    EXPECT_EQ(hook_shard, 3u);
+    EXPECT_EQ(hook_elements, 1u);
+    EXPECT_NEAR(hook_residual_pct, 4.0, 1e-9);
+
+    // Lifetime stats and export carry the compensated view.
+    EXPECT_EQ(auditor.Stats().compensated_elements, 1u);
+    EXPECT_NEAR(auditor.Stats().mean_compensated_residual_pct, 4.0,
+                1e-9);
+    const std::string body = auditor.ExportJsonl();
+    EXPECT_NE(body.find("\"compensated_elements\":1"),
+              std::string::npos);
+    EXPECT_NE(body.find("\"compensated\":true"), std::string::npos);
+}
+
 // ------------------------------------------- Unit: calibration labels
 
 TEST(QualityAuditorTest, LabelsConfusionMatrixPerElement)

@@ -4,13 +4,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "apps/benchmark.h"
+#include "core/batch_view.h"
 #include "core/detector.h"
 #include "core/pipeline.h"
 #include "core/recovery.h"
+#include "core/recovery_policy.h"
 #include "core/schemes.h"
 #include "core/tuner.h"
+#include "predict/compensator.h"
 #include "predict/linear.h"
 
 namespace rumba::core {
@@ -120,50 +124,268 @@ TEST(RecoveryTest, DrainsQueueAndMerges)
     auto bench = apps::MakeBenchmark("kmeans");
     RecoveryModule recovery(bench.get(), 16);
 
-    std::vector<std::vector<double>> inputs = {
-        {0.1, 0.2, 0.3, 0.4, 0.5, 0.6},
-        {0.9, 0.8, 0.7, 0.6, 0.5, 0.4},
-        {0.2, 0.2, 0.2, 0.8, 0.8, 0.8},
+    const std::vector<double> flat = {
+        0.1, 0.2, 0.3, 0.4, 0.5, 0.6,  //
+        0.9, 0.8, 0.7, 0.6, 0.5, 0.4,  //
+        0.2, 0.2, 0.2, 0.8, 0.8, 0.8,
     };
+    const BatchView inputs(flat, 6);
     // Corrupt all outputs; flag elements 0 and 2.
-    std::vector<std::vector<double>> outputs(3, {99.0});
+    std::vector<double> outputs(3, 99.0);
     std::vector<char> fixed(3, 0);
-    ASSERT_TRUE(recovery.Queue().Push(RecoveryEntry{0}));
-    ASSERT_TRUE(recovery.Queue().Push(RecoveryEntry{2}));
-    const size_t drained = recovery.Drain(inputs, &outputs, &fixed);
+    ASSERT_TRUE(recovery.Queue().Push(
+        RecoveryDecision{0, RecoveryTier::kReexecute, 1.0}));
+    ASSERT_TRUE(recovery.Queue().Push(
+        RecoveryDecision{2, RecoveryTier::kReexecute, 1.0}));
+    DrainStats stats;
+    const size_t drained =
+        recovery.Drain(inputs, outputs.data(), 1, &fixed, &stats);
     EXPECT_EQ(drained, 2u);
     EXPECT_EQ(recovery.TotalReexecutions(), 2u);
-    EXPECT_EQ(fixed[0], 1);
-    EXPECT_EQ(fixed[1], 0);
-    EXPECT_EQ(fixed[2], 1);
+    EXPECT_EQ(recovery.TotalCompensations(), 0u);
+    EXPECT_EQ(stats.reexecuted, 2u);
+    EXPECT_EQ(stats.compensated, 0u);
+    EXPECT_EQ(fixed[0], kFixedExact);
+    EXPECT_EQ(fixed[1], kFixedNone);
+    EXPECT_EQ(fixed[2], kFixedExact);
 
     double expected = 0.0;
-    bench->RunExact(inputs[0].data(), &expected);
-    EXPECT_DOUBLE_EQ(outputs[0][0], expected);
-    EXPECT_DOUBLE_EQ(outputs[1][0], 99.0);  // untouched approximate.
+    bench->RunExact(flat.data(), &expected);
+    EXPECT_DOUBLE_EQ(outputs[0], expected);
+    EXPECT_DOUBLE_EQ(outputs[1], 99.0);  // untouched approximate.
 }
 
 TEST(RecoveryTest, EmptyQueueDrainsNothing)
 {
     auto bench = apps::MakeBenchmark("kmeans");
-    RecoveryModule recovery(bench.get());
-    std::vector<std::vector<double>> inputs = {
-        {0.1, 0.2, 0.3, 0.4, 0.5, 0.6}};
-    std::vector<std::vector<double>> outputs = {{1.0}};
-    EXPECT_EQ(recovery.Drain(inputs, &outputs, nullptr), 0u);
-    EXPECT_DOUBLE_EQ(outputs[0][0], 1.0);
+    RecoveryModule recovery(bench.get(), 16);
+    const std::vector<double> flat = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+    std::vector<double> outputs = {1.0};
+    EXPECT_EQ(
+        recovery.Drain(BatchView(flat, 6), outputs.data(), 1, nullptr),
+        0u);
+    EXPECT_DOUBLE_EQ(outputs[0], 1.0);
 }
 
 TEST(RecoveryTest, OutOfRangeIterationPanics)
 {
     auto bench = apps::MakeBenchmark("kmeans");
-    RecoveryModule recovery(bench.get());
-    std::vector<std::vector<double>> inputs = {
-        {0.1, 0.2, 0.3, 0.4, 0.5, 0.6}};
-    std::vector<std::vector<double>> outputs = {{1.0}};
-    ASSERT_TRUE(recovery.Queue().Push(RecoveryEntry{5}));
-    EXPECT_DEATH(recovery.Drain(inputs, &outputs, nullptr),
-                 "check failed");
+    RecoveryModule recovery(bench.get(), 16);
+    const std::vector<double> flat = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+    std::vector<double> outputs = {1.0};
+    ASSERT_TRUE(recovery.Queue().Push(
+        RecoveryDecision{5, RecoveryTier::kReexecute, 1.0}));
+    EXPECT_DEATH(
+        recovery.Drain(BatchView(flat, 6), outputs.data(), 1, nullptr),
+        "check failed");
+}
+
+TEST(RecoveryTest, CompensateTierUsesInstalledExecutor)
+{
+    auto bench = apps::MakeBenchmark("kmeans");
+    RecoveryModule recovery(bench.get(), 16);
+    recovery.SetCompensator([](const double*, double* out) {
+        out[0] += 1.0;
+        return true;
+    });
+    ASSERT_TRUE(recovery.HasCompensator());
+
+    const std::vector<double> flat = {
+        0.1, 0.2, 0.3, 0.4, 0.5, 0.6,  //
+        0.9, 0.8, 0.7, 0.6, 0.5, 0.4,
+    };
+    std::vector<double> outputs = {10.0, 20.0};
+    std::vector<char> fixed(2, 0);
+    ASSERT_TRUE(recovery.Queue().Push(
+        RecoveryDecision{0, RecoveryTier::kCompensate, 0.1}));
+    ASSERT_TRUE(recovery.Queue().Push(
+        RecoveryDecision{1, RecoveryTier::kReexecute, 0.9}));
+    DrainStats stats;
+    EXPECT_EQ(recovery.Drain(BatchView(flat, 6), outputs.data(), 1,
+                             &fixed, &stats),
+              2u);
+    EXPECT_EQ(stats.compensated, 1u);
+    EXPECT_EQ(stats.reexecuted, 1u);
+    EXPECT_EQ(recovery.TotalCompensations(), 1u);
+    EXPECT_EQ(fixed[0], kFixedCompensated);
+    EXPECT_EQ(fixed[1], kFixedExact);
+    EXPECT_DOUBLE_EQ(outputs[0], 11.0);  // corrected in place.
+}
+
+TEST(RecoveryTest, RefusedCompensationDemotesToReexecution)
+{
+    auto bench = apps::MakeBenchmark("kmeans");
+    RecoveryModule recovery(bench.get(), 16);
+    recovery.SetCompensator(
+        [](const double*, double*) { return false; });
+
+    const std::vector<double> flat = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+    std::vector<double> outputs = {99.0};
+    std::vector<char> fixed(1, 0);
+    ASSERT_TRUE(recovery.Queue().Push(
+        RecoveryDecision{0, RecoveryTier::kCompensate, 0.1}));
+    DrainStats stats;
+    EXPECT_EQ(recovery.Drain(BatchView(flat, 6), outputs.data(), 1,
+                             &fixed, &stats),
+              1u);
+    EXPECT_EQ(stats.compensated, 0u);
+    EXPECT_EQ(stats.reexecuted, 1u);
+    EXPECT_EQ(fixed[0], kFixedExact);
+    double expected = 0.0;
+    bench->RunExact(flat.data(), &expected);
+    EXPECT_DOUBLE_EQ(outputs[0], expected);
+}
+
+// -------------------------------------------------------- RecoveryPolicy
+
+TEST(RecoveryPolicyTest, DisabledAlwaysReexecutes)
+{
+    RecoveryPolicyConfig cfg;  // compensation off by default.
+    RecoveryPolicy policy(cfg, 10.0);
+    EXPECT_FALSE(policy.CompensationEnabled());
+    for (double err : {0.0, 0.01, 0.5, 100.0}) {
+        EXPECT_EQ(policy.Decide(3, err, false, 0.1).tier,
+                  RecoveryTier::kReexecute);
+    }
+}
+
+TEST(RecoveryPolicyTest, TiersByPredictedError)
+{
+    RecoveryPolicyConfig cfg;
+    cfg.compensation = true;
+    cfg.reexec_multiple = 4.0;
+    RecoveryPolicy policy(cfg, 10.0);
+    const double check = 0.1;
+    // Mid-band (>= check, < 4x check) compensates.
+    EXPECT_EQ(policy.Decide(0, 0.2, false, check).tier,
+              RecoveryTier::kCompensate);
+    // Tail (>= 4x check) re-executes.
+    EXPECT_EQ(policy.Decide(1, 0.9, false, check).tier,
+              RecoveryTier::kReexecute);
+    // Inverted verdict (fired yet below check) compensates.
+    EXPECT_EQ(policy.Decide(2, 0.05, false, check).tier,
+              RecoveryTier::kCompensate);
+    // The decision carries its evidence and identity.
+    const RecoveryDecision decision =
+        policy.Decide(7, 0.2, false, check);
+    EXPECT_EQ(decision.iteration, 7u);
+    EXPECT_DOUBLE_EQ(decision.predicted_error, 0.2);
+}
+
+TEST(RecoveryPolicyTest, NonFiniteAlwaysReexecutes)
+{
+    RecoveryPolicyConfig cfg;
+    cfg.compensation = true;
+    RecoveryPolicy policy(cfg, 10.0);
+    // Non-finite *output* re-executes no matter the prediction.
+    EXPECT_EQ(policy.Decide(0, 0.0, true, 0.1).tier,
+              RecoveryTier::kReexecute);
+    // Non-finite *prediction* is no evidence: re-execute.
+    const double nan = std::nan("");
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(policy.Decide(1, nan, false, 0.1).tier,
+              RecoveryTier::kReexecute);
+    EXPECT_EQ(policy.Decide(2, inf, false, 0.1).tier,
+              RecoveryTier::kReexecute);
+    EXPECT_EQ(policy.Decide(3, -inf, false, 0.1).tier,
+              RecoveryTier::kReexecute);
+}
+
+TEST(RecoveryPolicyTest, BoundaryIsDeterministic)
+{
+    RecoveryPolicyConfig cfg;
+    cfg.compensation = true;
+    cfg.reexec_multiple = 4.0;
+    RecoveryPolicy policy(cfg, 10.0);
+    const double check = 0.25;
+    const double boundary = policy.ReexecThreshold(check);
+    EXPECT_DOUBLE_EQ(boundary, 1.0);
+    // Exactly at the re-execute boundary: >= semantics, stable
+    // across repeated calls (the serving path relies on this).
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(policy.Decide(0, boundary, false, check).tier,
+                  RecoveryTier::kReexecute);
+        EXPECT_EQ(policy
+                      .Decide(0, std::nextafter(boundary, 0.0), false,
+                              check)
+                      .tier,
+                  RecoveryTier::kCompensate);
+        // Exactly at the check threshold: fired verdict is taken at
+        // its word, the element sits in the compensation band.
+        EXPECT_EQ(policy.Decide(0, check, false, check).tier,
+                  RecoveryTier::kCompensate);
+    }
+}
+
+TEST(RecoveryPolicyTest, GroundTruthWalksTheMultiple)
+{
+    RecoveryPolicyConfig cfg;
+    cfg.compensation = true;
+    cfg.reexec_multiple = 4.0;
+    cfg.adjust_factor = 2.0;
+    cfg.min_multiple = 1.0;
+    cfg.max_multiple = 16.0;
+    cfg.dead_band = 0.1;
+    cfg.residual_budget_frac = 0.5;
+    RecoveryPolicy policy(cfg, 10.0);  // budget = 5% residual.
+    EXPECT_DOUBLE_EQ(policy.ResidualBudgetPct(), 5.0);
+
+    // Residual over budget: narrow the band (multiple halves).
+    policy.OnCompensatedGroundTruth(8.0, 100);
+    EXPECT_DOUBLE_EQ(policy.Multiple(), 2.0);
+    EXPECT_EQ(policy.Adjustments(), 1u);
+    // Inside the dead band: hold.
+    policy.OnCompensatedGroundTruth(5.2, 100);
+    EXPECT_DOUBLE_EQ(policy.Multiple(), 2.0);
+    EXPECT_EQ(policy.Adjustments(), 1u);
+    // Comfortably under budget: widen again.
+    policy.OnCompensatedGroundTruth(1.0, 100);
+    EXPECT_DOUBLE_EQ(policy.Multiple(), 4.0);
+    // Clamped at max after repeated widening.
+    for (int i = 0; i < 10; ++i)
+        policy.OnCompensatedGroundTruth(0.5, 10);
+    EXPECT_DOUBLE_EQ(policy.Multiple(), 16.0);
+    // Clamped at min after repeated narrowing; 1.0 degenerates to
+    // the two-tier policy.
+    for (int i = 0; i < 10; ++i)
+        policy.OnCompensatedGroundTruth(50.0, 10);
+    EXPECT_DOUBLE_EQ(policy.Multiple(), 1.0);
+    // Zero elements or non-finite residuals are ignored entirely.
+    const size_t adjustments = policy.Adjustments();
+    policy.OnCompensatedGroundTruth(50.0, 0);
+    policy.OnCompensatedGroundTruth(std::nan(""), 100);
+    EXPECT_EQ(policy.Adjustments(), adjustments);
+}
+
+TEST(RecoveryPolicyTest, ValidateRejectsBadConfigs)
+{
+    RecoveryPolicyConfig good;
+    EXPECT_TRUE(ValidateRecoveryPolicyConfig(good).ok());
+
+    RecoveryPolicyConfig cfg = good;
+    cfg.min_multiple = 0.5;
+    EXPECT_EQ(ValidateRecoveryPolicyConfig(cfg).code(),
+              StatusCode::kInvalidArgument);
+    cfg = good;
+    cfg.max_multiple = cfg.min_multiple - 0.5;
+    EXPECT_EQ(ValidateRecoveryPolicyConfig(cfg).code(),
+              StatusCode::kInvalidArgument);
+    cfg = good;
+    cfg.reexec_multiple = cfg.max_multiple * 2.0;
+    EXPECT_EQ(ValidateRecoveryPolicyConfig(cfg).code(),
+              StatusCode::kInvalidArgument);
+    cfg = good;
+    cfg.adjust_factor = 1.0;
+    EXPECT_EQ(ValidateRecoveryPolicyConfig(cfg).code(),
+              StatusCode::kInvalidArgument);
+    cfg = good;
+    cfg.dead_band = 1.0;
+    EXPECT_EQ(ValidateRecoveryPolicyConfig(cfg).code(),
+              StatusCode::kInvalidArgument);
+    cfg = good;
+    cfg.residual_budget_frac = 0.0;
+    EXPECT_EQ(ValidateRecoveryPolicyConfig(cfg).code(),
+              StatusCode::kInvalidArgument);
 }
 
 // ----------------------------------------------------------------- Tuner

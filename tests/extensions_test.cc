@@ -10,6 +10,7 @@
 
 #include "common/dataset.h"
 #include "common/random.h"
+#include "core/batch_view.h"
 #include "core/overlap_sim.h"
 #include "core/pipeline.h"
 #include "core/runtime.h"
@@ -24,6 +25,24 @@
 
 namespace rumba {
 namespace {
+
+/** Flatten rows [lo, hi) of @p inputs and run them through the
+ *  BatchView hot path; @p outputs is sized to the merged result. */
+core::InvocationReport
+Invoke(core::RumbaRuntime& runtime,
+       const std::vector<std::vector<double>>& inputs, size_t lo,
+       size_t hi, std::vector<double>* outputs)
+{
+    const std::vector<std::vector<double>> rows(
+        inputs.begin() + static_cast<ptrdiff_t>(lo),
+        inputs.begin() + static_cast<ptrdiff_t>(hi));
+    const std::vector<double> flat = core::FlattenBatch(rows);
+    outputs->resize((hi - lo) * runtime.Bench().NumOutputs());
+    return runtime.ProcessInvocation(
+        core::BatchView(flat.data(), hi - lo,
+                        runtime.Bench().NumInputs()),
+        outputs->data());
+}
 
 // ------------------------------------------------------ HybridPredictor
 
@@ -159,10 +178,8 @@ TEST(RuntimeCalibrationTest, AutoThresholdLandsNearTarget)
     EXPECT_GT(runtime.Threshold(), cfg.tuner.min_threshold);
 
     const auto inputs = runtime.Bench().TestInputs();
-    std::vector<std::vector<double>> batch(inputs.begin(),
-                                           inputs.begin() + 600);
-    std::vector<std::vector<double>> outputs;
-    const auto report = runtime.ProcessInvocation(batch, &outputs);
+    std::vector<double> outputs;
+    const auto report = Invoke(runtime, inputs, 0, 600, &outputs);
     // First invocation already in the target's neighborhood (train ->
     // test generalization slack).
     EXPECT_LT(report.output_error_pct, 16.0);
@@ -181,10 +198,8 @@ TEST(RuntimeCalibrationTest, LooseTargetMeansFewFixes)
     cfg.initial_threshold = 0.0;
     core::RumbaRuntime runtime(apps::MakeBenchmark("fft"), cfg);
     const auto inputs = runtime.Bench().TestInputs();
-    std::vector<std::vector<double>> batch(inputs.begin(),
-                                           inputs.begin() + 400);
-    std::vector<std::vector<double>> outputs;
-    const auto report = runtime.ProcessInvocation(batch, &outputs);
+    std::vector<double> outputs;
+    const auto report = Invoke(runtime, inputs, 0, 400, &outputs);
     EXPECT_LT(report.fixes, 40u);
 }
 
@@ -199,12 +214,97 @@ TEST(RuntimeCalibrationTest, HybridCheckerWorksOnline)
     cfg.initial_threshold = 0.0;
     core::RumbaRuntime runtime(apps::MakeBenchmark("inversek2j"), cfg);
     const auto inputs = runtime.Bench().TestInputs();
-    std::vector<std::vector<double>> batch(inputs.begin(),
-                                           inputs.begin() + 400);
-    std::vector<std::vector<double>> outputs;
-    const auto report = runtime.ProcessInvocation(batch, &outputs);
-    EXPECT_EQ(outputs.size(), 400u);
+    std::vector<double> outputs;
+    const auto report = Invoke(runtime, inputs, 0, 400, &outputs);
+    EXPECT_EQ(outputs.size(), 400u * runtime.Bench().NumOutputs());
     EXPECT_LT(report.output_error_pct, 20.0);
+}
+
+// -------------------------------------------------------- TieredRecovery
+
+TEST(TieredRecoveryTest, CompensationSplitsTheFixSet)
+{
+    core::RuntimeConfig cfg;
+    cfg.pipeline.train_epochs = 30;
+    cfg.pipeline.max_train_elements = 800;
+    cfg.pipeline.max_test_elements = 400;
+    cfg.checker = core::Scheme::kTree;
+    cfg.tuner.target_error_pct = 10.0;
+    cfg.initial_threshold = 0.05;
+    cfg.recovery_queue_capacity = 512;
+
+    core::RuntimeConfig tiered_cfg = cfg;
+    tiered_cfg.recovery_policy.compensation = true;
+
+    core::RumbaRuntime baseline(apps::MakeBenchmark("inversek2j"),
+                                cfg);
+    core::RumbaRuntime tiered(apps::MakeBenchmark("inversek2j"),
+                              tiered_cfg);
+    EXPECT_FALSE(baseline.HasCompensator());
+    ASSERT_TRUE(tiered.HasCompensator());
+
+    const auto inputs = tiered.Bench().TestInputs();
+    std::vector<double> out_base, out_tiered;
+    const auto report_base = Invoke(baseline, inputs, 0, 400,
+                                    &out_base);
+    const auto report = Invoke(tiered, inputs, 0, 400, &out_tiered);
+
+    // Tier counts partition the batch.
+    EXPECT_EQ(report.tier_accepted + report.tier_compensated +
+                  report.tier_reexecuted,
+              report.elements);
+    EXPECT_EQ(report.fixes,
+              report.tier_compensated + report.tier_reexecuted);
+    // Same checker + threshold fires the same set; the policy splits
+    // it so strictly fewer elements pay for exact re-execution.
+    EXPECT_EQ(report.fixes, report_base.fixes);
+    EXPECT_GT(report.tier_compensated, 0u);
+    EXPECT_LT(report.tier_reexecuted, report_base.tier_reexecuted);
+    EXPECT_EQ(tiered.TotalCompensations(), report.tier_compensated);
+    // Compensation is a model, not magic — but quality must stay in
+    // the target's neighborhood, not collapse.
+    EXPECT_LT(report.output_error_pct, 25.0);
+    for (double v : out_tiered)
+        EXPECT_TRUE(std::isfinite(v));
+
+    // The baseline (compensation off) never compensates: the paper's
+    // two-tier behaviour is preserved bit-for-bit.
+    EXPECT_EQ(report_base.tier_compensated, 0u);
+    EXPECT_EQ(baseline.TotalCompensations(), 0u);
+}
+
+TEST(TieredRecoveryTest, VerifyPassTunesTheMultipleOnline)
+{
+    core::RuntimeConfig cfg;
+    cfg.pipeline.train_epochs = 30;
+    cfg.pipeline.max_train_elements = 800;
+    cfg.pipeline.max_test_elements = 400;
+    cfg.checker = core::Scheme::kTree;
+    cfg.tuner.target_error_pct = 10.0;
+    cfg.initial_threshold = 0.05;
+    cfg.recovery_queue_capacity = 512;
+    cfg.recovery_policy.compensation = true;
+
+    core::RumbaRuntime runtime(apps::MakeBenchmark("inversek2j"),
+                               cfg);
+    const double initial_multiple = runtime.Policy().Multiple();
+    const auto inputs = runtime.Bench().TestInputs();
+    std::vector<double> outputs;
+    size_t compensated = 0;
+    for (size_t round = 0; round < 8; ++round) {
+        const auto report =
+            Invoke(runtime, inputs, 0, inputs.size(), &outputs);
+        compensated += report.tier_compensated;
+    }
+    ASSERT_GT(compensated, 0u);
+    // The verify pass measured the compensated elements' true
+    // residual every round; the policy acted on that ground truth.
+    EXPECT_GT(runtime.Policy().Adjustments(), 0u);
+    EXPECT_NE(runtime.Policy().Multiple(), initial_multiple);
+    EXPECT_GE(runtime.Policy().Multiple(),
+              cfg.recovery_policy.min_multiple);
+    EXPECT_LE(runtime.Policy().Multiple(),
+              cfg.recovery_policy.max_multiple);
 }
 
 // ---------------------------------------------------------- DriftMonitor
@@ -376,11 +476,12 @@ TEST(DriftMonitorTest, RuntimeRaisesDriftOnShiftedInputs)
         weird.push_back(
             {0.99 * std::cos(angle), 0.99 * std::sin(angle)});
     }
-    std::vector<std::vector<double>> outputs;
+    std::vector<double> outputs;
     bool drifted = false;
-    for (int round = 0; round < 8; ++round)
-        drifted = runtime.ProcessInvocation(weird, &outputs)
+    for (int round = 0; round < 8; ++round) {
+        drifted = Invoke(runtime, weird, 0, weird.size(), &outputs)
                       .drift_detected;
+    }
     EXPECT_TRUE(drifted);
 }
 
@@ -397,13 +498,12 @@ TEST(RunSummaryTest, AccumulatesAcrossInvocations)
     core::RumbaRuntime runtime(apps::MakeBenchmark("inversek2j"), cfg);
     const auto inputs = runtime.Bench().TestInputs();
 
-    std::vector<std::vector<double>> outputs;
+    std::vector<double> outputs;
     size_t expected_fixes = 0;
-    for (int r = 0; r < 3; ++r) {
-        std::vector<std::vector<double>> batch(
-            inputs.begin() + r * 150, inputs.begin() + (r + 1) * 150);
-        expected_fixes +=
-            runtime.ProcessInvocation(batch, &outputs).fixes;
+    for (size_t r = 0; r < 3; ++r) {
+        expected_fixes += Invoke(runtime, inputs, r * 150,
+                                 (r + 1) * 150, &outputs)
+                              .fixes;
     }
     const core::RunSummary& s = runtime.Summary();
     EXPECT_EQ(s.invocations, 3u);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "core/batch_view.h"
 #include "core/breaker.h"
 #include "core/runtime.h"
 #include "fault/corrupt.h"
@@ -462,15 +463,32 @@ FastConfig()
     return cfg;
 }
 
-std::vector<std::vector<double>>
+/** Flat contiguous batch of @p size elements cycled from the test
+ *  inputs (backs a BatchView of the runtime's input width). */
+std::vector<double>
 TestBatch(const core::RumbaRuntime& runtime, size_t index, size_t size)
 {
     const auto& inputs = runtime.Bench().TestInputs();
-    std::vector<std::vector<double>> batch;
-    batch.reserve(size);
-    for (size_t k = 0; k < size; ++k)
-        batch.push_back(inputs[(index * size + k) % inputs.size()]);
-    return batch;
+    std::vector<double> flat;
+    flat.reserve(size * runtime.Bench().NumInputs());
+    for (size_t k = 0; k < size; ++k) {
+        const auto& row = inputs[(index * size + k) % inputs.size()];
+        flat.insert(flat.end(), row.begin(), row.end());
+    }
+    return flat;
+}
+
+/** Run @p count elements of @p flat through the BatchView hot path;
+ *  @p out is sized to the merged result. */
+core::InvocationReport
+Invoke(core::RumbaRuntime& runtime, const std::vector<double>& flat,
+       size_t count, std::vector<double>* out)
+{
+    out->resize(count * runtime.Bench().NumOutputs());
+    return runtime.ProcessInvocation(
+        core::BatchView(flat.data(), count,
+                        runtime.Bench().NumInputs()),
+        out->data());
 }
 
 TEST(RuntimeFaultTest, SurvivesNanStormAndCyclesBreaker)
@@ -485,18 +503,17 @@ TEST(RuntimeFaultTest, SurvivesNanStormAndCyclesBreaker)
     fault::FaultInjector::Default().Arm(
         MustParse("seed=3;npu.output_nan=0.05"));
     size_t non_finite_total = 0;
-    std::vector<std::vector<double>> out;
+    std::vector<double> out;
     for (size_t i = 0;
          i < 12 &&
          runtime.Breaker().State() != core::BreakerState::kOpen;
          ++i) {
         const auto r =
-            runtime.ProcessInvocation(TestBatch(runtime, i, 200), &out);
+            Invoke(runtime, TestBatch(runtime, i, 200), 200, &out);
         non_finite_total += r.non_finite_outputs;
         // Containment: no NaN/Inf ever reaches the delivered outputs.
-        for (const auto& element : out)
-            for (double v : element)
-                EXPECT_TRUE(std::isfinite(v));
+        for (double v : out)
+            EXPECT_TRUE(std::isfinite(v));
     }
     EXPECT_GT(non_finite_total, 0u);
     ASSERT_EQ(runtime.Breaker().State(), core::BreakerState::kOpen);
@@ -505,7 +522,7 @@ TEST(RuntimeFaultTest, SurvivesNanStormAndCyclesBreaker)
     // The accelerator heals; canary probes close the breaker again.
     fault::FaultInjector::Default().Disarm();
     for (size_t i = 12; i < 24 && runtime.Breaker().Closes() == 0; ++i)
-        runtime.ProcessInvocation(TestBatch(runtime, i, 200), &out);
+        Invoke(runtime, TestBatch(runtime, i, 200), 200, &out);
     EXPECT_GE(runtime.Breaker().Closes(), 1u);
     EXPECT_EQ(runtime.Breaker().State(), core::BreakerState::kClosed);
 
@@ -538,9 +555,9 @@ TEST(RuntimeFaultTest, QueueStallDropsAreCountedAndContained)
 
     fault::FaultInjector::Default().Arm(
         MustParse("seed=5;queue.stall=1"));
-    std::vector<std::vector<double>> out;
+    std::vector<double> out;
     const auto r =
-        runtime.ProcessInvocation(TestBatch(runtime, 0, 200), &out);
+        Invoke(runtime, TestBatch(runtime, 0, 200), 200, &out);
     fault::FaultInjector::Default().Disarm();
 
     // ~200 fires into an 8-deep queue with the drain stalled: the
@@ -550,9 +567,8 @@ TEST(RuntimeFaultTest, QueueStallDropsAreCountedAndContained)
     EXPECT_EQ(r.fixes, cfg.recovery_queue_capacity);
     // Dropped elements keep their approximate result — finite, and
     // the loss is loud: the breaker opens on the very next round.
-    for (const auto& element : out)
-        for (double v : element)
-            EXPECT_TRUE(std::isfinite(v));
+    for (double v : out)
+        EXPECT_TRUE(std::isfinite(v));
     EXPECT_EQ(runtime.Breaker().State(), core::BreakerState::kOpen);
 }
 
@@ -566,14 +582,13 @@ TEST(RuntimeFaultTest, MispredictStormStaysCrashFree)
     const uint64_t before = injected->Value();
     fault::FaultInjector::Default().Arm(
         MustParse("seed=13;checker.mispredict=0.3"));
-    std::vector<std::vector<double>> out;
+    std::vector<double> out;
     for (size_t i = 0; i < 4; ++i)
-        runtime.ProcessInvocation(TestBatch(runtime, i, 200), &out);
+        Invoke(runtime, TestBatch(runtime, i, 200), 200, &out);
     fault::FaultInjector::Default().Disarm();
     EXPECT_GT(injected->Value(), before);
-    for (const auto& element : out)
-        for (double v : element)
-            EXPECT_TRUE(std::isfinite(v));
+    for (double v : out)
+        EXPECT_TRUE(std::isfinite(v));
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <map>
 
+#include "core/batch_view.h"
 #include "core/experiment.h"
 #include "core/runtime.h"
 #include "obs/metrics.h"
@@ -317,22 +318,35 @@ FastRuntime(Scheme checker, TuningMode mode)
     return cfg;
 }
 
+/** Flatten rows [lo, hi) of @p inputs and run them through the
+ *  BatchView hot path; @p outputs is sized to the merged result. */
+InvocationReport
+Invoke(RumbaRuntime& runtime,
+       const std::vector<std::vector<double>>& inputs, size_t lo,
+       size_t hi, std::vector<double>* outputs)
+{
+    const std::vector<std::vector<double>> rows(
+        inputs.begin() + static_cast<ptrdiff_t>(lo),
+        inputs.begin() + static_cast<ptrdiff_t>(hi));
+    const std::vector<double> flat = FlattenBatch(rows);
+    outputs->resize((hi - lo) * runtime.Bench().NumOutputs());
+    return runtime.ProcessInvocation(
+        BatchView(flat.data(), hi - lo, runtime.Bench().NumInputs()),
+        outputs->data());
+}
+
 TEST(RuntimeTest, ProcessesInvocationsAndMergesOutputs)
 {
     RumbaRuntime runtime(apps::MakeBenchmark("inversek2j"),
                          FastRuntime(Scheme::kTree, TuningMode::kToq));
     const auto inputs = runtime.Bench().TestInputs();
-    std::vector<std::vector<double>> batch(inputs.begin(),
-                                           inputs.begin() + 200);
-    std::vector<std::vector<double>> outputs;
+    std::vector<double> outputs;
     const InvocationReport report =
-        runtime.ProcessInvocation(batch, &outputs);
-    EXPECT_EQ(outputs.size(), 200u);
+        Invoke(runtime, inputs, 0, 200, &outputs);
+    EXPECT_EQ(outputs.size(), 200u * runtime.Bench().NumOutputs());
     EXPECT_EQ(report.elements, 200u);
     EXPECT_LE(report.fixes, 200u);
     EXPECT_EQ(runtime.Invocations(), 1u);
-    for (const auto& out : outputs)
-        EXPECT_EQ(out.size(), runtime.Bench().NumOutputs());
 }
 
 TEST(RuntimeTest, FixedElementsAreExact)
@@ -340,10 +354,8 @@ TEST(RuntimeTest, FixedElementsAreExact)
     RumbaRuntime runtime(apps::MakeBenchmark("inversek2j"),
                          FastRuntime(Scheme::kTree, TuningMode::kToq));
     const auto inputs = runtime.Bench().TestInputs();
-    std::vector<std::vector<double>> batch(inputs.begin(),
-                                           inputs.begin() + 300);
-    std::vector<std::vector<double>> outputs;
-    runtime.ProcessInvocation(batch, &outputs);
+    std::vector<double> outputs;
+    Invoke(runtime, inputs, 0, 300, &outputs);
     // Every output must be either the accelerator's approximation or
     // the exact kernel result; verify fixes count > 0 given the low
     // threshold, and residual error below the unchecked level.
@@ -355,13 +367,11 @@ TEST(RuntimeTest, ToqModeConvergesTowardTarget)
     RumbaRuntime runtime(apps::MakeBenchmark("inversek2j"),
                          FastRuntime(Scheme::kTree, TuningMode::kToq));
     const auto inputs = runtime.Bench().TestInputs();
-    std::vector<std::vector<double>> outputs;
+    std::vector<double> outputs;
     double final_error = 1e9;
-    for (int round = 0; round < 8; ++round) {
-        std::vector<std::vector<double>> batch(
-            inputs.begin() + round * 100,
-            inputs.begin() + (round + 1) * 100);
-        const auto report = runtime.ProcessInvocation(batch, &outputs);
+    for (size_t round = 0; round < 8; ++round) {
+        const auto report = Invoke(runtime, inputs, round * 100,
+                                   (round + 1) * 100, &outputs);
         final_error = report.output_error_pct;
     }
     // Converged runs keep the residual error in the target's
@@ -377,14 +387,10 @@ TEST(RuntimeTest, EnergyModeRespectsBudgetEventually)
     cfg.initial_threshold = 1e-4;  // starts by fixing nearly all.
     RumbaRuntime runtime(apps::MakeBenchmark("inversek2j"), cfg);
     const auto inputs = runtime.Bench().TestInputs();
-    std::vector<std::vector<double>> outputs;
+    std::vector<double> outputs;
     size_t last_fixes = 1000;
-    for (int round = 0; round < 20; ++round) {
-        std::vector<std::vector<double>> batch(
-            inputs.begin(), inputs.begin() + 100);
-        last_fixes =
-            runtime.ProcessInvocation(batch, &outputs).fixes;
-    }
+    for (int round = 0; round < 20; ++round)
+        last_fixes = Invoke(runtime, inputs, 0, 100, &outputs).fixes;
     EXPECT_LE(last_fixes, 40u);  // pulled down toward the budget.
 }
 
@@ -409,11 +415,9 @@ TEST(RuntimeTest, PopulatesTelemetry)
     obs::TraceRing::Default().Clear();
 
     const auto inputs = runtime.Bench().TestInputs();
-    std::vector<std::vector<double>> batch(inputs.begin(),
-                                           inputs.begin() + 250);
-    std::vector<std::vector<double>> outputs;
+    std::vector<double> outputs;
     const InvocationReport report =
-        runtime.ProcessInvocation(batch, &outputs);
+        Invoke(runtime, inputs, 0, 250, &outputs);
 
     // A full online run populates every expected metric name.
     const obs::RegistrySnapshot snap =
@@ -466,7 +470,7 @@ TEST(RuntimeTest, PopulatesTelemetry)
 
     // A second invocation appends a second event and doubles the
     // element counters.
-    runtime.ProcessInvocation(batch, &outputs);
+    Invoke(runtime, inputs, 0, 250, &outputs);
     EXPECT_EQ(obs::TraceRing::Default().Dump().size(), 2u);
     EXPECT_EQ(obs::Registry::Default()
                   .GetCounter("runtime.elements")
@@ -475,10 +479,10 @@ TEST(RuntimeTest, PopulatesTelemetry)
 
     // Stopping the ring suppresses runtime events; restarting resumes.
     obs::TraceRing::Default().Stop();
-    runtime.ProcessInvocation(batch, &outputs);
+    Invoke(runtime, inputs, 0, 250, &outputs);
     EXPECT_EQ(obs::TraceRing::Default().Dump().size(), 2u);
     obs::TraceRing::Default().Start();
-    runtime.ProcessInvocation(batch, &outputs);
+    Invoke(runtime, inputs, 0, 250, &outputs);
     EXPECT_EQ(obs::TraceRing::Default().Dump().size(), 3u);
 }
 

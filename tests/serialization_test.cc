@@ -10,6 +10,7 @@
 #include "common/dataset.h"
 #include "common/random.h"
 #include "core/artifact.h"
+#include "core/batch_view.h"
 #include "core/runtime.h"
 #include "fault/corrupt.h"
 #include "predict/ema.h"
@@ -262,18 +263,63 @@ TEST(ArtifactTest, DeployedRuntimeMatchesTrainedRuntime)
     core::RumbaRuntime deployed(artifact, FastConfig());
 
     const auto inputs = trained.Bench().TestInputs();
-    std::vector<std::vector<double>> batch(inputs.begin(),
-                                           inputs.begin() + 300);
-    std::vector<std::vector<double>> out_a, out_b;
-    const auto ra = trained.ProcessInvocation(batch, &out_a);
-    const auto rb = deployed.ProcessInvocation(batch, &out_b);
+    const std::vector<double> flat =
+        core::FlattenBatch({inputs.begin(), inputs.begin() + 300});
+    const core::BatchView view(flat.data(), 300,
+                               trained.Bench().NumInputs());
+    const size_t out_n = 300 * trained.Bench().NumOutputs();
+    std::vector<double> out_a(out_n), out_b(out_n);
+    const auto ra = trained.ProcessInvocation(view, out_a.data());
+    const auto rb = deployed.ProcessInvocation(view, out_b.data());
 
     EXPECT_EQ(ra.fixes, rb.fixes);
     EXPECT_DOUBLE_EQ(ra.threshold_used, rb.threshold_used);
-    ASSERT_EQ(out_a.size(), out_b.size());
-    for (size_t i = 0; i < out_a.size(); ++i)
-        for (size_t o = 0; o < out_a[i].size(); ++o)
-            EXPECT_DOUBLE_EQ(out_a[i][o], out_b[i][o]);
+    for (size_t i = 0; i < out_n; ++i)
+        EXPECT_DOUBLE_EQ(out_a[i], out_b[i]);
+}
+
+TEST(ArtifactTest, CompensatorSurvivesDeployment)
+{
+    core::RuntimeConfig cfg = FastConfig();
+    cfg.recovery_policy.compensation = true;
+    core::RumbaRuntime trained(apps::MakeBenchmark("inversek2j"),
+                               cfg);
+    ASSERT_TRUE(trained.HasCompensator());
+    const core::Artifact artifact = trained.ExportArtifact();
+    EXPECT_FALSE(artifact.compensator.empty());
+
+    // String round trip preserves the compensator blob byte-for-byte.
+    const auto reparsed_or =
+        core::Artifact::TryFromString(artifact.ToString());
+    ASSERT_TRUE(reparsed_or.ok()) << reparsed_or.status().ToString();
+    const core::Artifact& reparsed = *reparsed_or;
+    EXPECT_EQ(reparsed.compensator, artifact.compensator);
+
+    // The deployed runtime restores the model without training and
+    // serves bit-identically, compensations included.
+    core::RumbaRuntime deployed(reparsed, cfg);
+    ASSERT_TRUE(deployed.HasCompensator());
+
+    const auto inputs = trained.Bench().TestInputs();
+    const std::vector<double> flat =
+        core::FlattenBatch({inputs.begin(), inputs.begin() + 300});
+    const core::BatchView view(flat.data(), 300,
+                               trained.Bench().NumInputs());
+    const size_t out_n = 300 * trained.Bench().NumOutputs();
+    std::vector<double> out_a(out_n), out_b(out_n);
+    const auto ra = trained.ProcessInvocation(view, out_a.data());
+    const auto rb = deployed.ProcessInvocation(view, out_b.data());
+    EXPECT_EQ(ra.tier_compensated, rb.tier_compensated);
+    EXPECT_EQ(ra.tier_reexecuted, rb.tier_reexecuted);
+    for (size_t i = 0; i < out_n; ++i)
+        EXPECT_DOUBLE_EQ(out_a[i], out_b[i]);
+
+    // An artifact trained without compensation carries no blob and
+    // deploys without a compensator.
+    core::RumbaRuntime plain(apps::MakeBenchmark("inversek2j"),
+                             FastConfig());
+    EXPECT_TRUE(plain.ExportArtifact().compensator.empty());
+    EXPECT_FALSE(plain.HasCompensator());
 }
 
 TEST(ArtifactTest, WrongBenchmarkRejected)
@@ -313,6 +359,30 @@ TEST(ArtifactTest, FromArtifactReportsEveryRejection)
     ASSERT_FALSE(precondition.ok());
     EXPECT_EQ(precondition.status().code(),
               core::StatusCode::kFailedPrecondition);
+
+    // External config knobs are validated, not checked-fatal.
+    core::RuntimeConfig bad_tuner = FastConfig();
+    bad_tuner.tuner.target_error_pct = -1.0;
+    EXPECT_EQ(core::RumbaRuntime::FromArtifact(good, bad_tuner)
+                  .status()
+                  .code(),
+              core::StatusCode::kInvalidArgument);
+
+    core::RuntimeConfig bad_policy = FastConfig();
+    bad_policy.recovery_policy.adjust_factor = 0.5;
+    EXPECT_EQ(core::RumbaRuntime::FromArtifact(good, bad_policy)
+                  .status()
+                  .code(),
+              core::StatusCode::kInvalidArgument);
+
+    // A corrupt compensator blob is caught before construction.
+    core::Artifact bad_compensator = good;
+    bad_compensator.compensator = "martian 1 2 3";
+    const auto comp_loss = core::RumbaRuntime::FromArtifact(
+        bad_compensator, FastConfig());
+    ASSERT_FALSE(comp_loss.ok());
+    EXPECT_EQ(comp_loss.status().code(),
+              core::StatusCode::kDataLoss);
 
     const auto deployed =
         core::RumbaRuntime::FromArtifact(good, FastConfig());

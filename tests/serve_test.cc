@@ -777,6 +777,12 @@ TEST(ShardedEngineTest, BreakerTripAutoDumpsFlightRecorder)
 }
 
 // --------------------------------------------- Legacy-overload adapter
+//
+// The only in-tree caller of the deprecated vector-of-vectors
+// ProcessInvocation: it pins the adapter's copy-in/copy-out behavior
+// against the BatchView hot path until the overload is removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 TEST(BatchViewTest, LegacyProcessInvocationMatchesViewForm)
 {
@@ -809,6 +815,8 @@ TEST(BatchViewTest, LegacyProcessInvocationMatchesViewForm)
             EXPECT_DOUBLE_EQ(vec_out[i][o], flat_out[i * 2 + o]);
 }
 
+#pragma GCC diagnostic pop
+
 // ------------------------------------------- Admission state machine
 
 TEST(AdmissionControllerTest, SheddingLadderOrdersByClass)
@@ -818,10 +826,11 @@ TEST(AdmissionControllerTest, SheddingLadderOrdersByClass)
     EXPECT_EQ(adm.Decide(serve::QualityClass::kGold, 0.80, false),
               serve::AdmissionAction::kAdmit);
     EXPECT_EQ(adm.state(), serve::AdmissionState::kShedding);
-    // While shedding: gold untouched, silver degrades, best-effort
-    // sheds at/above best_effort_shed_fill and degrades below it.
+    // While shedding: gold untouched, silver keeps its checker but
+    // drops to compensate-only recovery, best-effort sheds at/above
+    // best_effort_shed_fill and degrades below it.
     EXPECT_EQ(adm.Decide(serve::QualityClass::kSilver, 0.80, false),
-              serve::AdmissionAction::kDegrade);
+              serve::AdmissionAction::kCompensateOnly);
     EXPECT_EQ(
         adm.Decide(serve::QualityClass::kBestEffort, 0.80, false),
         serve::AdmissionAction::kShed);
@@ -834,7 +843,7 @@ TEST(AdmissionControllerTest, EmergencyNeverShedsGold)
 {
     serve::AdmissionController adm(serve::AdmissionConfig{});
     EXPECT_EQ(adm.Decide(serve::QualityClass::kGold, 0.96, false),
-              serve::AdmissionAction::kDegrade);
+              serve::AdmissionAction::kCompensateOnly);
     EXPECT_EQ(adm.state(), serve::AdmissionState::kEmergency);
     EXPECT_EQ(adm.Decide(serve::QualityClass::kSilver, 0.96, false),
               serve::AdmissionAction::kShed);
@@ -848,9 +857,10 @@ TEST(AdmissionControllerTest, EmergencyNeverShedsGold)
     EXPECT_EQ(
         adm.Decide(serve::QualityClass::kBestEffort, 0.80, false),
         serve::AdmissionAction::kBypassCheck);
-    // Gold is degraded, never refused, no matter the pressure.
+    // Gold rides the compensate rung, never refused, no matter the
+    // pressure.
     EXPECT_EQ(adm.Decide(serve::QualityClass::kGold, 1.0, true),
-              serve::AdmissionAction::kDegrade);
+              serve::AdmissionAction::kCompensateOnly);
     EXPECT_EQ(adm.state(), serve::AdmissionState::kEmergency);
 }
 
@@ -1030,9 +1040,9 @@ TEST(LoadGeneratorTest, OpenLoopRunAccountsForEveryArrival)
     for (const auto& cls : report.per_class) {
         submitted_sum += cls.submitted;
         EXPECT_EQ(cls.submitted,
-                  cls.ok + cls.degraded + cls.bypassed + cls.shed +
-                      cls.expired + cls.rejected + cls.cancelled +
-                      cls.failed);
+                  cls.ok + cls.degraded + cls.compensated +
+                      cls.bypassed + cls.shed + cls.expired +
+                      cls.rejected + cls.cancelled + cls.failed);
     }
     EXPECT_EQ(report.offered, submitted_sum);
     EXPECT_EQ(report.expired_with_output, 0u);

@@ -218,6 +218,7 @@ ResultJsonLine(const ScenarioResult& result)
            ",\"offered\":" + std::to_string(result.report.offered) +
            ",\"served\":" + std::to_string(total.Served()) +
            ",\"degraded\":" + std::to_string(total.degraded) +
+           ",\"compensated\":" + std::to_string(total.compensated) +
            ",\"bypassed\":" + std::to_string(total.bypassed) +
            ",\"shed\":" + std::to_string(total.shed) +
            ",\"expired\":" + std::to_string(total.expired) +
@@ -606,9 +607,10 @@ RunScenario(const ScenarioSpec& spec,
     std::vector<std::string>& violations = result.violations;
 
     const uint64_t accounted = total.ok + total.degraded +
-                               total.bypassed + total.shed +
-                               total.expired + total.rejected +
-                               total.cancelled + total.failed;
+                               total.compensated + total.bypassed +
+                               total.shed + total.expired +
+                               total.rejected + total.cancelled +
+                               total.failed;
     if (accounted != result.report.offered)
         violations.push_back(
             "silent drop: offered " +
